@@ -1,0 +1,143 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - renaming primitive: Figure 7's test&set scan (exact name space k)
+//     versus the splitter grid of reference [13] (read/write only, name
+//     space k(k+1)/2);
+//   - spin budget: how aggressively native waiters poll before yielding;
+//   - composition: the inductive chain versus tree versus fast path at
+//     the same (N,k), natively;
+//   - the resilient counter's wrapper choice (fast path versus plain
+//     counting semaphore) — what the paper's wrapper costs and buys.
+//
+// Run: go test -bench=Ablation -benchmem
+package kexclusion
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/renaming"
+	"kexclusion/internal/resilient"
+)
+
+// BenchmarkAblationRenamingPrimitive compares acquire/release of a name
+// under the two renaming algorithms at the same concurrency k.
+func BenchmarkAblationRenamingPrimitive(b *testing.B) {
+	const k = 4
+	b.Run("fig7-testandset", func(b *testing.B) {
+		l := renaming.NewLongLived(k)
+		for i := 0; i < b.N; i++ {
+			name := l.Acquire()
+			l.Release(name)
+		}
+	})
+	b.Run("grid-readwrite", func(b *testing.B) {
+		g := renaming.NewGrid(k)
+		for i := 0; i < b.N; i++ {
+			// One-shot: each acquisition needs a quiescent reset,
+			// which is itself part of the cost being measured.
+			name := g.Acquire(0)
+			_ = name
+			g.Reset()
+		}
+	})
+}
+
+// BenchmarkAblationSpinBudget sweeps the spin budget of the local-spin
+// algorithm under contention; too small burns scheduler switches, too
+// large burns cycles that would release waiters on a saturated host.
+func BenchmarkAblationSpinBudget(b *testing.B) {
+	const n, k = 8, 2
+	for _, budget := range []int{1, 16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("budget%d", budget), func(b *testing.B) {
+			kx := core.NewLocalSpin(n, k, core.WithSpinBudget(budget))
+			var wg sync.WaitGroup
+			per := (b.N + n - 1) / n
+			b.ResetTimer()
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						kx.Acquire(p)
+						kx.Release(p)
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkAblationComposition holds (N,k) fixed and varies only the
+// composition strategy.
+func BenchmarkAblationComposition(b *testing.B) {
+	const n, k = 32, 4
+	impls := map[string]core.KExclusion{
+		"chain-7(N-k)":  core.NewInductive(n, k),
+		"tree-7klogNk":  core.NewTree(n, k),
+		"fastpath-7k+2": core.NewFastPath(n, k),
+		"graceful":      core.NewGraceful(n, k),
+	}
+	for name, kx := range impls {
+		for _, g := range []int{k, n} {
+			b.Run(fmt.Sprintf("%s/goroutines%d", name, g), func(b *testing.B) {
+				var wg sync.WaitGroup
+				per := (b.N + g - 1) / g
+				b.ResetTimer()
+				for p := 0; p < g; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							kx.Acquire(p)
+							kx.Release(p)
+						}
+					}(p)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkAblationWrapper compares the resilient counter with the
+// paper's fast-path wrapper against the same wait-free core behind a
+// plain counting-semaphore wrapper: what the local-spin algorithms buy
+// over the folklore gate, end to end.
+func BenchmarkAblationWrapper(b *testing.B) {
+	const n, k = 16, 4
+	builds := map[string]func() *resilient.Shared[int64]{
+		"fastpath-wrapper": func() *resilient.Shared[int64] {
+			return resilient.NewShared[int64](n, k, 0, nil)
+		},
+		"counting-wrapper": func() *resilient.Shared[int64] {
+			return resilient.NewSharedConfig[int64](n, k, 0, nil,
+				resilient.Config{Excl: core.NewCounting(n, k)})
+		},
+		"localspin-wrapper": func() *resilient.Shared[int64] {
+			return resilient.NewSharedConfig[int64](n, k, 0, nil,
+				resilient.Config{Excl: core.NewLocalSpinFastPath(n, k)})
+		},
+	}
+	for name, build := range builds {
+		b.Run(name, func(b *testing.B) {
+			s := build()
+			var wg sync.WaitGroup
+			per := (b.N + n - 1) / n
+			b.ResetTimer()
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						s.Apply(p, func(v int64) (int64, any) { return v + 1, nil })
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,88 @@
+// Command kexbench regenerates the paper's evaluation artifacts on the
+// simulated CC and DSM machines: the Table 1 algorithm comparison, the
+// Theorem 1-10 complexity sweeps, and the Figure 3(b) contention sweep.
+//
+// Usage:
+//
+//	kexbench -table1            reproduce Table 1 (default N=32, k=4)
+//	kexbench -theorems          sweep every theorem against its bound
+//	kexbench -fig3b             tree vs fast path vs graceful sweep
+//	kexbench -all               everything above
+//	kexbench -n 64 -k 8 ...     change the configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kexclusion/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kexbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kexbench", flag.ContinueOnError)
+	var (
+		table1   = fs.Bool("table1", false, "reproduce Table 1")
+		theorems = fs.Bool("theorems", false, "sweep Theorems 1-10 against their bounds")
+		fig3b    = fs.Bool("fig3b", false, "contention sweep comparing tree, fast path and graceful (Figure 3)")
+		k1       = fs.Bool("k1", false, "k=1 comparison against the MCS and ticket spin locks (concluding remarks)")
+		all      = fs.Bool("all", false, "run every experiment")
+		n        = fs.Int("n", 32, "number of processes")
+		k        = fs.Int("k", 4, "critical-section slots")
+		seeds    = fs.Int("seeds", 8, "adversarial scheduler seeds per measurement")
+		acqs     = fs.Int("acqs", 4, "acquisitions per process per run")
+		model    = fs.String("model", "cc", "machine model for -fig3b (cc or dsm)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *all {
+		*table1, *theorems, *fig3b, *k1 = true, true, true, true
+	}
+	if !*table1 && !*theorems && !*fig3b && !*k1 {
+		fs.Usage()
+		return fmt.Errorf("pick at least one of -table1, -theorems, -fig3b, -k1, -all")
+	}
+	if *k < 1 || *n <= *k {
+		return fmt.Errorf("need 0 < k < n, got n=%d k=%d", *n, *k)
+	}
+	opt := bench.Options{Seeds: *seeds, Acquisitions: *acqs}
+
+	if *table1 {
+		rows := bench.Table1(*n, *k, opt)
+		fmt.Fprintln(out, bench.FormatTable1(rows, *n, *k))
+	}
+	if *theorems {
+		fmt.Fprintln(out, bench.AllTheorems(opt))
+	}
+	if *fig3b {
+		m, err := bench.ModelByName(*model)
+		if err != nil {
+			return err
+		}
+		cs := contentionLevels(*n, *k)
+		for _, s := range bench.Fig3bSweep(m, *n, *k, cs, opt) {
+			fmt.Fprintln(out, s.Format())
+		}
+	}
+	if *k1 {
+		fmt.Fprintln(out, bench.K1Comparison(*n, opt))
+	}
+	return nil
+}
+
+func contentionLevels(n, k int) []int {
+	levels := []int{1}
+	for c := k; c < n; c += k {
+		levels = append(levels, c)
+	}
+	return append(levels, n)
+}

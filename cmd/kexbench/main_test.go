@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchTable1(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-table1", "-n", "8", "-k", "2", "-seeds", "1", "-acqs", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1 (reproduced)", "cc-fastpath", "Thm. 3", "spinfaa"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestBenchTheorems(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-theorems", "-seeds", "1", "-acqs", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Theorem 1", "Theorem 10", "paper bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "\tfalse\n") {
+		t.Error("a theorem sweep exceeded its bound")
+	}
+}
+
+func TestBenchFig3bAndK1(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-fig3b", "-k1", "-n", "8", "-k", "2", "-seeds", "1", "-acqs", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig. 3 sweep", "cc-graceful", "k=1 comparison", "mcs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestBenchFlagValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{}, &b); err == nil {
+		t.Error("expected error with no experiment selected")
+	}
+	if err := run([]string{"-table1", "-n", "2", "-k", "2"}, &b); err == nil {
+		t.Error("expected error for n <= k")
+	}
+	if err := run([]string{"-fig3b", "-model", "numa"}, &b); err == nil {
+		t.Error("expected error for bad model")
+	}
+}
+
+func TestContentionLevels(t *testing.T) {
+	levels := contentionLevels(8, 2)
+	want := []int{1, 2, 4, 6, 8}
+	if len(levels) != len(want) {
+		t.Fatalf("levels %v, want %v", levels, want)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels %v, want %v", levels, want)
+		}
+	}
+}

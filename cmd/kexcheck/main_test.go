@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckPasses(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-proto", "cc-inductive", "-n", "3", "-k", "2", "-crashes", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "OK: all reachable states") {
+		t.Fatalf("expected OK verdict:\n%s", b.String())
+	}
+}
+
+func TestCheckFindsQueueWedge(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-proto", "fig1-queue", "-n", "3", "-k", "1", "-crashes", "1"}, &b)
+	if err == nil {
+		t.Fatal("expected violation error for the queue baseline under a crash")
+	}
+	if !strings.Contains(b.String(), "VIOLATION") {
+		t.Fatalf("expected violation output:\n%s", b.String())
+	}
+}
+
+func TestCheckTruncation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-proto", "dsm-inductive", "-n", "3", "-k", "2", "-maxstates", "5000"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "truncated") {
+		t.Fatalf("expected truncation note:\n%s", b.String())
+	}
+}
+
+func TestCheckUnknownProtocol(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-proto", "no-such"}, &b); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,45 @@
+// Command kexreport regenerates EXPERIMENTS.md: it runs the full
+// evaluation — Table 1, Theorems 1-10, the Figure 3 contention sweep,
+// the k=1 spin-lock comparison and the model-checking summary — and
+// writes the paper-vs-measured markdown record.
+//
+//	go run ./cmd/kexreport > EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kexclusion/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kexreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kexreport", flag.ContinueOnError)
+	var (
+		n     = fs.Int("n", 32, "number of processes")
+		k     = fs.Int("k", 4, "critical-section slots")
+		seeds = fs.Int("seeds", 8, "adversarial scheduler seeds per measurement")
+		acqs  = fs.Int("acqs", 4, "acquisitions per process per run")
+		fast  = fs.Bool("fast", false, "skip the slow model-checking configurations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k < 1 || *n <= *k {
+		return fmt.Errorf("need 0 < k < n, got n=%d k=%d", *n, *k)
+	}
+	return bench.WriteReport(out, bench.ReportConfig{
+		N: *n, K: *k,
+		Options:        bench.Options{Seeds: *seeds, Acquisitions: *acqs},
+		SkipSlowChecks: *fast,
+	})
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportGeneration(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-n", "8", "-k", "2", "-seeds", "1", "-acqs", "2", "-fast"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Experiments: paper vs. measured",
+		"## Table 1",
+		"## Theorems 1–10",
+		"## Figure 3",
+		"k=1 corner",
+		"mechanized safety",
+		"exhaustively verified",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Error("report contains a safety violation")
+	}
+}
+
+func TestReportFlagValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "2", "-k", "2"}, &b); err == nil {
+		t.Error("expected error for n <= k")
+	}
+}

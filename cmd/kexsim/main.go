@@ -1,0 +1,164 @@
+// Command kexsim runs one simulation scenario of a named protocol and
+// prints the per-acquisition remote-reference record — useful for
+// inspecting a single algorithm's behaviour under a chosen scheduler,
+// contention level and crash plan.
+//
+// Example:
+//
+//	kexsim -proto cc-fastpath -n 16 -k 4 -contention 4 -acqs 3
+//	kexsim -proto dsm-inductive -n 8 -k 2 -sched random -seed 7 -crash 1@critical
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"kexclusion/internal/algo"
+	"kexclusion/internal/bench"
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kexsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kexsim", flag.ContinueOnError)
+	var (
+		name       = fs.String("proto", "cc-fastpath", "protocol name (see -list)")
+		list       = fs.Bool("list", false, "list protocols and exit")
+		modelName  = fs.String("model", "", "machine model: cc or dsm (default: protocol's native model)")
+		n          = fs.Int("n", 16, "number of processes")
+		k          = fs.Int("k", 4, "critical-section slots")
+		contention = fs.Int("contention", 0, "max processes outside noncritical sections (0 = N)")
+		acqs       = fs.Int("acqs", 3, "acquisitions per process")
+		schedName  = fs.String("sched", "rr", "scheduler: rr, random, burst")
+		seed       = fs.Int64("seed", 1, "scheduler seed")
+		crashSpec  = fs.String("crash", "", "comma-separated crashes, each proc@phase (phase: entry, critical, exit)")
+		showTrace  = fs.Bool("trace", false, "print a statement-level trace of the run")
+		hot        = fs.Int("hot", 0, "print the top-N hottest words (remote-reference heat map)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, p := range algo.Names() {
+			fmt.Fprintln(out, p)
+		}
+		return nil
+	}
+
+	pr, err := algo.ByName(*name)
+	if err != nil {
+		return err
+	}
+	model := pr.Traits().Models[0]
+	if *modelName != "" {
+		if model, err = bench.ModelByName(*modelName); err != nil {
+			return err
+		}
+	}
+
+	var sched machine.Scheduler
+	switch *schedName {
+	case "rr":
+		sched = machine.NewRoundRobin()
+	case "random":
+		sched = machine.NewRandom(*seed)
+	case "burst":
+		sched = machine.NewBurst(*seed, 10)
+	default:
+		return fmt.Errorf("unknown scheduler %q", *schedName)
+	}
+
+	crashes, err := parseCrashes(*crashSpec)
+	if err != nil {
+		return err
+	}
+
+	cfg := proto.Config{
+		Acquisitions:  *acqs,
+		MaxContention: *contention,
+		Sched:         sched,
+		Crashes:       crashes,
+	}
+	if *showTrace {
+		cfg.Trace = func(ev proto.TraceEvent) {
+			if ev.Kind != proto.TraceStep {
+				fmt.Fprintln(out, ev)
+			}
+		}
+	}
+	mem := machine.NewMem(model, *n)
+	inst := pr.Build(mem, *n, *k, proto.BuildOptions{MaxAcquisitions: *acqs})
+	res := proto.Run(mem, inst, pr.Traits().Assignment, cfg)
+
+	fmt.Fprintf(out, "%s on %s: N=%d k=%d contention<=%d acqs=%d sched=%s\n",
+		pr.Name(), model, *n, *k, *contention, *acqs, *schedName)
+	fmt.Fprintf(out, "steps=%d completed=%v max CS occupancy=%d max bypassed=%d\n",
+		res.Steps, res.Completed, res.MaxOccupancy, res.MaxBypassed)
+	for _, v := range res.Violations {
+		fmt.Fprintln(out, "VIOLATION:", v)
+	}
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "proc\tentry remote\texit remote\ttotal\tentry steps\tbypassed")
+	for _, r := range res.Records {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Proc, r.EntryRemote, r.ExitRemote, r.Total(), r.EntrySteps, r.Bypassed)
+	}
+	w.Flush()
+	fmt.Fprintf(out, "max %d, mean %.1f remote refs per acquisition\n", res.MaxAcqRemote, res.MeanAcqRemote)
+	if *hot > 0 {
+		fmt.Fprintf(out, "hottest words (by remote references):\n")
+		hw := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(hw, "addr\thome\tremote refs")
+		for _, word := range mem.HotWords(*hot) {
+			home := "shared"
+			if word.Home >= 0 {
+				home = fmt.Sprintf("p%d", word.Home)
+			}
+			fmt.Fprintf(hw, "%d\t%s\t%d\n", word.Addr, home, word.Remote)
+		}
+		hw.Flush()
+	}
+	return nil
+}
+
+func parseCrashes(spec string) ([]proto.Crash, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []proto.Crash
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.SplitN(part, "@", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad crash spec %q (want proc@phase)", part)
+		}
+		p, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad crash proc %q: %w", fields[0], err)
+		}
+		var ph proto.Phase
+		switch fields[1] {
+		case "entry":
+			ph = proto.PhaseEntry
+		case "critical":
+			ph = proto.PhaseCritical
+		case "exit":
+			ph = proto.PhaseExit
+		default:
+			return nil, fmt.Errorf("bad crash phase %q", fields[1])
+		}
+		out = append(out, proto.Crash{Proc: p, Phase: ph})
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"kexclusion/internal/proto"
+)
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cc-fastpath", "dsm-inductive", "spinfaa"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-proto", "cc-fastpath", "-n", "8", "-k", "2", "-contention", "2", "-acqs", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "completed=true") {
+		t.Fatalf("expected completed run, got:\n%s", out)
+	}
+	if !strings.Contains(out, "remote refs per acquisition") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+}
+
+func TestRunWithCrashAndTrace(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-proto", "cc-inductive", "-n", "4", "-k", "2",
+		"-crash", "1@critical", "-trace", "-sched", "random", "-seed", "3"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "CRASHED") {
+		t.Fatalf("trace missing crash event:\n%s", out)
+	}
+	if !strings.Contains(out, "completed=true") {
+		t.Fatalf("survivors should complete:\n%s", out)
+	}
+}
+
+func TestRunHotWords(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-proto", "spinfaa", "-n", "6", "-k", "2", "-acqs", "2", "-hot", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "hottest words") || !strings.Contains(out, "shared") {
+		t.Fatalf("hot-word output missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-proto", "no-such"}, &b); err == nil {
+		t.Error("expected error for unknown protocol")
+	}
+	if err := run([]string{"-sched", "alien"}, &b); err == nil {
+		t.Error("expected error for unknown scheduler")
+	}
+	if err := run([]string{"-model", "numa"}, &b); err == nil {
+		t.Error("expected error for unknown model")
+	}
+	if err := run([]string{"-crash", "zap"}, &b); err == nil {
+		t.Error("expected error for malformed crash spec")
+	}
+	if err := run([]string{"-crash", "x@entry"}, &b); err == nil {
+		t.Error("expected error for non-numeric crash proc")
+	}
+	if err := run([]string{"-crash", "1@sleeping"}, &b); err == nil {
+		t.Error("expected error for unknown crash phase")
+	}
+}
+
+func TestParseCrashes(t *testing.T) {
+	got, err := parseCrashes("0@entry,2@critical,1@exit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []proto.Crash{
+		{Proc: 0, Phase: proto.PhaseEntry},
+		{Proc: 2, Phase: proto.PhaseCritical},
+		{Proc: 1, Phase: proto.PhaseExit},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d crashes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("crash %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package kexclusion reproduces Anderson & Moir, "Using k-Exclusion to
+// Implement Resilient, Scalable Shared Objects" (PODC 1994).
+//
+// The repository contains two parallel realizations of the paper:
+//
+//   - A deterministic shared-memory multiprocessor simulator
+//     (internal/machine, internal/proto) on which every algorithm in the
+//     paper — and the prior-work baselines of its Table 1 — runs as an
+//     explicit state machine (internal/algo). The simulator counts remote
+//     memory references exactly per the paper's §2 cost model for
+//     cache-coherent and distributed shared-memory machines, so the
+//     paper's complexity results (Table 1, Theorems 1-10) are reproduced
+//     with the paper's own metric. internal/check model-checks the
+//     algorithms' safety invariants exhaustively for small configurations.
+//
+//   - A native Go library (internal/core, internal/renaming,
+//     internal/resilient) implementing the same local-spin k-exclusion
+//     algorithms with sync/atomic for real goroutines, topped by the
+//     paper's headline methodology: a (k-1)-resilient shared object built
+//     from a wait-free k-process universal construction wrapped in a
+//     k-assignment (k-exclusion + long-lived renaming) layer.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package kexclusion

@@ -1,0 +1,89 @@
+// connpool demonstrates k-assignment as a crash-tolerant resource pool —
+// the scenario the paper's introduction motivates: N workers share k
+// expensive resources (think database connections). The k-assignment
+// wrapper both limits concurrency to k and hands each holder a unique
+// resource index in 0..k-1, and because the underlying k-exclusion is
+// (k-1)-resilient, workers that die while holding a connection cost the
+// pool one connection each — never its liveness.
+//
+//	go run ./examples/connpool
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kexclusion/internal/renaming"
+)
+
+type pool struct {
+	asg   *renaming.Assignment
+	conns []connection
+}
+
+type connection struct {
+	queries atomic.Int64
+}
+
+func newPool(nWorkers, kConns int) *pool {
+	return &pool{
+		asg:   renaming.New(nWorkers, kConns),
+		conns: make([]connection, kConns),
+	}
+}
+
+// withConn runs f on an exclusively-held connection.
+func (pl *pool) withConn(worker int, f func(c *connection)) {
+	idx := pl.asg.Acquire(worker) // blocks until a connection is free
+	defer pl.asg.Release(worker, idx)
+	f(&pl.conns[idx])
+}
+
+func main() {
+	const (
+		workers = 12
+		conns   = 4
+		queries = 200
+	)
+	pl := newPool(workers, conns)
+
+	var wg sync.WaitGroup
+	var completed atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < queries; q++ {
+				// Workers 0..conns-2 "crash" while holding a
+				// connection partway through: they take one and never
+				// give it back (conns-1 failures are tolerated).
+				if w < conns-1 && q == 50 {
+					pl.asg.Acquire(w)
+					return // worker dies holding a connection
+				}
+				pl.withConn(w, func(c *connection) {
+					c.queries.Add(1)
+					time.Sleep(10 * time.Microsecond) // the "query"
+				})
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	for i := range pl.conns {
+		q := pl.conns[i].queries.Load()
+		fmt.Printf("connection %d served %d queries\n", i, q)
+		total += q
+	}
+	healthy := workers - (conns - 1)
+	want := int64(healthy*queries + (conns-1)*50)
+	fmt.Printf("total %d queries (want %d); %d workers crashed holding a connection, pool stayed live\n",
+		total, want, conns-1)
+	if total != want {
+		panic("pool lost queries")
+	}
+}

@@ -1,0 +1,82 @@
+// heartbeat demonstrates the snapshot object the paper's footnote 1
+// singles out, composed with k-assignment: N transient workers lease
+// process identities from an IDPool, publish progress heartbeats into
+// one of k snapshot slots selected by their assigned name, and a
+// watchdog takes wait-free consistent scans of all k slots — no lock
+// protects the snapshot, and workers dying mid-run cost slots, never the
+// watchdog's ability to scan.
+//
+//	go run ./examples/heartbeat
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kexclusion/internal/renaming"
+	"kexclusion/internal/resilient"
+)
+
+type beat struct {
+	Worker int
+	Count  int
+}
+
+func main() {
+	const (
+		nIDs    = 8 // leased process identities
+		k       = 3 // concurrent publishers / snapshot slots
+		workers = 12
+		beats   = 150
+	)
+	var (
+		ids  = renaming.NewIDPool(nIDs)
+		asg  = renaming.New(nIDs, k)
+		snap = resilient.NewSnapshot[beat](k)
+	)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := ids.Get() // transient goroutine leases an identity
+			defer ids.Put(id)
+			limit := beats
+			if w == 0 {
+				limit = 5 // one worker "crashes" early
+			}
+			for i := 1; i <= limit; i++ {
+				slot := asg.Acquire(id)
+				snap.Update(slot, beat{Worker: w, Count: i})
+				asg.Release(id, slot)
+			}
+		}(w)
+	}
+
+	// The watchdog scans while workers churn.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	scans := 0
+	for {
+		select {
+		case <-done:
+			view := snap.Scan()
+			fmt.Printf("final view after %d consistent scans:\n", scans)
+			for slot, b := range view {
+				fmt.Printf("  slot %d: worker %d at beat %d\n", slot, b.Worker, b.Count)
+			}
+			return
+		default:
+			view := snap.Scan()
+			scans++
+			for _, b := range view {
+				if b.Count < 0 || b.Count > beats {
+					panic(fmt.Sprintf("inconsistent heartbeat: %+v", b))
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: a (k-1)-resilient shared counter in a few lines.
+//
+// The paper's methodology lets you pick the resiliency level k on
+// performance grounds: the object behaves wait-free whenever at most k
+// goroutines contend, and survives up to k-1 of them disappearing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"kexclusion/internal/resilient"
+)
+
+func main() {
+	const (
+		n = 16 // goroutines (process identities)
+		k = 4  // resiliency: tolerate k-1 failures, wait-free up to contention k
+	)
+	counter := resilient.NewCounter(n, k)
+
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				counter.Add(p, 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	fmt.Printf("counter = %d (want %d)\n", counter.Value(0), n*1000)
+}

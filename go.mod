@@ -1,0 +1,3 @@
+module kexclusion
+
+go 1.22

@@ -1,0 +1,267 @@
+package algo
+
+import (
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// ---------------------------------------------------------------------------
+// spinfaa: the folklore semaphore loop practitioners write — retry
+// fetch&add on one counter. O(1) remote references without contention,
+// unbounded with contention on both machine models, and not
+// starvation-free. Included as the practical foil for Table 1.
+
+type spinFAAInstance struct {
+	x machine.Addr
+	k int
+}
+
+func (in *spinFAAInstance) K() int { return in.k }
+
+func (in *spinFAAInstance) NewSession(p int) proto.Session {
+	return &spinFAASession{inst: in}
+}
+
+type spinFAASession struct {
+	inst *spinFAAInstance
+	pc   int // 0: try, 1: undo, 2: in CS
+}
+
+func (s *spinFAASession) StepAcquire(m *machine.Mem, p int) bool {
+	switch s.pc {
+	case 0:
+		if m.FAA(p, s.inst.x, -1) > 0 {
+			s.pc = 2
+			return true
+		}
+		s.pc = 1
+	case 1:
+		m.FAA(p, s.inst.x, 1)
+		s.pc = 0
+	default:
+		panic("spinfaa: StepAcquire called in wrong state")
+	}
+	return false
+}
+
+func (s *spinFAASession) StepRelease(m *machine.Mem, p int) bool {
+	if s.pc != 2 {
+		panic("spinfaa: StepRelease called in wrong state")
+	}
+	m.FAA(p, s.inst.x, 1)
+	s.pc = 0
+	return true
+}
+
+func (s *spinFAASession) AssignedName() int { return -1 }
+
+func (s *spinFAASession) Clone() proto.Session {
+	return &spinFAASession{inst: s.inst, pc: s.pc}
+}
+
+func (s *spinFAASession) Key() string { return proto.KeyF("sf:%d", s.pc) }
+
+// SpinFAA is the retry-loop counting semaphore baseline.
+type SpinFAA struct{}
+
+func (SpinFAA) Name() string { return "spinfaa" }
+
+func (SpinFAA) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      true, // a crashed waiter blocks nobody
+		StarvationFree: false,
+		Models:         []machine.Model{machine.CacheCoherent, machine.Distributed},
+	}
+}
+
+func (SpinFAA) Build(m *machine.Mem, n, k int, _ proto.BuildOptions) proto.Instance {
+	inst := &spinFAAInstance{x: m.Alloc1(machine.HomeShared), k: k}
+	m.Poke(inst.x, int64(k))
+	return inst
+}
+
+// ---------------------------------------------------------------------------
+// bakery / scanquad: read/write-only k-exclusion baselines standing in
+// for Table 1's rows [1] (Afek et al., O(N) without contention) and [8]
+// (Dolev-Gafni-Shavit, O(N^2) without contention). Both generalize
+// Lamport's bakery: take a ticket from a read-all doorway, then admit
+// yourself once fewer than k processes hold smaller tickets. scanquad
+// must observe N consecutive successful admission scans, which makes the
+// uncontended cost quadratic like the safe-bits algorithm it stands in
+// for. Unlike the originals these stand-ins are not resilient — a crashed
+// ticket-holder blocks higher tickets — which is documented in DESIGN.md
+// and is irrelevant to the complexity comparison.
+//
+// Memory layout per process p (home p): choosing[p], number[p].
+
+type bakeryInstance struct {
+	choosing, number machine.Addr // stride 2 per process
+	n, k, needStreak int
+}
+
+func newBakery(m *machine.Mem, n, k, needStreak int) *bakeryInstance {
+	inst := &bakeryInstance{n: n, k: k, needStreak: needStreak}
+	for p := 0; p < n; p++ {
+		c := m.Alloc(2, p)
+		if p == 0 {
+			inst.choosing = c
+			inst.number = c + 1
+		}
+	}
+	return inst
+}
+
+func (in *bakeryInstance) choosingAt(q int) machine.Addr {
+	return in.choosing + machine.Addr(2*q)
+}
+
+func (in *bakeryInstance) numberAt(q int) machine.Addr {
+	return in.number + machine.Addr(2*q)
+}
+
+func (in *bakeryInstance) K() int { return in.k }
+
+func (in *bakeryInstance) NewSession(p int) proto.Session {
+	return &bakerySession{inst: in}
+}
+
+const (
+	bkChoosing = iota // choosing[p] := 1
+	bkScanMax         // read number[q], one per step
+	bkWriteNum        // number[p] := max+1
+	bkDoorway         // choosing[p] := 0
+	bkPassChse        // wait choosing[idx] = 0
+	bkPassNum         // read number[idx], count smaller tickets
+	bkInCS
+)
+
+type bakerySession struct {
+	inst   *bakeryInstance
+	pc     int
+	idx    int
+	max    int64
+	my     int64
+	count  int
+	streak int
+}
+
+func (s *bakerySession) StepAcquire(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case bkChoosing:
+		m.Write(p, in.choosingAt(p), 1)
+		s.idx, s.max = 0, 0
+		s.pc = bkScanMax
+	case bkScanMax:
+		if v := m.Read(p, in.numberAt(s.idx)); v > s.max {
+			s.max = v
+		}
+		s.idx++
+		if s.idx == in.n {
+			s.pc = bkWriteNum
+		}
+	case bkWriteNum:
+		s.my = s.max + 1
+		m.Write(p, in.numberAt(p), s.my)
+		s.pc = bkDoorway
+	case bkDoorway:
+		m.Write(p, in.choosingAt(p), 0)
+		s.idx, s.count, s.streak = 0, 0, 0
+		s.pc = bkPassChse
+	case bkPassChse:
+		if s.idx == p {
+			s.idx++
+			if s.idx == in.n {
+				return s.finishPass()
+			}
+			return false
+		}
+		if m.Read(p, in.choosingAt(s.idx)) == 0 {
+			s.pc = bkPassNum
+		}
+	case bkPassNum:
+		v := m.Read(p, in.numberAt(s.idx))
+		if v != 0 && (v < s.my || (v == s.my && s.idx < p)) {
+			s.count++
+		}
+		s.idx++
+		s.pc = bkPassChse
+		if s.idx == in.n {
+			return s.finishPass()
+		}
+	default:
+		panic("bakery: StepAcquire called in wrong state")
+	}
+	return false
+}
+
+func (s *bakerySession) finishPass() bool {
+	if s.count < s.inst.k {
+		s.streak++
+		if s.streak >= s.inst.needStreak {
+			s.pc = bkInCS
+			return true
+		}
+	} else {
+		s.streak = 0
+	}
+	s.idx, s.count = 0, 0
+	s.pc = bkPassChse
+	return false
+}
+
+func (s *bakerySession) StepRelease(m *machine.Mem, p int) bool {
+	if s.pc != bkInCS {
+		panic("bakery: StepRelease called in wrong state")
+	}
+	m.Write(p, s.inst.numberAt(p), 0)
+	s.pc = bkChoosing
+	return true
+}
+
+func (s *bakerySession) AssignedName() int { return -1 }
+
+func (s *bakerySession) Clone() proto.Session {
+	c := *s
+	return &c
+}
+
+func (s *bakerySession) Key() string {
+	return proto.KeyF("bk:%d:%d:%d:%d:%d:%d", s.pc, s.idx, s.max, s.my, s.count, s.streak)
+}
+
+// Bakery is the O(N)-without-contention read/write baseline (Table 1
+// row [1] stand-in).
+type Bakery struct{}
+
+func (Bakery) Name() string { return "bakery" }
+
+func (Bakery) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      false,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.CacheCoherent, machine.Distributed},
+	}
+}
+
+func (Bakery) Build(m *machine.Mem, n, k int, _ proto.BuildOptions) proto.Instance {
+	return newBakery(m, n, k, 1)
+}
+
+// ScanQuad is the O(N^2)-without-contention read/write baseline (Table 1
+// row [8] stand-in): the admission scan must succeed N times in a row.
+type ScanQuad struct{}
+
+func (ScanQuad) Name() string { return "scanquad" }
+
+func (ScanQuad) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      false,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.CacheCoherent, machine.Distributed},
+	}
+}
+
+func (ScanQuad) Build(m *machine.Mem, n, k int, _ proto.BuildOptions) proto.Instance {
+	return newBakery(m, n, k, n)
+}

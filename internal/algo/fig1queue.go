@@ -1,0 +1,141 @@
+package algo
+
+import (
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// queueInstance is Figure 1: (N,k)-exclusion from a queue manipulated in
+// large atomic statements (the angle brackets of the paper). It stands in
+// for the prior algorithms of Fischer, Lynch, Burns and Borodin compared
+// in Table 1: constant cost in the absence of contention, but it requires
+// unrealistically large atomic operations, a crashed waiter blocks every
+// process behind it in the queue, and the waiters' busy-wait on the
+// shared queue generates unbounded remote traffic under contention.
+//
+// Memory layout: X (slot counter), qhead (wrapped index), qcount, and a
+// ring of N+1 slots. Indices wrap so the state space stays finite for
+// the model checker.
+type queueInstance struct {
+	x, qhead, qcount, ring machine.Addr
+	size                   int
+	k                      int
+}
+
+func newQueueExclusion(m *machine.Mem, n, k int) *queueInstance {
+	inst := &queueInstance{
+		x:      m.Alloc1(machine.HomeShared),
+		qhead:  m.Alloc1(machine.HomeShared),
+		qcount: m.Alloc1(machine.HomeShared),
+		size:   n + 1,
+		k:      k,
+	}
+	inst.ring = m.Alloc(inst.size, machine.HomeShared)
+	m.Poke(inst.x, int64(k))
+	return inst
+}
+
+func (in *queueInstance) K() int { return in.k }
+
+func (in *queueInstance) NewSession(p int) proto.Session {
+	return &queueSession{inst: in, pc: q1Try}
+}
+
+const (
+	q1Try  = iota // statement 1: <if f&i(X,-1) <= 0 then Enqueue(p,Q)>
+	q1Wait        // statement 2: while Element(p,Q) (one evaluation per step)
+	q1InCS
+	q1Release // statement 3: <Dequeue(Q); f&i(X,1)>
+)
+
+type queueSession struct {
+	inst *queueInstance
+	pc   int
+}
+
+func (s *queueSession) StepAcquire(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case q1Try:
+		// One large atomic statement: decrement and, if no slot was
+		// available, enqueue. Every word it touches is charged.
+		if old := m.FAA(p, in.x, -1); old <= 0 {
+			head := m.Read(p, in.qhead)
+			count := m.Read(p, in.qcount)
+			m.Write(p, in.ring+machine.Addr((head+count)%int64(in.size)), int64(p))
+			m.Write(p, in.qcount, count+1)
+			s.pc = q1Wait
+		} else {
+			s.pc = q1InCS
+			return true
+		}
+	case q1Wait:
+		// One evaluation of Element(p,Q): scan the queue for p. This
+		// is the busy-wait the paper criticizes: it is not a local
+		// spin, so each re-check re-traverses shared memory.
+		head := m.Read(p, in.qhead)
+		count := m.Read(p, in.qcount)
+		found := false
+		for i := int64(0); i < count; i++ {
+			if m.Read(p, in.ring+machine.Addr((head+i)%int64(in.size))) == int64(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.pc = q1InCS
+			return true
+		}
+	default:
+		panic("fig1: StepAcquire called in wrong state")
+	}
+	return false
+}
+
+func (s *queueSession) StepRelease(m *machine.Mem, p int) bool {
+	in := s.inst
+	if s.pc != q1InCS {
+		panic("fig1: StepRelease called in wrong state")
+	}
+	// One large atomic statement: remove the first waiting process (if
+	// any) and release a slot.
+	count := m.Read(p, in.qcount)
+	if count > 0 {
+		head := m.Read(p, in.qhead)
+		m.Write(p, in.ring+machine.Addr(head%int64(in.size)), 0)
+		m.Write(p, in.qhead, (head+1)%int64(in.size))
+		m.Write(p, in.qcount, count-1)
+	}
+	m.FAA(p, in.x, 1)
+	s.pc = q1Try
+	return true
+}
+
+func (s *queueSession) AssignedName() int { return -1 }
+
+func (s *queueSession) Clone() proto.Session {
+	return &queueSession{inst: s.inst, pc: s.pc}
+}
+
+func (s *queueSession) Key() string { return proto.KeyF("q1:%d", s.pc) }
+
+// Queue is the Figure 1 baseline protocol ("large critical sections",
+// Table 1 rows [9] and [10]).
+type Queue struct{}
+
+func (Queue) Name() string { return "fig1-queue" }
+
+func (Queue) Traits() proto.Traits {
+	return proto.Traits{
+		// A crashed process at the head of the queue blocks everyone
+		// behind it: not resilient (the reason the paper rejects
+		// queue-based approaches).
+		Resilient:      false,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.CacheCoherent, machine.Distributed},
+	}
+}
+
+func (Queue) Build(m *machine.Mem, n, k int, _ proto.BuildOptions) proto.Instance {
+	return newQueueExclusion(m, n, k)
+}

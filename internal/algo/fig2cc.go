@@ -1,0 +1,198 @@
+// Package algo implements every algorithm in Anderson & Moir (PODC 1994)
+// — Figures 1, 2, 4, 5, 6, 7 and the tree / fast-path / graceful
+// compositions of Theorems 1-10 — plus the prior-work baselines compared
+// in the paper's Table 1, as explicit state machines over the simulated
+// machine. Each numbered statement of the paper executes as exactly one
+// atomic step, so remote-reference counts match the paper's analysis.
+package algo
+
+import (
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// qBottom is the sentinel written to Figure 2's spin word by the exit
+// section ("Q := p̄" in the paper): any value distinct from every process
+// id releases the waiter.
+const qBottom = -1
+
+// fig2Instance is one (N,k)-exclusion layer of Figure 2, built over an
+// inner (N,k+1)-exclusion instance (nil means the paper's "skip", valid
+// when k+1 >= N).
+//
+// Shared variables (paper's Figure 2):
+//
+//	X : -1..k   counter of available slots, initially k
+//	Q : 0..N-1  spin location, initially ⊥
+type fig2Instance struct {
+	inner proto.Instance
+	x, q  machine.Addr
+	k     int
+}
+
+// newFig2 allocates one Figure 2 layer in m admitting k processes, gated
+// by inner (which must admit k+1, or be nil when no gating is needed).
+func newFig2(m *machine.Mem, k int, inner proto.Instance) *fig2Instance {
+	inst := &fig2Instance{
+		inner: inner,
+		x:     m.Alloc1(machine.HomeShared),
+		q:     m.Alloc1(machine.HomeShared),
+		k:     k,
+	}
+	m.Poke(inst.x, int64(k))
+	m.Poke(inst.q, qBottom)
+	return inst
+}
+
+func (in *fig2Instance) K() int { return in.k }
+
+func (in *fig2Instance) NewSession(p int) proto.Session {
+	s := &fig2Session{inst: in}
+	if in.inner != nil {
+		s.inner = in.inner.NewSession(p)
+	}
+	s.reset()
+	return s
+}
+
+// fig2Session program counters. Statement numbers follow Figure 2.
+const (
+	f2Stmt1 = iota // Acquire(N,k+1)
+	f2Stmt2        // if fetch_and_increment(X,-1) <= 0
+	f2Stmt3        // Q := p
+	f2Stmt4        // if X < 0
+	f2Stmt5        // while Q = p (spin)
+	f2InCS         // critical section reached
+	f2Stmt6        // fetch_and_increment(X,1)
+	f2Stmt7        // Q := ⊥
+	f2Stmt8        // Release(N,k+1)
+)
+
+type fig2Session struct {
+	inst  *fig2Instance
+	inner proto.Session
+	pc    int
+}
+
+func (s *fig2Session) reset() {
+	if s.inner != nil {
+		s.pc = f2Stmt1
+	} else {
+		s.pc = f2Stmt2
+	}
+}
+
+func (s *fig2Session) StepAcquire(m *machine.Mem, p int) bool {
+	switch s.pc {
+	case f2Stmt1:
+		if s.inner.StepAcquire(m, p) {
+			s.pc = f2Stmt2
+		}
+	case f2Stmt2:
+		if old := m.FAA(p, s.inst.x, -1); old <= 0 {
+			s.pc = f2Stmt3
+		} else {
+			s.pc = f2InCS
+			return true
+		}
+	case f2Stmt3:
+		m.Write(p, s.inst.q, int64(p))
+		s.pc = f2Stmt4
+	case f2Stmt4:
+		if m.Read(p, s.inst.x) < 0 {
+			s.pc = f2Stmt5
+		} else {
+			s.pc = f2InCS
+			return true
+		}
+	case f2Stmt5:
+		if m.Read(p, s.inst.q) != int64(p) {
+			s.pc = f2InCS
+			return true
+		}
+	default:
+		panic("fig2: StepAcquire called in wrong state")
+	}
+	return false
+}
+
+func (s *fig2Session) StepRelease(m *machine.Mem, p int) bool {
+	switch s.pc {
+	case f2InCS:
+		m.FAA(p, s.inst.x, 1) // statement 6
+		s.pc = f2Stmt7
+	case f2Stmt7:
+		m.Write(p, s.inst.q, qBottom)
+		if s.inner != nil {
+			s.pc = f2Stmt8
+		} else {
+			s.reset()
+			return true
+		}
+	case f2Stmt8:
+		if s.inner.StepRelease(m, p) {
+			s.reset()
+			return true
+		}
+	default:
+		panic("fig2: StepRelease called in wrong state")
+	}
+	return false
+}
+
+func (s *fig2Session) AssignedName() int { return -1 }
+
+func (s *fig2Session) Clone() proto.Session {
+	c := &fig2Session{inst: s.inst, pc: s.pc}
+	if s.inner != nil {
+		c.inner = s.inner.Clone()
+	}
+	return c
+}
+
+func (s *fig2Session) Key() string {
+	if s.inner == nil {
+		return proto.KeyF("f2:%d", s.pc)
+	}
+	return proto.KeyJoin(proto.KeyF("f2:%d", s.pc), s.inner.Key())
+}
+
+// newInductiveChain builds Theorem 1's (n,k)-exclusion for up to n
+// concurrent participants: a chain of Figure 2 layers for j = n-1 down
+// to k, the (n,n) base case being skip. Block factories (newBlockCC)
+// reuse it for the (2k,k) building block, which works for any process
+// identities because only the number of concurrent participants matters.
+func newInductiveChain(m *machine.Mem, n, k int) proto.Instance {
+	if n <= k {
+		return proto.Trivial(k)
+	}
+	var inner proto.Instance // (n,n)-exclusion = skip
+	for j := n - 1; j >= k; j-- {
+		inner = newFig2(m, j, inner)
+	}
+	return inner
+}
+
+// Inductive is Theorem 1: cache-coherent (N,k)-exclusion with complexity
+// 7(N-k), built by chaining Figure 2 layers.
+type Inductive struct{}
+
+func (Inductive) Name() string { return "cc-inductive" }
+
+func (Inductive) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      true,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.CacheCoherent},
+	}
+}
+
+func (Inductive) Build(m *machine.Mem, n, k int, _ proto.BuildOptions) proto.Instance {
+	return newInductiveChain(m, n, k)
+}
+
+// BlockCC is the paper's (2k,k) "building block" (Theorem 1 applied with
+// N=2k, cost 7k), exported for the tree and fast-path compositions.
+func BlockCC(m *machine.Mem, k int) proto.Instance {
+	return newInductiveChain(m, 2*k, k)
+}

@@ -1,0 +1,234 @@
+package algo
+
+import (
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// fig5Instance is Figure 5: (N,k)-exclusion for distributed
+// shared-memory machines in which every process busy-waits only on spin
+// locations stored in its own memory module — a fresh location P[p][v]
+// for every acquisition, so space is unbounded (bounded here by
+// maxLoc, sized from the run's acquisition budget). The shared register
+// Q names the spin location of the currently blocked process as a
+// (pid, loc) record, updated with compare&swap so that a process can
+// detect that the blocked process it read has already been released.
+//
+// Shared variables (paper's Figure 5):
+//
+//	X : -1..k                   slot counter, initially k
+//	Q : (pid, loc)              current spin location, initially (0,0)
+//	P : array[N][maxLoc] bool   P[p][*] local to process p
+type fig5Instance struct {
+	inner  proto.Instance
+	x, q   machine.Addr
+	p0     machine.Addr // base of P; P[p][v] = p0 + p*maxLoc + v
+	maxLoc int
+	k      int
+}
+
+func newFig5(m *machine.Mem, n, k int, inner proto.Instance, maxLoc int) *fig5Instance {
+	if maxLoc < 2 {
+		maxLoc = 2
+	}
+	inst := &fig5Instance{
+		inner:  inner,
+		x:      m.Alloc1(machine.HomeShared),
+		q:      m.Alloc1(machine.HomeShared),
+		maxLoc: maxLoc,
+		k:      k,
+	}
+	// Allocate each process's spin locations in its own memory module.
+	for p := 0; p < n; p++ {
+		base := m.Alloc(maxLoc, p)
+		if p == 0 {
+			inst.p0 = base
+		}
+	}
+	m.Poke(inst.x, int64(k))
+	m.Poke(inst.q, inst.pack(0, 0))
+	return inst
+}
+
+func (in *fig5Instance) pack(pid, loc int) int64 { return int64(pid*in.maxLoc + loc) }
+func (in *fig5Instance) spin(packed int64) machine.Addr {
+	return in.p0 + machine.Addr(packed)
+}
+
+func (in *fig5Instance) K() int { return in.k }
+
+func (in *fig5Instance) NewSession(p int) proto.Session {
+	s := &fig5Session{inst: in}
+	if in.inner != nil {
+		s.inner = in.inner.NewSession(p)
+	}
+	s.reset()
+	return s
+}
+
+// fig5Session program counters; statement numbers follow Figure 5.
+const (
+	f5Stmt1 = iota // Acquire(N,k+1)
+	f5Stmt2        // if fetch_and_increment(X,-1) <= 0
+	f5Stmt3        // next.loc := next.loc+1
+	f5Stmt4        // P[p][next.loc] := false
+	f5Stmt5        // v := Q
+	f5Stmt6        // P[v.pid][v.loc] := true
+	f5Stmt7        // if compare_and_swap(Q, v, next)
+	f5Stmt8        // if X < 0
+	f5Stmt9        // while !P[p][next.loc] (local spin)
+	f5InCS
+	f5Stmt10 // fetch_and_increment(X,1)
+	f5Stmt11 // v := Q
+	f5Stmt12 // P[v.pid][v.loc] := true
+	f5Stmt13 // Release(N,k+1)
+)
+
+type fig5Session struct {
+	inst    *fig5Instance
+	inner   proto.Session
+	pc      int
+	nextLoc int
+	v       int64
+}
+
+func (s *fig5Session) reset() {
+	if s.inner != nil {
+		s.pc = f5Stmt1
+	} else {
+		s.pc = f5Stmt2
+	}
+}
+
+func (s *fig5Session) StepAcquire(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case f5Stmt1:
+		if s.inner.StepAcquire(m, p) {
+			s.pc = f5Stmt2
+		}
+	case f5Stmt2:
+		if old := m.FAA(p, in.x, -1); old <= 0 {
+			s.pc = f5Stmt3
+		} else {
+			s.pc = f5InCS
+			return true
+		}
+	case f5Stmt3:
+		s.nextLoc++ // private; a spin location never used before
+		if s.nextLoc >= in.maxLoc {
+			panic("fig5: spin locations exhausted; raise BuildOptions.MaxAcquisitions")
+		}
+		s.pc = f5Stmt4
+	case f5Stmt4:
+		m.Write(p, in.spin(in.pack(p, s.nextLoc)), 0)
+		s.pc = f5Stmt5
+	case f5Stmt5:
+		s.v = m.Read(p, in.q)
+		s.pc = f5Stmt6
+	case f5Stmt6:
+		m.Write(p, in.spin(s.v), 1) // release currently spinning process
+		s.pc = f5Stmt7
+	case f5Stmt7:
+		if m.CAS(p, in.q, s.v, in.pack(p, s.nextLoc)) {
+			s.pc = f5Stmt8
+		} else {
+			// Q changed between statements 5 and 7: the process we
+			// read has already been released; do not wait.
+			s.pc = f5InCS
+			return true
+		}
+	case f5Stmt8:
+		if m.Read(p, in.x) < 0 {
+			s.pc = f5Stmt9
+		} else {
+			s.pc = f5InCS
+			return true
+		}
+	case f5Stmt9:
+		if m.Read(p, in.spin(in.pack(p, s.nextLoc))) != 0 {
+			s.pc = f5InCS
+			return true
+		}
+	default:
+		panic("fig5: StepAcquire called in wrong state")
+	}
+	return false
+}
+
+func (s *fig5Session) StepRelease(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case f5InCS:
+		m.FAA(p, in.x, 1) // statement 10
+		s.pc = f5Stmt11
+	case f5Stmt11:
+		s.v = m.Read(p, in.q)
+		s.pc = f5Stmt12
+	case f5Stmt12:
+		m.Write(p, in.spin(s.v), 1)
+		if s.inner != nil {
+			s.pc = f5Stmt13
+		} else {
+			s.reset()
+			return true
+		}
+	case f5Stmt13:
+		if s.inner.StepRelease(m, p) {
+			s.reset()
+			return true
+		}
+	default:
+		panic("fig5: StepRelease called in wrong state")
+	}
+	return false
+}
+
+func (s *fig5Session) AssignedName() int { return -1 }
+
+func (s *fig5Session) Clone() proto.Session {
+	c := &fig5Session{inst: s.inst, pc: s.pc, nextLoc: s.nextLoc, v: s.v}
+	if s.inner != nil {
+		c.inner = s.inner.Clone()
+	}
+	return c
+}
+
+func (s *fig5Session) Key() string {
+	key := proto.KeyF("f5:%d:%d:%d", s.pc, s.nextLoc, s.v)
+	if s.inner == nil {
+		return key
+	}
+	return proto.KeyJoin(key, s.inner.Key())
+}
+
+// Unbounded is Figure 5 as a full (N,k)-exclusion protocol (inductive
+// chain of Figure 5 layers). It demonstrates DSM local-spin k-exclusion
+// before the paper bounds its space; complexity per layer is lower than
+// Figure 6's but space grows with the number of acquisitions.
+type Unbounded struct{}
+
+func (Unbounded) Name() string { return "dsm-unbounded" }
+
+func (Unbounded) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      true,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.Distributed},
+	}
+}
+
+func (Unbounded) Build(m *machine.Mem, n, k int, opt proto.BuildOptions) proto.Instance {
+	if n <= k {
+		return proto.Trivial(k)
+	}
+	maxLoc := opt.MaxAcquisitions + 2
+	if opt.MaxAcquisitions <= 0 {
+		maxLoc = 1 << 10
+	}
+	var inner proto.Instance
+	for j := n - 1; j >= k; j-- {
+		inner = newFig5(m, n, j, inner, maxLoc)
+	}
+	return inner
+}

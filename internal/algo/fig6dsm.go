@@ -1,0 +1,356 @@
+package algo
+
+import (
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// fig6Instance is Figure 6: the bounded-space version of Figure 5. Each
+// process cycles through k+2 spin locations; the counter R[p][v] records
+// how many processes have read (p,v) from Q and might still write
+// P[p][v], so a process never reuses a location that could be set
+// prematurely. One layer costs at most 14 remote references (8 entry,
+// 6 exit), giving Theorem 5's 14(N-k) for the inductive chain.
+//
+// Shared variables (paper's Figure 6):
+//
+//	X : -1..k                 slot counter, initially k
+//	Q : (pid, loc)            current spin location, initially (0,0)
+//	P : array[N][k+2] bool    P[p][*] local to process p
+//	R : array[N][k+2] 0..k+1  R[p][*] local to process p
+type fig6Instance struct {
+	inner proto.Instance
+	x, q  machine.Addr
+	p0    machine.Addr
+	r0    machine.Addr
+	nloc  int // k+2 spin locations per process
+	k     int
+}
+
+func newFig6(m *machine.Mem, n, k int, inner proto.Instance) *fig6Instance {
+	inst := &fig6Instance{
+		inner: inner,
+		x:     m.Alloc1(machine.HomeShared),
+		q:     m.Alloc1(machine.HomeShared),
+		nloc:  k + 2,
+		k:     k,
+	}
+	for p := 0; p < n; p++ {
+		pBase := m.Alloc(inst.nloc, p)
+		rBase := m.Alloc(inst.nloc, p)
+		if p == 0 {
+			inst.p0 = pBase
+			inst.r0 = rBase
+		}
+	}
+	m.Poke(inst.x, int64(k))
+	m.Poke(inst.q, inst.pack(0, 0))
+	return inst
+}
+
+func (in *fig6Instance) pack(pid, loc int) int64 { return int64(pid*in.nloc + loc) }
+
+// spinAddr and ctrAddr locate P[.] and R[.] for a packed (pid,loc).
+// Each process's (P,R) pair occupies 2*nloc consecutive words.
+func (in *fig6Instance) spinAddr(packed int64) machine.Addr {
+	pid, loc := int(packed)/in.nloc, int(packed)%in.nloc
+	return in.p0 + machine.Addr(pid*2*in.nloc+loc)
+}
+
+func (in *fig6Instance) ctrAddr(packed int64) machine.Addr {
+	pid, loc := int(packed)/in.nloc, int(packed)%in.nloc
+	return in.r0 + machine.Addr(pid*2*in.nloc+loc)
+}
+
+func (in *fig6Instance) K() int { return in.k }
+
+func (in *fig6Instance) NewSession(p int) proto.Session {
+	s := &fig6Session{inst: in}
+	if in.inner != nil {
+		s.inner = in.inner.NewSession(p)
+	}
+	s.resetPC()
+	return s
+}
+
+// fig6Session program counters; statement numbers follow Figure 6.
+const (
+	f6Stmt1  = iota // Acquire(N,k+1)
+	f6Stmt2         // if fetch_and_increment(X,-1) <= 0
+	f6Stmt3         // next.loc := (last+1) mod (k+2)
+	f6Stmt4         // while R[p][next.loc] != 0 (one read per step)
+	f6Stmt6         // P[p][next.loc] := false
+	f6Stmt7         // u := Q
+	f6Stmt8         // fetch_and_increment(R[u], 1)
+	f6Stmt9         // if Q = u
+	f6Stmt10        // P[u] := true
+	f6Stmt11        // if compare_and_swap(Q, u, next); 12: last := next.loc
+	f6Stmt13        // if X < 0
+	f6Stmt14        // while !P[p][next.loc] (local spin)
+	f6Stmt15        // fetch_and_increment(R[u], -1)
+	f6InCS
+	f6Stmt16 // fetch_and_increment(X, 1)
+	f6Stmt17 // u := Q
+	f6Stmt18 // fetch_and_increment(R[u], 1)
+	f6Stmt19 // if Q = u
+	f6Stmt20 // P[u] := true
+	f6Stmt21 // fetch_and_increment(R[u], -1)
+	f6Stmt22 // Release(N,k+1)
+)
+
+type fig6Session struct {
+	inst    *fig6Instance
+	inner   proto.Session
+	pc      int
+	nextLoc int
+	last    int
+	u       int64
+	scans   int // statement 4 iterations this acquisition (terminates <= k+2)
+}
+
+func (s *fig6Session) resetPC() {
+	if s.inner != nil {
+		s.pc = f6Stmt1
+	} else {
+		s.pc = f6Stmt2
+	}
+}
+
+func (s *fig6Session) StepAcquire(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case f6Stmt1:
+		if s.inner.StepAcquire(m, p) {
+			s.pc = f6Stmt2
+		}
+	case f6Stmt2:
+		if old := m.FAA(p, in.x, -1); old <= 0 {
+			s.pc = f6Stmt3
+		} else {
+			s.pc = f6InCS
+			return true
+		}
+	case f6Stmt3:
+		s.nextLoc = (s.last + 1) % in.nloc
+		s.scans = 0
+		s.pc = f6Stmt4
+	case f6Stmt4:
+		// Statements 4-5: search (locally) for a spin location whose
+		// in-use counter is zero. The paper proves some R[p][v] = 0
+		// with v != last persists until read, so this terminates
+		// within k+2 iterations.
+		if m.Read(p, in.ctrAddr(in.pack(p, s.nextLoc))) != 0 {
+			s.nextLoc = (s.nextLoc + 1) % in.nloc
+			s.scans++
+			if s.scans > in.nloc {
+				panic("fig6: no free spin location; in-use invariant broken")
+			}
+		} else {
+			s.pc = f6Stmt6
+		}
+	case f6Stmt6:
+		m.Write(p, in.spinAddr(in.pack(p, s.nextLoc)), 0)
+		s.pc = f6Stmt7
+	case f6Stmt7:
+		s.u = m.Read(p, in.q)
+		s.pc = f6Stmt8
+	case f6Stmt8:
+		m.FAA(p, in.ctrAddr(s.u), 1) // announce a pending write of P[u]
+		s.pc = f6Stmt9
+	case f6Stmt9:
+		if m.Read(p, in.q) == s.u {
+			s.pc = f6Stmt10
+		} else {
+			s.pc = f6Stmt11
+		}
+	case f6Stmt10:
+		m.Write(p, in.spinAddr(s.u), 1) // release currently spinning process
+		s.pc = f6Stmt11
+	case f6Stmt11:
+		if m.CAS(p, in.q, s.u, in.pack(p, s.nextLoc)) {
+			s.last = s.nextLoc // statement 12 (private)
+			s.pc = f6Stmt13
+		} else {
+			s.pc = f6Stmt15
+		}
+	case f6Stmt13:
+		if m.Read(p, in.x) < 0 {
+			s.pc = f6Stmt14
+		} else {
+			s.pc = f6Stmt15
+		}
+	case f6Stmt14:
+		if m.Read(p, in.spinAddr(in.pack(p, s.nextLoc))) != 0 {
+			s.pc = f6Stmt15
+		}
+	case f6Stmt15:
+		m.FAA(p, in.ctrAddr(s.u), -1) // done with u's spin location
+		s.pc = f6InCS
+		return true
+	default:
+		panic("fig6: StepAcquire called in wrong state")
+	}
+	return false
+}
+
+func (s *fig6Session) StepRelease(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case f6InCS:
+		m.FAA(p, in.x, 1) // statement 16
+		s.pc = f6Stmt17
+	case f6Stmt17:
+		s.u = m.Read(p, in.q)
+		s.pc = f6Stmt18
+	case f6Stmt18:
+		m.FAA(p, in.ctrAddr(s.u), 1)
+		s.pc = f6Stmt19
+	case f6Stmt19:
+		if m.Read(p, in.q) == s.u {
+			s.pc = f6Stmt20
+		} else {
+			s.pc = f6Stmt21
+		}
+	case f6Stmt20:
+		m.Write(p, in.spinAddr(s.u), 1)
+		s.pc = f6Stmt21
+	case f6Stmt21:
+		m.FAA(p, in.ctrAddr(s.u), -1)
+		if s.inner != nil {
+			s.pc = f6Stmt22
+		} else {
+			s.resetPC()
+			return true
+		}
+	case f6Stmt22:
+		if s.inner.StepRelease(m, p) {
+			s.resetPC()
+			return true
+		}
+	default:
+		panic("fig6: StepRelease called in wrong state")
+	}
+	return false
+}
+
+func (s *fig6Session) AssignedName() int { return -1 }
+
+func (s *fig6Session) Clone() proto.Session {
+	c := &fig6Session{
+		inst:    s.inst,
+		pc:      s.pc,
+		nextLoc: s.nextLoc,
+		last:    s.last,
+		u:       s.u,
+		scans:   s.scans,
+	}
+	if s.inner != nil {
+		c.inner = s.inner.Clone()
+	}
+	return c
+}
+
+func (s *fig6Session) Key() string {
+	key := proto.KeyF("f6:%d:%d:%d:%d", s.pc, s.nextLoc, s.last, s.u)
+	if s.inner == nil {
+		return key
+	}
+	return proto.KeyJoin(key, s.inner.Key())
+}
+
+// newInductiveChainDSM builds Theorem 5's (n,k)-exclusion: a chain of
+// Figure 6 layers, 14 remote references each.
+func newInductiveChainDSM(m *machine.Mem, n, k int) proto.Instance {
+	if n <= k {
+		return proto.Trivial(k)
+	}
+	var inner proto.Instance
+	for j := n - 1; j >= k; j-- {
+		inner = newFig6(m, n, j, inner)
+	}
+	return inner
+}
+
+// InductiveDSM is Theorem 5: DSM (N,k)-exclusion, complexity 14(N-k).
+type InductiveDSM struct{}
+
+func (InductiveDSM) Name() string { return "dsm-inductive" }
+
+func (InductiveDSM) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      true,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.Distributed},
+	}
+}
+
+func (InductiveDSM) Build(m *machine.Mem, n, k int, _ proto.BuildOptions) proto.Instance {
+	return newInductiveChainDSM(m, n, k)
+}
+
+// BlockDSM is the DSM (2k,k) building block of Theorem 5 (cost 14k) used
+// by the Theorem 6-8 compositions. The Figure 6 layers inside must span
+// all n process identities because any process may enter the block.
+func BlockDSM(n int) BlockFactory {
+	return func(m *machine.Mem, k int, _ proto.BuildOptions) proto.Instance {
+		var inner proto.Instance
+		for j := 2*k - 1; j >= k; j-- {
+			inner = newFig6(m, n, j, inner)
+		}
+		return inner
+	}
+}
+
+// TreeDSM is Theorem 6: DSM (N,k)-exclusion via the arbitration tree,
+// complexity 14k*ceil(log2(N/k)).
+type TreeDSM struct{}
+
+func (TreeDSM) Name() string { return "dsm-tree" }
+
+func (TreeDSM) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      true,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.Distributed},
+	}
+}
+
+func (TreeDSM) Build(m *machine.Mem, n, k int, opt proto.BuildOptions) proto.Instance {
+	return newTree(m, n, k, BlockDSM(n), opt)
+}
+
+// FastPathDSM is Theorem 7: DSM fast path, 14k+2 when contention is at
+// most k and 14k(ceil(log2(N/k))+1)+2 above.
+type FastPathDSM struct{}
+
+func (FastPathDSM) Name() string { return "dsm-fastpath" }
+
+func (FastPathDSM) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      true,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.Distributed},
+	}
+}
+
+func (FastPathDSM) Build(m *machine.Mem, n, k int, opt proto.BuildOptions) proto.Instance {
+	return buildFastPath(m, n, k, BlockDSM(n), opt)
+}
+
+// GracefulDSM is Theorem 8: DSM graceful degradation,
+// ceil(c/k)*(14k+2) at contention c.
+type GracefulDSM struct{}
+
+func (GracefulDSM) Name() string { return "dsm-graceful" }
+
+func (GracefulDSM) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      true,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.Distributed},
+	}
+}
+
+func (GracefulDSM) Build(m *machine.Mem, n, k int, opt proto.BuildOptions) proto.Instance {
+	return buildGraceful(m, n, k, BlockDSM(n), opt)
+}

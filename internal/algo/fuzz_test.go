@@ -1,0 +1,85 @@
+package algo
+
+import (
+	"testing"
+
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// FuzzExclusionSafety fuzzes (protocol, shape, seed, contention, crash
+// pattern) and asserts the k-exclusion invariant and completion. Run
+// with `go test -fuzz=FuzzExclusionSafety ./internal/algo` for a
+// continuous search; the seed corpus runs in every ordinary test pass.
+func FuzzExclusionSafety(f *testing.F) {
+	f.Add(uint8(0), uint8(6), uint8(2), int64(1), uint8(0), uint8(0))
+	f.Add(uint8(3), uint8(9), uint8(3), int64(42), uint8(4), uint8(1))
+	f.Add(uint8(7), uint8(12), uint8(4), int64(7), uint8(12), uint8(2))
+	f.Add(uint8(1), uint8(5), uint8(1), int64(99), uint8(2), uint8(0))
+
+	protocols := All()
+	f.Fuzz(func(t *testing.T, prIdx, rawN, rawK uint8, seed int64, rawC, rawCrash uint8) {
+		pr := protocols[int(prIdx)%len(protocols)]
+		n := 2 + int(rawN%12)
+		k := 1 + int(rawK)%(n-1)
+		c := int(rawC) % (n + 1)
+
+		var crashes []proto.Crash
+		tr := pr.Traits()
+		nCrash := int(rawCrash) % k // at most k-1
+		if !tr.Resilient {
+			nCrash = 0
+		}
+		for j := 0; j < nCrash; j++ {
+			crashes = append(crashes, proto.Crash{
+				Proc:       (j*3 + int(seed)%n + n) % n,
+				Phase:      []proto.Phase{proto.PhaseEntry, proto.PhaseCritical, proto.PhaseExit}[j%3],
+				AfterSteps: j,
+			})
+		}
+
+		for _, model := range tr.Models {
+			res := proto.RunProtocol(pr, model, n, k, proto.Config{
+				Acquisitions:  2,
+				MaxContention: c,
+				Sched:         machine.NewRandom(seed),
+				Crashes:       crashes,
+			})
+			for _, v := range res.Violations {
+				t.Fatalf("%s N=%d k=%d c=%d crashes=%d seed=%d: %s",
+					pr.Name(), n, k, c, nCrash, seed, v)
+			}
+			if res.MaxOccupancy > k {
+				t.Fatalf("%s: occupancy %d > k=%d", pr.Name(), res.MaxOccupancy, k)
+			}
+			// Starvation-free resilient protocols must complete even
+			// with the injected crashes; others at least without them.
+			if tr.Resilient && tr.StarvationFree && !res.Completed {
+				t.Fatalf("%s N=%d k=%d c=%d crashes=%d seed=%d: incomplete",
+					pr.Name(), n, k, c, nCrash, seed)
+			}
+		}
+	})
+}
+
+// FuzzBurstSchedules drives the flagship protocols with fuzzed bursty
+// schedules, the shape most likely to expose handoff races.
+func FuzzBurstSchedules(f *testing.F) {
+	f.Add(int64(1), uint8(4))
+	f.Add(int64(77), uint8(15))
+	f.Fuzz(func(t *testing.T, seed int64, rawBurst uint8) {
+		burst := 1 + int(rawBurst%31)
+		for _, pr := range []proto.Protocol{FastPath{}, GracefulDSM{}, Assignment{Excl: FastPath{}}} {
+			res := proto.RunProtocol(pr, pr.Traits().Models[0], 8, 3, proto.Config{
+				Acquisitions: 3,
+				Sched:        machine.NewBurst(seed, burst),
+			})
+			for _, v := range res.Violations {
+				t.Fatalf("%s seed=%d burst=%d: %s", pr.Name(), seed, burst, v)
+			}
+			if !res.Completed {
+				t.Fatalf("%s seed=%d burst=%d: incomplete", pr.Name(), seed, burst)
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package algo
+
+import (
+	"testing"
+
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// TestModelAffectsOnlyAccounting: the CC and DSM memory models classify
+// references differently but must never change behaviour — the same
+// protocol under the same schedule takes exactly the same steps and
+// completes the same acquisitions on both models. This pins the
+// simulator's core design claim (DESIGN.md §5, "Cost model fidelity").
+func TestModelAffectsOnlyAccounting(t *testing.T) {
+	for _, pr := range All() {
+		t.Run(pr.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				runOn := func(model machine.Model) proto.Result {
+					return proto.RunProtocol(pr, model, 6, 2, proto.Config{
+						Acquisitions: 3,
+						Sched:        machine.NewRandom(seed),
+						NCSSteps:     1,
+					})
+				}
+				cc := runOn(machine.CacheCoherent)
+				dsm := runOn(machine.Distributed)
+
+				if cc.Steps != dsm.Steps {
+					t.Fatalf("seed %d: step counts diverge across models: CC=%d DSM=%d",
+						seed, cc.Steps, dsm.Steps)
+				}
+				if cc.Completed != dsm.Completed || len(cc.Records) != len(dsm.Records) {
+					t.Fatalf("seed %d: outcomes diverge: CC(%v,%d) DSM(%v,%d)",
+						seed, cc.Completed, len(cc.Records), dsm.Completed, len(dsm.Records))
+				}
+				if cc.MaxOccupancy != dsm.MaxOccupancy {
+					t.Fatalf("seed %d: occupancy diverges: %d vs %d",
+						seed, cc.MaxOccupancy, dsm.MaxOccupancy)
+				}
+				// Acquisition order and fairness metrics (but not
+				// remote-reference costs) must match exactly.
+				for i := range cc.Records {
+					a, b := cc.Records[i], dsm.Records[i]
+					if a.Proc != b.Proc || a.EntrySteps != b.EntrySteps || a.Bypassed != b.Bypassed {
+						t.Fatalf("seed %d: record %d diverges: %+v vs %+v", seed, i, a, b)
+					}
+				}
+			}
+		})
+	}
+}

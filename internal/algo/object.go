@@ -1,0 +1,247 @@
+package algo
+
+import (
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// This file realizes the paper's §1 methodology on the simulated
+// machine, so the end-to-end cost of an operation on a resilient shared
+// object can be measured in the paper's own metric (remote references):
+// a wait-free k-process universal construction — announce array,
+// helping, compare&swap on a version pointer — executed under an
+// (N,k)-assignment wrapper. The assigned name indexes the announce
+// array, exactly as §1 prescribes ("assigns entering processes unique
+// names from a range of size k to use within that implementation").
+//
+// The object is a counter (each operation adds one); per-name operation
+// sequence numbers make "applied exactly once" checkable from the final
+// memory state.
+//
+// The driver's entry section covers wrapper acquisition PLUS the
+// wait-free operation, and the exit section covers wrapper release, so
+// one AcqRecord = one full object operation.
+
+// objInstance lays out the construction's shared memory:
+//
+//	announce[name]          highest sequence number announced per name
+//	head                    arena index of the current version cell
+//	arenaNext               bump allocator for fresh cells
+//	arena[cell]             cells of 1+k words: state, then seq[0..k-1]
+type objInstance struct {
+	wrapper  proto.Instance
+	announce machine.Addr
+	head     machine.Addr
+	arenaNxt machine.Addr
+	arena    machine.Addr
+	cellSize int
+	cells    int
+	k        int
+}
+
+// ResilientObject is the methodology protocol: Build creates the
+// wait-free core plus the chosen k-assignment wrapper (the paper's
+// fast-path composition by default).
+type ResilientObject struct {
+	// Wrapper supplies the (N,k)-assignment; nil selects
+	// Assignment{Excl: FastPath{}} on CC and the DSM fast path on DSM
+	// at Build time based on n, k.
+	Wrapper proto.Protocol
+}
+
+func (r ResilientObject) wrapperProto() proto.Protocol {
+	if r.Wrapper == nil {
+		return Assignment{Excl: FastPath{}}
+	}
+	return r.Wrapper
+}
+
+func (r ResilientObject) Name() string { return "resilient-counter(" + r.wrapperProto().Name() + ")" }
+
+func (r ResilientObject) Traits() proto.Traits {
+	t := r.wrapperProto().Traits()
+	return proto.Traits{
+		// The composite is a k-assignment user, not itself an
+		// assignment protocol (names are internal).
+		Resilient:      t.Resilient,
+		StarvationFree: t.StarvationFree,
+		Models:         t.Models,
+	}
+}
+
+// Build implements proto.Protocol.
+func (r ResilientObject) Build(m *machine.Mem, n, k int, opt proto.BuildOptions) proto.Instance {
+	acqs := opt.MaxAcquisitions
+	if acqs <= 0 {
+		acqs = 16
+	}
+	// Every operation allocates at most 3 cells (the wait-free loop
+	// runs at most 3 iterations), plus the initial cell.
+	cells := 3*n*acqs + 2
+	inst := &objInstance{
+		wrapper:  r.wrapperProto().Build(m, n, k, opt),
+		announce: m.Alloc(k, machine.HomeShared),
+		head:     m.Alloc1(machine.HomeShared),
+		arenaNxt: m.Alloc1(machine.HomeShared),
+		cellSize: 1 + k,
+		cells:    cells,
+		k:        k,
+	}
+	inst.arena = m.Alloc(cells*inst.cellSize, machine.HomeShared)
+	m.Poke(inst.arenaNxt, 1) // cell 0 is the initial version (all zeros)
+	return inst
+}
+
+func (in *objInstance) K() int { return in.k }
+
+func (in *objInstance) cellAddr(cell int64, word int) machine.Addr {
+	return in.arena + machine.Addr(int(cell)*in.cellSize+word)
+}
+
+func (in *objInstance) NewSession(p int) proto.Session {
+	return &objSession{inst: in, wrap: in.wrapper.NewSession(p), pc: objAcq}
+}
+
+// objSession program counters.
+const (
+	objAcq      = iota // wrapper entry section (k-assignment)
+	objReadSeq         // read announce[name]
+	objAnnounce        // announce[name] := seq+1
+	objReadHead        // h := head
+	objCheck           // if cell h has seq[name] >= myseq: done
+	objBuild           // read state + announces, allocate and fill new cell
+	objCAS             // compare&swap(head, h, new)
+	objInCS
+	objRel // wrapper exit section
+)
+
+type objSession struct {
+	inst  *objInstance
+	wrap  proto.Session
+	pc    int
+	name  int
+	mySeq int64
+	h     int64
+	// build scratch
+	buildStep int
+	newCell   int64
+	state     int64
+	seqs      []int64
+}
+
+func (s *objSession) StepAcquire(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case objAcq:
+		if s.wrap.StepAcquire(m, p) {
+			s.name = s.wrap.AssignedName()
+			if s.name < 0 || s.name >= in.k {
+				panic("resilient object: wrapper did not assign a name")
+			}
+			s.pc = objReadSeq
+		}
+	case objReadSeq:
+		s.mySeq = m.Read(p, in.announce+machine.Addr(s.name)) + 1
+		s.pc = objAnnounce
+	case objAnnounce:
+		m.Write(p, in.announce+machine.Addr(s.name), s.mySeq)
+		s.pc = objReadHead
+	case objReadHead:
+		s.h = m.Read(p, in.head)
+		s.pc = objCheck
+	case objCheck:
+		if m.Read(p, in.cellAddr(s.h, 1+s.name)) >= s.mySeq {
+			// Some helper applied our operation.
+			s.pc = objInCS
+			return true
+		}
+		s.buildStep = 0
+		s.pc = objBuild
+	case objBuild:
+		// One statement per word touched, mirroring the numbered-
+		// statement granularity of the rest of the suite.
+		switch {
+		case s.buildStep == 0: // read current state
+			s.state = m.Read(p, in.cellAddr(s.h, 0))
+			s.seqs = append(s.seqs[:0], make([]int64, in.k)...)
+			s.buildStep++
+		case s.buildStep <= in.k: // read applied seq per name
+			i := s.buildStep - 1
+			s.seqs[i] = m.Read(p, in.cellAddr(s.h, 1+i))
+			s.buildStep++
+		case s.buildStep <= 2*in.k: // read announces, apply pending ops
+			i := s.buildStep - in.k - 1
+			ann := m.Read(p, in.announce+machine.Addr(i))
+			if ann == s.seqs[i]+1 {
+				// Apply name i's pending increment.
+				s.state++
+				s.seqs[i] = ann
+			}
+			s.buildStep++
+		case s.buildStep == 2*in.k+1: // allocate a fresh cell
+			s.newCell = m.FAA(p, in.arenaNxt, 1)
+			if int(s.newCell) >= in.cells {
+				panic("resilient object: cell arena exhausted; raise MaxAcquisitions")
+			}
+			s.buildStep++
+		case s.buildStep == 2*in.k+2: // write new state
+			m.Write(p, in.cellAddr(s.newCell, 0), s.state)
+			s.buildStep++
+		case s.buildStep <= 3*in.k+2: // write applied seqs
+			i := s.buildStep - 2*in.k - 3
+			m.Write(p, in.cellAddr(s.newCell, 1+i), s.seqs[i])
+			s.buildStep++
+			if s.buildStep == 3*in.k+3 {
+				s.pc = objCAS
+			}
+		}
+	case objCAS:
+		m.CAS(p, in.head, s.h, s.newCell)
+		// Success or failure, re-read head: on success our op is in;
+		// on failure someone else advanced and may have helped us.
+		s.pc = objReadHead
+	default:
+		panic("resilient object: StepAcquire called in wrong state")
+	}
+	return false
+}
+
+func (s *objSession) StepRelease(m *machine.Mem, p int) bool {
+	if s.pc != objInCS && s.pc != objRel {
+		panic("resilient object: StepRelease called in wrong state")
+	}
+	s.pc = objRel
+	if s.wrap.StepRelease(m, p) {
+		s.pc = objAcq
+		s.name = -1
+		return true
+	}
+	return false
+}
+
+func (s *objSession) AssignedName() int { return -1 }
+
+func (s *objSession) Clone() proto.Session {
+	c := *s
+	c.wrap = s.wrap.Clone()
+	c.seqs = append([]int64(nil), s.seqs...)
+	return &c
+}
+
+func (s *objSession) Key() string {
+	return proto.KeyJoin(
+		proto.KeyF("obj:%d:%d:%d:%d:%d:%d", s.pc, s.name, s.mySeq, s.h, s.buildStep, s.newCell),
+		s.wrap.Key(),
+	)
+}
+
+// CounterValue reads the object's linearized value from memory after a
+// run (for test assertions).
+func CounterValue(m *machine.Mem, inst proto.Instance) int64 {
+	in, ok := inst.(*objInstance)
+	if !ok {
+		panic("CounterValue: not a resilient object instance")
+	}
+	head := m.Peek(in.head)
+	return m.Peek(in.cellAddr(head, 0))
+}

@@ -1,0 +1,54 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"kexclusion/internal/proto"
+)
+
+// All returns every protocol in the repository, paper algorithms and
+// Table 1 baselines alike, in a stable order.
+func All() []proto.Protocol {
+	return []proto.Protocol{
+		// The paper's algorithms.
+		Inductive{},
+		Tree{},
+		FastPath{},
+		FastPathFAA{},
+		Graceful{},
+		Unbounded{},
+		InductiveDSM{},
+		TreeDSM{},
+		FastPathDSM{},
+		GracefulDSM{},
+		Assignment{Excl: FastPath{}},
+		Assignment{Excl: FastPathDSM{}},
+		ResilientObject{},
+		// Table 1 baselines.
+		Queue{},
+		SpinFAA{},
+		Bakery{},
+		ScanQuad{},
+	}
+}
+
+// ByName looks a protocol up by its Name().
+func ByName(name string) (proto.Protocol, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("algo: unknown protocol %q (have %v)", name, Names())
+}
+
+// Names lists all protocol names, sorted.
+func Names() []string {
+	var names []string
+	for _, p := range All() {
+		names = append(names, p.Name())
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,145 @@
+package algo
+
+import (
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// assignInstance is Figure 7 / §4: long-lived renaming via test&set,
+// layered over any (N,k)-exclusion to produce (N,k)-assignment. After
+// acquiring the k-exclusion, a process test&sets the bits X[0..k-2] in
+// order; the index of the first successful test&set is its name. If all
+// k-1 bits are taken the paper shows the process is alone in reaching
+// the last name, so it takes name k-1 without a bit. Releasing clears
+// the bit (if any) before the k-exclusion exit section. The wrapper adds
+// at most k remote references per acquisition (Theorems 9 and 10).
+type assignInstance struct {
+	excl proto.Instance
+	bits machine.Addr // X[0..k-2]
+	k    int
+}
+
+// NewAssignment wraps an (N,k)-exclusion instance into (N,k)-assignment.
+func NewAssignment(m *machine.Mem, excl proto.Instance) proto.Instance {
+	k := excl.K()
+	inst := &assignInstance{excl: excl, k: k}
+	if k > 1 {
+		inst.bits = m.Alloc(k-1, machine.HomeShared)
+	}
+	return inst
+}
+
+func (in *assignInstance) K() int { return in.k }
+
+func (in *assignInstance) NewSession(p int) proto.Session {
+	return &assignSession{inst: in, excl: in.excl.NewSession(p), name: -1}
+}
+
+const (
+	asAcquire = iota // statement 1: Acquire(N,k)
+	asScan           // statement 2: test&set scan (one bit per step)
+	asInCS
+	asClear   // statement 3: X[name] := false
+	asRelease // statement 4: Release(N,k)
+)
+
+type assignSession struct {
+	inst *assignInstance
+	excl proto.Session
+	pc   int
+	name int
+}
+
+func (s *assignSession) StepAcquire(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case asAcquire:
+		if s.excl.StepAcquire(m, p) {
+			s.pc = asScan
+			s.name = 0
+		}
+	case asScan:
+		if s.name == in.k-1 {
+			// All k-1 bits were set; the paper shows at most one
+			// process reaches this point, so the last name is free.
+			s.pc = asInCS
+			return true
+		}
+		if m.TAS(p, in.bits+machine.Addr(s.name)) {
+			s.pc = asInCS
+			return true
+		}
+		s.name++
+	default:
+		panic("assignment: StepAcquire called in wrong state")
+	}
+	return false
+}
+
+func (s *assignSession) StepRelease(m *machine.Mem, p int) bool {
+	in := s.inst
+	if s.pc == asInCS {
+		// Bookkeeping-only transition out of the critical section;
+		// the same step executes the first real exit statement below.
+		if s.name < in.k-1 {
+			s.pc = asClear
+		} else {
+			s.pc = asRelease
+		}
+	}
+	switch s.pc {
+	case asClear:
+		m.Write(p, in.bits+machine.Addr(s.name), 0)
+		s.pc = asRelease
+	case asRelease:
+		if s.excl.StepRelease(m, p) {
+			s.pc = asAcquire
+			s.name = -1
+			return true
+		}
+	default:
+		panic("assignment: StepRelease called in wrong state")
+	}
+	return false
+}
+
+func (s *assignSession) AssignedName() int {
+	if s.pc == asInCS {
+		return s.name
+	}
+	return -1
+}
+
+func (s *assignSession) Clone() proto.Session {
+	return &assignSession{inst: s.inst, excl: s.excl.Clone(), pc: s.pc, name: s.name}
+}
+
+func (s *assignSession) Key() string {
+	return proto.KeyJoin(proto.KeyF("as:%d:%d", s.pc, s.name), s.excl.Key())
+}
+
+// Assignment is Theorems 9 and 10: (N,k)-assignment built from a chosen
+// k-exclusion protocol plus the Figure 7 renaming wrapper.
+type Assignment struct {
+	// Excl is the underlying k-exclusion protocol (FastPath by default).
+	Excl proto.Protocol
+}
+
+func (a Assignment) excl() proto.Protocol {
+	if a.Excl == nil {
+		return FastPath{}
+	}
+	return a.Excl
+}
+
+func (a Assignment) Name() string { return a.excl().Name() + "+renaming" }
+
+func (a Assignment) Traits() proto.Traits {
+	t := a.excl().Traits()
+	t.Assignment = true
+	return t
+}
+
+func (a Assignment) Build(m *machine.Mem, n, k int, opt proto.BuildOptions) proto.Instance {
+	return NewAssignment(m, a.excl().Build(m, n, k, opt))
+}

@@ -1,0 +1,256 @@
+package algo
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// modelsFor returns the machine models a protocol's complexity claims
+// target; safety must hold on either, so safety tests use these only to
+// pick a representative model.
+func modelsFor(p proto.Protocol) []machine.Model {
+	return p.Traits().Models
+}
+
+func runOnce(t *testing.T, p proto.Protocol, model machine.Model, n, k int, cfg proto.Config) proto.Result {
+	t.Helper()
+	res := proto.RunProtocol(p, model, n, k, cfg)
+	for _, v := range res.Violations {
+		t.Errorf("%s N=%d k=%d %v: %s", p.Name(), n, k, model, v)
+	}
+	return res
+}
+
+// TestSafetyRoundRobin checks the k-exclusion invariant for every
+// protocol under the fair scheduler across several (N,k) shapes.
+func TestSafetyRoundRobin(t *testing.T) {
+	shapes := []struct{ n, k int }{
+		{2, 1}, {3, 1}, {3, 2}, {5, 2}, {8, 3}, {9, 4}, {16, 4},
+	}
+	for _, p := range All() {
+		for _, model := range modelsFor(p) {
+			for _, sh := range shapes {
+				name := fmt.Sprintf("%s/%v/N%dk%d", p.Name(), model, sh.n, sh.k)
+				t.Run(name, func(t *testing.T) {
+					res := runOnce(t, p, model, sh.n, sh.k, proto.Config{
+						Acquisitions: 6,
+					})
+					if !res.Completed {
+						t.Fatalf("run did not complete in %d steps", res.Steps)
+					}
+					if res.MaxOccupancy > sh.k {
+						t.Fatalf("occupancy %d exceeds k=%d", res.MaxOccupancy, sh.k)
+					}
+					if want := sh.n * 6; len(res.Records) != want {
+						t.Fatalf("recorded %d acquisitions, want %d", len(res.Records), want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSafetyRandomSchedules drives every protocol with many seeded random
+// and bursty schedules, asserting the k-exclusion invariant throughout.
+func TestSafetyRandomSchedules(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	shapes := []struct{ n, k int }{{4, 2}, {7, 3}, {12, 4}}
+	for _, p := range All() {
+		for _, model := range modelsFor(p) {
+			for _, sh := range shapes {
+				name := fmt.Sprintf("%s/%v/N%dk%d", p.Name(), model, sh.n, sh.k)
+				t.Run(name, func(t *testing.T) {
+					for seed := 0; seed < seeds; seed++ {
+						var sched machine.Scheduler
+						if seed%2 == 0 {
+							sched = machine.NewRandom(int64(seed))
+						} else {
+							sched = machine.NewBurst(int64(seed), 12)
+						}
+						res := runOnce(t, p, model, sh.n, sh.k, proto.Config{
+							Acquisitions: 4,
+							Sched:        sched,
+							NCSSteps:     seed % 3,
+						})
+						if !res.Completed {
+							t.Fatalf("seed %d: run did not complete", seed)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSafetyUnderCrashes verifies that for the paper's resilient
+// protocols, up to k-1 processes crashing at arbitrary points (including
+// inside their critical sections) never breaks the invariant and never
+// prevents the survivors from completing — the paper's definition of a
+// (k-1)-resilient implementation.
+func TestSafetyUnderCrashes(t *testing.T) {
+	shapes := []struct{ n, k int }{{4, 2}, {6, 3}, {9, 4}}
+	phases := []proto.Phase{proto.PhaseEntry, proto.PhaseCritical, proto.PhaseExit}
+	for _, p := range All() {
+		if !p.Traits().Resilient {
+			continue
+		}
+		for _, model := range modelsFor(p) {
+			for _, sh := range shapes {
+				name := fmt.Sprintf("%s/%v/N%dk%d", p.Name(), model, sh.n, sh.k)
+				t.Run(name, func(t *testing.T) {
+					for seed := 0; seed < 12; seed++ {
+						// Crash k-1 processes at scheduler-dependent points.
+						var crashes []proto.Crash
+						for j := 0; j < sh.k-1; j++ {
+							crashes = append(crashes, proto.Crash{
+								Proc:       (seed + 3*j) % sh.n,
+								Phase:      phases[(seed+j)%len(phases)],
+								AfterSteps: seed % 5,
+							})
+						}
+						res := proto.RunProtocol(p, model, sh.n, sh.k, proto.Config{
+							Acquisitions: 4,
+							Sched:        machine.NewRandom(int64(seed)),
+							Crashes:      crashes,
+						})
+						for _, v := range res.Violations {
+							t.Fatalf("seed %d: %s", seed, v)
+						}
+						if !res.Completed {
+							t.Fatalf("seed %d: survivors did not complete with %d crashes (steps=%d)",
+								seed, len(crashes), res.Steps)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStarvationFreedom asserts the paper's progress property: under a
+// fair scheduler with at most k-1 crashed processes, every live process
+// in its entry section reaches its critical section within a bounded
+// number of its own steps.
+func TestStarvationFreedom(t *testing.T) {
+	for _, p := range All() {
+		tr := p.Traits()
+		if !tr.StarvationFree || !tr.Resilient {
+			continue
+		}
+		for _, model := range modelsFor(p) {
+			n, k := 8, 3
+			t.Run(fmt.Sprintf("%s/%v", p.Name(), model), func(t *testing.T) {
+				var crashes []proto.Crash
+				for j := 0; j < k-1; j++ {
+					crashes = append(crashes, proto.Crash{
+						Proc:       j,
+						Phase:      proto.PhaseCritical,
+						AfterSteps: 0,
+					})
+				}
+				res := proto.RunProtocol(p, model, n, k, proto.Config{
+					Acquisitions: 8,
+					Crashes:      crashes,
+					// Generous but finite: a starved process fails this.
+					EntryStepBound: 200 * n,
+				})
+				for _, v := range res.Violations {
+					t.Fatal(v)
+				}
+				if !res.Completed {
+					t.Fatalf("live processes failed to complete (steps=%d)", res.Steps)
+				}
+			})
+		}
+	}
+}
+
+// TestAssignmentNames checks Figure 7's k-assignment guarantee: names of
+// processes concurrently in their critical sections are distinct and
+// drawn from 0..k-1 (the driver validates at every entry; here we also
+// assert the full name range gets used under full contention).
+func TestAssignmentNames(t *testing.T) {
+	for _, p := range []proto.Protocol{
+		Assignment{Excl: FastPath{}},
+		Assignment{Excl: Inductive{}},
+		Assignment{Excl: FastPathDSM{}},
+	} {
+		model := p.Traits().Models[0]
+		t.Run(p.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 20; seed++ {
+				res := proto.RunProtocol(p, model, 9, 3, proto.Config{
+					Acquisitions: 5,
+					Sched:        machine.NewRandom(seed),
+					CSSteps:      3,
+				})
+				for _, v := range res.Violations {
+					t.Fatal(v)
+				}
+				if !res.Completed {
+					t.Fatal("did not complete")
+				}
+			}
+		})
+	}
+}
+
+// TestQuickRandomConfigs property-tests the flagship protocols over
+// random (n, k, seed, contention) configurations.
+func TestQuickRandomConfigs(t *testing.T) {
+	protocols := []proto.Protocol{FastPath{}, Graceful{}, FastPathDSM{}, GracefulDSM{}}
+	f := func(rawN, rawK uint8, seed int64, rawC uint8) bool {
+		n := 2 + int(rawN%14)
+		k := 1 + int(rawK)%n
+		if k >= n {
+			k = n - 1
+		}
+		if k < 1 {
+			k = 1
+		}
+		c := 1 + int(rawC)%n
+		for _, p := range protocols {
+			res := proto.RunProtocol(p, p.Traits().Models[0], n, k, proto.Config{
+				Acquisitions:  3,
+				MaxContention: c,
+				Sched:         machine.NewRandom(seed),
+			})
+			if len(res.Violations) > 0 || !res.Completed || res.MaxOccupancy > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueBaselineLeaksSlotOnWaiterCrash documents why the paper
+// rejects queue-based k-exclusion (its §3 motivation): a process that
+// crashes while waiting in the queue still consumes the critical-section
+// slot that a releaser hands it, so every waiter crash permanently leaks
+// a slot. With k=1 a single waiter crash therefore deadlocks the system,
+// while the paper's algorithms tolerate k-1 crashes anywhere.
+func TestQueueBaselineLeaksSlotOnWaiterCrash(t *testing.T) {
+	// Proc 1 loses the race for the single slot, enqueues itself, and
+	// crashes while waiting. The next release dequeues the corpse and
+	// hands it the slot, which is never returned: procs 2 and 3
+	// deadlock. (With k=1 the paper's algorithms tolerate zero crashes
+	// too — their advantage, a crash budget of k-1 anywhere including
+	// entry sections, is exercised by TestSafetyUnderCrashes.)
+	res := proto.RunProtocol(Queue{}, machine.CacheCoherent, 4, 1, proto.Config{
+		Acquisitions: 3,
+		Crashes:      []proto.Crash{{Proc: 1, Phase: proto.PhaseEntry, AfterSteps: 2}},
+		StepLimit:    20000,
+	})
+	if res.Completed {
+		t.Fatal("queue baseline unexpectedly survived a waiter crash with k=1")
+	}
+}

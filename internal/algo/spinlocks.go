@@ -1,0 +1,247 @@
+package algo
+
+import (
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// This file implements the mutual-exclusion (k=1) spin locks the paper
+// cites as the performance target for its algorithms when k approaches 1
+// (concluding remarks; references [2] and [12]): the MCS queue lock and
+// the ticket lock. They are NOT k-exclusion algorithms — a crashed
+// holder or waiter wedges them — but they calibrate the k=1 corner of
+// the evaluation: how close the resilient algorithms come to the fastest
+// known non-resilient locks.
+
+// mcsNil encodes a nil queue-node pointer (node ids are pid+1).
+const mcsNil = 0
+
+// mcsInstance is the Mellor-Crummey & Scott queue lock: a tail pointer
+// swapped with fetch&store, per-process queue nodes (locked flag and
+// next pointer) in each process's own memory module, and purely local
+// spinning — O(1) remote references per acquisition on both models.
+type mcsInstance struct {
+	tail machine.Addr
+	// node p occupies two words at nodes + 2p: locked, next.
+	nodes machine.Addr
+}
+
+func newMCS(m *machine.Mem, n int) *mcsInstance {
+	inst := &mcsInstance{tail: m.Alloc1(machine.HomeShared)}
+	for p := 0; p < n; p++ {
+		base := m.Alloc(2, p)
+		if p == 0 {
+			inst.nodes = base
+		}
+	}
+	return inst
+}
+
+func (in *mcsInstance) lockedAddr(p int) machine.Addr { return in.nodes + machine.Addr(2*p) }
+func (in *mcsInstance) nextAddr(p int) machine.Addr   { return in.nodes + machine.Addr(2*p+1) }
+
+func (in *mcsInstance) K() int { return 1 }
+
+func (in *mcsInstance) NewSession(p int) proto.Session {
+	return &mcsSession{inst: in}
+}
+
+const (
+	mcsInit = iota // next[p] := nil
+	mcsSwap        // pred := fetch&store(tail, p)
+	mcsLink        // locked[p] := true; next[pred] := p
+	mcsSpin        // while locked[p] (local spin)
+	mcsInCS
+	mcsCheckNext // if next[p] = nil try CAS(tail, p, nil)
+	mcsWaitNext  // spin until next[p] != nil
+	mcsHandoff   // locked[next[p]] := false
+)
+
+type mcsSession struct {
+	inst *mcsInstance
+	pc   int
+	pred int64
+}
+
+func (s *mcsSession) StepAcquire(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case mcsInit:
+		m.Write(p, in.nextAddr(p), mcsNil) // local
+		s.pc = mcsSwap
+	case mcsSwap:
+		s.pred = m.Swap(p, in.tail, int64(p)+1)
+		if s.pred == mcsNil {
+			s.pc = mcsInCS
+			return true
+		}
+		s.pc = mcsLink
+	case mcsLink:
+		// Two writes modelled as two statements would be more
+		// faithful; MCS's published cost counts them both, so split:
+		// first arm the local flag, then link (the link is the remote
+		// reference).
+		m.Write(p, in.lockedAddr(p), 1) // local
+		m.Write(p, in.nextAddr(int(s.pred)-1), int64(p)+1)
+		s.pc = mcsSpin
+	case mcsSpin:
+		if m.Read(p, in.lockedAddr(p)) == 0 { // local spin
+			s.pc = mcsInCS
+			return true
+		}
+	default:
+		panic("mcs: StepAcquire called in wrong state")
+	}
+	return false
+}
+
+func (s *mcsSession) StepRelease(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case mcsInCS, mcsCheckNext:
+		if m.Read(p, in.nextAddr(p)) == mcsNil { // local
+			if m.CAS(p, in.tail, int64(p)+1, mcsNil) {
+				s.pc = mcsInit
+				return true
+			}
+			// A successor is linking itself; wait for the link.
+			s.pc = mcsWaitNext
+		} else {
+			s.pc = mcsHandoff
+		}
+	case mcsWaitNext:
+		if m.Read(p, in.nextAddr(p)) != mcsNil { // local spin
+			s.pc = mcsHandoff
+		}
+	case mcsHandoff:
+		next := m.Read(p, in.nextAddr(p))
+		m.Write(p, in.lockedAddr(int(next)-1), 0)
+		s.pc = mcsInit
+		return true
+	default:
+		panic("mcs: StepRelease called in wrong state")
+	}
+	return false
+}
+
+func (s *mcsSession) AssignedName() int { return -1 }
+
+func (s *mcsSession) Clone() proto.Session {
+	c := *s
+	return &c
+}
+
+func (s *mcsSession) Key() string { return proto.KeyF("mcs:%d:%d", s.pc, s.pred) }
+
+// MCS is the queue lock of Mellor-Crummey and Scott (the paper's [12]),
+// k=1 only.
+type MCS struct{}
+
+func (MCS) Name() string { return "mcs" }
+
+func (MCS) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      false, // a crashed holder or waiter wedges the queue
+		StarvationFree: true,  // FIFO, absent failures
+		Models:         []machine.Model{machine.CacheCoherent, machine.Distributed},
+	}
+}
+
+// Build implements proto.Protocol; k must be 1.
+func (MCS) Build(m *machine.Mem, n, k int, _ proto.BuildOptions) proto.Instance {
+	if k != 1 {
+		panic("mcs: mutual exclusion only (k=1)")
+	}
+	return newMCS(m, n)
+}
+
+// ticketInstance is the classic ticket lock: fetch&increment a ticket
+// dispenser, spin until the grant counter reaches your ticket. FIFO and
+// O(1) uncontended, but all waiters spin on the one grant word, so on
+// cache-coherent machines every release invalidates every waiter
+// (O(c) per acquisition) and on DSM the spin is fully remote.
+type ticketInstance struct {
+	next, owner machine.Addr
+}
+
+func (in *ticketInstance) K() int { return 1 }
+
+func (in *ticketInstance) NewSession(p int) proto.Session {
+	return &ticketSession{inst: in}
+}
+
+const (
+	tkTake = iota // t := fetch&increment(next)
+	tkSpin        // while owner != t
+	tkInCS
+)
+
+type ticketSession struct {
+	inst   *ticketInstance
+	pc     int
+	ticket int64
+}
+
+func (s *ticketSession) StepAcquire(m *machine.Mem, p int) bool {
+	in := s.inst
+	switch s.pc {
+	case tkTake:
+		s.ticket = m.FAA(p, in.next, 1)
+		s.pc = tkSpin
+		return false
+	case tkSpin:
+		if m.Read(p, in.owner) == s.ticket {
+			s.pc = tkInCS
+			return true
+		}
+		return false
+	default:
+		panic("ticket: StepAcquire called in wrong state")
+	}
+}
+
+func (s *ticketSession) StepRelease(m *machine.Mem, p int) bool {
+	if s.pc != tkInCS {
+		panic("ticket: StepRelease called in wrong state")
+	}
+	m.FAA(p, s.inst.owner, 1)
+	s.pc = tkTake
+	return true
+}
+
+func (s *ticketSession) AssignedName() int { return -1 }
+
+func (s *ticketSession) Clone() proto.Session {
+	c := *s
+	return &c
+}
+
+func (s *ticketSession) Key() string { return proto.KeyF("tk:%d:%d", s.pc, s.ticket) }
+
+// Ticket is the ticket lock (in the family surveyed by the paper's [2]),
+// k=1 only.
+type Ticket struct{}
+
+func (Ticket) Name() string { return "ticket" }
+
+func (Ticket) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      false,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.CacheCoherent, machine.Distributed},
+	}
+}
+
+// Build implements proto.Protocol; k must be 1.
+func (Ticket) Build(m *machine.Mem, n, k int, _ proto.BuildOptions) proto.Instance {
+	if k != 1 {
+		panic("ticket: mutual exclusion only (k=1)")
+	}
+	return &ticketInstance{next: m.Alloc1(machine.HomeShared), owner: m.Alloc1(machine.HomeShared)}
+}
+
+// SpinLocks returns the k=1 comparator locks (kept out of All() because
+// they only implement mutual exclusion).
+func SpinLocks() []proto.Protocol {
+	return []proto.Protocol{MCS{}, Ticket{}}
+}

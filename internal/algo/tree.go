@@ -1,0 +1,137 @@
+package algo
+
+import (
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// BlockFactory builds a (2k,k)-exclusion building block. The paper uses
+// the Theorem 1 chain on cache-coherent machines (BlockCC) and the
+// Theorem 5 chain on distributed shared-memory machines (BlockDSM).
+type BlockFactory func(m *machine.Mem, k int, opt proto.BuildOptions) proto.Instance
+
+// treeInstance is the arbitration tree of Figure 3(a): processes are
+// partitioned into ceil(N/k) leaf groups of at most k, and every internal
+// node of a binary tree over the groups is a (2k,k)-exclusion block. A
+// process acquires the blocks on its leaf-to-root path in order; each
+// level halves the number of admitted processes until at most k reach the
+// root's critical section. Depth is ceil(log2(ceil(N/k))) levels, giving
+// Theorem 2's 7k*ceil(log2(N/k)) (CC) and Theorem 6's 14k*... (DSM).
+type treeInstance struct {
+	k int
+	// path[g] lists, leaf-to-root, the blocks a process in leaf group g
+	// acquires.
+	path [][]proto.Instance
+}
+
+func newTree(m *machine.Mem, n, k int, block BlockFactory, opt proto.BuildOptions) proto.Instance {
+	groups := (n + k - 1) / k
+	if groups <= 1 {
+		return proto.Trivial(k)
+	}
+	paths := make([][]proto.Instance, groups)
+	buildSubtree(m, k, block, opt, paths, 0, groups)
+	inst := &treeInstance{k: k, path: make([][]proto.Instance, groups)}
+	for g := range paths {
+		// buildSubtree appends root-last at each recursion level in
+		// leaf-to-root order already.
+		inst.path[g] = paths[g]
+	}
+	return inst
+}
+
+// buildSubtree constructs the arbitration tree over leaf groups
+// [lo, hi) and appends each subtree's root block to the path of every
+// group it covers. Recursion is top-down but blocks are appended
+// post-order, so each group's path ends up ordered leaf-to-root.
+func buildSubtree(m *machine.Mem, k int, block BlockFactory, opt proto.BuildOptions, paths [][]proto.Instance, lo, hi int) {
+	if hi-lo <= 1 {
+		return
+	}
+	mid := lo + (hi-lo+1)/2
+	buildSubtree(m, k, block, opt, paths, lo, mid)
+	buildSubtree(m, k, block, opt, paths, mid, hi)
+	node := block(m, k, opt)
+	for g := lo; g < hi; g++ {
+		paths[g] = append(paths[g], node)
+	}
+}
+
+func (t *treeInstance) K() int { return t.k }
+
+func (t *treeInstance) NewSession(p int) proto.Session {
+	g := p / t.k % len(t.path)
+	blocks := t.path[g]
+	s := &treeSession{sessions: make([]proto.Session, len(blocks))}
+	for i, b := range blocks {
+		s.sessions[i] = b.NewSession(p)
+	}
+	return s
+}
+
+type treeSession struct {
+	sessions []proto.Session // leaf-to-root
+	level    int             // next level to acquire / release progress
+}
+
+func (s *treeSession) StepAcquire(m *machine.Mem, p int) bool {
+	if s.sessions[s.level].StepAcquire(m, p) {
+		s.level++
+		if s.level == len(s.sessions) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *treeSession) StepRelease(m *machine.Mem, p int) bool {
+	// Release root-first (reverse acquisition order), unwinding the
+	// path so lower levels admit successors only after the root slot
+	// is free.
+	if s.sessions[s.level-1].StepRelease(m, p) {
+		s.level--
+		if s.level == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *treeSession) AssignedName() int { return -1 }
+
+func (s *treeSession) Clone() proto.Session {
+	c := &treeSession{sessions: make([]proto.Session, len(s.sessions)), level: s.level}
+	for i, ss := range s.sessions {
+		c.sessions[i] = ss.Clone()
+	}
+	return c
+}
+
+func (s *treeSession) Key() string {
+	parts := make([]string, 0, len(s.sessions)+1)
+	parts = append(parts, proto.KeyF("tr:%d", s.level))
+	for _, ss := range s.sessions {
+		parts = append(parts, ss.Key())
+	}
+	return proto.KeyJoin(parts...)
+}
+
+// Tree is Theorem 2: cache-coherent (N,k)-exclusion via an arbitration
+// tree of (2k,k) building blocks, complexity 7k*ceil(log2(N/k)).
+type Tree struct{}
+
+func (Tree) Name() string { return "cc-tree" }
+
+func (Tree) Traits() proto.Traits {
+	return proto.Traits{
+		Resilient:      true,
+		StarvationFree: true,
+		Models:         []machine.Model{machine.CacheCoherent},
+	}
+}
+
+func (Tree) Build(m *machine.Mem, n, k int, opt proto.BuildOptions) proto.Instance {
+	return newTree(m, n, k, func(m *machine.Mem, k int, _ proto.BuildOptions) proto.Instance {
+		return BlockCC(m, k)
+	}, opt)
+}

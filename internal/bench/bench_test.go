@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"kexclusion/internal/algo"
+	"kexclusion/internal/machine"
+)
+
+func TestMeasureBasics(t *testing.T) {
+	m := Measure(algo.FastPath{}, machine.CacheCoherent, 8, 2, 2, Options{Seeds: 2})
+	if m.Max == 0 || m.Mean == 0 || m.Runs != 6 {
+		t.Fatalf("unexpected measurement %+v", m)
+	}
+	if m.Max > uint64(7*2+2) {
+		t.Fatalf("fast path low-contention max %d exceeds 7k+2", m.Max)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(8, 2, Options{Seeds: 1, Acquisitions: 2})
+	if len(rows) < 15 {
+		t.Fatalf("Table 1 has %d rows, expected at least 15", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Algorithm+"/"+r.Model] = true
+		if r.Low.Max == 0 && r.Algorithm != "trivial" {
+			t.Errorf("row %s/%s measured no cost", r.Algorithm, r.Model)
+		}
+	}
+	for _, want := range []string{"cc-fastpath/CC", "dsm-fastpath/DSM", "fig1-queue/CC", "bakery/DSM"} {
+		if !seen[want] {
+			t.Errorf("Table 1 missing row %s", want)
+		}
+	}
+	out := FormatTable1(rows, 8, 2)
+	if !strings.Contains(out, "cc-fastpath") || !strings.Contains(out, "Thm. 3") {
+		t.Fatalf("formatted table missing expected content:\n%s", out)
+	}
+}
+
+func TestTheoremSweepsWithinBounds(t *testing.T) {
+	opt := Options{Seeds: 2, Acquisitions: 3}
+	for _, num := range []int{1, 2, 5, 6} {
+		s := TheoremNSweep(num, 2, []int{4, 8, 16}, opt)
+		if !s.Ok() {
+			t.Errorf("theorem %d exceeded bound:\n%s", num, s.Format())
+		}
+	}
+	for _, num := range []int{3, 4, 7, 8, 9, 10} {
+		s := TheoremContentionSweep(num, 12, 3, []int{1, 3, 6, 12}, opt)
+		if !s.Ok() {
+			t.Errorf("theorem %d exceeded bound:\n%s", num, s.Format())
+		}
+	}
+}
+
+func TestFig3bSweepShapes(t *testing.T) {
+	opt := Options{Seeds: 2, Acquisitions: 3}
+	series := Fig3bSweep(machine.CacheCoherent, 16, 2, []int{2, 16}, opt)
+	if len(series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(series))
+	}
+	// The fast path must be cheaper than the plain tree at low
+	// contention, and the graceful variant must degrade between the
+	// fast path's two regimes.
+	var tree, fast, graceful Series
+	for _, s := range series {
+		switch {
+		case strings.Contains(s.Title, "cc-tree"):
+			tree = s
+		case strings.Contains(s.Title, "cc-fastpath"):
+			fast = s
+		case strings.Contains(s.Title, "cc-graceful"):
+			graceful = s
+		}
+	}
+	if fast.Points[0].Max >= tree.Points[0].Max {
+		t.Errorf("fast path at low contention (%d) should beat the tree (%d)",
+			fast.Points[0].Max, tree.Points[0].Max)
+	}
+	if graceful.Points[1].Max <= graceful.Points[0].Max {
+		t.Errorf("graceful degradation should cost more at high contention (low=%d high=%d)",
+			graceful.Points[0].Max, graceful.Points[1].Max)
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	if m, err := ModelByName("cc"); err != nil || m != machine.CacheCoherent {
+		t.Fatal("cc parse failed")
+	}
+	if m, err := ModelByName("DSM"); err != nil || m != machine.Distributed {
+		t.Fatal("dsm parse failed")
+	}
+	if _, err := ModelByName("numa"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Log2Ceil(16, 4) != 2 || Log2Ceil(17, 4) != 3 || Log2Ceil(4, 4) != 0 {
+		t.Fatal("Log2Ceil wrong")
+	}
+	if CeilDiv(5, 2) != 3 || CeilDiv(4, 2) != 2 {
+		t.Fatal("CeilDiv wrong")
+	}
+}

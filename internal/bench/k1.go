@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"kexclusion/internal/algo"
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// ResilientObjectSweep measures the §1 methodology protocol (wait-free
+// counter under the Theorem 9 wrapper) across contention levels.
+func ResilientObjectSweep(n, k int, opt Options) Series {
+	s := Series{
+		Title:  fmt.Sprintf("§1 resilient counter over Thm. 9 wrapper, N=%d k=%d (remote refs per operation)", n, k),
+		XLabel: "contention",
+	}
+	pr := algo.ResilientObject{}
+	for _, c := range []int{1, k, 2 * k, n} {
+		m := Measure(pr, machine.CacheCoherent, n, k, c, opt)
+		s.Points = append(s.Points, Point{X: c, Max: m.Max, Mean: m.Mean})
+	}
+	return s
+}
+
+// K1Comparison is the concluding-remarks experiment: at k=1, how close
+// do the paper's resilient algorithms come to the fastest (but
+// non-resilient) spin locks — MCS and the ticket lock? Measured on both
+// machine models at low and full contention.
+func K1Comparison(n int, opt Options) string {
+	type row struct {
+		pr        proto.Protocol
+		model     machine.Model
+		resilient bool
+	}
+	rows := []row{
+		{algo.MCS{}, machine.CacheCoherent, false},
+		{algo.MCS{}, machine.Distributed, false},
+		{algo.Ticket{}, machine.CacheCoherent, false},
+		{algo.Ticket{}, machine.Distributed, false},
+		{algo.FastPath{}, machine.CacheCoherent, true},
+		{algo.Graceful{}, machine.CacheCoherent, true},
+		{algo.FastPathDSM{}, machine.Distributed, true},
+		{algo.GracefulDSM{}, machine.Distributed, true},
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=1 comparison (concluding remarks), N=%d: remote refs per acquisition\n", n)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "lock\tmodel\tcontention=1 max(mean)\tcontention=N max(mean)\tcrash-tolerant")
+	for _, r := range rows {
+		low := Measure(r.pr, r.model, n, 1, 1, opt)
+		high := Measure(r.pr, r.model, n, 1, 0, opt)
+		fmt.Fprintf(w, "%s\t%s\t%d (%.1f)\t%d (%.1f)\t%v\n",
+			r.pr.Name(), r.model, low.Max, low.Mean, high.Max, high.Mean, r.resilient)
+	}
+	w.Flush()
+	return b.String()
+}

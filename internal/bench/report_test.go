@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	var b strings.Builder
+	err := WriteReport(&b, ReportConfig{
+		N: 8, K: 2,
+		Options:        Options{Seeds: 1, Acquisitions: 2},
+		SkipSlowChecks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Experiments",
+		"## Table 1",
+		"Theorem 1:",
+		"Theorem 10:",
+		"## Figure 3",
+		"k=1 comparison",
+		"exhaustively verified",
+		"lockout-free",
+		"LOCKOUT (expected",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// No theorem sweep may exceed its bound.
+	if strings.Contains(out, "\tfalse\n") {
+		t.Error("a theorem sweep exceeded its bound in the report")
+	}
+}
+
+func TestWriteReportDefaults(t *testing.T) {
+	// Zero config gets defaults; use a tiny option set so the test
+	// stays fast, but verify N/K defaulting via the header line.
+	var b strings.Builder
+	err := WriteReport(&b, ReportConfig{
+		Options:        Options{Seeds: 1, Acquisitions: 2},
+		SkipSlowChecks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "N=32, k=4") {
+		t.Error("default configuration not applied")
+	}
+}
+
+func TestK1ComparisonContent(t *testing.T) {
+	out := K1Comparison(8, Options{Seeds: 1, Acquisitions: 2})
+	for _, want := range []string{"mcs", "ticket", "cc-fastpath", "dsm-graceful", "crash-tolerant"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("k1 comparison missing %q", want)
+		}
+	}
+}
+
+func TestAllTheoremsFormat(t *testing.T) {
+	out := AllTheorems(Options{Seeds: 1, Acquisitions: 2})
+	for num := 1; num <= 10; num++ {
+		if !strings.Contains(out, "Theorem "+string(rune('0'+num%10))) && num != 10 {
+			t.Errorf("missing theorem %d", num)
+		}
+	}
+	if !strings.Contains(out, "Theorem 10") {
+		t.Error("missing theorem 10")
+	}
+	if strings.Contains(out, "\tfalse\n") {
+		t.Error("a theorem exceeded its bound")
+	}
+}
+
+func TestSeriesFormatAndOk(t *testing.T) {
+	s := Series{
+		Title:  "test series",
+		XLabel: "N",
+		Points: []Point{{X: 4, Max: 10, Mean: 8.5, Bound: 12}},
+	}
+	if !s.Ok() {
+		t.Fatal("series within bound must be Ok")
+	}
+	out := s.Format()
+	if !strings.Contains(out, "test series") || !strings.Contains(out, "8.5") {
+		t.Fatalf("format wrong:\n%s", out)
+	}
+	s.Points = append(s.Points, Point{X: 8, Max: 20, Bound: 12})
+	if s.Ok() {
+		t.Fatal("series exceeding bound must not be Ok")
+	}
+}
+
+func TestLookupUnknownTheorem(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown theorem")
+		}
+	}()
+	lookup(42)
+}

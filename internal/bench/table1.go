@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"kexclusion/internal/algo"
+	"kexclusion/internal/machine"
+)
+
+// Table1Row is one row of the reproduced Table 1: a k-exclusion
+// algorithm's measured remote references per acquisition with contention
+// at most k ("w/o contention" in the paper's sense) and at full
+// contention N, on its target machine model(s).
+type Table1Row struct {
+	Algorithm  string
+	Model      string
+	Primitives string
+	PaperRow   string
+	Low        Measurement
+	High       Measurement
+	Resilient  bool
+}
+
+// primitives documents the "Instructions Used" column of Table 1.
+var primitives = map[string]string{
+	"fig1-queue":            "large atomic sections",
+	"spinfaa":               "fetch&add",
+	"bakery":                "read/write",
+	"scanquad":              "read/write",
+	"cc-inductive":          "read, write, fetch&inc",
+	"cc-tree":               "read, write, fetch&inc",
+	"cc-fastpath":           "read, write, fetch&inc",
+	"cc-fastpath-faa":       "read, write, fetch&inc",
+	"cc-graceful":           "read, write, fetch&inc",
+	"dsm-unbounded":         "above + compare&swap",
+	"dsm-inductive":         "above + compare&swap",
+	"dsm-tree":              "above + compare&swap",
+	"dsm-fastpath":          "above + compare&swap",
+	"dsm-graceful":          "above + compare&swap",
+	"cc-fastpath+renaming":  "above + test&set",
+	"dsm-fastpath+renaming": "above + test&set",
+	"resilient-counter(cc-fastpath+renaming)": "above + test&set",
+}
+
+// paperRows maps our protocols to the Table 1 row they reproduce.
+var paperRows = map[string]string{
+	"fig1-queue":            "[9],[10] (Fig. 1)",
+	"spinfaa":               "(folklore)",
+	"bakery":                "[1] stand-in",
+	"scanquad":              "[8] stand-in",
+	"cc-inductive":          "Thm. 1",
+	"cc-tree":               "Thm. 2",
+	"cc-fastpath":           "Thm. 3",
+	"cc-fastpath-faa":       "Thm. 3 (fn. 2)",
+	"cc-graceful":           "Thm. 4",
+	"dsm-unbounded":         "Fig. 5",
+	"dsm-inductive":         "Thm. 5",
+	"dsm-tree":              "Thm. 6",
+	"dsm-fastpath":          "Thm. 7",
+	"dsm-graceful":          "Thm. 8",
+	"cc-fastpath+renaming":  "Thm. 9",
+	"dsm-fastpath+renaming": "Thm. 10",
+	"resilient-counter(cc-fastpath+renaming)": "§1 methodology",
+}
+
+// Table1 measures every registered protocol at (n,k), with contention k
+// (the "without contention" column: the fast-path threshold) and at full
+// contention.
+func Table1(n, k int, opt Options) []Table1Row {
+	var rows []Table1Row
+	for _, pr := range algo.All() {
+		for _, model := range pr.Traits().Models {
+			rows = append(rows, Table1Row{
+				Algorithm:  pr.Name(),
+				Model:      model.String(),
+				Primitives: primitives[pr.Name()],
+				PaperRow:   paperRows[pr.Name()],
+				Low:        Measure(pr, model, n, k, k, opt),
+				High:       Measure(pr, model, n, k, 0, opt),
+				Resilient:  pr.Traits().Resilient,
+			})
+		}
+	}
+	return rows
+}
+
+// FormatTable1 renders rows as the reproduced Table 1.
+func FormatTable1(rows []Table1Row, n, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 (reproduced): remote references per acquisition, N=%d k=%d\n", n, k)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tmodel\tpaper row\tcontention<=k max(mean)\tcontention=N max(mean)\tresilient\tprimitives")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d (%.1f)\t%d (%.1f)\t%v\t%s\n",
+			r.Algorithm, r.Model, r.PaperRow,
+			r.Low.Max, r.Low.Mean, r.High.Max, r.High.Mean,
+			r.Resilient, r.Primitives)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ModelByName parses "cc" or "dsm".
+func ModelByName(s string) (machine.Model, error) {
+	switch strings.ToLower(s) {
+	case "cc":
+		return machine.CacheCoherent, nil
+	case "dsm":
+		return machine.Distributed, nil
+	default:
+		return 0, fmt.Errorf("bench: unknown model %q (want cc or dsm)", s)
+	}
+}

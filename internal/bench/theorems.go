@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"kexclusion/internal/algo"
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// Point is one measured point of a theorem series, with the paper's
+// bound at the same coordinates.
+type Point struct {
+	X     int
+	Max   uint64
+	Mean  float64
+	Bound int
+}
+
+// Series is one theorem's measured curve.
+type Series struct {
+	Title  string
+	XLabel string
+	Points []Point
+}
+
+// Ok reports whether every measured maximum respects the paper's bound.
+// Points with no bound (Bound == 0, e.g. descriptive sweeps) are skipped.
+func (s Series) Ok() bool {
+	for _, p := range s.Points {
+		if p.Bound > 0 && p.Max > uint64(p.Bound) {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the series as an aligned table. Points without a bound
+// render a dash in the bound columns.
+func (s Series) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, s.Title)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\tmeasured max\tmeasured mean\tpaper bound\twithin\n", s.XLabel)
+	for _, p := range s.Points {
+		if p.Bound > 0 {
+			fmt.Fprintf(w, "%d\t%d\t%.1f\t%d\t%v\n", p.X, p.Max, p.Mean, p.Bound, p.Max <= uint64(p.Bound))
+		} else {
+			fmt.Fprintf(w, "%d\t%d\t%.1f\t-\t-\n", p.X, p.Max, p.Mean)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// theoremSpec describes one theorem's protocol, model and bound.
+type theoremSpec struct {
+	num   int
+	pr    proto.Protocol
+	model machine.Model
+	// bound computes the paper's bound for (n, k, contention c).
+	bound func(n, k, c int) int
+}
+
+func specs() []theoremSpec {
+	return []theoremSpec{
+		{1, algo.Inductive{}, machine.CacheCoherent,
+			func(n, k, _ int) int { return 7 * (n - k) }},
+		{2, algo.Tree{}, machine.CacheCoherent,
+			func(n, k, _ int) int { return 7 * k * Log2Ceil(n, k) }},
+		{3, algo.FastPath{}, machine.CacheCoherent,
+			func(n, k, c int) int {
+				if c > 0 && c <= k {
+					return 7*k + 2
+				}
+				return 7*k*(Log2Ceil(n, k)+1) + 2
+			}},
+		{4, algo.Graceful{}, machine.CacheCoherent,
+			func(n, k, c int) int {
+				if c <= 0 {
+					c = n
+				}
+				return CeilDiv(c, k) * (7*k + 2)
+			}},
+		{5, algo.InductiveDSM{}, machine.Distributed,
+			func(n, k, _ int) int { return 14 * (n - k) }},
+		{6, algo.TreeDSM{}, machine.Distributed,
+			func(n, k, _ int) int { return 14 * k * Log2Ceil(n, k) }},
+		{7, algo.FastPathDSM{}, machine.Distributed,
+			func(n, k, c int) int {
+				if c > 0 && c <= k {
+					return 14*k + 2
+				}
+				return 14*k*(Log2Ceil(n, k)+1) + 2
+			}},
+		{8, algo.GracefulDSM{}, machine.Distributed,
+			func(n, k, c int) int {
+				if c <= 0 {
+					c = n
+				}
+				return CeilDiv(c, k) * (14*k + 2)
+			}},
+		{9, algo.Assignment{Excl: algo.FastPath{}}, machine.CacheCoherent,
+			func(n, k, c int) int {
+				if c > 0 && c <= k {
+					return 7*k + 2 + k
+				}
+				return 7*k*(Log2Ceil(n, k)+1) + 2 + k
+			}},
+		{10, algo.Assignment{Excl: algo.FastPathDSM{}}, machine.Distributed,
+			func(n, k, c int) int {
+				if c > 0 && c <= k {
+					return 14*k + 2 + k
+				}
+				return 14*k*(Log2Ceil(n, k)+1) + 2 + k
+			}},
+	}
+}
+
+// TheoremNSweep measures a theorem's cost as N grows at fixed k, at full
+// contention (the regime the N-dependent bounds describe).
+func TheoremNSweep(num, k int, ns []int, opt Options) Series {
+	sp := lookup(num)
+	s := Series{
+		Title:  fmt.Sprintf("Theorem %d: %s on %s, k=%d, full contention", num, sp.pr.Name(), sp.model, k),
+		XLabel: "N",
+	}
+	for _, n := range ns {
+		m := Measure(sp.pr, sp.model, n, k, 0, opt)
+		s.Points = append(s.Points, Point{X: n, Max: m.Max, Mean: m.Mean, Bound: sp.bound(n, k, 0)})
+	}
+	return s
+}
+
+// TheoremContentionSweep measures a theorem's cost as contention grows at
+// fixed (N,k) — the regime distinguishing the fast-path theorems (3, 7)
+// from the graceful-degradation theorems (4, 8).
+func TheoremContentionSweep(num, n, k int, cs []int, opt Options) Series {
+	sp := lookup(num)
+	s := Series{
+		Title:  fmt.Sprintf("Theorem %d: %s on %s, N=%d k=%d, contention sweep", num, sp.pr.Name(), sp.model, n, k),
+		XLabel: "contention",
+	}
+	for _, c := range cs {
+		m := Measure(sp.pr, sp.model, n, k, c, opt)
+		s.Points = append(s.Points, Point{X: c, Max: m.Max, Mean: m.Mean, Bound: sp.bound(n, k, c)})
+	}
+	return s
+}
+
+// Fig3bSweep reproduces the Figure 3 comparison: at fixed (N,k), how the
+// tree (a), tree-slow-path fast path, and nested fast paths (b) behave
+// as contention rises. The fast path steps up once contention passes k;
+// the nested version degrades in increments of roughly one level per k
+// of contention.
+func Fig3bSweep(model machine.Model, n, k int, cs []int, opt Options) []Series {
+	var prs []proto.Protocol
+	switch model {
+	case machine.CacheCoherent:
+		prs = []proto.Protocol{algo.Tree{}, algo.FastPath{}, algo.Graceful{}}
+	default:
+		prs = []proto.Protocol{algo.TreeDSM{}, algo.FastPathDSM{}, algo.GracefulDSM{}}
+	}
+	var out []Series
+	for _, pr := range prs {
+		s := Series{
+			Title:  fmt.Sprintf("Fig. 3 sweep: %s on %s, N=%d k=%d", pr.Name(), model, n, k),
+			XLabel: "contention",
+		}
+		for _, c := range cs {
+			m := Measure(pr, model, n, k, c, opt)
+			s.Points = append(s.Points, Point{X: c, Max: m.Max, Mean: m.Mean, Bound: 0})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// AllTheorems runs the canonical sweep for every theorem and returns the
+// formatted report.
+func AllTheorems(opt Options) string {
+	var b strings.Builder
+	ns := []int{4, 8, 16, 32}
+	for _, num := range []int{1, 5} {
+		s := TheoremNSweep(num, 2, ns, opt)
+		b.WriteString(s.Format())
+		b.WriteByte('\n')
+	}
+	for _, num := range []int{2, 6} {
+		s := TheoremNSweep(num, 4, []int{8, 16, 32, 64}, opt)
+		b.WriteString(s.Format())
+		b.WriteByte('\n')
+	}
+	for _, num := range []int{3, 4, 7, 8, 9, 10} {
+		s := TheoremContentionSweep(num, 16, 4, []int{1, 2, 4, 8, 12, 16}, opt)
+		b.WriteString(s.Format())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(num int) theoremSpec {
+	for _, sp := range specs() {
+		if sp.num == num {
+			return sp
+		}
+	}
+	panic(fmt.Sprintf("bench: no theorem %d", num))
+}

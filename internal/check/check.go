@@ -1,0 +1,244 @@
+// Package check is an explicit-state model checker for the protocols in
+// internal/algo. It exhaustively enumerates every interleaving of the
+// numbered atomic statements for small (N,k) configurations — including
+// up to k-1 crash transitions at arbitrary points — and verifies the
+// paper's safety properties: at most k processes in their critical
+// sections, k-assignment name uniqueness, and absence of wedged states
+// (true deadlocks where no step can ever change the state again).
+//
+// This mechanizes, for finite configurations, the invariant-based proofs
+// the extended abstract sketches (its (I1)-(I10) and Lemmas 1-2).
+package check
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// Phase mirrors the process cycle of the simulation driver, but with the
+// critical and exit sections folded together (dwell time in the critical
+// section adds no states: memory only changes when a statement runs).
+type phase int8
+
+const (
+	phNoncrit phase = iota
+	phEntry
+	phCritical
+	phExit
+)
+
+// Config parameterizes one model-checking run.
+type Config struct {
+	N, K int
+
+	// Model picks the memory model; behaviour (and therefore the state
+	// graph) is identical under both, so this only affects layout.
+	Model machine.Model
+
+	// MaxCrashes is the number of crash transitions to explore
+	// (crashes are only modelled outside the noncritical section, per
+	// the paper's failure model). Use K-1 to verify the paper's
+	// resiliency claim.
+	MaxCrashes int
+
+	// MaxStates truncates exploration as a safety net. Zero means
+	// 4,000,000 states.
+	MaxStates int
+}
+
+// Result reports the outcome of exploration.
+type Result struct {
+	// States is the number of distinct reachable states visited.
+	States int
+	// Transitions is the number of edges traversed.
+	Transitions int
+	// Complete is true if the state space was fully explored (not
+	// truncated by MaxStates).
+	Complete bool
+	// Violations lists safety violations found, with witness info.
+	Violations []string
+	// MaxOccupancy is the largest number of processes simultaneously
+	// in their critical sections over all reachable states.
+	MaxOccupancy int
+}
+
+type state struct {
+	words    []int64
+	sessions []proto.Session
+	phases   []phase
+	crashed  []bool
+	ncrashed int
+}
+
+func (s *state) key() string {
+	var b strings.Builder
+	for _, w := range s.words {
+		b.WriteString(strconv.FormatInt(w, 36))
+		b.WriteByte(',')
+	}
+	for p := range s.sessions {
+		b.WriteByte(';')
+		b.WriteString(strconv.Itoa(int(s.phases[p])))
+		if s.crashed[p] {
+			b.WriteByte('!')
+		}
+		b.WriteByte(':')
+		b.WriteString(s.sessions[p].Key())
+	}
+	return b.String()
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		words:    append([]int64(nil), s.words...),
+		sessions: make([]proto.Session, len(s.sessions)),
+		phases:   append([]phase(nil), s.phases...),
+		crashed:  append([]bool(nil), s.crashed...),
+		ncrashed: s.ncrashed,
+	}
+	for i, sess := range s.sessions {
+		c.sessions[i] = sess.Clone()
+	}
+	return c
+}
+
+// Run explores the full state space of pr under cfg.
+func Run(pr proto.Protocol, cfg Config) Result {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 4_000_000
+	}
+	mem := machine.NewMem(cfg.Model, cfg.N)
+	inst := pr.Build(mem, cfg.N, cfg.K, proto.BuildOptions{MaxAcquisitions: 4})
+	isAssignment := pr.Traits().Assignment
+
+	init := &state{
+		words:    mem.SnapshotWords(),
+		sessions: make([]proto.Session, cfg.N),
+		phases:   make([]phase, cfg.N),
+		crashed:  make([]bool, cfg.N),
+	}
+	for p := 0; p < cfg.N; p++ {
+		init.sessions[p] = inst.NewSession(p)
+	}
+
+	var res Result
+	seen := map[string]bool{init.key(): true}
+	queue := []*state{init}
+
+	checkState := func(st *state, via string) {
+		occ := 0
+		names := map[int]int{}
+		for p := range st.phases {
+			if st.phases[p] != phCritical {
+				continue
+			}
+			occ++
+			if !isAssignment {
+				continue
+			}
+			name := st.sessions[p].AssignedName()
+			if name < 0 || name >= cfg.K {
+				res.addViolation("proc %d in CS with name %d outside 0..%d (%s)", p, name, cfg.K-1, via)
+			} else if q, dup := names[name]; dup {
+				res.addViolation("procs %d and %d in CS share name %d (%s)", q, p, name, via)
+			} else {
+				names[name] = p
+			}
+		}
+		if occ > res.MaxOccupancy {
+			res.MaxOccupancy = occ
+		}
+		if occ > cfg.K {
+			res.addViolation("k-exclusion violated: %d procs in CS, k=%d (%s)", occ, cfg.K, via)
+		}
+	}
+	checkState(init, "initial")
+
+	truncated := false
+	for len(queue) > 0 && len(res.Violations) == 0 {
+		st := queue[0]
+		queue = queue[1:]
+		stKey := st.key()
+
+		anyLive := false
+		anyChange := false
+
+		expand := func(succ *state, via string) {
+			res.Transitions++
+			k := succ.key()
+			if k == stKey {
+				return
+			}
+			anyChange = true
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			checkState(succ, via)
+			if len(seen) < cfg.MaxStates {
+				queue = append(queue, succ)
+			} else {
+				truncated = true
+			}
+		}
+
+		for p := 0; p < cfg.N; p++ {
+			if st.crashed[p] {
+				continue
+			}
+			anyLive = true
+
+			// Normal step of process p.
+			succ := st.clone()
+			mem.RestoreWords(succ.words)
+			switch succ.phases[p] {
+			case phNoncrit, phEntry:
+				if succ.sessions[p].StepAcquire(mem, p) {
+					succ.phases[p] = phCritical
+				} else {
+					succ.phases[p] = phEntry
+				}
+			case phCritical, phExit:
+				if succ.sessions[p].StepRelease(mem, p) {
+					succ.phases[p] = phNoncrit
+				} else {
+					succ.phases[p] = phExit
+				}
+			}
+			succ.words = mem.SnapshotWords()
+			expand(succ, fmt.Sprintf("step p%d", p))
+
+			// Crash transition: p fails undetectably outside its
+			// noncritical section.
+			if st.ncrashed < cfg.MaxCrashes && st.phases[p] != phNoncrit {
+				crash := st.clone()
+				crash.crashed[p] = true
+				crash.ncrashed++
+				expand(crash, fmt.Sprintf("crash p%d", p))
+			}
+		}
+
+		// Wedged-state detection: live processes exist but every
+		// enabled statement is a self-loop, so the system can never
+		// change state again. (A state where everyone idles in the
+		// noncritical section is not wedged: starting an acquisition
+		// changes the session state.)
+		if anyLive && !anyChange {
+			res.addViolation("wedged state: no step changes state; phases=%v crashed=%v", st.phases, st.crashed)
+		}
+	}
+
+	res.States = len(seen)
+	res.Complete = !truncated && len(res.Violations) == 0
+	return res
+}
+
+func (r *Result) addViolation(format string, args ...any) {
+	if len(r.Violations) < 16 {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,164 @@
+package check
+
+import (
+	"testing"
+
+	"kexclusion/internal/algo"
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+func mustPass(t *testing.T, pr proto.Protocol, cfg Config) Result {
+	t.Helper()
+	res := Run(pr, cfg)
+	for _, v := range res.Violations {
+		t.Errorf("%s N=%d k=%d crashes<=%d: %s", pr.Name(), cfg.N, cfg.K, cfg.MaxCrashes, v)
+	}
+	if !res.Complete {
+		t.Fatalf("%s N=%d k=%d: exploration truncated at %d states", pr.Name(), cfg.N, cfg.K, res.States)
+	}
+	t.Logf("%s N=%d k=%d crashes<=%d: %d states, %d transitions, max occupancy %d",
+		pr.Name(), cfg.N, cfg.K, cfg.MaxCrashes, res.States, res.Transitions, res.MaxOccupancy)
+	return res
+}
+
+// TestFig2ChainExhaustive model-checks Theorem 1's inductive algorithm
+// (Figure 2 layers), mechanizing the invariants (I1)-(I4) of Lemma 1 for
+// small configurations, with and without the k-1 tolerated crashes.
+func TestFig2ChainExhaustive(t *testing.T) {
+	shapes := []struct{ n, k, crashes int }{
+		{2, 1, 0},
+		{3, 1, 0},
+		{3, 2, 1},
+		{4, 2, 1},
+		{4, 3, 2},
+	}
+	for _, sh := range shapes {
+		res := mustPass(t, algo.Inductive{}, Config{
+			N: sh.n, K: sh.k, Model: machine.CacheCoherent, MaxCrashes: sh.crashes,
+		})
+		// The bound must be tight somewhere: k processes do get in
+		// simultaneously.
+		if res.MaxOccupancy != sh.k {
+			t.Errorf("N=%d k=%d: max occupancy %d, want exactly %d", sh.n, sh.k, res.MaxOccupancy, sh.k)
+		}
+	}
+}
+
+// TestFig6ChainExhaustive model-checks Theorem 5's bounded local-spin
+// DSM algorithm (Figure 6 layers), mechanizing invariants (I5)-(I10) of
+// Lemma 2. The N=2,k=1 configuration is explored exhaustively; larger
+// shapes exceed exhaustive reach (N=3,k=2 has >8M states because of the
+// per-process R counters), so TestFig6ChainBounded sweeps them instead.
+func TestFig6ChainExhaustive(t *testing.T) {
+	res := mustPass(t, algo.InductiveDSM{}, Config{
+		N: 2, K: 1, Model: machine.Distributed, MaxCrashes: 0,
+	})
+	if res.MaxOccupancy != 1 {
+		t.Errorf("max occupancy %d, want exactly 1", res.MaxOccupancy)
+	}
+}
+
+// TestFig6ChainBounded sweeps the first 1.5M states of the N=3,k=2
+// Figure 6 configuration (with a crash budget) breadth-first: every
+// reachable state within that frontier satisfies k-exclusion and is not
+// wedged. Truncation is expected and reported, not a failure.
+func TestFig6ChainBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded sweep is slow")
+	}
+	res := Run(algo.InductiveDSM{}, Config{
+		N: 3, K: 2, Model: machine.Distributed, MaxCrashes: 1, MaxStates: 1_500_000,
+	})
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.MaxOccupancy != 2 {
+		t.Errorf("max occupancy %d, want exactly 2", res.MaxOccupancy)
+	}
+	t.Logf("swept %d states (truncated as expected: complete=%v)", res.States, res.Complete)
+}
+
+// TestFastPathExhaustive model-checks the Figure 4 composition, the
+// footnote 2 variant included.
+func TestFastPathExhaustive(t *testing.T) {
+	mustPass(t, algo.FastPath{}, Config{
+		N: 3, K: 1, Model: machine.CacheCoherent, MaxCrashes: 0,
+	})
+	mustPass(t, algo.FastPathFAA{}, Config{
+		N: 3, K: 1, Model: machine.CacheCoherent, MaxCrashes: 0,
+	})
+	mustPass(t, algo.Graceful{}, Config{
+		N: 3, K: 1, Model: machine.CacheCoherent, MaxCrashes: 0,
+	})
+}
+
+// TestSpinLocksExhaustive model-checks the k=1 comparator locks without
+// crashes (they are FIFO and deadlock-free absent failures), and shows
+// the checker catching MCS's wedge under a single crash.
+func TestSpinLocksExhaustive(t *testing.T) {
+	mustPass(t, algo.MCS{}, Config{
+		N: 3, K: 1, Model: machine.CacheCoherent, MaxCrashes: 0,
+	})
+	// The ticket lock (like bakery) has an infinite state space — its
+	// ticket counters grow without bound — so it gets a bounded sweep
+	// instead of an exhaustive proof.
+	sweep := Run(algo.Ticket{}, Config{
+		N: 3, K: 1, Model: machine.CacheCoherent, MaxCrashes: 0, MaxStates: 200_000,
+	})
+	for _, v := range sweep.Violations {
+		t.Error(v)
+	}
+	res := Run(algo.MCS{}, Config{
+		N: 2, K: 1, Model: machine.CacheCoherent, MaxCrashes: 1,
+	})
+	if len(res.Violations) == 0 {
+		t.Fatal("expected the checker to find MCS wedged after a crash")
+	}
+	t.Logf("found (expected): %s", res.Violations[0])
+}
+
+// TestAssignmentExhaustive model-checks Figure 7's renaming wrapper:
+// name uniqueness in every reachable state, including after crashes.
+func TestAssignmentExhaustive(t *testing.T) {
+	mustPass(t, algo.Assignment{Excl: algo.Inductive{}}, Config{
+		N: 3, K: 2, Model: machine.CacheCoherent, MaxCrashes: 1,
+	})
+}
+
+// TestQueueWedgesAfterCrash shows the checker finding the Figure 1
+// baseline's real defect: one crash wedges the system (every surviving
+// process spins forever on the queue).
+func TestQueueWedgesAfterCrash(t *testing.T) {
+	res := Run(algo.Queue{}, Config{
+		N: 3, K: 1, Model: machine.CacheCoherent, MaxCrashes: 1,
+	})
+	if len(res.Violations) == 0 {
+		t.Fatal("expected the checker to find a wedged state in the queue baseline")
+	}
+	t.Logf("found (expected): %s", res.Violations[0])
+}
+
+// TestCheckerFindsSeededBug sanity-checks the checker itself with a
+// deliberately broken protocol: k-exclusion with the slot counter
+// initialized one too high must be caught.
+func TestCheckerFindsSeededBug(t *testing.T) {
+	res := Run(overAdmit{}, Config{N: 3, K: 1, Model: machine.CacheCoherent})
+	if len(res.Violations) == 0 {
+		t.Fatal("checker failed to detect a protocol admitting k+1 processes")
+	}
+	t.Logf("found (expected): %s", res.Violations[0])
+}
+
+// overAdmit is SpinFAA with an off-by-one slot counter: admits k+1.
+type overAdmit struct{}
+
+func (overAdmit) Name() string         { return "seeded-bug" }
+func (overAdmit) Traits() proto.Traits { return proto.Traits{} }
+
+func (overAdmit) Build(m *machine.Mem, n, k int, opt proto.BuildOptions) proto.Instance {
+	inst := algo.SpinFAA{}.Build(m, n, k, opt)
+	// Corrupt the counter: one extra slot.
+	m.Poke(0, int64(k+1))
+	return inst
+}

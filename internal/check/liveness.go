@@ -1,0 +1,162 @@
+package check
+
+import (
+	"fmt"
+
+	"kexclusion/internal/machine"
+	"kexclusion/internal/proto"
+)
+
+// LivenessResult reports the outcome of RunLiveness.
+type LivenessResult struct {
+	States     int
+	Complete   bool
+	Violations []string
+}
+
+// RunLiveness verifies possibilistic lockout-freedom: in every reachable
+// state, every non-crashed process can still reach its critical section
+// via some continuation (no further crashes required). A protocol that
+// is (k-1)-resilient in the paper's sense satisfies this for every crash
+// pattern of at most k-1 processes; protocols the paper rejects (queue
+// based, MCS) fail it as soon as one crash is reachable, because a
+// surviving process ends up in a state from which no schedule ever
+// admits it.
+//
+// This is the EF(p in CS) fragment of the paper's Starvation-Freedom:
+// full starvation-freedom additionally needs fairness, which the
+// scheduler-based tests cover; lockout-freedom is the part a state-space
+// search can decide exactly.
+func RunLiveness(pr proto.Protocol, cfg Config) LivenessResult {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 500_000
+	}
+	mem := machine.NewMem(cfg.Model, cfg.N)
+	inst := pr.Build(mem, cfg.N, cfg.K, proto.BuildOptions{MaxAcquisitions: 4})
+
+	init := &state{
+		words:    mem.SnapshotWords(),
+		sessions: make([]proto.Session, cfg.N),
+		phases:   make([]phase, cfg.N),
+		crashed:  make([]bool, cfg.N),
+	}
+	for p := 0; p < cfg.N; p++ {
+		init.sessions[p] = inst.NewSession(p)
+	}
+
+	var res LivenessResult
+
+	// Forward exploration, recording the transition graph.
+	ids := map[string]int{init.key(): 0}
+	states := []*state{init}
+	// succ[id] lists successor state ids (self-loops omitted).
+	succ := [][]int32{nil}
+	truncated := false
+
+	for at := 0; at < len(states); at++ {
+		st := states[at]
+		stKey := st.key()
+
+		addEdge := func(s2 *state) {
+			k := s2.key()
+			if k == stKey {
+				return
+			}
+			id, ok := ids[k]
+			if !ok {
+				if len(states) >= cfg.MaxStates {
+					truncated = true
+					return
+				}
+				id = len(states)
+				ids[k] = id
+				states = append(states, s2)
+				succ = append(succ, nil)
+			}
+			succ[at] = append(succ[at], int32(id))
+		}
+
+		for p := 0; p < cfg.N; p++ {
+			if st.crashed[p] {
+				continue
+			}
+			s2 := st.clone()
+			mem.RestoreWords(s2.words)
+			switch s2.phases[p] {
+			case phNoncrit, phEntry:
+				if s2.sessions[p].StepAcquire(mem, p) {
+					s2.phases[p] = phCritical
+				} else {
+					s2.phases[p] = phEntry
+				}
+			case phCritical, phExit:
+				if s2.sessions[p].StepRelease(mem, p) {
+					s2.phases[p] = phNoncrit
+				} else {
+					s2.phases[p] = phExit
+				}
+			}
+			s2.words = mem.SnapshotWords()
+			addEdge(s2)
+
+			if st.ncrashed < cfg.MaxCrashes && st.phases[p] != phNoncrit {
+				s2 := st.clone()
+				s2.crashed[p] = true
+				s2.ncrashed++
+				addEdge(s2)
+			}
+		}
+	}
+
+	res.States = len(states)
+	res.Complete = !truncated
+	if truncated {
+		// A truncated graph cannot prove reachability; report and bail.
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("state space exceeds %d states; liveness undecided", cfg.MaxStates))
+		return res
+	}
+
+	// Reverse edges once.
+	pred := make([][]int32, len(states))
+	for from, outs := range succ {
+		for _, to := range outs {
+			pred[to] = append(pred[to], int32(from))
+		}
+	}
+
+	// For each process: backward reachability from {p in CS}, then
+	// every state where p is alive must be marked.
+	for p := 0; p < cfg.N; p++ {
+		canReach := make([]bool, len(states))
+		var stack []int32
+		for id, st := range states {
+			if st.phases[p] == phCritical && !st.crashed[p] {
+				canReach[id] = true
+				stack = append(stack, int32(id))
+			}
+		}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, from := range pred[id] {
+				if !canReach[from] {
+					canReach[from] = true
+					stack = append(stack, from)
+				}
+			}
+		}
+		for id, st := range states {
+			if st.crashed[p] || canReach[id] {
+				continue
+			}
+			if len(res.Violations) < 8 {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"lockout: from a reachable state, live process %d can never enter its CS (phases=%v crashed=%v)",
+					p, st.phases, st.crashed))
+			}
+			break // one witness per process suffices
+		}
+	}
+	return res
+}

@@ -1,0 +1,77 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"kexclusion/internal/algo"
+	"kexclusion/internal/machine"
+)
+
+// TestLivenessPaperAlgorithms: the paper's algorithms are lockout-free
+// under every pattern of up to k-1 crashes — from any reachable state,
+// every surviving process can still get in.
+func TestLivenessPaperAlgorithms(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		res     LivenessResult
+		n, k, c int
+	}{
+		{"cc-inductive", RunLiveness(algo.Inductive{}, Config{N: 3, K: 1, Model: machine.CacheCoherent}), 3, 1, 0},
+		{"cc-inductive-k2", RunLiveness(algo.Inductive{}, Config{N: 3, K: 2, Model: machine.CacheCoherent, MaxCrashes: 1}), 3, 2, 1},
+		{"cc-fastpath", RunLiveness(algo.FastPath{}, Config{N: 3, K: 1, Model: machine.CacheCoherent}), 3, 1, 0},
+		{"cc-fastpath-faa", RunLiveness(algo.FastPathFAA{}, Config{N: 3, K: 1, Model: machine.CacheCoherent}), 3, 1, 0},
+		{"assignment", RunLiveness(algo.Assignment{Excl: algo.Inductive{}}, Config{N: 3, K: 2, Model: machine.CacheCoherent, MaxCrashes: 1}), 3, 2, 1},
+	} {
+		if !tc.res.Complete {
+			t.Fatalf("%s: graph truncated at %d states", tc.name, tc.res.States)
+		}
+		for _, v := range tc.res.Violations {
+			t.Errorf("%s N=%d k=%d crashes<=%d: %s", tc.name, tc.n, tc.k, tc.c, v)
+		}
+		t.Logf("%s: lockout-freedom verified over %d states (crashes<=%d)", tc.name, tc.res.States, tc.c)
+	}
+}
+
+// TestLivenessCatchesQueueLockout: one crash makes the Figure 1 queue
+// lock survivors out forever; the backward-reachability check finds it.
+func TestLivenessCatchesQueueLockout(t *testing.T) {
+	res := RunLiveness(algo.Queue{}, Config{
+		N: 3, K: 1, Model: machine.CacheCoherent, MaxCrashes: 1,
+	})
+	if !res.Complete {
+		t.Fatalf("graph truncated at %d states", res.States)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("expected a lockout witness for the queue baseline")
+	}
+	if !strings.Contains(res.Violations[0], "lockout") {
+		t.Fatalf("unexpected violation: %s", res.Violations[0])
+	}
+	t.Logf("found (expected): %s", res.Violations[0])
+}
+
+// TestLivenessCatchesMCSLockout: same for MCS — its speed does not
+// survive a single crash.
+func TestLivenessCatchesMCSLockout(t *testing.T) {
+	res := RunLiveness(algo.MCS{}, Config{
+		N: 2, K: 1, Model: machine.CacheCoherent, MaxCrashes: 1,
+	})
+	if len(res.Violations) == 0 {
+		t.Fatal("expected a lockout witness for MCS under one crash")
+	}
+}
+
+// TestLivenessTruncationReported: an undecidable (too large) instance
+// must say so rather than claim success.
+func TestLivenessTruncationReported(t *testing.T) {
+	res := RunLiveness(algo.InductiveDSM{}, Config{
+		N: 3, K: 2, Model: machine.Distributed, MaxStates: 2_000,
+	})
+	if res.Complete || len(res.Violations) == 0 {
+		t.Fatal("truncated liveness run must be reported as undecided")
+	}
+	if !strings.Contains(res.Violations[0], "undecided") {
+		t.Fatalf("unexpected message: %s", res.Violations[0])
+	}
+}

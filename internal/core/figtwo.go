@@ -1,0 +1,177 @@
+package core
+
+import "sync/atomic"
+
+// qBottom is the sentinel distinct from every process id written to the
+// spin word by the exit section (the paper's "Q := p̄").
+const qBottom = -1
+
+// figTwo is one Figure 2 layer: a slot counter X (initially k) and a
+// single spin word Q holding the id of the currently waiting process.
+// The layer admits k processes provided at most k+1 participate
+// concurrently, which the inner layer guarantees (nil inner means the
+// guarantee holds trivially).
+type figTwo struct {
+	inner *figTwo
+	x     padInt64
+	q     padInt64
+	spin  int
+}
+
+func newFigTwo(k int, inner *figTwo, spinBudget int) *figTwo {
+	f := &figTwo{inner: inner, spin: spinBudget}
+	f.x.v.Store(int64(k))
+	f.q.v.Store(qBottom)
+	return f
+}
+
+func (f *figTwo) acquire(p int) {
+	if f.inner != nil {
+		f.inner.acquire(p) // statement 1: Acquire(N,k+1)
+	}
+	if f.x.v.Add(-1) <= -1 { // statement 2: old value <= 0, no slot free
+		f.q.v.Store(int64(p)) // statement 3
+		if f.x.v.Load() < 0 { // statement 4: still no slot
+			// Statement 5: wait until a releaser overwrites Q.
+			spinUntil(f.spin, func() bool { return f.q.v.Load() != int64(p) })
+		}
+	}
+}
+
+func (f *figTwo) release(p int) {
+	f.x.v.Add(1)         // statement 6
+	f.q.v.Store(qBottom) // statement 7: release the waiting process
+	if f.inner != nil {
+		f.inner.release(p) // statement 8: Release(N,k+1)
+	}
+}
+
+// newChain builds Theorem 1's inductive chain: Figure 2 layers for
+// j = n-1 down to k ((n,n)-exclusion being skip). The chain only
+// requires that at most n processes participate concurrently, not that
+// their ids are known, so it doubles as the (2k,k) building block.
+func newChain(n, k, spinBudget int) *figTwo {
+	var inner *figTwo
+	for j := n - 1; j >= k; j-- {
+		inner = newFigTwo(j, inner, spinBudget)
+	}
+	return inner
+}
+
+// Inductive is Theorem 1's (N,k)-exclusion: a chain of Figure 2 layers.
+// Simple and compact; entry cost grows linearly in N-K, so prefer Tree
+// or FastPath for large N.
+type Inductive struct {
+	chain *figTwo
+	n, k  int
+}
+
+var _ KExclusion = (*Inductive)(nil)
+
+// NewInductive builds Theorem 1's chain for n processes and k slots.
+func NewInductive(n, k int, opts ...Option) *Inductive {
+	validate(n, k)
+	o := buildOptions(opts)
+	return &Inductive{chain: newChain(n, k, o.spinBudget), n: n, k: k}
+}
+
+// Acquire implements KExclusion.
+func (i *Inductive) Acquire(p int) {
+	checkPID(p, i.n)
+	if i.chain != nil {
+		i.chain.acquire(p)
+	}
+}
+
+// Release implements KExclusion.
+func (i *Inductive) Release(p int) {
+	checkPID(p, i.n)
+	if i.chain != nil {
+		i.chain.release(p)
+	}
+}
+
+// K implements KExclusion.
+func (i *Inductive) K() int { return i.k }
+
+// N implements KExclusion.
+func (i *Inductive) N() int { return i.n }
+
+// Counting is the folklore atomic-counter semaphore: the practical
+// baseline the paper's algorithms are benchmarked against. It is
+// (k-1)-resilient but not starvation-free, and every waiter spins on the
+// one shared counter — the remote-reference hot spot local-spin
+// algorithms eliminate.
+type Counting struct {
+	x    atomic.Int64
+	spin int
+	n, k int
+}
+
+var _ KExclusion = (*Counting)(nil)
+
+// NewCounting builds the counting-semaphore baseline.
+func NewCounting(n, k int, opts ...Option) *Counting {
+	validate(n, k)
+	o := buildOptions(opts)
+	c := &Counting{spin: o.spinBudget, n: n, k: k}
+	c.x.Store(int64(k))
+	return c
+}
+
+// Acquire implements KExclusion.
+func (c *Counting) Acquire(p int) {
+	checkPID(p, c.n)
+	spinUntil(c.spin, func() bool { return decIfPositive(&c.x) > 0 })
+}
+
+// TryAcquire acquires a slot without blocking, reporting success.
+func (c *Counting) TryAcquire(p int) bool {
+	checkPID(p, c.n)
+	return decIfPositive(&c.x) > 0
+}
+
+// Release implements KExclusion.
+func (c *Counting) Release(p int) {
+	checkPID(p, c.n)
+	c.x.Add(1)
+}
+
+// K implements KExclusion.
+func (c *Counting) K() int { return c.k }
+
+// N implements KExclusion.
+func (c *Counting) N() int { return c.n }
+
+// ChanSem is a channel-based semaphore, the idiomatic Go baseline.
+// Blocking waiters park in the runtime instead of spinning.
+type ChanSem struct {
+	ch   chan struct{}
+	n, k int
+}
+
+var _ KExclusion = (*ChanSem)(nil)
+
+// NewChanSem builds the channel-semaphore baseline.
+func NewChanSem(n, k int) *ChanSem {
+	validate(n, k)
+	return &ChanSem{ch: make(chan struct{}, k), n: n, k: k}
+}
+
+// Acquire implements KExclusion.
+func (c *ChanSem) Acquire(p int) {
+	checkPID(p, c.n)
+	c.ch <- struct{}{}
+}
+
+// Release implements KExclusion.
+func (c *ChanSem) Release(p int) {
+	checkPID(p, c.n)
+	<-c.ch
+}
+
+// K implements KExclusion.
+func (c *ChanSem) K() int { return c.k }
+
+// N implements KExclusion.
+func (c *ChanSem) N() int { return c.n }

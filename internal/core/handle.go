@@ -1,0 +1,46 @@
+package core
+
+import "sync"
+
+// Handle binds a process identity to a KExclusion, yielding a
+// sync.Locker so a goroutine that owns identity p can use the familiar
+// Lock/Unlock idiom (and defer-based unlocking) without threading p
+// through every call.
+type Handle struct {
+	kx KExclusion
+	p  int
+}
+
+var _ sync.Locker = Handle{}
+
+// NewHandle returns the per-process view of kx for identity p.
+func NewHandle(kx KExclusion, p int) Handle {
+	checkPID(p, kx.N())
+	return Handle{kx: kx, p: p}
+}
+
+// Lock implements sync.Locker.
+func (h Handle) Lock() { h.kx.Acquire(h.p) }
+
+// Unlock implements sync.Locker.
+func (h Handle) Unlock() { h.kx.Release(h.p) }
+
+// PID reports the bound process identity.
+func (h Handle) PID() int { return h.p }
+
+// Handles returns one Handle per process identity of kx.
+func Handles(kx KExclusion) []Handle {
+	out := make([]Handle, kx.N())
+	for p := range out {
+		out[p] = Handle{kx: kx, p: p}
+	}
+	return out
+}
+
+// With runs fn while holding a slot of kx as process p, releasing on
+// the way out even if fn panics.
+func With(kx KExclusion, p int, fn func()) {
+	kx.Acquire(p)
+	defer kx.Release(p)
+	fn()
+}

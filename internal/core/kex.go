@@ -1,0 +1,132 @@
+// Package core implements the paper's local-spin k-exclusion algorithms
+// natively for Go goroutines using sync/atomic: the Figure 2 building
+// block and its inductive chain (Theorem 1), the arbitration tree
+// (Theorem 2), the fast-path compositions (Theorems 3 and 4), and the
+// bounded local-spin algorithm of Figure 6, in which every waiter spins
+// on its own 64-byte-padded word — the cache-line analogue of the
+// paper's DSM locality.
+//
+// All implementations are (k-1)-resilient in the paper's sense: a
+// goroutine that stops (or is abandoned) while holding a slot costs that
+// one slot, never overall progress, as long as fewer than k holders
+// disappear.
+//
+// Process identities: the algorithms are per-process, so callers pass a
+// process id p in [0,N) to Acquire and Release; at most one goroutine may
+// use a given id at a time.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// KExclusion is an N-process k-exclusion lock: at most K goroutines hold
+// it simultaneously, and a holder that never releases costs one slot
+// only.
+type KExclusion interface {
+	// Acquire blocks process p until it holds one of the K slots.
+	Acquire(p int)
+	// Release returns process p's slot. It must only be called by the
+	// current holder p.
+	Release(p int)
+	// K reports the number of slots.
+	K() int
+	// N reports the number of process identities.
+	N() int
+}
+
+// defaultSpinBudget is how many times a waiter re-checks its spin word
+// before yielding the processor. Spinning must eventually yield: on a
+// host with few OS threads an unyielding spinner can starve the very
+// goroutine that would release it.
+const defaultSpinBudget = 64
+
+type options struct {
+	spinBudget int
+}
+
+// Option configures a k-exclusion constructor.
+type Option interface {
+	apply(*options)
+}
+
+type spinBudgetOption int
+
+func (o spinBudgetOption) apply(opts *options) { opts.spinBudget = int(o) }
+
+// WithSpinBudget sets how many consecutive polls a waiter performs
+// before calling runtime.Gosched. Smaller values favour fairness on
+// oversubscribed hosts; larger values favour latency when spare CPUs
+// exist.
+func WithSpinBudget(polls int) Option { return spinBudgetOption(polls) }
+
+func buildOptions(opts []Option) options {
+	o := options{spinBudget: defaultSpinBudget}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return o
+}
+
+// spinUntil polls cond, yielding every budget polls, until cond is true.
+func spinUntil(budget int, cond func() bool) {
+	for i := 0; ; i++ {
+		if cond() {
+			return
+		}
+		if i >= budget {
+			runtime.Gosched()
+			i = 0
+		}
+	}
+}
+
+// checkPID panics on out-of-range process ids; misuse here silently
+// corrupts the protocols, so fail loudly instead.
+func checkPID(p, n int) {
+	if p < 0 || p >= n {
+		panic(fmt.Sprintf("kexclusion: process id %d out of range [0,%d)", p, n))
+	}
+}
+
+// validate panics on nonsensical (n, k) shapes.
+func validate(n, k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("kexclusion: k must be at least 1, got %d", k))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("kexclusion: n must be at least 1, got %d", n))
+	}
+}
+
+// padInt64 is an atomic.Int64 alone on its cache line, preventing false
+// sharing between hot words of the protocols.
+type padInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// padInt32 is an atomic.Int32 alone on its cache line; used for the
+// per-process spin words so each waiter spins on its own line (the
+// cache-coherent analogue of the paper's DSM-local spin variables).
+type padInt32 struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+// decIfPositive is the bounded decrement of the paper's footnote 2:
+// atomically decrement x unless it is already <= 0; returns the previous
+// value either way.
+func decIfPositive(x *atomic.Int64) int64 {
+	for {
+		v := x.Load()
+		if v <= 0 {
+			return v
+		}
+		if x.CompareAndSwap(v, v-1) {
+			return v
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// builders enumerates every native k-exclusion implementation.
+func builders() map[string]func(n, k int) KExclusion {
+	return map[string]func(n, k int) KExclusion{
+		"counting":  func(n, k int) KExclusion { return NewCounting(n, k) },
+		"chansem":   func(n, k int) KExclusion { return NewChanSem(n, k) },
+		"inductive": func(n, k int) KExclusion { return NewInductive(n, k) },
+		"tree":      func(n, k int) KExclusion { return NewTree(n, k) },
+		"fastpath":  func(n, k int) KExclusion { return NewFastPath(n, k) },
+		"graceful":  func(n, k int) KExclusion { return NewGraceful(n, k) },
+		"localspin": func(n, k int) KExclusion { return NewLocalSpin(n, k) },
+		"lsfastpath": func(n, k int) KExclusion {
+			return NewLocalSpinFastPath(n, k)
+		},
+	}
+}
+
+// exercise runs n goroutines through rounds acquisitions each, asserting
+// the k-exclusion invariant with an occupancy counter.
+func exercise(t *testing.T, kx KExclusion, rounds int) {
+	t.Helper()
+	n, k := kx.N(), kx.K()
+	var (
+		occupancy atomic.Int64
+		maxSeen   atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				kx.Acquire(p)
+				occ := occupancy.Add(1)
+				for {
+					m := maxSeen.Load()
+					if occ <= m || maxSeen.CompareAndSwap(m, occ) {
+						break
+					}
+				}
+				// A short critical section with a scheduling point so
+				// overlap actually happens on a single-CPU host.
+				if r%2 == 0 {
+					time.Sleep(time.Microsecond)
+				}
+				occupancy.Add(-1)
+				kx.Release(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got > int64(k) {
+		t.Fatalf("k-exclusion violated: %d goroutines in CS, k=%d", got, k)
+	}
+	if occupancy.Load() != 0 {
+		t.Fatalf("occupancy counter not balanced: %d", occupancy.Load())
+	}
+}
+
+func TestExclusionInvariant(t *testing.T) {
+	shapes := []struct{ n, k int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 4}, {6, 2}, {8, 3}, {16, 4}, {9, 8},
+	}
+	for name, build := range builders() {
+		for _, sh := range shapes {
+			t.Run(fmt.Sprintf("%s/N%dk%d", name, sh.n, sh.k), func(t *testing.T) {
+				exercise(t, build(sh.n, sh.k), 60)
+			})
+		}
+	}
+}
+
+// TestAbandonedHoldersCostOnlySlots is the paper's resiliency property,
+// natively: j < k goroutines acquire and never release (simulating
+// undetected failures); the survivors must still make progress — the
+// failures cost j slots, not liveness.
+func TestAbandonedHoldersCostOnlySlots(t *testing.T) {
+	for name, build := range builders() {
+		if name == "chansem" || name == "counting" {
+			// Baselines are also resilient in this sense; keep them in.
+		}
+		t.Run(name, func(t *testing.T) {
+			n, k := 8, 3
+			kx := build(n, k)
+			// Two "failed" holders (j = k-1).
+			for p := 0; p < k-1; p++ {
+				kx.Acquire(p)
+			}
+			// The remaining goroutines share the last slot.
+			var wg sync.WaitGroup
+			var done atomic.Int64
+			for p := k - 1; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for r := 0; r < 20; r++ {
+						kx.Acquire(p)
+						done.Add(1)
+						kx.Release(p)
+					}
+				}(p)
+			}
+			finished := make(chan struct{})
+			go func() { wg.Wait(); close(finished) }()
+			select {
+			case <-finished:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("survivors starved after %d acquisitions with %d abandoned holders",
+					done.Load(), k-1)
+			}
+		})
+	}
+}
+
+// TestMutualExclusionDataRace drives k=1 instances with a deliberately
+// racy critical section; under -race this verifies the acquire/release
+// pair establishes happens-before edges.
+func TestMutualExclusionDataRace(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			kx := build(4, 1)
+			shared := 0 // unsynchronized: protected only by the lock
+			var wg sync.WaitGroup
+			for p := 0; p < 4; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for r := 0; r < 50; r++ {
+						kx.Acquire(p)
+						shared++
+						kx.Release(p)
+					}
+				}(p)
+			}
+			wg.Wait()
+			if shared != 4*50 {
+				t.Fatalf("lost updates: shared=%d want %d", shared, 4*50)
+			}
+		})
+	}
+}
+
+func TestCountingTryAcquire(t *testing.T) {
+	c := NewCounting(4, 2)
+	if !c.TryAcquire(0) || !c.TryAcquire(1) {
+		t.Fatal("TryAcquire should win while slots remain")
+	}
+	if c.TryAcquire(2) {
+		t.Fatal("TryAcquire should fail with no slots")
+	}
+	c.Release(0)
+	if !c.TryAcquire(2) {
+		t.Fatal("TryAcquire should win after release")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("k=0", func() { NewInductive(4, 0) })
+	mustPanic("n=0", func() { NewTree(0, 1) })
+	mustPanic("bad pid", func() { NewFastPath(4, 2).Acquire(4) })
+	mustPanic("negative pid", func() { NewLocalSpin(4, 2).Acquire(-1) })
+}
+
+func TestAccessors(t *testing.T) {
+	for name, build := range builders() {
+		kx := build(6, 2)
+		if kx.N() != 6 || kx.K() != 2 {
+			t.Errorf("%s: accessors wrong: N=%d K=%d", name, kx.N(), kx.K())
+		}
+	}
+}
+
+func TestNLessEqualK(t *testing.T) {
+	// Degenerate shapes: k >= n means no synchronization needed; all
+	// implementations must still work.
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			exercise(t, build(3, 3), 30)
+		})
+	}
+}
+
+func TestDecIfPositive(t *testing.T) {
+	var x atomic.Int64
+	x.Store(2)
+	if decIfPositive(&x) != 2 || decIfPositive(&x) != 1 {
+		t.Fatal("decrements wrong")
+	}
+	if decIfPositive(&x) != 0 || x.Load() != 0 {
+		t.Fatal("bounded decrement must stop at zero")
+	}
+	x.Store(-3)
+	if decIfPositive(&x) != -3 || x.Load() != -3 {
+		t.Fatal("bounded decrement must not touch negative values")
+	}
+}
+
+// TestQuickShapes property-tests random (n,k,rounds) shapes for the
+// composition-heavy implementations.
+func TestQuickShapes(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		n := 1 + int(rawN%10)
+		k := 1 + int(rawK)%n
+		for _, build := range []func(n, k int) KExclusion{
+			func(n, k int) KExclusion { return NewFastPath(n, k) },
+			func(n, k int) KExclusion { return NewGraceful(n, k) },
+			func(n, k int) KExclusion { return NewLocalSpinFastPath(n, k) },
+		} {
+			kx := build(n, k)
+			var occ, bad atomic.Int64
+			var wg sync.WaitGroup
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for r := 0; r < 10; r++ {
+						kx.Acquire(p)
+						if occ.Add(1) > int64(k) {
+							bad.Store(1)
+						}
+						occ.Add(-1)
+						kx.Release(p)
+					}
+				}(p)
+			}
+			wg.Wait()
+			if bad.Load() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithSpinBudgetOption(t *testing.T) {
+	kx := NewInductive(4, 2, WithSpinBudget(8))
+	if kx.chain.spin != 8 {
+		t.Fatalf("spin budget not applied: %d", kx.chain.spin)
+	}
+	ls := NewLocalSpin(4, 2, WithSpinBudget(128))
+	if ls.chain.layers[0].spin != 128 {
+		t.Fatalf("spin budget not applied to local-spin: %d", ls.chain.layers[0].spin)
+	}
+	// The option must not leak between instances.
+	def := NewInductive(4, 2)
+	if def.chain.spin != defaultSpinBudget {
+		t.Fatalf("default budget wrong: %d", def.chain.spin)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMCSMutualExclusion(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		m := NewMCS(n)
+		shared := 0
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for r := 0; r < 100; r++ {
+					m.Acquire(p)
+					shared++
+					m.Release(p)
+				}
+			}(p)
+		}
+		wg.Wait()
+		if shared != n*100 {
+			t.Fatalf("n=%d: lost updates, shared=%d want %d", n, shared, n*100)
+		}
+	}
+}
+
+func TestMCSFIFOHandoff(t *testing.T) {
+	// With a holder parked, queued waiters must be released in the
+	// order they enqueued.
+	m := NewMCS(4)
+	m.Acquire(0)
+
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p := 1; p <= 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			m.Acquire(p)
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+			m.Release(p)
+		}(p)
+		time.Sleep(5 * time.Millisecond) // serialize enqueue order
+	}
+	m.Release(0)
+	wg.Wait()
+	for i, p := range order {
+		if p != i+1 {
+			t.Fatalf("handoff order %v, want [1 2 3]", order)
+		}
+	}
+}
+
+func TestMCSUncontendedFastCase(t *testing.T) {
+	m := NewMCS(2)
+	for i := 0; i < 1000; i++ {
+		m.Acquire(0)
+		m.Release(0)
+	}
+	if m.tail.Load() != nil {
+		t.Fatal("tail not reset after uncontended cycles")
+	}
+}
+
+func TestMCSAccessors(t *testing.T) {
+	m := NewMCS(6)
+	if m.K() != 1 || m.N() != 6 {
+		t.Fatalf("accessors wrong: K=%d N=%d", m.K(), m.N())
+	}
+}

@@ -1,0 +1,59 @@
+package machine
+
+import "testing"
+
+func TestModelString(t *testing.T) {
+	if CacheCoherent.String() != "CC" || Distributed.String() != "DSM" {
+		t.Fatal("model strings wrong")
+	}
+	if Model(9).String() == "" {
+		t.Fatal("unknown model must render")
+	}
+}
+
+func TestMemAccessors(t *testing.T) {
+	m := NewMem(CacheCoherent, 3)
+	m.Alloc(5, HomeShared)
+	if m.Model() != CacheCoherent || m.Procs() != 3 || m.Size() != 5 {
+		t.Fatalf("accessors wrong: %v %d %d", m.Model(), m.Procs(), m.Size())
+	}
+	m.Read(0, 0)
+	m.Read(0, 0)
+	if got := m.Stats(0).Total(); got != 2 {
+		t.Fatalf("Total = %d, want 2", got)
+	}
+}
+
+func TestNewMemValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad model", func() { NewMem(Model(0), 2) })
+	mustPanic("no procs", func() { NewMem(CacheCoherent, 0) })
+	mustPanic("alloc zero", func() { NewMem(CacheCoherent, 1).Alloc(0, HomeShared) })
+	mustPanic("alloc bad home", func() { NewMem(CacheCoherent, 1).Alloc(1, 7) })
+
+	m := NewMem(Distributed, 2)
+	m.Alloc1(0)
+	mustPanic("read oob", func() { m.Read(0, 5) })
+	mustPanic("bad proc", func() { m.Read(9, 0) })
+	mustPanic("peek oob", func() { m.Peek(-1) })
+	mustPanic("poke oob", func() { m.Poke(12, 1) })
+	mustPanic("restore mismatch", func() { m.RestoreWords([]int64{1, 2, 3}) })
+}
+
+func TestNewBurstClampsBurstSize(t *testing.T) {
+	s := NewBurst(1, 0) // clamped to 1
+	runnable := []bool{true, true}
+	for i := 0; i < 10; i++ {
+		if p := s.Next(i, runnable); p < 0 || p > 1 {
+			t.Fatalf("bad pick %d", p)
+		}
+	}
+}

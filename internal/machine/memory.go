@@ -1,0 +1,336 @@
+// Package machine simulates the two shared-memory multiprocessor models of
+// Anderson & Moir (PODC 1994), §2: cache-coherent machines and distributed
+// shared-memory machines without coherent caches. Its sole job is to execute
+// atomic operations on a flat word-addressed memory while classifying each
+// operation as a local or a remote reference, which is the complexity
+// measure every result in the paper is stated in.
+package machine
+
+import "fmt"
+
+// Model selects the memory cost model.
+type Model int
+
+const (
+	// CacheCoherent models a machine where a read misses at most once:
+	// the first read of a word by a processor is remote and installs a
+	// cached copy; subsequent reads are local until another processor
+	// writes the word, which invalidates all other copies. Writes and
+	// read-modify-writes are always remote (they traverse the
+	// interconnect) and leave the writer holding a valid copy.
+	CacheCoherent Model = iota + 1
+
+	// Distributed models a machine where every word is stored in the
+	// local memory of exactly one processor. An access is local iff the
+	// acting processor is the word's home; there are no caches.
+	Distributed
+)
+
+func (m Model) String() string {
+	switch m {
+	case CacheCoherent:
+		return "CC"
+	case Distributed:
+		return "DSM"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// HomeShared marks a word with no local home: remote to every processor
+// under the Distributed model. This models global variables that the
+// paper's DSM analyses charge as remote for all processes.
+const HomeShared = -1
+
+// Addr is an index into simulated shared memory.
+type Addr int
+
+// Stats counts memory references issued by one processor.
+type Stats struct {
+	Local  uint64
+	Remote uint64
+}
+
+// Total returns the total number of references.
+func (s Stats) Total() uint64 { return s.Local + s.Remote }
+
+// Mem is a simulated shared memory shared by nproc processors.
+// It is not safe for concurrent use: the simulation driver serializes
+// steps, which is what makes each operation atomic.
+type Mem struct {
+	model Model
+	nproc int
+	words []int64
+	home  []int32
+	// valid[p*len(words)+a] reports whether processor p holds a valid
+	// cached copy of word a (CacheCoherent only).
+	valid []bool
+	stats []Stats
+	// heat[a] counts remote references to word a across all
+	// processors, for hotspot diagnostics.
+	heat []uint64
+}
+
+// NewMem creates a memory with no words allocated yet.
+func NewMem(model Model, nproc int) *Mem {
+	if model != CacheCoherent && model != Distributed {
+		panic(fmt.Sprintf("machine: invalid model %d", model))
+	}
+	if nproc <= 0 {
+		panic("machine: nproc must be positive")
+	}
+	return &Mem{
+		model: model,
+		nproc: nproc,
+		stats: make([]Stats, nproc),
+	}
+}
+
+// Model reports the memory's cost model.
+func (m *Mem) Model() Model { return m.model }
+
+// Procs reports the number of processors.
+func (m *Mem) Procs() int { return m.nproc }
+
+// Size reports the number of allocated words.
+func (m *Mem) Size() int { return len(m.words) }
+
+// Alloc reserves n consecutive words with the given home processor
+// (HomeShared for globally shared words) and returns the base address.
+// All words are zero-initialized.
+func (m *Mem) Alloc(n int, home int) Addr {
+	if n <= 0 {
+		panic("machine: Alloc size must be positive")
+	}
+	if home != HomeShared && (home < 0 || home >= m.nproc) {
+		panic(fmt.Sprintf("machine: invalid home %d", home))
+	}
+	base := Addr(len(m.words))
+	for i := 0; i < n; i++ {
+		m.words = append(m.words, 0)
+		m.home = append(m.home, int32(home))
+		m.heat = append(m.heat, 0)
+	}
+	// Reset the cache map: addresses shifted capacity; rebuild lazily.
+	m.valid = nil
+	return base
+}
+
+// Alloc1 reserves a single word and returns its address.
+func (m *Mem) Alloc1(home int) Addr { return m.Alloc(1, home) }
+
+// Home reports the home processor of addr (HomeShared if none).
+func (m *Mem) Home(a Addr) int { return int(m.home[a]) }
+
+// Stats returns the reference counts accumulated by processor p.
+func (m *Mem) Stats(p int) Stats { return m.stats[p] }
+
+// ResetStats zeroes all reference counters, heat map included.
+func (m *Mem) ResetStats() {
+	for i := range m.stats {
+		m.stats[i] = Stats{}
+	}
+	for i := range m.heat {
+		m.heat[i] = 0
+	}
+}
+
+// HotWord is one entry of the remote-reference heat map.
+type HotWord struct {
+	Addr   Addr
+	Remote uint64
+	Home   int
+}
+
+// HotWords returns the top-n words by remote references, hottest first —
+// the simulated analogue of a coherence-traffic profile. It shows, for
+// example, that the Figure 2 chain's heat concentrates on each layer's X
+// and Q, while spinfaa's concentrates on a single counter.
+func (m *Mem) HotWords(n int) []HotWord {
+	out := make([]HotWord, 0, len(m.heat))
+	for a, h := range m.heat {
+		if h > 0 {
+			out = append(out, HotWord{Addr: Addr(a), Remote: h, Home: int(m.home[a])})
+		}
+	}
+	// Insertion sort by heat descending (lists are small).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Remote > out[j-1].Remote; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func (m *Mem) ensureCache() {
+	if m.valid == nil {
+		m.valid = make([]bool, m.nproc*len(m.words))
+	}
+}
+
+func (m *Mem) checkAccess(p int, a Addr) {
+	if p < 0 || p >= m.nproc {
+		panic(fmt.Sprintf("machine: invalid processor %d", p))
+	}
+	if a < 0 || int(a) >= len(m.words) {
+		panic(fmt.Sprintf("machine: address %d out of range [0,%d)", a, len(m.words)))
+	}
+}
+
+// chargeRead classifies a read by processor p of word a.
+func (m *Mem) chargeRead(p int, a Addr) {
+	switch m.model {
+	case Distributed:
+		if int(m.home[a]) == p {
+			m.stats[p].Local++
+		} else {
+			m.stats[p].Remote++
+			m.heat[a]++
+		}
+	case CacheCoherent:
+		m.ensureCache()
+		idx := p*len(m.words) + int(a)
+		if m.valid[idx] {
+			m.stats[p].Local++
+		} else {
+			m.stats[p].Remote++
+			m.heat[a]++
+			m.valid[idx] = true
+		}
+	}
+}
+
+// chargeWrite classifies a write (or read-modify-write) by processor p of
+// word a. Under CacheCoherent the write invalidates every other
+// processor's copy and leaves the writer with a valid copy.
+func (m *Mem) chargeWrite(p int, a Addr) {
+	switch m.model {
+	case Distributed:
+		if int(m.home[a]) == p {
+			m.stats[p].Local++
+		} else {
+			m.stats[p].Remote++
+			m.heat[a]++
+		}
+	case CacheCoherent:
+		m.ensureCache()
+		m.stats[p].Remote++
+		m.heat[a]++
+		words := len(m.words)
+		for q := 0; q < m.nproc; q++ {
+			m.valid[q*words+int(a)] = q == p
+		}
+	}
+}
+
+// Read returns the value of word a, charging processor p.
+func (m *Mem) Read(p int, a Addr) int64 {
+	m.checkAccess(p, a)
+	m.chargeRead(p, a)
+	return m.words[a]
+}
+
+// Write sets word a to v, charging processor p.
+func (m *Mem) Write(p int, a Addr, v int64) {
+	m.checkAccess(p, a)
+	m.chargeWrite(p, a)
+	m.words[a] = v
+}
+
+// FAA atomically adds d to word a and returns the previous value
+// (the paper's fetch_and_increment).
+func (m *Mem) FAA(p int, a Addr, d int64) int64 {
+	m.checkAccess(p, a)
+	m.chargeWrite(p, a)
+	old := m.words[a]
+	m.words[a] = old + d
+	return old
+}
+
+// FAADec0 is the bounded decrement assumed by the paper's Figure 4
+// (footnote 2): it decrements word a unless it is already zero, and
+// returns the previous value either way.
+func (m *Mem) FAADec0(p int, a Addr) int64 {
+	m.checkAccess(p, a)
+	m.chargeWrite(p, a)
+	old := m.words[a]
+	if old > 0 {
+		m.words[a] = old - 1
+	}
+	return old
+}
+
+// Swap atomically stores v into word a and returns the previous value
+// (fetch&store, the primitive of the MCS queue lock).
+func (m *Mem) Swap(p int, a Addr, v int64) int64 {
+	m.checkAccess(p, a)
+	m.chargeWrite(p, a)
+	old := m.words[a]
+	m.words[a] = v
+	return old
+}
+
+// CAS atomically replaces word a with new if it equals old, reporting
+// whether the swap happened. A failed CAS is still charged as a remote
+// read-modify-write, matching interconnect behaviour.
+func (m *Mem) CAS(p int, a Addr, old, new int64) bool {
+	m.checkAccess(p, a)
+	m.chargeWrite(p, a)
+	if m.words[a] != old {
+		return false
+	}
+	m.words[a] = new
+	return true
+}
+
+// TAS atomically sets word a to 1 and reports whether it was 0 before
+// (i.e. whether the caller won the bit).
+func (m *Mem) TAS(p int, a Addr) bool {
+	m.checkAccess(p, a)
+	m.chargeWrite(p, a)
+	if m.words[a] != 0 {
+		return false
+	}
+	m.words[a] = 1
+	return true
+}
+
+// Peek reads word a without charging anyone. It is intended for test
+// assertions, invariant checks and state snapshots, never for algorithms.
+func (m *Mem) Peek(a Addr) int64 {
+	if a < 0 || int(a) >= len(m.words) {
+		panic(fmt.Sprintf("machine: address %d out of range", a))
+	}
+	return m.words[a]
+}
+
+// Poke writes word a without charging anyone; for initialization only.
+func (m *Mem) Poke(a Addr, v int64) {
+	if a < 0 || int(a) >= len(m.words) {
+		panic(fmt.Sprintf("machine: address %d out of range", a))
+	}
+	m.words[a] = v
+}
+
+// SnapshotWords returns a copy of all words (for model checking).
+func (m *Mem) SnapshotWords() []int64 {
+	out := make([]int64, len(m.words))
+	copy(out, m.words)
+	return out
+}
+
+// RestoreWords overwrites memory contents from a snapshot taken with
+// SnapshotWords. Cache state and statistics are cleared: model checking
+// explores behaviour, not cost.
+func (m *Mem) RestoreWords(w []int64) {
+	if len(w) != len(m.words) {
+		panic("machine: RestoreWords length mismatch")
+	}
+	copy(m.words, w)
+	for i := range m.valid {
+		m.valid[i] = false
+	}
+}

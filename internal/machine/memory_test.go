@@ -1,0 +1,328 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheCoherentReadCaching(t *testing.T) {
+	m := NewMem(CacheCoherent, 2)
+	a := m.Alloc1(HomeShared)
+
+	if m.Read(0, a) != 0 {
+		t.Fatal("fresh word must read 0")
+	}
+	if got := m.Stats(0); got.Remote != 1 || got.Local != 0 {
+		t.Fatalf("first read must be remote, got %+v", got)
+	}
+	m.Read(0, a)
+	m.Read(0, a)
+	if got := m.Stats(0); got.Remote != 1 || got.Local != 2 {
+		t.Fatalf("cached reads must be local, got %+v", got)
+	}
+}
+
+func TestCacheCoherentWriteInvalidates(t *testing.T) {
+	m := NewMem(CacheCoherent, 3)
+	a := m.Alloc1(HomeShared)
+
+	m.Read(0, a) // proc 0 caches the word
+	m.Read(2, a) // proc 2 caches the word
+	m.Write(1, a, 7)
+	if got := m.Stats(1); got.Remote != 1 {
+		t.Fatalf("write must be remote, got %+v", got)
+	}
+	// Both other caches were invalidated: next reads are remote again.
+	if m.Read(0, a) != 7 {
+		t.Fatal("read must observe the write")
+	}
+	if got := m.Stats(0); got.Remote != 2 {
+		t.Fatalf("post-invalidation read must be remote, got %+v", got)
+	}
+	// The writer retained a valid copy: its read is local.
+	m.Read(1, a)
+	if got := m.Stats(1); got.Local != 1 {
+		t.Fatalf("writer's own re-read must be local, got %+v", got)
+	}
+	if m.Read(2, a) != 7 {
+		t.Fatal("read must observe the write")
+	}
+	if got := m.Stats(2); got.Remote != 2 {
+		t.Fatalf("proc 2 post-invalidation read must be remote, got %+v", got)
+	}
+}
+
+func TestCacheCoherentSpinCostsAtMostTwoRemote(t *testing.T) {
+	// The paper's §2 assumption: a loop "while Q = p do" generates at
+	// most two remote references — one to cache the word and one after
+	// the releasing write invalidates the copy.
+	m := NewMem(CacheCoherent, 2)
+	q := m.Alloc1(HomeShared)
+	m.Poke(q, 0) // proc 0 spins while Q = 0
+
+	spins := 0
+	for m.Read(0, q) == 0 {
+		spins++
+		if spins == 50 {
+			m.Write(1, q, 1) // releaser breaks the loop
+		}
+		if spins > 100 {
+			t.Fatal("spin never released")
+		}
+	}
+	if got := m.Stats(0).Remote; got != 2 {
+		t.Fatalf("spin loop generated %d remote references, paper model says 2", got)
+	}
+}
+
+func TestDistributedHomeClassification(t *testing.T) {
+	m := NewMem(Distributed, 4)
+	local := m.Alloc1(2)
+	global := m.Alloc1(HomeShared)
+
+	m.Read(2, local)
+	m.Write(2, local, 1)
+	if got := m.Stats(2); got.Local != 2 || got.Remote != 0 {
+		t.Fatalf("home accesses must be local, got %+v", got)
+	}
+	m.Read(3, local)
+	if got := m.Stats(3); got.Remote != 1 {
+		t.Fatalf("non-home access must be remote, got %+v", got)
+	}
+	m.Read(2, global)
+	if got := m.Stats(2); got.Remote != 1 {
+		t.Fatalf("HomeShared word must be remote to everyone, got %+v", got)
+	}
+}
+
+func TestDistributedLocalSpinIsFree(t *testing.T) {
+	m := NewMem(Distributed, 2)
+	p0flag := m.Alloc1(0)
+
+	for i := 0; i < 1000; i++ {
+		m.Read(0, p0flag)
+	}
+	if got := m.Stats(0); got.Remote != 0 || got.Local != 1000 {
+		t.Fatalf("spin on home word must cost 0 remote refs, got %+v", got)
+	}
+	m.Write(1, p0flag, 1)
+	if got := m.Stats(1); got.Remote != 1 {
+		t.Fatalf("releaser's write must be 1 remote ref, got %+v", got)
+	}
+}
+
+func TestFAA(t *testing.T) {
+	m := NewMem(Distributed, 2)
+	a := m.Alloc1(HomeShared)
+	m.Poke(a, 5)
+
+	if old := m.FAA(0, a, -1); old != 5 {
+		t.Fatalf("FAA old = %d, want 5", old)
+	}
+	if m.Peek(a) != 4 {
+		t.Fatalf("FAA result = %d, want 4", m.Peek(a))
+	}
+	if old := m.FAA(1, a, 3); old != 4 || m.Peek(a) != 7 {
+		t.Fatalf("FAA add: old=%d val=%d", old, m.Peek(a))
+	}
+}
+
+func TestFAADec0BoundedAtZero(t *testing.T) {
+	m := NewMem(CacheCoherent, 1)
+	a := m.Alloc1(HomeShared)
+	m.Poke(a, 1)
+
+	if old := m.FAADec0(0, a); old != 1 || m.Peek(a) != 0 {
+		t.Fatalf("first dec: old=%d val=%d", old, m.Peek(a))
+	}
+	// Footnote 2: decrementing a zero word leaves it unchanged.
+	if old := m.FAADec0(0, a); old != 0 || m.Peek(a) != 0 {
+		t.Fatalf("dec at zero: old=%d val=%d", old, m.Peek(a))
+	}
+}
+
+func TestSwap(t *testing.T) {
+	m := NewMem(Distributed, 2)
+	a := m.Alloc1(HomeShared)
+	m.Poke(a, 5)
+
+	if old := m.Swap(0, a, 9); old != 5 || m.Peek(a) != 9 {
+		t.Fatalf("swap: old=%d val=%d", old, m.Peek(a))
+	}
+	if got := m.Stats(0); got.Remote != 1 {
+		t.Fatalf("swap must be one remote RMW, got %+v", got)
+	}
+	// Under CC, swap invalidates other copies like any write.
+	mc := NewMem(CacheCoherent, 2)
+	b := mc.Alloc1(HomeShared)
+	mc.Read(1, b)
+	mc.Swap(0, b, 3)
+	mc.Read(1, b)
+	if got := mc.Stats(1); got.Remote != 2 {
+		t.Fatalf("post-swap read must be remote, got %+v", got)
+	}
+}
+
+func TestCAS(t *testing.T) {
+	m := NewMem(CacheCoherent, 2)
+	a := m.Alloc1(HomeShared)
+	m.Poke(a, 10)
+
+	if !m.CAS(0, a, 10, 20) {
+		t.Fatal("matching CAS must succeed")
+	}
+	if m.CAS(1, a, 10, 30) {
+		t.Fatal("stale CAS must fail")
+	}
+	if m.Peek(a) != 20 {
+		t.Fatalf("value = %d, want 20", m.Peek(a))
+	}
+	// Failed CAS is still a remote RMW.
+	if got := m.Stats(1); got.Remote != 1 {
+		t.Fatalf("failed CAS must be remote, got %+v", got)
+	}
+}
+
+func TestTAS(t *testing.T) {
+	m := NewMem(CacheCoherent, 2)
+	a := m.Alloc1(HomeShared)
+
+	if !m.TAS(0, a) {
+		t.Fatal("first TAS must win")
+	}
+	if m.TAS(1, a) {
+		t.Fatal("second TAS must lose")
+	}
+	m.Write(0, a, 0)
+	if !m.TAS(1, a) {
+		t.Fatal("TAS after clear must win")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := NewMem(CacheCoherent, 2)
+	a := m.Alloc(3, HomeShared)
+	m.Write(0, a+1, 42)
+
+	snap := m.SnapshotWords()
+	m.Write(1, a+1, 99)
+	m.Write(1, a+2, 7)
+	m.RestoreWords(snap)
+	if m.Peek(a+1) != 42 || m.Peek(a+2) != 0 {
+		t.Fatalf("restore failed: %d %d", m.Peek(a+1), m.Peek(a+2))
+	}
+}
+
+func TestHotWords(t *testing.T) {
+	m := NewMem(Distributed, 2)
+	hot := m.Alloc1(HomeShared)
+	cold := m.Alloc1(HomeShared)
+	local := m.Alloc1(0)
+
+	for i := 0; i < 10; i++ {
+		m.Read(1, hot)
+	}
+	m.Read(1, cold)
+	m.Read(0, local) // local: no heat
+
+	words := m.HotWords(0)
+	if len(words) != 2 {
+		t.Fatalf("expected 2 hot words, got %v", words)
+	}
+	if words[0].Addr != hot || words[0].Remote != 10 {
+		t.Fatalf("hottest word wrong: %+v", words[0])
+	}
+	if words[1].Addr != cold || words[1].Remote != 1 {
+		t.Fatalf("second word wrong: %+v", words[1])
+	}
+	if top := m.HotWords(1); len(top) != 1 || top[0].Addr != hot {
+		t.Fatalf("top-1 wrong: %v", top)
+	}
+	m.ResetStats()
+	if len(m.HotWords(0)) != 0 {
+		t.Fatal("heat map must clear with ResetStats")
+	}
+}
+
+func TestAllocHomes(t *testing.T) {
+	m := NewMem(Distributed, 3)
+	a := m.Alloc(2, 1)
+	b := m.Alloc1(HomeShared)
+	if m.Home(a) != 1 || m.Home(a+1) != 1 {
+		t.Fatal("wrong home for allocated block")
+	}
+	if m.Home(b) != HomeShared {
+		t.Fatal("wrong home for shared word")
+	}
+	if a == b || int(b) != 2 {
+		t.Fatalf("allocation layout wrong: a=%d b=%d", a, b)
+	}
+}
+
+// Property: under the CC model, a read immediately after a read by the
+// same processor with no intervening write is always local, for any
+// operation sequence.
+func TestQuickCCSecondReadLocal(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewMem(CacheCoherent, 3)
+		a := m.Alloc(4, HomeShared)
+		for _, op := range ops {
+			p := int(op>>4) % 3
+			addr := a + Addr(int(op>>2)%4)
+			switch op % 4 {
+			case 0, 1:
+				m.Read(p, addr)
+				before := m.Stats(p)
+				m.Read(p, addr)
+				after := m.Stats(p)
+				if after.Local != before.Local+1 {
+					return false
+				}
+			case 2:
+				m.Write(p, addr, int64(op))
+			case 3:
+				m.FAA(p, addr, 1)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in the DSM model remote/local classification depends only on
+// the home, never on history.
+func TestQuickDSMClassification(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const procs = 4
+		m := NewMem(Distributed, procs)
+		addrs := make([]Addr, procs+1)
+		for i := 0; i < procs; i++ {
+			addrs[i] = m.Alloc1(i)
+		}
+		addrs[procs] = m.Alloc1(HomeShared)
+		for _, op := range ops {
+			p := int(op>>4) % procs
+			ai := int(op>>1) % (procs + 1)
+			before := m.Stats(p)
+			if op%2 == 0 {
+				m.Read(p, addrs[ai])
+			} else {
+				m.Write(p, addrs[ai], 1)
+			}
+			after := m.Stats(p)
+			wantLocal := ai == p
+			if wantLocal && after.Local != before.Local+1 {
+				return false
+			}
+			if !wantLocal && after.Remote != before.Remote+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

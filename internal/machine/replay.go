@@ -1,0 +1,60 @@
+package machine
+
+// Recorder wraps a scheduler and records every decision, so that a run
+// that exposes a bug (e.g. found by a randomized or property-based test)
+// can be replayed deterministically with NewReplay — even after the
+// inner scheduler's seed or implementation changes.
+type Recorder struct {
+	inner Scheduler
+	log   []int32
+}
+
+// NewRecorder wraps inner with decision recording.
+func NewRecorder(inner Scheduler) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Next implements Scheduler.
+func (r *Recorder) Next(step int, runnable []bool) int {
+	p := r.inner.Next(step, runnable)
+	r.log = append(r.log, int32(p))
+	return p
+}
+
+// Log returns the recorded schedule (a copy).
+func (r *Recorder) Log() []int32 {
+	return append([]int32(nil), r.log...)
+}
+
+// Replay replays a recorded schedule. When the recorded process is no
+// longer runnable (because the program changed) or the log is exhausted,
+// it falls back to round-robin and reports the divergence.
+type Replay struct {
+	log      []int32
+	pos      int
+	fallback *RoundRobin
+	diverged bool
+}
+
+// NewReplay builds a scheduler replaying log.
+func NewReplay(log []int32) *Replay {
+	return &Replay{log: append([]int32(nil), log...), fallback: NewRoundRobin()}
+}
+
+// Diverged reports whether the replay had to fall back to round-robin.
+func (r *Replay) Diverged() bool { return r.diverged }
+
+// Next implements Scheduler.
+func (r *Replay) Next(step int, runnable []bool) int {
+	if r.pos < len(r.log) {
+		p := int(r.log[r.pos])
+		r.pos++
+		if p >= 0 && p < len(runnable) && runnable[p] {
+			return p
+		}
+		r.diverged = true
+	} else {
+		r.diverged = true
+	}
+	return r.fallback.Next(step, runnable)
+}

@@ -1,0 +1,61 @@
+package machine
+
+import "testing"
+
+func TestRecorderCapturesDecisions(t *testing.T) {
+	rec := NewRecorder(NewRoundRobin())
+	runnable := []bool{true, true, true}
+	var want []int32
+	for i := 0; i < 9; i++ {
+		want = append(want, int32(rec.Next(i, runnable)))
+	}
+	log := rec.Log()
+	if len(log) != 9 {
+		t.Fatalf("log length %d, want 9", len(log))
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log[%d] = %d, want %d", i, log[i], want[i])
+		}
+	}
+	// The returned log is a copy.
+	log[0] = 99
+	if rec.Log()[0] == 99 {
+		t.Fatal("Log must return a copy")
+	}
+}
+
+func TestReplayFaithful(t *testing.T) {
+	rec := NewRecorder(NewRandom(5))
+	runnable := []bool{true, true, true, true}
+	for i := 0; i < 50; i++ {
+		rec.Next(i, runnable)
+	}
+	rep := NewReplay(rec.Log())
+	other := NewRandom(5)
+	for i := 0; i < 50; i++ {
+		if got, want := rep.Next(i, runnable), other.Next(i, runnable); got != want {
+			t.Fatalf("step %d: replay %d, want %d", i, got, want)
+		}
+	}
+	if rep.Diverged() {
+		t.Fatal("faithful replay reported divergence")
+	}
+}
+
+func TestReplayDivergenceFallsBack(t *testing.T) {
+	rep := NewReplay([]int32{2, 2, 2})
+	runnable := []bool{true, true, false} // proc 2 not runnable
+	p := rep.Next(0, runnable)
+	if !rep.Diverged() {
+		t.Fatal("divergence not reported")
+	}
+	if p != 0 && p != 1 {
+		t.Fatalf("fallback chose non-runnable %d", p)
+	}
+	// Log exhaustion also diverges gracefully.
+	rep2 := NewReplay(nil)
+	if p := rep2.Next(0, []bool{true}); p != 0 || !rep2.Diverged() {
+		t.Fatal("empty-log replay must fall back")
+	}
+}

@@ -1,0 +1,124 @@
+package machine
+
+import "math/rand"
+
+// Scheduler picks which runnable processor executes the next atomic step.
+// The simulation driver calls Next with the set of processors that are
+// currently able to take a step; Next must return the index of one of them.
+type Scheduler interface {
+	Next(step int, runnable []bool) int
+}
+
+// RoundRobin cycles through processors in index order, skipping
+// non-runnable ones. It is the canonical fair scheduler used by the
+// starvation-freedom experiments.
+type RoundRobin struct {
+	last int
+}
+
+// NewRoundRobin returns a fair round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(_ int, runnable []bool) int {
+	n := len(runnable)
+	for i := 1; i <= n; i++ {
+		p := (r.last + i) % n
+		if runnable[p] {
+			r.last = p
+			return p
+		}
+	}
+	return -1
+}
+
+// Random picks a uniformly random runnable processor using a seeded
+// source, so runs are reproducible. Randomized scheduling over many seeds
+// is the worst-case search used by the complexity experiments.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random scheduler.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (r *Random) Next(_ int, runnable []bool) int {
+	count := 0
+	for _, ok := range runnable {
+		if ok {
+			count++
+		}
+	}
+	if count == 0 {
+		return -1
+	}
+	pick := r.rng.Intn(count)
+	for p, ok := range runnable {
+		if !ok {
+			continue
+		}
+		if pick == 0 {
+			return p
+		}
+		pick--
+	}
+	return -1
+}
+
+// Burst runs each scheduled processor for a random-length burst of
+// consecutive steps before switching. Bursts maximize the window in which
+// one process can overwrite state another process is about to act on,
+// which empirically elicits the worst-case remote-reference paths (e.g. a
+// releaser racing a fresh waiter on the Figure 2 spin word).
+type Burst struct {
+	rng      *rand.Rand
+	current  int
+	remain   int
+	maxBurst int
+}
+
+// NewBurst returns a seeded burst scheduler with bursts of up to maxBurst
+// consecutive steps per processor.
+func NewBurst(seed int64, maxBurst int) *Burst {
+	if maxBurst < 1 {
+		maxBurst = 1
+	}
+	return &Burst{
+		rng:      rand.New(rand.NewSource(seed)),
+		current:  -1,
+		maxBurst: maxBurst,
+	}
+}
+
+// Next implements Scheduler.
+func (b *Burst) Next(_ int, runnable []bool) int {
+	if b.current >= 0 && b.current < len(runnable) && b.remain > 0 && runnable[b.current] {
+		b.remain--
+		return b.current
+	}
+	count := 0
+	for _, ok := range runnable {
+		if ok {
+			count++
+		}
+	}
+	if count == 0 {
+		return -1
+	}
+	pick := b.rng.Intn(count)
+	for p, ok := range runnable {
+		if !ok {
+			continue
+		}
+		if pick == 0 {
+			b.current = p
+			b.remain = b.rng.Intn(b.maxBurst)
+			return p
+		}
+		pick--
+	}
+	return -1
+}

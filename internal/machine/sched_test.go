@@ -1,0 +1,86 @@
+package machine
+
+import "testing"
+
+func TestRoundRobinFair(t *testing.T) {
+	s := NewRoundRobin()
+	runnable := []bool{true, true, true}
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		p := s.Next(i, runnable)
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c != 100 {
+			t.Fatalf("proc %d scheduled %d times, want 100", p, c)
+		}
+	}
+}
+
+func TestRoundRobinSkipsBlocked(t *testing.T) {
+	s := NewRoundRobin()
+	runnable := []bool{false, true, false, true}
+	for i := 0; i < 10; i++ {
+		p := s.Next(i, runnable)
+		if p != 1 && p != 3 {
+			t.Fatalf("scheduled non-runnable proc %d", p)
+		}
+	}
+}
+
+func TestRoundRobinAllBlocked(t *testing.T) {
+	s := NewRoundRobin()
+	if p := s.Next(0, []bool{false, false}); p != -1 {
+		t.Fatalf("expected -1, got %d", p)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	runnable := []bool{true, true, true, true}
+	a, b := NewRandom(42), NewRandom(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Next(i, runnable), b.Next(i, runnable); x != y {
+			t.Fatalf("step %d: same seed diverged (%d vs %d)", i, x, y)
+		}
+	}
+}
+
+func TestRandomOnlyPicksRunnable(t *testing.T) {
+	s := NewRandom(7)
+	runnable := []bool{false, true, false, true, false}
+	for i := 0; i < 200; i++ {
+		p := s.Next(i, runnable)
+		if !runnable[p] {
+			t.Fatalf("picked non-runnable proc %d", p)
+		}
+	}
+}
+
+func TestRandomAllBlocked(t *testing.T) {
+	s := NewRandom(1)
+	if p := s.Next(0, []bool{false}); p != -1 {
+		t.Fatalf("expected -1, got %d", p)
+	}
+}
+
+func TestBurstOnlyPicksRunnable(t *testing.T) {
+	s := NewBurst(11, 8)
+	runnable := []bool{true, false, true}
+	for i := 0; i < 500; i++ {
+		p := s.Next(i, runnable)
+		if p < 0 || !runnable[p] {
+			t.Fatalf("picked non-runnable proc %d", p)
+		}
+	}
+}
+
+func TestBurstSwitchesWhenCurrentBlocks(t *testing.T) {
+	s := NewBurst(3, 100)
+	runnable := []bool{true, true}
+	first := s.Next(0, runnable)
+	runnable[first] = false
+	next := s.Next(1, runnable)
+	if next == first {
+		t.Fatal("burst scheduler stuck on blocked proc")
+	}
+}

@@ -1,0 +1,421 @@
+package proto
+
+import (
+	"fmt"
+
+	"kexclusion/internal/machine"
+)
+
+// Phase is a process's position in the paper's §2 process cycle.
+type Phase int
+
+const (
+	// PhaseNoncrit is the noncritical section.
+	PhaseNoncrit Phase = iota + 1
+	// PhaseEntry is the entry section of the k-exclusion protocol.
+	PhaseEntry
+	// PhaseCritical is the critical section.
+	PhaseCritical
+	// PhaseExit is the exit section.
+	PhaseExit
+	// PhaseDone means the process finished all its acquisitions.
+	PhaseDone
+)
+
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseNoncrit:
+		return "noncrit"
+	case PhaseEntry:
+		return "entry"
+	case PhaseCritical:
+		return "critical"
+	case PhaseExit:
+		return "exit"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(ph))
+	}
+}
+
+// Crash schedules the undetectable failure of a process: after the process
+// has taken AfterSteps steps within the given phase of its Acquisition-th
+// acquisition cycle, it stops executing statements forever. This is
+// exactly the paper's failure model (a faulty process halts outside its
+// noncritical section).
+type Crash struct {
+	Proc        int
+	Phase       Phase
+	AfterSteps  int
+	Acquisition int
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Acquisitions is the number of critical-section acquisitions each
+	// process performs (crashed processes may perform fewer).
+	Acquisitions int
+
+	// MaxContention caps how many processes may be outside their
+	// noncritical sections simultaneously — the paper's definition of
+	// contention. Zero means no cap (contention up to N).
+	MaxContention int
+
+	// CSSteps and NCSSteps are the number of scheduler steps a process
+	// spends inside its critical and noncritical sections. CSSteps
+	// defaults to 1 so that critical-section occupancy is observable.
+	CSSteps  int
+	NCSSteps int
+
+	// Sched selects the scheduler; defaults to round-robin.
+	Sched machine.Scheduler
+
+	// Crashes lists failure injections.
+	Crashes []Crash
+
+	// StepLimit aborts the run after this many total steps (a safety
+	// net against livelock; the run is then reported as incomplete).
+	// Zero means a generous default derived from the configuration.
+	StepLimit int
+
+	// EntryStepBound, if positive, records a starvation violation
+	// whenever a live process takes more than this many of its own
+	// steps in one entry section. Enable only with a fair scheduler
+	// and at most k-1 crashes.
+	EntryStepBound int
+
+	// Trace, if non-nil, receives an event for every statement
+	// execution, phase change and crash. Tracing is for inspection
+	// (kexsim -trace); it does not affect the run.
+	Trace func(TraceEvent)
+}
+
+// AcqRecord is the cost of one completed acquisition.
+type AcqRecord struct {
+	Proc        int
+	EntryRemote uint64
+	ExitRemote  uint64
+	// EntrySteps is how many of its own steps the process spent in the
+	// entry section (a latency/fairness measure independent of the
+	// remote-reference cost).
+	EntrySteps int
+	// Bypassed counts processes that were already waiting in their
+	// entry sections when this process started waiting and were still
+	// waiting when it entered the critical section — the number of
+	// waiters it overtook. FIFO algorithms keep this at zero; the
+	// paper's algorithms bound it; the spin-counter baseline does not.
+	Bypassed int
+}
+
+// Total is the acquisition's combined entry+exit remote reference count,
+// the unit in which all the paper's bounds are stated.
+func (r AcqRecord) Total() uint64 { return r.EntryRemote + r.ExitRemote }
+
+// Result summarizes a simulation run.
+type Result struct {
+	Records      []AcqRecord
+	Steps        int
+	Completed    bool
+	MaxOccupancy int
+	Violations   []string
+
+	MaxAcqRemote   uint64
+	MeanAcqRemote  float64
+	MaxEntryRemote uint64
+	MaxExitRemote  uint64
+	MaxEntrySteps  int
+	MaxBypassed    int
+}
+
+func (r *Result) record(rec AcqRecord) {
+	r.Records = append(r.Records, rec)
+	if t := rec.Total(); t > r.MaxAcqRemote {
+		r.MaxAcqRemote = t
+	}
+	if rec.EntryRemote > r.MaxEntryRemote {
+		r.MaxEntryRemote = rec.EntryRemote
+	}
+	if rec.ExitRemote > r.MaxExitRemote {
+		r.MaxExitRemote = rec.ExitRemote
+	}
+	if rec.EntrySteps > r.MaxEntrySteps {
+		r.MaxEntrySteps = rec.EntrySteps
+	}
+	if rec.Bypassed > r.MaxBypassed {
+		r.MaxBypassed = rec.Bypassed
+	}
+}
+
+func (r *Result) violate(format string, args ...any) {
+	if len(r.Violations) < 32 {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+type procState struct {
+	sess         Session
+	phase        Phase
+	remain       int
+	stepsInPhase int
+	acqs         int
+	baseline     uint64
+	entryRemote  uint64
+	entrySteps   int
+	entrySince   int
+	bypassed     int
+	crashed      bool
+	name         int
+}
+
+func trace(cfg Config, ev TraceEvent) {
+	if cfg.Trace != nil {
+		cfg.Trace(ev)
+	}
+}
+
+// Run drives n sessions of inst over memory m according to cfg and
+// returns the metered result. The instance must have been built for the
+// same memory and process count.
+func Run(m *machine.Mem, inst Instance, assignment bool, cfg Config) Result {
+	n := m.Procs()
+	k := inst.K()
+	if cfg.Acquisitions <= 0 {
+		cfg.Acquisitions = 1
+	}
+	if cfg.CSSteps <= 0 {
+		cfg.CSSteps = 1
+	}
+	if cfg.Sched == nil {
+		cfg.Sched = machine.NewRoundRobin()
+	}
+	maxContention := cfg.MaxContention
+	if maxContention <= 0 || maxContention > n {
+		maxContention = n
+	}
+	stepLimit := cfg.StepLimit
+	if stepLimit <= 0 {
+		stepLimit = 2000 * n * cfg.Acquisitions * (cfg.CSSteps + cfg.NCSSteps + 8)
+	}
+
+	procs := make([]*procState, n)
+	for p := 0; p < n; p++ {
+		procs[p] = &procState{
+			sess:   inst.NewSession(p),
+			phase:  PhaseNoncrit,
+			remain: cfg.NCSSteps,
+			name:   -1,
+		}
+	}
+
+	var res Result
+	runnable := make([]bool, n)
+
+	// active counts live processes outside their noncritical sections.
+	// Crashed processes still outside the NCS contribute to the
+	// *protocol's* load, but they must not consume the contention cap:
+	// they would hold it forever and block every remaining process from
+	// ever starting, turning the throttle into a deadlock.
+	active := func() int {
+		a := 0
+		for _, ps := range procs {
+			if ps.crashed {
+				continue
+			}
+			if ps.phase == PhaseEntry || ps.phase == PhaseCritical || ps.phase == PhaseExit {
+				a++
+			}
+		}
+		return a
+	}
+
+	occupancy := func() int {
+		c := 0
+		for _, ps := range procs {
+			if ps.phase == PhaseCritical {
+				c++
+			}
+		}
+		return c
+	}
+
+	crashDue := func(p int, ps *procState) bool {
+		for _, c := range cfg.Crashes {
+			if c.Proc == p && c.Phase == ps.phase && ps.acqs == c.Acquisition && ps.stepsInPhase >= c.AfterSteps {
+				return true
+			}
+		}
+		return false
+	}
+
+	checkNames := func() {
+		if !assignment {
+			return
+		}
+		seen := make(map[int]int)
+		for p, ps := range procs {
+			if ps.phase != PhaseCritical {
+				continue
+			}
+			name := ps.name
+			if name < 0 || name >= k {
+				res.violate("proc %d in CS with name %d outside 0..%d", p, name, k-1)
+				continue
+			}
+			if q, dup := seen[name]; dup {
+				res.violate("procs %d and %d in CS share name %d", q, p, name)
+			}
+			seen[name] = p
+		}
+	}
+
+	for step := 0; step < stepLimit; step++ {
+		// Promote ready noncritical processes into their entry
+		// sections, respecting the contention cap.
+		slots := maxContention - active()
+		for p, ps := range procs {
+			if slots <= 0 {
+				break
+			}
+			if ps.phase == PhaseNoncrit && ps.remain <= 0 && !ps.crashed {
+				ps.phase = PhaseEntry
+				ps.stepsInPhase = 0
+				ps.baseline = m.Stats(p).Remote
+				ps.entrySince = step
+				slots--
+				trace(cfg, TraceEvent{Kind: TracePhase, Step: step, Proc: p,
+					From: PhaseNoncrit, To: PhaseEntry, Remote: ps.baseline})
+			}
+		}
+
+		anyLive := false
+		for p, ps := range procs {
+			runnable[p] = false
+			if ps.crashed || ps.phase == PhaseDone {
+				continue
+			}
+			if ps.phase == PhaseNoncrit && ps.remain <= 0 {
+				// Waiting for a contention slot; consumes no steps.
+				continue
+			}
+			runnable[p] = true
+			anyLive = true
+		}
+		if !anyLive {
+			break
+		}
+
+		p := cfg.Sched.Next(step, runnable)
+		if p < 0 {
+			break
+		}
+		ps := procs[p]
+		res.Steps++
+
+		if crashDue(p, ps) {
+			ps.crashed = true
+			trace(cfg, TraceEvent{Kind: TraceCrash, Step: step, Proc: p, From: ps.phase})
+			continue
+		}
+		trace(cfg, TraceEvent{Kind: TraceStep, Step: step, Proc: p,
+			From: ps.phase, Remote: m.Stats(p).Remote})
+
+		switch ps.phase {
+		case PhaseNoncrit:
+			ps.remain--
+			ps.stepsInPhase++
+
+		case PhaseEntry:
+			done := ps.sess.StepAcquire(m, p)
+			ps.stepsInPhase++
+			if cfg.EntryStepBound > 0 && ps.stepsInPhase > cfg.EntryStepBound {
+				res.violate("proc %d starved: %d entry steps without entering CS", p, ps.stepsInPhase)
+				ps.crashed = true // stop it from flooding violations
+				continue
+			}
+			if done {
+				ps.entryRemote = m.Stats(p).Remote - ps.baseline
+				ps.entrySteps = ps.stepsInPhase
+				// Count the waiters p overtook: still in their entry
+				// sections despite having arrived before p.
+				ps.bypassed = 0
+				for q, qs := range procs {
+					if q != p && qs.phase == PhaseEntry && !qs.crashed && qs.entrySince < ps.entrySince {
+						ps.bypassed++
+					}
+				}
+				ps.phase = PhaseCritical
+				ps.remain = cfg.CSSteps
+				ps.stepsInPhase = 0
+				ps.name = ps.sess.AssignedName()
+				trace(cfg, TraceEvent{Kind: TracePhase, Step: step, Proc: p,
+					From: PhaseEntry, To: PhaseCritical, Remote: m.Stats(p).Remote})
+				if occ := occupancy(); occ > res.MaxOccupancy {
+					res.MaxOccupancy = occ
+				}
+				if occupancy() > k {
+					res.violate("k-exclusion violated: %d processes in CS (k=%d)", occupancy(), k)
+				}
+				checkNames()
+			}
+
+		case PhaseCritical:
+			ps.remain--
+			ps.stepsInPhase++
+			if ps.remain <= 0 {
+				ps.phase = PhaseExit
+				ps.stepsInPhase = 0
+				ps.name = -1
+				ps.baseline = m.Stats(p).Remote
+			}
+
+		case PhaseExit:
+			done := ps.sess.StepRelease(m, p)
+			ps.stepsInPhase++
+			if done {
+				exitRemote := m.Stats(p).Remote - ps.baseline
+				res.record(AcqRecord{
+					Proc:        p,
+					EntryRemote: ps.entryRemote,
+					ExitRemote:  exitRemote,
+					EntrySteps:  ps.entrySteps,
+					Bypassed:    ps.bypassed,
+				})
+				trace(cfg, TraceEvent{Kind: TracePhase, Step: step, Proc: p,
+					From: PhaseExit, To: PhaseNoncrit, Remote: m.Stats(p).Remote})
+				ps.acqs++
+				if ps.acqs >= cfg.Acquisitions {
+					ps.phase = PhaseDone
+				} else {
+					ps.phase = PhaseNoncrit
+					ps.remain = cfg.NCSSteps
+					ps.stepsInPhase = 0
+				}
+			}
+		}
+	}
+
+	// The run completed if every non-crashed process finished.
+	res.Completed = true
+	for _, ps := range procs {
+		if !ps.crashed && ps.phase != PhaseDone {
+			res.Completed = false
+			break
+		}
+	}
+	if len(res.Records) > 0 {
+		var sum uint64
+		for _, r := range res.Records {
+			sum += r.Total()
+		}
+		res.MeanAcqRemote = float64(sum) / float64(len(res.Records))
+	}
+	return res
+}
+
+// RunProtocol builds pr on a fresh memory with the given model and runs it.
+func RunProtocol(pr Protocol, model machine.Model, n, k int, cfg Config) Result {
+	m := machine.NewMem(model, n)
+	inst := pr.Build(m, n, k, BuildOptions{MaxAcquisitions: cfg.Acquisitions})
+	return Run(m, inst, pr.Traits().Assignment, cfg)
+}

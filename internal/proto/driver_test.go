@@ -1,0 +1,217 @@
+package proto
+
+import (
+	"testing"
+
+	"kexclusion/internal/machine"
+)
+
+// countInstance is a minimal test protocol: an honest k-exclusion via an
+// atomic counter retry loop, with hooks to observe driver behaviour.
+type countInstance struct {
+	x machine.Addr
+	k int
+}
+
+func newCountInstance(m *machine.Mem, k int) *countInstance {
+	in := &countInstance{x: m.Alloc1(machine.HomeShared), k: k}
+	m.Poke(in.x, int64(k))
+	return in
+}
+
+func (in *countInstance) K() int { return in.k }
+
+func (in *countInstance) NewSession(p int) Session { return &countSession{inst: in} }
+
+type countSession struct {
+	inst *countInstance
+	pc   int
+}
+
+func (s *countSession) StepAcquire(m *machine.Mem, p int) bool {
+	switch s.pc {
+	case 0:
+		if m.FAA(p, s.inst.x, -1) > 0 {
+			s.pc = 2
+			return true
+		}
+		s.pc = 1
+	case 1:
+		m.FAA(p, s.inst.x, 1)
+		s.pc = 0
+	}
+	return false
+}
+
+func (s *countSession) StepRelease(m *machine.Mem, p int) bool {
+	m.FAA(p, s.inst.x, 1)
+	s.pc = 0
+	return true
+}
+
+func (s *countSession) AssignedName() int { return -1 }
+func (s *countSession) Clone() Session    { c := *s; return &c }
+func (s *countSession) Key() string       { return KeyF("c:%d", s.pc) }
+
+func TestDriverCompletesAndCounts(t *testing.T) {
+	m := machine.NewMem(machine.CacheCoherent, 4)
+	inst := newCountInstance(m, 2)
+	res := Run(m, inst, false, Config{Acquisitions: 5})
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	if len(res.Records) != 20 {
+		t.Fatalf("got %d acquisition records, want 20", len(res.Records))
+	}
+	if res.MaxOccupancy == 0 || res.MaxOccupancy > 2 {
+		t.Fatalf("occupancy %d out of range", res.MaxOccupancy)
+	}
+	if res.MaxAcqRemote == 0 || res.MeanAcqRemote == 0 {
+		t.Fatal("metering produced no costs")
+	}
+}
+
+func TestDriverContentionCap(t *testing.T) {
+	// With contention capped at 1, the counter never goes below k-1,
+	// so every acquisition is the uncontended fast case: exactly one
+	// remote FAA in entry and one in exit.
+	m := machine.NewMem(machine.CacheCoherent, 6)
+	inst := newCountInstance(m, 2)
+	res := Run(m, inst, false, Config{Acquisitions: 4, MaxContention: 1})
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	for _, r := range res.Records {
+		if r.EntryRemote != 1 || r.ExitRemote != 1 {
+			t.Fatalf("contention leaked past the cap: record %+v", r)
+		}
+	}
+	if res.MaxOccupancy != 1 {
+		t.Fatalf("occupancy %d with contention cap 1", res.MaxOccupancy)
+	}
+}
+
+func TestDriverCrashStopsProcess(t *testing.T) {
+	m := machine.NewMem(machine.CacheCoherent, 3)
+	inst := newCountInstance(m, 2)
+	res := Run(m, inst, false, Config{
+		Acquisitions: 3,
+		Crashes:      []Crash{{Proc: 1, Phase: PhaseCritical, AfterSteps: 0}},
+	})
+	if !res.Completed {
+		t.Fatal("survivors did not complete")
+	}
+	// Proc 1 crashed during its first critical section: it records no
+	// completed acquisitions.
+	for _, r := range res.Records {
+		if r.Proc == 1 {
+			t.Fatalf("crashed process completed an acquisition: %+v", r)
+		}
+	}
+}
+
+func TestDriverDetectsIncompleteOnDeadlock(t *testing.T) {
+	// Crash a process inside its critical section with k=1: nobody
+	// else can ever enter, and the driver must report an incomplete
+	// run rather than hang.
+	m := machine.NewMem(machine.CacheCoherent, 3)
+	inst := newCountInstance(m, 1)
+	res := Run(m, inst, false, Config{
+		Acquisitions: 2,
+		Crashes:      []Crash{{Proc: 0, Phase: PhaseCritical, AfterSteps: 0}},
+		StepLimit:    5000,
+	})
+	if res.Completed {
+		t.Fatal("expected incomplete run")
+	}
+}
+
+func TestDriverEntryStepBound(t *testing.T) {
+	m := machine.NewMem(machine.CacheCoherent, 3)
+	inst := newCountInstance(m, 1)
+	res := Run(m, inst, false, Config{
+		Acquisitions:   2,
+		Crashes:        []Crash{{Proc: 0, Phase: PhaseCritical, AfterSteps: 0}},
+		EntryStepBound: 50,
+		StepLimit:      100000,
+	})
+	if len(res.Violations) == 0 {
+		t.Fatal("expected starvation violations when the only slot is held by a corpse")
+	}
+}
+
+func TestDriverNCSSteps(t *testing.T) {
+	m := machine.NewMem(machine.CacheCoherent, 2)
+	inst := newCountInstance(m, 1)
+	res := Run(m, inst, false, Config{Acquisitions: 2, NCSSteps: 7, CSSteps: 3})
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	// 2 procs * 2 acquisitions, each cycle at least 7 NCS + 3 CS steps
+	// plus entry/exit statements.
+	if res.Steps < 2*2*(7+3+2) {
+		t.Fatalf("step count %d implausibly low", res.Steps)
+	}
+}
+
+func TestTrivialInstance(t *testing.T) {
+	m := machine.NewMem(machine.Distributed, 3)
+	inst := Trivial(3)
+	res := Run(m, inst, false, Config{Acquisitions: 2})
+	if !res.Completed {
+		t.Fatal("trivial run did not complete")
+	}
+	for _, r := range res.Records {
+		if r.Total() != 0 {
+			t.Fatalf("trivial session cost remote refs: %+v", r)
+		}
+	}
+	s := inst.NewSession(0)
+	if s.AssignedName() != -1 || s.Key() == "" {
+		t.Fatal("trivial session metadata wrong")
+	}
+	if c := s.Clone(); c == nil {
+		t.Fatal("clone failed")
+	}
+}
+
+func TestRecordedRunReplaysIdentically(t *testing.T) {
+	runWith := func(s machine.Scheduler) Result {
+		m := machine.NewMem(machine.CacheCoherent, 4)
+		inst := newCountInstance(m, 2)
+		return Run(m, inst, false, Config{Acquisitions: 3, Sched: s, NCSSteps: 1})
+	}
+	rec := machine.NewRecorder(machine.NewRandom(11))
+	first := runWith(rec)
+
+	replay := machine.NewReplay(rec.Log())
+	second := runWith(replay)
+
+	if replay.Diverged() {
+		t.Fatal("replay diverged on an identical program")
+	}
+	if first.Steps != second.Steps || len(first.Records) != len(second.Records) {
+		t.Fatalf("replay differs: steps %d vs %d, records %d vs %d",
+			first.Steps, second.Steps, len(first.Records), len(second.Records))
+	}
+	for i := range first.Records {
+		if first.Records[i] != second.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, first.Records[i], second.Records[i])
+		}
+	}
+}
+
+func TestRunProtocolConvenience(t *testing.T) {
+	res := RunProtocol(testProto{}, machine.CacheCoherent, 4, 2, Config{Acquisitions: 2})
+	if !res.Completed {
+		t.Fatal("RunProtocol did not complete")
+	}
+}
+
+type testProto struct{}
+
+func (testProto) Name() string   { return "test-counter" }
+func (testProto) Traits() Traits { return Traits{} }
+func (testProto) Build(m *machine.Mem, n, k int, _ BuildOptions) Instance {
+	return newCountInstance(m, k)
+}

@@ -1,0 +1,121 @@
+// Package proto defines the framework in which the paper's algorithms run
+// on the simulated machine: a protocol builds per-process sessions whose
+// entry and exit sections advance one numbered atomic statement per step,
+// exactly mirroring the paper's program notation. The package also
+// provides the simulation driver that cycles processes through
+// noncritical section -> entry -> critical section -> exit while metering
+// remote references per acquisition, limiting contention, injecting
+// crashes, and checking the k-exclusion and k-assignment invariants.
+package proto
+
+import (
+	"fmt"
+	"strings"
+
+	"kexclusion/internal/machine"
+)
+
+// Session is the per-process state of one protocol instance: the program
+// counter and local variables of the paper's numbered programs.
+type Session interface {
+	// StepAcquire executes one atomic statement of the entry section,
+	// returning true when the process has entered its critical section.
+	StepAcquire(m *machine.Mem, p int) bool
+
+	// StepRelease executes one atomic statement of the exit section,
+	// returning true when the process has returned to its noncritical
+	// section. It must only be called after StepAcquire returned true;
+	// once it returns true the session is ready for the next acquisition
+	// (all protocols here are long-lived).
+	StepRelease(m *machine.Mem, p int) bool
+
+	// AssignedName returns the name held by the process while it is in
+	// its critical section, for k-assignment protocols, and -1 for plain
+	// k-exclusion protocols.
+	AssignedName() int
+
+	// Clone returns a deep copy of the session's local state, sharing
+	// the instance's address layout (for model checking).
+	Clone() Session
+
+	// Key encodes the session's local state for state hashing.
+	Key() string
+}
+
+// Instance is one built protocol instance over a particular memory.
+type Instance interface {
+	// NewSession creates the session for process p. Call at most once
+	// per process.
+	NewSession(p int) Session
+
+	// K reports how many processes the instance admits concurrently.
+	K() int
+}
+
+// Traits describe properties of a protocol that tests and the harness use
+// to select the right assertions and Table 1 rows.
+type Traits struct {
+	// Assignment is true if the protocol solves k-assignment (sessions
+	// hold names in 0..k-1 while in the critical section).
+	Assignment bool
+
+	// Resilient is true if the protocol tolerates up to k-1 undetected
+	// crash failures (the paper's algorithms are; some Table 1
+	// baselines are not).
+	Resilient bool
+
+	// StarvationFree is true if every nonfaulty process in its entry
+	// section eventually enters its critical section under a fair
+	// scheduler with at most k-1 crashes.
+	StarvationFree bool
+
+	// Models lists the memory models the protocol's complexity claims
+	// apply to (it still runs correctly on either).
+	Models []machine.Model
+}
+
+// BuildOptions carries bounds that some protocols need at build time.
+type BuildOptions struct {
+	// MaxAcquisitions bounds how many times any one process will
+	// acquire, used by Figure 5's unbounded-spin-location algorithm to
+	// size its P array. Zero means a generous default.
+	MaxAcquisitions int
+}
+
+// Protocol constructs instances of one of the paper's algorithms.
+type Protocol interface {
+	Name() string
+	Traits() Traits
+
+	// Build allocates the protocol's shared variables in m for n
+	// processes and k critical-section slots and returns the instance.
+	// Requires 0 < k < n except where documented.
+	Build(m *machine.Mem, n, k int, opt BuildOptions) Instance
+}
+
+// ---------------------------------------------------------------------------
+// Trivial instance: (n,k)-exclusion with n <= k needs no synchronization.
+// Compositions use it as the base case (the paper's "skip" statements).
+
+type trivialInstance struct{ k int }
+
+// Trivial returns an instance whose sessions enter and leave immediately,
+// implementing (n,k)-exclusion for n <= k with skip statements.
+func Trivial(k int) Instance { return trivialInstance{k: k} }
+
+func (t trivialInstance) NewSession(p int) Session { return &trivialSession{} }
+func (t trivialInstance) K() int                   { return t.k }
+
+type trivialSession struct{}
+
+func (s *trivialSession) StepAcquire(*machine.Mem, int) bool { return true }
+func (s *trivialSession) StepRelease(*machine.Mem, int) bool { return true }
+func (s *trivialSession) AssignedName() int                  { return -1 }
+func (s *trivialSession) Clone() Session                     { return &trivialSession{} }
+func (s *trivialSession) Key() string                        { return "t" }
+
+// KeyJoin combines child state encodings into one key.
+func KeyJoin(parts ...string) string { return strings.Join(parts, "|") }
+
+// KeyF formats a session key fragment.
+func KeyF(format string, args ...any) string { return fmt.Sprintf(format, args...) }

@@ -1,0 +1,40 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKeyHelpers(t *testing.T) {
+	if got := KeyJoin("a", "b", "c"); got != "a|b|c" {
+		t.Fatalf("KeyJoin = %q", got)
+	}
+	if got := KeyF("x:%d:%t", 7, true); got != "x:7:true" {
+		t.Fatalf("KeyF = %q", got)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	cases := map[Phase]string{
+		PhaseNoncrit:  "noncrit",
+		PhaseEntry:    "entry",
+		PhaseCritical: "critical",
+		PhaseExit:     "exit",
+		PhaseDone:     "done",
+	}
+	for ph, want := range cases {
+		if ph.String() != want {
+			t.Errorf("%d renders %q, want %q", ph, ph.String(), want)
+		}
+	}
+	if !strings.Contains(Phase(42).String(), "42") {
+		t.Fatal("unknown phase must render its value")
+	}
+}
+
+func TestAcqRecordTotal(t *testing.T) {
+	r := AcqRecord{EntryRemote: 3, ExitRemote: 4}
+	if r.Total() != 7 {
+		t.Fatal("Total wrong")
+	}
+}

@@ -1,0 +1,52 @@
+package proto
+
+import "fmt"
+
+// TraceKind classifies driver trace events.
+type TraceKind int
+
+const (
+	// TraceStep is the execution of one atomic statement.
+	TraceStep TraceKind = iota + 1
+	// TracePhase is a process moving between lifecycle phases.
+	TracePhase
+	// TraceCrash is a crash injection firing.
+	TraceCrash
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceStep:
+		return "step"
+	case TracePhase:
+		return "phase"
+	case TraceCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one observable event of a simulation run.
+type TraceEvent struct {
+	Kind TraceKind
+	Step int
+	Proc int
+	// From and To are set for TracePhase events.
+	From, To Phase
+	// Remote is the process's cumulative remote-reference count at the
+	// time of the event.
+	Remote uint64
+}
+
+// String renders the event as one trace line.
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TracePhase:
+		return fmt.Sprintf("[%6d] p%-2d %s -> %s (remote=%d)", e.Step, e.Proc, e.From, e.To, e.Remote)
+	case TraceCrash:
+		return fmt.Sprintf("[%6d] p%-2d CRASHED in %s", e.Step, e.Proc, e.From)
+	default:
+		return fmt.Sprintf("[%6d] p%-2d step in %s (remote=%d)", e.Step, e.Proc, e.From, e.Remote)
+	}
+}

@@ -1,0 +1,114 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+
+	"kexclusion/internal/machine"
+)
+
+func TestTraceEventsCoverLifecycle(t *testing.T) {
+	m := machine.NewMem(machine.CacheCoherent, 2)
+	inst := newCountInstance(m, 1)
+
+	var events []TraceEvent
+	res := Run(m, inst, false, Config{
+		Acquisitions: 2,
+		Trace:        func(ev TraceEvent) { events = append(events, ev) },
+	})
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	counts := map[TraceKind]int{}
+	var entered, exited int
+	for _, ev := range events {
+		counts[ev.Kind]++
+		if ev.Kind == TracePhase {
+			switch {
+			case ev.From == PhaseEntry && ev.To == PhaseCritical:
+				entered++
+			case ev.From == PhaseExit && ev.To == PhaseNoncrit:
+				exited++
+			}
+		}
+	}
+	if counts[TraceStep] == 0 || counts[TracePhase] == 0 {
+		t.Fatalf("missing event kinds: %v", counts)
+	}
+	if entered != 4 || exited != 4 {
+		t.Fatalf("2 procs x 2 acquisitions should produce 4 CS entries and exits, got %d/%d", entered, exited)
+	}
+	if counts[TraceCrash] != 0 {
+		t.Fatal("no crash was injected")
+	}
+	// Ordering sanity: the first event of proc p must not be a CS entry.
+	for _, ev := range events {
+		if ev.Kind == TracePhase && ev.To == PhaseCritical {
+			break
+		}
+		if ev.Kind == TracePhase && ev.To == PhaseEntry {
+			break
+		}
+	}
+}
+
+func TestTraceCrashEvent(t *testing.T) {
+	m := machine.NewMem(machine.CacheCoherent, 2)
+	inst := newCountInstance(m, 1)
+	var crashes int
+	Run(m, inst, false, Config{
+		Acquisitions: 2,
+		Crashes:      []Crash{{Proc: 1, Phase: PhaseCritical}},
+		StepLimit:    5000,
+		Trace: func(ev TraceEvent) {
+			if ev.Kind == TraceCrash {
+				crashes++
+				if ev.Proc != 1 || ev.From != PhaseCritical {
+					t.Errorf("wrong crash event: %+v", ev)
+				}
+			}
+		},
+	})
+	if crashes != 1 {
+		t.Fatalf("expected exactly one crash event, got %d", crashes)
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	cases := []struct {
+		ev   TraceEvent
+		want string
+	}{
+		{TraceEvent{Kind: TracePhase, Step: 3, Proc: 1, From: PhaseEntry, To: PhaseCritical}, "entry -> critical"},
+		{TraceEvent{Kind: TraceCrash, Step: 9, Proc: 2, From: PhaseExit}, "CRASHED in exit"},
+		{TraceEvent{Kind: TraceStep, Step: 1, Proc: 0, From: PhaseEntry}, "step in entry"},
+	}
+	for _, tc := range cases {
+		if got := tc.ev.String(); !strings.Contains(got, tc.want) {
+			t.Errorf("event %+v rendered %q, want substring %q", tc.ev, got, tc.want)
+		}
+	}
+	if TraceStep.String() != "step" || TraceKind(99).String() == "" {
+		t.Fatal("TraceKind.String wrong")
+	}
+}
+
+func TestFairnessMetrics(t *testing.T) {
+	m := machine.NewMem(machine.CacheCoherent, 4)
+	inst := newCountInstance(m, 1)
+	res := Run(m, inst, false, Config{Acquisitions: 3})
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if res.MaxEntrySteps == 0 {
+		t.Fatal("entry steps not recorded")
+	}
+	for _, r := range res.Records {
+		if r.EntrySteps <= 0 {
+			t.Fatalf("record missing entry steps: %+v", r)
+		}
+		if r.Bypassed < 0 || r.Bypassed > 3 {
+			t.Fatalf("bypass count out of range: %+v", r)
+		}
+	}
+}

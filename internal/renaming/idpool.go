@@ -1,0 +1,67 @@
+package renaming
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// IDPool leases process identities to goroutines. Every algorithm in
+// this repository is per-process — callers pass an id in [0,N) — which
+// fits systems with a fixed worker set. When goroutines come and go, an
+// IDPool bridges the gap: Get leases a free identity (blocking if all N
+// are in use), Put returns it.
+//
+// Unlike LongLived, an IDPool does not assume a bound on concurrent
+// callers; excess goroutines simply wait for an identity.
+type IDPool struct {
+	slots []poolSlot
+}
+
+type poolSlot struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+// NewIDPool creates a pool of n identities (0..n-1).
+func NewIDPool(n int) *IDPool {
+	if n < 1 {
+		panic(fmt.Sprintf("renaming: pool size must be at least 1, got %d", n))
+	}
+	return &IDPool{slots: make([]poolSlot, n)}
+}
+
+// N reports the pool size.
+func (p *IDPool) N() int { return len(p.slots) }
+
+// Get leases a free identity, blocking until one is available.
+func (p *IDPool) Get() int {
+	for spin := 0; ; spin++ {
+		for i := range p.slots {
+			if p.slots[i].v.CompareAndSwap(0, 1) {
+				return i
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryGet leases a free identity without blocking; ok reports success.
+func (p *IDPool) TryGet() (id int, ok bool) {
+	for i := range p.slots {
+		if p.slots[i].v.CompareAndSwap(0, 1) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Put returns a leased identity to the pool.
+func (p *IDPool) Put(id int) {
+	if id < 0 || id >= len(p.slots) {
+		panic(fmt.Sprintf("renaming: invalid pool id %d", id))
+	}
+	if !p.slots[id].v.CompareAndSwap(1, 0) {
+		panic(fmt.Sprintf("renaming: returning id %d that is not leased", id))
+	}
+}

@@ -1,0 +1,84 @@
+package renaming
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestIDPoolUniqueLeases(t *testing.T) {
+	const n = 4
+	p := NewIDPool(n)
+	held := make([]atomic.Int32, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 3*n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 100; r++ {
+				id := p.Get()
+				if !held[id].CompareAndSwap(0, 1) {
+					t.Errorf("id %d leased twice", id)
+					return
+				}
+				held[id].Store(0)
+				p.Put(id)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestIDPoolTryGet(t *testing.T) {
+	p := NewIDPool(2)
+	a, ok := p.TryGet()
+	if !ok {
+		t.Fatal("TryGet should succeed on a fresh pool")
+	}
+	b, ok := p.TryGet()
+	if !ok || a == b {
+		t.Fatalf("second lease failed or duplicated: %d %d %v", a, b, ok)
+	}
+	if _, ok := p.TryGet(); ok {
+		t.Fatal("TryGet must fail on an exhausted pool")
+	}
+	p.Put(a)
+	if id, ok := p.TryGet(); !ok || id != a {
+		t.Fatalf("expected to re-lease %d, got %d %v", a, id, ok)
+	}
+}
+
+func TestIDPoolValidation(t *testing.T) {
+	p := NewIDPool(2)
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { NewIDPool(0) })
+	mustPanic(func() { p.Put(5) })
+	mustPanic(func() { p.Put(0) }) // not leased
+	if p.N() != 2 {
+		t.Fatal("N wrong")
+	}
+}
+
+func TestIDPoolBlockingGet(t *testing.T) {
+	p := NewIDPool(1)
+	id := p.Get()
+	done := make(chan int)
+	go func() { done <- p.Get() }()
+	select {
+	case <-done:
+		t.Fatal("Get returned while pool exhausted")
+	default:
+	}
+	p.Put(id)
+	if got := <-done; got != id {
+		t.Fatalf("expected blocked Get to obtain %d, got %d", id, got)
+	}
+}

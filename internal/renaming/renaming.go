@@ -1,0 +1,106 @@
+// Package renaming implements the paper's §4 long-lived renaming and
+// k-assignment natively. LongLived is the test&set renaming algorithm of
+// Figure 7 (the first renaming algorithm that lets processes repeatedly
+// acquire and release names, with a name space of exactly k);
+// Assignment composes it with any k-exclusion from internal/core to
+// solve (N,k)-assignment: at most k processes hold slots, each with a
+// unique name in 0..k-1.
+package renaming
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"kexclusion/internal/core"
+)
+
+// LongLived is the test&set long-lived renaming object. At most k
+// processes may hold names simultaneously — in the paper's methodology
+// this is guaranteed by the enclosing k-exclusion, and misuse is
+// detected rather than silently misbehaving.
+type LongLived struct {
+	// bits[i] guards name i for i in 0..k-2; the paper shows the last
+	// name needs no bit (at most one process can exhaust the scan).
+	bits []paddedBool
+	k    int
+}
+
+type paddedBool struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+// NewLongLived creates a renaming object with a name space of exactly k.
+func NewLongLived(k int) *LongLived {
+	if k < 1 {
+		panic(fmt.Sprintf("renaming: k must be at least 1, got %d", k))
+	}
+	return &LongLived{bits: make([]paddedBool, k-1), k: k}
+}
+
+// K reports the size of the name space.
+func (l *LongLived) K() int { return l.k }
+
+// Acquire obtains a name in 0..k-1. The caller must be one of at most k
+// concurrent holders (enforce with k-exclusion; see Assignment). The
+// scan test&sets each bit in order — at most k-1 remote operations — and
+// the paper shows that if all k-1 bits are taken the caller is the only
+// process that can be scanning, so it takes the last name bit-free.
+func (l *LongLived) Acquire() int {
+	for name := range l.bits {
+		if l.bits[name].v.CompareAndSwap(0, 1) {
+			return name
+		}
+	}
+	return l.k - 1
+}
+
+// Release returns a name obtained from Acquire.
+func (l *LongLived) Release(name int) {
+	if name < 0 || name >= l.k {
+		panic(fmt.Sprintf("renaming: invalid name %d for name space %d", name, l.k))
+	}
+	if name == l.k-1 {
+		return // the last name has no bit
+	}
+	if !l.bits[name].v.CompareAndSwap(1, 0) {
+		panic(fmt.Sprintf("renaming: releasing name %d that is not held", name))
+	}
+}
+
+// Assignment solves (N,k)-assignment: Acquire blocks until the caller
+// holds one of k slots and returns a name in 0..k-1 unique among
+// concurrent holders (Figure 7, Theorems 9 and 10).
+type Assignment struct {
+	excl  core.KExclusion
+	names *LongLived
+}
+
+// NewAssignment builds a k-assignment from the given k-exclusion.
+func NewAssignment(excl core.KExclusion) *Assignment {
+	return &Assignment{excl: excl, names: NewLongLived(excl.K())}
+}
+
+// New builds a k-assignment for n processes and k names over the
+// paper's fast-path k-exclusion (Theorem 9's composition).
+func New(n, k int, opts ...core.Option) *Assignment {
+	return NewAssignment(core.NewFastPath(n, k, opts...))
+}
+
+// Acquire blocks process p until it holds a slot, returning its name.
+func (a *Assignment) Acquire(p int) int {
+	a.excl.Acquire(p)
+	return a.names.Acquire()
+}
+
+// Release returns process p's slot and name.
+func (a *Assignment) Release(p, name int) {
+	a.names.Release(name)
+	a.excl.Release(p)
+}
+
+// K reports the name-space size.
+func (a *Assignment) K() int { return a.excl.K() }
+
+// N reports the number of process identities.
+func (a *Assignment) N() int { return a.excl.N() }

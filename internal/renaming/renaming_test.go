@@ -1,0 +1,204 @@
+package renaming
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kexclusion/internal/core"
+)
+
+func TestLongLivedSequential(t *testing.T) {
+	l := NewLongLived(3)
+	a, b, c := l.Acquire(), l.Acquire(), l.Acquire()
+	if a == b || b == c || a == c {
+		t.Fatalf("names not distinct: %d %d %d", a, b, c)
+	}
+	for _, n := range []int{a, b, c} {
+		if n < 0 || n >= 3 {
+			t.Fatalf("name %d out of range", n)
+		}
+	}
+	l.Release(b)
+	if got := l.Acquire(); got != b {
+		t.Fatalf("released name %d not reused, got %d", b, got)
+	}
+}
+
+func TestLongLivedLastNameBitFree(t *testing.T) {
+	l := NewLongLived(1)
+	if got := l.Acquire(); got != 0 {
+		t.Fatalf("k=1 name = %d, want 0", got)
+	}
+	l.Release(0) // no-op; must not panic
+}
+
+func TestLongLivedReleaseValidation(t *testing.T) {
+	l := NewLongLived(4)
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { l.Release(-1) })
+	mustPanic(func() { l.Release(4) })
+	mustPanic(func() { l.Release(1) }) // not held
+}
+
+// TestAssignmentUniqueNames runs N goroutines through an (N,k)-
+// assignment, checking that concurrently held names are unique and in
+// range — the paper's k-assignment specification.
+func TestAssignmentUniqueNames(t *testing.T) {
+	n, k := 12, 4
+	asg := New(n, k)
+	var (
+		holders [4]atomic.Int64 // holders[name] = pid+1 or 0
+		wg      sync.WaitGroup
+	)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < 40; r++ {
+				name := asg.Acquire(p)
+				if name < 0 || name >= k {
+					t.Errorf("name %d out of range", name)
+				}
+				if !holders[name].CompareAndSwap(0, int64(p)+1) {
+					t.Errorf("name %d already held by pid %d", name, holders[name].Load()-1)
+				}
+				if r%4 == 0 {
+					time.Sleep(time.Microsecond)
+				}
+				holders[name].Store(0)
+				asg.Release(p, name)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// TestAssignmentOverEveryExclusion composes the renaming wrapper with
+// each native k-exclusion implementation.
+func TestAssignmentOverEveryExclusion(t *testing.T) {
+	n, k := 8, 3
+	excls := map[string]core.KExclusion{
+		"inductive": core.NewInductive(n, k),
+		"tree":      core.NewTree(n, k),
+		"fastpath":  core.NewFastPath(n, k),
+		"localspin": core.NewLocalSpin(n, k),
+	}
+	for name, excl := range excls {
+		t.Run(name, func(t *testing.T) {
+			asg := NewAssignment(excl)
+			var inUse [3]atomic.Int32
+			var wg sync.WaitGroup
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for r := 0; r < 25; r++ {
+						nm := asg.Acquire(p)
+						if !inUse[nm].CompareAndSwap(0, 1) {
+							t.Errorf("duplicate name %d", nm)
+						}
+						inUse[nm].Store(0)
+						asg.Release(p, nm)
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestAssignmentNameSpaceExact verifies the name space is exactly k:
+// under full contention every name in 0..k-1 is eventually used and no
+// other value appears (the paper stresses renaming into exactly k names,
+// not the 2k-1 of earlier one-shot algorithms).
+func TestAssignmentNameSpaceExact(t *testing.T) {
+	n, k := 9, 3
+	asg := New(n, k)
+	var seen [3]atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				name := asg.Acquire(p)
+				seen[name].Add(1)
+				// Dwell in the critical section so holders overlap
+				// even on a single-CPU host; otherwise name 0 would
+				// just be recycled.
+				time.Sleep(20 * time.Microsecond)
+				asg.Release(p, name)
+			}
+		}(p)
+	}
+	wg.Wait()
+	var total int64
+	for name := range seen {
+		c := seen[name].Load()
+		if c == 0 {
+			t.Errorf("name %d never assigned under full contention", name)
+		}
+		total += c
+	}
+	if total != int64(n*50) {
+		t.Fatalf("acquisitions mismatch: %d want %d", total, n*50)
+	}
+}
+
+func TestQuickAssignmentShapes(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		n := 1 + int(rawN%8)
+		k := 1 + int(rawK)%n
+		asg := New(n, k)
+		inUse := make([]atomic.Int32, k)
+		var wg sync.WaitGroup
+		bad := atomic.Bool{}
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for r := 0; r < 8; r++ {
+					nm := asg.Acquire(p)
+					if nm < 0 || nm >= k || !inUse[nm].CompareAndSwap(0, 1) {
+						bad.Store(true)
+					} else {
+						inUse[nm].Store(0)
+					}
+					asg.Release(p, nm)
+				}
+			}(p)
+		}
+		wg.Wait()
+		return !bad.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentAccessors(t *testing.T) {
+	asg := New(6, 2)
+	if asg.K() != 2 || asg.N() != 6 {
+		t.Fatalf("accessors wrong: K=%d N=%d", asg.K(), asg.N())
+	}
+}
+
+func TestNewLongLivedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewLongLived(0)
+}

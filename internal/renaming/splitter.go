@@ -1,0 +1,128 @@
+package renaming
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file implements the splitter-grid renaming of Moir & Anderson
+// ("Fast, Long-Lived Renaming", the paper's reference [13]) in its
+// one-shot form, as an ablation partner for Figure 7's test&set
+// renaming: the grid needs only reads and writes but produces names from
+// a space of size k(k+1)/2, while the paper's test&set scan produces a
+// name space of exactly k — the property §4 emphasizes. Comparing the
+// two quantifies what the stronger primitive buys.
+
+// Splitter is Lamport's fast-path splitter: of the processes that enter
+// concurrently, at most one stops, at most c-1 go right and at most c-1
+// go down (where c is the number of entrants).
+type Splitter struct {
+	x atomic.Int64 // last entrant (pid+1)
+	y atomic.Int32 // door closed
+}
+
+// Direction is a splitter outcome.
+type Direction int
+
+const (
+	// Stop means the process owns this splitter.
+	Stop Direction = iota + 1
+	// Right and Down steer the process through the grid.
+	Right
+	Down
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Stop:
+		return "stop"
+	case Right:
+		return "right"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Split runs process p through the splitter.
+func (s *Splitter) Split(p int) Direction {
+	s.x.Store(int64(p) + 1)
+	if s.y.Load() != 0 {
+		return Right
+	}
+	s.y.Store(1)
+	if s.x.Load() == int64(p)+1 {
+		return Stop
+	}
+	return Down
+}
+
+// reset reopens the splitter; callers must guarantee quiescence.
+func (s *Splitter) reset() {
+	s.x.Store(0)
+	s.y.Store(0)
+}
+
+// Grid is the k x k triangular splitter grid: a one-shot,
+// read/write-only renaming object for at most k concurrent processes
+// with a name space of size k(k+1)/2. Each process walks from the top-left
+// splitter, moving right or down until a splitter stops it; at most
+// k-1 processes ever leave a diagonal, so every process stops within the
+// triangle and names (the triangular index of the stopping splitter) are
+// unique.
+type Grid struct {
+	cells []Splitter
+	k     int
+}
+
+// NewGrid creates a splitter grid for at most k concurrent processes.
+func NewGrid(k int) *Grid {
+	if k < 1 {
+		panic(fmt.Sprintf("renaming: k must be at least 1, got %d", k))
+	}
+	return &Grid{cells: make([]Splitter, k*(k+1)/2), k: k}
+}
+
+// K reports the concurrency bound.
+func (g *Grid) K() int { return g.k }
+
+// NameSpace reports the size of the name space, k(k+1)/2.
+func (g *Grid) NameSpace() int { return len(g.cells) }
+
+// cellIndex maps grid coordinates (r right-steps, d down-steps, with
+// r+d < k) to the triangular array index.
+func (g *Grid) cellIndex(r, d int) int {
+	diag := r + d
+	return diag*(diag+1)/2 + d
+}
+
+// Acquire walks process p through the grid and returns its name in
+// 0..k(k+1)/2-1. One-shot: a name, once taken, is never reissued until
+// Reset. At most k processes may participate.
+func (g *Grid) Acquire(p int) int {
+	r, d := 0, 0
+	for {
+		if r+d >= g.k {
+			panic("renaming: grid overflow; more than k concurrent processes")
+		}
+		switch g.cells[g.cellIndex(r, d)].Split(p) {
+		case Stop:
+			return g.cellIndex(r, d)
+		case Right:
+			r++
+		case Down:
+			d++
+		}
+	}
+}
+
+// Reset reopens every splitter. The caller must guarantee that no
+// process is inside the grid — one-shot renaming is reusable only across
+// quiescent generations (this limitation is exactly why the paper's §4
+// long-lived algorithm matters).
+func (g *Grid) Reset() {
+	for i := range g.cells {
+		g.cells[i].reset()
+	}
+}

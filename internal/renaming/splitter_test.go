@@ -1,0 +1,162 @@
+package renaming
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitterSolo(t *testing.T) {
+	var s Splitter
+	if got := s.Split(3); got != Stop {
+		t.Fatalf("solo entrant got %v, want stop", got)
+	}
+	// A later entrant sees the closed door.
+	if got := s.Split(4); got != Right {
+		t.Fatalf("late entrant got %v, want right", got)
+	}
+}
+
+func TestSplitterAtMostOneStops(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		var s Splitter
+		var wg sync.WaitGroup
+		results := make([]Direction, 8)
+		for p := 0; p < 8; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				results[p] = s.Split(p)
+			}(p)
+		}
+		wg.Wait()
+		stops, rights, downs := 0, 0, 0
+		for _, d := range results {
+			switch d {
+			case Stop:
+				stops++
+			case Right:
+				rights++
+			case Down:
+				downs++
+			}
+		}
+		if stops > 1 {
+			t.Fatalf("trial %d: %d processes stopped", trial, stops)
+		}
+		if rights > 7 || downs > 7 {
+			t.Fatalf("trial %d: splitter bound violated (r=%d d=%d)", trial, rights, downs)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Stop.String() != "stop" || Right.String() != "right" || Down.String() != "down" {
+		t.Fatal("direction strings wrong")
+	}
+	if Direction(9).String() == "" {
+		t.Fatal("unknown direction must render")
+	}
+}
+
+func TestGridSequentialNames(t *testing.T) {
+	g := NewGrid(3)
+	if g.K() != 3 || g.NameSpace() != 6 {
+		t.Fatalf("grid shape wrong: k=%d space=%d", g.K(), g.NameSpace())
+	}
+	// Sequential processes all stop at the first splitter of their walk
+	// once prior names are taken.
+	n1 := g.Acquire(0)
+	n2 := g.Acquire(1)
+	n3 := g.Acquire(2)
+	if n1 == n2 || n2 == n3 || n1 == n3 {
+		t.Fatalf("names not unique: %d %d %d", n1, n2, n3)
+	}
+	g.Reset()
+	if got := g.Acquire(5); got != n1 {
+		t.Fatalf("after reset the first name should be reissued: got %d want %d", got, n1)
+	}
+}
+
+// TestGridConcurrentUnique: k concurrent processes always obtain unique
+// names within the triangular space.
+func TestGridConcurrentUnique(t *testing.T) {
+	const k = 5
+	for trial := 0; trial < 100; trial++ {
+		g := NewGrid(k)
+		var wg sync.WaitGroup
+		names := make([]int, k)
+		for p := 0; p < k; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				names[p] = g.Acquire(p)
+			}(p)
+		}
+		wg.Wait()
+		seen := map[int]bool{}
+		for p, n := range names {
+			if n < 0 || n >= g.NameSpace() {
+				t.Fatalf("trial %d: name %d out of space", trial, n)
+			}
+			if seen[n] {
+				t.Fatalf("trial %d: duplicate name %d (proc %d)", trial, n, p)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestGridVsFig7NameSpace quantifies the paper's §4 point: the grid's
+// read/write-only renaming needs a name space of k(k+1)/2, while the
+// test&set scan of Figure 7 renames into exactly k.
+func TestGridVsFig7NameSpace(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		grid := NewGrid(k).NameSpace()
+		fig7 := NewLongLived(k).K()
+		if fig7 != k {
+			t.Fatalf("Figure 7 name space = %d, want exactly k=%d", fig7, k)
+		}
+		if grid != k*(k+1)/2 {
+			t.Fatalf("grid name space = %d, want %d", grid, k*(k+1)/2)
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewGrid(0)
+}
+
+// TestQuickGridUniqueness property-tests random concurrency levels.
+func TestQuickGridUniqueness(t *testing.T) {
+	f := func(rawK uint8) bool {
+		k := 1 + int(rawK%6)
+		g := NewGrid(k)
+		var wg sync.WaitGroup
+		names := make([]int, k)
+		for p := 0; p < k; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				names[p] = g.Acquire(p)
+			}(p)
+		}
+		wg.Wait()
+		seen := map[int]bool{}
+		for _, n := range names {
+			if n < 0 || n >= g.NameSpace() || seen[n] {
+				return false
+			}
+			seen[n] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

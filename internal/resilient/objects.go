@@ -1,0 +1,193 @@
+package resilient
+
+// Concrete resilient objects built on Shared, demonstrating the paper's
+// methodology on the object types its introduction motivates.
+
+// Counter is a (k-1)-resilient shared counter for n processes.
+type Counter struct {
+	s *Shared[int64]
+}
+
+// NewCounter creates a resilient counter.
+func NewCounter(n, k int) *Counter {
+	return &Counter{s: NewShared[int64](n, k, 0, nil)}
+}
+
+// Add adds delta as process p and returns the new value.
+func (c *Counter) Add(p int, delta int64) int64 {
+	v := c.s.Apply(p, func(s int64) (int64, any) {
+		s += delta
+		return s, s
+	})
+	return v.(int64)
+}
+
+// Value reads the counter as process p (linearized with updates).
+func (c *Counter) Value(p int) int64 {
+	v := c.s.Apply(p, func(s int64) (int64, any) { return s, s })
+	return v.(int64)
+}
+
+// Queue is a (k-1)-resilient FIFO queue for n processes.
+type Queue[T any] struct {
+	s *Shared[[]T]
+}
+
+// NewQueue creates a resilient FIFO queue.
+func NewQueue[T any](n, k int) *Queue[T] {
+	clone := func(s []T) []T { return append([]T(nil), s...) }
+	return &Queue[T]{s: NewShared(n, k, []T(nil), clone)}
+}
+
+// Enqueue appends v as process p.
+func (q *Queue[T]) Enqueue(p int, v T) {
+	q.s.Apply(p, func(s []T) ([]T, any) {
+		return append(s, v), nil
+	})
+}
+
+// Dequeue removes and returns the head as process p; ok is false if the
+// queue was empty.
+func (q *Queue[T]) Dequeue(p int) (v T, ok bool) {
+	r := q.s.Apply(p, func(s []T) ([]T, any) {
+		if len(s) == 0 {
+			return s, dequeued[T]{}
+		}
+		return s[1:], dequeued[T]{v: s[0], ok: true}
+	})
+	d := r.(dequeued[T])
+	return d.v, d.ok
+}
+
+// Len reports the queue length as process p.
+func (q *Queue[T]) Len(p int) int {
+	r := q.s.Apply(p, func(s []T) ([]T, any) { return s, len(s) })
+	return r.(int)
+}
+
+type dequeued[T any] struct {
+	v  T
+	ok bool
+}
+
+// Stack is a (k-1)-resilient LIFO stack for n processes.
+type Stack[T any] struct {
+	s *Shared[[]T]
+}
+
+// NewStack creates a resilient stack.
+func NewStack[T any](n, k int) *Stack[T] {
+	clone := func(s []T) []T { return append([]T(nil), s...) }
+	return &Stack[T]{s: NewShared(n, k, []T(nil), clone)}
+}
+
+// Push pushes v as process p.
+func (st *Stack[T]) Push(p int, v T) {
+	st.s.Apply(p, func(s []T) ([]T, any) {
+		return append(s, v), nil
+	})
+}
+
+// Pop removes and returns the top as process p; ok is false if empty.
+func (st *Stack[T]) Pop(p int) (v T, ok bool) {
+	r := st.s.Apply(p, func(s []T) ([]T, any) {
+		if len(s) == 0 {
+			return s, dequeued[T]{}
+		}
+		return s[:len(s)-1], dequeued[T]{v: s[len(s)-1], ok: true}
+	})
+	d := r.(dequeued[T])
+	return d.v, d.ok
+}
+
+// Len reports the stack depth as process p.
+func (st *Stack[T]) Len(p int) int {
+	r := st.s.Apply(p, func(s []T) ([]T, any) { return s, len(s) })
+	return r.(int)
+}
+
+// Store is a (k-1)-resilient key-value map for n processes.
+type Store[K comparable, V any] struct {
+	s *Shared[map[K]V]
+}
+
+// NewStore creates a resilient key-value store.
+func NewStore[K comparable, V any](n, k int) *Store[K, V] {
+	clone := func(m map[K]V) map[K]V {
+		out := make(map[K]V, len(m))
+		for key, v := range m {
+			out[key] = v
+		}
+		return out
+	}
+	return &Store[K, V]{s: NewShared(n, k, make(map[K]V), clone)}
+}
+
+// Put stores v under key as process p.
+func (kv *Store[K, V]) Put(p int, key K, v V) {
+	kv.s.Apply(p, func(m map[K]V) (map[K]V, any) {
+		m[key] = v // helpers operate on clones, so in-place is safe
+		return m, nil
+	})
+}
+
+// Get reads key as process p.
+func (kv *Store[K, V]) Get(p int, key K) (V, bool) {
+	r := kv.s.Apply(p, func(m map[K]V) (map[K]V, any) {
+		v, ok := m[key]
+		return m, dequeued[V]{v: v, ok: ok}
+	})
+	d := r.(dequeued[V])
+	return d.v, d.ok
+}
+
+// Delete removes key as process p, reporting whether it was present.
+func (kv *Store[K, V]) Delete(p int, key K) bool {
+	r := kv.s.Apply(p, func(m map[K]V) (map[K]V, any) {
+		_, ok := m[key]
+		delete(m, key)
+		return m, ok
+	})
+	return r.(bool)
+}
+
+// Len reports the number of keys as process p.
+func (kv *Store[K, V]) Len(p int) int {
+	r := kv.s.Apply(p, func(m map[K]V) (map[K]V, any) { return m, len(m) })
+	return r.(int)
+}
+
+// Register is a (k-1)-resilient read/write register with a
+// compare-and-set extension.
+type Register[T comparable] struct {
+	s *Shared[T]
+}
+
+// NewRegister creates a resilient register with the given initial value.
+func NewRegister[T comparable](n, k int, initial T) *Register[T] {
+	return &Register[T]{s: NewShared(n, k, initial, nil)}
+}
+
+// Read returns the current value as process p.
+func (r *Register[T]) Read(p int) T {
+	v := r.s.Apply(p, func(s T) (T, any) { return s, s })
+	return v.(T)
+}
+
+// Write stores v as process p.
+func (r *Register[T]) Write(p int, v T) {
+	r.s.Apply(p, func(T) (T, any) { return v, nil })
+}
+
+// CompareAndSet writes v if the register equals old, reporting success —
+// stronger-than-register semantics for free, since every Op runs
+// atomically in the universal construction.
+func (r *Register[T]) CompareAndSet(p int, old, v T) bool {
+	res := r.s.Apply(p, func(s T) (T, any) {
+		if s == old {
+			return v, true
+		}
+		return s, false
+	})
+	return res.(bool)
+}

@@ -1,0 +1,176 @@
+package resilient
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackSequential(t *testing.T) {
+	st := NewStack[string](4, 2)
+	if _, ok := st.Pop(0); ok {
+		t.Fatal("pop on empty stack must fail")
+	}
+	st.Push(0, "a")
+	st.Push(1, "b")
+	if st.Len(2) != 2 {
+		t.Fatal("len wrong")
+	}
+	if v, ok := st.Pop(3); !ok || v != "b" {
+		t.Fatalf("pop = %q %v, want b", v, ok)
+	}
+	if v, ok := st.Pop(0); !ok || v != "a" {
+		t.Fatalf("pop = %q %v, want a", v, ok)
+	}
+}
+
+// TestStackConcurrentConservation: every pushed element is popped
+// exactly once across concurrent pushers and poppers.
+func TestStackConcurrentConservation(t *testing.T) {
+	const n, k, items = 6, 2, 40
+	st := NewStack[int](n, k)
+	var wg sync.WaitGroup
+	var popped atomic.Int64
+	var sum atomic.Int64
+
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				st.Push(p, p*items+i)
+			}
+		}(p)
+	}
+	for p := 3; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for popped.Load() < 3*items {
+				if v, ok := st.Pop(p); ok {
+					popped.Add(1)
+					sum.Add(int64(v))
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	wantSum := int64(0)
+	for p := 0; p < 3; p++ {
+		for i := 0; i < items; i++ {
+			wantSum += int64(p*items + i)
+		}
+	}
+	if sum.Load() != wantSum {
+		t.Fatalf("element sum %d, want %d (lost or duplicated pops)", sum.Load(), wantSum)
+	}
+	if st.Len(0) != 0 {
+		t.Fatalf("stack not drained: %d left", st.Len(0))
+	}
+}
+
+func TestStoreSequential(t *testing.T) {
+	kv := NewStore[string, int](4, 2)
+	if _, ok := kv.Get(0, "x"); ok {
+		t.Fatal("get on empty store must miss")
+	}
+	kv.Put(0, "x", 1)
+	kv.Put(1, "y", 2)
+	if v, ok := kv.Get(2, "x"); !ok || v != 1 {
+		t.Fatalf("get x = %d %v", v, ok)
+	}
+	kv.Put(3, "x", 7)
+	if v, _ := kv.Get(0, "x"); v != 7 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if kv.Len(1) != 2 {
+		t.Fatal("len wrong")
+	}
+	if !kv.Delete(2, "y") || kv.Delete(2, "y") {
+		t.Fatal("delete semantics wrong")
+	}
+	if kv.Len(1) != 1 {
+		t.Fatal("len after delete wrong")
+	}
+}
+
+// TestStoreConcurrentDistinctKeys: writers on distinct keys never
+// clobber each other (helpers clone the map before mutating).
+func TestStoreConcurrentDistinctKeys(t *testing.T) {
+	const n, k, rounds = 6, 3, 50
+	kv := NewStore[int, int](n, k)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 1; i <= rounds; i++ {
+				kv.Put(p, p, i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < n; p++ {
+		if v, ok := kv.Get(0, p); !ok || v != rounds {
+			t.Fatalf("key %d = %d %v, want %d", p, v, ok, rounds)
+		}
+	}
+}
+
+// TestQuickStoreModel checks the store against a plain map under a
+// sequential op stream.
+func TestQuickStoreModel(t *testing.T) {
+	type op struct {
+		Key byte
+		Val int16
+		Del bool
+	}
+	f := func(ops []op) bool {
+		kv := NewStore[byte, int16](2, 1)
+		model := map[byte]int16{}
+		for _, o := range ops {
+			if o.Del {
+				wantOK := false
+				if _, ok := model[o.Key]; ok {
+					wantOK = true
+					delete(model, o.Key)
+				}
+				if kv.Delete(0, o.Key) != wantOK {
+					return false
+				}
+			} else {
+				kv.Put(0, o.Key, o.Val)
+				model[o.Key] = o.Val
+			}
+			if kv.Len(1) != len(model) {
+				return false
+			}
+		}
+		for key, want := range model {
+			if got, ok := kv.Get(0, key); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	q := NewQueue[int](4, 2)
+	if q.Len(0) != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.Enqueue(1, 10)
+	q.Enqueue(2, 20)
+	if q.Len(3) != 2 {
+		t.Fatalf("len = %d, want 2", q.Len(3))
+	}
+	q.Dequeue(0)
+	if q.Len(0) != 1 {
+		t.Fatalf("len after dequeue = %d, want 1", q.Len(0))
+	}
+}

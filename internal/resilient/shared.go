@@ -1,0 +1,60 @@
+package resilient
+
+import (
+	"kexclusion/internal/core"
+	"kexclusion/internal/renaming"
+)
+
+// Shared is the paper's resilient shared object: a wait-free k-process
+// core (Universal) encased in an (N,k)-assignment wrapper. Any of N
+// processes may call Apply; at most k are inside the core at a time,
+// each under a unique name. The object is (k-1)-resilient: operations by
+// live processes complete in a bounded number of steps provided fewer
+// than k processes fail, and a failed process costs exactly one slot.
+type Shared[S any] struct {
+	u   *Universal[S]
+	asg *renaming.Assignment
+}
+
+// Config tunes the wrapper of a Shared object.
+type Config struct {
+	// Excl overrides the k-exclusion used by the wrapper; nil selects
+	// the paper's fast-path algorithm (Theorem 9's composition), which
+	// makes operations cheap whenever contention stays at or below k.
+	Excl core.KExclusion
+}
+
+// NewShared creates a (k-1)-resilient shared object for n processes with
+// the given initial state. clone copies the state (nil for value types).
+func NewShared[S any](n, k int, initial S, clone func(S) S) *Shared[S] {
+	return NewSharedConfig(n, k, initial, clone, Config{})
+}
+
+// NewSharedConfig is NewShared with wrapper configuration.
+func NewSharedConfig[S any](n, k int, initial S, clone func(S) S, cfg Config) *Shared[S] {
+	excl := cfg.Excl
+	if excl == nil {
+		excl = core.NewFastPath(n, k)
+	}
+	return &Shared[S]{
+		u:   NewUniversal(k, initial, clone),
+		asg: renaming.NewAssignment(excl),
+	}
+}
+
+// Apply performs op as process p and returns its result.
+func (s *Shared[S]) Apply(p int, op Op[S]) any {
+	name := s.asg.Acquire(p)
+	defer s.asg.Release(p, name)
+	return s.u.Apply(name, op)
+}
+
+// Peek returns the current state without synchronization; treat the
+// result as immutable.
+func (s *Shared[S]) Peek() S { return s.u.Peek() }
+
+// K reports the resiliency parameter (the object tolerates K-1 failures).
+func (s *Shared[S]) K() int { return s.asg.K() }
+
+// N reports the number of process identities.
+func (s *Shared[S]) N() int { return s.asg.N() }

@@ -1,0 +1,115 @@
+package resilient
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Snapshot is a wait-free single-writer atomic snapshot object for k
+// processes (Afek et al.'s construction), the object class the paper's
+// footnote 1 singles out: its operations return O(k) state, so it is the
+// textbook example of a wait-free k-process core to place inside the
+// k-assignment wrapper — slot i is written by whichever process
+// currently holds name i.
+//
+// Update(i, v) writes slot i; Scan returns a consistent cut of all k
+// slots: every returned vector was the simultaneous contents of the
+// slots at some instant between the invocation and the response.
+type Snapshot[T any] struct {
+	segs []segSlot[T]
+	k    int
+}
+
+type segSlot[T any] struct {
+	p atomic.Pointer[segment[T]]
+	_ [48]byte
+}
+
+// segment is one slot's register: the value, a sequence number, and the
+// embedded snapshot the writer took just before writing (the helping
+// that makes Scan wait-free).
+type segment[T any] struct {
+	value T
+	seq   uint64
+	view  []T
+}
+
+// NewSnapshot creates a snapshot object with k slots holding zero
+// values.
+func NewSnapshot[T any](k int) *Snapshot[T] {
+	if k < 1 {
+		panic(fmt.Sprintf("resilient: k must be at least 1, got %d", k))
+	}
+	s := &Snapshot[T]{segs: make([]segSlot[T], k), k: k}
+	for i := range s.segs {
+		s.segs[i].p.Store(&segment[T]{})
+	}
+	return s
+}
+
+// K reports the number of slots.
+func (s *Snapshot[T]) K() int { return s.k }
+
+// Update writes v into slot i. It embeds a fresh scan so that
+// concurrent scanners who observe this writer move twice can adopt its
+// view instead of retrying forever.
+func (s *Snapshot[T]) Update(i int, v T) {
+	if i < 0 || i >= s.k {
+		panic(fmt.Sprintf("resilient: slot %d out of range [0,%d)", i, s.k))
+	}
+	view := s.Scan()
+	old := s.segs[i].p.Load()
+	s.segs[i].p.Store(&segment[T]{value: v, seq: old.seq + 1, view: view})
+}
+
+// Scan returns a consistent view of all k slots. Wait-free: either two
+// consecutive collects are identical (a clean double collect), or some
+// writer moved twice during the scan, in which case its second write
+// embeds a view taken entirely within our interval, which we borrow.
+func (s *Snapshot[T]) Scan() []T {
+	first := s.collect()
+	moved := make([]bool, s.k)
+	for {
+		a := s.collect()
+		b := s.collect()
+		if same(a, b) {
+			out := make([]T, s.k)
+			for i, seg := range b {
+				out[i] = seg.value
+			}
+			return out
+		}
+		for i := range a {
+			if a[i] != b[i] || a[i] != first[i] {
+				if moved[i] {
+					// Slot i moved twice since the scan began: its
+					// latest embedded view was taken inside our
+					// interval.
+					view := b[i].view
+					out := make([]T, s.k)
+					copy(out, view)
+					return out
+				}
+				moved[i] = true
+			}
+		}
+		first = b
+	}
+}
+
+func (s *Snapshot[T]) collect() []*segment[T] {
+	out := make([]*segment[T], s.k)
+	for i := range s.segs {
+		out[i] = s.segs[i].p.Load()
+	}
+	return out
+}
+
+func same[T any](a, b []*segment[T]) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package resilient
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSnapshotSequential(t *testing.T) {
+	s := NewSnapshot[int](3)
+	if got := s.Scan(); len(got) != 3 || got[0] != 0 || got[2] != 0 {
+		t.Fatalf("fresh scan = %v", got)
+	}
+	s.Update(0, 10)
+	s.Update(2, 30)
+	if got := s.Scan(); got[0] != 10 || got[1] != 0 || got[2] != 30 {
+		t.Fatalf("scan = %v, want [10 0 30]", got)
+	}
+	s.Update(0, 11)
+	if got := s.Scan(); got[0] != 11 {
+		t.Fatalf("scan = %v, want slot 0 = 11", got)
+	}
+	if s.K() != 3 {
+		t.Fatal("K wrong")
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	s := NewSnapshot[int](2)
+	for _, f := range []func(){
+		func() { s.Update(2, 1) },
+		func() { s.Update(-1, 1) },
+		func() { NewSnapshot[int](0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestSnapshotMonotoneViews: writers publish strictly increasing values;
+// every scan must be a consistent cut, so per-slot values seen by a
+// single scanner across consecutive scans never go backwards.
+func TestSnapshotMonotoneViews(t *testing.T) {
+	const k = 4
+	s := NewSnapshot[int](k)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v++
+				s.Update(w, v)
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	prev := make([]int, k)
+	scans := 0
+	for time.Now().Before(deadline) {
+		view := s.Scan()
+		scans++
+		for i := range view {
+			if view[i] < prev[i] {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("slot %d went backwards: %d after %d", i, view[i], prev[i])
+			}
+			prev[i] = view[i]
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if scans == 0 {
+		t.Fatal("no scans completed: Scan is not wait-free under churn")
+	}
+}
+
+// TestSnapshotScanIsConsistentCut: with two slots updated in lockstep
+// (slot 1 always written after slot 0 with the same round number), a
+// consistent cut can never show slot 1 ahead of slot 0.
+func TestSnapshotScanIsConsistentCut(t *testing.T) {
+	s := NewSnapshot[int](2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 1; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Update(0, round)
+			s.Update(1, round)
+		}
+	}()
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		view := s.Scan()
+		if view[1] > view[0] {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("inconsistent cut: slot1=%d written after slot0=%d", view[1], view[0])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotScannerProgressUnderChurn: a pure scanner makes progress
+// even when every writer updates continuously (the double-collect alone
+// would livelock; the embedded views guarantee termination).
+func TestSnapshotScannerProgressUnderChurn(t *testing.T) {
+	const k = 3
+	s := NewSnapshot[int](k)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v++
+				s.Update(w, v)
+			}
+		}(w)
+	}
+	var scans atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Scan()
+			scans.Add(1)
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if scans.Load() < 10 {
+		t.Fatalf("scanner starved: only %d scans under churn", scans.Load())
+	}
+}

@@ -1,0 +1,134 @@
+// Package resilient implements the paper's §1 methodology end to end: a
+// (k-1)-resilient shared object for N processes is built by encasing a
+// wait-free k-process object implementation inside a k-assignment
+// wrapper. The wrapper (internal/renaming over internal/core) admits at
+// most k processes and hands each a unique name in 0..k-1, which indexes
+// the wait-free core's announce array. The result is effectively
+// wait-free whenever contention stays at or below k, tolerates up to
+// k-1 undetected process failures, and its resiliency level k is chosen
+// on performance grounds rather than pinned to N-1 as with wait-free
+// objects — the paper's central argument.
+package resilient
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Op is an operation on an object with state S: it receives the current
+// state and returns the next state and the operation's result. Ops must
+// be pure functions of the state (helpers may execute them against
+// copies any number of times, but each announced op's effect is applied
+// exactly once).
+type Op[S any] func(S) (S, any)
+
+// Universal is a wait-free universal construction for k processes using
+// compare&swap: the shared object the paper assumes exists for its
+// wrapper to protect. Every operation completes within a bounded number
+// of its caller's own steps regardless of the other k-1 processes,
+// because helpers apply all announced operations when installing a new
+// version.
+//
+// Callers are identified by a name in 0..k-1 and must be sequential per
+// name — exactly what the k-assignment wrapper guarantees.
+type Universal[S any] struct {
+	head     atomic.Pointer[cell[S]]
+	announce []announceSlot[S]
+	clone    func(S) S
+	k        int
+}
+
+type announceSlot[S any] struct {
+	d atomic.Pointer[opDesc[S]]
+	_ [48]byte // keep hot announce slots on separate cache lines
+}
+
+type opDesc[S any] struct {
+	op  Op[S]
+	seq uint64
+}
+
+// cell is one immutable version of the object: the state plus, per name,
+// how many of its operations have been applied and the last result.
+type cell[S any] struct {
+	state S
+	seq   []uint64
+	res   []any
+}
+
+// NewUniversal creates a wait-free k-process object with the given
+// initial state. clone must produce an independent copy of the state
+// (helpers mutate copies); pass nil if S is a value type that copies by
+// assignment.
+func NewUniversal[S any](k int, initial S, clone func(S) S) *Universal[S] {
+	if k < 1 {
+		panic(fmt.Sprintf("resilient: k must be at least 1, got %d", k))
+	}
+	if clone == nil {
+		clone = func(s S) S { return s }
+	}
+	u := &Universal[S]{
+		announce: make([]announceSlot[S], k),
+		clone:    clone,
+		k:        k,
+	}
+	u.head.Store(&cell[S]{
+		state: initial,
+		seq:   make([]uint64, k),
+		res:   make([]any, k),
+	})
+	return u
+}
+
+// K reports the number of supported processes.
+func (u *Universal[S]) K() int { return u.k }
+
+// Apply performs op as the process named name and returns its result.
+// It is wait-free: the loop below runs at most three iterations, since
+// any version installed after the announce includes the announced op.
+func (u *Universal[S]) Apply(name int, op Op[S]) any {
+	if name < 0 || name >= u.k {
+		panic(fmt.Sprintf("resilient: name %d out of range [0,%d)", name, u.k))
+	}
+	var seq uint64 = 1
+	if prev := u.announce[name].d.Load(); prev != nil {
+		seq = prev.seq + 1
+	}
+	u.announce[name].d.Store(&opDesc[S]{op: op, seq: seq})
+
+	for {
+		h := u.head.Load()
+		if h.seq[name] >= seq {
+			return h.res[name]
+		}
+		u.head.CompareAndSwap(h, u.buildNext(h))
+	}
+}
+
+// Peek returns the current state without announcing an operation. The
+// returned value must be treated as immutable (it may share structure
+// with the live version).
+func (u *Universal[S]) Peek() S {
+	return u.head.Load().state
+}
+
+// buildNext creates the successor version of h, applying every announced
+// operation that h has not applied yet — the helping that makes the
+// construction wait-free rather than merely lock-free.
+func (u *Universal[S]) buildNext(h *cell[S]) *cell[S] {
+	next := &cell[S]{
+		state: u.clone(h.state),
+		seq:   append([]uint64(nil), h.seq...),
+		res:   append([]any(nil), h.res...),
+	}
+	for i := 0; i < u.k; i++ {
+		a := u.announce[i].d.Load()
+		if a != nil && a.seq == next.seq[i]+1 {
+			var r any
+			next.state, r = a.op(next.state)
+			next.seq[i]++
+			next.res[i] = r
+		}
+	}
+	return next
+}
