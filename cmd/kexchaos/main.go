@@ -1,0 +1,156 @@
+// Command kexchaos runs seeded crash-fault injection against the
+// native k-exclusion implementations (and the renaming / shared-object
+// wrappers built on them) and reports whether the paper's resilience
+// contract held: fewer than k slot-costing crashes must leave every
+// surviving goroutine completing its workload, while k or more must be
+// detected as loss of progress rather than a hang. The injection plan
+// is a pure function of -seed, so runs are scriptable and reproducible
+// like kexsim scenarios; the exit status encodes the verdict check.
+//
+// Example:
+//
+//	kexchaos -impl fastpath -n 16 -k 4 -crashes 3 -seed 7
+//	kexchaos -impl localspin -crashes 4 -kinds holding -deadline 2s   # k crashes: expect reported loss
+//	kexchaos -impl fastpath -assignment -kinds renaming,holding
+//	kexchaos -all -seed 42 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/faultinject"
+	"kexclusion/internal/renaming"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kexchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kexchaos", flag.ContinueOnError)
+	var (
+		implName   = fs.String("impl", "fastpath", "implementation name (see -list)")
+		list       = fs.Bool("list", false, "list implementations and exit")
+		all        = fs.Bool("all", false, "run every resilient implementation")
+		n          = fs.Int("n", 16, "number of process identities")
+		k          = fs.Int("k", 4, "slots (resiliency level)")
+		ops        = fs.Int("ops", 32, "operations each survivor must complete")
+		crashes    = fs.Int("crashes", 0, "number of crashes to inject (k-1 probes the contract, k the boundary)")
+		kindsCSV   = fs.String("kinds", "entry,holding,exit", "crash points to draw from (entry, holding, exit, renaming)")
+		seed       = fs.Int64("seed", 1, "plan seed (same seed, same plan, same report)")
+		deadline   = fs.Duration("deadline", 30*time.Second, "watchdog before a run is reported as loss of progress")
+		assignment = fs.Bool("assignment", false, "wrap the implementation in Figure 7 k-assignment")
+		shared     = fs.Bool("shared", false, "drive the full §1 shared-object stack (counter under k-assignment)")
+		asJSON     = fs.Bool("json", false, "emit the deterministic report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, c := range core.Registry() {
+			fmt.Fprintf(out, "%-11s %s\n", c.Name, c.Doc)
+		}
+		return nil
+	}
+	kinds, err := faultinject.ParseKinds(*kindsCSV)
+	if err != nil {
+		return err
+	}
+	if *assignment && *shared {
+		return fmt.Errorf("-assignment and -shared are exclusive")
+	}
+
+	var impls []core.Constructor
+	if *all {
+		for _, c := range core.Registry() {
+			if c.Resilient && c.FixedK == 0 {
+				impls = append(impls, c)
+			}
+		}
+	} else {
+		c, err := core.ByName(*implName)
+		if err != nil {
+			return err
+		}
+		impls = []core.Constructor{c}
+	}
+
+	failures := 0
+	for _, c := range impls {
+		kk := *k
+		if c.FixedK != 0 {
+			kk = c.FixedK
+		}
+		plan := faultinject.NewPlan(*seed, *n, *ops, *crashes, kinds...)
+		cfg := faultinject.Config{Name: label(c.Name, *assignment, *shared), OpsPerProc: *ops, Deadline: *deadline}
+
+		var res faultinject.Result
+		kx := c.New(*n, kk)
+		switch {
+		case *shared:
+			res, err = faultinject.RunShared(kx, plan, cfg)
+		case *assignment:
+			res, err = faultinject.RunAssignment(renaming.NewAssignment(kx), plan, cfg)
+		default:
+			res, err = faultinject.Run(kx, plan, cfg)
+		}
+		if err != nil {
+			return err
+		}
+
+		if *asJSON {
+			b, err := json.MarshalIndent(res.Report, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s\n", b)
+		} else {
+			fmt.Fprint(out, res.Report)
+			fmt.Fprintf(out, "observed: ops=%d crashes fired=%d entry landed=%d max survivor acquire=%v elapsed=%v\n",
+				res.Metrics.CompletedOps, res.Metrics.CrashesFired, res.Metrics.EntryLanded,
+				res.Metrics.MaxAcquire, res.Metrics.Elapsed.Round(time.Millisecond))
+			if res.Metrics.NameViolations != 0 {
+				fmt.Fprintf(out, "NAME VIOLATIONS: %d\n", res.Metrics.NameViolations)
+			}
+		}
+
+		// Verdict check: resilient implementations must complete below
+		// the k-crash boundary and report loss at or beyond it; the
+		// non-resilient comparator must fail any slot-costing crash.
+		expectLoss := plan.SlotsCharged() >= kk
+		if !c.Resilient && plan.SlotsCharged() > 0 {
+			expectLoss = true
+		}
+		if res.Report.ProgressLost != expectLoss {
+			failures++
+			fmt.Fprintf(out, "CONTRACT VIOLATION: %s charged %d of %d slots but progress_lost=%v\n",
+				c.Name, plan.SlotsCharged(), kk, res.Report.ProgressLost)
+		}
+		if res.Metrics.NameViolations != 0 {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d contract violation(s)", failures)
+	}
+	return nil
+}
+
+func label(impl string, assignment, shared bool) string {
+	switch {
+	case shared:
+		return impl + "+shared"
+	case assignment:
+		return impl + "+renaming"
+	}
+	return impl
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosResilientRun(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-impl", "fastpath", "-n", "8", "-k", "3", "-ops", "8", "-crashes", "2", "-kinds", "holding", "-seed", "7"}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "verdict: resilient") {
+		t.Fatalf("expected resilient verdict:\n%s", b.String())
+	}
+}
+
+func TestChaosLossBoundary(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-impl", "counting", "-n", "6", "-k", "2", "-ops", "4", "-crashes", "2", "-kinds", "holding", "-deadline", "1s"}, &b)
+	if err != nil {
+		t.Fatalf("k crashes must be a *reported* loss, not a violation: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "LOSS OF PROGRESS") {
+		t.Fatalf("expected loss verdict:\n%s", b.String())
+	}
+}
+
+func TestChaosJSONDeterminism(t *testing.T) {
+	args := []string{"-impl", "localspin", "-n", "8", "-k", "3", "-ops", "6", "-crashes", "2", "-seed", "11", "-json"}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different JSON reports:\n%s\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "\"seed\": 11") {
+		t.Fatalf("JSON report missing seed:\n%s", a.String())
+	}
+}
+
+func TestChaosAssignment(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-impl", "fastpath", "-assignment", "-n", "8", "-k", "3", "-ops", "6", "-crashes", "2", "-kinds", "renaming,exit", "-seed", "3"}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "fastpath+renaming") {
+		t.Fatalf("expected wrapper label:\n%s", b.String())
+	}
+}
+
+func TestChaosShared(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-impl", "lsfastpath", "-shared", "-n", "8", "-k", "3", "-ops", "6", "-crashes", "2", "-seed", "5"}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "applied total=") {
+		t.Fatalf("expected applied-operation accounting:\n%s", b.String())
+	}
+}
+
+func TestChaosList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"inductive", "tree", "fastpath", "graceful", "localspin", "lsfastpath", "mcs"} {
+		if !strings.Contains(b.String(), name) {
+			t.Fatalf("listing missing %q:\n%s", name, b.String())
+		}
+	}
+}
+
+func TestChaosErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-impl", "no-such"}, &b); err == nil {
+		t.Fatal("expected error for unknown implementation")
+	}
+	if err := run([]string{"-kinds", "reboot"}, &b); err == nil {
+		t.Fatal("expected error for unknown crash kind")
+	}
+	if err := run([]string{"-assignment", "-shared"}, &b); err == nil {
+		t.Fatal("expected error for exclusive wrapper flags")
+	}
+}
+
+// TestChaosMCSWedge: the concluding-remarks comparator collapses at a
+// single crash; kexchaos must report the loss without flagging a
+// contract violation (MCS promises nothing).
+func TestChaosMCSWedge(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-impl", "mcs", "-n", "4", "-ops", "4", "-crashes", "1", "-kinds", "holding", "-deadline", "1s"}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "LOSS OF PROGRESS") {
+		t.Fatalf("expected MCS wedge to be reported:\n%s", b.String())
+	}
+}

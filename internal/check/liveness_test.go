@@ -33,6 +33,57 @@ func TestLivenessPaperAlgorithms(t *testing.T) {
 	}
 }
 
+// TestLivenessFastPathMultiCrash: the fast-path protocols keep
+// lockout-freedom under crash patterns of size > 1 — here every
+// pattern of up to k-1 = 2 crashes at N=4, k=3. The state graphs run
+// to ~412k states, so this is the expensive end of what the 500k
+// default decides exactly.
+func TestLivenessFastPathMultiCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~400k-state graphs; skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		name string
+		res  LivenessResult
+	}{
+		{"cc-fastpath", RunLiveness(algo.FastPath{}, Config{N: 4, K: 3, Model: machine.CacheCoherent, MaxCrashes: 2})},
+		{"cc-fastpath-faa", RunLiveness(algo.FastPathFAA{}, Config{N: 4, K: 3, Model: machine.CacheCoherent, MaxCrashes: 2})},
+	} {
+		if !tc.res.Complete {
+			t.Fatalf("%s: graph truncated at %d states", tc.name, tc.res.States)
+		}
+		for _, v := range tc.res.Violations {
+			t.Errorf("%s N=4 k=3 crashes<=2: %s", tc.name, v)
+		}
+		t.Logf("%s: lockout-freedom verified over %d states (crashes<=2)", tc.name, tc.res.States)
+	}
+}
+
+// TestLivenessBoundaryAtKCrashes: the resilience bound is tight — the
+// same fast-path protocols admit lockout as soon as k crashes are
+// reachable (k holders die, no slot remains), so the checker must
+// produce witnesses at MaxCrashes = k.
+func TestLivenessBoundaryAtKCrashes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		res  LivenessResult
+	}{
+		{"cc-fastpath", RunLiveness(algo.FastPath{}, Config{N: 3, K: 2, Model: machine.CacheCoherent, MaxCrashes: 2})},
+		{"cc-fastpath-faa", RunLiveness(algo.FastPathFAA{}, Config{N: 3, K: 2, Model: machine.CacheCoherent, MaxCrashes: 2})},
+	} {
+		if !tc.res.Complete {
+			t.Fatalf("%s: graph truncated at %d states", tc.name, tc.res.States)
+		}
+		if len(tc.res.Violations) == 0 {
+			t.Fatalf("%s: expected lockout witnesses at k crashes", tc.name)
+		}
+		if !strings.Contains(tc.res.Violations[0], "lockout") {
+			t.Fatalf("%s: unexpected violation: %s", tc.name, tc.res.Violations[0])
+		}
+		t.Logf("%s: boundary confirmed — %d witnesses at crashes=k", tc.name, len(tc.res.Violations))
+	}
+}
+
 // TestLivenessCatchesQueueLockout: one crash makes the Figure 1 queue
 // lock survivors out forever; the backward-reachability check finds it.
 func TestLivenessCatchesQueueLockout(t *testing.T) {

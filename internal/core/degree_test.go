@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestDegreeOfExclusion is the shared table-driven safety test: for
+// every registered implementation and a spread of (n, k) shapes, a
+// concurrent-holder counter must never exceed K — checked at several
+// GOMAXPROCS settings, because both the single-threaded (pure Gosched
+// interleaving) and the genuinely parallel schedules have caught
+// distinct bug classes in spin protocols. Run it under -race; the
+// counter doubles as a happens-before probe for the acquire/release
+// edges.
+func TestDegreeOfExclusion(t *testing.T) {
+	shapes := []struct{ n, k int }{{4, 1}, {5, 2}, {8, 3}, {7, 7}, {12, 4}}
+	procs := []int{1, 4, runtime.NumCPU()}
+	if procs[2] == procs[1] || procs[2] == procs[0] {
+		procs = procs[:2] // NumCPU duplicates a fixed setting
+	}
+	for _, gmp := range procs {
+		prev := runtime.GOMAXPROCS(gmp)
+		for _, c := range Registry() {
+			for _, sh := range shapes {
+				k := sh.k
+				if c.FixedK != 0 {
+					if sh.k != 1 {
+						continue
+					}
+					k = c.FixedK
+				}
+				t.Run(fmt.Sprintf("gomaxprocs%d/%s/N%dk%d", gmp, c.Name, sh.n, k), func(t *testing.T) {
+					exercise(t, c.New(sh.n, k), 40)
+				})
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+func TestRegistryByName(t *testing.T) {
+	for _, c := range Registry() {
+		got, err := ByName(c.Name)
+		if err != nil || got.Name != c.Name {
+			t.Errorf("ByName(%q) = %v, %v", c.Name, got.Name, err)
+		}
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Error("expected error for unknown name")
+	}
+	names := Names()
+	if len(names) != len(Registry()) {
+		t.Errorf("Names() has %d entries, registry %d", len(names), len(Registry()))
+	}
+}
+
+func TestRegistryMCSRejectsK(t *testing.T) {
+	mcs, err := ByName("mcs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcs.Resilient || mcs.FixedK != 1 {
+		t.Fatalf("mcs must be registered non-resilient with FixedK=1: %+v", mcs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mcs constructor must panic for k != 1")
+		}
+	}()
+	mcs.New(4, 2)
+}
+
+// TestRegistryShapesAgree: the registry's constructors honour the
+// shape they are given — guards against a registry entry wiring the
+// wrong constructor.
+func TestRegistryShapesAgree(t *testing.T) {
+	for _, c := range Registry() {
+		k := 2
+		if c.FixedK != 0 {
+			k = c.FixedK
+		}
+		kx := c.New(6, k)
+		if kx.N() != 6 || kx.K() != k {
+			t.Errorf("%s: built (N=%d,K=%d), want (6,%d)", c.Name, kx.N(), kx.K(), k)
+		}
+	}
+}

@@ -9,20 +9,18 @@ import (
 	"time"
 )
 
-// builders enumerates every native k-exclusion implementation.
+// builders enumerates every registered k-exclusion implementation that
+// supports arbitrary (n, k) shapes; fixed-k entries (MCS) have
+// dedicated coverage in mcs_test.go.
 func builders() map[string]func(n, k int) KExclusion {
-	return map[string]func(n, k int) KExclusion{
-		"counting":  func(n, k int) KExclusion { return NewCounting(n, k) },
-		"chansem":   func(n, k int) KExclusion { return NewChanSem(n, k) },
-		"inductive": func(n, k int) KExclusion { return NewInductive(n, k) },
-		"tree":      func(n, k int) KExclusion { return NewTree(n, k) },
-		"fastpath":  func(n, k int) KExclusion { return NewFastPath(n, k) },
-		"graceful":  func(n, k int) KExclusion { return NewGraceful(n, k) },
-		"localspin": func(n, k int) KExclusion { return NewLocalSpin(n, k) },
-		"lsfastpath": func(n, k int) KExclusion {
-			return NewLocalSpinFastPath(n, k)
-		},
+	m := make(map[string]func(n, k int) KExclusion)
+	for _, c := range Registry() {
+		if c.FixedK != 0 {
+			continue
+		}
+		m[c.Name] = func(n, k int) KExclusion { return c.New(n, k) }
 	}
+	return m
 }
 
 // exercise runs n goroutines through rounds acquisitions each, asserting

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Constructor describes one native k-exclusion implementation so that
+// generic drivers — the shared invariant tests, the fault-injection
+// conformance suite, cmd/kexchaos — can enumerate every algorithm
+// without hand-maintained lists.
+type Constructor struct {
+	// Name identifies the implementation (stable, CLI-friendly).
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Resilient reports whether the algorithm honours the paper's
+	// (k-1)-resilience contract: a holder that stops costs one slot,
+	// never overall progress. MCS is deliberately false — a crashed
+	// holder wedges the queue, which is the gap the paper fills.
+	Resilient bool
+	// FixedK is nonzero when the implementation supports only that
+	// k (MCS is mutual exclusion, k=1). Zero means any 1 <= k <= n.
+	FixedK int
+	// New builds an instance for n process identities and k slots.
+	New func(n, k int, opts ...Option) KExclusion
+}
+
+// Registry returns every native k-exclusion implementation in a stable
+// order: the paper's algorithms first, then the baselines and the k=1
+// comparator.
+func Registry() []Constructor {
+	return []Constructor{
+		{
+			Name: "inductive", Doc: "Theorem 1: inductive chain of Figure 2 layers",
+			Resilient: true,
+			New:       func(n, k int, opts ...Option) KExclusion { return NewInductive(n, k, opts...) },
+		},
+		{
+			Name: "tree", Doc: "Theorem 2: arbitration tree of (2k,k) blocks",
+			Resilient: true,
+			New:       func(n, k int, opts ...Option) KExclusion { return NewTree(n, k, opts...) },
+		},
+		{
+			Name: "fastpath", Doc: "Theorem 3: Figure 4 fast path over a tree slow path",
+			Resilient: true,
+			New:       func(n, k int, opts ...Option) KExclusion { return NewFastPath(n, k, opts...) },
+		},
+		{
+			Name: "graceful", Doc: "Theorem 4: nested fast paths (Figure 3b)",
+			Resilient: true,
+			New:       func(n, k int, opts ...Option) KExclusion { return NewGraceful(n, k, opts...) },
+		},
+		{
+			Name: "localspin", Doc: "Theorem 5: Figure 6 bounded local-spin chain",
+			Resilient: true,
+			New:       func(n, k int, opts ...Option) KExclusion { return NewLocalSpin(n, k, opts...) },
+		},
+		{
+			Name: "lsfastpath", Doc: "Theorem 7: fast path over Figure 6 building blocks",
+			Resilient: true,
+			New:       func(n, k int, opts ...Option) KExclusion { return NewLocalSpinFastPath(n, k, opts...) },
+		},
+		{
+			Name: "counting", Doc: "baseline: bounded-decrement counting semaphore",
+			Resilient: true,
+			New:       func(n, k int, opts ...Option) KExclusion { return NewCounting(n, k, opts...) },
+		},
+		{
+			Name: "chansem", Doc: "baseline: buffered-channel semaphore (parking waiters)",
+			Resilient: true,
+			New:       func(n, k int, opts ...Option) KExclusion { return NewChanSem(n, k) },
+		},
+		{
+			Name: "mcs", Doc: "k=1 comparator: MCS queue lock (NOT crash-tolerant)",
+			Resilient: false, FixedK: 1,
+			New: func(n, k int, opts ...Option) KExclusion {
+				if k != 1 {
+					panic(fmt.Sprintf("kexclusion: mcs supports only k=1, got k=%d", k))
+				}
+				return NewMCS(n, opts...)
+			},
+		},
+	}
+}
+
+// ByName looks an implementation up by its registry name.
+func ByName(name string) (Constructor, error) {
+	for _, c := range Registry() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Constructor{}, fmt.Errorf("kexclusion: unknown implementation %q (have %v)", name, Names())
+}
+
+// Names lists all registry names, sorted.
+func Names() []string {
+	var names []string
+	for _, c := range Registry() {
+		names = append(names, c.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"kexclusion/internal/core"
+)
+
+// confSpinBudget keeps any goroutine that ends up spinning (abandoned
+// entries, survivors in loss scenarios) yielding frequently, so the
+// injected runs behave on oversubscribed CI hosts.
+const confSpinBudget = 8
+
+// passScenarios are the crash tables every (k-1)-resilient
+// implementation must survive: with at most k-1 slot-costing crashes,
+// every surviving process completes the fixed workload.
+func passScenarios(n, k, ops int) []struct {
+	name string
+	plan Plan
+} {
+	type sc = struct {
+		name string
+		plan Plan
+	}
+	out := []sc{{name: "no-crashes", plan: Plan{}}}
+	if k >= 2 {
+		out = append(out,
+			sc{"one-holder", Plan{Seed: 1, Events: []Event{{Proc: 0, Op: 1, Kind: CrashWhileHolding}}}},
+			sc{"one-entry", Plan{Seed: 2, Events: []Event{{Proc: n - 1, Op: 0, Kind: CrashInEntry}}}},
+		)
+	}
+	// Exit crashes are free at every k, mutual exclusion included.
+	out = append(out, sc{"one-exit", Plan{Seed: 3, Events: []Event{{Proc: 1, Op: 0, Kind: CrashInExit}}}})
+	if k >= 3 {
+		events := make([]Event, k-1)
+		for i := range events {
+			events[i] = Event{Proc: i, Op: i % ops, Kind: CrashWhileHolding}
+		}
+		out = append(out,
+			sc{"kminus1-holders", Plan{Seed: 4, Events: events}},
+			sc{"mixed", Plan{Seed: 5, Events: []Event{
+				{Proc: 0, Op: 0, Kind: CrashInEntry},
+				{Proc: 2, Op: 2, Kind: CrashWhileHolding},
+				{Proc: 4, Op: 1, Kind: CrashInExit},
+			}}},
+			sc{"seeded", NewPlan(1337, n, ops, k-1, CrashWhileHolding)},
+		)
+	}
+	return out
+}
+
+// TestConformanceResilience runs every registered constructor through
+// the shared crash table and asserts the paper's resilience contract on
+// the goroutine runtime: at most k-1 slot-costing crashes leave every
+// survivor able to finish the workload before the watchdog. The k-crash
+// boundary (and MCS's collapse at a single crash) lives in
+// zz_loss_test.go, last in the package so its intentionally leaked
+// spinners cannot slow these runs.
+func TestConformanceResilience(t *testing.T) {
+	const ops = 12
+	for _, c := range core.Registry() {
+		n, k := 8, 3
+		if c.FixedK != 0 {
+			k = c.FixedK
+		}
+		scenarios := passScenarios(n, k, ops)
+		if !c.Resilient {
+			// Non-resilient comparators only pass the crash-free and
+			// exit-crash (slot charge zero) rows.
+			var free []struct {
+				name string
+				plan Plan
+			}
+			for _, sc := range scenarios {
+				if sc.plan.SlotsCharged() == 0 {
+					free = append(free, sc)
+				}
+			}
+			scenarios = free
+		}
+		for _, sc := range scenarios {
+			t.Run(fmt.Sprintf("%s/%s", c.Name, sc.name), func(t *testing.T) {
+				kx := c.New(n, k, core.WithSpinBudget(confSpinBudget))
+				res, err := Run(kx, sc.plan, Config{Name: c.Name, OpsPerProc: ops})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := res.Report
+				if !r.Completed || r.ProgressLost {
+					t.Fatalf("survivors did not complete with %d slot(s) charged of %d:\n%s",
+						r.SlotsLost, k, r)
+				}
+				if want := (n - len(sc.plan.Events)) * ops; r.SurvivorOps != want {
+					t.Fatalf("SurvivorOps=%d want %d", r.SurvivorOps, want)
+				}
+				if want := sc.plan.SlotsCharged(); r.SlotsLost != want {
+					t.Fatalf("SlotsLost=%d want %d", r.SlotsLost, want)
+				}
+				if res.Metrics.CrashesFired != len(sc.plan.Events) {
+					t.Fatalf("CrashesFired=%d want %d", res.Metrics.CrashesFired, len(sc.plan.Events))
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceSeededSweep: every resilient constructor under a few
+// purely seed-derived plans — the same sweep cmd/kexchaos scripts.
+func TestConformanceSeededSweep(t *testing.T) {
+	const n, k, ops = 10, 4, 8
+	for _, c := range core.Registry() {
+		if !c.Resilient || c.FixedK != 0 {
+			continue
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", c.Name, seed), func(t *testing.T) {
+				// Up to k-1 crashes of any kind: charge is at most k-1,
+				// so the run must complete.
+				plan := NewPlan(seed, n, ops, k-1)
+				kx := c.New(n, k, core.WithSpinBudget(confSpinBudget))
+				res, err := Run(kx, plan, Config{Name: c.Name, OpsPerProc: ops})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Report.Completed {
+					t.Fatalf("seeded run lost progress with charge %d < k=%d:\n%s",
+						res.Report.SlotsLost, k, res.Report)
+				}
+			})
+		}
+	}
+}

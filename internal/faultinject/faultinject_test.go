@@ -1,0 +1,234 @@
+package faultinject
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/renaming"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range []Kind{CrashInEntry, CrashWhileHolding, CrashInExit, CrashMidRenaming} {
+		parsed, err := parseKind(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("round trip failed for %v: parsed=%v err=%v", k, parsed, err)
+		}
+	}
+	if _, err := parseKind("reboot"); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	kinds, err := ParseKinds("entry, holding,exit")
+	if err != nil || !reflect.DeepEqual(kinds, []Kind{CrashInEntry, CrashWhileHolding, CrashInExit}) {
+		t.Errorf("ParseKinds wrong: %v err=%v", kinds, err)
+	}
+	if _, err := ParseKinds(","); err == nil {
+		t.Error("expected error for empty kind list")
+	}
+}
+
+func TestNewPlanDeterministic(t *testing.T) {
+	a := NewPlan(42, 16, 10, 5)
+	b := NewPlan(42, 16, 10, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%+v\n%+v", a, b)
+	}
+	// Distinct victims, in range, sorted.
+	seen := map[int]bool{}
+	for i, ev := range a.Events {
+		if ev.Proc < 0 || ev.Proc >= 16 || ev.Op < 0 || ev.Op >= 10 {
+			t.Fatalf("event out of range: %+v", ev)
+		}
+		if seen[ev.Proc] {
+			t.Fatalf("duplicate victim %d", ev.Proc)
+		}
+		seen[ev.Proc] = true
+		if i > 0 && a.Events[i-1].Proc > ev.Proc {
+			t.Fatalf("events not sorted by proc: %+v", a.Events)
+		}
+	}
+	// Different seeds disagree on at least one of a few tries.
+	diff := false
+	for _, seed := range []int64{43, 44, 45} {
+		if !reflect.DeepEqual(NewPlan(seed, 16, 10, 5).Events, a.Events) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("three different seeds all produced the seed-42 plan")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	kx := core.NewCounting(4, 2)
+	bad := []Plan{
+		{Events: []Event{{Proc: 4, Op: 0, Kind: CrashWhileHolding}}},
+		{Events: []Event{{Proc: -1, Op: 0, Kind: CrashWhileHolding}}},
+		{Events: []Event{{Proc: 1, Op: 0, Kind: CrashWhileHolding}, {Proc: 1, Op: 1, Kind: CrashInExit}}},
+		{Events: []Event{{Proc: 1, Op: 8, Kind: CrashWhileHolding}}}, // beyond workload
+		{Events: []Event{{Proc: 1, Op: 0, Kind: CrashMidRenaming}}},  // needs assignment harness
+		{Events: []Event{{Proc: 1, Op: 0, Kind: Kind(99)}}},
+	}
+	for i, pl := range bad {
+		if _, err := Run(kx, pl, Config{OpsPerProc: 4}); err == nil {
+			t.Errorf("plan %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSlotAccounting(t *testing.T) {
+	pl := Plan{Events: []Event{
+		{Proc: 0, Op: 0, Kind: CrashInEntry},
+		{Proc: 1, Op: 0, Kind: CrashWhileHolding},
+		{Proc: 2, Op: 0, Kind: CrashInExit},
+		{Proc: 3, Op: 0, Kind: CrashMidRenaming},
+	}}
+	if got := pl.SlotsCharged(); got != 3 {
+		t.Fatalf("SlotsCharged=%d want 3 (exit crashes are free)", got)
+	}
+	if got := pl.Victims(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("Victims=%v", got)
+	}
+}
+
+// TestExitCrashCostsNoSlot: a process stopping in its (bounded) exit
+// section loses itself but not a slot — even mutual exclusion survives.
+func TestExitCrashCostsNoSlot(t *testing.T) {
+	kx := core.NewInductive(4, 1, core.WithSpinBudget(8))
+	pl := Plan{Seed: 5, Events: []Event{{Proc: 0, Op: 1, Kind: CrashInExit}}}
+	res, err := Run(kx, pl, Config{Name: "inductive", OpsPerProc: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if !r.Completed || r.ProgressLost || r.SlotsLost != 0 || r.SlotsRemaining != 1 {
+		t.Fatalf("unexpected report: %s", r)
+	}
+	if r.Survivors != 3 || r.SurvivorOps != 3*8 {
+		t.Fatalf("survivor accounting wrong: %s", r)
+	}
+}
+
+// TestEntryCrashChargesOneSlot: an acquisition abandoned mid-entry
+// still consumes exactly one slot once granted.
+func TestEntryCrashChargesOneSlot(t *testing.T) {
+	kx := core.NewFastPath(6, 2, core.WithSpinBudget(8))
+	pl := Plan{Seed: 9, Events: []Event{{Proc: 3, Op: 0, Kind: CrashInEntry}}}
+	res, err := Run(kx, pl, Config{Name: "fastpath", OpsPerProc: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if !r.Completed || r.SlotsLost != 1 || r.SlotsRemaining != 1 {
+		t.Fatalf("unexpected report: %s", r)
+	}
+	if res.Metrics.EntryLanded != 1 {
+		t.Fatalf("abandoned entry acquisition never landed: %+v", res.Metrics)
+	}
+}
+
+// TestVictimsRunPreCrashOps: a victim crashing at operation j completes
+// j operations first, observable in Metrics on a completed run.
+func TestVictimsRunPreCrashOps(t *testing.T) {
+	kx := core.NewCounting(4, 2)
+	pl := Plan{Events: []Event{{Proc: 0, Op: 3, Kind: CrashWhileHolding}}}
+	res, err := Run(kx, pl, Config{OpsPerProc: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(3*6 + 3) // three survivors' workload + victim's pre-crash ops
+	if res.Metrics.CompletedOps != want {
+		t.Fatalf("CompletedOps=%d want %d", res.Metrics.CompletedOps, want)
+	}
+	if res.Metrics.CrashesFired != 1 {
+		t.Fatalf("CrashesFired=%d want 1", res.Metrics.CrashesFired)
+	}
+}
+
+func TestReportDeterminismAcrossRuns(t *testing.T) {
+	build := func() core.KExclusion { return core.NewLocalSpin(8, 3, core.WithSpinBudget(8)) }
+	pl := NewPlan(1234, 8, 12, 2, CrashInEntry, CrashWhileHolding, CrashInExit)
+	cfg := Config{Name: "localspin", OpsPerProc: 12}
+
+	first, err := Run(build(), pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(build(), pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Report.Canonical(), second.Report.Canonical()) {
+		t.Fatalf("same seed produced different reports:\n%s\n%s",
+			first.Report.Canonical(), second.Report.Canonical())
+	}
+	// Different seed, different plan, different report bytes.
+	other, err := Run(build(), NewPlan(99, 8, 12, 2, CrashWhileHolding), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(first.Report.Canonical(), other.Report.Canonical()) {
+		t.Fatal("different seeds produced byte-identical reports")
+	}
+}
+
+// TestAssignmentCrashDegradesOneName: Figure 7's contract on the
+// runtime — a crashed holder leaks exactly one name, and the survivors
+// keep renaming correctly within the remaining space.
+func TestAssignmentCrashDegradesOneName(t *testing.T) {
+	asg := renaming.NewAssignment(core.NewFastPath(8, 3, core.WithSpinBudget(8)))
+	pl := Plan{Seed: 21, Events: []Event{
+		{Proc: 2, Op: 1, Kind: CrashMidRenaming},
+		{Proc: 5, Op: 0, Kind: CrashInExit},
+	}}
+	res, err := RunAssignment(asg, pl, Config{Name: "fastpath+renaming", OpsPerProc: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if !r.Completed || r.SlotsLost != 1 || r.SlotsRemaining != 2 {
+		t.Fatalf("unexpected report: %s", r)
+	}
+	if res.Metrics.NameViolations != 0 {
+		t.Fatalf("name uniqueness violated %d times", res.Metrics.NameViolations)
+	}
+}
+
+// TestSharedCounterAccounting: the §1 methodology end to end — the
+// final counter value proves exactly which operations were applied
+// across every crash kind.
+func TestSharedCounterAccounting(t *testing.T) {
+	pl := Plan{Seed: 31, Events: []Event{
+		{Proc: 0, Op: 2, Kind: CrashInEntry},      // 2 applied, slot charged
+		{Proc: 3, Op: 1, Kind: CrashWhileHolding}, // op 1 never applied; nothing released
+		{Proc: 6, Op: 0, Kind: CrashMidRenaming},  // op 0 applied; nothing released
+	}}
+	kx := core.NewLocalSpinFastPath(10, 4, core.WithSpinBudget(8))
+	res, err := RunShared(kx, pl, Config{Name: "lsfastpath+shared", OpsPerProc: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if !r.Completed {
+		t.Fatalf("run did not complete: %s", r)
+	}
+	want := 7*8 + 2 + 1 + 1 // survivors + pre-crash applies + mid-renaming's own op
+	if r.AppliedTotal != want {
+		t.Fatalf("AppliedTotal=%d want %d", r.AppliedTotal, want)
+	}
+	if r.SlotsLost != 3 || r.SlotsRemaining != 1 {
+		t.Fatalf("slot accounting wrong: %s", r)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.OpsPerProc <= 0 || cfg.Deadline <= 0 {
+		t.Fatalf("defaults missing: %+v", cfg)
+	}
+	if d := (Config{Deadline: time.Second}).withDefaults().Deadline; d != time.Second {
+		t.Fatalf("explicit deadline overridden: %v", d)
+	}
+}

@@ -1,0 +1,285 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/renaming"
+	"kexclusion/internal/resilient"
+)
+
+// Config tunes one harness run.
+type Config struct {
+	// Name labels the implementation in the Report.
+	Name string
+	// OpsPerProc is the fixed workload: how many acquire/release (or
+	// Apply) cycles each surviving process must complete. Victims run
+	// the same loop until their crash fires. Default 16.
+	OpsPerProc int
+	// Deadline is the watchdog: if the planned crashes or the survivor
+	// workload have not completed by then, the run is cut off and
+	// reported as loss of progress instead of hanging. Default 30s.
+	Deadline time.Duration
+	// CS, when non-nil, runs as the critical-section body of every
+	// completed operation (Run and RunAssignment only).
+	CS func(p, op int)
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.OpsPerProc <= 0 {
+		cfg.OpsPerProc = 16
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 30 * time.Second
+	}
+	return cfg
+}
+
+// engine drives victims and survivors through a tracker-wrapped object
+// in two phases. Phase one runs only the victims, until every planned
+// crash has taken effect (AwaitCrashes); phase two runs the survivors'
+// fixed workload under the watchdog. The phasing is what makes the
+// progress verdict deterministic: whether survivors can finish depends
+// only on how many slots the plan charged, never on how the crash and
+// survivor goroutines happened to interleave.
+type engine struct {
+	tracker *crashTracker
+	cfg     Config
+
+	completedOps   atomic.Int64
+	maxAcqNanos    atomic.Int64
+	nameViolations atomic.Int64
+}
+
+// doOp performs one full operation for process p and reports whether p
+// is still alive; it must stop at the injector's crash points.
+type doOp func(p int, timeAcquire bool) (alive bool)
+
+func (e *engine) worker(p int, op doOp, timeAcquire bool, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for e.tracker.Alive(p) && e.tracker.Ops(p) < e.cfg.OpsPerProc {
+		if !op(p, timeAcquire) {
+			return
+		}
+		e.completedOps.Add(1)
+	}
+}
+
+func (e *engine) noteAcquire(d time.Duration) {
+	for {
+		cur := e.maxAcqNanos.Load()
+		if int64(d) <= cur || e.maxAcqNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// run executes the two phases and assembles the Result for an object
+// with n identities and k slots.
+func (e *engine) run(n, k int, plan Plan, op doOp) Result {
+	start := time.Now()
+	watchdog := time.After(e.cfg.Deadline)
+
+	isVictim := make([]bool, n)
+	for _, ev := range plan.Events {
+		isVictim[ev.Proc] = true
+	}
+
+	// Phase one: victims run (concurrently with each other only) until
+	// every planned crash has fired and charged its slot.
+	var victims sync.WaitGroup
+	for p := 0; p < n; p++ {
+		if isVictim[p] {
+			victims.Add(1)
+			go e.worker(p, op, false, &victims)
+		}
+	}
+	crashesDone := e.tracker.AwaitCrashes(watchdog)
+
+	// Phase two: survivors run the fixed workload — unless the plan
+	// already wedged the object, in which case starting them would only
+	// leak more blocked goroutines.
+	survivorsDone := crashesDone
+	if crashesDone {
+		var survivors sync.WaitGroup
+		for p := 0; p < n; p++ {
+			if !isVictim[p] {
+				survivors.Add(1)
+				go e.worker(p, op, true, &survivors)
+			}
+		}
+		done := make(chan struct{})
+		go func() { survivors.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-watchdog:
+			survivorsDone = false
+		}
+	}
+
+	completed := crashesDone && survivorsDone
+	nSurvivors := n - len(plan.Events)
+	charge := plan.SlotsCharged()
+	remaining := k - charge
+	if remaining < 0 {
+		remaining = 0
+	}
+	survivorOps := 0
+	if completed {
+		survivorOps = nSurvivors * e.cfg.OpsPerProc
+	}
+	return Result{
+		Report: Report{
+			Impl:           e.cfg.Name,
+			N:              n,
+			K:              k,
+			Seed:           plan.Seed,
+			OpsPerProc:     e.cfg.OpsPerProc,
+			Crashes:        append([]Event{}, plan.Events...),
+			SlotsLost:      charge,
+			SlotsRemaining: remaining,
+			Survivors:      nSurvivors,
+			SurvivorOps:    survivorOps,
+			AppliedTotal:   -1,
+			Completed:      completed,
+			ProgressLost:   !completed,
+		},
+		Metrics: Metrics{
+			CompletedOps: e.completedOps.Load(),
+			MaxAcquire:   time.Duration(e.maxAcqNanos.Load()),
+			CrashesFired: e.tracker.CrashesFired(),
+			EntryLanded:  int(e.tracker.nLanded.Load()),
+			Elapsed:      time.Since(start),
+		},
+	}
+}
+
+// Run drives kx through plan: victims crash at their planned points,
+// then every survivor must complete cfg.OpsPerProc acquire/release
+// cycles before the watchdog. The paper's contract, checked on the
+// real runtime: with the plan charging fewer than K slots the run
+// completes; at K or beyond it is reported as loss of progress.
+func Run(kx core.KExclusion, plan Plan, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	in, err := NewInjector(kx, plan, cfg.OpsPerProc)
+	if err != nil {
+		return Result{}, err
+	}
+	e := &engine{tracker: in.crashTracker, cfg: cfg}
+	op := func(p int, timeAcquire bool) bool {
+		begin := time.Time{}
+		if timeAcquire {
+			begin = time.Now()
+		}
+		if !in.Acquire(p) {
+			return false
+		}
+		if timeAcquire {
+			e.noteAcquire(time.Since(begin))
+		}
+		if cfg.CS != nil {
+			cfg.CS(p, in.Ops(p))
+		}
+		return in.Release(p)
+	}
+	return e.run(kx.N(), kx.K(), plan, op), nil
+}
+
+// RunAssignment drives a k-assignment through plan. In addition to the
+// progress contract it checks Figure 7's guarantees operation by
+// operation: every granted name is in 0..K-1 and no two concurrent
+// holders share one (violations are counted in Metrics); crashed
+// holders leak their name, degrading the name space by exactly one
+// identity per slot-costing failure.
+func RunAssignment(asg *renaming.Assignment, plan Plan, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	in, err := NewAssignmentInjector(asg, plan, cfg.OpsPerProc)
+	if err != nil {
+		return Result{}, err
+	}
+	e := &engine{tracker: in.crashTracker, cfg: cfg}
+	holders := make([]atomic.Int32, asg.K())
+	op := func(p int, timeAcquire bool) bool {
+		begin := time.Time{}
+		if timeAcquire {
+			begin = time.Now()
+		}
+		name, alive := in.Acquire(p)
+		if !alive {
+			return false
+		}
+		if timeAcquire {
+			e.noteAcquire(time.Since(begin))
+		}
+		if name < 0 || name >= asg.K() || holders[name].Add(1) > 1 {
+			e.nameViolations.Add(1)
+		}
+		if cfg.CS != nil {
+			cfg.CS(p, in.Ops(p))
+		}
+		if name >= 0 && name < asg.K() {
+			holders[name].Add(-1)
+		}
+		return in.Release(p, name)
+	}
+	res := e.run(asg.N(), asg.K(), plan, op)
+	res.Metrics.NameViolations = e.nameViolations.Load()
+	return res, nil
+}
+
+// RunShared drives the paper's §1 methodology end to end: a wait-free
+// k-process counter (the Universal construction) encased in the
+// k-assignment built over kx, with crashes injected at the wrapper's
+// crash points. Every completed operation increments the counter, so
+// on a completed run the final value proves the exact operation
+// accounting: survivors' full workload plus each victim's pre-crash
+// operations (a crashed operation counts only when its crash point
+// lies after the protected operation — mid-renaming and exit crashes —
+// never for entry and holding crashes, which stop the process before
+// it applies). A mismatch is returned as an error.
+func RunShared(kx core.KExclusion, plan Plan, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	asg := renaming.NewAssignment(kx)
+	in, err := NewAssignmentInjector(asg, plan, cfg.OpsPerProc)
+	if err != nil {
+		return Result{}, err
+	}
+	u := resilient.NewUniversal(kx.K(), int64(0), nil)
+	inc := func(s int64) (int64, any) { return s + 1, s + 1 }
+
+	e := &engine{tracker: in.crashTracker, cfg: cfg}
+	op := func(p int, timeAcquire bool) bool {
+		begin := time.Time{}
+		if timeAcquire {
+			begin = time.Now()
+		}
+		name, alive := in.Acquire(p)
+		if !alive {
+			return false
+		}
+		if timeAcquire {
+			e.noteAcquire(time.Since(begin))
+		}
+		u.Apply(name, inc)
+		return in.Release(p, name)
+	}
+	res := e.run(kx.N(), kx.K(), plan, op)
+
+	expected := res.Report.Survivors * cfg.OpsPerProc
+	for _, ev := range plan.Events {
+		expected += ev.Op
+		if ev.Kind == CrashMidRenaming || ev.Kind == CrashInExit {
+			expected++ // the crashed operation itself was applied
+		}
+	}
+	res.Report.AppliedTotal = expected
+	if res.Report.Completed {
+		if got := u.Peek(); got != int64(expected) {
+			return res, fmt.Errorf("faultinject: applied-operation accounting broken: counter=%d want %d", got, expected)
+		}
+	}
+	return res, nil
+}

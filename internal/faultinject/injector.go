@@ -1,0 +1,262 @@
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/renaming"
+)
+
+// procState is the per-process view of the plan. Only the goroutine
+// that owns identity p touches its entry, mirroring the per-process
+// contract of the wrapped algorithms.
+type procState struct {
+	op   int  // completed operations
+	dead bool // crash already fired
+}
+
+// crashTracker is the bookkeeping shared by both injectors: how many
+// planned crashes have fired, and — when every charged slot can still
+// be granted — whether abandoned entry acquisitions have landed, so a
+// harness can order survivors strictly after the crash phase.
+type crashTracker struct {
+	events map[int]Event
+	procs  []procState
+
+	fired  sync.WaitGroup // one Done per planned crash
+	landed sync.WaitGroup // one Done per awaited background acquisition
+
+	nFired  atomic.Int32
+	nLanded atomic.Int32
+
+	// awaitLanded is true when the plan's slot charge fits within K, in
+	// which case every abandoned entry acquisition is guaranteed to be
+	// granted and AwaitCrashes can (and must, for a deterministic
+	// verdict) wait for it. With charge > K some acquisition necessarily
+	// blocks forever; waiting would deadlock the barrier, and the run is
+	// a loss-of-progress scenario regardless.
+	awaitLanded bool
+}
+
+func newCrashTracker(plan Plan, n, k int) *crashTracker {
+	t := &crashTracker{
+		events: make(map[int]Event, len(plan.Events)),
+		procs:  make([]procState, n),
+	}
+	t.awaitLanded = plan.SlotsCharged() <= k
+	t.fired.Add(len(plan.Events))
+	for _, ev := range plan.Events {
+		t.events[ev.Proc] = ev
+		if ev.Kind == CrashInEntry && t.awaitLanded {
+			t.landed.Add(1)
+		}
+	}
+	return t
+}
+
+func (t *crashTracker) fire(p int) {
+	t.procs[p].dead = true
+	t.nFired.Add(1)
+	t.fired.Done()
+}
+
+// pending returns the crash planned for process p's current operation.
+func (t *crashTracker) pending(p int) (Event, bool) {
+	ev, ok := t.events[p]
+	if !ok || ev.Op != t.procs[p].op {
+		return Event{}, false
+	}
+	return ev, true
+}
+
+// Alive reports whether process p has not crashed yet. Only p's owner
+// goroutine may call it.
+func (t *crashTracker) Alive(p int) bool { return !t.procs[p].dead }
+
+// Ops reports how many operations process p has completed. Only p's
+// owner goroutine may call it while the run is live.
+func (t *crashTracker) Ops(p int) int { return t.procs[p].op }
+
+// CrashesFired reports how many planned crashes have taken effect.
+func (t *crashTracker) CrashesFired() int { return int(t.nFired.Load()) }
+
+// AwaitCrashes blocks until every planned crash has fired — including,
+// when the slot charge fits within K, until every abandoned entry
+// acquisition has consumed its slot — or until the deadline elapses,
+// reporting whether the crash phase completed. A false return means the
+// plan itself wedged the object (slot charge at or beyond capacity),
+// which is the loss-of-progress verdict.
+func (t *crashTracker) AwaitCrashes(deadline <-chan time.Time) bool {
+	done := make(chan struct{})
+	go func() {
+		t.fired.Wait()
+		t.landed.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-deadline:
+		return false
+	}
+}
+
+// Injector wraps a core.KExclusion with the plan's crash points. The
+// per-process Acquire/Release mirror the wrapped interface but report
+// liveness: a false return means the plan stopped process p at this
+// point and the caller must cease using that identity.
+//
+// Crash points relative to the protected operation: an entry crash
+// abandons the acquisition mid-flight (it continues on a background
+// goroutine — a stopped process's pending entry still consumes
+// capacity — and the slot, once granted, is never returned); a holding
+// crash stops the process immediately after its acquisition, before
+// the protected operation runs, and never releases; an exit crash lets
+// the bounded exit section complete and stops the process right after,
+// recovering the slot.
+type Injector struct {
+	*crashTracker
+	kx core.KExclusion
+}
+
+// NewInjector validates plan against kx's shape and binds them. The
+// opsPerProc argument bounds the workload so every planned crash is
+// reachable.
+func NewInjector(kx core.KExclusion, plan Plan, opsPerProc int) (*Injector, error) {
+	if err := plan.validate(kx.N(), opsPerProc, false); err != nil {
+		return nil, err
+	}
+	return &Injector{crashTracker: newCrashTracker(plan, kx.N(), kx.K()), kx: kx}, nil
+}
+
+// K reports the wrapped object's slot count.
+func (in *Injector) K() int { return in.kx.K() }
+
+// N reports the wrapped object's identity count.
+func (in *Injector) N() int { return in.kx.N() }
+
+// Acquire acquires a slot for process p, firing the plan's entry and
+// holding crashes. alive=false means p stopped here: on an entry crash
+// before the slot was usable, on a holding crash with the slot held
+// forever.
+func (in *Injector) Acquire(p int) (alive bool) {
+	if in.procs[p].dead {
+		return false
+	}
+	if ev, ok := in.pending(p); ok {
+		switch ev.Kind {
+		case CrashInEntry:
+			in.fire(p)
+			go func() {
+				in.kx.Acquire(p)
+				in.nLanded.Add(1)
+				if in.awaitLanded {
+					in.landed.Done()
+				}
+			}()
+			return false
+		case CrashWhileHolding:
+			in.kx.Acquire(p)
+			in.fire(p)
+			return false
+		}
+	}
+	in.kx.Acquire(p)
+	return true
+}
+
+// Release completes process p's operation, firing the plan's exit
+// crash: the bounded exit runs to completion, then p stops.
+func (in *Injector) Release(p int) (alive bool) {
+	if in.procs[p].dead {
+		return false
+	}
+	if ev, ok := in.pending(p); ok && ev.Kind == CrashInExit {
+		in.kx.Release(p)
+		in.fire(p)
+		return false
+	}
+	in.kx.Release(p)
+	in.procs[p].op++
+	return true
+}
+
+// AssignmentInjector is the Injector analogue for the paper's §4
+// k-assignment: crashes additionally leak the leased name, so each
+// slot-costing failure consumes one slot and one identity of the name
+// space — the runtime analogue of Figure 7's degradation contract.
+// CrashMidRenaming stops the process after its protected operation but
+// before the release, leaking slot and name with the operation's
+// effect already applied (where CrashWhileHolding leaks them with the
+// operation never run).
+type AssignmentInjector struct {
+	*crashTracker
+	asg *renaming.Assignment
+}
+
+// NewAssignmentInjector validates plan against asg's shape and binds
+// them.
+func NewAssignmentInjector(asg *renaming.Assignment, plan Plan, opsPerProc int) (*AssignmentInjector, error) {
+	if err := plan.validate(asg.N(), opsPerProc, true); err != nil {
+		return nil, err
+	}
+	return &AssignmentInjector{crashTracker: newCrashTracker(plan, asg.N(), asg.K()), asg: asg}, nil
+}
+
+// K reports the name-space size.
+func (in *AssignmentInjector) K() int { return in.asg.K() }
+
+// N reports the identity count.
+func (in *AssignmentInjector) N() int { return in.asg.N() }
+
+// Acquire obtains a slot and name for process p, firing the plan's
+// entry and holding crashes.
+func (in *AssignmentInjector) Acquire(p int) (name int, alive bool) {
+	if in.procs[p].dead {
+		return 0, false
+	}
+	if ev, ok := in.pending(p); ok {
+		switch ev.Kind {
+		case CrashInEntry:
+			in.fire(p)
+			go func() {
+				in.asg.Acquire(p)
+				in.nLanded.Add(1)
+				if in.awaitLanded {
+					in.landed.Done()
+				}
+			}()
+			return 0, false
+		case CrashWhileHolding:
+			in.asg.Acquire(p)
+			in.fire(p)
+			return 0, false
+		}
+	}
+	return in.asg.Acquire(p), true
+}
+
+// Release returns process p's slot and name, firing the plan's
+// mid-renaming crash (slot and name leak after the protected operation
+// ran) or exit crash (the bounded exit completes, then p stops).
+func (in *AssignmentInjector) Release(p, name int) (alive bool) {
+	if in.procs[p].dead {
+		return false
+	}
+	if ev, ok := in.pending(p); ok {
+		switch ev.Kind {
+		case CrashMidRenaming:
+			in.fire(p)
+			return false
+		case CrashInExit:
+			in.asg.Release(p, name)
+			in.fire(p)
+			return false
+		}
+	}
+	in.asg.Release(p, name)
+	in.procs[p].op++
+	return true
+}

@@ -1,0 +1,206 @@
+// Package faultinject is a deterministic crash-fault injection harness
+// for the native (goroutine) layer. It drives any core.KExclusion — and
+// the renaming/resilient wrappers built on one — through a seeded plan
+// of stop-failures at named crash points and checks the paper's central
+// contract on the real runtime: with fewer than k holder-crashes every
+// surviving goroutine keeps completing operations (each failure costs
+// one slot), and with k of them the harness detects and reports the
+// loss of progress instead of hanging the test binary.
+//
+// Goroutines cannot be killed, so a "crash" is simulated at operation
+// boundaries: a crashed process stops participating and never returns
+// what it holds. The wrapped algorithms run unmodified — their internal
+// atomicity is untouched — which is exactly the paper's failure model
+// of processes that stop undetectably between their own steps.
+//
+// Determinism: the injection plan (who crashes, at which operation, at
+// which crash point) is a pure function of the seed, and Report carries
+// only plan-derived facts plus the progress verdict, so the same seed
+// yields a byte-identical Report across runs even though goroutine
+// interleaving differs. Wall-clock observations live in Metrics, which
+// is deliberately excluded from Report.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Kind names a crash point: where in its operation cycle a process
+// stops forever.
+type Kind uint8
+
+const (
+	// CrashInEntry stops the process inside its entry section: the
+	// acquisition continues in the background (a stopped process's
+	// pending decrement still consumes capacity) and the slot, once
+	// granted, is never returned. Costs one slot.
+	CrashInEntry Kind = iota
+	// CrashWhileHolding stops the process between Acquire and Release:
+	// the slot is never returned. Costs one slot.
+	CrashWhileHolding
+	// CrashInExit stops the process in its exit section. Exit sections
+	// are bounded (no waiting), so at operation granularity the release
+	// steps complete and the crash bites immediately after: the process
+	// is lost but its slot is recovered. Costs no slot.
+	CrashInExit
+	// CrashMidRenaming stops the process while it holds both a slot
+	// and a name from the k-assignment wrapper: neither is returned, so
+	// the name space degrades by exactly one identity alongside the
+	// slot. Only meaningful for the Assignment and Shared harnesses.
+	CrashMidRenaming
+)
+
+var kindNames = map[Kind]string{
+	CrashInEntry:      "entry",
+	CrashWhileHolding: "holding",
+	CrashInExit:       "exit",
+	CrashMidRenaming:  "renaming",
+}
+
+// String returns the CLI-facing name of the crash point.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MarshalText renders the kind by name so Reports serialize readably.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name.
+func (k *Kind) UnmarshalText(b []byte) error {
+	parsed, err := parseKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+func parseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown crash kind %q (have entry, holding, exit, renaming)", s)
+}
+
+// ParseKinds parses a comma-separated kind list ("entry,holding,exit").
+func ParseKinds(csv string) ([]Kind, error) {
+	var out []Kind
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := parseKind(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faultinject: empty crash-kind list %q", csv)
+	}
+	return out, nil
+}
+
+// CostsSlot reports whether a crash at this point permanently consumes
+// one of the K slots.
+func (k Kind) CostsSlot() bool { return k != CrashInExit }
+
+// Event is one planned crash: process Proc stops at crash point Kind
+// during its Op-th operation (0-based).
+type Event struct {
+	Proc int  `json:"proc"`
+	Op   int  `json:"op"`
+	Kind Kind `json:"kind"`
+}
+
+// Plan is a reproducible crash schedule. At most one crash per process:
+// a stopped process stays stopped.
+type Plan struct {
+	Seed   int64   `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// NewPlan derives a crash plan from seed alone: crashes distinct victim
+// processes out of n, each stopping at a crash point drawn from kinds
+// (defaulting to entry/holding/exit) during one of its first opsPerProc
+// operations. crashes is clamped to [0, n] — there is at most one crash
+// per process. The same arguments always produce the same plan.
+func NewPlan(seed int64, n, opsPerProc, crashes int, kinds ...Kind) Plan {
+	if crashes > n {
+		crashes = n
+	}
+	if crashes < 0 {
+		crashes = 0
+	}
+	if len(kinds) == 0 {
+		kinds = []Kind{CrashInEntry, CrashWhileHolding, CrashInExit}
+	}
+	r := rand.New(rand.NewSource(seed))
+	pl := Plan{Seed: seed}
+	for _, proc := range r.Perm(n)[:crashes] {
+		op := 0
+		if opsPerProc > 1 {
+			op = r.Intn(opsPerProc)
+		}
+		pl.Events = append(pl.Events, Event{
+			Proc: proc,
+			Op:   op,
+			Kind: kinds[r.Intn(len(kinds))],
+		})
+	}
+	sort.Slice(pl.Events, func(i, j int) bool { return pl.Events[i].Proc < pl.Events[j].Proc })
+	return pl
+}
+
+// SlotsCharged is the number of slots the plan permanently consumes.
+func (pl Plan) SlotsCharged() int {
+	charged := 0
+	for _, ev := range pl.Events {
+		if ev.Kind.CostsSlot() {
+			charged++
+		}
+	}
+	return charged
+}
+
+// Victims returns the crashing process ids in ascending order.
+func (pl Plan) Victims() []int {
+	out := make([]int, 0, len(pl.Events))
+	for _, ev := range pl.Events {
+		out = append(out, ev.Proc)
+	}
+	return out
+}
+
+// validate rejects plans that the harness cannot execute faithfully.
+func (pl Plan) validate(n, opsPerProc int, renamingOK bool) error {
+	seen := make(map[int]bool, len(pl.Events))
+	for _, ev := range pl.Events {
+		if ev.Proc < 0 || ev.Proc >= n {
+			return fmt.Errorf("faultinject: crash proc %d out of range [0,%d)", ev.Proc, n)
+		}
+		if seen[ev.Proc] {
+			return fmt.Errorf("faultinject: duplicate crash for proc %d (a stopped process stays stopped)", ev.Proc)
+		}
+		seen[ev.Proc] = true
+		if ev.Op < 0 || ev.Op >= opsPerProc {
+			return fmt.Errorf("faultinject: crash op %d for proc %d outside workload [0,%d)", ev.Op, ev.Proc, opsPerProc)
+		}
+		if ev.Kind == CrashMidRenaming && !renamingOK {
+			return fmt.Errorf("faultinject: crash kind %q needs the assignment harness", ev.Kind)
+		}
+		if _, ok := kindNames[ev.Kind]; !ok {
+			return fmt.Errorf("faultinject: unknown crash kind %d", ev.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is the deterministic record of one injected run: everything in
+// it is a function of the plan, the object's shape and the workload —
+// plus the progress verdict, which the harness's phasing makes a
+// function of the plan too (survivors start only after every planned
+// crash has taken effect, so whether they can finish depends only on
+// how many slots the plan charged). The same seed therefore yields a
+// byte-identical Report across runs; schedule-dependent observations
+// (latencies, interim counts) live in Metrics instead.
+type Report struct {
+	// Impl names the implementation under injection.
+	Impl string `json:"impl"`
+	// N and K are the wrapped object's shape.
+	N int `json:"n"`
+	K int `json:"k"`
+	// Seed is the plan's seed.
+	Seed int64 `json:"seed"`
+	// OpsPerProc is the fixed workload per surviving process.
+	OpsPerProc int `json:"ops_per_proc"`
+	// Crashes is the injected plan, ordered by process id.
+	Crashes []Event `json:"crashes"`
+	// SlotsLost is how many of the K slots the crashes permanently
+	// consumed (entry, holding and mid-renaming crashes cost one each;
+	// exit crashes cost none).
+	SlotsLost int `json:"slots_lost"`
+	// SlotsRemaining is the capacity left to survivors.
+	SlotsRemaining int `json:"slots_remaining"`
+	// Survivors is how many processes the plan leaves alive.
+	Survivors int `json:"survivors"`
+	// SurvivorOps is the total operations the survivors completed:
+	// Survivors*OpsPerProc when the run completed, 0 on loss of
+	// progress (partial counts are schedule-dependent; see Metrics).
+	SurvivorOps int `json:"survivor_ops"`
+	// AppliedTotal is the expected number of object operations applied
+	// end to end (survivor workload plus victims' pre-crash operations,
+	// counting a crashed operation only when its crash point lies after
+	// the protected operation). Set by the Shared harness, where the
+	// final counter value proves it; -1 elsewhere.
+	AppliedTotal int `json:"applied_total"`
+	// Completed reports whether every planned crash fired and every
+	// survivor finished its workload before the watchdog deadline.
+	Completed bool `json:"completed"`
+	// ProgressLost is the paper's failure boundary made observable:
+	// true when the plan's slot charge reached K (or beyond) and the
+	// harness had to cut the run off rather than hang.
+	ProgressLost bool `json:"progress_lost"`
+}
+
+// Canonical renders the report as deterministic bytes: same seed and
+// configuration, same bytes, regardless of goroutine interleaving.
+func (r Report) Canonical() []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Report contains only plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("faultinject: canonical encoding failed: %v", err))
+	}
+	return b
+}
+
+// String renders a human-readable summary for the CLI and logs.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: N=%d K=%d seed=%d ops/proc=%d\n", r.Impl, r.N, r.K, r.Seed, r.OpsPerProc)
+	if len(r.Crashes) == 0 {
+		b.WriteString("crashes: none\n")
+	} else {
+		b.WriteString("crashes:")
+		for _, ev := range r.Crashes {
+			fmt.Fprintf(&b, " p%d@op%d:%s", ev.Proc, ev.Op, ev.Kind)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "slots lost=%d remaining=%d; survivors=%d completed %d ops", r.SlotsLost, r.SlotsRemaining, r.Survivors, r.SurvivorOps)
+	if r.AppliedTotal >= 0 {
+		fmt.Fprintf(&b, "; applied total=%d", r.AppliedTotal)
+	}
+	b.WriteByte('\n')
+	switch {
+	case r.ProgressLost:
+		fmt.Fprintf(&b, "verdict: LOSS OF PROGRESS (charge %d of %d slots) — detected, not hung\n", r.SlotsLost, r.K)
+	default:
+		fmt.Fprintf(&b, "verdict: resilient — %d failure(s) cost %d slot(s), never progress\n", len(r.Crashes), r.SlotsLost)
+	}
+	return b.String()
+}
+
+// Metrics holds the schedule-dependent observations of a run. Two runs
+// with the same seed agree on Report but not, in general, on Metrics.
+type Metrics struct {
+	// CompletedOps counts operations finished by anyone before the
+	// harness returned (survivor workload plus victims' pre-crash
+	// operations). On a completed run this matches the deterministic
+	// accounting; on a cut-off run it is whatever survivors managed.
+	CompletedOps int64
+	// MaxAcquire is the longest successful survivor acquisition.
+	MaxAcquire time.Duration
+	// CrashesFired is how many planned crashes took effect before the
+	// harness returned (all of them unless the run was cut off).
+	CrashesFired int
+	// EntryLanded is how many abandoned entry acquisitions had been
+	// granted their (then leaked) slot when the harness returned.
+	EntryLanded int
+	// NameViolations counts Figure 7 contract breaches observed by the
+	// assignment harnesses: a granted name out of 0..K-1 or shared by
+	// two concurrent holders. Always zero for a correct implementation.
+	NameViolations int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Result pairs the deterministic Report with the observed Metrics.
+type Result struct {
+	Report  Report
+	Metrics Metrics
+}

@@ -1,0 +1,145 @@
+// Loss-of-progress scenarios: k slot-costing crashes exhaust the
+// object, and the harness must detect and report that instead of
+// hanging the test binary. Cut-off runs intentionally leave survivor
+// goroutines blocked in Acquire for the life of the binary (goroutines
+// cannot be killed), so this file is named to sort — and therefore run
+// — after every other test in the package.
+package faultinject
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/renaming"
+)
+
+// lossDeadline bounds each cut-off run. Loss scenarios genuinely cannot
+// complete — every slot is gone — so a short watchdog only has to
+// outlast the crash phase, whose victims acquire without contention.
+const lossDeadline = 1500 * time.Millisecond
+
+func holdingCrashes(count, ops int) Plan {
+	pl := Plan{Seed: 77}
+	for i := 0; i < count; i++ {
+		pl.Events = append(pl.Events, Event{Proc: i, Op: i % ops, Kind: CrashWhileHolding})
+	}
+	return pl
+}
+
+// TestLossAtKCrashes: the failure boundary of the paper's contract —
+// with k holder-crashes nothing guarantees survivor progress, and the
+// harness must say so within the watchdog deadline.
+func TestLossAtKCrashes(t *testing.T) {
+	const ops = 6
+	for _, c := range core.Registry() {
+		n, k := 8, 3
+		if c.FixedK != 0 {
+			k = c.FixedK
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			kx := c.New(n, k, core.WithSpinBudget(confSpinBudget))
+			res, err := Run(kx, holdingCrashes(k, ops), Config{
+				Name: c.Name, OpsPerProc: ops, Deadline: lossDeadline,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := res.Report
+			if !r.ProgressLost || r.Completed {
+				t.Fatalf("expected loss of progress with %d crashes against k=%d:\n%s", k, k, r)
+			}
+			if r.SlotsRemaining != 0 || r.SurvivorOps != 0 {
+				t.Fatalf("loss report inconsistent: %s", r)
+			}
+			// All k crashes fired (capacity sufficed for the crash
+			// phase); the loss is the survivors', exactly as planned.
+			if res.Metrics.CrashesFired != k {
+				t.Fatalf("CrashesFired=%d want %d", res.Metrics.CrashesFired, k)
+			}
+		})
+	}
+}
+
+// TestLossBeyondCapacity: more slot-costing crashes than slots wedge
+// the crash phase itself; the harness still reports rather than hangs.
+func TestLossBeyondCapacity(t *testing.T) {
+	kx := core.NewCounting(8, 2)
+	res, err := Run(kx, holdingCrashes(3, 4), Config{
+		Name: "counting", OpsPerProc: 4, Deadline: lossDeadline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.ProgressLost {
+		t.Fatalf("expected loss: %s", res.Report)
+	}
+	// Only the first k=2 crashes can fire; the third victim blocks.
+	if res.Metrics.CrashesFired != 2 {
+		t.Fatalf("CrashesFired=%d want 2", res.Metrics.CrashesFired)
+	}
+}
+
+// TestLossReportDeterminism: the acceptance bar — same seed, byte
+// identical Report, on the loss side of the boundary too.
+func TestLossReportDeterminism(t *testing.T) {
+	run := func() Report {
+		kx := core.NewFastPath(8, 3, core.WithSpinBudget(confSpinBudget))
+		res, err := Run(kx, NewPlan(2024, 8, 6, 3, CrashWhileHolding), Config{
+			Name: "fastpath", OpsPerProc: 6, Deadline: lossDeadline,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report
+	}
+	a, b := run(), run()
+	if !a.ProgressLost {
+		t.Fatalf("expected loss: %s", a)
+	}
+	if !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Fatalf("same seed, different loss reports:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+}
+
+// TestMCSWedgesOnSingleCrash: the paper's motivating contrast — the
+// fast queue lock loses everything to one crash, and the harness
+// observes it on the runtime just as internal/check proves it on the
+// simulator.
+func TestMCSWedgesOnSingleCrash(t *testing.T) {
+	kx := core.NewMCS(4, core.WithSpinBudget(confSpinBudget))
+	pl := Plan{Seed: 11, Events: []Event{{Proc: 0, Op: 0, Kind: CrashWhileHolding}}}
+	res, err := Run(kx, pl, Config{Name: "mcs", OpsPerProc: 4, Deadline: lossDeadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.ProgressLost {
+		t.Fatalf("MCS should wedge after one holder crash:\n%s", res.Report)
+	}
+}
+
+// TestAssignmentLossAtKRenamingCrashes: the wrapper inherits the same
+// boundary — k leaked names exhaust both slots and the name space.
+func TestAssignmentLossAtKRenamingCrashes(t *testing.T) {
+	asg := renaming.NewAssignment(core.NewFastPath(8, 3, core.WithSpinBudget(confSpinBudget)))
+	pl := Plan{Seed: 13, Events: []Event{
+		{Proc: 0, Op: 0, Kind: CrashMidRenaming},
+		{Proc: 1, Op: 0, Kind: CrashMidRenaming},
+		{Proc: 2, Op: 0, Kind: CrashMidRenaming},
+	}}
+	res, err := RunAssignment(asg, pl, Config{
+		Name: "fastpath+renaming", OpsPerProc: 4, Deadline: lossDeadline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.ProgressLost || res.Metrics.NameViolations != 0 {
+		t.Fatalf("expected clean loss report: %s (violations=%d)",
+			res.Report, res.Metrics.NameViolations)
+	}
+	if !strings.Contains(res.Report.String(), "LOSS OF PROGRESS") {
+		t.Fatalf("loss verdict missing from report text:\n%s", res.Report)
+	}
+}

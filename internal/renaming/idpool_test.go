@@ -67,6 +67,84 @@ func TestIDPoolValidation(t *testing.T) {
 	}
 }
 
+// TestIDPoolChurnWithLostLeaseholder is the runtime analogue of the
+// paper's one-slot-per-failure guarantee at the identity layer: while
+// goroutines churn Get/Put, one leaseholder never returns its id. The
+// pool must degrade by exactly that one identity — the lost id is
+// never handed out again, every other id keeps circulating, and the
+// churners all finish their fixed workload.
+func TestIDPoolChurnWithLostLeaseholder(t *testing.T) {
+	const (
+		n       = 4
+		workers = 3 * n
+		rounds  = 200
+	)
+	p := NewIDPool(n)
+	lost := p.Get() // the leaseholder that will never call Put
+
+	var (
+		wg     sync.WaitGroup
+		leaked atomic.Int64    // times the lost id was handed out (must stay 0)
+		perID  [n]atomic.Int64 // completed leases per identity
+		held   [n]atomic.Int32
+	)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id := p.Get()
+				if id == lost {
+					leaked.Add(1)
+					return
+				}
+				if !held[id].CompareAndSwap(0, 1) {
+					t.Errorf("id %d leased twice", id)
+					return
+				}
+				perID[id].Add(1)
+				held[id].Store(0)
+				p.Put(id)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if leaked.Load() != 0 {
+		t.Fatalf("lost id %d was re-leased %d times", lost, leaked.Load())
+	}
+	total := int64(0)
+	for id := range perID {
+		got := perID[id].Load()
+		total += got
+		if id == lost && got != 0 {
+			t.Errorf("lost id %d recorded %d leases", id, got)
+		}
+	}
+	if want := int64(workers * rounds); total != want {
+		t.Fatalf("churners completed %d leases, want %d (progress on N-1 identities)", total, want)
+	}
+	// Degraded by exactly one: with the leaseholder still gone, the
+	// remaining n-1 identities are all leasable, and not one more.
+	var got []int
+	for {
+		id, ok := p.TryGet()
+		if !ok {
+			break
+		}
+		got = append(got, id)
+	}
+	if len(got) != n-1 {
+		t.Fatalf("pool degraded to %d identities, want %d", len(got), n-1)
+	}
+	for _, id := range got {
+		if id == lost {
+			t.Fatalf("exhaustive drain obtained the lost id %d", id)
+		}
+		p.Put(id)
+	}
+}
+
 func TestIDPoolBlockingGet(t *testing.T) {
 	p := NewIDPool(1)
 	id := p.Get()
