@@ -7,7 +7,10 @@
 //	kexbench -table1            reproduce Table 1 (default N=32, k=4)
 //	kexbench -theorems          sweep every theorem against its bound
 //	kexbench -fig3b             tree vs fast path vs graceful sweep
-//	kexbench -all               everything above
+//	kexbench -all               everything above (simulated machines)
+//	kexbench -native            drive the real goroutine implementations
+//	kexbench -native -json      ... emitting the metrics report as JSON
+//	                            (redirect to BENCH_native.json)
 //	kexbench -n 64 -k 8 ...     change the configuration
 package main
 
@@ -34,11 +37,14 @@ func run(args []string, out io.Writer) error {
 		theorems = fs.Bool("theorems", false, "sweep Theorems 1-10 against their bounds")
 		fig3b    = fs.Bool("fig3b", false, "contention sweep comparing tree, fast path and graceful (Figure 3)")
 		k1       = fs.Bool("k1", false, "k=1 comparison against the MCS and ticket spin locks (concluding remarks)")
-		all      = fs.Bool("all", false, "run every experiment")
+		all      = fs.Bool("all", false, "run every simulated-machine experiment")
+		native   = fs.Bool("native", false, "run the fixed seeded workload on the real goroutine implementations")
+		asJSON   = fs.Bool("json", false, "with -native: emit the metrics report as JSON")
 		n        = fs.Int("n", 32, "number of processes")
 		k        = fs.Int("k", 4, "critical-section slots")
 		seeds    = fs.Int("seeds", 8, "adversarial scheduler seeds per measurement")
 		acqs     = fs.Int("acqs", 4, "acquisitions per process per run")
+		seed     = fs.Int64("seed", 1, "workload seed for -native")
 		model    = fs.String("model", "cc", "machine model for -fig3b (cc or dsm)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -47,9 +53,12 @@ func run(args []string, out io.Writer) error {
 	if *all {
 		*table1, *theorems, *fig3b, *k1 = true, true, true, true
 	}
-	if !*table1 && !*theorems && !*fig3b && !*k1 {
+	if !*table1 && !*theorems && !*fig3b && !*k1 && !*native {
 		fs.Usage()
-		return fmt.Errorf("pick at least one of -table1, -theorems, -fig3b, -k1, -all")
+		return fmt.Errorf("pick at least one of -table1, -theorems, -fig3b, -k1, -native, -all")
+	}
+	if *asJSON && !*native {
+		return fmt.Errorf("-json applies only to -native")
 	}
 	if *k < 1 || *n <= *k {
 		return fmt.Errorf("need 0 < k < n, got n=%d k=%d", *n, *k)
@@ -68,7 +77,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cs := contentionLevels(*n, *k)
+		cs := bench.ContentionLevels(*n, *k)
 		for _, s := range bench.Fig3bSweep(m, *n, *k, cs, opt) {
 			fmt.Fprintln(out, s.Format())
 		}
@@ -76,13 +85,13 @@ func run(args []string, out io.Writer) error {
 	if *k1 {
 		fmt.Fprintln(out, bench.K1Comparison(*n, opt))
 	}
-	return nil
-}
-
-func contentionLevels(n, k int) []int {
-	levels := []int{1}
-	for c := k; c < n; c += k {
-		levels = append(levels, c)
+	if *native {
+		rep := bench.RunNative(bench.NativeConfig{N: *n, K: *k, OpsPerProc: *acqs, Seed: *seed})
+		if *asJSON {
+			out.Write(rep.JSON())
+		} else {
+			fmt.Fprint(out, rep)
+		}
 	}
-	return append(levels, n)
+	return nil
 }

@@ -63,15 +63,33 @@ func TestBenchFlagValidation(t *testing.T) {
 	}
 }
 
-func TestContentionLevels(t *testing.T) {
-	levels := contentionLevels(8, 2)
-	want := []int{1, 2, 4, 6, 8}
-	if len(levels) != len(want) {
-		t.Fatalf("levels %v, want %v", levels, want)
+func TestBenchNativeJSON(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-native", "-json", "-n", "6", "-k", "2", "-acqs", "2", "-seed", "9"}, &b)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range want {
-		if levels[i] != want[i] {
-			t.Fatalf("levels %v, want %v", levels, want)
+	out := b.String()
+	for _, want := range []string{"\"seed\": 9", "\"impl\": \"fastpath\"", "\"impl\": \"fastpath+shared\"", "\"latency_ns_pow2\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q", want)
 		}
 	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("JSON artifact must end in a newline")
+	}
 }
+
+func TestBenchNativeText(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-native", "-n", "6", "-k", "2", "-acqs", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "native runtime sweep") {
+		t.Errorf("text output missing header:\n%s", b.String())
+	}
+	if err := run([]string{"-table1", "-json"}, &b); err == nil {
+		t.Error("expected error: -json without -native")
+	}
+}
+

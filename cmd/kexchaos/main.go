@@ -25,6 +25,7 @@ import (
 
 	"kexclusion/internal/core"
 	"kexclusion/internal/faultinject"
+	"kexclusion/internal/obs"
 	"kexclusion/internal/renaming"
 )
 
@@ -50,7 +51,7 @@ func run(args []string, out io.Writer) error {
 		deadline   = fs.Duration("deadline", 30*time.Second, "watchdog before a run is reported as loss of progress")
 		assignment = fs.Bool("assignment", false, "wrap the implementation in Figure 7 k-assignment")
 		shared     = fs.Bool("shared", false, "drive the full §1 shared-object stack (counter under k-assignment)")
-		asJSON     = fs.Bool("json", false, "emit the deterministic report as JSON")
+		asJSON     = fs.Bool("json", false, "emit JSON: the deterministic report plus the metrics snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,15 +92,16 @@ func run(args []string, out io.Writer) error {
 			kk = c.FixedK
 		}
 		plan := faultinject.NewPlan(*seed, *n, *ops, *crashes, kinds...)
-		cfg := faultinject.Config{Name: label(c.Name, *assignment, *shared), OpsPerProc: *ops, Deadline: *deadline}
+		sink := obs.New()
+		cfg := faultinject.Config{Name: label(c.Name, *assignment, *shared), OpsPerProc: *ops, Deadline: *deadline, Metrics: sink}
 
 		var res faultinject.Result
-		kx := c.New(*n, kk)
+		kx := c.New(*n, kk, core.WithMetrics(sink))
 		switch {
 		case *shared:
 			res, err = faultinject.RunShared(kx, plan, cfg)
 		case *assignment:
-			res, err = faultinject.RunAssignment(renaming.NewAssignment(kx), plan, cfg)
+			res, err = faultinject.RunAssignment(renaming.NewAssignment(kx).WithMetrics(sink), plan, cfg)
 		default:
 			res, err = faultinject.Run(kx, plan, cfg)
 		}
@@ -108,7 +110,13 @@ func run(args []string, out io.Writer) error {
 		}
 
 		if *asJSON {
-			b, err := json.MarshalIndent(res.Report, "", "  ")
+			// The "report" object keeps the documented determinism
+			// guarantee (pure function of the seed); "obs" is the
+			// schedule-dependent metrics snapshot riding alongside.
+			b, err := json.MarshalIndent(struct {
+				Report faultinject.Report `json:"report"`
+				Obs    obs.Snapshot       `json:"obs"`
+			}{res.Report, res.Obs}, "", "  ")
 			if err != nil {
 				return err
 			}
@@ -118,6 +126,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "observed: ops=%d crashes fired=%d entry landed=%d max survivor acquire=%v elapsed=%v\n",
 				res.Metrics.CompletedOps, res.Metrics.CrashesFired, res.Metrics.EntryLanded,
 				res.Metrics.MaxAcquire, res.Metrics.Elapsed.Round(time.Millisecond))
+			fmt.Fprintf(out, "metrics: %s\n", res.Obs)
 			if res.Metrics.NameViolations != 0 {
 				fmt.Fprintf(out, "NAME VIOLATIONS: %d\n", res.Metrics.NameViolations)
 			}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"kexclusion/internal/bench"
 )
@@ -30,6 +31,7 @@ func run(args []string, out io.Writer) error {
 		seeds = fs.Int("seeds", 8, "adversarial scheduler seeds per measurement")
 		acqs  = fs.Int("acqs", 4, "acquisitions per process per run")
 		fast  = fs.Bool("fast", false, "skip the slow model-checking configurations")
+		stamp = fs.Bool("timestamp", false, "stamp the generation time at the end (off by default so regeneration is byte-stable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,9 +39,13 @@ func run(args []string, out io.Writer) error {
 	if *k < 1 || *n <= *k {
 		return fmt.Errorf("need 0 < k < n, got n=%d k=%d", *n, *k)
 	}
-	return bench.WriteReport(out, bench.ReportConfig{
+	cfg := bench.ReportConfig{
 		N: *n, K: *k,
 		Options:        bench.Options{Seeds: *seeds, Acquisitions: *acqs},
 		SkipSlowChecks: *fast,
-	})
+	}
+	if *stamp {
+		cfg.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	return bench.WriteReport(out, cfg)
 }

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/obs"
+	"kexclusion/internal/renaming"
+	"kexclusion/internal/resilient"
+)
+
+// NativeConfig shapes one native-runtime benchmark sweep: real goroutines
+// driving the real implementations (as opposed to the simulated CC/DSM
+// machines of the rest of this package), observed through an obs.Metrics
+// sink.
+type NativeConfig struct {
+	// N is the number of goroutine identities (default 16).
+	N int
+	// K is the slot count for the variable-k implementations (default 4).
+	// Fixed-k entries (MCS) always run at their own k.
+	K int
+	// OpsPerProc is the acquire/release (or Apply) cycles each goroutine
+	// performs (default 64).
+	OpsPerProc int
+	// Seed parameterizes the critical-section work so the workload is a
+	// pure function of the configuration (default 1).
+	Seed int64
+}
+
+func (c NativeConfig) withDefaults() NativeConfig {
+	if c.N <= 0 {
+		c.N = 16
+	}
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.OpsPerProc <= 0 {
+		c.OpsPerProc = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// NativeRow is one implementation's observed run. The schema — field set
+// and order — is fixed; counter totals that are functions of the workload
+// (acquires = releases = N*OpsPerProc) are deterministic, while timing
+// and contention counters (latency buckets, spin polls, path splits)
+// vary with the scheduler.
+type NativeRow struct {
+	Impl       string       `json:"impl"`
+	N          int          `json:"n"`
+	K          int          `json:"k"`
+	OpsPerProc int          `json:"ops_per_proc"`
+	Obs        obs.Snapshot `json:"obs"`
+}
+
+// NativeReport is the full sweep: every registry entry, then the Figure 7
+// assignment wrapper and the §1 shared-object stack over the fast path.
+type NativeReport struct {
+	Seed int64       `json:"seed"`
+	Rows []NativeRow `json:"rows"`
+}
+
+// JSON renders the report with a deterministic schema (fixed key order,
+// fixed latency-array length), indented for artifact diffing.
+func (r NativeReport) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// The report contains only plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("bench: native report encoding failed: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// String renders a compact human-readable summary, one line per row.
+func (r NativeReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "native runtime sweep (seed=%d)\n", r.Seed)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s n=%-3d k=%-2d acquires=%-6d fast=%-6d slow=%-6d spin polls=%-8d yields=%-6d peak holders=%d\n",
+			row.Impl, row.N, row.K, row.Obs.Acquires, row.Obs.FastPathTakes, row.Obs.SlowPathTakes,
+			row.Obs.SpinPolls, row.Obs.Yields, row.Obs.PeakHolders)
+	}
+	return b.String()
+}
+
+// splitmix64 is the seed expander for the critical-section work: tiny,
+// deterministic, and good enough to decorrelate (seed, proc, op) triples.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// csWork burns a small, seed-determined amount of CPU inside the
+// critical section so acquisitions overlap realistically.
+func csWork(seed int64, p, op int) {
+	spins := splitmix64(uint64(seed)^uint64(p)<<20^uint64(op)) & 0x3f
+	for i := uint64(0); i < spins; i++ {
+		_ = i * i
+	}
+}
+
+// drive runs the fixed workload: N goroutines, each performing
+// OpsPerProc cycles of op.
+func drive(cfg NativeConfig, op func(p, i int)) {
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.N; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < cfg.OpsPerProc; i++ {
+				op(p, i)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// RunNative executes the fixed seeded workload against every registry
+// entry on the real goroutine runtime and collects each run's metrics
+// snapshot, followed by two composition rows: the fast path under the
+// Figure 7 k-assignment, and the full §1 shared-object stack (wait-free
+// counter encased in the assignment).
+func RunNative(cfg NativeConfig) NativeReport {
+	cfg = cfg.withDefaults()
+	rep := NativeReport{Seed: cfg.Seed}
+
+	for _, c := range core.Registry() {
+		kk := cfg.K
+		if c.FixedK != 0 {
+			kk = c.FixedK
+		}
+		m := obs.New()
+		kx := c.New(cfg.N, kk, core.WithMetrics(m))
+		drive(cfg, func(p, i int) {
+			kx.Acquire(p)
+			csWork(cfg.Seed, p, i)
+			kx.Release(p)
+		})
+		rep.Rows = append(rep.Rows, NativeRow{
+			Impl: c.Name, N: cfg.N, K: kk, OpsPerProc: cfg.OpsPerProc, Obs: m.Snapshot(),
+		})
+	}
+
+	// Figure 7 assignment over the fast path: name grants and test&set
+	// failures join the underlying k-exclusion's counters in one sink.
+	{
+		m := obs.New()
+		asg := renaming.NewAssignment(core.NewFastPath(cfg.N, cfg.K, core.WithMetrics(m))).WithMetrics(m)
+		drive(cfg, func(p, i int) {
+			name := asg.Acquire(p)
+			csWork(cfg.Seed, p, i)
+			asg.Release(p, name)
+		})
+		rep.Rows = append(rep.Rows, NativeRow{
+			Impl: "fastpath+renaming", N: cfg.N, K: cfg.K, OpsPerProc: cfg.OpsPerProc, Obs: m.Snapshot(),
+		})
+	}
+
+	// The §1 stack: wait-free counter under the assignment; applied-op
+	// and helping counters come from the universal core.
+	{
+		m := obs.New()
+		sh := resilient.NewSharedConfig(cfg.N, cfg.K, int64(0), nil, resilient.Config{Metrics: m})
+		inc := func(s int64) (int64, any) { return s + 1, s + 1 }
+		drive(cfg, func(p, i int) {
+			csWork(cfg.Seed, p, i)
+			sh.Apply(p, inc)
+		})
+		rep.Rows = append(rep.Rows, NativeRow{
+			Impl: "fastpath+shared", N: cfg.N, K: cfg.K, OpsPerProc: cfg.OpsPerProc, Obs: m.Snapshot(),
+		})
+	}
+	return rep
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"kexclusion/internal/core"
+)
+
+func TestRunNativeWorkloadAccounting(t *testing.T) {
+	cfg := NativeConfig{N: 6, K: 2, OpsPerProc: 8, Seed: 3}
+	rep := RunNative(cfg)
+
+	wantRows := len(core.Registry()) + 2 // + assignment + shared
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), wantRows)
+	}
+	total := int64(cfg.N * cfg.OpsPerProc)
+	for _, row := range rep.Rows {
+		if row.Impl == "fastpath+shared" {
+			// The shared stack counts applied operations, not raw slots
+			// (its acquisitions are the wrapper's, checked below).
+			if row.Obs.AppliedOps != total {
+				t.Errorf("%s: applied_ops=%d, want %d", row.Impl, row.Obs.AppliedOps, total)
+			}
+		}
+		if row.Obs.Acquires != row.Obs.Releases {
+			t.Errorf("%s: acquires=%d releases=%d, want equal", row.Impl, row.Obs.Acquires, row.Obs.Releases)
+		}
+		if row.Obs.Acquires < total {
+			t.Errorf("%s: acquires=%d, want >= %d (workload is fixed)", row.Impl, row.Obs.Acquires, total)
+		}
+		if row.Obs.CurrentHolders != 0 {
+			t.Errorf("%s: current_holders=%d after quiescence", row.Impl, row.Obs.CurrentHolders)
+		}
+		if row.Obs.PeakHolders > int64(row.K)+int64(cfg.K) {
+			// Each row's sink may aggregate two stacked objects (fast path
+			// over its slow path shares the sink with the wrapper), but
+			// occupancy per object never exceeds its k.
+			t.Errorf("%s: peak_holders=%d implausible for k=%d", row.Impl, row.Obs.PeakHolders, row.K)
+		}
+	}
+}
+
+func TestNativeReportJSONSchema(t *testing.T) {
+	rep := RunNative(NativeConfig{N: 4, K: 2, OpsPerProc: 2})
+	b := rep.JSON()
+	if !bytes.HasSuffix(b, []byte("\n")) {
+		t.Error("JSON artifact must end in a newline")
+	}
+	var decoded struct {
+		Seed int64 `json:"seed"`
+		Rows []struct {
+			Impl string `json:"impl"`
+			Obs  struct {
+				Latency []int64 `json:"latency_ns_pow2"`
+			} `json:"obs"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", decoded.Seed)
+	}
+	for _, row := range decoded.Rows {
+		if len(row.Obs.Latency) != 32 {
+			t.Errorf("%s: latency histogram has %d buckets, want fixed 32", row.Impl, len(row.Obs.Latency))
+		}
+	}
+	// Schema stability: two runs of the same shape produce the same keys
+	// in the same order even though counter values differ.
+	keys := func(b []byte) []string {
+		var rows []json.RawMessage
+		var top map[string]json.RawMessage
+		if err := json.Unmarshal(b, &top); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(top["rows"], &rows); err != nil {
+			t.Fatal(err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(rows[0]))
+		var ks []string
+		depth := 0
+		for {
+			tok, err := dec.Token()
+			if err != nil {
+				break
+			}
+			switch v := tok.(type) {
+			case json.Delim:
+				if v == '{' || v == '[' {
+					depth++
+				} else {
+					depth--
+				}
+			case string:
+				if depth >= 1 {
+					ks = append(ks, v)
+				}
+			}
+		}
+		return ks
+	}
+	a := keys(b)
+	c := keys(RunNative(NativeConfig{N: 4, K: 2, OpsPerProc: 2}).JSON())
+	if len(a) == 0 || len(a) != len(c) {
+		t.Fatalf("key streams differ in length: %d vs %d", len(a), len(c))
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("key order differs at %d: %q vs %q", i, a[i], c[i])
+		}
+	}
+}

@@ -53,6 +53,78 @@ func TestWriteReportDefaults(t *testing.T) {
 	}
 }
 
+func TestContentionLevels(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want []int
+	}{
+		{8, 2, []int{1, 2, 4, 6, 8}},
+		{32, 4, []int{1, 4, 8, 12, 16, 20, 24, 28, 32}},
+		// k=1: the first multiple of k is 1 itself — must not repeat.
+		{8, 1, []int{1, 2, 3, 4, 5, 6, 7, 8}},
+		{2, 1, []int{1, 2}},
+		// n == k: no multiples below n, and n must appear exactly once.
+		{4, 4, []int{1, 4}},
+		// n < k: degenerate but must still be duplicate-free.
+		{3, 4, []int{1, 3}},
+		{1, 1, []int{1}},
+		// Non-divisible n: final point is n, not a multiple of k.
+		{10, 4, []int{1, 4, 8, 10}},
+	}
+	for _, c := range cases {
+		got := ContentionLevels(c.n, c.k)
+		if len(got) != len(c.want) {
+			t.Errorf("ContentionLevels(%d, %d) = %v, want %v", c.n, c.k, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("ContentionLevels(%d, %d) = %v, want %v", c.n, c.k, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestWriteReportByteStable(t *testing.T) {
+	// Two regenerations at the same configuration must be byte-identical
+	// when no timestamp is injected — the CI drift-check contract. The
+	// chaos blocks are seeded and the sweeps are deterministic, so any
+	// divergence is a real nondeterminism bug.
+	gen := func() string {
+		var b strings.Builder
+		err := WriteReport(&b, ReportConfig{
+			N: 6, K: 2,
+			Options:        Options{Seeds: 1, Acquisitions: 2},
+			SkipSlowChecks: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := gen(), gen()
+	if a != b {
+		t.Fatal("same configuration produced different report bytes")
+	}
+	if strings.Contains(a, "Generated 2") {
+		t.Error("report contains a timestamp despite empty GeneratedAt")
+	}
+	var c strings.Builder
+	err := WriteReport(&c, ReportConfig{
+		N: 6, K: 2,
+		Options:        Options{Seeds: 1, Acquisitions: 2},
+		SkipSlowChecks: true,
+		GeneratedAt:    "2026-01-02T03:04:05Z",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), "Generated 2026-01-02T03:04:05Z.") {
+		t.Error("injected GeneratedAt not stamped")
+	}
+}
+
 func TestK1ComparisonContent(t *testing.T) {
 	out := K1Comparison(8, Options{Seeds: 1, Acquisitions: 2})
 	for _, want := range []string{"mcs", "ticket", "cc-fastpath", "dsm-graceful", "crash-tolerant"} {

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"kexclusion/internal/obs"
+)
 
 // qBottom is the sentinel distinct from every process id written to the
 // spin word by the exit section (the paper's "Q := p̄").
@@ -16,10 +20,11 @@ type figTwo struct {
 	x     padInt64
 	q     padInt64
 	spin  int
+	m     *obs.Metrics
 }
 
-func newFigTwo(k int, inner *figTwo, spinBudget int) *figTwo {
-	f := &figTwo{inner: inner, spin: spinBudget}
+func newFigTwo(k int, inner *figTwo, o options) *figTwo {
+	f := &figTwo{inner: inner, spin: o.spinBudget, m: o.metrics}
 	f.x.v.Store(int64(k))
 	f.q.v.Store(qBottom)
 	return f
@@ -33,7 +38,7 @@ func (f *figTwo) acquire(p int) {
 		f.q.v.Store(int64(p)) // statement 3
 		if f.x.v.Load() < 0 { // statement 4: still no slot
 			// Statement 5: wait until a releaser overwrites Q.
-			spinUntil(f.spin, func() bool { return f.q.v.Load() != int64(p) })
+			spinUntil(f.spin, f.m, func() bool { return f.q.v.Load() != int64(p) })
 		}
 	}
 }
@@ -50,10 +55,10 @@ func (f *figTwo) release(p int) {
 // j = n-1 down to k ((n,n)-exclusion being skip). The chain only
 // requires that at most n processes participate concurrently, not that
 // their ids are known, so it doubles as the (2k,k) building block.
-func newChain(n, k, spinBudget int) *figTwo {
+func newChain(n, k int, o options) *figTwo {
 	var inner *figTwo
 	for j := n - 1; j >= k; j-- {
-		inner = newFigTwo(j, inner, spinBudget)
+		inner = newFigTwo(j, inner, o)
 	}
 	return inner
 }
@@ -63,6 +68,7 @@ func newChain(n, k, spinBudget int) *figTwo {
 // or FastPath for large N.
 type Inductive struct {
 	chain *figTwo
+	m     *obs.Metrics
 	n, k  int
 }
 
@@ -72,15 +78,17 @@ var _ KExclusion = (*Inductive)(nil)
 func NewInductive(n, k int, opts ...Option) *Inductive {
 	validate(n, k)
 	o := buildOptions(opts)
-	return &Inductive{chain: newChain(n, k, o.spinBudget), n: n, k: k}
+	return &Inductive{chain: newChain(n, k, o), m: o.metrics, n: n, k: k}
 }
 
 // Acquire implements KExclusion.
 func (i *Inductive) Acquire(p int) {
 	checkPID(p, i.n)
+	start := acqStart(i.m)
 	if i.chain != nil {
 		i.chain.acquire(p)
 	}
+	acqDone(i.m, start)
 }
 
 // Release implements KExclusion.
@@ -89,6 +97,7 @@ func (i *Inductive) Release(p int) {
 	if i.chain != nil {
 		i.chain.release(p)
 	}
+	i.m.Released()
 }
 
 // K implements KExclusion.
@@ -105,6 +114,7 @@ func (i *Inductive) N() int { return i.n }
 type Counting struct {
 	x    atomic.Int64
 	spin int
+	m    *obs.Metrics
 	n, k int
 }
 
@@ -114,7 +124,7 @@ var _ KExclusion = (*Counting)(nil)
 func NewCounting(n, k int, opts ...Option) *Counting {
 	validate(n, k)
 	o := buildOptions(opts)
-	c := &Counting{spin: o.spinBudget, n: n, k: k}
+	c := &Counting{spin: o.spinBudget, m: o.metrics, n: n, k: k}
 	c.x.Store(int64(k))
 	return c
 }
@@ -122,19 +132,27 @@ func NewCounting(n, k int, opts ...Option) *Counting {
 // Acquire implements KExclusion.
 func (c *Counting) Acquire(p int) {
 	checkPID(p, c.n)
-	spinUntil(c.spin, func() bool { return decIfPositive(&c.x) > 0 })
+	start := acqStart(c.m)
+	spinUntil(c.spin, c.m, func() bool { return decIfPositive(&c.x, c.m) > 0 })
+	acqDone(c.m, start)
 }
 
 // TryAcquire acquires a slot without blocking, reporting success.
 func (c *Counting) TryAcquire(p int) bool {
 	checkPID(p, c.n)
-	return decIfPositive(&c.x) > 0
+	start := acqStart(c.m)
+	if decIfPositive(&c.x, c.m) <= 0 {
+		return false
+	}
+	acqDone(c.m, start)
+	return true
 }
 
 // Release implements KExclusion.
 func (c *Counting) Release(p int) {
 	checkPID(p, c.n)
 	c.x.Add(1)
+	c.m.Released()
 }
 
 // K implements KExclusion.
@@ -147,27 +165,33 @@ func (c *Counting) N() int { return c.n }
 // Blocking waiters park in the runtime instead of spinning.
 type ChanSem struct {
 	ch   chan struct{}
+	m    *obs.Metrics
 	n, k int
 }
 
 var _ KExclusion = (*ChanSem)(nil)
 
-// NewChanSem builds the channel-semaphore baseline.
-func NewChanSem(n, k int) *ChanSem {
+// NewChanSem builds the channel-semaphore baseline. Spin options do not
+// apply (waiters park in the runtime); WithMetrics does.
+func NewChanSem(n, k int, opts ...Option) *ChanSem {
 	validate(n, k)
-	return &ChanSem{ch: make(chan struct{}, k), n: n, k: k}
+	o := buildOptions(opts)
+	return &ChanSem{ch: make(chan struct{}, k), m: o.metrics, n: n, k: k}
 }
 
 // Acquire implements KExclusion.
 func (c *ChanSem) Acquire(p int) {
 	checkPID(p, c.n)
+	start := acqStart(c.m)
 	c.ch <- struct{}{}
+	acqDone(c.m, start)
 }
 
 // Release implements KExclusion.
 func (c *ChanSem) Release(p int) {
 	checkPID(p, c.n)
 	<-c.ch
+	c.m.Released()
 }
 
 // K implements KExclusion.

@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
+
+	"kexclusion/internal/obs"
 )
 
 // KExclusion is an N-process k-exclusion lock: at most K goroutines hold
@@ -45,6 +48,7 @@ const defaultSpinBudget = 64
 
 type options struct {
 	spinBudget int
+	metrics    *obs.Metrics
 }
 
 // Option configures a k-exclusion constructor.
@@ -59,28 +63,76 @@ func (o spinBudgetOption) apply(opts *options) { opts.spinBudget = int(o) }
 // WithSpinBudget sets how many consecutive polls a waiter performs
 // before calling runtime.Gosched. Smaller values favour fairness on
 // oversubscribed hosts; larger values favour latency when spare CPUs
-// exist.
-func WithSpinBudget(polls int) Option { return spinBudgetOption(polls) }
+// exist. The budget contract is polls >= 1: a waiter always re-checks
+// its condition at least once between yields. Zero and negative budgets
+// are clamped to 1 (the maximally-fair yield-per-poll floor) rather
+// than silently turning every poll into a yield with a nonsense budget.
+func WithSpinBudget(polls int) Option {
+	if polls < 1 {
+		polls = 1
+	}
+	return spinBudgetOption(polls)
+}
+
+type metricsOption struct{ m *obs.Metrics }
+
+func (o metricsOption) apply(opts *options) { opts.metrics = o.m }
+
+// WithMetrics attaches an observability sink: the constructed object
+// counts acquisitions, releases, fast- vs slow-path takes, spin polls,
+// yields, bounded-decrement CAS retries, slot occupancy and an
+// acquisition-latency histogram into m. Several objects may share one
+// sink. A nil m (the default) keeps every hot path on its
+// uninstrumented branch.
+func WithMetrics(m *obs.Metrics) Option { return metricsOption{m: m} }
 
 func buildOptions(opts []Option) options {
 	o := options{spinBudget: defaultSpinBudget}
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
+	if o.spinBudget < 1 {
+		o.spinBudget = 1
+	}
 	return o
 }
 
-// spinUntil polls cond, yielding every budget polls, until cond is true.
-func spinUntil(budget int, cond func() bool) {
+// spinUntil polls cond, yielding every budget polls, until cond is
+// true. Poll and yield counts accumulate locally and flush to m once on
+// exit, so instrumentation costs nothing per poll and one nil check per
+// wait when no sink is attached.
+func spinUntil(budget int, m *obs.Metrics, cond func() bool) {
+	var polls, yields int64
 	for i := 0; ; i++ {
+		polls++
 		if cond() {
+			m.Spun(polls, yields)
 			return
 		}
 		if i >= budget {
+			yields++
 			runtime.Gosched()
 			i = 0
 		}
 	}
+}
+
+// acqStart returns the start time for acquisition-latency recording,
+// skipping the clock read entirely when no sink is attached.
+func acqStart(m *obs.Metrics) time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// acqDone records a completed acquisition against m; a nil sink is one
+// predicted branch.
+func acqDone(m *obs.Metrics, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.Acquired(time.Since(start))
 }
 
 // checkPID panics on out-of-range process ids; misuse here silently
@@ -118,15 +170,20 @@ type padInt32 struct {
 
 // decIfPositive is the bounded decrement of the paper's footnote 2:
 // atomically decrement x unless it is already <= 0; returns the previous
-// value either way.
-func decIfPositive(x *atomic.Int64) int64 {
+// value either way. Failed CAS attempts — the contended-counter traffic
+// the paper's local-spin algorithms exist to avoid — are counted into m.
+func decIfPositive(x *atomic.Int64, m *obs.Metrics) int64 {
+	var retries int64
 	for {
 		v := x.Load()
 		if v <= 0 {
+			m.CASRetried(retries)
 			return v
 		}
 		if x.CompareAndSwap(v, v-1) {
+			m.CASRetried(retries)
 			return v
 		}
+		retries++
 	}
 }

@@ -200,14 +200,14 @@ func TestNLessEqualK(t *testing.T) {
 func TestDecIfPositive(t *testing.T) {
 	var x atomic.Int64
 	x.Store(2)
-	if decIfPositive(&x) != 2 || decIfPositive(&x) != 1 {
+	if decIfPositive(&x, nil) != 2 || decIfPositive(&x, nil) != 1 {
 		t.Fatal("decrements wrong")
 	}
-	if decIfPositive(&x) != 0 || x.Load() != 0 {
+	if decIfPositive(&x, nil) != 0 || x.Load() != 0 {
 		t.Fatal("bounded decrement must stop at zero")
 	}
 	x.Store(-3)
-	if decIfPositive(&x) != -3 || x.Load() != -3 {
+	if decIfPositive(&x, nil) != -3 || x.Load() != -3 {
 		t.Fatal("bounded decrement must not touch negative values")
 	}
 }

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"kexclusion/internal/obs"
+)
 
 // lock is the internal composition interface satisfied by both building
 // blocks (the Figure 2 chain and the Figure 6 local-spin chain).
@@ -24,12 +28,14 @@ type figSix struct {
 	r    []atomic.Int32
 	nloc int
 	spin int
+	m    *obs.Metrics
 }
 
-func newFigSix(n, k, spinBudget int) *figSix {
+func newFigSix(n, k int, o options) *figSix {
 	f := &figSix{
 		nloc: k + 2,
-		spin: spinBudget,
+		spin: o.spinBudget,
+		m:    o.metrics,
 	}
 	f.p = make([]padInt32, n*f.nloc)
 	f.r = make([]atomic.Int32, n*f.nloc)
@@ -63,7 +69,7 @@ func (f *figSix) acquireWith(p int, st *figSixState) {
 			st.last = next        // statement 12
 			if f.x.v.Load() < 0 { // statement 13
 				w := &f.p[p*f.nloc+next].v // statement 14: spin on own line
-				spinUntil(f.spin, func() bool { return w.Load() != 0 })
+				spinUntil(f.spin, f.m, func() bool { return w.Load() != 0 })
 			}
 		}
 		f.r[u].Add(-1) // statement 15
@@ -90,10 +96,10 @@ type figSixChain struct {
 
 // newFigSixChain builds the (count,k)-exclusion chain over n process
 // identities; count bounds concurrency, n sizes the per-process arrays.
-func newFigSixChain(nIDs, count, k, spinBudget int) *figSixChain {
+func newFigSixChain(nIDs, count, k int, o options) *figSixChain {
 	c := &figSixChain{nIDs: nIDs}
 	for j := count - 1; j >= k; j-- {
-		c.layers = append(c.layers, newFigSix(nIDs, j, spinBudget))
+		c.layers = append(c.layers, newFigSix(nIDs, j, o))
 	}
 	c.state = make([]figSixState, len(c.layers)*nIDs)
 	return c
@@ -119,6 +125,7 @@ var _ lock = (*figSixChain)(nil)
 // the paper bounds remote references.
 type LocalSpin struct {
 	chain *figSixChain
+	m     *obs.Metrics
 	n, k  int
 }
 
@@ -128,19 +135,22 @@ var _ KExclusion = (*LocalSpin)(nil)
 func NewLocalSpin(n, k int, opts ...Option) *LocalSpin {
 	validate(n, k)
 	o := buildOptions(opts)
-	return &LocalSpin{chain: newFigSixChain(n, n, k, o.spinBudget), n: n, k: k}
+	return &LocalSpin{chain: newFigSixChain(n, n, k, o), m: o.metrics, n: n, k: k}
 }
 
 // Acquire implements KExclusion.
 func (l *LocalSpin) Acquire(p int) {
 	checkPID(p, l.n)
+	start := acqStart(l.m)
 	l.chain.acquire(p)
+	acqDone(l.m, start)
 }
 
 // Release implements KExclusion.
 func (l *LocalSpin) Release(p int) {
 	checkPID(p, l.n)
 	l.chain.release(p)
+	l.m.Released()
 }
 
 // K implements KExclusion.
@@ -158,6 +168,7 @@ type LocalSpinFastPath struct {
 	groups   int
 	block    *figSixChain
 	tookSlow []padInt32
+	m        *obs.Metrics
 	n, k     int
 }
 
@@ -168,8 +179,9 @@ func NewLocalSpinFastPath(n, k int, opts ...Option) *LocalSpinFastPath {
 	validate(n, k)
 	o := buildOptions(opts)
 	f := &LocalSpinFastPath{
-		block:    newFigSixChain(n, 2*k, k, o.spinBudget),
+		block:    newFigSixChain(n, 2*k, k, o),
 		tookSlow: make([]padInt32, n),
+		m:        o.metrics,
 		n:        n,
 		k:        k,
 	}
@@ -178,19 +190,19 @@ func NewLocalSpinFastPath(n, k int, opts ...Option) *LocalSpinFastPath {
 		groups := (n + k - 1) / k
 		f.groups = groups
 		f.slowTree = make([][]lock, groups)
-		buildFigSixTree(f.slowTree, 0, groups, n, k, o.spinBudget)
+		buildFigSixTree(f.slowTree, 0, groups, n, k, o)
 	}
 	return f
 }
 
-func buildFigSixTree(paths [][]lock, lo, hi, n, k, spinBudget int) {
+func buildFigSixTree(paths [][]lock, lo, hi, n, k int, o options) {
 	if hi-lo <= 1 {
 		return
 	}
 	mid := lo + (hi-lo+1)/2
-	buildFigSixTree(paths, lo, mid, n, k, spinBudget)
-	buildFigSixTree(paths, mid, hi, n, k, spinBudget)
-	node := newFigSixChain(n, 2*k, k, spinBudget)
+	buildFigSixTree(paths, lo, mid, n, k, o)
+	buildFigSixTree(paths, mid, hi, n, k, o)
+	node := newFigSixChain(n, 2*k, k, o)
 	for g := lo; g < hi; g++ {
 		paths[g] = append(paths[g], node)
 	}
@@ -207,11 +219,14 @@ func (f *LocalSpinFastPath) group(p int) int {
 // Acquire implements KExclusion.
 func (f *LocalSpinFastPath) Acquire(p int) {
 	checkPID(p, f.n)
+	start := acqStart(f.m)
 	if f.slowTree == nil {
 		f.block.acquire(p)
+		f.m.Path(false)
+		acqDone(f.m, start)
 		return
 	}
-	slow := decIfPositive(&f.x.v) == 0
+	slow := decIfPositive(&f.x.v, f.m) == 0
 	if slow {
 		for _, node := range f.slowTree[f.group(p)] {
 			node.acquire(p)
@@ -219,6 +234,8 @@ func (f *LocalSpinFastPath) Acquire(p int) {
 	}
 	f.tookSlow[p].v.Store(boolToInt32(slow))
 	f.block.acquire(p)
+	f.m.Path(slow)
+	acqDone(f.m, start)
 }
 
 // Release implements KExclusion.
@@ -226,6 +243,7 @@ func (f *LocalSpinFastPath) Release(p int) {
 	checkPID(p, f.n)
 	if f.slowTree == nil {
 		f.block.release(p)
+		f.m.Released()
 		return
 	}
 	f.block.release(p)
@@ -237,6 +255,7 @@ func (f *LocalSpinFastPath) Release(p int) {
 	} else {
 		f.x.v.Add(1)
 	}
+	f.m.Released()
 }
 
 // K implements KExclusion.

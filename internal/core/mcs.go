@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"kexclusion/internal/obs"
+)
 
 // MCS is the Mellor-Crummey & Scott queue lock (the paper's reference
 // [12]), natively: the mutual-exclusion (k=1) comparator the concluding
@@ -12,6 +16,7 @@ type MCS struct {
 	tail  atomic.Pointer[mcsNode]
 	nodes []mcsNode
 	spin  int
+	m     *obs.Metrics
 	n     int
 }
 
@@ -27,20 +32,22 @@ var _ KExclusion = (*MCS)(nil)
 func NewMCS(n int, opts ...Option) *MCS {
 	validate(n, 1)
 	o := buildOptions(opts)
-	return &MCS{nodes: make([]mcsNode, n), spin: o.spinBudget, n: n}
+	return &MCS{nodes: make([]mcsNode, n), spin: o.spinBudget, m: o.metrics, n: n}
 }
 
 // Acquire implements KExclusion.
 func (m *MCS) Acquire(p int) {
 	checkPID(p, m.n)
+	start := acqStart(m.m)
 	node := &m.nodes[p]
 	node.next.Store(nil)
 	pred := m.tail.Swap(node)
 	if pred != nil {
 		node.locked.Store(1)
 		pred.next.Store(node)
-		spinUntil(m.spin, func() bool { return node.locked.Load() == 0 })
+		spinUntil(m.spin, m.m, func() bool { return node.locked.Load() == 0 })
 	}
+	acqDone(m.m, start)
 }
 
 // Release implements KExclusion.
@@ -49,12 +56,14 @@ func (m *MCS) Release(p int) {
 	node := &m.nodes[p]
 	if node.next.Load() == nil {
 		if m.tail.CompareAndSwap(node, nil) {
+			m.m.Released()
 			return
 		}
 		// A successor is between its swap and its link; wait for it.
-		spinUntil(m.spin, func() bool { return node.next.Load() != nil })
+		spinUntil(m.spin, m.m, func() bool { return node.next.Load() != nil })
 	}
 	node.next.Load().locked.Store(0)
+	m.m.Released()
 }
 
 // K implements KExclusion.

@@ -69,7 +69,7 @@ func Registry() []Constructor {
 		{
 			Name: "chansem", Doc: "baseline: buffered-channel semaphore (parking waiters)",
 			Resilient: true,
-			New:       func(n, k int, opts ...Option) KExclusion { return NewChanSem(n, k) },
+			New:       func(n, k int, opts ...Option) KExclusion { return NewChanSem(n, k, opts...) },
 		},
 		{
 			Name: "mcs", Doc: "k=1 comparator: MCS queue lock (NOT crash-tolerant)",

@@ -1,11 +1,14 @@
 package core
 
+import "kexclusion/internal/obs"
+
 // Tree is Theorem 2's (N,k)-exclusion: an arbitration tree of (2k,k)
 // building blocks over ceil(N/k) leaf groups. A process acquires the
 // blocks on its leaf-to-root path, so entry cost grows with
 // log2(N/k) instead of N-k.
 type Tree struct {
 	paths [][]*figTwo // per leaf group, leaf-to-root
+	m     *obs.Metrics
 	n, k  int
 }
 
@@ -16,9 +19,9 @@ func NewTree(n, k int, opts ...Option) *Tree {
 	validate(n, k)
 	o := buildOptions(opts)
 	groups := (n + k - 1) / k
-	t := &Tree{paths: make([][]*figTwo, groups), n: n, k: k}
+	t := &Tree{paths: make([][]*figTwo, groups), m: o.metrics, n: n, k: k}
 	if groups > 1 {
-		buildTreeLevel(t.paths, 0, groups, k, o.spinBudget)
+		buildTreeLevel(t.paths, 0, groups, k, o)
 	}
 	return t
 }
@@ -26,14 +29,14 @@ func NewTree(n, k int, opts ...Option) *Tree {
 // buildTreeLevel constructs the subtree over leaf groups [lo,hi),
 // appending each node's (2k,k) chain to the paths of the groups it
 // covers, in leaf-to-root order.
-func buildTreeLevel(paths [][]*figTwo, lo, hi, k, spinBudget int) {
+func buildTreeLevel(paths [][]*figTwo, lo, hi, k int, o options) {
 	if hi-lo <= 1 {
 		return
 	}
 	mid := lo + (hi-lo+1)/2
-	buildTreeLevel(paths, lo, mid, k, spinBudget)
-	buildTreeLevel(paths, mid, hi, k, spinBudget)
-	node := newChain(2*k, k, spinBudget)
+	buildTreeLevel(paths, lo, mid, k, o)
+	buildTreeLevel(paths, mid, hi, k, o)
+	node := newChain(2*k, k, o)
 	for g := lo; g < hi; g++ {
 		paths[g] = append(paths[g], node)
 	}
@@ -50,9 +53,11 @@ func (t *Tree) group(p int) int {
 // Acquire implements KExclusion.
 func (t *Tree) Acquire(p int) {
 	checkPID(p, t.n)
+	start := acqStart(t.m)
 	for _, node := range t.paths[t.group(p)] {
 		node.acquire(p)
 	}
+	acqDone(t.m, start)
 }
 
 // Release implements KExclusion.
@@ -62,6 +67,7 @@ func (t *Tree) Release(p int) {
 	for i := len(path) - 1; i >= 0; i-- {
 		path[i].release(p)
 	}
+	t.m.Released()
 }
 
 // K implements KExclusion.
@@ -82,6 +88,7 @@ type FastPath struct {
 	// process p's current acquisition took. Only p accesses its entry;
 	// padding prevents false sharing.
 	tookSlow []padInt32
+	m        *obs.Metrics
 	n, k     int
 }
 
@@ -95,29 +102,51 @@ func NewFastPath(n, k int, opts ...Option) *FastPath {
 	f := &FastPath{
 		n:        n,
 		k:        k,
-		block:    newChain(2*k, k, o.spinBudget),
+		m:        o.metrics,
+		block:    newChain(2*k, k, o),
 		tookSlow: make([]padInt32, n),
 	}
 	f.x.v.Store(int64(k))
 	if n > 2*k {
-		f.slow = NewTree(n, k, opts...)
+		// The slow-path tree shares the sink but not the top-level
+		// accounting: only the composition's own Acquire records the
+		// acquisition, so sink totals count end-to-end acquisitions.
+		f.slow = newTreeUncounted(n, k, o)
 	}
 	return f
+}
+
+// newTreeUncounted builds a Tree whose figTwo layers feed spin counters
+// into o's sink but whose own Acquire/Release record nothing (t.m stays
+// nil) — for use as an inner layer of a composition that does its own
+// top-level accounting.
+func newTreeUncounted(n, k int, o options) *Tree {
+	groups := (n + k - 1) / k
+	t := &Tree{paths: make([][]*figTwo, groups), n: n, k: k}
+	if groups > 1 {
+		buildTreeLevel(t.paths, 0, groups, k, o)
+	}
+	return t
 }
 
 // Acquire implements KExclusion.
 func (f *FastPath) Acquire(p int) {
 	checkPID(p, f.n)
+	start := acqStart(f.m)
 	if f.slow == nil {
 		f.block.acquire(p)
+		f.m.Path(false)
+		acqDone(f.m, start)
 		return
 	}
-	slow := decIfPositive(&f.x.v) == 0 // statements 1-3
+	slow := decIfPositive(&f.x.v, f.m) == 0 // statements 1-3
 	if slow {
 		f.slow.Acquire(p) // statement 4
 	}
 	f.tookSlow[p].v.Store(boolToInt32(slow))
 	f.block.acquire(p) // statement 5
+	f.m.Path(slow)
+	acqDone(f.m, start)
 }
 
 // Release implements KExclusion.
@@ -125,6 +154,7 @@ func (f *FastPath) Release(p int) {
 	checkPID(p, f.n)
 	if f.slow == nil {
 		f.block.release(p)
+		f.m.Released()
 		return
 	}
 	f.block.release(p) // statement 6
@@ -133,6 +163,7 @@ func (f *FastPath) Release(p int) {
 	} else {
 		f.x.v.Add(1) // statement 9
 	}
+	f.m.Released()
 }
 
 // K implements KExclusion.
@@ -156,6 +187,7 @@ type Graceful struct {
 	levels []*gracefulLevel
 	base   *figTwo // innermost (2k,k) block
 	depth  []padInt32
+	m      *obs.Metrics
 	n, k   int
 }
 
@@ -171,13 +203,14 @@ func NewGraceful(n, k int, opts ...Option) *Graceful {
 	validate(n, k)
 	o := buildOptions(opts)
 	g := &Graceful{
-		base:  newChain(2*k, k, o.spinBudget),
+		base:  newChain(2*k, k, o),
 		depth: make([]padInt32, n),
+		m:     o.metrics,
 		n:     n,
 		k:     k,
 	}
 	for count := n; count > 2*k; count -= k {
-		lvl := &gracefulLevel{block: newChain(2*k, k, o.spinBudget)}
+		lvl := &gracefulLevel{block: newChain(2*k, k, o)}
 		lvl.x.v.Store(int64(k))
 		g.levels = append(g.levels, lvl)
 	}
@@ -187,13 +220,15 @@ func NewGraceful(n, k int, opts ...Option) *Graceful {
 // Acquire implements KExclusion.
 func (g *Graceful) Acquire(p int) {
 	checkPID(p, g.n)
+	start := acqStart(g.m)
 	// Descend until a level grants a fast slot (statement 2 at each
 	// nesting level of Figure 3(b)).
 	d := 0
-	for d < len(g.levels) && decIfPositive(&g.levels[d].x.v) == 0 {
+	for d < len(g.levels) && decIfPositive(&g.levels[d].x.v, g.m) == 0 {
 		d++
 	}
 	g.depth[p].v.Store(int32(d))
+	descended := d
 	if d == len(g.levels) {
 		g.base.acquire(p)
 		d = len(g.levels) - 1
@@ -202,6 +237,11 @@ func (g *Graceful) Acquire(p int) {
 	for i := d; i >= 0; i-- {
 		g.levels[i].block.acquire(p)
 	}
+	// A fast take is one that got the outermost level's counter slot
+	// (or the degenerate no-level shape); deeper descents pay extra
+	// levels, the graceful analogue of the slow path.
+	g.m.Path(descended != 0)
+	acqDone(g.m, start)
 }
 
 // Release implements KExclusion.
@@ -220,6 +260,7 @@ func (g *Graceful) Release(p int) {
 	} else {
 		g.levels[d].x.v.Add(1)
 	}
+	g.m.Released()
 }
 
 // K implements KExclusion.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kexclusion/internal/core"
+	"kexclusion/internal/obs"
 	"kexclusion/internal/renaming"
 	"kexclusion/internal/resilient"
 )
@@ -26,6 +27,12 @@ type Config struct {
 	// CS, when non-nil, runs as the critical-section body of every
 	// completed operation (Run and RunAssignment only).
 	CS func(p, op int)
+	// Metrics, when non-nil, receives the slot-costing crash charges of
+	// the run, and its final Snapshot is attached to the Result. Pass
+	// the same sink to the object under test (core.WithMetrics and the
+	// wrappers' WithMetrics) to get one unified view of acquisitions,
+	// spin traffic and injected capacity loss.
+	Metrics *obs.Metrics
 }
 
 func (cfg Config) withDefaults() Config {
@@ -154,6 +161,7 @@ func (e *engine) run(n, k int, plan Plan, op doOp) Result {
 			EntryLanded:  int(e.tracker.nLanded.Load()),
 			Elapsed:      time.Since(start),
 		},
+		Obs: e.cfg.Metrics.Snapshot(),
 	}
 }
 
@@ -168,6 +176,7 @@ func Run(kx core.KExclusion, plan Plan, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	in.metrics = cfg.Metrics
 	e := &engine{tracker: in.crashTracker, cfg: cfg}
 	op := func(p int, timeAcquire bool) bool {
 		begin := time.Time{}
@@ -200,6 +209,7 @@ func RunAssignment(asg *renaming.Assignment, plan Plan, cfg Config) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
+	in.metrics = cfg.Metrics
 	e := &engine{tracker: in.crashTracker, cfg: cfg}
 	holders := make([]atomic.Int32, asg.K())
 	op := func(p int, timeAcquire bool) bool {
@@ -242,12 +252,13 @@ func RunAssignment(asg *renaming.Assignment, plan Plan, cfg Config) (Result, err
 // it applies). A mismatch is returned as an error.
 func RunShared(kx core.KExclusion, plan Plan, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	asg := renaming.NewAssignment(kx)
+	asg := renaming.NewAssignment(kx).WithMetrics(cfg.Metrics)
 	in, err := NewAssignmentInjector(asg, plan, cfg.OpsPerProc)
 	if err != nil {
 		return Result{}, err
 	}
-	u := resilient.NewUniversal(kx.K(), int64(0), nil)
+	in.metrics = cfg.Metrics
+	u := resilient.NewUniversal(kx.K(), int64(0), nil).WithMetrics(cfg.Metrics)
 	inc := func(s int64) (int64, any) { return s + 1, s + 1 }
 
 	e := &engine{tracker: in.crashTracker, cfg: cfg}

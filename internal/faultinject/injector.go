@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kexclusion/internal/core"
+	"kexclusion/internal/obs"
 	"kexclusion/internal/renaming"
 )
 
@@ -30,6 +31,11 @@ type crashTracker struct {
 
 	nFired  atomic.Int32
 	nLanded atomic.Int32
+
+	// metrics, when non-nil, receives a CrashCharged event per fired
+	// slot-costing crash, so injected capacity loss shows up in the same
+	// sink as the acquisition counters of the object under test.
+	metrics *obs.Metrics
 
 	// awaitLanded is true when the plan's slot charge fits within K, in
 	// which case every abandoned entry acquisition is guaranteed to be
@@ -58,6 +64,9 @@ func newCrashTracker(plan Plan, n, k int) *crashTracker {
 
 func (t *crashTracker) fire(p int) {
 	t.procs[p].dead = true
+	if ev, ok := t.events[p]; ok && ev.Kind.CostsSlot() {
+		t.metrics.CrashCharged()
+	}
 	t.nFired.Add(1)
 	t.fired.Done()
 }

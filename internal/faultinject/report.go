@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"kexclusion/internal/obs"
 )
 
 // Report is the deterministic record of one injected run: everything in
@@ -116,8 +118,11 @@ type Metrics struct {
 	Elapsed time.Duration
 }
 
-// Result pairs the deterministic Report with the observed Metrics.
+// Result pairs the deterministic Report with the observed Metrics and,
+// when Config.Metrics was set, the final observability snapshot of the
+// run (schedule-dependent, like Metrics).
 type Result struct {
 	Report  Report
 	Metrics Metrics
+	Obs     obs.Snapshot
 }

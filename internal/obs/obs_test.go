@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSinkIsValid: every method must be a no-op on a nil receiver —
+// the contract that lets instrumented code run uninstrumented at the
+// cost of one branch.
+func TestNilSinkIsValid(t *testing.T) {
+	var m *Metrics
+	m.Acquired(time.Microsecond)
+	m.Released()
+	m.Path(true)
+	m.Path(false)
+	m.Spun(10, 2)
+	m.CASRetried(3)
+	m.NameAcquired(1)
+	m.OpApplied()
+	m.Helped(2)
+	m.CrashCharged()
+	if s := m.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil sink snapshot not zero: %+v", s)
+	}
+}
+
+func TestCountersRoundTrip(t *testing.T) {
+	m := New()
+	m.Acquired(3 * time.Nanosecond) // bucket 2 (bit-length of 3)
+	m.Acquired(3 * time.Nanosecond)
+	m.Path(false)
+	m.Acquired(1 << 20 * time.Nanosecond) // bucket 21
+	m.Path(true)
+	m.Released()
+	m.Spun(40, 5)
+	m.CASRetried(7)
+	m.NameAcquired(2)
+	m.OpApplied()
+	m.Helped(3)
+	m.CrashCharged()
+
+	s := m.Snapshot()
+	if s.Acquires != 3 || s.Releases != 1 {
+		t.Fatalf("acquires/releases = %d/%d, want 3/1", s.Acquires, s.Releases)
+	}
+	if s.FastPathTakes != 1 || s.SlowPathTakes != 1 {
+		t.Fatalf("fast/slow = %d/%d, want 1/1", s.FastPathTakes, s.SlowPathTakes)
+	}
+	if s.SpinPolls != 40 || s.Yields != 5 || s.CASRetries != 7 {
+		t.Fatalf("spin/yield/cas = %d/%d/%d", s.SpinPolls, s.Yields, s.CASRetries)
+	}
+	if s.NameAttempts != 1 || s.TASFailures != 2 {
+		t.Fatalf("names/tas = %d/%d", s.NameAttempts, s.TASFailures)
+	}
+	if s.AppliedOps != 1 || s.HelpingEvents != 3 || s.CrashCharges != 1 {
+		t.Fatalf("applied/helped/charges = %d/%d/%d", s.AppliedOps, s.HelpingEvents, s.CrashCharges)
+	}
+	if s.CurrentHolders != 2 || s.PeakHolders != 3 {
+		t.Fatalf("holders/peak = %d/%d, want 2/3", s.CurrentHolders, s.PeakHolders)
+	}
+	if s.LatencyNSPow2[2] != 2 || s.LatencyNSPow2[21] != 1 {
+		t.Fatalf("latency histogram wrong: %v", s.LatencyNSPow2)
+	}
+}
+
+func TestLatencyBucketEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // clock weirdness must not panic or underflow
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{time.Duration(1) << 40, LatencyBuckets - 1}, // overflow clamps
+	}
+	for _, c := range cases {
+		if got := latencyBucket(c.d); got != c.want {
+			t.Errorf("latencyBucket(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestPeakUnderConcurrency: peak occupancy must be the maximum of the
+// concurrent holder count, not a torn read.
+func TestPeakUnderConcurrency(t *testing.T) {
+	m := New()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Acquired(0)
+				m.Released()
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.CurrentHolders != 0 {
+		t.Fatalf("holders = %d after balanced acquire/release", s.CurrentHolders)
+	}
+	if s.PeakHolders < 1 || s.PeakHolders > workers {
+		t.Fatalf("peak = %d outside [1,%d]", s.PeakHolders, workers)
+	}
+	if s.Acquires != workers*1000 || s.Releases != workers*1000 {
+		t.Fatalf("acquires/releases = %d/%d", s.Acquires, s.Releases)
+	}
+}
+
+// TestSnapshotJSONDeterministicSchema: same counters, same bytes; and
+// the schema (key set and order) is fixed, including the full-length
+// histogram.
+func TestSnapshotJSONDeterministicSchema(t *testing.T) {
+	m := New()
+	m.Acquired(time.Microsecond)
+	a, b := m.Snapshot().JSON(), m.Snapshot().JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same state marshalled differently:\n%s\n%s", a, b)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(a, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"acquires", "releases", "fast_path_takes", "slow_path_takes",
+		"spin_polls", "yields", "cas_retries", "name_attempts",
+		"tas_failures", "applied_ops", "helping_events", "crash_charges",
+		"current_holders", "peak_holders", "latency_ns_pow2",
+	} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("snapshot JSON missing key %q", key)
+		}
+	}
+	hist, ok := decoded["latency_ns_pow2"].([]any)
+	if !ok || len(hist) != LatencyBuckets {
+		t.Fatalf("histogram must marshal as a fixed %d-entry array, got %v", LatencyBuckets, decoded["latency_ns_pow2"])
+	}
+}
+
+func TestQuantileAcquire(t *testing.T) {
+	var s Snapshot
+	if s.QuantileAcquire(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	s.LatencyNSPow2[3] = 9 // nine acquisitions in [4ns, 8ns)
+	s.LatencyNSPow2[10] = 1
+	if got := s.QuantileAcquire(0.5); got != 8 {
+		t.Fatalf("p50 = %v, want 8ns bucket edge", got)
+	}
+	if got := s.QuantileAcquire(1.0); got != 1<<10 {
+		t.Fatalf("p100 = %v, want top occupied bucket edge", got)
+	}
+}

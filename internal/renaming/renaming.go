@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"kexclusion/internal/core"
+	"kexclusion/internal/obs"
 )
 
 // LongLived is the test&set long-lived renaming object. At most k
@@ -23,6 +24,7 @@ type LongLived struct {
 	// name needs no bit (at most one process can exhaust the scan).
 	bits []paddedBool
 	k    int
+	m    *obs.Metrics
 }
 
 type paddedBool struct {
@@ -41,17 +43,28 @@ func NewLongLived(k int) *LongLived {
 // K reports the size of the name space.
 func (l *LongLived) K() int { return l.k }
 
+// WithMetrics attaches an observability sink counting name acquisitions
+// and failed test&set probes; nil detaches. Returns l for chaining.
+func (l *LongLived) WithMetrics(m *obs.Metrics) *LongLived {
+	l.m = m
+	return l
+}
+
 // Acquire obtains a name in 0..k-1. The caller must be one of at most k
 // concurrent holders (enforce with k-exclusion; see Assignment). The
 // scan test&sets each bit in order — at most k-1 remote operations — and
 // the paper shows that if all k-1 bits are taken the caller is the only
 // process that can be scanning, so it takes the last name bit-free.
 func (l *LongLived) Acquire() int {
+	var failures int64
 	for name := range l.bits {
 		if l.bits[name].v.CompareAndSwap(0, 1) {
+			l.m.NameAcquired(failures)
 			return name
 		}
+		failures++
 	}
+	l.m.NameAcquired(failures)
 	return l.k - 1
 }
 
@@ -85,6 +98,16 @@ func NewAssignment(excl core.KExclusion) *Assignment {
 // paper's fast-path k-exclusion (Theorem 9's composition).
 func New(n, k int, opts ...core.Option) *Assignment {
 	return NewAssignment(core.NewFastPath(n, k, opts...))
+}
+
+// WithMetrics attaches an observability sink to the renaming half of
+// the assignment (name attempts and test&set failures). The enclosed
+// k-exclusion is instrumented separately — pass core.WithMetrics when
+// constructing it, typically sharing the same sink. Returns a for
+// chaining.
+func (a *Assignment) WithMetrics(m *obs.Metrics) *Assignment {
+	a.names.WithMetrics(m)
+	return a
 }
 
 // Acquire blocks process p until it holds a slot, returning its name.

@@ -2,6 +2,7 @@ package resilient
 
 import (
 	"kexclusion/internal/core"
+	"kexclusion/internal/obs"
 	"kexclusion/internal/renaming"
 )
 
@@ -22,6 +23,13 @@ type Config struct {
 	// the paper's fast-path algorithm (Theorem 9's composition), which
 	// makes operations cheap whenever contention stays at or below k.
 	Excl core.KExclusion
+	// Metrics, when non-nil, collects acquisition metrics across the
+	// whole stack: the renaming name counters and the universal core's
+	// applied/helping counters, plus — when Excl is nil — the default
+	// fast-path k-exclusion's counters. A caller-supplied Excl is
+	// instrumented by passing core.WithMetrics at its construction,
+	// typically with this same sink.
+	Metrics *obs.Metrics
 }
 
 // NewShared creates a (k-1)-resilient shared object for n processes with
@@ -34,11 +42,11 @@ func NewShared[S any](n, k int, initial S, clone func(S) S) *Shared[S] {
 func NewSharedConfig[S any](n, k int, initial S, clone func(S) S, cfg Config) *Shared[S] {
 	excl := cfg.Excl
 	if excl == nil {
-		excl = core.NewFastPath(n, k)
+		excl = core.NewFastPath(n, k, core.WithMetrics(cfg.Metrics))
 	}
 	return &Shared[S]{
-		u:   NewUniversal(k, initial, clone),
-		asg: renaming.NewAssignment(excl),
+		u:   NewUniversal(k, initial, clone).WithMetrics(cfg.Metrics),
+		asg: renaming.NewAssignment(excl).WithMetrics(cfg.Metrics),
 	}
 }
 

@@ -13,6 +13,8 @@ package resilient
 import (
 	"fmt"
 	"sync/atomic"
+
+	"kexclusion/internal/obs"
 )
 
 // Op is an operation on an object with state S: it receives the current
@@ -36,6 +38,7 @@ type Universal[S any] struct {
 	announce []announceSlot[S]
 	clone    func(S) S
 	k        int
+	m        *obs.Metrics
 }
 
 type announceSlot[S any] struct {
@@ -83,6 +86,13 @@ func NewUniversal[S any](k int, initial S, clone func(S) S) *Universal[S] {
 // K reports the number of supported processes.
 func (u *Universal[S]) K() int { return u.k }
 
+// WithMetrics attaches an observability sink counting applied
+// operations and helping events; nil detaches. Returns u for chaining.
+func (u *Universal[S]) WithMetrics(m *obs.Metrics) *Universal[S] {
+	u.m = m
+	return u
+}
+
 // Apply performs op as the process named name and returns its result.
 // It is wait-free: the loop below runs at most three iterations, since
 // any version installed after the announce includes the announced op.
@@ -99,9 +109,10 @@ func (u *Universal[S]) Apply(name int, op Op[S]) any {
 	for {
 		h := u.head.Load()
 		if h.seq[name] >= seq {
+			u.m.OpApplied()
 			return h.res[name]
 		}
-		u.head.CompareAndSwap(h, u.buildNext(h))
+		u.head.CompareAndSwap(h, u.buildNext(h, name))
 	}
 }
 
@@ -114,13 +125,18 @@ func (u *Universal[S]) Peek() S {
 
 // buildNext creates the successor version of h, applying every announced
 // operation that h has not applied yet — the helping that makes the
-// construction wait-free rather than merely lock-free.
-func (u *Universal[S]) buildNext(h *cell[S]) *cell[S] {
+// construction wait-free rather than merely lock-free. builder is the
+// name of the process installing the version; operations it folds in
+// for other names count as helping events. The helping count is an
+// over-approximation of effects (a built version may lose its CAS), but
+// it tracks the helping *work* performed, which is the observable cost.
+func (u *Universal[S]) buildNext(h *cell[S], builder int) *cell[S] {
 	next := &cell[S]{
 		state: u.clone(h.state),
 		seq:   append([]uint64(nil), h.seq...),
 		res:   append([]any(nil), h.res...),
 	}
+	var helped int64
 	for i := 0; i < u.k; i++ {
 		a := u.announce[i].d.Load()
 		if a != nil && a.seq == next.seq[i]+1 {
@@ -128,7 +144,11 @@ func (u *Universal[S]) buildNext(h *cell[S]) *cell[S] {
 			next.state, r = a.op(next.state)
 			next.seq[i]++
 			next.res[i] = r
+			if i != builder {
+				helped++
+			}
 		}
 	}
+	u.m.Helped(helped)
 	return next
 }
