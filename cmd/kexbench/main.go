@@ -60,8 +60,11 @@ func run(args []string, out io.Writer) error {
 	if *asJSON && !*native {
 		return fmt.Errorf("-json applies only to -native")
 	}
-	if *k < 1 || *n <= *k {
-		return fmt.Errorf("need 0 < k < n, got n=%d k=%d", *n, *k)
+	if *k < 1 {
+		return fmt.Errorf("need k >= 1, got k=%d", *k)
+	}
+	if *n < *k {
+		return fmt.Errorf("need n >= k, got n=%d k=%d", *n, *k)
 	}
 	opt := bench.Options{Seeds: *seeds, Acquisitions: *acqs}
 

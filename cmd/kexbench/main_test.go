@@ -55,8 +55,8 @@ func TestBenchFlagValidation(t *testing.T) {
 	if err := run([]string{}, &b); err == nil {
 		t.Error("expected error with no experiment selected")
 	}
-	if err := run([]string{"-table1", "-n", "2", "-k", "2"}, &b); err == nil {
-		t.Error("expected error for n <= k")
+	if err := run([]string{"-table1", "-n", "2", "-k", "3"}, &b); err == nil {
+		t.Error("expected error for n < k")
 	}
 	if err := run([]string{"-fig3b", "-model", "numa"}, &b); err == nil {
 		t.Error("expected error for bad model")
@@ -93,3 +93,26 @@ func TestBenchNativeText(t *testing.T) {
 	}
 }
 
+
+// TestBenchFlagShapeValidation: nonsense (n, k) shapes exit with a clear
+// error instead of panicking deep inside construction.
+func TestBenchFlagShapeValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-table1", "-k", "0"}, "need k >= 1"},
+		{[]string{"-native", "-n", "2", "-k", "4"}, "need n >= k"},
+	} {
+		var b strings.Builder
+		err := run(tc.args, &b)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): got %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+	// n == k is a legal shape, not a usage error.
+	var b strings.Builder
+	if err := run([]string{"-table1", "-n", "2", "-k", "2", "-seeds", "1", "-acqs", "1"}, &b); err != nil {
+		t.Errorf("n == k rejected: %v", err)
+	}
+}

@@ -69,6 +69,14 @@ func run(args []string, out io.Writer) error {
 	if *assignment && *shared {
 		return fmt.Errorf("-assignment and -shared are exclusive")
 	}
+	// Validate the flag shape here so a bad invocation gets a usage
+	// error, not a panic from deep inside construction.
+	if *k < 1 {
+		return fmt.Errorf("need k >= 1, got k=%d", *k)
+	}
+	if *n < *k {
+		return fmt.Errorf("need n >= k, got n=%d k=%d", *n, *k)
+	}
 
 	var impls []core.Constructor
 	if *all {

@@ -126,3 +126,21 @@ func TestChaosMCSWedge(t *testing.T) {
 		t.Fatalf("expected MCS wedge to be reported:\n%s", b.String())
 	}
 }
+
+// TestChaosFlagShapeValidation: nonsense (n, k) shapes exit with a clear
+// error instead of panicking deep inside construction.
+func TestChaosFlagShapeValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-k", "0"}, "need k >= 1"},
+		{[]string{"-n", "2", "-k", "4"}, "need n >= k"},
+	} {
+		var b strings.Builder
+		err := run(tc.args, &b)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): got %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}

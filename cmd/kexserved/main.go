@@ -1,0 +1,125 @@
+// Command kexserved serves the paper's resilient shared objects over
+// TCP, putting k-assignment at the admission edge: each accepted
+// connection leases one of N process identities, every operation runs
+// through the (N, k)-assignment wrapper of its shard (at most k sessions
+// inside any shard's wait-free core), and a client that disconnects
+// mid-operation is absorbed as one of the paper's crash faults — the
+// server reclaims its identity and stays live for everyone else.
+//
+// Usage:
+//
+//	kexserved                                    serve on 127.0.0.1:4750
+//	kexserved -addr :4750 -n 64 -k 8 -shards 16  choose the shape
+//	kexserved -impl localspin                    pick the k-exclusion (see -list)
+//	kexserved -admit-timeout 2s                  park connection N+1 before rejecting
+//	kexserved -json                              dump final stats JSON on exit
+//
+// SIGINT/SIGTERM drains gracefully: stop accepting, finish in-flight
+// operations, then exit (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kexserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kexserved", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:4750", "TCP listen address (port 0 for ephemeral)")
+		n            = fs.Int("n", 64, "process identities (max concurrent sessions)")
+		k            = fs.Int("k", 8, "resiliency level: slots per shard, tolerating k-1 dead holders")
+		shards       = fs.Int("shards", 8, "independent objects in the table")
+		implName     = fs.String("impl", "fastpath", "k-exclusion implementation from the registry (see -list)")
+		list         = fs.Bool("list", false, "list usable implementations and exit")
+		admitTimeout = fs.Duration("admit-timeout", 0, "how long to park connection N+1 for a free identity before rejecting (0 = reject immediately)")
+		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "bound on graceful drain after SIGTERM/SIGINT")
+		statsJSON    = fs.Bool("json", false, "print the final stats snapshot as JSON on exit")
+		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, c := range core.Registry() {
+			if c.Resilient && c.FixedK == 0 {
+				fmt.Fprintf(out, "%-11s %s\n", c.Name, c.Doc)
+			}
+		}
+		return nil
+	}
+	// Validate the flag shape here so a bad invocation gets a usage
+	// error, not a panic from deep inside construction.
+	if *k < 1 {
+		return fmt.Errorf("need k >= 1, got k=%d", *k)
+	}
+	if *n < *k {
+		return fmt.Errorf("need n >= k, got n=%d k=%d", *n, *k)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("need shards >= 1, got shards=%d", *shards)
+	}
+
+	cfg := server.Config{
+		N: *n, K: *k, Shards: *shards,
+		Impl:         *implName,
+		AdmitTimeout: *admitTimeout,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(out, "kexserved: "+format+"\n", args...)
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "kexserved: listening on %s (n=%d k=%d shards=%d impl=%s)\n",
+		bound, *n, *k, *shards, *implName)
+
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-served:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(out, "kexserved: %s: draining (timeout %s)\n", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		drainErr := srv.Shutdown(ctx)
+		<-served
+		if *statsJSON {
+			fmt.Fprintf(out, "%s\n", srv.Stats().JSON())
+		}
+		if drainErr != nil {
+			return fmt.Errorf("drain incomplete: %w", drainErr)
+		}
+		fmt.Fprintln(out, "kexserved: drained cleanly")
+		return nil
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"kexclusion/internal/server/client"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-k", "0"}, "need k >= 1"},
+		{[]string{"-n", "2", "-k", "4"}, "need n >= k"},
+		{[]string{"-shards", "0"}, "need shards >= 1"},
+		{[]string{"-impl", "nonesuch"}, "unknown implementation"},
+		{[]string{"-impl", "mcs", "-k", "1"}, "not (k-1)-resilient"},
+	}
+	for _, tc := range cases {
+		var b strings.Builder
+		err := run(tc.args, &b)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): got %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fastpath", "localspin", "inductive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "mcs") {
+		t.Errorf("-list offers the non-resilient mcs comparator:\n%s", out)
+	}
+}
+
+// syncBuffer lets the test poll run's output while run is still writing.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeSIGTERMDrain runs the real lifecycle: serve on an ephemeral
+// port, complete one client operation, then drain via SIGTERM.
+func TestServeSIGTERMDrain(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-n", "4", "-k", "2",
+			"-shards", "2", "-quiet", "-json", "-drain-timeout", "5s"}, &out)
+	}()
+
+	// The bound address appears on the "listening on" line.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.Contains(line, "listening on ") {
+				addr = strings.Fields(strings.SplitAfter(line, "listening on ")[1])[0]
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Add(1, 9); err != nil || v != 9 {
+		t.Fatalf("Add = %d, %v", v, err)
+	}
+	c.Close()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGTERM: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("drain never completed:\n%s", out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "drained cleanly") {
+		t.Errorf("missing drain confirmation:\n%s", got)
+	}
+	// -json printed a final stats snapshot recording the session.
+	if !strings.Contains(got, `"admitted":1`) {
+		t.Errorf("missing stats dump:\n%s", got)
+	}
+}

@@ -57,6 +57,14 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	// Validate the flag shape here so a bad invocation gets a usage
+	// error, not a panic from deep inside construction.
+	if *k < 1 {
+		return fmt.Errorf("need k >= 1, got k=%d", *k)
+	}
+	if *n < *k {
+		return fmt.Errorf("need n >= k, got n=%d k=%d", *n, *k)
+	}
 	pr, err := algo.ByName(*name)
 	if err != nil {
 		return err

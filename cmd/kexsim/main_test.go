@@ -103,3 +103,21 @@ func TestParseCrashes(t *testing.T) {
 		}
 	}
 }
+
+// TestSimFlagShapeValidation: nonsense (n, k) shapes exit with a clear
+// error instead of panicking deep inside construction.
+func TestSimFlagShapeValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-proto", "cc-tree", "-k", "0"}, "need k >= 1"},
+		{[]string{"-proto", "cc-fastpath", "-n", "2", "-k", "4"}, "need n >= k"},
+	} {
+		var b strings.Builder
+		err := run(tc.args, &b)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): got %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}

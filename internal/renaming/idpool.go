@@ -65,3 +65,62 @@ func (p *IDPool) Put(id int) {
 		panic(fmt.Sprintf("renaming: returning id %d that is not leased", id))
 	}
 }
+
+// InUse counts currently leased identities. The count is a racy sum —
+// exact only when leasing is quiescent — intended for stats and tests.
+func (p *IDPool) InUse() int {
+	n := 0
+	for i := range p.slots {
+		if p.slots[i].v.Load() == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Lease is a leased identity whose release is idempotent: exactly one of
+// any number of concurrent Release calls returns the identity. Raw
+// Get/Put panics on double-Put because for a live process that is a
+// protocol violation; a Lease exists for the owner-died case, where the
+// normal teardown path and a crash-reclaim hook (e.g. a session manager
+// observing a dead connection) can race to return the same identity and
+// both must be safe. This is the identity-reclaim primitive behind
+// treating a disconnected network client as one of the paper's crashed
+// processes.
+type Lease struct {
+	pool     *IDPool
+	id       int
+	released atomic.Bool
+}
+
+// Lease leases a free identity, blocking until one is available.
+func (p *IDPool) Lease() *Lease {
+	return &Lease{pool: p, id: p.Get()}
+}
+
+// TryLease leases a free identity without blocking; ok reports success.
+func (p *IDPool) TryLease() (*Lease, bool) {
+	id, ok := p.TryGet()
+	if !ok {
+		return nil, false
+	}
+	return &Lease{pool: p, id: id}, true
+}
+
+// ID reports the leased identity.
+func (l *Lease) ID() int { return l.id }
+
+// Released reports whether the lease has already been returned.
+func (l *Lease) Released() bool { return l.released.Load() }
+
+// Release returns the identity to the pool, reporting whether this call
+// was the one that returned it. Safe to call any number of times from
+// any number of goroutines; after the first, the identity may already be
+// leased to a new owner, so late callers must not touch it.
+func (l *Lease) Release() bool {
+	if l.released.Swap(true) {
+		return false
+	}
+	l.pool.Put(l.id)
+	return true
+}

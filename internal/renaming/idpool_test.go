@@ -145,6 +145,132 @@ func TestIDPoolChurnWithLostLeaseholder(t *testing.T) {
 	}
 }
 
+// TestLeaseReleaseAfterCrash exercises the session manager's
+// identity-reclaim hook: for every lease, the normal teardown path and a
+// crash-reclaim path race to return the same identity concurrently.
+// Exactly one Release call per lease must win, raw Put's double-return
+// panic must never fire, and every identity must be re-leasable
+// afterwards — repeated across rounds so reclaimed identities circulate.
+func TestLeaseReleaseAfterCrash(t *testing.T) {
+	const (
+		n      = 8
+		rounds = 100
+	)
+	p := NewIDPool(n)
+	for r := 0; r < rounds; r++ {
+		leases := make([]*Lease, n)
+		for i := range leases {
+			l, ok := p.TryLease()
+			if !ok {
+				t.Fatalf("round %d: pool not fully re-leasable, got %d of %d", r, i, n)
+			}
+			leases[i] = l
+		}
+		if _, ok := p.TryLease(); ok {
+			t.Fatalf("round %d: leased more than n identities", r)
+		}
+
+		var (
+			wg   sync.WaitGroup
+			wins atomic.Int64
+		)
+		for _, l := range leases {
+			// Two racing releasers per lease: session exit and the
+			// reclaim hook observing the dead connection.
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func(l *Lease) {
+					defer wg.Done()
+					if l.Release() {
+						wins.Add(1)
+					}
+				}(l)
+			}
+		}
+		wg.Wait()
+		if wins.Load() != n {
+			t.Fatalf("round %d: %d Release wins, want exactly %d", r, wins.Load(), n)
+		}
+		for _, l := range leases {
+			if !l.Released() {
+				t.Fatalf("round %d: lease %d not marked released", r, l.ID())
+			}
+			if l.Release() {
+				t.Fatalf("round %d: late Release of %d won again", r, l.ID())
+			}
+		}
+		if got := p.InUse(); got != 0 {
+			t.Fatalf("round %d: %d identities still marked in use", r, got)
+		}
+	}
+}
+
+// TestLeaseReclaimUnderChurn races the reclaim hook against fresh
+// admissions: while half the goroutines lease-and-release normally,
+// the other half double-release crashed leases; identities must keep
+// circulating with no duplicate grant.
+func TestLeaseReclaimUnderChurn(t *testing.T) {
+	const (
+		n       = 4
+		workers = 3 * n
+		rounds  = 150
+	)
+	p := NewIDPool(n)
+	var (
+		wg   sync.WaitGroup
+		held [n]atomic.Int32
+	)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				l := p.Lease()
+				if !held[l.ID()].CompareAndSwap(0, 1) {
+					t.Errorf("id %d leased twice", l.ID())
+					return
+				}
+				held[l.ID()].Store(0)
+				if g%2 == 0 {
+					l.Release()
+					continue
+				}
+				// Crashed session: teardown and reclaim hook race.
+				var inner sync.WaitGroup
+				for c := 0; c < 2; c++ {
+					inner.Add(1)
+					go func() { defer inner.Done(); l.Release() }()
+				}
+				inner.Wait()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("%d identities leaked", got)
+	}
+}
+
+func TestIDPoolInUse(t *testing.T) {
+	p := NewIDPool(3)
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("fresh pool InUse = %d", got)
+	}
+	l := p.Lease()
+	if got := p.InUse(); got != 1 {
+		t.Fatalf("InUse = %d, want 1", got)
+	}
+	if l.Released() {
+		t.Fatal("fresh lease already released")
+	}
+	if !l.Release() {
+		t.Fatal("first Release lost")
+	}
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d", got)
+	}
+}
+
 func TestIDPoolBlockingGet(t *testing.T) {
 	p := NewIDPool(1)
 	id := p.Get()

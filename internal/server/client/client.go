@@ -1,0 +1,136 @@
+// Package client is the Go client for kexserved. A Client is one
+// network process: Dial performs the admission handshake, receiving the
+// leased process identity p in [0, N) (or a wire.StatusBusy rejection —
+// backpressure, not failure), and every operation then runs under that
+// identity on the server. Methods are safe for concurrent use; requests
+// on one client are serialized, matching the paper's model of a process
+// as a sequential thread of operations.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"kexclusion/internal/wire"
+)
+
+// Client is one admitted kexserved session.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint64
+	hello  wire.Hello
+}
+
+// Dial connects and performs the admission handshake. A server-side
+// rejection (pool exhausted, draining) returns a *wire.Error with
+// wire.StatusBusy and no Client.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connect-and-handshake deadline.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	br := bufio.NewReader(conn)
+	hello, err := wire.ReadHello(br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if hello.Status != wire.StatusOK {
+		conn.Close()
+		return nil, &wire.Error{Status: hello.Status, Msg: hello.Msg}
+	}
+	conn.SetDeadline(time.Time{})
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetNoDelay(true)
+	}
+	return &Client{conn: conn, br: br, bw: bufio.NewWriter(conn), hello: hello}, nil
+}
+
+// Identity reports the process identity p the server leased to this
+// session.
+func (c *Client) Identity() int { return int(c.hello.Identity) }
+
+// Hello reports the full admission handshake (server shape included).
+func (c *Client) Hello() wire.Hello { return c.hello }
+
+// do runs one serialized request/response exchange.
+func (c *Client) do(kind wire.Kind, shard uint32, arg int64) (wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := wire.Request{ID: c.nextID, Kind: kind, Shard: shard, Arg: arg}
+	if err := wire.WriteRequest(c.bw, req); err != nil {
+		return wire.Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return wire.Response{}, err
+	}
+	resp, err := wire.ReadResponse(c.br)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if resp.ID != req.ID {
+		return wire.Response{}, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, resp.Err()
+}
+
+// Ping round-trips a no-op.
+func (c *Client) Ping() error {
+	_, err := c.do(wire.KindPing, 0, 0)
+	return err
+}
+
+// Get reads shard's value, linearized with all updates.
+func (c *Client) Get(shard uint32) (int64, error) {
+	resp, err := c.do(wire.KindGet, shard, 0)
+	return resp.Value, err
+}
+
+// Add adds delta to shard and returns the new value.
+func (c *Client) Add(shard uint32, delta int64) (int64, error) {
+	resp, err := c.do(wire.KindAdd, shard, delta)
+	return resp.Value, err
+}
+
+// Set overwrites shard with v.
+func (c *Client) Set(shard uint32, v int64) error {
+	_, err := c.do(wire.KindSet, shard, v)
+	return err
+}
+
+// Stats fetches the server's metrics snapshot.
+func (c *Client) Stats() (wire.Stats, error) {
+	resp, err := c.do(wire.KindStats, 0, 0)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	return wire.ParseStats(resp.Data)
+}
+
+// Close ends the session cleanly; the server reclaims the identity.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// HardClose kills the connection abruptly (SO_LINGER=0, so close sends
+// RST and discards anything buffered) — the network form of the paper's
+// crash fault, for tests that kill a session mid-operation.
+func (c *Client) HardClose() error {
+	if tcp, ok := c.conn.(*net.TCPConn); ok {
+		tcp.SetLinger(0)
+	}
+	return c.conn.Close()
+}

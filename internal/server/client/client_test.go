@@ -1,0 +1,85 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"kexclusion/internal/wire"
+)
+
+// fakeEndpoint accepts one connection and runs serve against it.
+func fakeEndpoint(t *testing.T, serve func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		serve(conn)
+	}()
+	return ln.Addr().String()
+}
+
+func TestDialRejectsNonProtocolEndpoint(t *testing.T) {
+	addr := fakeEndpoint(t, func(conn net.Conn) {
+		// A frame whose payload is not a Hello (wrong magic).
+		wire.WriteFrame(conn, []byte("HTTP/1.1 200 OK\r\n\r\nhello world junk..."))
+	})
+	_, err := DialTimeout(addr, 2*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want protocol-magic error, got %v", err)
+	}
+}
+
+func TestDialSurfacesBusy(t *testing.T) {
+	addr := fakeEndpoint(t, func(conn net.Conn) {
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusBusy, Msg: "all leased"})
+	})
+	_, err := DialTimeout(addr, 2*time.Second)
+	we, ok := err.(*wire.Error)
+	if !ok || we.Status != wire.StatusBusy || !strings.Contains(we.Msg, "all leased") {
+		t.Fatalf("want busy *wire.Error, got %v", err)
+	}
+}
+
+func TestDialHandshakeTimeout(t *testing.T) {
+	// Endpoint accepts but never sends a Hello.
+	addr := fakeEndpoint(t, func(conn net.Conn) {
+		time.Sleep(5 * time.Second)
+	})
+	start := time.Now()
+	_, err := DialTimeout(addr, 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("handshake against a silent endpoint succeeded")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("handshake timeout not honoured: %v", time.Since(start))
+	}
+}
+
+func TestResponseIDMismatch(t *testing.T) {
+	addr := fakeEndpoint(t, func(conn net.Conn) {
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+		req, err := wire.ReadRequest(conn)
+		if err != nil {
+			return
+		}
+		wire.WriteResponse(conn, wire.Response{ID: req.ID + 99, Status: wire.StatusOK})
+	})
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err == nil || !strings.Contains(err.Error(), "response id") {
+		t.Fatalf("want id-mismatch error, got %v", err)
+	}
+}

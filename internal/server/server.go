@@ -1,0 +1,303 @@
+// Package server is kexserved's engine: a TCP object server that puts
+// the paper's k-assignment at the admission edge.
+//
+// The mapping from the paper's model to the network is direct. A
+// connected client is a process: admission leases it one of N long-lived
+// process identities (sessionManager), every object operation it issues
+// runs under that identity through a (N, k)-assignment-wrapped wait-free
+// core (table), and an abrupt disconnect is a crash fault. Concretely, a
+// client that vanishes while its operation is inside the wait-free core
+// is indistinguishable from the paper's stopped process: the in-flight
+// operation still completes server-side (operations execute in the
+// session's own goroutine, which does not die with the socket), the
+// undeliverable reply is discarded, and the identity is reclaimed into
+// the pool — so the wrapper absorbs the failure and every other client
+// keeps its (k-1)-resilience guarantee of bounded-step progress.
+//
+// Graceful drain mirrors the same discipline: stop admitting, let every
+// in-flight Apply finish (it is wait-free, hence bounded), and only
+// force-close sockets when the caller's deadline expires.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/wire"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// N is the number of process identities (max concurrent sessions).
+	N int
+	// K is the resiliency level: at most K sessions inside each shard's
+	// wait-free core, tolerating K-1 crashed/disconnected holders.
+	K int
+	// Shards is the number of independent objects in the table.
+	Shards int
+	// Impl names the k-exclusion from core.Registry guarding each shard
+	// ("" selects fastpath, the paper's Theorem 9 composition). The
+	// implementation must be (k-1)-resilient: a non-resilient gate (mcs)
+	// would let one disconnected client wedge a shard for everyone,
+	// which is exactly the failure mode this server exists to rule out.
+	Impl string
+	// AdmitTimeout is how long connection N+1 is parked waiting for an
+	// identity before being rejected with wire.StatusBusy. Zero rejects
+	// immediately.
+	AdmitTimeout time.Duration
+	// ApplyGate, when non-nil, is called inside every shard operation —
+	// while the session holds a k-assignment slot and a name in the
+	// wait-free core. It exists for crash-fault tests and chaos tooling
+	// (stall a session here, then kill its socket); leave nil in
+	// production.
+	ApplyGate func(shard uint32, kind wire.Kind)
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server is a TCP kexserved instance. Construct with New, bind with
+// Listen, run with Serve, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	impl core.Constructor
+	tab  *table
+	sm   *sessionManager
+
+	ln       net.Listener
+	draining atomic.Bool
+	drainCh  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New validates cfg and builds the server (table and session manager
+// included; no sockets yet).
+func New(cfg Config) (*Server, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("server: k must be at least 1, got %d", cfg.K)
+	}
+	if cfg.N < cfg.K {
+		return nil, fmt.Errorf("server: need n >= k, got n=%d k=%d", cfg.N, cfg.K)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("server: shards must be at least 1, got %d", cfg.Shards)
+	}
+	if cfg.Impl == "" {
+		cfg.Impl = "fastpath"
+	}
+	impl, err := core.ByName(cfg.Impl)
+	if err != nil {
+		return nil, err
+	}
+	if !impl.Resilient {
+		return nil, fmt.Errorf("server: %s is not (k-1)-resilient — a disconnected client would wedge a shard for every other client; pick a resilient implementation (e.g. fastpath)", impl.Name)
+	}
+	if impl.FixedK != 0 && cfg.K != impl.FixedK {
+		return nil, fmt.Errorf("server: %s supports only k=%d, got k=%d", impl.Name, impl.FixedK, cfg.K)
+	}
+	return &Server{
+		cfg:     cfg,
+		impl:    impl,
+		tab:     newTable(cfg.N, cfg.K, cfg.Shards, impl),
+		sm:      newSessionManager(cfg.N, cfg.AdmitTimeout),
+		drainCh: make(chan struct{}),
+	}, nil
+}
+
+// Listen binds the TCP address (use port 0 for an ephemeral port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Addr reports the bound address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// after a graceful Shutdown and the accept error otherwise.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown drains gracefully: stop accepting, reject parked admissions,
+// wake sessions blocked reading, and wait for every in-flight operation
+// to complete and its session to tear down. If ctx expires first, the
+// remaining sockets are force-closed and ctx's error returned; a session
+// stalled inside the wait-free core (only possible via ApplyGate) is
+// abandoned to finish on its own — the identity-reclaim path still runs
+// when it does.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.sm.abortReads()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.sm.forceClose()
+		select {
+		case <-done:
+		case <-time.After(100 * time.Millisecond):
+		}
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the server: shape, session-manager counters, and one
+// metrics snapshot per shard.
+func (s *Server) Stats() wire.Stats {
+	return wire.Stats{
+		N:              s.cfg.N,
+		K:              s.cfg.K,
+		Shards:         s.cfg.Shards,
+		Impl:           s.impl.Name,
+		ActiveSessions: s.sm.activeCount(),
+		Admitted:       s.sm.admitted.Load(),
+		Rejected:       s.sm.rejected.Load(),
+		Reclaimed:      s.sm.reclaimed.Load(),
+		Draining:       s.draining.Load(),
+		PerShard:       s.tab.snapshots(),
+	}
+}
+
+// logf emits a lifecycle line when a logger is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// handle runs one connection: admission, hello, then the request loop.
+// Operations execute sequentially in this goroutine — one process
+// identity is one sequential process, exactly the paper's model.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetNoDelay(true)
+	}
+
+	bw := bufio.NewWriter(conn)
+	if s.draining.Load() {
+		wire.WriteHello(bw, wire.Hello{Status: wire.StatusBusy, Msg: "server draining"})
+		bw.Flush()
+		return
+	}
+	sess, ok := s.sm.admit(conn, s.drainCh)
+	if !ok {
+		wire.WriteHello(bw, wire.Hello{
+			Status: wire.StatusBusy,
+			Msg:    fmt.Sprintf("all %d identities leased; retry later", s.cfg.N),
+		})
+		bw.Flush()
+		s.logf("reject %s: pool exhausted", conn.RemoteAddr())
+		return
+	}
+	p := sess.lease.ID()
+	// Teardown doubles as the crash-reclaim hook: whether the loop ends
+	// by clean close, abrupt disconnect, or drain, the identity goes
+	// back to the pool only after any in-flight Apply has completed, so
+	// a new owner of p can never race the dead session inside the core.
+	defer s.sm.release(sess)
+	defer s.logf("session p=%d %s: closed", p, conn.RemoteAddr())
+	s.logf("session p=%d %s: admitted", p, conn.RemoteAddr())
+
+	// Re-check after registering: Shutdown stores the drain flag before
+	// sweeping read deadlines, so a session that misses the flag here was
+	// already registered when the sweep ran and will be woken by it.
+	if s.draining.Load() {
+		wire.WriteHello(bw, wire.Hello{Status: wire.StatusBusy, Msg: "server draining"})
+		bw.Flush()
+		return
+	}
+
+	hello := wire.Hello{
+		Status:   wire.StatusOK,
+		Identity: uint32(p),
+		N:        uint32(s.cfg.N),
+		K:        uint32(s.cfg.K),
+		Shards:   uint32(s.cfg.Shards),
+	}
+	if err := wire.WriteHello(bw, hello); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	br := bufio.NewReader(conn)
+	for {
+		req, err := wire.ReadRequest(br)
+		if err != nil {
+			// EOF, reset, or the drain path expiring our read deadline:
+			// either way the session is over.
+			return
+		}
+		var resp wire.Response
+		switch {
+		case s.draining.Load():
+			resp = errResponse(req.ID, wire.StatusDraining, "server draining")
+		case req.Kind == wire.KindPing:
+			resp = wire.Response{ID: req.ID, Status: wire.StatusOK}
+		case req.Kind == wire.KindStats:
+			resp = wire.Response{ID: req.ID, Status: wire.StatusOK, Data: s.Stats().JSON()}
+		default:
+			resp = s.tab.apply(p, req, s.cfg.ApplyGate)
+		}
+		if err := wire.WriteResponse(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if resp.Status == wire.StatusDraining {
+			return
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kexclusion/internal/renaming"
+)
+
+// sessionManager puts k-assignment's admission question — which of the N
+// process identities is acting? — at the network edge. Every accepted
+// connection leases an identity p in [0, N) from a long-lived
+// renaming.IDPool; the identity is what the session passes to every
+// object operation, and returning it on teardown is what lets the server
+// outlive any number of client lifetimes with a fixed-size identity
+// space.
+//
+// Connection N+1 is backpressure, not a failure: admit parks it for the
+// configured window waiting for an identity to free, then rejects with
+// wire.StatusBusy.
+type sessionManager struct {
+	pool  *renaming.IDPool
+	parkT time.Duration
+
+	mu     sync.Mutex
+	active map[int]*session
+
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	reclaimed atomic.Int64
+}
+
+// session is one admitted connection: its socket, its identity lease,
+// and the drain bookkeeping.
+type session struct {
+	conn  net.Conn
+	lease *renaming.Lease
+}
+
+func newSessionManager(n int, parkTimeout time.Duration) *sessionManager {
+	return &sessionManager{
+		pool:   renaming.NewIDPool(n),
+		parkT:  parkTimeout,
+		active: make(map[int]*session),
+	}
+}
+
+// admit leases an identity for conn, parking up to the configured window
+// when the pool is exhausted. stop (the server's drain signal) aborts
+// parking early. On success the session is registered as active.
+func (sm *sessionManager) admit(conn net.Conn, stop <-chan struct{}) (*session, bool) {
+	lease, ok := sm.pool.TryLease()
+	if !ok && sm.parkT > 0 {
+		deadline := time.Now().Add(sm.parkT)
+		for !ok && time.Now().Before(deadline) {
+			select {
+			case <-stop:
+				sm.rejected.Add(1)
+				return nil, false
+			case <-time.After(time.Millisecond):
+			}
+			lease, ok = sm.pool.TryLease()
+		}
+	}
+	if !ok {
+		sm.rejected.Add(1)
+		return nil, false
+	}
+	s := &session{conn: conn, lease: lease}
+	sm.mu.Lock()
+	sm.active[lease.ID()] = s
+	sm.mu.Unlock()
+	sm.admitted.Add(1)
+	return s, true
+}
+
+// release tears a session down: it is removed from the active set and
+// its identity returned to the pool. Release is idempotent through the
+// lease, so the normal teardown path and any crash-reclaim caller can
+// race safely; reclaimed counts the call that actually returned it.
+func (sm *sessionManager) release(s *session) {
+	sm.mu.Lock()
+	if sm.active[s.lease.ID()] == s {
+		delete(sm.active, s.lease.ID())
+	}
+	sm.mu.Unlock()
+	if s.lease.Release() {
+		sm.reclaimed.Add(1)
+	}
+}
+
+// activeCount reports the number of admitted, not-yet-torn-down sessions.
+func (sm *sessionManager) activeCount() int64 {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return int64(len(sm.active))
+}
+
+// abortReads wakes every session blocked in a socket read by expiring
+// its read deadline; sessions mid-operation are untouched and finish
+// their in-flight Apply first. Used by graceful drain.
+func (sm *sessionManager) abortReads() {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	for _, s := range sm.active {
+		s.conn.SetReadDeadline(time.Now())
+	}
+}
+
+// forceClose hard-closes every remaining session socket. Used when the
+// drain deadline expires.
+func (sm *sessionManager) forceClose() {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	for _, s := range sm.active {
+		s.conn.Close()
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/obs"
+	"kexclusion/internal/resilient"
+	"kexclusion/internal/wire"
+)
+
+// table is the server's sharded object store: each shard is one of the
+// paper's resilient shared objects — a wait-free k-process core inside
+// an (N, k)-assignment wrapper — holding an int64 register/counter. A
+// session applies an operation under its leased process identity, so at
+// most k sessions are inside any shard's wait-free core at a time, and a
+// session that dies holding a slot (a disconnected client) costs that
+// shard one of its k slots, never overall progress.
+//
+// Each shard gets its own obs.Metrics sink shared by every layer of that
+// shard's stack (k-exclusion, renaming, universal construction), so the
+// stats endpoint can show per-shard contention rather than one blurred
+// aggregate.
+type table struct {
+	shards []tableShard
+}
+
+type tableShard struct {
+	obj *resilient.Shared[int64]
+	m   *obs.Metrics
+}
+
+// newTable builds shards independent resilient objects, each with the
+// impl k-exclusion at its admission edge.
+func newTable(n, k, shards int, impl core.Constructor) *table {
+	t := &table{shards: make([]tableShard, shards)}
+	for i := range t.shards {
+		m := obs.New()
+		excl := impl.New(n, k, core.WithMetrics(m))
+		t.shards[i] = tableShard{
+			obj: resilient.NewSharedConfig[int64](n, k, 0, nil, resilient.Config{Excl: excl, Metrics: m}),
+			m:   m,
+		}
+	}
+	return t
+}
+
+// snapshots copies every shard's metrics sink.
+func (t *table) snapshots() []obs.Snapshot {
+	out := make([]obs.Snapshot, len(t.shards))
+	for i := range t.shards {
+		out[i] = t.shards[i].m.Snapshot()
+	}
+	return out
+}
+
+// apply runs one shard operation as process p. gate, when non-nil, is
+// invoked inside the object operation — i.e. while p holds a k-assignment
+// slot and a name inside the wait-free core — which is exactly where
+// crash-fault tests need to stall a session before killing its socket.
+func (t *table) apply(p int, req wire.Request, gate func(shard uint32, kind wire.Kind)) wire.Response {
+	if int(req.Shard) >= len(t.shards) || req.Shard >= 1<<31 {
+		return errResponse(req.ID, wire.StatusBadShard,
+			fmt.Sprintf("shard %d out of range [0,%d)", req.Shard, len(t.shards)))
+	}
+	sh := t.shards[req.Shard]
+	var op func(int64) (int64, any)
+	switch req.Kind {
+	case wire.KindGet:
+		op = func(s int64) (int64, any) { return s, s }
+	case wire.KindAdd:
+		op = func(s int64) (int64, any) { s += req.Arg; return s, s }
+	case wire.KindSet:
+		op = func(int64) (int64, any) { return req.Arg, req.Arg }
+	default:
+		return errResponse(req.ID, wire.StatusBadRequest, fmt.Sprintf("unknown kind %s", req.Kind))
+	}
+	v := sh.obj.Apply(p, func(s int64) (int64, any) {
+		if gate != nil {
+			gate(req.Shard, req.Kind)
+		}
+		return op(s)
+	})
+	return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: v.(int64)}
+}
+
+// errResponse builds a non-OK response carrying human-readable detail.
+func errResponse(id uint64, status wire.Status, msg string) wire.Response {
+	return wire.Response{ID: id, Status: status, Data: []byte(msg)}
+}

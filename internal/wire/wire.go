@@ -1,0 +1,375 @@
+// Package wire is the kexserved network protocol: a small length-prefixed
+// binary codec with an explicit error model, shared by internal/server and
+// internal/server/client so neither imports the other.
+//
+// Every message travels in a frame — a 4-byte big-endian payload length
+// followed by the payload — and payloads use fixed-order big-endian fields
+// so encodings are deterministic. Three payload shapes exist:
+//
+//   - Hello: the server's first frame on an accepted connection. Either it
+//     grants admission (StatusOK plus the leased process identity and the
+//     server's (N, k, shards) shape) or it rejects with backpressure
+//     (StatusBusy) and closes.
+//   - Request: client → server. An operation against one shard of the
+//     object table, or a control operation (ping, stats).
+//   - Response: server → client. Status, a value, and an optional opaque
+//     Data payload (stats JSON, error detail).
+//
+// The error model is the Status byte: non-OK responses surface on the
+// client as *wire.Error carrying the status and the human-readable detail
+// from Data, so callers can branch on class (busy, draining, bad shard...)
+// without string matching.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"kexclusion/internal/obs"
+)
+
+// Magic opens every Hello frame; it doubles as the protocol version
+// ("kx01" — bump the digit on incompatible change).
+const Magic uint32 = 0x6b783031
+
+// MaxFrame bounds a frame payload; a peer announcing more is treated as
+// corrupt rather than trusted with an allocation.
+const MaxFrame = 1 << 20
+
+// Kind identifies a request operation.
+type Kind uint8
+
+const (
+	// KindPing is a no-op round trip.
+	KindPing Kind = 1 + iota
+	// KindGet reads a shard's value (linearized with updates).
+	KindGet
+	// KindAdd adds Arg to a shard and returns the new value.
+	KindAdd
+	// KindSet overwrites a shard with Arg.
+	KindSet
+	// KindStats returns the server's metrics snapshot as JSON in Data.
+	KindStats
+)
+
+// String names the kind for logs and errors.
+func (k Kind) String() string {
+	switch k {
+	case KindPing:
+		return "ping"
+	case KindGet:
+		return "get"
+	case KindAdd:
+		return "add"
+	case KindSet:
+		return "set"
+	case KindStats:
+		return "stats"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Status classifies a response (or a Hello). StatusOK is the zero value.
+type Status uint8
+
+const (
+	// StatusOK: the operation succeeded.
+	StatusOK Status = iota
+	// StatusBusy: admission rejected — all N process identities are
+	// leased and the parking window (if any) elapsed. Backpressure, not
+	// failure: retry later.
+	StatusBusy
+	// StatusBadRequest: the request was malformed or its kind unknown.
+	StatusBadRequest
+	// StatusBadShard: the shard index is outside the server's table.
+	StatusBadShard
+	// StatusDraining: the server is shutting down gracefully and no
+	// longer starts operations.
+	StatusDraining
+	// StatusInternal: the server failed; Data carries detail.
+	StatusInternal
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBusy:
+		return "busy"
+	case StatusBadRequest:
+		return "bad_request"
+	case StatusBadShard:
+		return "bad_shard"
+	case StatusDraining:
+		return "draining"
+	case StatusInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Error is the client-side form of a non-OK response.
+type Error struct {
+	Status Status
+	Msg    string
+}
+
+// Error formats the status and detail.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("wire: server returned %s", e.Status)
+	}
+	return fmt.Sprintf("wire: server returned %s: %s", e.Status, e.Msg)
+}
+
+// Request is one client operation.
+type Request struct {
+	// ID is echoed verbatim in the matching Response.
+	ID uint64
+	// Kind selects the operation.
+	Kind Kind
+	// Shard addresses the object table (ignored by ping/stats).
+	Shard uint32
+	// Arg is the operand of add/set.
+	Arg int64
+}
+
+// Response answers one Request.
+type Response struct {
+	// ID echoes the request.
+	ID uint64
+	// Status classifies the outcome.
+	Status Status
+	// Value is the operation result (new/current shard value).
+	Value int64
+	// Data is an optional opaque payload: error detail on non-OK
+	// statuses, the stats JSON for KindStats.
+	Data []byte
+}
+
+// Err converts a non-OK response into an *Error (nil when OK).
+func (r Response) Err() error {
+	if r.Status == StatusOK {
+		return nil
+	}
+	return &Error{Status: r.Status, Msg: string(r.Data)}
+}
+
+// Hello is the server's first frame on a connection.
+type Hello struct {
+	// Status is StatusOK on admission, StatusBusy on rejection.
+	Status Status
+	// Identity is the leased process identity p in [0, N) (admission only).
+	Identity uint32
+	// N, K, Shards describe the server's shape.
+	N, K, Shards uint32
+	// Msg carries rejection detail.
+	Msg string
+}
+
+// Stats is the schema of the KindStats payload and the kexserved -json
+// dump: the server shape, session-manager counters, and one metrics
+// snapshot per shard (each shard's k-exclusion, renaming and universal
+// construction share that shard's sink). Field order is fixed, so the
+// marshalled schema is deterministic.
+type Stats struct {
+	N      int    `json:"n"`
+	K      int    `json:"k"`
+	Shards int    `json:"shards"`
+	Impl   string `json:"impl"`
+	// ActiveSessions counts currently leased identities; Admitted,
+	// Rejected and Reclaimed are lifetime totals, where Reclaimed counts
+	// identities returned by the session teardown path (every session
+	// end, including disconnect-as-crash reclaims).
+	ActiveSessions int64 `json:"active_sessions"`
+	Admitted       int64 `json:"admitted"`
+	Rejected       int64 `json:"rejected"`
+	Reclaimed      int64 `json:"reclaimed"`
+	// Draining reports whether graceful shutdown has begun.
+	Draining bool `json:"draining"`
+	// PerShard holds one acquisition-metrics snapshot per shard.
+	PerShard []obs.Snapshot `json:"per_shard"`
+}
+
+// JSON marshals the stats deterministically.
+func (s Stats) JSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Stats contains only plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("wire: stats encoding failed: %v", err))
+	}
+	return b
+}
+
+// ParseStats decodes a KindStats Data payload.
+func ParseStats(b []byte) (Stats, error) {
+	var s Stats
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Stats{}, fmt.Errorf("wire: bad stats payload: %w", err)
+	}
+	return s, nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting oversized
+// announcements before allocating.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: peer announced %d-byte frame, limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return payload, nil
+}
+
+const requestLen = 8 + 1 + 4 + 8
+
+// Encode serializes the request payload.
+func (r Request) Encode() []byte {
+	b := make([]byte, requestLen)
+	binary.BigEndian.PutUint64(b[0:], r.ID)
+	b[8] = byte(r.Kind)
+	binary.BigEndian.PutUint32(b[9:], r.Shard)
+	binary.BigEndian.PutUint64(b[13:], uint64(r.Arg))
+	return b
+}
+
+// ParseRequest decodes a request payload.
+func ParseRequest(b []byte) (Request, error) {
+	if len(b) != requestLen {
+		return Request{}, fmt.Errorf("wire: request payload is %d bytes, want %d", len(b), requestLen)
+	}
+	return Request{
+		ID:    binary.BigEndian.Uint64(b[0:]),
+		Kind:  Kind(b[8]),
+		Shard: binary.BigEndian.Uint32(b[9:]),
+		Arg:   int64(binary.BigEndian.Uint64(b[13:])),
+	}, nil
+}
+
+// Encode serializes the response payload.
+func (r Response) Encode() []byte {
+	b := make([]byte, 8+1+8+4+len(r.Data))
+	binary.BigEndian.PutUint64(b[0:], r.ID)
+	b[8] = byte(r.Status)
+	binary.BigEndian.PutUint64(b[9:], uint64(r.Value))
+	binary.BigEndian.PutUint32(b[17:], uint32(len(r.Data)))
+	copy(b[21:], r.Data)
+	return b
+}
+
+// ParseResponse decodes a response payload.
+func ParseResponse(b []byte) (Response, error) {
+	if len(b) < 21 {
+		return Response{}, fmt.Errorf("wire: response payload is %d bytes, want >= 21", len(b))
+	}
+	dlen := binary.BigEndian.Uint32(b[17:])
+	if int(dlen) != len(b)-21 {
+		return Response{}, fmt.Errorf("wire: response declares %d data bytes, has %d", dlen, len(b)-21)
+	}
+	r := Response{
+		ID:     binary.BigEndian.Uint64(b[0:]),
+		Status: Status(b[8]),
+		Value:  int64(binary.BigEndian.Uint64(b[9:])),
+	}
+	if dlen > 0 {
+		r.Data = append([]byte(nil), b[21:]...)
+	}
+	return r, nil
+}
+
+// Encode serializes the hello payload.
+func (h Hello) Encode() []byte {
+	msg := []byte(h.Msg)
+	b := make([]byte, 4+1+4+4+4+4+4+len(msg))
+	binary.BigEndian.PutUint32(b[0:], Magic)
+	b[4] = byte(h.Status)
+	binary.BigEndian.PutUint32(b[5:], h.Identity)
+	binary.BigEndian.PutUint32(b[9:], h.N)
+	binary.BigEndian.PutUint32(b[13:], h.K)
+	binary.BigEndian.PutUint32(b[17:], h.Shards)
+	binary.BigEndian.PutUint32(b[21:], uint32(len(msg)))
+	copy(b[25:], msg)
+	return b
+}
+
+// ParseHello decodes a hello payload, checking the protocol magic.
+func ParseHello(b []byte) (Hello, error) {
+	if len(b) < 25 {
+		return Hello{}, fmt.Errorf("wire: hello payload is %d bytes, want >= 25", len(b))
+	}
+	if m := binary.BigEndian.Uint32(b[0:]); m != Magic {
+		return Hello{}, fmt.Errorf("wire: bad protocol magic %#x (want %#x) — not a kexserved endpoint?", m, Magic)
+	}
+	mlen := binary.BigEndian.Uint32(b[21:])
+	if int(mlen) != len(b)-25 {
+		return Hello{}, fmt.Errorf("wire: hello declares %d message bytes, has %d", mlen, len(b)-25)
+	}
+	return Hello{
+		Status:   Status(b[4]),
+		Identity: binary.BigEndian.Uint32(b[5:]),
+		N:        binary.BigEndian.Uint32(b[9:]),
+		K:        binary.BigEndian.Uint32(b[13:]),
+		Shards:   binary.BigEndian.Uint32(b[17:]),
+		Msg:      string(b[25:]),
+	}, nil
+}
+
+// WriteRequest frames and writes one request.
+func WriteRequest(w io.Writer, r Request) error { return WriteFrame(w, r.Encode()) }
+
+// ReadRequest reads and decodes one request frame.
+func ReadRequest(r io.Reader) (Request, error) {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return Request{}, err
+	}
+	return ParseRequest(b)
+}
+
+// WriteResponse frames and writes one response.
+func WriteResponse(w io.Writer, r Response) error { return WriteFrame(w, r.Encode()) }
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(r io.Reader) (Response, error) {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	return ParseResponse(b)
+}
+
+// WriteHello frames and writes one hello.
+func WriteHello(w io.Writer, h Hello) error { return WriteFrame(w, h.Encode()) }
+
+// ReadHello reads and decodes one hello frame.
+func ReadHello(r io.Reader) (Hello, error) {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return Hello{}, err
+	}
+	return ParseHello(b)
+}

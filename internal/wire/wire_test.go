@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"kexclusion/internal/obs"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{ID: 0, Kind: KindPing},
+		{ID: 1, Kind: KindGet, Shard: 3},
+		{ID: 42, Kind: KindAdd, Shard: 7, Arg: -5},
+		{ID: 1<<64 - 1, Kind: KindSet, Shard: 1<<32 - 1, Arg: -1 << 62},
+		{ID: 9, Kind: KindStats},
+	}
+	var buf bytes.Buffer
+	for _, want := range cases {
+		buf.Reset()
+		if err := WriteRequest(&buf, want); err != nil {
+			t.Fatalf("write %+v: %v", want, err)
+		}
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("read %+v: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{ID: 1, Status: StatusOK, Value: 99},
+		{ID: 2, Status: StatusBadShard, Value: 0, Data: []byte("shard 9 out of range")},
+		{ID: 3, Status: StatusOK, Data: []byte(`{"n":4}`)},
+		{ID: 4, Status: StatusDraining, Value: -7},
+	}
+	var buf bytes.Buffer
+	for _, want := range cases {
+		buf.Reset()
+		if err := WriteResponse(&buf, want); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got.ID != want.ID || got.Status != want.Status || got.Value != want.Value || !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	cases := []Hello{
+		{Status: StatusOK, Identity: 3, N: 64, K: 8, Shards: 16},
+		{Status: StatusBusy, Msg: "all 64 identities leased"},
+	}
+	var buf bytes.Buffer
+	for _, want := range cases {
+		buf.Reset()
+		if err := WriteHello(&buf, want); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := ReadHello(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestHelloRejectsBadMagic(t *testing.T) {
+	h := Hello{Status: StatusOK}
+	b := h.Encode()
+	binary.BigEndian.PutUint32(b[0:], 0xdeadbeef)
+	if _, err := ParseHello(b); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	// Oversized announcement is rejected before allocation.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame announcement not rejected")
+	}
+	// Oversized write is rejected.
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized frame write not rejected")
+	}
+	// Truncated payload is an error, not a short read.
+	var buf bytes.Buffer
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("truncated frame not rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseRequest(make([]byte, 5)); err == nil {
+		t.Error("short request accepted")
+	}
+	if _, err := ParseResponse(make([]byte, 5)); err == nil {
+		t.Error("short response accepted")
+	}
+	// Response with a data length that disagrees with the payload.
+	r := Response{ID: 1, Data: []byte("abc")}
+	b := r.Encode()
+	binary.BigEndian.PutUint32(b[17:], 99)
+	if _, err := ParseResponse(b); err == nil {
+		t.Error("inconsistent data length accepted")
+	}
+}
+
+func TestErrorModel(t *testing.T) {
+	if err := (Response{Status: StatusOK}).Err(); err != nil {
+		t.Fatalf("OK response produced error %v", err)
+	}
+	err := (Response{Status: StatusBusy, Data: []byte("park elsewhere")}).Err()
+	var we *Error
+	if !errors.As(err, &we) {
+		t.Fatalf("want *wire.Error, got %T", err)
+	}
+	if we.Status != StatusBusy || !strings.Contains(we.Error(), "busy") || !strings.Contains(we.Error(), "park elsewhere") {
+		t.Errorf("bad error: %v", we)
+	}
+	// Every named status has a stable string (no fallthrough to the
+	// numeric form).
+	for _, s := range []Status{StatusOK, StatusBusy, StatusBadRequest, StatusBadShard, StatusDraining, StatusInternal} {
+		if strings.HasPrefix(s.String(), "status(") {
+			t.Errorf("status %d has no name", s)
+		}
+	}
+	for _, k := range []Kind{KindPing, KindGet, KindAdd, KindSet, KindStats} {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	m := obs.New()
+	m.Acquired(5)
+	m.Released()
+	s := Stats{
+		N: 8, K: 2, Shards: 4, Impl: "fastpath",
+		ActiveSessions: 3, Admitted: 10, Rejected: 2, Reclaimed: 7,
+		Draining: true,
+		PerShard: []obs.Snapshot{m.Snapshot()},
+	}
+	got, err := ParseStats(s.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 8 || got.Impl != "fastpath" || !got.Draining || len(got.PerShard) != 1 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.PerShard[0].Acquires != 1 || got.PerShard[0].Releases != 1 {
+		t.Errorf("snapshot not preserved: %+v", got.PerShard[0])
+	}
+	if _, err := ParseStats([]byte("{")); err == nil {
+		t.Error("bad stats payload accepted")
+	}
+}
