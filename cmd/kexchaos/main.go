@@ -13,6 +13,7 @@
 //	kexchaos -impl localspin -crashes 4 -kinds holding -deadline 2s   # k crashes: expect reported loss
 //	kexchaos -impl fastpath -assignment -kinds renaming,holding
 //	kexchaos -all -seed 42 -json
+//	kexchaos -net -n 6 -k 2 -ops 10 -seed 7       # link faults through a chaos proxy
 package main
 
 import (
@@ -52,6 +53,9 @@ func run(args []string, out io.Writer) error {
 		assignment = fs.Bool("assignment", false, "wrap the implementation in Figure 7 k-assignment")
 		shared     = fs.Bool("shared", false, "drive the full §1 shared-object stack (counter under k-assignment)")
 		asJSON     = fs.Bool("json", false, "emit JSON: the deterministic report plus the metrics snapshot")
+		netMode    = fs.Bool("net", false, "inject link faults through a chaos proxy at a live server instead of in-process crashes")
+		netKinds   = fs.String("net-kinds", "delay,partition,reset,truncate", "-net mode: link faults to draw from (delay, partition, reset, truncate)")
+		idle       = fs.Duration("idle-timeout", 250*time.Millisecond, "-net mode: the server's session watchdog bound")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +80,22 @@ func run(args []string, out io.Writer) error {
 	}
 	if *n < *k {
 		return fmt.Errorf("need n >= k, got n=%d k=%d", *n, *k)
+	}
+	if *netMode {
+		if *all || *assignment || *shared || *crashes != 0 {
+			return fmt.Errorf("-net injects link faults at a single implementation's network edge; it excludes -all, -assignment, -shared, and -crashes")
+		}
+		if *ops < 1 {
+			return fmt.Errorf("need ops >= 1, got ops=%d", *ops)
+		}
+		if *idle <= 0 {
+			return fmt.Errorf("need idle-timeout > 0, got %v: the watchdog is what reclaims a partitioned client's identity", *idle)
+		}
+		return runNet(out, netConfig{
+			impl: *implName, n: *n, k: *k, ops: *ops,
+			kindsCSV: *netKinds, seed: *seed,
+			idle: *idle, deadline: *deadline, asJSON: *asJSON,
+		})
 	}
 
 	var impls []core.Constructor

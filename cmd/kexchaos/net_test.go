@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNetChaosResilientRun: the seeded link-fault plan (partition,
+// reset, truncation, slow link) must leave every client completing its
+// workload, with the partitioned identity reclaimed by the watchdog.
+func TestNetChaosResilientRun(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-net", "-n", "5", "-k", "2", "-ops", "8",
+		"-seed", "7", "-idle-timeout", "300ms"}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "netfault plan seed=7") {
+		t.Fatalf("missing plan line:\n%s", out)
+	}
+	if !strings.Contains(out, "verdict: resilient") {
+		t.Fatalf("expected resilient verdict:\n%s", out)
+	}
+}
+
+// TestNetChaosJSON: the JSON verdict object carries the plan, the
+// exactly-once counter check, and both stats snapshots.
+func TestNetChaosJSON(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-net", "-n", "5", "-k", "2", "-ops", "6",
+		"-seed", "11", "-idle-timeout", "300ms", "-json"}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	var got struct {
+		Plan       string `json:"plan"`
+		Completed  int    `json:"completed_clients"`
+		Clients    int    `json:"clients"`
+		Counter    int64  `json:"counter"`
+		Want       int64  `json:"want_counter"`
+		Violations int    `json:"violations"`
+		Proxy      struct {
+			Accepted int64 `json:"accepted"`
+		} `json:"proxy"`
+		Server struct {
+			IdleReclaims int64 `json:"idle_reclaims"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("bad JSON output: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(got.Plan, "seed=11") {
+		t.Fatalf("plan %q missing seed", got.Plan)
+	}
+	if got.Completed != got.Clients || got.Clients != 5 {
+		t.Fatalf("completed %d of %d clients", got.Completed, got.Clients)
+	}
+	if got.Counter != got.Want || got.Violations != 0 {
+		t.Fatalf("counter=%d want=%d violations=%d", got.Counter, got.Want, got.Violations)
+	}
+	// Healed victims redial, so the proxy accepted more than n conns.
+	if got.Proxy.Accepted <= 5 {
+		t.Fatalf("proxy accepted %d conns; faults should force redials", got.Proxy.Accepted)
+	}
+	if got.Server.IdleReclaims < 1 {
+		t.Fatalf("partition never reclaimed by the watchdog:\n%s", b.String())
+	}
+}
+
+// TestNetChaosCleanRelayBaseline: an empty fault list is a clean relay;
+// every client writes, and the counter is exactly n*ops.
+func TestNetChaosCleanRelayBaseline(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-net", "-n", "3", "-k", "2", "-ops", "5",
+		"-net-kinds", "", "-idle-timeout", "500ms"}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "counter=15 (want 15)") {
+		t.Fatalf("clean relay lost writes:\n%s", b.String())
+	}
+}
+
+// TestNetChaosFlagValidation: -net is its own mode with its own shape.
+func TestNetChaosFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-net", "-all"}, "excludes"},
+		{[]string{"-net", "-shared"}, "excludes"},
+		{[]string{"-net", "-crashes", "2"}, "excludes"},
+		{[]string{"-net", "-ops", "0"}, "need ops >= 1"},
+		{[]string{"-net", "-idle-timeout", "0s"}, "need idle-timeout > 0"},
+		{[]string{"-net", "-net-kinds", "reboot"}, "unknown fault kind"},
+	} {
+		var b strings.Builder
+		err := run(tc.args, &b)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): got %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}

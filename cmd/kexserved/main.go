@@ -12,6 +12,8 @@
 //	kexserved -addr :4750 -n 64 -k 8 -shards 16  choose the shape
 //	kexserved -impl localspin                    pick the k-exclusion (see -list)
 //	kexserved -admit-timeout 2s                  park connection N+1 before rejecting
+//	kexserved -idle-timeout 30s                  reclaim identities from silent sessions
+//	kexserved -op-timeout 5s                     bound each op's wait for a slot
 //	kexserved -json                              dump final stats JSON on exit
 //
 // SIGINT/SIGTERM drains gracefully: stop accepting, finish in-flight
@@ -48,7 +50,9 @@ func run(args []string, out io.Writer) error {
 		shards       = fs.Int("shards", 8, "independent objects in the table")
 		implName     = fs.String("impl", "fastpath", "k-exclusion implementation from the registry (see -list)")
 		list         = fs.Bool("list", false, "list usable implementations and exit")
-		admitTimeout = fs.Duration("admit-timeout", 0, "how long to park connection N+1 for a free identity before rejecting (0 = reject immediately)")
+		admitTimeout = fs.Duration("admit-timeout", 0, "how long to park connection N+1 for a free identity before rejecting (0 = reject immediately); also the Retry-After hint sent with busy rejections")
+		idleTimeout  = fs.Duration("idle-timeout", 0, "session watchdog: reclaim the identity of a connection silent this long (0 = never; a partitioned client then pins its identity)")
+		opTimeout    = fs.Duration("op-timeout", 0, "per-operation deadline: an op still waiting for a slot withdraws and answers status timeout (0 = wait forever)")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "bound on graceful drain after SIGTERM/SIGINT")
 		statsJSON    = fs.Bool("json", false, "print the final stats snapshot as JSON on exit")
 		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
@@ -75,11 +79,22 @@ func run(args []string, out io.Writer) error {
 	if *shards < 1 {
 		return fmt.Errorf("need shards >= 1, got shards=%d", *shards)
 	}
+	if *idleTimeout < 0 {
+		return fmt.Errorf("need idle-timeout >= 0, got %v", *idleTimeout)
+	}
+	if *opTimeout < 0 {
+		return fmt.Errorf("need op-timeout >= 0, got %v", *opTimeout)
+	}
+	if *opTimeout > 0 && *idleTimeout > 0 && *opTimeout > *idleTimeout {
+		return fmt.Errorf("op-timeout %v exceeds idle-timeout %v: a waiting op would outlive its own session watchdog", *opTimeout, *idleTimeout)
+	}
 
 	cfg := server.Config{
 		N: *n, K: *k, Shards: *shards,
 		Impl:         *implName,
 		AdmitTimeout: *admitTimeout,
+		IdleTimeout:  *idleTimeout,
+		OpTimeout:    *opTimeout,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {

@@ -21,6 +21,9 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"-shards", "0"}, "need shards >= 1"},
 		{[]string{"-impl", "nonesuch"}, "unknown implementation"},
 		{[]string{"-impl", "mcs", "-k", "1"}, "not (k-1)-resilient"},
+		{[]string{"-idle-timeout", "-1s"}, "need idle-timeout >= 0"},
+		{[]string{"-op-timeout", "-1ms"}, "need op-timeout >= 0"},
+		{[]string{"-idle-timeout", "1s", "-op-timeout", "2s"}, "exceeds idle-timeout"},
 	}
 	for _, tc := range cases {
 		var b strings.Builder
@@ -72,7 +75,8 @@ func TestServeSIGTERMDrain(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- run([]string{"-addr", "127.0.0.1:0", "-n", "4", "-k", "2",
-			"-shards", "2", "-quiet", "-json", "-drain-timeout", "5s"}, &out)
+			"-shards", "2", "-quiet", "-json", "-drain-timeout", "5s",
+			"-idle-timeout", "30s", "-op-timeout", "5s"}, &out)
 	}()
 
 	// The bound address appears on the "listening on" line.
@@ -117,5 +121,12 @@ func TestServeSIGTERMDrain(t *testing.T) {
 	// -json printed a final stats snapshot recording the session.
 	if !strings.Contains(got, `"admitted":1`) {
 		t.Errorf("missing stats dump:\n%s", got)
+	}
+	// The watchdog counters ride in the same snapshot (nothing idled
+	// out or timed out in this clean run, but the fields must exist).
+	for _, field := range []string{`"idle_reclaims":0`, `"op_deadlines":0`} {
+		if !strings.Contains(got, field) {
+			t.Errorf("stats dump missing %s:\n%s", field, got)
+		}
 	}
 }

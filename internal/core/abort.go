@@ -1,0 +1,509 @@
+package core
+
+import (
+	"context"
+	"runtime"
+
+	"kexclusion/internal/obs"
+)
+
+// This file adds bounded withdrawal to every resilient algorithm in the
+// package, in the spirit of the abortable-mutual-exclusion line of work
+// (Jayanti's and Giakkoupis/Woelfel's abortable locks): a process whose
+// context expires while it is busy-waiting in an entry section may give
+// up, and giving up is itself a bounded-step operation that restores the
+// process's spin slot and queue state, so the object stays usable and no
+// capacity is lost.
+//
+// The protocols make this cheap: every unbounded wait in the package is
+// a busy-wait on a condition, and everything else in an entry section is
+// bounded. Withdrawal therefore only ever starts from inside a spin
+// loop, and the undo is the exact inverse of the bookkeeping the entry
+// section did on the way in — re-increment the slot counter whose
+// decrement registered the process as a waiter, and back out of any
+// inner layers already acquired by running their ordinary (bounded) exit
+// sections. Crucially, the algorithms already tolerate the one state a
+// withdrawer can leave behind — a stale spin-word registration in Q —
+// because the same state arises in normal operation after a waiter is
+// woken: releasers may signal a stale registration spuriously, and both
+// Figure 2 (unconditional overwrite) and Figure 6 (the R[]-guarded word
+// recycling) are built to absorb that.
+//
+// A withdrawal is not a failure: it costs no slot, and it is counted in
+// the shared metrics sink as an abort rather than a crash charge.
+
+// Abortable is a KExclusion whose entry section supports bounded
+// withdrawal. All the paper's algorithms in this package implement it;
+// the MCS comparator — where abandoning a queue node would wedge every
+// successor — deliberately does not.
+type Abortable interface {
+	KExclusion
+	// AcquireCtx blocks process p until it holds one of the K slots or
+	// ctx is done, whichever comes first. A nil return means p holds a
+	// slot and must Release it; otherwise p has withdrawn from the
+	// entry section — the object is untouched, no slot is consumed, and
+	// the ctx error is returned. Cancellation is only observed while
+	// waiting: once a slot is granted the acquisition succeeds even if
+	// ctx has expired, so callers must always Release on nil error.
+	AcquireCtx(ctx context.Context, p int) error
+	// TryAcquire acquires a slot only if that requires no waiting,
+	// reporting success. Equivalent to AcquireCtx with an
+	// already-expired context.
+	TryAcquire(p int) bool
+}
+
+// closedDone is the pre-expired done channel behind TryAcquire.
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// spinUntilCtx is spinUntil with withdrawal: it polls cond until true
+// (returning true) or done is closed (returning false). cond is always
+// polled before done is consulted, so a waiter whose condition is
+// already satisfied wins over a simultaneous cancellation, and
+// TryAcquire-style calls (done already closed) still observe an
+// immediately-true condition.
+func spinUntilCtx(budget int, m *obs.Metrics, done <-chan struct{}, cond func() bool) bool {
+	var polls, yields int64
+	for i := 0; ; i++ {
+		polls++
+		if cond() {
+			m.Spun(polls, yields)
+			return true
+		}
+		select {
+		case <-done:
+			m.Spun(polls, yields)
+			return false
+		default:
+		}
+		if i >= budget {
+			yields++
+			runtime.Gosched()
+			i = 0
+		}
+	}
+}
+
+// abortErr converts a withdrawal into the caller-visible error, charging
+// the abort counter. ctx is done whenever this is reached, so Err() is
+// non-nil; context.Canceled covers the TryAcquire path, where no real
+// context exists.
+func abortErr(m *obs.Metrics, ctx context.Context) error {
+	m.Aborted()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// ---- Figure 2 chain (Inductive, Tree, FastPath, Graceful) ----
+
+// acquireCtx is figTwo.acquire with withdrawal. On abort it undoes this
+// layer's registration — re-incrementing X to cancel the waiter
+// decrement and clearing Q if it still holds p's registration — and
+// backs out of the inner layers via their normal exit sections, in the
+// same order release uses.
+func (f *figTwo) acquireCtx(p int, done <-chan struct{}) bool {
+	if f.inner != nil && !f.inner.acquireCtx(p, done) {
+		return false
+	}
+	if f.x.v.Add(-1) <= -1 { // no slot free: p becomes the layer's waiter
+		withdraw := func() {
+			f.x.v.Add(1)
+			f.q.v.CompareAndSwap(int64(p), qBottom)
+			if f.inner != nil {
+				f.inner.release(p)
+			}
+		}
+		select {
+		case <-done: // withdraw before registering at all
+			withdraw()
+			return false
+		default:
+		}
+		f.q.v.Store(int64(p))
+		if f.x.v.Load() < 0 {
+			if !spinUntilCtx(f.spin, f.m, done, func() bool { return f.q.v.Load() != int64(p) }) {
+				withdraw()
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// acquireCtxPath walks p's leaf-to-root path with withdrawal, backing
+// out of already-acquired nodes on abort.
+func (t *Tree) acquireCtxPath(p int, done <-chan struct{}) bool {
+	path := t.paths[t.group(p)]
+	for i, node := range path {
+		if !node.acquireCtx(p, done) {
+			for j := i - 1; j >= 0; j-- {
+				path[j].release(p)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+var _ Abortable = (*Inductive)(nil)
+
+// AcquireCtx implements Abortable.
+func (i *Inductive) AcquireCtx(ctx context.Context, p int) error {
+	checkPID(p, i.n)
+	start := acqStart(i.m)
+	if i.chain != nil && !i.chain.acquireCtx(p, ctx.Done()) {
+		return abortErr(i.m, ctx)
+	}
+	acqDone(i.m, start)
+	return nil
+}
+
+// TryAcquire implements Abortable.
+func (i *Inductive) TryAcquire(p int) bool {
+	checkPID(p, i.n)
+	start := acqStart(i.m)
+	if i.chain != nil && !i.chain.acquireCtx(p, closedDone) {
+		i.m.Aborted()
+		return false
+	}
+	acqDone(i.m, start)
+	return true
+}
+
+var _ Abortable = (*Tree)(nil)
+
+// AcquireCtx implements Abortable.
+func (t *Tree) AcquireCtx(ctx context.Context, p int) error {
+	checkPID(p, t.n)
+	start := acqStart(t.m)
+	if !t.acquireCtxPath(p, ctx.Done()) {
+		return abortErr(t.m, ctx)
+	}
+	acqDone(t.m, start)
+	return nil
+}
+
+// TryAcquire implements Abortable.
+func (t *Tree) TryAcquire(p int) bool {
+	checkPID(p, t.n)
+	start := acqStart(t.m)
+	if !t.acquireCtxPath(p, closedDone) {
+		t.m.Aborted()
+		return false
+	}
+	acqDone(t.m, start)
+	return true
+}
+
+var _ Abortable = (*FastPath)(nil)
+
+// acquireCtxInner is the shared withdrawal-aware body of AcquireCtx and
+// TryAcquire. On abort it returns the fast-path counter slot (if one was
+// taken) or backs out of the slow-path tree, so no capacity leaks.
+func (f *FastPath) acquireCtxInner(p int, done <-chan struct{}) bool {
+	if f.slow == nil {
+		if !f.block.acquireCtx(p, done) {
+			return false
+		}
+		f.m.Path(false)
+		return true
+	}
+	slow := decIfPositive(&f.x.v, f.m) == 0
+	if slow && !f.slow.acquireCtxPath(p, done) {
+		return false // the counter granted nothing, so nothing to undo
+	}
+	f.tookSlow[p].v.Store(boolToInt32(slow))
+	if !f.block.acquireCtx(p, done) {
+		if slow {
+			f.slow.Release(p)
+		} else {
+			f.x.v.Add(1)
+		}
+		return false
+	}
+	f.m.Path(slow)
+	return true
+}
+
+// AcquireCtx implements Abortable.
+func (f *FastPath) AcquireCtx(ctx context.Context, p int) error {
+	checkPID(p, f.n)
+	start := acqStart(f.m)
+	if !f.acquireCtxInner(p, ctx.Done()) {
+		return abortErr(f.m, ctx)
+	}
+	acqDone(f.m, start)
+	return nil
+}
+
+// TryAcquire implements Abortable.
+func (f *FastPath) TryAcquire(p int) bool {
+	checkPID(p, f.n)
+	start := acqStart(f.m)
+	if !f.acquireCtxInner(p, closedDone) {
+		f.m.Aborted()
+		return false
+	}
+	acqDone(f.m, start)
+	return true
+}
+
+var _ Abortable = (*Graceful)(nil)
+
+// acquireCtxInner descends the nested fast paths exactly like Acquire
+// (the descent itself never waits), then climbs the building blocks with
+// withdrawal, releasing whatever the climb already acquired on abort.
+func (g *Graceful) acquireCtxInner(p int, done <-chan struct{}) bool {
+	d := 0
+	for d < len(g.levels) && decIfPositive(&g.levels[d].x.v, g.m) == 0 {
+		d++
+	}
+	g.depth[p].v.Store(int32(d))
+	descended := d
+	usedBase := d == len(g.levels)
+	if usedBase {
+		if !g.base.acquireCtx(p, done) {
+			return false // no level counter was taken, nothing to undo
+		}
+		d = len(g.levels) - 1
+	}
+	for i := d; i >= 0; i-- {
+		if !g.levels[i].block.acquireCtx(p, done) {
+			for j := i + 1; j <= d; j++ {
+				g.levels[j].block.release(p)
+			}
+			if usedBase {
+				g.base.release(p)
+			} else {
+				g.levels[descended].x.v.Add(1)
+			}
+			return false
+		}
+	}
+	g.m.Path(descended != 0)
+	return true
+}
+
+// AcquireCtx implements Abortable.
+func (g *Graceful) AcquireCtx(ctx context.Context, p int) error {
+	checkPID(p, g.n)
+	start := acqStart(g.m)
+	if !g.acquireCtxInner(p, ctx.Done()) {
+		return abortErr(g.m, ctx)
+	}
+	acqDone(g.m, start)
+	return nil
+}
+
+// TryAcquire implements Abortable.
+func (g *Graceful) TryAcquire(p int) bool {
+	checkPID(p, g.n)
+	start := acqStart(g.m)
+	if !g.acquireCtxInner(p, closedDone) {
+		g.m.Aborted()
+		return false
+	}
+	acqDone(g.m, start)
+	return true
+}
+
+// ---- Figure 6 chain (LocalSpin, LocalSpinFastPath) ----
+
+// acquireCtxWith is figSix.acquireWith with withdrawal. An abort
+// re-increments X to cancel the waiter decrement; the stale registration
+// it may leave in Q is the same state a woken waiter leaves behind, and
+// the R[] discipline (statement 15 still runs on the way out) keeps the
+// word-recycling bookkeeping exact.
+func (f *figSix) acquireCtxWith(p int, st *figSixState, done <-chan struct{}) bool {
+	if old := f.x.v.Add(-1) + 1; old <= 0 { // statement 2
+		select {
+		case <-done: // withdraw before registering a spin word
+			f.x.v.Add(1)
+			return false
+		default:
+		}
+		next := (st.last + 1) % f.nloc       // statement 3
+		for f.r[p*f.nloc+next].Load() != 0 { // statements 4-5 (local reads)
+			next = (next + 1) % f.nloc
+		}
+		f.p[p*f.nloc+next].v.Store(0) // statement 6 (own word)
+		u := f.q.v.Load()             // statement 7
+		f.r[u].Add(1)                 // statement 8
+		if f.q.v.Load() == u {        // statement 9
+			f.p[u].v.Store(1) // statement 10: release current waiter
+		}
+		granted := true
+		if f.q.v.CompareAndSwap(u, f.pack(p, next)) { // statement 11
+			st.last = next        // statement 12
+			if f.x.v.Load() < 0 { // statement 13
+				w := &f.p[p*f.nloc+next].v // statement 14: spin on own line
+				granted = spinUntilCtx(f.spin, f.m, done, func() bool { return w.Load() != 0 })
+			}
+		}
+		f.r[u].Add(-1) // statement 15
+		if !granted {
+			f.x.v.Add(1) // withdraw: cancel the waiter decrement
+			return false
+		}
+	}
+	return true
+}
+
+// acquireCtx walks the chain with withdrawal, backing out of
+// already-acquired layers (their ordinary bounded exits) on abort.
+func (c *figSixChain) acquireCtx(p int, done <-chan struct{}) bool {
+	for i, layer := range c.layers {
+		if !layer.acquireCtxWith(p, &c.state[i*c.nIDs+p], done) {
+			for j := i - 1; j >= 0; j-- {
+				c.layers[j].releaseWith(p)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+var _ Abortable = (*LocalSpin)(nil)
+
+// AcquireCtx implements Abortable.
+func (l *LocalSpin) AcquireCtx(ctx context.Context, p int) error {
+	checkPID(p, l.n)
+	start := acqStart(l.m)
+	if !l.chain.acquireCtx(p, ctx.Done()) {
+		return abortErr(l.m, ctx)
+	}
+	acqDone(l.m, start)
+	return nil
+}
+
+// TryAcquire implements Abortable.
+func (l *LocalSpin) TryAcquire(p int) bool {
+	checkPID(p, l.n)
+	start := acqStart(l.m)
+	if !l.chain.acquireCtx(p, closedDone) {
+		l.m.Aborted()
+		return false
+	}
+	acqDone(l.m, start)
+	return true
+}
+
+var _ Abortable = (*LocalSpinFastPath)(nil)
+
+// acquireCtxInner mirrors FastPath.acquireCtxInner over Figure 6
+// building blocks.
+func (f *LocalSpinFastPath) acquireCtxInner(p int, done <-chan struct{}) bool {
+	if f.slowTree == nil {
+		if !f.block.acquireCtx(p, done) {
+			return false
+		}
+		f.m.Path(false)
+		return true
+	}
+	slow := decIfPositive(&f.x.v, f.m) == 0
+	if slow {
+		path := f.slowTree[f.group(p)]
+		for i, node := range path {
+			if !node.acquireCtx(p, done) {
+				for j := i - 1; j >= 0; j-- {
+					path[j].release(p)
+				}
+				return false
+			}
+		}
+	}
+	f.tookSlow[p].v.Store(boolToInt32(slow))
+	if !f.block.acquireCtx(p, done) {
+		if slow {
+			path := f.slowTree[f.group(p)]
+			for i := len(path) - 1; i >= 0; i-- {
+				path[i].release(p)
+			}
+		} else {
+			f.x.v.Add(1)
+		}
+		return false
+	}
+	f.m.Path(slow)
+	return true
+}
+
+// AcquireCtx implements Abortable.
+func (f *LocalSpinFastPath) AcquireCtx(ctx context.Context, p int) error {
+	checkPID(p, f.n)
+	start := acqStart(f.m)
+	if !f.acquireCtxInner(p, ctx.Done()) {
+		return abortErr(f.m, ctx)
+	}
+	acqDone(f.m, start)
+	return nil
+}
+
+// TryAcquire implements Abortable.
+func (f *LocalSpinFastPath) TryAcquire(p int) bool {
+	checkPID(p, f.n)
+	start := acqStart(f.m)
+	if !f.acquireCtxInner(p, closedDone) {
+		f.m.Aborted()
+		return false
+	}
+	acqDone(f.m, start)
+	return true
+}
+
+// ---- Baselines ----
+
+var _ Abortable = (*Counting)(nil)
+
+// AcquireCtx implements Abortable. The counting semaphore has no
+// registration to undo: a withdrawer simply stops retrying the bounded
+// decrement, which never consumed a slot on failure.
+func (c *Counting) AcquireCtx(ctx context.Context, p int) error {
+	checkPID(p, c.n)
+	start := acqStart(c.m)
+	if !spinUntilCtx(c.spin, c.m, ctx.Done(), func() bool { return decIfPositive(&c.x, c.m) > 0 }) {
+		return abortErr(c.m, ctx)
+	}
+	acqDone(c.m, start)
+	return nil
+}
+
+var _ Abortable = (*ChanSem)(nil)
+
+// AcquireCtx implements Abortable.
+func (c *ChanSem) AcquireCtx(ctx context.Context, p int) error {
+	checkPID(p, c.n)
+	start := acqStart(c.m)
+	select {
+	case c.ch <- struct{}{}: // uncontended: never observe cancellation
+		acqDone(c.m, start)
+		return nil
+	default:
+	}
+	select {
+	case c.ch <- struct{}{}:
+		acqDone(c.m, start)
+		return nil
+	case <-ctx.Done():
+		return abortErr(c.m, ctx)
+	}
+}
+
+// TryAcquire implements Abortable.
+func (c *ChanSem) TryAcquire(p int) bool {
+	checkPID(p, c.n)
+	start := acqStart(c.m)
+	select {
+	case c.ch <- struct{}{}:
+		acqDone(c.m, start)
+		return true
+	default:
+		c.m.Aborted()
+		return false
+	}
+}

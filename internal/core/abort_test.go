@@ -1,0 +1,270 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kexclusion/internal/obs"
+)
+
+// abortableImpls returns every registry implementation that supports
+// bounded withdrawal, constructed at (n, k) with a fresh sink.
+func abortableImpls(t *testing.T, n, k int) map[string]struct {
+	kx KExclusion
+	m  *obs.Metrics
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		kx KExclusion
+		m  *obs.Metrics
+	})
+	for _, c := range Registry() {
+		kk := k
+		if c.FixedK != 0 {
+			kk = c.FixedK
+		}
+		m := obs.New()
+		kx := c.New(n, kk, WithMetrics(m), WithSpinBudget(8))
+		if _, ok := kx.(Abortable); !ok {
+			if c.Name != "mcs" {
+				t.Errorf("%s: expected Abortable, MCS is the only opt-out", c.Name)
+			}
+			continue
+		}
+		out[c.Name] = struct {
+			kx KExclusion
+			m  *obs.Metrics
+		}{kx, m}
+	}
+	return out
+}
+
+// fill acquires pids [0,count) and returns a release function.
+func fill(kx KExclusion, count int) func() {
+	for p := 0; p < count; p++ {
+		kx.Acquire(p)
+	}
+	return func() {
+		for p := 0; p < count; p++ {
+			kx.Release(p)
+		}
+	}
+}
+
+func TestTryAcquireFullThenFree(t *testing.T) {
+	for name, tc := range abortableImpls(t, 8, 2) {
+		t.Run(name, func(t *testing.T) {
+			a := tc.kx.(Abortable)
+			k := tc.kx.K()
+			drain := fill(tc.kx, k)
+			if a.TryAcquire(k) {
+				t.Fatalf("TryAcquire succeeded with all %d slots held", k)
+			}
+			if got := tc.m.Snapshot().Aborts; got < 1 {
+				t.Fatalf("aborts = %d, want >= 1 after failed TryAcquire", got)
+			}
+			drain()
+			if !a.TryAcquire(k) {
+				t.Fatalf("TryAcquire failed with every slot free")
+			}
+			tc.kx.Release(k)
+			// The lock is still at full capacity after the failed try.
+			fill(tc.kx, k)()
+		})
+	}
+}
+
+func TestAcquireCtxExpiredWithdraws(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, tc := range abortableImpls(t, 8, 2) {
+		t.Run(name, func(t *testing.T) {
+			a := tc.kx.(Abortable)
+			k := tc.kx.K()
+			drain := fill(tc.kx, k)
+			for i := 0; i < 3; i++ { // repeated withdrawal must not decay state
+				if err := a.AcquireCtx(ctx, k); !errors.Is(err, context.Canceled) {
+					t.Fatalf("AcquireCtx on full lock = %v, want context.Canceled", err)
+				}
+			}
+			drain()
+			// Full capacity must survive the withdrawals: k fresh
+			// acquisitions (including the former withdrawer's id) all
+			// complete without waiting forever.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for p := 0; p < k; p++ {
+					tc.kx.Acquire(p)
+				}
+				for p := 0; p < k; p++ {
+					tc.kx.Release(p)
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("lock lost capacity after withdrawals")
+			}
+			if got := tc.m.Snapshot().Aborts; got < 3 {
+				t.Fatalf("aborts = %d, want >= 3", got)
+			}
+		})
+	}
+}
+
+func TestAcquireCtxUncontendedSucceeds(t *testing.T) {
+	// Cancellation is only observed while waiting: with free slots even
+	// an expired context acquires (callers must Release on nil error).
+	ctx := context.Background()
+	for name, tc := range abortableImpls(t, 8, 2) {
+		t.Run(name, func(t *testing.T) {
+			a := tc.kx.(Abortable)
+			if err := a.AcquireCtx(ctx, 0); err != nil {
+				t.Fatalf("AcquireCtx uncontended = %v", err)
+			}
+			tc.kx.Release(0)
+		})
+	}
+}
+
+func TestAcquireCtxWakesOnRelease(t *testing.T) {
+	for name, tc := range abortableImpls(t, 8, 2) {
+		t.Run(name, func(t *testing.T) {
+			a := tc.kx.(Abortable)
+			k := tc.kx.K()
+			drain := fill(tc.kx, k)
+			got := make(chan error, 1)
+			go func() {
+				got <- a.AcquireCtx(context.Background(), k)
+			}()
+			time.Sleep(5 * time.Millisecond) // let the waiter register
+			drain()
+			select {
+			case err := <-got:
+				if err != nil {
+					t.Fatalf("AcquireCtx = %v after release", err)
+				}
+				tc.kx.Release(k)
+			case <-time.After(10 * time.Second):
+				t.Fatalf("waiter never woke after release")
+			}
+		})
+	}
+}
+
+// TestAbortStressHoldsInvariant mixes blocking acquisitions, timed-out
+// acquisitions and tries under -race, asserting the k-exclusion bound
+// throughout and full capacity afterwards. This is the abortable
+// analogue of the resilience conformance loop: withdrawals must never
+// lose or mint slots.
+func TestAbortStressHoldsInvariant(t *testing.T) {
+	const (
+		n    = 12
+		k    = 3
+		iter = 200
+	)
+	for name, tc := range abortableImpls(t, n, k) {
+		t.Run(name, func(t *testing.T) {
+			a := tc.kx.(Abortable)
+			kk := tc.kx.K()
+			var inCS atomic.Int64
+			var wg sync.WaitGroup
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < iter; i++ {
+						var held bool
+						switch i % 3 {
+						case 0:
+							tc.kx.Acquire(p)
+							held = true
+						case 1:
+							ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%5)*100*time.Microsecond)
+							held = a.AcquireCtx(ctx, p) == nil
+							cancel()
+						default:
+							held = a.TryAcquire(p)
+						}
+						if !held {
+							continue
+						}
+						if got := inCS.Add(1); got > int64(kk) {
+							t.Errorf("%d holders inside (%d,%d)-exclusion", got, n, kk)
+						}
+						inCS.Add(-1)
+						tc.kx.Release(p)
+					}
+				}(p)
+			}
+			wg.Wait()
+			if got := inCS.Load(); got != 0 {
+				t.Fatalf("holders = %d after drain, want 0", got)
+			}
+			// No capacity lost: k simultaneous holders still fit.
+			fill(tc.kx, kk)()
+			s := tc.m.Snapshot()
+			if s.Acquires != s.Releases {
+				t.Fatalf("acquires=%d releases=%d, want equal after drain", s.Acquires, s.Releases)
+			}
+		})
+	}
+}
+
+// TestAbortDoesNotStrandWaiters aborts one registered waiter while
+// another keeps waiting; the survivor must still be woken by the next
+// release (the withdrawal must not eat the releaser's signal).
+func TestAbortDoesNotStrandWaiters(t *testing.T) {
+	for name, tc := range abortableImpls(t, 8, 2) {
+		t.Run(name, func(t *testing.T) {
+			a := tc.kx.(Abortable)
+			k := tc.kx.K()
+			drain := fill(tc.kx, k)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			aborted := make(chan error, 1)
+			go func() { aborted <- a.AcquireCtx(ctx, k) }()
+			survivor := make(chan error, 1)
+			go func() { survivor <- a.AcquireCtx(context.Background(), k+1) }()
+			time.Sleep(5 * time.Millisecond) // both register
+
+			cancel()
+			if err := <-aborted; err == nil {
+				// The waiter may legitimately win a slot if a racing
+				// wake-up beat the cancellation; then it simply releases.
+				tc.kx.Release(k)
+			}
+			drain()
+			select {
+			case err := <-survivor:
+				if err != nil {
+					t.Fatalf("survivor AcquireCtx = %v", err)
+				}
+				tc.kx.Release(k + 1)
+			case <-time.After(10 * time.Second):
+				t.Fatalf("survivor stranded after peer withdrawal")
+			}
+		})
+	}
+}
+
+func TestHandleTryAcquireCtx(t *testing.T) {
+	// The Abortable surface must compose with the fixed-k registry entry
+	// (mcs) being the only exception — exercised via direct construction
+	// since Handle wraps a single pid.
+	kx := NewInductive(4, 2)
+	var a Abortable = kx
+	if !a.TryAcquire(0) {
+		t.Fatal("TryAcquire on empty lock failed")
+	}
+	if err := a.AcquireCtx(context.Background(), 1); err != nil {
+		t.Fatalf("AcquireCtx = %v", err)
+	}
+	kx.Release(0)
+	kx.Release(1)
+}

@@ -142,6 +142,7 @@ func (c *Counting) TryAcquire(p int) bool {
 	checkPID(p, c.n)
 	start := acqStart(c.m)
 	if decIfPositive(&c.x, c.m) <= 0 {
+		c.m.Aborted()
 		return false
 	}
 	acqDone(c.m, start)

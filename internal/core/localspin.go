@@ -10,6 +10,9 @@ import (
 // blocks (the Figure 2 chain and the Figure 6 local-spin chain).
 type lock interface {
 	acquire(p int)
+	// acquireCtx is acquire with bounded withdrawal: it reports false —
+	// with the block's state restored — if done closes while waiting.
+	acquireCtx(p int, done <-chan struct{}) bool
 	release(p int)
 }
 

@@ -87,8 +87,23 @@ func TestLocalSpinFastPathDegenerateGroupChurn(t *testing.T) {
 	if got := maxOcc.Load(); got > k {
 		t.Fatalf("k-exclusion violated under churn: occupancy %d > k=%d", got, k)
 	}
+
+	// The sleepy churn above usually drains the fast-path pool, but a
+	// serially-scheduled run can finish without a single slow take, so
+	// exercise the tookSlow handoff deterministically too: with the
+	// counter drained — as if k fast holders were inside — an arrival
+	// must pay the slow tree, and its release must return the slot
+	// through the tree, not the counter.
+	f.x.v.Add(int64(-k))
+	f.Acquire(0)
+	if f.tookSlow[0].v.Load() == 0 {
+		t.Fatal("arrival with a drained fast-path counter took the fast path")
+	}
+	f.Release(0)
+	f.x.v.Add(int64(k))
+
 	s := m.Snapshot()
-	total := int64(n * rounds)
+	total := int64(n*rounds + 1)
 	if s.Acquires != total || s.Releases != total {
 		t.Fatalf("metrics accounting wrong: acquires=%d releases=%d, want %d", s.Acquires, s.Releases, total)
 	}

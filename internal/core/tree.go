@@ -82,7 +82,7 @@ func (t *Tree) N() int { return t.n }
 // is paid only when contention exceeds k.
 type FastPath struct {
 	x     padInt64
-	slow  KExclusion
+	slow  *Tree
 	block *figTwo
 	// tookSlow[p] records Figure 4's private "slow" flag: which path
 	// process p's current acquisition took. Only p accesses its entry;

@@ -1,0 +1,197 @@
+package faultinject
+
+import (
+	"testing"
+
+	"kexclusion/internal/core"
+	"kexclusion/internal/obs"
+	"kexclusion/internal/renaming"
+)
+
+func TestAbortKindProperties(t *testing.T) {
+	for _, k := range []Kind{AbortInEntry, AbortWhileHolding, AbortInExit} {
+		if k.CostsSlot() {
+			t.Errorf("%s must not cost a slot", k)
+		}
+		if !k.IsAbort() {
+			t.Errorf("%s must report IsAbort", k)
+		}
+	}
+	for _, k := range []Kind{CrashInEntry, CrashWhileHolding, CrashInExit, CrashMidRenaming} {
+		if k.IsAbort() {
+			t.Errorf("%s must not report IsAbort", k)
+		}
+	}
+	plan := Plan{Seed: 9, Events: []Event{
+		{Proc: 0, Op: 0, Kind: CrashWhileHolding},
+		{Proc: 1, Op: 1, Kind: AbortInEntry},
+		{Proc: 2, Op: 0, Kind: AbortInExit},
+	}}
+	if got := plan.CrashCount(); got != 1 {
+		t.Errorf("CrashCount = %d, want 1", got)
+	}
+	if got := plan.AbortCount(); got != 2 {
+		t.Errorf("AbortCount = %d, want 2", got)
+	}
+	if got := plan.SlotsCharged(); got != 1 {
+		t.Errorf("SlotsCharged = %d, want 1: aborts are free", got)
+	}
+	if got := plan.Victims(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Victims = %v, want [0]", got)
+	}
+}
+
+// TestConformanceWithAborts is the acceptance row: the (k-1)-resilience
+// contract must hold with withdrawals injected at entry, holding and
+// exit points on top of k-1 slot-costing crashes. Aborting processes
+// are survivors — they complete the full workload — so a lost slot or a
+// stranded waiter caused by a withdrawal shows up as loss of progress.
+func TestConformanceWithAborts(t *testing.T) {
+	const n, k, ops = 8, 3, 12
+	for _, c := range core.Registry() {
+		if !c.Resilient || c.FixedK != 0 {
+			continue
+		}
+		plan := Plan{Seed: 11, Events: []Event{
+			{Proc: 0, Op: 0, Kind: CrashWhileHolding},
+			{Proc: 1, Op: 2, Kind: CrashInEntry},
+			{Proc: 3, Op: 1, Kind: AbortInEntry},
+			{Proc: 5, Op: 0, Kind: AbortWhileHolding},
+			{Proc: 7, Op: 3, Kind: AbortInExit},
+		}}
+		t.Run(c.Name, func(t *testing.T) {
+			sink := obs.New()
+			kx := c.New(n, k, core.WithSpinBudget(confSpinBudget), core.WithMetrics(sink))
+			res, err := Run(kx, plan, Config{Name: c.Name, OpsPerProc: ops, Metrics: sink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := res.Report
+			if !r.Completed || r.ProgressLost {
+				t.Fatalf("aborts broke the resilience contract:\n%s", r)
+			}
+			if r.Survivors != n-2 {
+				t.Fatalf("Survivors=%d want %d: aborting processes are survivors", r.Survivors, n-2)
+			}
+			if r.SurvivorOps != (n-2)*ops {
+				t.Fatalf("SurvivorOps=%d want %d", r.SurvivorOps, (n-2)*ops)
+			}
+			if r.SlotsLost != 2 {
+				t.Fatalf("SlotsLost=%d want 2: withdrawals must not be charged", r.SlotsLost)
+			}
+			if r.Aborts != 3 {
+				t.Fatalf("Aborts=%d want 3", r.Aborts)
+			}
+			if res.Metrics.CrashesFired != 2 {
+				t.Fatalf("CrashesFired=%d want 2: abort events are not crashes", res.Metrics.CrashesFired)
+			}
+			if res.Metrics.AbortsLanded > r.Aborts {
+				t.Fatalf("AbortsLanded=%d exceeds planned aborts %d", res.Metrics.AbortsLanded, r.Aborts)
+			}
+		})
+	}
+}
+
+// TestAbortEntryForcedToLand drives an abort-entry event on a saturated
+// object (every slot leaked by holding crashes) so the withdrawal
+// cannot be dodged: the expired-context acquisition must wait, so it
+// must withdraw, retry, and still complete once capacity frees... which
+// it never does here — so instead saturate with k-1 crashes and one
+// live holder, guaranteeing contention at the abort op.
+func TestAbortEntryForcedToLand(t *testing.T) {
+	const n, k, ops = 6, 2, 6
+	// Proc 0 leaks one slot (phase one). Proc 1 runs abort-entry at its
+	// first op in phase two, concurrently with procs 2..5 hammering the
+	// single remaining slot — the expired-context acquisition overlaps
+	// other holders with overwhelming likelihood, but the contract under
+	// test is stability, not the landing count: the run must complete
+	// with full survivor accounting whether or not withdrawals landed.
+	plan := Plan{Seed: 13, Events: []Event{
+		{Proc: 0, Op: 0, Kind: CrashWhileHolding},
+		{Proc: 1, Op: 0, Kind: AbortInEntry},
+	}}
+	sink := obs.New()
+	kx := core.NewFastPath(n, k, core.WithSpinBudget(confSpinBudget), core.WithMetrics(sink))
+	res, err := Run(kx, plan, Config{Name: "fastpath", OpsPerProc: ops, Metrics: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Completed {
+		t.Fatalf("run lost progress:\n%s", res.Report)
+	}
+	if res.Obs.Aborts < int64(res.Metrics.AbortsLanded) {
+		t.Fatalf("obs aborts=%d < harness landed=%d: sink missed withdrawals", res.Obs.Aborts, res.Metrics.AbortsLanded)
+	}
+}
+
+func TestSharedAccountingWithAborts(t *testing.T) {
+	const n, k, ops = 8, 3, 10
+	plan := Plan{Seed: 17, Events: []Event{
+		{Proc: 2, Op: 1, Kind: CrashMidRenaming},
+		{Proc: 4, Op: 0, Kind: AbortInEntry},
+		{Proc: 6, Op: 2, Kind: AbortInExit},
+	}}
+	kx := core.NewLocalSpin(n, k, core.WithSpinBudget(confSpinBudget))
+	res, err := RunShared(kx, plan, Config{Name: "localspin+shared", OpsPerProc: ops})
+	if err != nil {
+		t.Fatal(err) // includes the exactly-once counter check
+	}
+	r := res.Report
+	if !r.Completed {
+		t.Fatalf("shared run lost progress:\n%s", r)
+	}
+	// Survivors: n-1 (only the renaming crash kills). Applied total:
+	// survivors' full workload + victim's 1 pre-crash op + the crashed
+	// op itself (mid-renaming applies before stopping).
+	if want := (n-1)*ops + 1 + 1; r.AppliedTotal != want {
+		t.Fatalf("AppliedTotal=%d want %d", r.AppliedTotal, want)
+	}
+}
+
+func TestAssignmentRunWithAborts(t *testing.T) {
+	const n, k, ops = 8, 3, 8
+	plan := Plan{Seed: 19, Events: []Event{
+		{Proc: 1, Op: 0, Kind: CrashWhileHolding},
+		{Proc: 3, Op: 1, Kind: AbortInEntry},
+		{Proc: 5, Op: 2, Kind: AbortWhileHolding},
+	}}
+	asg := renaming.New(n, k, core.WithSpinBudget(confSpinBudget))
+	res, err := RunAssignment(asg, plan, Config{Name: "fastpath+renaming", OpsPerProc: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Completed {
+		t.Fatalf("assignment run lost progress:\n%s", res.Report)
+	}
+	if res.Metrics.NameViolations != 0 {
+		t.Fatalf("name violations with aborts: %d", res.Metrics.NameViolations)
+	}
+}
+
+func TestAbortPlanRejectedForNonAbortable(t *testing.T) {
+	plan := Plan{Seed: 23, Events: []Event{{Proc: 0, Op: 0, Kind: AbortInEntry}}}
+	mcs := core.NewMCS(4)
+	if _, err := NewInjector(mcs, plan, 4); err == nil {
+		t.Fatal("abort plan accepted for a non-abortable implementation")
+	}
+}
+
+func TestReportDeterminismWithAborts(t *testing.T) {
+	const n, k, ops = 8, 3, 8
+	mixed := []Kind{CrashWhileHolding, AbortInEntry, AbortInExit}
+	var first []byte
+	for i := 0; i < 2; i++ {
+		plan := NewPlan(29, n, ops, 3, mixed...)
+		kx := core.NewInductive(n, k, core.WithSpinBudget(confSpinBudget))
+		res, err := Run(kx, plan, Config{Name: "inductive", OpsPerProc: ops})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := res.Report.Canonical()
+		if first == nil {
+			first = b
+		} else if string(first) != string(b) {
+			t.Fatalf("same seed, different reports:\n%s\n%s", first, b)
+		}
+	}
+}

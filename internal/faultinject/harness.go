@@ -90,9 +90,14 @@ func (e *engine) run(n, k int, plan Plan, op doOp) Result {
 	start := time.Now()
 	watchdog := time.After(e.cfg.Deadline)
 
+	// Abort events are perturbations, not failures: their processes
+	// survive, complete the full workload, and run with the other
+	// survivors in phase two.
 	isVictim := make([]bool, n)
 	for _, ev := range plan.Events {
-		isVictim[ev.Proc] = true
+		if !ev.Kind.IsAbort() {
+			isVictim[ev.Proc] = true
+		}
 	}
 
 	// Phase one: victims run (concurrently with each other only) until
@@ -128,7 +133,7 @@ func (e *engine) run(n, k int, plan Plan, op doOp) Result {
 	}
 
 	completed := crashesDone && survivorsDone
-	nSurvivors := n - len(plan.Events)
+	nSurvivors := n - plan.CrashCount()
 	charge := plan.SlotsCharged()
 	remaining := k - charge
 	if remaining < 0 {
@@ -150,6 +155,7 @@ func (e *engine) run(n, k int, plan Plan, op doOp) Result {
 			SlotsRemaining: remaining,
 			Survivors:      nSurvivors,
 			SurvivorOps:    survivorOps,
+			Aborts:         plan.AbortCount(),
 			AppliedTotal:   -1,
 			Completed:      completed,
 			ProgressLost:   !completed,
@@ -159,6 +165,7 @@ func (e *engine) run(n, k int, plan Plan, op doOp) Result {
 			MaxAcquire:   time.Duration(e.maxAcqNanos.Load()),
 			CrashesFired: e.tracker.CrashesFired(),
 			EntryLanded:  int(e.tracker.nLanded.Load()),
+			AbortsLanded: int(e.tracker.nAborted.Load()),
 			Elapsed:      time.Since(start),
 		},
 		Obs: e.cfg.Metrics.Snapshot(),
@@ -281,6 +288,9 @@ func RunShared(kx core.KExclusion, plan Plan, cfg Config) (Result, error) {
 
 	expected := res.Report.Survivors * cfg.OpsPerProc
 	for _, ev := range plan.Events {
+		if ev.Kind.IsAbort() {
+			continue // the aborting process is a survivor, counted above
+		}
 		expected += ev.Op
 		if ev.Kind == CrashMidRenaming || ev.Kind == CrashInExit {
 			expected++ // the crashed operation itself was applied

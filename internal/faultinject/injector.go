@@ -1,6 +1,8 @@
 package faultinject
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +11,14 @@ import (
 	"kexclusion/internal/obs"
 	"kexclusion/internal/renaming"
 )
+
+// expiredCtx is the pre-cancelled context behind abort-entry injection:
+// an acquisition under it withdraws the moment it would have to wait.
+var expiredCtx = func() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}()
 
 // procState is the per-process view of the plan. Only the goroutine
 // that owns identity p touches its entry, mirroring the per-process
@@ -26,11 +36,17 @@ type crashTracker struct {
 	events map[int]Event
 	procs  []procState
 
-	fired  sync.WaitGroup // one Done per planned crash
+	fired  sync.WaitGroup // one Done per planned crash (aborts excluded)
 	landed sync.WaitGroup // one Done per awaited background acquisition
 
-	nFired  atomic.Int32
-	nLanded atomic.Int32
+	nFired   atomic.Int32
+	nLanded  atomic.Int32
+	nAborted atomic.Int32 // withdrawals that actually happened
+
+	// cancels[p] is the pending context cancellation of an abort-exit
+	// event: armed at acquisition, fired just before the release. Only
+	// p's owner goroutine touches its entry.
+	cancels []context.CancelFunc
 
 	// metrics, when non-nil, receives a CrashCharged event per fired
 	// slot-costing crash, so injected capacity loss shows up in the same
@@ -48,11 +64,12 @@ type crashTracker struct {
 
 func newCrashTracker(plan Plan, n, k int) *crashTracker {
 	t := &crashTracker{
-		events: make(map[int]Event, len(plan.Events)),
-		procs:  make([]procState, n),
+		events:  make(map[int]Event, len(plan.Events)),
+		procs:   make([]procState, n),
+		cancels: make([]context.CancelFunc, n),
 	}
 	t.awaitLanded = plan.SlotsCharged() <= k
-	t.fired.Add(len(plan.Events))
+	t.fired.Add(plan.CrashCount())
 	for _, ev := range plan.Events {
 		t.events[ev.Proc] = ev
 		if ev.Kind == CrashInEntry && t.awaitLanded {
@@ -90,6 +107,28 @@ func (t *crashTracker) Ops(p int) int { return t.procs[p].op }
 
 // CrashesFired reports how many planned crashes have taken effect.
 func (t *crashTracker) CrashesFired() int { return int(t.nFired.Load()) }
+
+// noteAbort records one withdrawal that actually happened (an
+// abort-entry event whose acquisition had to wait). The obs sink's
+// abort counter is charged by the algorithm itself at the withdrawal
+// point, not here.
+func (t *crashTracker) noteAbort() {
+	t.nAborted.Add(1)
+}
+
+// armExitAbort stores the cancellation an abort-exit event fires just
+// before its release.
+func (t *crashTracker) armExitAbort(p int, cancel context.CancelFunc) {
+	t.cancels[p] = cancel
+}
+
+// fireExitAbort runs and clears p's pending exit-abort cancellation.
+func (t *crashTracker) fireExitAbort(p int) {
+	if c := t.cancels[p]; c != nil {
+		c()
+		t.cancels[p] = nil
+	}
+}
 
 // AwaitCrashes blocks until every planned crash has fired — including,
 // when the slot charge fits within K, until every abandoned entry
@@ -137,6 +176,11 @@ func NewInjector(kx core.KExclusion, plan Plan, opsPerProc int) (*Injector, erro
 	if err := plan.validate(kx.N(), opsPerProc, false); err != nil {
 		return nil, err
 	}
+	if plan.AbortCount() > 0 {
+		if _, ok := kx.(core.Abortable); !ok {
+			return nil, fmt.Errorf("faultinject: plan injects withdrawals but %T does not implement core.Abortable", kx)
+		}
+	}
 	return &Injector{crashTracker: newCrashTracker(plan, kx.N(), kx.K()), kx: kx}, nil
 }
 
@@ -170,6 +214,38 @@ func (in *Injector) Acquire(p int) (alive bool) {
 			in.kx.Acquire(p)
 			in.fire(p)
 			return false
+		case AbortInEntry:
+			// Expired context: the acquisition withdraws iff it would
+			// have had to wait. Either way the operation completes — a
+			// withdrawal is followed by a blocking retry, which is what
+			// a well-behaved timed-out caller does.
+			ab := in.kx.(core.Abortable)
+			if err := ab.AcquireCtx(expiredCtx, p); err != nil {
+				in.noteAbort()
+				in.kx.Acquire(p)
+			}
+			return true
+		case AbortWhileHolding:
+			// Cancellation after admission must be inert: the slot is
+			// granted under a live context that dies immediately after.
+			ab := in.kx.(core.Abortable)
+			ctx, cancel := context.WithCancel(context.Background())
+			err := ab.AcquireCtx(ctx, p)
+			cancel()
+			if err != nil { // unreachable with a live context; stay safe
+				in.kx.Acquire(p)
+			}
+			return true
+		case AbortInExit:
+			// Arm a cancellation that Release fires just before the
+			// bounded exit section runs.
+			ab := in.kx.(core.Abortable)
+			ctx, cancel := context.WithCancel(context.Background())
+			if err := ab.AcquireCtx(ctx, p); err != nil {
+				in.kx.Acquire(p)
+			}
+			in.armExitAbort(p, cancel)
+			return true
 		}
 	}
 	in.kx.Acquire(p)
@@ -177,7 +253,9 @@ func (in *Injector) Acquire(p int) (alive bool) {
 }
 
 // Release completes process p's operation, firing the plan's exit
-// crash: the bounded exit runs to completion, then p stops.
+// crash: the bounded exit runs to completion, then p stops. An
+// abort-exit event cancels the acquisition's context first — the dead
+// context must not perturb the exit section.
 func (in *Injector) Release(p int) (alive bool) {
 	if in.procs[p].dead {
 		return false
@@ -187,6 +265,7 @@ func (in *Injector) Release(p int) (alive bool) {
 		in.fire(p)
 		return false
 	}
+	in.fireExitAbort(p)
 	in.kx.Release(p)
 	in.procs[p].op++
 	return true
@@ -242,6 +321,29 @@ func (in *AssignmentInjector) Acquire(p int) (name int, alive bool) {
 			in.asg.Acquire(p)
 			in.fire(p)
 			return 0, false
+		case AbortInEntry:
+			name, err := in.asg.AcquireCtx(expiredCtx, p)
+			if err != nil {
+				in.noteAbort()
+				name = in.asg.Acquire(p)
+			}
+			return name, true
+		case AbortWhileHolding:
+			ctx, cancel := context.WithCancel(context.Background())
+			name, err := in.asg.AcquireCtx(ctx, p)
+			cancel()
+			if err != nil { // unreachable with a live context; stay safe
+				name = in.asg.Acquire(p)
+			}
+			return name, true
+		case AbortInExit:
+			ctx, cancel := context.WithCancel(context.Background())
+			name, err := in.asg.AcquireCtx(ctx, p)
+			if err != nil {
+				name = in.asg.Acquire(p)
+			}
+			in.armExitAbort(p, cancel)
+			return name, true
 		}
 	}
 	return in.asg.Acquire(p), true
@@ -265,6 +367,7 @@ func (in *AssignmentInjector) Release(p, name int) (alive bool) {
 			return false
 		}
 	}
+	in.fireExitAbort(p)
 	in.asg.Release(p, name)
 	in.procs[p].op++
 	return true

@@ -51,6 +51,20 @@ const (
 	// the name space degrades by exactly one identity alongside the
 	// slot. Only meaningful for the Assignment and Shared harnesses.
 	CrashMidRenaming
+	// AbortInEntry expires the process's acquisition context while it
+	// may still be waiting in the entry section: if it had to wait it
+	// withdraws (core.Abortable), restoring the entry-section state,
+	// then retries and completes the operation. The process lives on.
+	// Costs no slot — a withdrawal is the anti-crash.
+	AbortInEntry
+	// AbortWhileHolding cancels the acquisition context immediately
+	// after admission: cancellation past the entry section must be
+	// inert, so the operation runs and releases normally. Costs no slot.
+	AbortWhileHolding
+	// AbortInExit cancels the acquisition context just before the
+	// release: the bounded exit section must be insensitive to the dead
+	// context. Costs no slot.
+	AbortInExit
 )
 
 var kindNames = map[Kind]string{
@@ -58,6 +72,9 @@ var kindNames = map[Kind]string{
 	CrashWhileHolding: "holding",
 	CrashInExit:       "exit",
 	CrashMidRenaming:  "renaming",
+	AbortInEntry:      "abort-entry",
+	AbortWhileHolding: "abort-holding",
+	AbortInExit:       "abort-exit",
 }
 
 // String returns the CLI-facing name of the crash point.
@@ -87,7 +104,7 @@ func parseKind(s string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("faultinject: unknown crash kind %q (have entry, holding, exit, renaming)", s)
+	return 0, fmt.Errorf("faultinject: unknown crash kind %q (have entry, holding, exit, renaming, abort-entry, abort-holding, abort-exit)", s)
 }
 
 // ParseKinds parses a comma-separated kind list ("entry,holding,exit").
@@ -112,7 +129,16 @@ func ParseKinds(csv string) ([]Kind, error) {
 
 // CostsSlot reports whether a crash at this point permanently consumes
 // one of the K slots.
-func (k Kind) CostsSlot() bool { return k != CrashInExit }
+func (k Kind) CostsSlot() bool {
+	return k == CrashInEntry || k == CrashWhileHolding || k == CrashMidRenaming
+}
+
+// IsAbort reports whether the event is a bounded withdrawal rather than
+// a stop-failure: the process survives it, completes the operation, and
+// keeps working.
+func (k Kind) IsAbort() bool {
+	return k == AbortInEntry || k == AbortWhileHolding || k == AbortInExit
+}
 
 // Event is one planned crash: process Proc stops at crash point Kind
 // during its Op-th operation (0-based).
@@ -172,14 +198,32 @@ func (pl Plan) SlotsCharged() int {
 	return charged
 }
 
-// Victims returns the crashing process ids in ascending order.
+// Victims returns the crashing process ids in ascending order. Abort
+// events are not crashes: their processes survive and are excluded.
 func (pl Plan) Victims() []int {
 	out := make([]int, 0, len(pl.Events))
 	for _, ev := range pl.Events {
-		out = append(out, ev.Proc)
+		if !ev.Kind.IsAbort() {
+			out = append(out, ev.Proc)
+		}
 	}
 	return out
 }
+
+// CrashCount is the number of stop-failures in the plan (every event
+// that is not an abort).
+func (pl Plan) CrashCount() int {
+	n := 0
+	for _, ev := range pl.Events {
+		if !ev.Kind.IsAbort() {
+			n++
+		}
+	}
+	return n
+}
+
+// AbortCount is the number of planned withdrawals.
+func (pl Plan) AbortCount() int { return len(pl.Events) - pl.CrashCount() }
 
 // validate rejects plans that the harness cannot execute faithfully.
 func (pl Plan) validate(n, opsPerProc int, renamingOK bool) error {

@@ -41,6 +41,12 @@ type Report struct {
 	// Survivors*OpsPerProc when the run completed, 0 on loss of
 	// progress (partial counts are schedule-dependent; see Metrics).
 	SurvivorOps int `json:"survivor_ops"`
+	// Aborts is how many of the plan's events are bounded withdrawals
+	// rather than stop-failures. Aborting processes survive, complete
+	// the full workload, and cost no slot; how many withdrawals actually
+	// landed (an expired context only withdraws if it had to wait) is
+	// schedule-dependent and lives in Metrics.AbortsLanded.
+	Aborts int `json:"aborts"`
 	// AppliedTotal is the expected number of object operations applied
 	// end to end (survivor workload plus victims' pre-crash operations,
 	// counting a crashed operation only when its crash point lies after
@@ -84,12 +90,15 @@ func (r Report) String() string {
 	if r.AppliedTotal >= 0 {
 		fmt.Fprintf(&b, "; applied total=%d", r.AppliedTotal)
 	}
+	if r.Aborts > 0 {
+		fmt.Fprintf(&b, "; aborts=%d", r.Aborts)
+	}
 	b.WriteByte('\n')
 	switch {
 	case r.ProgressLost:
 		fmt.Fprintf(&b, "verdict: LOSS OF PROGRESS (charge %d of %d slots) — detected, not hung\n", r.SlotsLost, r.K)
 	default:
-		fmt.Fprintf(&b, "verdict: resilient — %d failure(s) cost %d slot(s), never progress\n", len(r.Crashes), r.SlotsLost)
+		fmt.Fprintf(&b, "verdict: resilient — %d failure(s) cost %d slot(s), never progress\n", len(r.Crashes)-r.Aborts, r.SlotsLost)
 	}
 	return b.String()
 }
@@ -110,6 +119,11 @@ type Metrics struct {
 	// EntryLanded is how many abandoned entry acquisitions had been
 	// granted their (then leaked) slot when the harness returned.
 	EntryLanded int
+	// AbortsLanded is how many planned withdrawals actually happened:
+	// an abort-entry acquisition under an expired context withdraws
+	// only if it would have had to wait, so this is schedule-dependent
+	// and at most Report.Aborts.
+	AbortsLanded int
 	// NameViolations counts Figure 7 contract breaches observed by the
 	// assignment harnesses: a granted name out of 0..K-1 or shared by
 	// two concurrent holders. Always zero for a correct implementation.

@@ -1,0 +1,291 @@
+package netfault_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"kexclusion/internal/netfault"
+	"kexclusion/internal/server"
+	"kexclusion/internal/server/client"
+)
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-served
+	})
+	return srv, addr.String()
+}
+
+func startProxy(t *testing.T, target string, plan netfault.Plan) *netfault.Proxy {
+	t.Helper()
+	px, err := netfault.New(target, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { px.Close() })
+	return px
+}
+
+func awaitServer(t *testing.T, srv *server.Server, what string, cond func(st int64) bool, get func() int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond(get()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never observed (last %d)", what, get())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCleanRelay(t *testing.T) {
+	_, addr := startServer(t, server.Config{N: 2, K: 1, Shards: 1})
+	px := startProxy(t, addr, netfault.Plan{Seed: 1})
+
+	c, err := client.Dial(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := int64(1); i <= 5; i++ {
+		if v, err := c.Add(0, 1); err != nil || v != i {
+			t.Fatalf("Add through relay = %d, %v; want %d", v, err, i)
+		}
+	}
+	st := px.Stats()
+	if st.Accepted != 1 || st.BytesUp == 0 || st.BytesDown == 0 {
+		t.Fatalf("relay stats %+v", st)
+	}
+	if st.Partitions+st.Resets+st.Truncations != 0 {
+		t.Fatalf("clean plan fired faults: %+v", st)
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	a := netfault.NewPlan(42, 8, netfault.Partition, netfault.Reset, netfault.Delay)
+	b := netfault.NewPlan(42, 8, netfault.Partition, netfault.Reset, netfault.Delay)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a, b)
+	}
+	conns := map[int]bool{}
+	for _, r := range a.Rules {
+		if conns[r.Conn] {
+			t.Fatalf("two rules on conn %d", r.Conn)
+		}
+		conns[r.Conn] = true
+		if r.After < 25 {
+			t.Fatalf("rule fires at %dB, inside the handshake window", r.After)
+		}
+	}
+	if s := a.String(); !strings.Contains(s, "seed=42") {
+		t.Fatalf("plan string %q", s)
+	}
+	if s := (netfault.Plan{Seed: 7}).String(); !strings.Contains(s, "clean relay") {
+		t.Fatalf("empty plan string %q", s)
+	}
+}
+
+// TestPartitionWatchdogReclaim is the end-to-end acceptance test for
+// the robustness stack: a client behind a silent partition loses its
+// identity within the watchdog bound, a client on a healthy link keeps
+// completing operations the whole time, and the reclaimed identity is
+// leasable again.
+func TestPartitionWatchdogReclaim(t *testing.T) {
+	const idle = 150 * time.Millisecond
+	srv, addr := startServer(t, server.Config{N: 2, K: 1, Shards: 1, IdleTimeout: idle})
+	// Partition conn 0 the moment its first request has fully passed.
+	px := startProxy(t, addr, netfault.Plan{Seed: 2, Rules: []netfault.Rule{
+		{Conn: 0, Act: netfault.Partition, After: 25},
+	}})
+
+	victim, err := client.Dial(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	victim.SetOpTimeout(300 * time.Millisecond)
+
+	healthy, err := client.Dial(addr) // direct link, no chaos
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	// The healthy client hammers ops from before the partition until
+	// after the reclaim: it must stay oblivious the whole way through
+	// (and staying busy is what keeps its own watchdog quiet).
+	stop := make(chan struct{})
+	type hres struct {
+		ops int64
+		err error
+	}
+	healthyDone := make(chan hres, 1)
+	go func() {
+		var ops int64
+		for {
+			select {
+			case <-stop:
+				healthyDone <- hres{ops, nil}
+				return
+			default:
+			}
+			if _, err := healthy.Add(0, 1); err != nil {
+				healthyDone <- hres{ops, err}
+				return
+			}
+			ops++
+		}
+	}()
+
+	// The victim's first Add reaches the server (the partition fires
+	// after the request's 25 bytes) but its response vanishes: the op
+	// deadline must surface the silence instead of hanging.
+	if _, err := victim.Add(0, 1); err == nil {
+		t.Fatal("victim's op succeeded across a partition")
+	}
+	if err := victim.Ping(); !errors.Is(err, client.ErrBroken) {
+		t.Fatalf("victim connection not poisoned: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().IdleReclaims < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("partitioned session never reclaimed: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	res := <-healthyDone
+	if res.err != nil {
+		t.Fatalf("healthy client broken during neighbor's partition: %v", res.err)
+	}
+	if res.ops == 0 {
+		t.Fatal("healthy client completed no ops during the reclaim window")
+	}
+	ops := res.ops
+
+	// The identity is leasable again: N=2 with the healthy session
+	// still admitted, so this dial needs the victim's freed identity.
+	fresh, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("reclaimed identity not leasable: %v", err)
+	}
+	defer fresh.Close()
+	if err := fresh.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim's first Add was applied server-side (exactly once)
+	// before the partition ate the response: 1 + healthy's ops.
+	if v, err := fresh.Get(0); err != nil || v != ops+1 {
+		t.Fatalf("counter = %d, %v; want %d", v, err, ops+1)
+	}
+}
+
+// TestResetHealsThroughReconnect: an injected RST mid-exchange is a
+// transport failure; the reconnecting client re-admits and completes
+// the idempotent read on a fresh link.
+func TestResetHealsThroughReconnect(t *testing.T) {
+	_, addr := startServer(t, server.Config{N: 2, K: 1, Shards: 1})
+	px := startProxy(t, addr, netfault.Plan{Seed: 3, Rules: []netfault.Rule{
+		{Conn: 0, Act: netfault.Reset, After: 25},
+	}})
+
+	r, err := client.DialReconnecting(px.Addr(), client.RetryPolicy{Seed: 7, BaseDelay: time.Millisecond}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Conn 0 dies by RST the moment the Get's request bytes pass; the
+	// retry lands on conn 1, which has no rule.
+	if _, err := r.Get(0); err != nil {
+		t.Fatalf("Get did not heal through the reset: %v", err)
+	}
+	if got := r.Reconnects(); got != 2 {
+		t.Fatalf("Reconnects = %d, want 2", got)
+	}
+	if st := px.Stats(); st.Resets != 1 || st.Accepted != 2 {
+		t.Fatalf("proxy stats %+v", st)
+	}
+}
+
+// TestTruncateMidFrame: cutting a request frame in half must surface
+// server-side as a clean teardown with the identity reclaimed — the
+// truncated frame can never be parsed as an operation.
+func TestTruncateMidFrame(t *testing.T) {
+	srv, addr := startServer(t, server.Config{N: 1, K: 1, Shards: 1})
+	// 30 bytes: request 1 (25B) passes whole, request 2 is cut at 5 bytes.
+	px := startProxy(t, addr, netfault.Plan{Seed: 4, Rules: []netfault.Rule{
+		{Conn: 0, Act: netfault.Truncate, After: 30},
+	}})
+
+	c, err := client.Dial(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if v, err := c.Add(0, 7); err != nil || v != 7 {
+		t.Fatalf("first op through truncating link: %d, %v", v, err)
+	}
+	if _, err := c.Add(0, 1); err == nil {
+		t.Fatal("op succeeded across a truncated frame")
+	}
+	if st := px.Stats(); st.Truncations != 1 || st.BytesUp != 30 {
+		t.Fatalf("proxy stats %+v", st)
+	}
+
+	// The server tore the session down and reclaimed the identity; the
+	// half-request was never applied. N=1 proves re-leasability.
+	awaitServer(t, srv, "truncate reclaim",
+		func(v int64) bool { return v == 0 },
+		func() int64 { return srv.Stats().ActiveSessions })
+	fresh, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if v, err := fresh.Get(0); err != nil || v != 7 {
+		t.Fatalf("counter = %d, %v; want 7 (half request must not apply)", v, err)
+	}
+}
+
+// TestDelaySlowsButCompletes: a slow link is degradation, not failure —
+// every operation still completes, and the proxy accounts the latency.
+func TestDelaySlowsButCompletes(t *testing.T) {
+	_, addr := startServer(t, server.Config{N: 1, K: 1, Shards: 1})
+	px := startProxy(t, addr, netfault.Plan{Seed: 5, Rules: []netfault.Rule{
+		{Conn: 0, Act: netfault.Delay, Latency: 3 * time.Millisecond},
+	}})
+
+	c, err := client.Dial(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := int64(1); i <= 5; i++ {
+		if v, err := c.Add(0, 1); err != nil || v != i {
+			t.Fatalf("Add over slow link = %d, %v; want %d", v, err, i)
+		}
+	}
+	if st := px.Stats(); st.DelayedChunks == 0 {
+		t.Fatalf("no chunks delayed: %+v", st)
+	}
+}

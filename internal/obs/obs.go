@@ -71,6 +71,9 @@ type Metrics struct {
 
 	crashCharges Counter
 
+	aborts    Counter
+	deadlines Counter
+
 	holders Counter
 	peak    Counter
 
@@ -197,6 +200,27 @@ func (m *Metrics) CrashCharged() {
 	m.crashCharges.Add(1)
 }
 
+// Aborted records one bounded withdrawal from an entry section: an
+// AcquireCtx whose context expired, or a TryAcquire that found no free
+// slot, gave up before a slot was granted. Unlike a crash charge a
+// withdrawal costs no slot — the entry section's bookkeeping is undone.
+func (m *Metrics) Aborted() {
+	if m == nil {
+		return
+	}
+	m.aborts.Add(1)
+}
+
+// DeadlineExpired records one operation cut short by a deadline at the
+// serving edge: a per-op timeout, or the idle watchdog reclaiming a
+// silent session's identity.
+func (m *Metrics) DeadlineExpired() {
+	if m == nil {
+		return
+	}
+	m.deadlines.Add(1)
+}
+
 // Snapshot is a point-in-time copy of a Metrics sink. Field order (and
 // therefore JSON key order) is fixed, and the latency histogram always
 // has LatencyBuckets entries, so the marshalled schema is deterministic.
@@ -225,6 +249,11 @@ type Snapshot struct {
 	HelpingEvents int64 `json:"helping_events"`
 	// CrashCharges counts injected slot-costing crashes.
 	CrashCharges int64 `json:"crash_charges"`
+	// Aborts counts bounded withdrawals from entry sections (expired
+	// AcquireCtx contexts and failed TryAcquires); DeadlineExpirations
+	// counts operations cut short by serving-edge deadlines.
+	Aborts              int64 `json:"aborts"`
+	DeadlineExpirations int64 `json:"deadline_expirations"`
 	// CurrentHolders and PeakHolders track slot occupancy.
 	CurrentHolders int64 `json:"current_holders"`
 	PeakHolders    int64 `json:"peak_holders"`
@@ -252,6 +281,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.AppliedOps = m.appliedOps.Load()
 	s.HelpingEvents = m.helpingEvents.Load()
 	s.CrashCharges = m.crashCharges.Load()
+	s.Aborts = m.aborts.Load()
+	s.DeadlineExpirations = m.deadlines.Load()
 	s.CurrentHolders = m.holders.Load()
 	s.PeakHolders = m.peak.Load()
 	for i := range s.LatencyNSPow2 {
@@ -277,6 +308,7 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, " spin_polls=%d yields=%d cas_retries=%d", s.SpinPolls, s.Yields, s.CASRetries)
 	fmt.Fprintf(&b, " names=%d tas_failures=%d", s.NameAttempts, s.TASFailures)
 	fmt.Fprintf(&b, " applied=%d helped=%d crash_charges=%d", s.AppliedOps, s.HelpingEvents, s.CrashCharges)
+	fmt.Fprintf(&b, " aborts=%d deadlines=%d", s.Aborts, s.DeadlineExpirations)
 	fmt.Fprintf(&b, " holders=%d peak=%d p50_acquire=%s", s.CurrentHolders, s.PeakHolders, s.QuantileAcquire(0.5))
 	return b.String()
 }

@@ -23,6 +23,8 @@ func TestNilSinkIsValid(t *testing.T) {
 	m.OpApplied()
 	m.Helped(2)
 	m.CrashCharged()
+	m.Aborted()
+	m.DeadlineExpired()
 	if s := m.Snapshot(); s != (Snapshot{}) {
 		t.Fatalf("nil sink snapshot not zero: %+v", s)
 	}
@@ -42,6 +44,9 @@ func TestCountersRoundTrip(t *testing.T) {
 	m.OpApplied()
 	m.Helped(3)
 	m.CrashCharged()
+	m.Aborted()
+	m.Aborted()
+	m.DeadlineExpired()
 
 	s := m.Snapshot()
 	if s.Acquires != 3 || s.Releases != 1 {
@@ -58,6 +63,9 @@ func TestCountersRoundTrip(t *testing.T) {
 	}
 	if s.AppliedOps != 1 || s.HelpingEvents != 3 || s.CrashCharges != 1 {
 		t.Fatalf("applied/helped/charges = %d/%d/%d", s.AppliedOps, s.HelpingEvents, s.CrashCharges)
+	}
+	if s.Aborts != 2 || s.DeadlineExpirations != 1 {
+		t.Fatalf("aborts/deadlines = %d/%d, want 2/1", s.Aborts, s.DeadlineExpirations)
 	}
 	if s.CurrentHolders != 2 || s.PeakHolders != 3 {
 		t.Fatalf("holders/peak = %d/%d, want 2/3", s.CurrentHolders, s.PeakHolders)
@@ -134,6 +142,7 @@ func TestSnapshotJSONDeterministicSchema(t *testing.T) {
 		"acquires", "releases", "fast_path_takes", "slow_path_takes",
 		"spin_polls", "yields", "cas_retries", "name_attempts",
 		"tas_failures", "applied_ops", "helping_events", "crash_charges",
+		"aborts", "deadline_expirations",
 		"current_holders", "peak_holders", "latency_ns_pow2",
 	} {
 		if _, ok := decoded[key]; !ok {

@@ -1,0 +1,66 @@
+package renaming
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kexclusion/internal/core"
+)
+
+func TestAssignmentAcquireCtxWithdraws(t *testing.T) {
+	a := New(8, 2)
+	n0 := a.Acquire(0)
+	n1 := a.Acquire(1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.AcquireCtx(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AcquireCtx on full assignment = %v, want context.Canceled", err)
+	}
+	if _, ok := a.TryAcquire(2); ok {
+		t.Fatal("TryAcquire succeeded with both slots held")
+	}
+
+	a.Release(0, n0)
+	a.Release(1, n1)
+
+	// Withdrawal must not have leaked a slot or a name: both slots and
+	// both names are reacquirable, via the ctx path included.
+	n2, err := a.AcquireCtx(context.Background(), 2)
+	if err != nil {
+		t.Fatalf("AcquireCtx after drain = %v", err)
+	}
+	n3, ok := a.TryAcquire(3)
+	if !ok {
+		t.Fatal("TryAcquire failed with a free slot")
+	}
+	if n2 == n3 || n2 < 0 || n2 >= 2 || n3 < 0 || n3 >= 2 {
+		t.Fatalf("names %d, %d not unique in 0..1", n2, n3)
+	}
+	a.Release(2, n2)
+	a.Release(3, n3)
+}
+
+// nonAbortable hides the Abortable surface of a real k-exclusion,
+// modelling a wrapper built over an implementation without withdrawal.
+type nonAbortable struct{ inner core.KExclusion }
+
+func (n nonAbortable) Acquire(p int) { n.inner.Acquire(p) }
+func (n nonAbortable) Release(p int) { n.inner.Release(p) }
+func (n nonAbortable) K() int        { return n.inner.K() }
+func (n nonAbortable) N() int        { return n.inner.N() }
+
+func TestAssignmentNonAbortableFallback(t *testing.T) {
+	a := NewAssignment(nonAbortable{core.NewCounting(4, 2)})
+	// AcquireCtx falls back to a blocking acquire when slots are free.
+	name, err := a.AcquireCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("AcquireCtx fallback = %v", err)
+	}
+	a.Release(0, name)
+	// TryAcquire cannot promise no-wait semantics without Abortable.
+	if _, ok := a.TryAcquire(0); ok {
+		t.Fatal("TryAcquire succeeded on a non-abortable k-exclusion")
+	}
+}

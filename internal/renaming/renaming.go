@@ -8,6 +8,7 @@
 package renaming
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -114,6 +115,35 @@ func (a *Assignment) WithMetrics(m *obs.Metrics) *Assignment {
 func (a *Assignment) Acquire(p int) int {
 	a.excl.Acquire(p)
 	return a.names.Acquire()
+}
+
+// AcquireCtx is Acquire with bounded withdrawal: if ctx is done while p
+// is still waiting for a slot, p withdraws from the k-exclusion entry
+// section and the ctx error is returned. Name acquisition itself is
+// bounded (at most k-1 test&set probes), so cancellation only applies
+// to the unbounded wait. If the underlying k-exclusion does not support
+// withdrawal (core.Abortable), AcquireCtx falls back to blocking.
+func (a *Assignment) AcquireCtx(ctx context.Context, p int) (int, error) {
+	if ab, ok := a.excl.(core.Abortable); ok {
+		if err := ab.AcquireCtx(ctx, p); err != nil {
+			return 0, err
+		}
+	} else {
+		a.excl.Acquire(p)
+	}
+	return a.names.Acquire(), nil
+}
+
+// TryAcquire acquires a slot and name only if the slot requires no
+// waiting, reporting success. False is returned — and nothing is held —
+// when every slot is taken or the k-exclusion does not support
+// withdrawal.
+func (a *Assignment) TryAcquire(p int) (int, bool) {
+	ab, ok := a.excl.(core.Abortable)
+	if !ok || !ab.TryAcquire(p) {
+		return 0, false
+	}
+	return a.names.Acquire(), true
 }
 
 // Release returns process p's slot and name.

@@ -1,6 +1,8 @@
 package resilient
 
 import (
+	"context"
+
 	"kexclusion/internal/core"
 	"kexclusion/internal/obs"
 	"kexclusion/internal/renaming"
@@ -55,6 +57,23 @@ func (s *Shared[S]) Apply(p int, op Op[S]) any {
 	name := s.asg.Acquire(p)
 	defer s.asg.Release(p, name)
 	return s.u.Apply(name, op)
+}
+
+// ApplyCtx is Apply with bounded withdrawal: if ctx is done while p is
+// still waiting for a slot, p withdraws from the wrapper's entry
+// section — the operation is NOT applied, the object's capacity is
+// untouched, and the ctx error is returned. Once a slot is granted the
+// operation always runs to completion (the wait-free core is bounded),
+// so a nil error means op was applied exactly once and a non-nil error
+// means it was applied not at all — there is no third state, which is
+// what makes timed-out operations safe to retry.
+func (s *Shared[S]) ApplyCtx(ctx context.Context, p int, op Op[S]) (any, error) {
+	name, err := s.asg.AcquireCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	defer s.asg.Release(p, name)
+	return s.u.Apply(name, op), nil
 }
 
 // Peek returns the current state without synchronization; treat the

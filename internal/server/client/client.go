@@ -9,6 +9,7 @@ package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -17,14 +18,42 @@ import (
 	"kexclusion/internal/wire"
 )
 
+// ErrBroken marks a client whose connection state is unknowable: an
+// operation's deadline expired (or its transport failed) mid-exchange,
+// so a response may be stranded half-read in the stream. Every further
+// operation fails with this error immediately — the only recovery is a
+// fresh Dial, which is exactly what Reconnecting automates.
+var ErrBroken = errors.New("client: connection poisoned by a failed exchange; redial")
+
+// BusyError is an admission rejection: the server's identity pool is
+// exhausted (or it is draining). RetryAfter carries the server's
+// backoff hint — how long it suggests waiting before redialing, zero
+// when it offered none. It unwraps to the underlying *wire.Error.
+type BusyError struct {
+	RetryAfter time.Duration
+	Err        *wire.Error
+}
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("%v (retry after %v)", e.Err, e.RetryAfter)
+	}
+	return e.Err.Error()
+}
+
+// Unwrap exposes the wire-level error to errors.As/Is.
+func (e *BusyError) Unwrap() error { return e.Err }
+
 // Client is one admitted kexserved session.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	nextID uint64
-	hello  wire.Hello
+	mu        sync.Mutex
+	conn      net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	nextID    uint64
+	hello     wire.Hello
+	opTimeout time.Duration
+	broken    bool
 }
 
 // Dial connects and performs the admission handshake. A server-side
@@ -51,7 +80,14 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	}
 	if hello.Status != wire.StatusOK {
 		conn.Close()
-		return nil, &wire.Error{Status: hello.Status, Msg: hello.Msg}
+		we := &wire.Error{Status: hello.Status, Msg: hello.Msg}
+		if hello.Status == wire.StatusBusy {
+			return nil, &BusyError{
+				RetryAfter: time.Duration(hello.RetryAfterMillis) * time.Millisecond,
+				Err:        we,
+			}
+		}
+		return nil, we
 	}
 	conn.SetDeadline(time.Time{})
 	if tcp, ok := conn.(*net.TCPConn); ok {
@@ -67,23 +103,48 @@ func (c *Client) Identity() int { return int(c.hello.Identity) }
 // Hello reports the full admission handshake (server shape included).
 func (c *Client) Hello() wire.Hello { return c.hello }
 
+// SetOpTimeout bounds every subsequent operation: the whole exchange —
+// write, server work, response read — must finish within d or the
+// operation fails and the connection is poisoned (see ErrBroken; a
+// missed deadline leaves the stream in an unknowable state). Zero
+// removes the bound. Dial's handshake deadline used to be the only one
+// ever armed; without this, a stalled or partitioned server hangs the
+// caller for as long as the TCP stack is willing to wait.
+func (c *Client) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.opTimeout = d
+	c.mu.Unlock()
+}
+
 // do runs one serialized request/response exchange.
 func (c *Client) do(kind wire.Kind, shard uint32, arg int64) (wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return wire.Response{}, ErrBroken
+	}
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
 	c.nextID++
 	req := wire.Request{ID: c.nextID, Kind: kind, Shard: shard, Arg: arg}
 	if err := wire.WriteRequest(c.bw, req); err != nil {
+		c.broken = true
 		return wire.Response{}, err
 	}
 	if err := c.bw.Flush(); err != nil {
+		c.broken = true
 		return wire.Response{}, err
 	}
 	resp, err := wire.ReadResponse(c.br)
 	if err != nil {
+		c.broken = true
 		return wire.Response{}, err
 	}
 	if resp.ID != req.ID {
+		c.broken = true
 		return wire.Response{}, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
 	}
 	return resp, resp.Err()

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -41,12 +42,20 @@ func TestDialRejectsNonProtocolEndpoint(t *testing.T) {
 
 func TestDialSurfacesBusy(t *testing.T) {
 	addr := fakeEndpoint(t, func(conn net.Conn) {
-		wire.WriteHello(conn, wire.Hello{Status: wire.StatusBusy, Msg: "all leased"})
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusBusy, RetryAfterMillis: 250, Msg: "all leased"})
 	})
 	_, err := DialTimeout(addr, 2*time.Second)
-	we, ok := err.(*wire.Error)
-	if !ok || we.Status != wire.StatusBusy || !strings.Contains(we.Msg, "all leased") {
-		t.Fatalf("want busy *wire.Error, got %v", err)
+	var be *BusyError
+	if !errors.As(err, &be) || be.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("want *BusyError with hint, got %v", err)
+	}
+	// The wire-level error stays reachable through the wrapper.
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Status != wire.StatusBusy || !strings.Contains(we.Msg, "all leased") {
+		t.Fatalf("want busy *wire.Error via Unwrap, got %v", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("busy rejection not classified retryable")
 	}
 }
 

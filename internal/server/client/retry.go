@@ -1,0 +1,283 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kexclusion/internal/wire"
+)
+
+// Retryable reports whether err is safe to retry for ANY operation,
+// idempotent or not, because the server guarantees the operation was
+// never applied:
+//
+//   - BusyError: admission was refused — the session never existed.
+//   - wire.StatusTimeout: the per-op deadline expired while the
+//     operation was still waiting for a k-assignment slot; it withdrew
+//     from the entry section without touching the object.
+//   - wire.StatusDraining: the server refused the operation up front.
+//
+// Transport failures (ErrBroken, resets, EOF) are deliberately NOT
+// here: the request may have been applied with its response lost, so
+// blind re-issue can double-apply. Reconnecting retries those only for
+// idempotent operations (Get, Ping).
+func Retryable(err error) bool {
+	var be *BusyError
+	if errors.As(err, &be) {
+		return true
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we.Status == wire.StatusTimeout || we.Status == wire.StatusDraining
+	}
+	return false
+}
+
+// RetryPolicy shapes Reconnecting's backoff: exponential from BaseDelay
+// to MaxDelay with full jitter, at most MaxAttempts tries per
+// operation. The zero value gets sensible defaults; Seed makes the
+// jitter sequence reproducible for tests and chaos harnesses.
+type RetryPolicy struct {
+	// MaxAttempts is the retry budget: total tries per operation
+	// (first attempt included). Default 4.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff. Default 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps it. Default 2s.
+	MaxDelay time.Duration
+	// Seed fixes the jitter stream; 0 picks a fixed default seed (the
+	// policy is deterministic either way — pass different seeds to
+	// decorrelate clients).
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff computes the sleep before retry number attempt (1-based),
+// honoring the server's Retry-After hint as a floor: exponential
+// growth, then full jitter in [delay/2, delay].
+func (p RetryPolicy) backoff(rng *rand.Rand, attempt int, hint time.Duration) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// Reconnecting is a self-healing kexserved client: one logical session
+// that redials through connection loss, honors the server's busy
+// Retry-After hints, and retries within the policy's budget — blindly
+// for operations the server cannot have half-applied, and for
+// idempotent reads/pings even across transport failures. A reconnect
+// admits under a fresh identity; the watchdog on the server side is
+// what guarantees the old one comes back to the pool.
+//
+// Methods are safe for concurrent use but serialize, like Client's.
+type Reconnecting struct {
+	addr        string
+	policy      RetryPolicy
+	opTimeout   time.Duration
+	dialTimeout time.Duration
+
+	mu  sync.Mutex
+	c   *Client // nil between a drop and the next successful redial
+	rng *rand.Rand
+
+	reconnects atomic.Int64
+	retries    atomic.Int64
+}
+
+// DialReconnecting dials addr with the policy's budget (so a busy
+// server parks the caller through backoff instead of failing the first
+// admission), arming every operation with opTimeout (zero = unbounded).
+func DialReconnecting(addr string, policy RetryPolicy, opTimeout time.Duration) (*Reconnecting, error) {
+	policy = policy.withDefaults()
+	seed := policy.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r := &Reconnecting{
+		addr:        addr,
+		policy:      policy,
+		opTimeout:   opTimeout,
+		dialTimeout: 10 * time.Second,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.connectLocked(1); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// connectLocked ensures a live connection, redialing with backoff from
+// the given attempt number. Caller holds r.mu.
+func (r *Reconnecting) connectLocked(attempt int) error {
+	if r.c != nil {
+		return nil
+	}
+	var lastErr error
+	for ; attempt <= r.policy.MaxAttempts; attempt++ {
+		c, err := DialTimeout(r.addr, r.dialTimeout)
+		if err == nil {
+			c.SetOpTimeout(r.opTimeout)
+			r.c = c
+			r.reconnects.Add(1)
+			return nil
+		}
+		lastErr = err
+		var be *BusyError
+		hint := time.Duration(0)
+		if errors.As(err, &be) {
+			hint = be.RetryAfter
+		} else {
+			// A connection-level failure (refused, reset, unreachable)
+			// gets the budget — riding out partitions is the point — but
+			// a typed non-busy rejection is a verdict, not weather.
+			var we *wire.Error
+			if errors.As(err, &we) {
+				return err
+			}
+		}
+		if attempt == r.policy.MaxAttempts {
+			break
+		}
+		r.retries.Add(1)
+		time.Sleep(r.policy.backoff(r.rng, attempt, hint))
+	}
+	return fmt.Errorf("client: budget of %d attempts exhausted: %w", r.policy.MaxAttempts, lastErr)
+}
+
+// dropLocked discards a connection whose stream is no longer
+// trustworthy. Caller holds r.mu.
+func (r *Reconnecting) dropLocked() {
+	if r.c != nil {
+		r.c.Close()
+		r.c = nil
+	}
+}
+
+// op runs one operation under the retry budget. idempotent governs
+// what survives a transport failure: a lost Get or Ping is re-issued,
+// a lost Add or Set is surfaced to the caller (the server may have
+// applied it). Typed not-applied refusals (see Retryable) are retried
+// for every kind.
+func (r *Reconnecting) op(idempotent bool, do func(*Client) (int64, error)) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
+		if err := r.connectLocked(attempt); err != nil {
+			return 0, err
+		}
+		v, err := do(r.c)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		hint := time.Duration(0)
+		switch {
+		case Retryable(err):
+			var be *BusyError
+			if errors.As(err, &be) {
+				hint = be.RetryAfter
+				r.dropLocked() // busy arrives at admission; the conn is gone
+			}
+			var we *wire.Error
+			if errors.As(err, &we) && we.Status == wire.StatusDraining {
+				r.dropLocked() // the server hangs up after a draining answer
+			}
+		default:
+			var we *wire.Error
+			if errors.As(err, &we) {
+				return 0, err // typed refusal (bad shard, internal): not transient
+			}
+			// Transport failure: the exchange died mid-flight.
+			r.dropLocked()
+			if !idempotent {
+				return 0, fmt.Errorf("client: %w (operation may have been applied; not retrying a non-idempotent op)", err)
+			}
+		}
+		if attempt == r.policy.MaxAttempts {
+			break
+		}
+		r.retries.Add(1)
+		time.Sleep(r.policy.backoff(r.rng, attempt, hint))
+	}
+	return 0, fmt.Errorf("client: budget of %d attempts exhausted: %w", r.policy.MaxAttempts, lastErr)
+}
+
+// Ping round-trips a no-op, retrying through transport loss.
+func (r *Reconnecting) Ping() error {
+	_, err := r.op(true, func(c *Client) (int64, error) { return 0, c.Ping() })
+	return err
+}
+
+// Get reads shard's value, retrying through transport loss (reads are
+// idempotent).
+func (r *Reconnecting) Get(shard uint32) (int64, error) {
+	return r.op(true, func(c *Client) (int64, error) { return c.Get(shard) })
+}
+
+// Add adds delta to shard. Retried only on typed not-applied refusals
+// (busy, timeout, draining) — never across a transport failure, which
+// could double-apply.
+func (r *Reconnecting) Add(shard uint32, delta int64) (int64, error) {
+	return r.op(false, func(c *Client) (int64, error) { return c.Add(shard, delta) })
+}
+
+// Set overwrites shard with v, with Add's retry discipline.
+func (r *Reconnecting) Set(shard uint32, v int64) error {
+	_, err := r.op(false, func(c *Client) (int64, error) { return 0, c.Set(shard, v) })
+	return err
+}
+
+// Stats fetches the server's metrics snapshot (idempotent).
+func (r *Reconnecting) Stats() (wire.Stats, error) {
+	var st wire.Stats
+	_, err := r.op(true, func(c *Client) (int64, error) {
+		var err error
+		st, err = c.Stats()
+		return 0, err
+	})
+	return st, err
+}
+
+// Reconnects reports how many dials have succeeded (1 = the original
+// admission, each later one a healed drop).
+func (r *Reconnecting) Reconnects() int64 { return r.reconnects.Load() }
+
+// Retries reports how many backoff sleeps the budget has paid for.
+func (r *Reconnecting) Retries() int64 { return r.retries.Load() }
+
+// Close ends the session.
+func (r *Reconnecting) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
+}

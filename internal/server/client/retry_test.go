@@ -1,0 +1,232 @@
+package client
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kexclusion/internal/wire"
+)
+
+// scriptedEndpoint accepts one connection per script entry, running the
+// entries in accept order. It returns the address and a counter of
+// requests seen across all connections.
+func scriptedEndpoint(t *testing.T, scripts ...func(net.Conn, *atomic.Int64)) (string, *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	reqs := &atomic.Int64{}
+	go func() {
+		for _, script := range scripts {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			script(conn, reqs)
+			conn.Close()
+		}
+	}()
+	return ln.Addr().String(), reqs
+}
+
+// serveOK admits the peer and answers n requests with echo semantics
+// (Value = Arg), then returns (closing the conn).
+func serveOK(n int) func(net.Conn, *atomic.Int64) {
+	return func(conn net.Conn, reqs *atomic.Int64) {
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+		for i := 0; i < n; i++ {
+			req, err := wire.ReadRequest(conn)
+			if err != nil {
+				return
+			}
+			reqs.Add(1)
+			wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusOK, Value: req.Arg})
+		}
+	}
+}
+
+// serveBusy rejects admission with a Retry-After hint.
+func serveBusy(hintMillis uint32) func(net.Conn, *atomic.Int64) {
+	return func(conn net.Conn, _ *atomic.Int64) {
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusBusy, RetryAfterMillis: hintMillis, Msg: "all leased"})
+	}
+}
+
+// serveDropAfterRequest admits, reads one request, and closes without
+// answering — the ambiguous transport failure.
+func serveDropAfterRequest(conn net.Conn, reqs *atomic.Int64) {
+	wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+	if _, err := wire.ReadRequest(conn); err == nil {
+		reqs.Add(1)
+	}
+}
+
+func TestSetOpTimeoutPoisonsConnection(t *testing.T) {
+	addr := fakeEndpoint(t, func(conn net.Conn) {
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+		time.Sleep(5 * time.Second) // never answer
+	})
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetOpTimeout(100 * time.Millisecond)
+
+	start := time.Now()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping against a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("op deadline not honored: took %v", elapsed)
+	}
+	// The stream may hold a late response now: the client must refuse
+	// further use rather than desynchronize.
+	if err := c.Ping(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("second op after missed deadline: got %v, want ErrBroken", err)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&BusyError{Err: &wire.Error{Status: wire.StatusBusy}}, true},
+		{&wire.Error{Status: wire.StatusTimeout}, true},
+		{&wire.Error{Status: wire.StatusDraining}, true},
+		{&wire.Error{Status: wire.StatusBadShard}, false},
+		{&wire.Error{Status: wire.StatusInternal}, false},
+		{ErrBroken, false},
+		{io.EOF, false},
+		{nil, false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffGrowsAndHonorsHint(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}.withDefaults()
+	rng := rand.New(rand.NewSource(7))
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 5; attempt++ {
+		d := p.backoff(rng, attempt, 0)
+		ceil := p.BaseDelay << (attempt - 1)
+		if ceil > p.MaxDelay {
+			ceil = p.MaxDelay
+		}
+		if d < ceil/2 || d > ceil {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d, ceil/2, ceil)
+		}
+		if ceil > prevMax {
+			prevMax = ceil
+		}
+	}
+	// A server hint floors the delay.
+	if d := p.backoff(rng, 1, 500*time.Millisecond); d != 500*time.Millisecond {
+		t.Errorf("hint not honored: %v", d)
+	}
+	// Same seed, same sequence: the jitter is deterministic.
+	a := p.backoff(rand.New(rand.NewSource(42)), 3, 0)
+	b := p.backoff(rand.New(rand.NewSource(42)), 3, 0)
+	if a != b {
+		t.Errorf("seeded backoff not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestReconnectingHealsDroppedConnection(t *testing.T) {
+	addr, reqs := scriptedEndpoint(t,
+		serveOK(1),   // first conn: one ping, then the server drops it
+		serveOK(100), // second conn: healthy
+	)
+	r, err := DialReconnecting(addr, RetryPolicy{Seed: 3, BaseDelay: time.Millisecond}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// The endpoint has closed conn 1; the next idempotent op must ride
+	// through the failure onto conn 2.
+	if v, err := r.Get(0); err != nil || v != 0 {
+		t.Fatalf("Get across a drop = %d, %v", v, err)
+	}
+	if r.Reconnects() != 2 {
+		t.Fatalf("Reconnects = %d, want 2", r.Reconnects())
+	}
+	if reqs.Load() < 2 {
+		t.Fatalf("server saw %d requests, want >= 2", reqs.Load())
+	}
+}
+
+func TestReconnectingRidesOutBusyWithHint(t *testing.T) {
+	const hintMillis = 60
+	addr, _ := scriptedEndpoint(t,
+		serveBusy(hintMillis),
+		serveOK(10),
+	)
+	start := time.Now()
+	r, err := DialReconnecting(addr, RetryPolicy{Seed: 5, BaseDelay: time.Millisecond}, 2*time.Second)
+	if err != nil {
+		t.Fatalf("busy endpoint never admitted: %v", err)
+	}
+	defer r.Close()
+	if elapsed := time.Since(start); elapsed < hintMillis*time.Millisecond {
+		t.Fatalf("redialed after %v, before the server's %dms hint", elapsed, hintMillis)
+	}
+	if err := r.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconnectingNeverBlindlyRetriesWrites(t *testing.T) {
+	addr, reqs := scriptedEndpoint(t,
+		func(conn net.Conn, reqs *atomic.Int64) { serveDropAfterRequest(conn, reqs) },
+		serveOK(10), // available, but a lost Add must NOT reach it
+	)
+	r, err := DialReconnecting(addr, RetryPolicy{Seed: 9, BaseDelay: time.Millisecond}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = r.Add(0, 7)
+	if err == nil {
+		t.Fatal("Add over a dropped exchange reported success")
+	}
+	if !strings.Contains(err.Error(), "may have been applied") {
+		t.Fatalf("ambiguous write loss not explained: %v", err)
+	}
+	if got := reqs.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1: the lost Add must not be re-issued", got)
+	}
+}
+
+func TestReconnectingBudgetExhausts(t *testing.T) {
+	// Every admission attempt is met with busy and no hint.
+	addr, _ := scriptedEndpoint(t,
+		serveBusy(0), serveBusy(0), serveBusy(0),
+	)
+	_, err := DialReconnecting(addr, RetryPolicy{Seed: 11, MaxAttempts: 3, BaseDelay: time.Millisecond}, time.Second)
+	if err == nil {
+		t.Fatal("dial against an always-busy server succeeded")
+	}
+	if !strings.Contains(err.Error(), "budget of 3 attempts") {
+		t.Fatalf("budget exhaustion not surfaced: %v", err)
+	}
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("exhausted error does not unwrap to the last cause: %v", err)
+	}
+}

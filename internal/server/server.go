@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,19 @@ type Config struct {
 	// identity before being rejected with wire.StatusBusy. Zero rejects
 	// immediately.
 	AdmitTimeout time.Duration
+	// IdleTimeout is the session watchdog: a session silent for this
+	// long between requests — including one that stalls mid-frame or
+	// stops draining its responses — is torn down and its identity
+	// reclaimed into the pool. An in-flight operation always completes
+	// first (the watchdog arms around socket waits, never inside the
+	// wait-free core). Zero disables the watchdog; a partitioned client
+	// then holds its identity until the TCP stack gives up.
+	IdleTimeout time.Duration
+	// OpTimeout is the per-operation deadline: an object operation still
+	// waiting for a k-assignment slot when it expires withdraws from the
+	// entry section and is answered with wire.StatusTimeout — not
+	// applied, safe to retry. Zero runs operations without a deadline.
+	OpTimeout time.Duration
 	// ApplyGate, when non-nil, is called inside every shard operation —
 	// while the session holds a k-assignment slot and a name in the
 	// wait-free core. It exists for crash-fault tests and chaos tooling
@@ -74,6 +88,9 @@ type Server struct {
 	draining atomic.Bool
 	drainCh  chan struct{}
 	wg       sync.WaitGroup
+
+	idleReclaims atomic.Int64
+	opDeadlines  atomic.Int64
 }
 
 // New validates cfg and builds the server (table and session manager
@@ -87,6 +104,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("server: shards must be at least 1, got %d", cfg.Shards)
+	}
+	if cfg.IdleTimeout < 0 {
+		return nil, fmt.Errorf("server: idle timeout must be non-negative, got %v", cfg.IdleTimeout)
+	}
+	if cfg.OpTimeout < 0 {
+		return nil, fmt.Errorf("server: op timeout must be non-negative, got %v", cfg.OpTimeout)
 	}
 	if cfg.Impl == "" {
 		cfg.Impl = "fastpath"
@@ -201,6 +224,8 @@ func (s *Server) Stats() wire.Stats {
 		Admitted:       s.sm.admitted.Load(),
 		Rejected:       s.sm.rejected.Load(),
 		Reclaimed:      s.sm.reclaimed.Load(),
+		IdleReclaims:   s.idleReclaims.Load(),
+		OpDeadlines:    s.opDeadlines.Load(),
 		Draining:       s.draining.Load(),
 		PerShard:       s.tab.snapshots(),
 	}
@@ -231,9 +256,15 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	sess, ok := s.sm.admit(conn, s.drainCh)
 	if !ok {
+		// The Retry-After hint is the admission parking window: the
+		// rejected client already waited that long for an identity to
+		// free, so one more window is the natural next probe — combined
+		// with the idle watchdog, which bounds how long a dead session
+		// can sit on an identity, a freed slot is plausible by then.
 		wire.WriteHello(bw, wire.Hello{
-			Status: wire.StatusBusy,
-			Msg:    fmt.Sprintf("all %d identities leased; retry later", s.cfg.N),
+			Status:           wire.StatusBusy,
+			RetryAfterMillis: uint32(s.cfg.AdmitTimeout / time.Millisecond),
+			Msg:              fmt.Sprintf("all %d identities leased; retry later", s.cfg.N),
 		})
 		bw.Flush()
 		s.logf("reject %s: pool exhausted", conn.RemoteAddr())
@@ -273,10 +304,38 @@ func (s *Server) handle(conn net.Conn) {
 
 	br := bufio.NewReader(conn)
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			// Arm the idle watchdog for this wait. Shutdown's deadline
+			// sweep can race the rearm, so re-expire after checking the
+			// drain flag: whichever order the two stores land in, a
+			// draining server never leaves a session armed with a fresh
+			// deadline.
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+			if s.draining.Load() {
+				conn.SetReadDeadline(time.Now())
+			}
+		}
 		req, err := wire.ReadRequest(br)
 		if err != nil {
-			// EOF, reset, or the drain path expiring our read deadline:
-			// either way the session is over.
+			switch {
+			case errors.Is(err, wire.ErrFrameTooLarge):
+				// A typed refusal, then hang up: the framing itself is
+				// still intact (only the announced length is absurd), so
+				// the client gets a diagnosis instead of a bare reset.
+				// The deferred release reclaims the identity as usual.
+				s.armWrite(conn)
+				wire.WriteResponse(bw, errResponse(0, wire.StatusBadRequest, err.Error()))
+				bw.Flush()
+				s.logf("session p=%d %s: %v", p, conn.RemoteAddr(), err)
+			case errors.Is(err, os.ErrDeadlineExceeded) && !s.draining.Load():
+				// Silence — no request, a frame stalled halfway, or a
+				// peer beyond a partition. The identity goes back to the
+				// pool via the deferred release.
+				s.idleReclaims.Add(1)
+				s.logf("session p=%d %s: idle for %v, reclaiming identity", p, conn.RemoteAddr(), s.cfg.IdleTimeout)
+			}
+			// Otherwise EOF, reset, or the drain path expiring our read
+			// deadline: either way the session is over.
 			return
 		}
 		var resp wire.Response
@@ -288,16 +347,48 @@ func (s *Server) handle(conn net.Conn) {
 		case req.Kind == wire.KindStats:
 			resp = wire.Response{ID: req.ID, Status: wire.StatusOK, Data: s.Stats().JSON()}
 		default:
-			resp = s.tab.apply(p, req, s.cfg.ApplyGate)
+			resp = s.applyOp(p, req)
 		}
+		s.armWrite(conn)
 		if err := wire.WriteResponse(bw, resp); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// The peer stopped draining its responses: same verdict
+				// as read-side silence.
+				s.idleReclaims.Add(1)
+				s.logf("session p=%d %s: response write stalled, reclaiming identity", p, conn.RemoteAddr())
+			}
 			return
 		}
 		if resp.Status == wire.StatusDraining {
 			return
 		}
 	}
+}
+
+// armWrite bounds the next response write by the idle watchdog, so a
+// peer that stops reading cannot pin a session (and its identity)
+// through a full TCP buffer.
+func (s *Server) armWrite(conn net.Conn) {
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+}
+
+// applyOp runs one object operation under the configured per-op
+// deadline, counting withdrawals.
+func (s *Server) applyOp(p int, req wire.Request) wire.Response {
+	ctx := context.Background()
+	if s.cfg.OpTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.OpTimeout)
+		defer cancel()
+	}
+	resp := s.tab.apply(ctx, p, req, s.cfg.ApplyGate)
+	if resp.Status == wire.StatusTimeout {
+		s.opDeadlines.Add(1)
+	}
+	return resp
 }

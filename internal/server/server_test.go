@@ -58,6 +58,8 @@ func TestConfigValidation(t *testing.T) {
 		{server.Config{N: 4, K: 2, Shards: 0}, "shards must be at least 1"},
 		{server.Config{N: 4, K: 2, Shards: 1, Impl: "nonesuch"}, "unknown implementation"},
 		{server.Config{N: 4, K: 1, Shards: 1, Impl: "mcs"}, "not (k-1)-resilient"},
+		{server.Config{N: 4, K: 2, Shards: 1, IdleTimeout: -time.Second}, "idle timeout"},
+		{server.Config{N: 4, K: 2, Shards: 1, OpTimeout: -time.Second}, "op timeout"},
 	}
 	for _, tc := range cases {
 		_, err := server.New(tc.cfg)
@@ -439,7 +441,7 @@ func TestStatsJSONDeterministicSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := srv.Stats().JSON()
-	for _, key := range []string{`"n"`, `"k"`, `"shards"`, `"impl"`, `"active_sessions"`, `"per_shard"`} {
+	for _, key := range []string{`"n"`, `"k"`, `"shards"`, `"impl"`, `"active_sessions"`, `"per_shard"`, `"idle_reclaims"`, `"op_deadlines"`} {
 		if !strings.Contains(string(b), key) {
 			t.Errorf("stats JSON missing %s: %s", key, b)
 		}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 
 	"kexclusion/internal/core"
@@ -54,11 +55,16 @@ func (t *table) snapshots() []obs.Snapshot {
 	return out
 }
 
-// apply runs one shard operation as process p. gate, when non-nil, is
-// invoked inside the object operation — i.e. while p holds a k-assignment
-// slot and a name inside the wait-free core — which is exactly where
-// crash-fault tests need to stall a session before killing its socket.
-func (t *table) apply(p int, req wire.Request, gate func(shard uint32, kind wire.Kind)) wire.Response {
+// apply runs one shard operation as process p under ctx. gate, when
+// non-nil, is invoked inside the object operation — i.e. while p holds a
+// k-assignment slot and a name inside the wait-free core — which is
+// exactly where crash-fault tests need to stall a session before killing
+// its socket. If ctx expires while p is still waiting for a slot, the
+// acquisition withdraws and the answer is StatusTimeout: the operation
+// was not applied and is safe to retry, even a non-idempotent one. Once
+// p holds its slot the operation always runs to completion — a deadline
+// can refuse work, never corrupt it.
+func (t *table) apply(ctx context.Context, p int, req wire.Request, gate func(shard uint32, kind wire.Kind)) wire.Response {
 	if int(req.Shard) >= len(t.shards) || req.Shard >= 1<<31 {
 		return errResponse(req.ID, wire.StatusBadShard,
 			fmt.Sprintf("shard %d out of range [0,%d)", req.Shard, len(t.shards)))
@@ -75,12 +81,16 @@ func (t *table) apply(p int, req wire.Request, gate func(shard uint32, kind wire
 	default:
 		return errResponse(req.ID, wire.StatusBadRequest, fmt.Sprintf("unknown kind %s", req.Kind))
 	}
-	v := sh.obj.Apply(p, func(s int64) (int64, any) {
+	v, err := sh.obj.ApplyCtx(ctx, p, func(s int64) (int64, any) {
 		if gate != nil {
 			gate(req.Shard, req.Kind)
 		}
 		return op(s)
 	})
+	if err != nil {
+		return errResponse(req.ID, wire.StatusTimeout,
+			"deadline expired waiting for a slot; operation not applied, safe to retry")
+	}
 	return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: v.(int64)}
 }
 

@@ -24,15 +24,23 @@ package wire
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"kexclusion/internal/obs"
 )
 
+// ErrFrameTooLarge marks a peer announcing a frame beyond MaxFrame.
+// Wrapped (never returned bare) by ReadFrame, so the serving side can
+// distinguish an oversized announcement — answerable with a clean typed
+// response before hanging up — from garbled framing.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
 // Magic opens every Hello frame; it doubles as the protocol version
-// ("kx01" — bump the digit on incompatible change).
-const Magic uint32 = 0x6b783031
+// ("kx02" — bump the digit on incompatible change; 02 added the
+// RetryAfterMillis field to Hello).
+const Magic uint32 = 0x6b783032
 
 // MaxFrame bounds a frame payload; a peer announcing more is treated as
 // corrupt rather than trusted with an allocation.
@@ -90,6 +98,11 @@ const (
 	StatusDraining
 	// StatusInternal: the server failed; Data carries detail.
 	StatusInternal
+	// StatusTimeout: the operation's per-request deadline expired while
+	// it was still waiting for a slot and it was withdrawn — the
+	// operation was NOT applied and the object is untouched, so even
+	// non-idempotent operations are safe to retry on this status.
+	StatusTimeout
 )
 
 // String names the status.
@@ -107,6 +120,8 @@ func (s Status) String() string {
 		return "draining"
 	case StatusInternal:
 		return "internal"
+	case StatusTimeout:
+		return "timeout"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -166,6 +181,12 @@ type Hello struct {
 	Identity uint32
 	// N, K, Shards describe the server's shape.
 	N, K, Shards uint32
+	// RetryAfterMillis is the server's backoff hint on StatusBusy: how
+	// long, in milliseconds, the client should wait before redialing
+	// (0 = no hint, retry at the client's own pace). Servers derive it
+	// from the configured admission parking window so rejected clients
+	// come back when an identity is plausibly free.
+	RetryAfterMillis uint32
 	// Msg carries rejection detail.
 	Msg string
 }
@@ -188,6 +209,12 @@ type Stats struct {
 	Admitted       int64 `json:"admitted"`
 	Rejected       int64 `json:"rejected"`
 	Reclaimed      int64 `json:"reclaimed"`
+	// IdleReclaims counts sessions torn down by the idle watchdog (a
+	// silent connection exceeded the idle timeout); OpDeadlines counts
+	// operations withdrawn because their per-op deadline expired while
+	// waiting for a slot (answered with StatusTimeout).
+	IdleReclaims int64 `json:"idle_reclaims"`
+	OpDeadlines  int64 `json:"op_deadlines"`
 	// Draining reports whether graceful shutdown has begun.
 	Draining bool `json:"draining"`
 	// PerShard holds one acquisition-metrics snapshot per shard.
@@ -236,7 +263,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: peer announced %d-byte frame, limit %d", n, MaxFrame)
+		return nil, fmt.Errorf("%w: peer announced %d bytes, limit %d", ErrFrameTooLarge, n, MaxFrame)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -304,37 +331,39 @@ func ParseResponse(b []byte) (Response, error) {
 // Encode serializes the hello payload.
 func (h Hello) Encode() []byte {
 	msg := []byte(h.Msg)
-	b := make([]byte, 4+1+4+4+4+4+4+len(msg))
+	b := make([]byte, 4+1+4+4+4+4+4+4+len(msg))
 	binary.BigEndian.PutUint32(b[0:], Magic)
 	b[4] = byte(h.Status)
 	binary.BigEndian.PutUint32(b[5:], h.Identity)
 	binary.BigEndian.PutUint32(b[9:], h.N)
 	binary.BigEndian.PutUint32(b[13:], h.K)
 	binary.BigEndian.PutUint32(b[17:], h.Shards)
-	binary.BigEndian.PutUint32(b[21:], uint32(len(msg)))
-	copy(b[25:], msg)
+	binary.BigEndian.PutUint32(b[21:], h.RetryAfterMillis)
+	binary.BigEndian.PutUint32(b[25:], uint32(len(msg)))
+	copy(b[29:], msg)
 	return b
 }
 
 // ParseHello decodes a hello payload, checking the protocol magic.
 func ParseHello(b []byte) (Hello, error) {
-	if len(b) < 25 {
-		return Hello{}, fmt.Errorf("wire: hello payload is %d bytes, want >= 25", len(b))
+	if len(b) < 29 {
+		return Hello{}, fmt.Errorf("wire: hello payload is %d bytes, want >= 29", len(b))
 	}
 	if m := binary.BigEndian.Uint32(b[0:]); m != Magic {
-		return Hello{}, fmt.Errorf("wire: bad protocol magic %#x (want %#x) — not a kexserved endpoint?", m, Magic)
+		return Hello{}, fmt.Errorf("wire: bad protocol magic %#x (want %#x) — not a kexserved endpoint, or an old protocol version?", m, Magic)
 	}
-	mlen := binary.BigEndian.Uint32(b[21:])
-	if int(mlen) != len(b)-25 {
-		return Hello{}, fmt.Errorf("wire: hello declares %d message bytes, has %d", mlen, len(b)-25)
+	mlen := binary.BigEndian.Uint32(b[25:])
+	if int(mlen) != len(b)-29 {
+		return Hello{}, fmt.Errorf("wire: hello declares %d message bytes, has %d", mlen, len(b)-29)
 	}
 	return Hello{
-		Status:   Status(b[4]),
-		Identity: binary.BigEndian.Uint32(b[5:]),
-		N:        binary.BigEndian.Uint32(b[9:]),
-		K:        binary.BigEndian.Uint32(b[13:]),
-		Shards:   binary.BigEndian.Uint32(b[17:]),
-		Msg:      string(b[25:]),
+		Status:           Status(b[4]),
+		Identity:         binary.BigEndian.Uint32(b[5:]),
+		N:                binary.BigEndian.Uint32(b[9:]),
+		K:                binary.BigEndian.Uint32(b[13:]),
+		Shards:           binary.BigEndian.Uint32(b[17:]),
+		RetryAfterMillis: binary.BigEndian.Uint32(b[21:]),
+		Msg:              string(b[29:]),
 	}, nil
 }
 

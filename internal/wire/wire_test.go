@@ -62,6 +62,8 @@ func TestHelloRoundTrip(t *testing.T) {
 	cases := []Hello{
 		{Status: StatusOK, Identity: 3, N: 64, K: 8, Shards: 16},
 		{Status: StatusBusy, Msg: "all 64 identities leased"},
+		{Status: StatusBusy, RetryAfterMillis: 750, Msg: "all leased; come back"},
+		{Status: StatusOK, Identity: 1, N: 4, K: 2, Shards: 1, RetryAfterMillis: 1 << 31},
 	}
 	var buf bytes.Buffer
 	for _, want := range cases {
@@ -89,11 +91,12 @@ func TestHelloRejectsBadMagic(t *testing.T) {
 }
 
 func TestFrameLimits(t *testing.T) {
-	// Oversized announcement is rejected before allocation.
+	// Oversized announcement is rejected before allocation, with the
+	// typed sentinel so a server can answer before hanging up.
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
-	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
-		t.Fatal("oversized frame announcement not rejected")
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame announcement: got %v, want ErrFrameTooLarge", err)
 	}
 	// Oversized write is rejected.
 	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); err == nil {
@@ -139,7 +142,7 @@ func TestErrorModel(t *testing.T) {
 	}
 	// Every named status has a stable string (no fallthrough to the
 	// numeric form).
-	for _, s := range []Status{StatusOK, StatusBusy, StatusBadRequest, StatusBadShard, StatusDraining, StatusInternal} {
+	for _, s := range []Status{StatusOK, StatusBusy, StatusBadRequest, StatusBadShard, StatusDraining, StatusInternal, StatusTimeout} {
 		if strings.HasPrefix(s.String(), "status(") {
 			t.Errorf("status %d has no name", s)
 		}
@@ -158,6 +161,7 @@ func TestStatsRoundTrip(t *testing.T) {
 	s := Stats{
 		N: 8, K: 2, Shards: 4, Impl: "fastpath",
 		ActiveSessions: 3, Admitted: 10, Rejected: 2, Reclaimed: 7,
+		IdleReclaims: 4, OpDeadlines: 6,
 		Draining: true,
 		PerShard: []obs.Snapshot{m.Snapshot()},
 	}
@@ -167,6 +171,14 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	if got.N != 8 || got.Impl != "fastpath" || !got.Draining || len(got.PerShard) != 1 {
 		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.IdleReclaims != 4 || got.OpDeadlines != 6 {
+		t.Errorf("watchdog counters lost: %+v", got)
+	}
+	for _, key := range []string{"idle_reclaims", "op_deadlines"} {
+		if !bytes.Contains(s.JSON(), []byte(`"`+key+`"`)) {
+			t.Errorf("stats JSON missing %q", key)
+		}
 	}
 	if got.PerShard[0].Acquires != 1 || got.PerShard[0].Releases != 1 {
 		t.Errorf("snapshot not preserved: %+v", got.PerShard[0])
