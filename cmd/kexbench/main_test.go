@@ -93,7 +93,6 @@ func TestBenchNativeText(t *testing.T) {
 	}
 }
 
-
 // TestBenchFlagShapeValidation: nonsense (n, k) shapes exit with a clear
 // error instead of panicking deep inside construction.
 func TestBenchFlagShapeValidation(t *testing.T) {

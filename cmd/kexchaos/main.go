@@ -14,6 +14,7 @@
 //	kexchaos -impl fastpath -assignment -kinds renaming,holding
 //	kexchaos -all -seed 42 -json
 //	kexchaos -net -n 6 -k 2 -ops 10 -seed 7       # link faults through a chaos proxy
+//	kexchaos -restart -served-bin ./kexserved -n 4 -k 2 -ops 25 -seed 7   # SIGKILL + recovery
 package main
 
 import (
@@ -56,6 +57,10 @@ func run(args []string, out io.Writer) error {
 		netMode    = fs.Bool("net", false, "inject link faults through a chaos proxy at a live server instead of in-process crashes")
 		netKinds   = fs.String("net-kinds", "delay,partition,reset,truncate", "-net mode: link faults to draw from (delay, partition, reset, truncate)")
 		idle       = fs.Duration("idle-timeout", 250*time.Millisecond, "-net mode: the server's session watchdog bound")
+		restart    = fs.Bool("restart", false, "SIGKILL a live kexserved subprocess mid-load and restart it from its data directory, asserting no acknowledged write is lost or doubled")
+		servedBin  = fs.String("served-bin", "", "-restart mode: path to the kexserved binary to spawn")
+		dataDir    = fs.String("data-dir", "", "-restart mode: durability directory (empty = fresh temp dir, removed on exit)")
+		fsyncMode  = fs.String("fsync", "always", "-restart mode: WAL sync policy for the spawned server (always or interval; never would forfeit the contract)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +85,25 @@ func run(args []string, out io.Writer) error {
 	}
 	if *n < *k {
 		return fmt.Errorf("need n >= k, got n=%d k=%d", *n, *k)
+	}
+	if *restart {
+		if *all || *assignment || *shared || *crashes != 0 || *netMode {
+			return fmt.Errorf("-restart kills and recovers a real kexserved process; it excludes -all, -assignment, -shared, -crashes, and -net")
+		}
+		if *servedBin == "" {
+			return fmt.Errorf("-restart needs -served-bin (path to a kexserved binary)")
+		}
+		if *fsyncMode != "always" && *fsyncMode != "interval" {
+			return fmt.Errorf("-restart needs -fsync always or interval: under %q an acknowledged write may legally die with the process", *fsyncMode)
+		}
+		if *ops < 2 {
+			return fmt.Errorf("need ops >= 2, got ops=%d: the kill must land mid-load", *ops)
+		}
+		return runRestart(out, restartConfig{
+			impl: *implName, n: *n, k: *k, ops: *ops, seed: *seed,
+			deadline: *deadline, asJSON: *asJSON,
+			servedBin: *servedBin, dataDir: *dataDir, fsync: *fsyncMode,
+		})
 	}
 	if *netMode {
 		if *all || *assignment || *shared || *crashes != 0 {

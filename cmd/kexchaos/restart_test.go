@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildServed compiles the real kexserved binary once per test binary —
+// the -restart harness SIGKILLs a separate process, which an in-process
+// server cannot stand in for.
+func buildServed(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "kexserved")
+	cmd := exec.Command("go", "build", "-o", bin, "kexclusion/cmd/kexserved")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building kexserved: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRestartChaosDurableRun: SIGKILL mid-load, recover from the WAL,
+// and every acknowledged write must survive exactly once.
+func TestRestartChaosDurableRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real subprocesses")
+	}
+	bin := buildServed(t)
+	var b strings.Builder
+	err := run([]string{"-restart", "-served-bin", bin, "-n", "4", "-k", "2",
+		"-ops", "25", "-seed", "7", "-data-dir", t.TempDir()}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "counter=100 (want 100)") {
+		t.Fatalf("acknowledged writes lost or doubled:\n%s", out)
+	}
+	if !strings.Contains(out, "restart_count=1") {
+		t.Fatalf("missing restart accounting:\n%s", out)
+	}
+	if !strings.Contains(out, "verdict: durable") {
+		t.Fatalf("expected durable verdict:\n%s", out)
+	}
+}
+
+// TestRestartChaosJSON: the JSON verdict carries the exactly-once
+// counter check and the recovered server's stats.
+func TestRestartChaosJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real subprocesses")
+	}
+	bin := buildServed(t)
+	var b strings.Builder
+	err := run([]string{"-restart", "-served-bin", bin, "-n", "3", "-k", "2",
+		"-ops", "10", "-seed", "11", "-fsync", "interval", "-json"}, &b)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	var got struct {
+		Completed int   `json:"completed_clients"`
+		Clients   int   `json:"clients"`
+		Counter   int64 `json:"counter"`
+		Want      int64 `json:"want_counter"`
+		Failures  int   `json:"violations"`
+		Server    struct {
+			RestartCount uint64 `json:"restart_count"`
+			RecoveredOps uint64 `json:"recovered_ops"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("bad JSON output: %v\n%s", err, b.String())
+	}
+	if got.Completed != 3 || got.Counter != 30 || got.Counter != got.Want || got.Failures != 0 {
+		t.Fatalf("completed=%d counter=%d want=%d violations=%d:\n%s",
+			got.Completed, got.Counter, got.Want, got.Failures, b.String())
+	}
+	if got.Server.RestartCount != 1 || got.Server.RecoveredOps == 0 {
+		t.Fatalf("recovery stats restart_count=%d recovered_ops=%d:\n%s",
+			got.Server.RestartCount, got.Server.RecoveredOps, b.String())
+	}
+}
+
+// TestRestartChaosFlagValidation: -restart is its own mode with its own
+// shape.
+func TestRestartChaosFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-restart"}, "needs -served-bin"},
+		{[]string{"-restart", "-served-bin", "x", "-net"}, "excludes"},
+		{[]string{"-restart", "-served-bin", "x", "-all"}, "excludes"},
+		{[]string{"-restart", "-served-bin", "x", "-crashes", "2"}, "excludes"},
+		{[]string{"-restart", "-served-bin", "x", "-fsync", "never"}, "legally die"},
+		{[]string{"-restart", "-served-bin", "x", "-ops", "1"}, "need ops >= 2"},
+	} {
+		var b strings.Builder
+		err := run(tc.args, &b)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): got %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -15,6 +15,15 @@
 //	kexserved -idle-timeout 30s                  reclaim identities from silent sessions
 //	kexserved -op-timeout 5s                     bound each op's wait for a slot
 //	kexserved -json                              dump final stats JSON on exit
+//	kexserved -data-dir /var/lib/kex             durable: WAL + snapshots, recover on boot
+//	kexserved -data-dir d -fsync interval        group-commit fsync (see -fsync-interval)
+//	kexserved -data-dir d -snapshot-every 4096   snapshot cadence in applied ops
+//
+// With -data-dir, mutations are acknowledged only after they are
+// durable under the chosen -fsync policy, and a restart replays the
+// newest snapshot plus the log tail — acknowledged writes survive even
+// SIGKILL, and retried ops (clients attach session × seq op IDs)
+// deduplicate instead of double-applying.
 //
 // SIGINT/SIGTERM drains gracefully: stop accepting, finish in-flight
 // operations, then exit (bounded by -drain-timeout).
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"kexclusion/internal/core"
+	"kexclusion/internal/durable"
 	"kexclusion/internal/server"
 )
 
@@ -56,6 +66,12 @@ func run(args []string, out io.Writer) error {
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "bound on graceful drain after SIGTERM/SIGINT")
 		statsJSON    = fs.Bool("json", false, "print the final stats snapshot as JSON on exit")
 		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
+
+		dataDir       = fs.String("data-dir", "", "durability directory for the WAL and snapshots (empty = in-memory only)")
+		fsync         = fs.String("fsync", "always", "WAL sync policy: always (fsync per op), interval (group commit), never (OS decides)")
+		fsyncInterval = fs.Duration("fsync-interval", 50*time.Millisecond, "group-commit cadence when -fsync interval")
+		snapshotEvery = fs.Int("snapshot-every", 1024, "write a snapshot every this many applied ops (0 = default, negative = never)")
+		dedupWindow   = fs.Int("dedup-window", 1024, "retained op IDs per shard for exactly-once retries (0 = default, negative = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,13 +104,31 @@ func run(args []string, out io.Writer) error {
 	if *opTimeout > 0 && *idleTimeout > 0 && *opTimeout > *idleTimeout {
 		return fmt.Errorf("op-timeout %v exceeds idle-timeout %v: a waiting op would outlive its own session watchdog", *opTimeout, *idleTimeout)
 	}
+	policy, err := durable.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
+	// Durability knobs without a directory are a misconfiguration the
+	// operator should hear about, not silently ignore. (-dedup-window is
+	// exempt: the dedup window works in memory too.)
+	if *dataDir == "" && (*fsync != "always" || *snapshotEvery != 1024) {
+		return fmt.Errorf("-fsync and -snapshot-every need -data-dir")
+	}
+	if *fsyncInterval <= 0 {
+		return fmt.Errorf("need fsync-interval > 0, got %v", *fsyncInterval)
+	}
 
 	cfg := server.Config{
 		N: *n, K: *k, Shards: *shards,
-		Impl:         *implName,
-		AdmitTimeout: *admitTimeout,
-		IdleTimeout:  *idleTimeout,
-		OpTimeout:    *opTimeout,
+		Impl:          *implName,
+		AdmitTimeout:  *admitTimeout,
+		IdleTimeout:   *idleTimeout,
+		OpTimeout:     *opTimeout,
+		DataDir:       *dataDir,
+		Fsync:         policy,
+		FsyncInterval: *fsyncInterval,
+		SnapshotEvery: *snapshotEvery,
+		DedupWindow:   *dedupWindow,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
@@ -111,6 +145,11 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "kexserved: listening on %s (n=%d k=%d shards=%d impl=%s)\n",
 		bound, *n, *k, *shards, *implName)
+	if *dataDir != "" {
+		rec := srv.Recovery()
+		fmt.Fprintf(out, "kexserved: durable in %s (fsync=%s): recovered %d ops, restart %d, dropped %d torn bytes\n",
+			*dataDir, policy, rec.RecoveredOps, rec.RestartCount, rec.DroppedBytes)
+	}
 
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve() }()

@@ -24,6 +24,10 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"-idle-timeout", "-1s"}, "need idle-timeout >= 0"},
 		{[]string{"-op-timeout", "-1ms"}, "need op-timeout >= 0"},
 		{[]string{"-idle-timeout", "1s", "-op-timeout", "2s"}, "exceeds idle-timeout"},
+		{[]string{"-data-dir", "x", "-fsync", "sometimes"}, "sync policy"},
+		{[]string{"-fsync", "interval"}, "need -data-dir"},
+		{[]string{"-snapshot-every", "16"}, "need -data-dir"},
+		{[]string{"-data-dir", "x", "-fsync-interval", "0s"}, "need fsync-interval > 0"},
 	}
 	for _, tc := range cases {
 		var b strings.Builder

@@ -8,6 +8,7 @@
 //
 //	go run ./examples/netcounter                 self-hosted demo
 //	go run ./examples/netcounter -addr HOST:PORT drive a running kexserved
+//	go run ./examples/netcounter -durable DIR    run, restart from DIR, verify survival
 package main
 
 import (
@@ -18,9 +19,32 @@ import (
 	"sync"
 	"time"
 
+	"kexclusion/internal/durable"
 	"kexclusion/internal/server"
 	"kexclusion/internal/server/client"
 )
+
+// startServer boots a self-hosted kexserved, durable when dir is set.
+func startServer(dir string) (*server.Server, string, func(), error) {
+	srv, err := server.New(server.Config{
+		N: 8, K: 2, Shards: 4,
+		DataDir: dir, Fsync: durable.SyncInterval,
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	go srv.Serve()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return srv, bound.String(), stop, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -34,30 +58,34 @@ func run() error {
 		addr    = flag.String("addr", "", "kexserved address (empty: start an in-process server)")
 		clients = flag.Int("clients", 4, "concurrent client connections")
 		ops     = flag.Int("ops", 25, "increments per client")
+		durDir  = flag.String("durable", "", "data directory: run the workload, restart the server from it, and verify the counters survived")
 	)
 	flag.Parse()
 	if *clients < 1 || *ops < 1 {
 		return fmt.Errorf("need clients >= 1 and ops >= 1, got clients=%d ops=%d", *clients, *ops)
 	}
+	if *durDir != "" && *addr != "" {
+		return fmt.Errorf("-durable restarts a self-hosted server; it excludes -addr")
+	}
 
 	target := *addr
+	var stop func()
 	if target == "" {
-		srv, err := server.New(server.Config{N: 8, K: 2, Shards: 4})
+		_, bound, stopFn, err := startServer(*durDir)
 		if err != nil {
 			return err
 		}
-		bound, err := srv.Listen("127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		go srv.Serve()
+		target, stop = bound, stopFn
 		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			srv.Shutdown(ctx)
+			if stop != nil {
+				stop()
+			}
 		}()
-		target = bound.String()
-		fmt.Printf("self-hosted kexserved on %s (n=8 k=2 shards=4)\n", target)
+		mode := ""
+		if *durDir != "" {
+			mode = fmt.Sprintf(", durable in %s", *durDir)
+		}
+		fmt.Printf("self-hosted kexserved on %s (n=8 k=2 shards=4%s)\n", target, mode)
 	}
 
 	// Baseline per shard, so the demo also works against a long-running
@@ -102,12 +130,12 @@ func run() error {
 	}
 
 	total := int64(0)
+	after := make([]int64, shards)
 	for sh := uint32(0); sh < shards; sh++ {
-		after, err := probe.Get(sh)
-		if err != nil {
+		if after[sh], err = probe.Get(sh); err != nil {
 			return err
 		}
-		total += after - before[sh]
+		total += after[sh] - before[sh]
 	}
 	st, err := probe.Stats()
 	if err != nil {
@@ -126,6 +154,36 @@ func run() error {
 	fmt.Printf("per-shard metrics: %d applied ops, shard 0 %s\n", applied, st.PerShard[0].String())
 	if total != want {
 		return fmt.Errorf("lost updates: counted %d, want %d", total, want)
+	}
+
+	if *durDir != "" {
+		// Phase 2: stop the server, boot a fresh one from the same data
+		// directory, and check every shard's counter came back.
+		stop()
+		stop = nil
+		srv2, target2, stop2, err := startServer(*durDir)
+		if err != nil {
+			return fmt.Errorf("restart: %w", err)
+		}
+		defer stop2()
+		rec := srv2.Recovery()
+		fmt.Printf("restarted from %s: restart_count=%d recovered_ops=%d\n",
+			*durDir, rec.RestartCount, rec.RecoveredOps)
+		probe2, err := client.Dial(target2)
+		if err != nil {
+			return err
+		}
+		defer probe2.Close()
+		for sh := uint32(0); sh < shards; sh++ {
+			v, err := probe2.Get(sh)
+			if err != nil {
+				return err
+			}
+			if v != after[sh] {
+				return fmt.Errorf("shard %d lost state across restart: %d, want %d", sh, v, after[sh])
+			}
+		}
+		fmt.Printf("all %d shards survived the restart intact\n", shards)
 	}
 	return nil
 }

@@ -1,0 +1,200 @@
+// Package durable is kexserved's crash-restart recovery layer: a
+// segmented, CRC-framed write-ahead log plus point-in-time snapshots
+// for the server's sharded object table, and the dedup bookkeeping that
+// turns client-assigned op IDs into exactly-once semantics across
+// restarts.
+//
+// The contract mirrors the paper's resilience story one level up. The
+// k-assignment wrapper makes a shared object (k-1)-resilient to client
+// crashes; this package makes the *server* resilient to its own crash,
+// the full-memory-loss fault of Golab & Ramaraju's recoverable mutual
+// exclusion reformulation. The invariant it maintains:
+//
+//   - An operation is acknowledged only after it is durable at the
+//     configured fsync level, so an acknowledged write survives any
+//     later crash (SyncAlways and SyncInterval; SyncNever opts out).
+//   - Every applied mutation carries the client's op ID (session
+//     identity x sequence number); a bounded per-shard dedup window —
+//     persisted with the snapshot and rebuilt by replay — recognizes a
+//     retried op whose ack was lost and returns the original result
+//     instead of double-applying.
+//   - Recovery replays the newest valid snapshot plus the log tail. A
+//     torn final record (truncated header, truncated body, bad CRC) is
+//     dropped and the file truncated at the last valid boundary;
+//     everything before it is kept.
+//
+// Layout inside the data directory:
+//
+//	wal-<firstLSN>.seg   log segments, records framed [len][crc][body]
+//	snap-<coverLSN>.snap point-in-time table images (same framing)
+//
+// The WAL is ordered: the server appends each shard's records in that
+// shard's linearization order, so a durable record implies every
+// earlier record of its shard is durable too — the property that makes
+// "retried unacked ops are not double-applied" hold across a crash
+// that loses the tail of the log.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// OpKind identifies a logged mutation. Reads are never logged — they
+// do not move the state, so replay does not need them.
+type OpKind uint8
+
+const (
+	// OpAdd adds Arg to the shard value.
+	OpAdd OpKind = 1
+	// OpSet overwrites the shard value with Arg.
+	OpSet OpKind = 2
+)
+
+// String names the kind for logs and errors.
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpSet:
+		return "set"
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// Record is one applied mutation, the unit of WAL replay.
+type Record struct {
+	// Session and Seq are the client-assigned op ID: a stable session
+	// identity (surviving reconnects) and a per-session sequence
+	// number. Session 0 or Seq 0 means the op carried no ID and is
+	// excluded from dedup (it still replays).
+	Session uint64
+	Seq     uint64
+	// Shard addresses the server's object table.
+	Shard uint32
+	// Kind and Arg re-execute the mutation during replay.
+	Kind OpKind
+	Arg  int64
+	// Val is the shard value after the mutation — the acknowledged
+	// result, re-served to a deduplicated retry and cross-checked
+	// against re-execution during replay.
+	Val int64
+	// Ver is the shard's mutation version: consecutive per shard, in
+	// linearization order. Replay uses it to skip records already
+	// covered by a snapshot and to detect gaps.
+	Ver uint64
+}
+
+// Record framing: [4-byte big-endian body length][4-byte CRC-32C of
+// body][body]. The body opens with a type byte.
+const (
+	recHeaderLen   = 8
+	recTypeOp      = 1 // an applied mutation (opBodyLen bytes)
+	recTypeRestart = 2 // a process (re)start marker (1 byte)
+
+	// opBodyLen: type + session + seq + shard + kind + arg + val + ver.
+	opBodyLen = 1 + 8 + 8 + 4 + 1 + 8 + 8 + 8
+
+	// maxBody bounds a WAL record body; a longer announcement in a
+	// header is corruption, not a record worth allocating for.
+	maxBody = 1 << 16
+	// maxSnapshotBody bounds a snapshot body (one frame for the whole
+	// table image, dedup windows included).
+	maxSnapshotBody = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks an incomplete record at the end of a scan: the header
+// or body is cut short. Recovery treats it as a torn tail write.
+var errTorn = errors.New("durable: torn record")
+
+// errCorrupt marks a record that is complete but wrong: absurd length,
+// CRC mismatch, unknown type, or a malformed body. At the tail of the
+// last segment it is handled like a torn write; anywhere else it is
+// fatal.
+var errCorrupt = errors.New("durable: corrupt record")
+
+// appendFrame appends one framed record body to dst.
+func appendFrame(dst, body []byte) []byte {
+	var hdr [recHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// decodeFrame reads one framed body from the front of b, returning the
+// body and the bytes consumed. errTorn means b ends mid-record;
+// errCorrupt means the frame is complete but fails validation.
+func decodeFrame(b []byte, maxLen int) ([]byte, int, error) {
+	if len(b) < recHeaderLen {
+		return nil, 0, errTorn
+	}
+	n := int(binary.BigEndian.Uint32(b[0:]))
+	if n == 0 || n > maxLen {
+		return nil, 0, fmt.Errorf("%w: body length %d outside (0,%d]", errCorrupt, n, maxLen)
+	}
+	if len(b) < recHeaderLen+n {
+		return nil, 0, errTorn
+	}
+	body := b[recHeaderLen : recHeaderLen+n]
+	if got, want := crc32.Checksum(body, crcTable), binary.BigEndian.Uint32(b[4:]); got != want {
+		return nil, 0, fmt.Errorf("%w: CRC %#x, want %#x", errCorrupt, got, want)
+	}
+	return body, recHeaderLen + n, nil
+}
+
+// encodeOp frames an op record.
+func encodeOp(r Record) []byte {
+	body := make([]byte, opBodyLen)
+	body[0] = recTypeOp
+	binary.BigEndian.PutUint64(body[1:], r.Session)
+	binary.BigEndian.PutUint64(body[9:], r.Seq)
+	binary.BigEndian.PutUint32(body[17:], r.Shard)
+	body[21] = byte(r.Kind)
+	binary.BigEndian.PutUint64(body[22:], uint64(r.Arg))
+	binary.BigEndian.PutUint64(body[30:], uint64(r.Val))
+	binary.BigEndian.PutUint64(body[38:], r.Ver)
+	return appendFrame(nil, body)
+}
+
+// encodeRestart frames a restart marker.
+func encodeRestart() []byte {
+	return appendFrame(nil, []byte{recTypeRestart})
+}
+
+// parseBody decodes a validated frame body into an op record or a
+// restart marker (restart reports ok with isRestart true).
+func parseBody(body []byte) (rec Record, isRestart bool, err error) {
+	switch body[0] {
+	case recTypeOp:
+		if len(body) != opBodyLen {
+			return Record{}, false, fmt.Errorf("%w: op body is %d bytes, want %d", errCorrupt, len(body), opBodyLen)
+		}
+		rec = Record{
+			Session: binary.BigEndian.Uint64(body[1:]),
+			Seq:     binary.BigEndian.Uint64(body[9:]),
+			Shard:   binary.BigEndian.Uint32(body[17:]),
+			Kind:    OpKind(body[21]),
+			Arg:     int64(binary.BigEndian.Uint64(body[22:])),
+			Val:     int64(binary.BigEndian.Uint64(body[30:])),
+			Ver:     binary.BigEndian.Uint64(body[38:]),
+		}
+		if rec.Kind != OpAdd && rec.Kind != OpSet {
+			return Record{}, false, fmt.Errorf("%w: unknown op kind %d", errCorrupt, body[21])
+		}
+		if rec.Ver == 0 {
+			return Record{}, false, fmt.Errorf("%w: op record with version 0", errCorrupt)
+		}
+		return rec, false, nil
+	case recTypeRestart:
+		if len(body) != 1 {
+			return Record{}, false, fmt.Errorf("%w: restart body is %d bytes, want 1", errCorrupt, len(body))
+		}
+		return Record{}, true, nil
+	}
+	return Record{}, false, fmt.Errorf("%w: unknown record type %d", errCorrupt, body[0])
+}

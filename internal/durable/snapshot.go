@@ -1,0 +1,243 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot body layout (one CRC frame, like a WAL record):
+//
+//	[1 type=3][8 coverLSN][8 markers][4 shardCount]
+//	  per shard, ascending id:
+//	    [4 id][8 ver][8 val][4 dedupCount]
+//	      per dedup entry, ascending session:
+//	        [8 session][8 seq][8 val][8 ver]
+//
+// coverLSN is the log end captured BEFORE the shard images are read:
+// every record at or below it is reflected in the images; records
+// above it may or may not be, which replay resolves per shard by
+// version. markers is the cumulative restart-marker tally, which must
+// live here because the markers themselves get pruned with their
+// segments.
+const recTypeSnapshot = 3
+
+func encodeSnapshot(cover, markers uint64, shards map[uint32]ShardState) []byte {
+	ids := make([]uint32, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	body := make([]byte, 0, 21+len(shards)*24)
+	body = append(body, recTypeSnapshot)
+	body = binary.BigEndian.AppendUint64(body, cover)
+	body = binary.BigEndian.AppendUint64(body, markers)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(ids)))
+	for _, id := range ids {
+		s := shards[id]
+		body = binary.BigEndian.AppendUint32(body, id)
+		body = binary.BigEndian.AppendUint64(body, s.Ver)
+		body = binary.BigEndian.AppendUint64(body, uint64(s.Val))
+		sessions := make([]uint64, 0, len(s.Dedup))
+		for sess := range s.Dedup {
+			sessions = append(sessions, sess)
+		}
+		sort.Slice(sessions, func(i, j int) bool { return sessions[i] < sessions[j] })
+		body = binary.BigEndian.AppendUint32(body, uint32(len(sessions)))
+		for _, sess := range sessions {
+			e := s.Dedup[sess]
+			body = binary.BigEndian.AppendUint64(body, sess)
+			body = binary.BigEndian.AppendUint64(body, e.Seq)
+			body = binary.BigEndian.AppendUint64(body, uint64(e.Val))
+			body = binary.BigEndian.AppendUint64(body, e.Ver)
+		}
+	}
+	return body
+}
+
+func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]ShardState, err error) {
+	fail := func(what string) (uint64, uint64, map[uint32]ShardState, error) {
+		return 0, 0, nil, fmt.Errorf("%w: snapshot %s", errCorrupt, what)
+	}
+	if len(body) < 21 || body[0] != recTypeSnapshot {
+		return fail("header malformed")
+	}
+	cover = binary.BigEndian.Uint64(body[1:])
+	markers = binary.BigEndian.Uint64(body[9:])
+	nShards := int(binary.BigEndian.Uint32(body[17:]))
+	off := 21
+	shards = make(map[uint32]ShardState, nShards)
+	for i := 0; i < nShards; i++ {
+		if len(body)-off < 24 {
+			return fail("shard header truncated")
+		}
+		id := binary.BigEndian.Uint32(body[off:])
+		s := ShardState{
+			Ver: binary.BigEndian.Uint64(body[off+4:]),
+			Val: int64(binary.BigEndian.Uint64(body[off+12:])),
+		}
+		nDedup := int(binary.BigEndian.Uint32(body[off+20:]))
+		off += 24
+		if nDedup > 0 {
+			if len(body)-off < nDedup*32 {
+				return fail("dedup entries truncated")
+			}
+			s.Dedup = make(map[uint64]DedupEntry, nDedup)
+			for j := 0; j < nDedup; j++ {
+				sess := binary.BigEndian.Uint64(body[off:])
+				s.Dedup[sess] = DedupEntry{
+					Seq: binary.BigEndian.Uint64(body[off+8:]),
+					Val: int64(binary.BigEndian.Uint64(body[off+16:])),
+					Ver: binary.BigEndian.Uint64(body[off+24:]),
+				}
+				off += 32
+			}
+			if len(s.Dedup) != nDedup {
+				return fail("has repeated dedup sessions")
+			}
+		}
+		if _, dup := shards[id]; dup {
+			return fail("has repeated shard ids")
+		}
+		shards[id] = s
+	}
+	if off != len(body) {
+		return fail("has trailing bytes")
+	}
+	return cover, markers, shards, nil
+}
+
+// WriteSnapshot captures a point-in-time image of the table and writes
+// it atomically (temp file, fsync, rename, directory fsync), then
+// prunes segments and snapshots the new image makes redundant. peek is
+// called once, after the cover LSN is captured, and must return a
+// consistent per-shard image (resilient.Shared's Peek qualifies: each
+// shard image is some linearized state at least as new as the capture
+// point).
+func (l *Log) WriteSnapshot(peek func() map[uint32]ShardState) error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("durable: log is closed")
+	}
+	cover := l.end
+	markers := l.markers
+	l.mu.Unlock()
+
+	shards := peek()
+	frame := appendFrame(nil, encodeSnapshot(cover, markers, shards))
+
+	final := filepath.Join(l.opts.Dir, fmt.Sprintf("snap-%016d.snap", cover))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := l.syncDir(); err != nil {
+		return err
+	}
+	return l.prune(cover, final)
+}
+
+// prune removes snapshots older than the one just written and every
+// segment whose records all sit at or below the cover. The active
+// segment is never removed. A crash mid-prune is safe: recovery
+// ignores older snapshots and version-skips already-covered records.
+func (l *Log) prune(cover uint64, keepSnap string) error {
+	snaps, err := filepath.Glob(filepath.Join(l.opts.Dir, "snap-*.snap"))
+	if err != nil {
+		return err
+	}
+	for _, p := range snaps {
+		if p != keepSnap {
+			if err := os.Remove(p); err != nil {
+				return err
+			}
+		}
+	}
+
+	l.mu.Lock()
+	var drop []segment
+	// Segment i's records span [segs[i].start, segs[i+1].start-1]; it
+	// is redundant when that whole range is covered. len(l.segs)-1 is
+	// the active segment and always stays.
+	for len(l.segs) > 1 && l.segs[1].start-1 <= cover {
+		drop = append(drop, l.segs[0])
+		l.segs = l.segs[1:]
+	}
+	l.mu.Unlock()
+
+	for _, sg := range drop {
+		if err := os.Remove(sg.path); err != nil {
+			return err
+		}
+	}
+	if len(drop) > 0 || len(snaps) > 1 {
+		return l.syncDir()
+	}
+	return nil
+}
+
+// loadNewestSnapshot restores the most recent readable snapshot into
+// rec, returning its cover LSN. Newer-but-unreadable snapshots are
+// skipped with a notice (a torn snapshot write); if snapshots exist
+// but none is readable, recovery fails rather than silently serving
+// partial state from a possibly-pruned log.
+func (l *Log) loadNewestSnapshot(rec *Recovery) (uint64, error) {
+	paths, err := filepath.Glob(filepath.Join(l.opts.Dir, "snap-*.snap"))
+	if err != nil {
+		return 0, err
+	}
+	if len(paths) == 0 {
+		return 0, nil
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	var lastErr error
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return 0, err
+		}
+		body, n, err := decodeFrame(data, maxSnapshotBody)
+		if err == nil && n != len(data) {
+			err = fmt.Errorf("%w: snapshot has trailing bytes", errCorrupt)
+		}
+		if err == nil {
+			var cover, markers uint64
+			var shards map[uint32]ShardState
+			cover, markers, shards, err = decodeSnapshot(body)
+			if err == nil {
+				rec.Shards = shards
+				rec.RestartCount = markers
+				return cover, nil
+			}
+		}
+		l.opts.Logf("durable: skipping unreadable snapshot %s: %v", filepath.Base(p), err)
+		lastErr = err
+	}
+	return 0, fmt.Errorf("durable: no readable snapshot among %d candidate(s): %w", len(paths), lastErr)
+}

@@ -1,0 +1,123 @@
+package durable
+
+// ShardState is the value type the server's resilient.Shared table
+// holds per shard: the visible counter value plus the durability
+// bookkeeping that must travel with it through the universal
+// construction's clone-and-CAS cycle. Keeping the dedup window inside
+// the shard state is what makes "check for a duplicate, then apply" a
+// single linearized step — the wait-free core's helpers may execute an
+// op closure several times against cloned copies, and only the clone
+// that wins the CAS becomes real, so any bookkeeping outside the state
+// would be charged once per speculative execution instead of once per
+// applied op.
+type ShardState struct {
+	// Ver counts applied mutations: it increments by exactly one per
+	// Step that applies, in linearization order. The server's WAL
+	// sequencer appends records in Ver order, so Ver is also the
+	// record's position in the shard's durable history.
+	Ver uint64
+	// Val is the shard's visible value.
+	Val int64
+	// Dedup maps a client session identity to its most recent op. One
+	// entry per session: the wire protocol serializes each session's
+	// ops, so a lower sequence number can only be a stale duplicate.
+	Dedup map[uint64]DedupEntry
+}
+
+// DedupEntry records the last op a session applied to this shard.
+type DedupEntry struct {
+	// Seq is the op's client-assigned sequence number.
+	Seq uint64
+	// Val is the result that was (or will be) acknowledged; a retry of
+	// the same op is answered with it.
+	Val int64
+	// Ver is the shard version the op produced — the eviction key (the
+	// window drops the longest-idle session first) and the WAL position
+	// a duplicate must wait on before it can be re-acknowledged.
+	Ver uint64
+}
+
+// Outcome reports what Step did with an op.
+type Outcome struct {
+	// Val is the value to acknowledge: the new shard value when
+	// Applied, the originally recorded value when Duplicate.
+	Val int64
+	// Applied: the op executed and moved the state (Ver is its new
+	// shard version, to be logged).
+	Applied bool
+	// Duplicate: the op ID matched the session's recorded entry; the
+	// state did not move and Ver is the *original* application's
+	// version.
+	Duplicate bool
+	// Stale: the op's sequence number is below the session's recorded
+	// entry — a protocol error (the client already moved past it).
+	Stale bool
+	// Ver: shard version of the (original) application. Zero when
+	// Stale.
+	Ver uint64
+}
+
+// Clone deep-copies the state. resilient.Shared calls it before every
+// speculative op execution, so Step may mutate its receiver freely.
+func (s ShardState) Clone() ShardState {
+	c := s
+	if s.Dedup != nil {
+		c.Dedup = make(map[uint64]DedupEntry, len(s.Dedup))
+		for k, v := range s.Dedup {
+			c.Dedup[k] = v
+		}
+	}
+	return c
+}
+
+// Step executes one mutation against s with dedup: the single source
+// of truth for both live ops (inside the universal construction's op
+// closure) and WAL replay, so a recovered table is bit-identical to
+// the pre-crash one — same values, same dedup entries, same evictions.
+//
+// session==0 or seq==0 disables dedup for the op (anonymous clients,
+// idempotent kinds). window bounds the dedup map; <=0 means unbounded.
+func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64) Outcome {
+	if session != 0 && seq != 0 {
+		if e, ok := s.Dedup[session]; ok {
+			if seq == e.Seq {
+				return Outcome{Val: e.Val, Duplicate: true, Ver: e.Ver}
+			}
+			if seq < e.Seq {
+				return Outcome{Stale: true}
+			}
+		}
+	}
+	switch kind {
+	case OpAdd:
+		s.Val += arg
+	case OpSet:
+		s.Val = arg
+	}
+	s.Ver++
+	if session != 0 && seq != 0 {
+		if s.Dedup == nil {
+			s.Dedup = make(map[uint64]DedupEntry)
+		}
+		s.Dedup[session] = DedupEntry{Seq: seq, Val: s.Val, Ver: s.Ver}
+		if window > 0 && len(s.Dedup) > window {
+			evictOldest(s.Dedup)
+		}
+	}
+	return Outcome{Val: s.Val, Applied: true, Ver: s.Ver}
+}
+
+// evictOldest drops the entry with the smallest shard version — the
+// session that has gone longest without touching this shard. Ties are
+// impossible: versions are unique per shard.
+func evictOldest(m map[uint64]DedupEntry) {
+	var victim uint64
+	first := true
+	var minVer uint64
+	for sess, e := range m {
+		if first || e.Ver < minVer {
+			victim, minVer, first = sess, e.Ver, false
+		}
+	}
+	delete(m, victim)
+}

@@ -1,0 +1,145 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStepAppliesAndVersions(t *testing.T) {
+	var s ShardState
+	out := Step(&s, 0, 1, 1, OpAdd, 5)
+	if !out.Applied || out.Val != 5 || out.Ver != 1 {
+		t.Fatalf("add: %+v", out)
+	}
+	out = Step(&s, 0, 1, 2, OpSet, 40)
+	if !out.Applied || out.Val != 40 || out.Ver != 2 {
+		t.Fatalf("set: %+v", out)
+	}
+	out = Step(&s, 0, 1, 3, OpAdd, 2)
+	if !out.Applied || out.Val != 42 || out.Ver != 3 {
+		t.Fatalf("add after set: %+v", out)
+	}
+	if s.Val != 42 || s.Ver != 3 {
+		t.Fatalf("state: %+v", s)
+	}
+}
+
+func TestStepDeduplicatesRetries(t *testing.T) {
+	var s ShardState
+	first := Step(&s, 0, 7, 1, OpAdd, 10)
+	if !first.Applied {
+		t.Fatalf("first: %+v", first)
+	}
+	// A retry of the same op ID must not move the state and must
+	// return the originally acknowledged value and version.
+	retry := Step(&s, 0, 7, 1, OpAdd, 10)
+	if retry.Applied || !retry.Duplicate || retry.Val != 10 || retry.Ver != first.Ver {
+		t.Fatalf("retry: %+v", retry)
+	}
+	if s.Val != 10 || s.Ver != 1 {
+		t.Fatalf("state moved on duplicate: %+v", s)
+	}
+	// Only the most recent op per session is remembered: after seq 2
+	// applies, a re-retry of seq 1 is stale, not a duplicate.
+	Step(&s, 0, 7, 2, OpAdd, 1)
+	stale := Step(&s, 0, 7, 1, OpAdd, 10)
+	if !stale.Stale || stale.Applied || stale.Duplicate {
+		t.Fatalf("stale: %+v", stale)
+	}
+	if s.Val != 11 {
+		t.Fatalf("stale op moved state: %+v", s)
+	}
+}
+
+func TestStepAnonymousOpsSkipDedup(t *testing.T) {
+	var s ShardState
+	for i := 0; i < 3; i++ {
+		out := Step(&s, 0, 0, 0, OpAdd, 1)
+		if !out.Applied {
+			t.Fatalf("anonymous op %d: %+v", i, out)
+		}
+	}
+	if s.Val != 3 || len(s.Dedup) != 0 {
+		t.Fatalf("anonymous ops recorded dedup state: %+v", s)
+	}
+}
+
+func TestDedupWindowEvictionUnderChurn(t *testing.T) {
+	const window = 8
+	var s ShardState
+	// Sessions churn far past the window: memory must stay bounded and
+	// the survivor set must always be the most recently active
+	// sessions (largest versions).
+	for sess := uint64(1); sess <= 100; sess++ {
+		Step(&s, window, sess, 1, OpAdd, 1)
+		if len(s.Dedup) > window {
+			t.Fatalf("after session %d: window holds %d entries, cap %d", sess, len(s.Dedup), window)
+		}
+	}
+	if len(s.Dedup) != window {
+		t.Fatalf("window not full after churn: %d", len(s.Dedup))
+	}
+	for sess := uint64(100 - window + 1); sess <= 100; sess++ {
+		if _, ok := s.Dedup[sess]; !ok {
+			t.Fatalf("recently active session %d was evicted; window: %v", sess, s.Dedup)
+		}
+	}
+	// An evicted session's retry is past the exactly-once window: it
+	// re-applies (the documented bounded-window tradeoff) rather than
+	// erroring or blowing memory.
+	out := Step(&s, window, 1, 1, OpAdd, 1)
+	if !out.Applied {
+		t.Fatalf("evicted session's retry: %+v", out)
+	}
+
+	// Re-touching a session refreshes its version, so churn evicts
+	// idle sessions, not busy ones.
+	busy := uint64(200)
+	Step(&s, window, busy, 1, OpAdd, 1)
+	for sess := uint64(300); sess < 300+window; sess++ {
+		Step(&s, window, busy, s.Dedup[busy].Seq+1, OpAdd, 1)
+		Step(&s, window, sess, 1, OpAdd, 1)
+	}
+	if _, ok := s.Dedup[busy]; !ok {
+		t.Fatalf("busy session evicted while idle sessions churned")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := ShardState{Ver: 3, Val: 9, Dedup: map[uint64]DedupEntry{4: {Seq: 2, Val: 9, Ver: 3}}}
+	c := s.Clone()
+	Step(&c, 0, 5, 1, OpAdd, 1)
+	if s.Val != 9 || s.Ver != 3 || len(s.Dedup) != 1 {
+		t.Fatalf("mutating the clone changed the original: %+v", s)
+	}
+	if c.Val != 10 || c.Ver != 4 || len(c.Dedup) != 2 {
+		t.Fatalf("clone: %+v", c)
+	}
+}
+
+func TestStepReplayEquivalence(t *testing.T) {
+	// The property recovery depends on: feeding the same op sequence
+	// through Step yields identical states, dedup windows included.
+	type op struct {
+		sess, seq uint64
+		kind      OpKind
+		arg       int64
+	}
+	var ops []op
+	for i := 0; i < 50; i++ {
+		ops = append(ops, op{sess: uint64(i%5 + 1), seq: uint64(i/5 + 1), kind: OpAdd, arg: int64(i)})
+		if i%7 == 0 { // sprinkle retries
+			ops = append(ops, ops[len(ops)-1])
+		}
+	}
+	var a, b ShardState
+	for _, o := range ops {
+		Step(&a, 3, o.sess, o.seq, o.kind, o.arg)
+	}
+	for _, o := range ops {
+		Step(&b, 3, o.sess, o.seq, o.kind, o.arg)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("replay diverged:\n a=%+v\n b=%+v", a, b)
+	}
+}

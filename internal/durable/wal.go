@@ -1,0 +1,515 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects the durability point an acknowledgement waits for.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every append before it is acknowledged: an
+	// acked op survives both process and host crashes.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval group-commits: a background ticker fsyncs the log
+	// and acknowledgements wait for the covering sync. An acked op
+	// survives a process crash immediately (the write has left the
+	// process) and a host crash after at most one interval.
+	SyncInterval
+	// SyncNever writes without fsync and acknowledges immediately: the
+	// OS page cache is the only durability. A process crash typically
+	// loses nothing; a host crash may lose the tail.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// String names the policy for logs and flags.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("syncpolicy(%d)", int(p))
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory; created if absent.
+	Dir string
+	// Policy is the fsync discipline (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the group-commit period for SyncInterval (default
+	// 50ms).
+	Interval time.Duration
+	// SegmentBytes rotates the log once a segment reaches this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// DedupWindow bounds each shard's dedup map during replay; the
+	// same value the server passes to Step for live ops (default 1024,
+	// <=0 means unbounded).
+	DedupWindow int
+	// Logf, when set, receives recovery notices (torn-tail drops,
+	// snapshot fallbacks).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Recovery is what Open reconstructed from the data directory.
+type Recovery struct {
+	// Shards maps shard index to its recovered state. Empty on a
+	// fresh directory.
+	Shards map[uint32]ShardState
+	// RestartCount is how many times a previous process instance had
+	// already opened this directory: 0 on first boot, 1 after one
+	// restart. Survives segment pruning (snapshots carry the tally).
+	RestartCount uint64
+	// RecoveredOps is the total number of mutations reconstructed
+	// (snapshot plus replay) — the sum of recovered shard versions.
+	RecoveredOps uint64
+	// DroppedBytes counts torn-tail bytes truncated from the final
+	// segment. Nonzero means the last (unacknowledged) write was cut
+	// short by the crash.
+	DroppedBytes int64
+}
+
+type segment struct {
+	start uint64 // LSN of the segment's first record
+	path  string
+}
+
+// Log is an open write-ahead log. Appends are assigned consecutive
+// LSNs starting at 1; WaitDurable blocks until the configured sync
+// policy has covered a given LSN.
+type Log struct {
+	opts Options
+	dirF *os.File
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when durable advances or the log closes
+	f        *os.File   // active segment
+	segs     []segment  // all live segments, ascending; last is active
+	segBytes int64      // bytes written to the active segment
+	end      uint64     // last assigned LSN
+	durable  uint64     // last LSN covered by an fsync
+	markers  uint64     // restart markers ever appended (incl. pruned)
+	syncs    uint64     // fsyncs issued (observability for group commit)
+	closed   bool
+
+	snapMu sync.Mutex // serializes WriteSnapshot
+
+	tickerStop chan struct{}
+	tickerDone chan struct{}
+}
+
+// Open recovers the directory's state and returns a log ready for
+// appends. A restart marker is appended (and synced) immediately so
+// the next recovery can count this incarnation.
+func Open(opts Options) (*Log, Recovery, error) {
+	opts.fill()
+	if opts.Dir == "" {
+		return nil, Recovery{}, fmt.Errorf("durable: empty data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, Recovery{}, err
+	}
+	dirF, err := os.Open(opts.Dir)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+
+	l := &Log{opts: opts, dirF: dirF}
+	l.cond = sync.NewCond(&l.mu)
+
+	rec, err := l.recover()
+	if err != nil {
+		dirF.Close()
+		return nil, Recovery{}, err
+	}
+
+	// This incarnation's restart marker: force-synced regardless of
+	// policy, so the count survives even under SyncNever.
+	l.mu.Lock()
+	if err := l.appendLocked(encodeRestart()); err != nil {
+		l.mu.Unlock()
+		l.closeFiles()
+		return nil, Recovery{}, err
+	}
+	l.markers++
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		l.closeFiles()
+		return nil, Recovery{}, err
+	}
+	l.mu.Unlock()
+
+	if opts.Policy == SyncInterval {
+		l.tickerStop = make(chan struct{})
+		l.tickerDone = make(chan struct{})
+		go l.syncer()
+	}
+	return l, rec, nil
+}
+
+// recover loads the newest readable snapshot and replays the log tail.
+// Called before any appends; the lock is not needed yet.
+func (l *Log) recover() (Recovery, error) {
+	rec := Recovery{Shards: make(map[uint32]ShardState)}
+	snapCover, err := l.loadNewestSnapshot(&rec)
+	if err != nil {
+		return Recovery{}, err
+	}
+
+	names, err := filepath.Glob(filepath.Join(l.opts.Dir, "wal-*.seg"))
+	if err != nil {
+		return Recovery{}, err
+	}
+	sort.Strings(names)
+	segs := make([]segment, 0, len(names))
+	for _, p := range names {
+		var start uint64
+		base := filepath.Base(p)
+		if _, err := fmt.Sscanf(base, "wal-%016d.seg", &start); err != nil || start == 0 {
+			return Recovery{}, fmt.Errorf("durable: bad segment name %q", base)
+		}
+		segs = append(segs, segment{start: start, path: p})
+	}
+
+	next := uint64(1)
+	if len(segs) > 0 {
+		next = segs[0].start
+	}
+	for i, sg := range segs {
+		if sg.start != next {
+			return Recovery{}, fmt.Errorf("durable: segment %s: want first LSN %d, got %d (gap in log)",
+				filepath.Base(sg.path), next, sg.start)
+		}
+		n, err := l.replaySegment(sg, i == len(segs)-1, snapCover, &rec)
+		if err != nil {
+			return Recovery{}, err
+		}
+		next = sg.start + n
+	}
+	l.end = next - 1
+	l.durable = l.end // everything on disk at open time counts as durable
+	l.markers = rec.RestartCount
+
+	// Resume appending into the last segment, or start segment 1.
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return Recovery{}, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return Recovery{}, err
+		}
+		l.f, l.segs, l.segBytes = f, segs, st.Size()
+	} else {
+		if err := l.openSegmentLocked(1); err != nil {
+			return Recovery{}, err
+		}
+	}
+
+	for _, s := range rec.Shards {
+		rec.RecoveredOps += s.Ver
+	}
+	return rec, nil
+}
+
+// replaySegment applies one segment's records to rec, returning how
+// many records it held. Torn or corrupt data in the final segment is
+// truncated away (a crash mid-write); the same damage in an earlier
+// segment is a hard error, because records after it were acknowledged.
+func (l *Log) replaySegment(sg segment, last bool, snapCover uint64, rec *Recovery) (uint64, error) {
+	data, err := os.ReadFile(sg.path)
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	off := 0
+	for off < len(data) {
+		body, sz, err := decodeFrame(data[off:], maxBody)
+		if err != nil {
+			if !last {
+				return 0, fmt.Errorf("durable: %s at offset %d: %w (not the final segment)",
+					filepath.Base(sg.path), off, err)
+			}
+			return n, l.truncateTail(sg, data, off, err, rec)
+		}
+		r, isRestart, err := parseBody(body)
+		if err != nil {
+			if !last {
+				return 0, fmt.Errorf("durable: %s at offset %d: %w (not the final segment)",
+					filepath.Base(sg.path), off, err)
+			}
+			return n, l.truncateTail(sg, data, off, err, rec)
+		}
+		lsn := sg.start + n
+		if isRestart {
+			if lsn > snapCover {
+				rec.RestartCount++
+			}
+		} else {
+			if err := replayOp(r, lsn, l.opts.DedupWindow, rec); err != nil {
+				return 0, err
+			}
+		}
+		off += sz
+		n++
+	}
+	return n, nil
+}
+
+// replayOp folds one op record into the recovering table. The snapshot
+// image may already include records appended after the snapshot's
+// cover LSN (the image is read after the cover is captured), so
+// coverage is judged per shard by version, not by LSN.
+func replayOp(r Record, lsn uint64, window int, rec *Recovery) error {
+	s := rec.Shards[r.Shard]
+	if r.Ver <= s.Ver {
+		return nil // already inside the snapshot image
+	}
+	if r.Ver != s.Ver+1 {
+		return fmt.Errorf("durable: shard %d: record LSN %d has version %d, want %d (gap in shard history)",
+			r.Shard, lsn, r.Ver, s.Ver+1)
+	}
+	out := Step(&s, window, r.Session, r.Seq, r.Kind, r.Arg)
+	if !out.Applied || out.Val != r.Val || out.Ver != r.Ver {
+		return fmt.Errorf("durable: shard %d: replay of LSN %d diverged (applied=%v val=%d ver=%d, recorded val=%d ver=%d)",
+			r.Shard, lsn, out.Applied, out.Val, out.Ver, r.Val, r.Ver)
+	}
+	rec.Shards[r.Shard] = s
+	return nil
+}
+
+// truncateTail cuts a torn or corrupt tail off the final segment,
+// keeping every record before it.
+func (l *Log) truncateTail(sg segment, data []byte, off int, cause error, rec *Recovery) error {
+	dropped := int64(len(data) - off)
+	l.opts.Logf("durable: dropping %d torn byte(s) at end of %s: %v", dropped, filepath.Base(sg.path), cause)
+	if err := os.Truncate(sg.path, int64(off)); err != nil {
+		return fmt.Errorf("durable: truncating torn tail of %s: %w", filepath.Base(sg.path), err)
+	}
+	if err := l.syncDir(); err != nil {
+		return err
+	}
+	rec.DroppedBytes += dropped
+	return nil
+}
+
+// Append writes one op record and returns its LSN. Under SyncAlways
+// the record is durable on return; otherwise pair with WaitDurable.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("durable: log is closed")
+	}
+	if err := l.appendLocked(encodeOp(r)); err != nil {
+		return 0, err
+	}
+	lsn := l.end
+	if l.opts.Policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// appendLocked writes one framed record, rotating first if the active
+// segment is full.
+func (l *Log) appendLocked(frame []byte) error {
+	if l.segBytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return err
+	}
+	l.segBytes += int64(len(frame))
+	l.end++
+	if l.opts.Policy == SyncNever {
+		// Nothing ever waits under SyncNever; mark durable so End/
+		// WaitDurable stay coherent for observers.
+		l.durable = l.end
+	}
+	return nil
+}
+
+// rotateLocked syncs and retires the active segment, then opens the
+// next one. Syncing before rotation keeps the durable watermark's
+// invariant simple: only the active segment can have undurable bytes.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.openSegmentLocked(l.end + 1)
+}
+
+// openSegmentLocked creates the segment whose first record will be
+// LSN start and makes it active.
+func (l *Log) openSegmentLocked(start uint64) error {
+	path := filepath.Join(l.opts.Dir, fmt.Sprintf("wal-%016d.seg", start))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := l.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.segs = append(l.segs, segment{start: start, path: path})
+	l.segBytes = 0
+	return nil
+}
+
+// syncLocked fsyncs the active segment and advances the durable
+// watermark to everything appended so far.
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.syncs++
+	if l.durable < l.end {
+		l.durable = l.end
+		l.cond.Broadcast()
+	}
+	return nil
+}
+
+// syncer is the SyncInterval group-commit loop.
+func (l *Log) syncer() {
+	defer close(l.tickerDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.tickerStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return
+			}
+			if l.durable < l.end {
+				if err := l.syncLocked(); err != nil {
+					l.opts.Logf("durable: group-commit fsync: %v", err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// WaitDurable blocks until lsn is covered by the sync policy. Under
+// SyncAlways and SyncNever it returns immediately.
+func (l *Log) WaitDurable(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable < lsn {
+		if l.closed {
+			return fmt.Errorf("durable: log closed before LSN %d became durable", lsn)
+		}
+		l.cond.Wait()
+	}
+	return nil
+}
+
+// End returns the last assigned LSN.
+func (l *Log) End() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// Syncs reports how many fsyncs the log has issued — under
+// SyncInterval, far fewer than appends (group commit).
+func (l *Log) Syncs() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
+
+// Close flushes, wakes all waiters, and closes the files. Appends and
+// waits after Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var err error
+	if l.opts.Policy != SyncNever && l.durable < l.end {
+		err = l.syncLocked()
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	if l.tickerStop != nil {
+		close(l.tickerStop)
+		<-l.tickerDone
+	}
+	if cerr := l.closeFiles(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (l *Log) closeFiles() error {
+	var err error
+	if l.f != nil {
+		err = l.f.Close()
+	}
+	if cerr := l.dirF.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs the data directory so created/renamed/removed file
+// entries are durable.
+func (l *Log) syncDir() error {
+	return l.dirF.Sync()
+}

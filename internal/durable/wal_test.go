@@ -1,0 +1,437 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// appendOps pushes n sequential adds for one shard through both the
+// state machine and the log, exactly as the server does: Step first,
+// then Append the outcome.
+func appendOps(t *testing.T, l *Log, s *ShardState, shard uint32, sess uint64, startSeq uint64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		out := Step(s, 0, sess, startSeq+uint64(i), OpAdd, 1)
+		if !out.Applied {
+			t.Fatalf("op %d did not apply: %+v", i, out)
+		}
+		lsn, err := l.Append(Record{
+			Session: sess, Seq: startSeq + uint64(i), Shard: shard,
+			Kind: OpAdd, Arg: 1, Val: out.Val, Ver: out.Ver,
+		})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatalf("wait durable %d: %v", i, err)
+		}
+	}
+}
+
+func mustOpen(t *testing.T, opts Options) (*Log, Recovery) {
+	t.Helper()
+	l, rec, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open %s: %v", opts.Dir, err)
+	}
+	return l, rec
+}
+
+func TestFreshDirAndRestartCounting(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, Options{Dir: dir})
+	if rec.RestartCount != 0 || rec.RecoveredOps != 0 || len(rec.Shards) != 0 || rec.DroppedBytes != 0 {
+		t.Fatalf("fresh recovery: %+v", rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for boot := 1; boot <= 3; boot++ {
+		l, rec = mustOpen(t, Options{Dir: dir})
+		if rec.RestartCount != uint64(boot) {
+			t.Fatalf("boot %d: restart count %d", boot, rec.RestartCount)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir})
+	var s0, s1 ShardState
+	appendOps(t, l, &s0, 0, 11, 1, 10)
+	appendOps(t, l, &s1, 1, 12, 1, 7)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l, rec := mustOpen(t, Options{Dir: dir})
+	defer l.Close()
+	if got := rec.Shards[0]; got.Val != 10 || got.Ver != 10 {
+		t.Fatalf("shard 0: %+v", got)
+	}
+	if got := rec.Shards[1]; got.Val != 7 || got.Ver != 7 {
+		t.Fatalf("shard 1: %+v", got)
+	}
+	if rec.RecoveredOps != 17 {
+		t.Fatalf("recovered ops: %d", rec.RecoveredOps)
+	}
+	// Dedup entries survive: a post-restart retry of the last op must
+	// be recognized.
+	s := rec.Shards[0]
+	out := Step(&s, 0, 11, 10, OpAdd, 1)
+	if !out.Duplicate || out.Val != 10 {
+		t.Fatalf("post-restart retry not deduplicated: %+v", out)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	var s ShardState
+	appendOps(t, l, &s, 0, 5, 1, 40)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce >=3 segments, got %d", len(segs))
+	}
+	l, rec := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	defer l.Close()
+	if got := rec.Shards[0]; got.Val != 40 || got.Ver != 40 {
+		t.Fatalf("recovery across segments: %+v", got)
+	}
+}
+
+// lastSegment returns the path of the newest WAL segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	last := segs[0]
+	for _, sg := range segs[1:] {
+		if sg > last {
+			last = sg
+		}
+	}
+	return last
+}
+
+func TestTornTailFixtures(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(t *testing.T, path string)
+	}{
+		{"truncated header", func(t *testing.T, path string) {
+			st, _ := os.Stat(path)
+			if err := os.Truncate(path, st.Size()+3); err != nil { // partial header bytes (zeroes)
+				t.Fatal(err)
+			}
+		}},
+		{"truncated body", func(t *testing.T, path string) {
+			// Chop the last record mid-body.
+			st, _ := os.Stat(path)
+			if err := os.Truncate(path, st.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupt crc", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0xff // flip a byte in the last record's body
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"trailing garbage", func(t *testing.T, path string) {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := mustOpen(t, Options{Dir: dir})
+			var s ShardState
+			appendOps(t, l, &s, 0, 9, 1, 6)
+			if err := l.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			tc.mangle(t, lastSegment(t, dir))
+
+			// The torn record is the 6th op (or pure garbage): the five
+			// (or six) records before it must survive, the tail must be
+			// dropped, and the log must be appendable again.
+			l, rec := mustOpen(t, Options{Dir: dir})
+			if rec.DroppedBytes == 0 {
+				t.Fatalf("recovery reported no dropped bytes")
+			}
+			got := rec.Shards[0]
+			if got.Val != 5 && got.Val != 6 {
+				t.Fatalf("recovered value %d, want 5 (torn last op) or 6 (garbage after valid log)", got.Val)
+			}
+			s = rec.Shards[0]
+			appendOps(t, l, &s, 0, 9, uint64(got.Ver)+1, 2)
+			if err := l.Close(); err != nil {
+				t.Fatalf("close after truncation: %v", err)
+			}
+
+			// A second recovery sees a clean log: the tail was truncated
+			// on disk, not just skipped.
+			l, rec = mustOpen(t, Options{Dir: dir})
+			defer l.Close()
+			if rec.DroppedBytes != 0 {
+				t.Fatalf("second recovery still dropping bytes: %d", rec.DroppedBytes)
+			}
+			if rec.Shards[0].Val != got.Val+2 {
+				t.Fatalf("after re-append: val %d, want %d", rec.Shards[0].Val, got.Val+2)
+			}
+		})
+	}
+}
+
+func TestCorruptionInEarlierSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	var s ShardState
+	appendOps(t, l, &s, 0, 9, 1, 40)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 2 {
+		t.Fatalf("need >=2 segments, got %d", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir, SegmentBytes: 256}); err == nil {
+		t.Fatalf("open accepted corruption in a non-final segment")
+	}
+}
+
+func TestSnapshotPruneAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	var s ShardState
+	appendOps(t, l, &s, 0, 9, 1, 30)
+	if err := l.WriteSnapshot(func() map[uint32]ShardState {
+		return map[uint32]ShardState{0: s.Clone()}
+	}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("prune left %d segments, want only the active one", len(segs))
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("want exactly 1 snapshot, got %d", len(snaps))
+	}
+	// Ops after the snapshot replay on top of it.
+	appendOps(t, l, &s, 0, 9, 31, 5)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l, rec := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	if got := rec.Shards[0]; got.Val != 35 || got.Ver != 35 {
+		t.Fatalf("snapshot+tail recovery: %+v", got)
+	}
+	if rec.RecoveredOps != 35 {
+		t.Fatalf("recovered ops: %d", rec.RecoveredOps)
+	}
+	if rec.RestartCount != 1 {
+		t.Fatalf("restart count through snapshot: %d", rec.RestartCount)
+	}
+
+	// A second snapshot replaces the first and survives another cycle,
+	// proving restart tallies ride in snapshots (their markers' WAL
+	// records are pruned away).
+	s = rec.Shards[0]
+	appendOps(t, l, &s, 0, 9, 36, 3)
+	if err := l.WriteSnapshot(func() map[uint32]ShardState {
+		return map[uint32]ShardState{0: s.Clone()}
+	}); err != nil {
+		t.Fatalf("snapshot 2: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l, rec = mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	defer l.Close()
+	if got := rec.Shards[0]; got.Val != 38 || rec.RestartCount != 2 {
+		t.Fatalf("after second snapshot cycle: shard %+v, restarts %d", got, rec.RestartCount)
+	}
+}
+
+func TestUnreadableNewestSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir})
+	var s ShardState
+	appendOps(t, l, &s, 0, 9, 1, 10)
+	if err := l.WriteSnapshot(func() map[uint32]ShardState {
+		return map[uint32]ShardState{0: s.Clone()}
+	}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	appendOps(t, l, &s, 0, 9, 11, 4)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// A disk-corrupted newer snapshot must be skipped in favor of the
+	// valid older one; a stale .tmp from a torn snapshot write is
+	// ignored outright.
+	if err := os.WriteFile(filepath.Join(dir, "snap-9999999999999999.snap"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000099.snap.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := mustOpen(t, Options{Dir: dir})
+	defer l.Close()
+	if got := rec.Shards[0]; got.Val != 14 || got.Ver != 14 {
+		t.Fatalf("fallback recovery: %+v", got)
+	}
+}
+
+func TestOnlySnapshotUnreadableIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir})
+	var s ShardState
+	appendOps(t, l, &s, 0, 9, 1, 5)
+	if err := l.WriteSnapshot(func() map[uint32]ShardState {
+		return map[uint32]ShardState{0: s.Clone()}
+	}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, got %d", len(snaps))
+	}
+	if err := os.WriteFile(snaps[0], []byte("rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot's segments were pruned: serving the remaining tail
+	// as if it were the whole history would silently lose data, so
+	// recovery must refuse.
+	if _, _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatalf("open served partial state from an unreadable snapshot")
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Policy: SyncInterval, Interval: 2 * time.Millisecond})
+	defer l.Close()
+
+	// Many concurrent appenders all waiting for durability: the
+	// interval syncer must cover them in batches, issuing far fewer
+	// fsyncs than there are acknowledged appends. Versions are pre-
+	// assigned so the log's per-shard ordering invariant holds without
+	// replicating the server's sequencer here.
+	const writers, perWriter = 8, 25
+	const total = writers * perWriter
+	lsns := make(chan uint64, total)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				lsn, err := l.Append(Record{Shard: uint32(w), Kind: OpAdd, Arg: 1, Val: int64(i + 1), Ver: uint64(i + 1)})
+				if err != nil {
+					t.Errorf("writer %d append: %v", w, err)
+					return
+				}
+				if err := l.WaitDurable(lsn); err != nil {
+					t.Errorf("writer %d wait: %v", w, err)
+					return
+				}
+				lsns <- lsn
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(lsns)
+	n := 0
+	for range lsns {
+		n++
+	}
+	if n != total {
+		t.Fatalf("%d/%d appends acknowledged", n, total)
+	}
+	if s := l.Syncs(); s >= total/2 {
+		t.Fatalf("group commit degenerated: %d fsyncs for %d appends", s, total)
+	}
+}
+
+func TestSyncNeverDoesNotWait(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Policy: SyncNever})
+	lsn, err := l.Append(Record{Shard: 0, Kind: OpSet, Arg: 3, Val: 3, Ver: 1})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurable(lsn) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("WaitDurable blocked under SyncNever")
+	}
+	// Open's restart marker is force-synced even here; appends add none.
+	if s := l.Syncs(); s != 1 {
+		t.Fatalf("fsyncs under SyncNever: %d, want 1 (open marker)", s)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The data still recovers when the process exited cleanly.
+	l, rec := mustOpen(t, Options{Dir: dir, Policy: SyncNever})
+	defer l.Close()
+	if rec.Shards[0].Val != 3 {
+		t.Fatalf("recovery after SyncNever close: %+v", rec.Shards[0])
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir})
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := l.Append(Record{Shard: 0, Kind: OpAdd, Arg: 1, Val: 1, Ver: 1}); err == nil {
+		t.Fatalf("append accepted after close")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -124,10 +124,10 @@ func NewPlan(seed int64, conns int, kinds ...Action) Plan {
 		p.Rules = append(p.Rules, Rule{
 			Conn: perm[i],
 			Act:  kind,
-			// One full request is 25 upstream bytes (4-byte length
-			// prefix + 21-byte payload): fire inside request 2..4 so
+			// One full request is 41 upstream bytes (4-byte length
+			// prefix + 37-byte payload): fire inside request 2..4 so
 			// the victim completes at least one operation first.
-			After:   25 + rng.Int63n(3*25),
+			After:   41 + rng.Int63n(3*41),
 			Latency: time.Duration(1+rng.Int63n(5)) * time.Millisecond,
 		})
 	}

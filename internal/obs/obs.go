@@ -73,6 +73,7 @@ type Metrics struct {
 
 	aborts    Counter
 	deadlines Counter
+	dupeHits  Counter
 
 	holders Counter
 	peak    Counter
@@ -221,6 +222,17 @@ func (m *Metrics) DeadlineExpired() {
 	m.deadlines.Add(1)
 }
 
+// DupeHit records one mutation answered from the dedup window at the
+// serving edge: a retried operation whose first application was
+// already linearized, re-acknowledged with its original result instead
+// of being applied again.
+func (m *Metrics) DupeHit() {
+	if m == nil {
+		return
+	}
+	m.dupeHits.Add(1)
+}
+
 // Snapshot is a point-in-time copy of a Metrics sink. Field order (and
 // therefore JSON key order) is fixed, and the latency histogram always
 // has LatencyBuckets entries, so the marshalled schema is deterministic.
@@ -254,6 +266,9 @@ type Snapshot struct {
 	// counts operations cut short by serving-edge deadlines.
 	Aborts              int64 `json:"aborts"`
 	DeadlineExpirations int64 `json:"deadline_expirations"`
+	// DupeHits counts mutations answered from the dedup window (retried
+	// ops re-acknowledged without re-applying).
+	DupeHits int64 `json:"dupe_hits"`
 	// CurrentHolders and PeakHolders track slot occupancy.
 	CurrentHolders int64 `json:"current_holders"`
 	PeakHolders    int64 `json:"peak_holders"`
@@ -283,6 +298,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.CrashCharges = m.crashCharges.Load()
 	s.Aborts = m.aborts.Load()
 	s.DeadlineExpirations = m.deadlines.Load()
+	s.DupeHits = m.dupeHits.Load()
 	s.CurrentHolders = m.holders.Load()
 	s.PeakHolders = m.peak.Load()
 	for i := range s.LatencyNSPow2 {
@@ -308,7 +324,7 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, " spin_polls=%d yields=%d cas_retries=%d", s.SpinPolls, s.Yields, s.CASRetries)
 	fmt.Fprintf(&b, " names=%d tas_failures=%d", s.NameAttempts, s.TASFailures)
 	fmt.Fprintf(&b, " applied=%d helped=%d crash_charges=%d", s.AppliedOps, s.HelpingEvents, s.CrashCharges)
-	fmt.Fprintf(&b, " aborts=%d deadlines=%d", s.Aborts, s.DeadlineExpirations)
+	fmt.Fprintf(&b, " aborts=%d deadlines=%d dupe_hits=%d", s.Aborts, s.DeadlineExpirations, s.DupeHits)
 	fmt.Fprintf(&b, " holders=%d peak=%d p50_acquire=%s", s.CurrentHolders, s.PeakHolders, s.QuantileAcquire(0.5))
 	return b.String()
 }

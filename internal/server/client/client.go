@@ -9,6 +9,8 @@ package client
 
 import (
 	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -51,9 +53,34 @@ type Client struct {
 	br        *bufio.Reader
 	bw        *bufio.Writer
 	nextID    uint64
+	session   uint64
+	opSeq     uint64
 	hello     wire.Hello
 	opTimeout time.Duration
 	broken    bool
+}
+
+// OpResult is a mutation's outcome.
+type OpResult struct {
+	// Value is the acknowledged result (the shard value the mutation
+	// produced — originally, if it was a duplicate).
+	Value int64
+	// WasDuplicate reports that the server recognized the op ID as
+	// already applied and answered from its dedup window without
+	// touching the object again. A retried op seeing this is the
+	// exactly-once machinery working, not an error.
+	WasDuplicate bool
+}
+
+// randomSession draws a nonzero session identity.
+func randomSession() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if s := binary.BigEndian.Uint64(b[:]); s != 0 {
+			return s
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
 }
 
 // Dial connects and performs the admission handshake. A server-side
@@ -93,7 +120,24 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	if tcp, ok := conn.(*net.TCPConn); ok {
 		tcp.SetNoDelay(true)
 	}
-	return &Client{conn: conn, br: br, bw: bufio.NewWriter(conn), hello: hello}, nil
+	return &Client{conn: conn, br: br, bw: bufio.NewWriter(conn), hello: hello, session: randomSession()}, nil
+}
+
+// Session reports the client's op-ID session identity.
+func (c *Client) Session() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// SetSession overrides the op-ID session identity (Dial assigns a
+// random one). A wrapper that redials uses a stable session so a
+// retried mutation is recognized across connections; zero disables
+// deduplication entirely. Set before issuing operations.
+func (c *Client) SetSession(s uint64) {
+	c.mu.Lock()
+	c.session = s
+	c.mu.Unlock()
 }
 
 // Identity reports the process identity p the server leased to this
@@ -116,8 +160,10 @@ func (c *Client) SetOpTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// do runs one serialized request/response exchange.
-func (c *Client) do(kind wire.Kind, shard uint32, arg int64) (wire.Response, error) {
+// do runs one serialized request/response exchange. seq is the op-ID
+// sequence number for mutations (zero for idempotent kinds, which are
+// never deduplicated or logged).
+func (c *Client) do(kind wire.Kind, shard uint32, arg int64, seq uint64) (wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken {
@@ -129,7 +175,7 @@ func (c *Client) do(kind wire.Kind, shard uint32, arg int64) (wire.Response, err
 		c.conn.SetDeadline(time.Time{})
 	}
 	c.nextID++
-	req := wire.Request{ID: c.nextID, Kind: kind, Shard: shard, Arg: arg}
+	req := wire.Request{ID: c.nextID, Kind: kind, Shard: shard, Arg: arg, Session: c.session, Seq: seq}
 	if err := wire.WriteRequest(c.bw, req); err != nil {
 		c.broken = true
 		return wire.Response{}, err
@@ -152,31 +198,55 @@ func (c *Client) do(kind wire.Kind, shard uint32, arg int64) (wire.Response, err
 
 // Ping round-trips a no-op.
 func (c *Client) Ping() error {
-	_, err := c.do(wire.KindPing, 0, 0)
+	_, err := c.do(wire.KindPing, 0, 0, 0)
 	return err
 }
 
 // Get reads shard's value, linearized with all updates.
 func (c *Client) Get(shard uint32) (int64, error) {
-	resp, err := c.do(wire.KindGet, shard, 0)
+	resp, err := c.do(wire.KindGet, shard, 0, 0)
 	return resp.Value, err
+}
+
+// NextSeq allocates the next op-ID sequence number. Use with AddOp/
+// SetOp to assign a mutation its ID once and reuse it verbatim on
+// every retry — the contract that makes retried mutations exactly-once.
+func (c *Client) NextSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opSeq++
+	return c.opSeq
 }
 
 // Add adds delta to shard and returns the new value.
 func (c *Client) Add(shard uint32, delta int64) (int64, error) {
-	resp, err := c.do(wire.KindAdd, shard, delta)
-	return resp.Value, err
+	res, err := c.AddOp(shard, delta, c.NextSeq())
+	return res.Value, err
+}
+
+// AddOp is Add with a caller-managed op sequence number: re-issuing
+// with the same seq (after a lost response) returns the original
+// result with WasDuplicate set instead of adding again.
+func (c *Client) AddOp(shard uint32, delta int64, seq uint64) (OpResult, error) {
+	resp, err := c.do(wire.KindAdd, shard, delta, seq)
+	return OpResult{Value: resp.Value, WasDuplicate: resp.Flags&wire.FlagDuplicate != 0}, err
 }
 
 // Set overwrites shard with v.
 func (c *Client) Set(shard uint32, v int64) error {
-	_, err := c.do(wire.KindSet, shard, v)
+	_, err := c.SetOp(shard, v, c.NextSeq())
 	return err
+}
+
+// SetOp is Set with a caller-managed op sequence number (see AddOp).
+func (c *Client) SetOp(shard uint32, v int64, seq uint64) (OpResult, error) {
+	resp, err := c.do(wire.KindSet, shard, v, seq)
+	return OpResult{Value: resp.Value, WasDuplicate: resp.Flags&wire.FlagDuplicate != 0}, err
 }
 
 // Stats fetches the server's metrics snapshot.
 func (c *Client) Stats() (wire.Stats, error) {
-	resp, err := c.do(wire.KindStats, 0, 0)
+	resp, err := c.do(wire.KindStats, 0, 0, 0)
 	if err != nil {
 		return wire.Stats{}, err
 	}

@@ -11,9 +11,9 @@ import (
 	"kexclusion/internal/wire"
 )
 
-// Retryable reports whether err is safe to retry for ANY operation,
-// idempotent or not, because the server guarantees the operation was
-// never applied:
+// Retryable reports whether err is safe to retry for ANY operation —
+// even one whose request carried no op ID — because the server
+// guarantees the operation was never applied:
 //
 //   - BusyError: admission was refused — the session never existed.
 //   - wire.StatusTimeout: the per-op deadline expired while the
@@ -23,8 +23,10 @@ import (
 //
 // Transport failures (ErrBroken, resets, EOF) are deliberately NOT
 // here: the request may have been applied with its response lost, so
-// blind re-issue can double-apply. Reconnecting retries those only for
-// idempotent operations (Get, Ping).
+// blind re-issue of an ID-less mutation can double-apply. Reconnecting
+// escapes that bind by giving every mutation an op ID (session × seq)
+// and re-issuing it verbatim — the server's dedup window turns the
+// ambiguous retry into the original result.
 func Retryable(err error) bool {
 	var be *BusyError
 	if errors.As(err, &be) {
@@ -85,11 +87,16 @@ func (p RetryPolicy) backoff(rng *rand.Rand, attempt int, hint time.Duration) ti
 
 // Reconnecting is a self-healing kexserved client: one logical session
 // that redials through connection loss, honors the server's busy
-// Retry-After hints, and retries within the policy's budget — blindly
-// for operations the server cannot have half-applied, and for
-// idempotent reads/pings even across transport failures. A reconnect
-// admits under a fresh identity; the watchdog on the server side is
-// what guarantees the old one comes back to the pool.
+// Retry-After hints, and retries EVERY operation within the policy's
+// budget — reads and pings because they are idempotent, mutations
+// because each carries a stable op ID (one session identity for the
+// lifetime of the wrapper, one sequence number per logical mutation,
+// reused verbatim on every re-issue), which the server deduplicates.
+// A mutation whose ack was lost to a broken connection is simply sent
+// again; if the first copy was applied, the answer comes back with
+// WasDuplicate set and the original value. A reconnect admits under a
+// fresh process identity; the watchdog on the server side is what
+// guarantees the old one comes back to the pool.
 //
 // Methods are safe for concurrent use but serialize, like Client's.
 type Reconnecting struct {
@@ -97,13 +104,16 @@ type Reconnecting struct {
 	policy      RetryPolicy
 	opTimeout   time.Duration
 	dialTimeout time.Duration
+	session     uint64
 
-	mu  sync.Mutex
-	c   *Client // nil between a drop and the next successful redial
-	rng *rand.Rand
+	mu    sync.Mutex
+	c     *Client // nil between a drop and the next successful redial
+	rng   *rand.Rand
+	opSeq uint64
 
 	reconnects atomic.Int64
 	retries    atomic.Int64
+	dupeAcks   atomic.Int64
 }
 
 // DialReconnecting dials addr with the policy's budget (so a busy
@@ -122,6 +132,10 @@ func DialReconnecting(addr string, policy RetryPolicy, opTimeout time.Duration) 
 		dialTimeout: 10 * time.Second,
 		rng:         rand.New(rand.NewSource(seed)),
 	}
+	// One session identity for the wrapper's whole life, derived from
+	// the jitter stream so it is deterministic per seed and never zero
+	// (zero would opt out of deduplication).
+	r.session = uint64(r.rng.Int63())<<1 | 1
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.connectLocked(1); err != nil {
@@ -141,6 +155,10 @@ func (r *Reconnecting) connectLocked(attempt int) error {
 		c, err := DialTimeout(r.addr, r.dialTimeout)
 		if err == nil {
 			c.SetOpTimeout(r.opTimeout)
+			// Every physical connection speaks for the same logical
+			// session, so a mutation re-issued after a redial carries the
+			// same op ID the lost copy did.
+			c.SetSession(r.session)
 			r.c = c
 			r.reconnects.Add(1)
 			return nil
@@ -177,12 +195,13 @@ func (r *Reconnecting) dropLocked() {
 	}
 }
 
-// op runs one operation under the retry budget. idempotent governs
-// what survives a transport failure: a lost Get or Ping is re-issued,
-// a lost Add or Set is surfaced to the caller (the server may have
-// applied it). Typed not-applied refusals (see Retryable) are retried
-// for every kind.
-func (r *Reconnecting) op(idempotent bool, do func(*Client) (int64, error)) (int64, error) {
+// op runs one operation under the retry budget. Every operation —
+// reads, pings, and ID-carrying mutations alike — survives transport
+// failure: the closure is re-run against the healed connection, and
+// the server's dedup window makes a re-issued mutation return its
+// original result rather than double-apply. Typed terminal refusals
+// (bad shard, internal) are surfaced immediately.
+func (r *Reconnecting) op(do func(*Client) (int64, error)) (int64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var lastErr error
@@ -212,11 +231,10 @@ func (r *Reconnecting) op(idempotent bool, do func(*Client) (int64, error)) (int
 			if errors.As(err, &we) {
 				return 0, err // typed refusal (bad shard, internal): not transient
 			}
-			// Transport failure: the exchange died mid-flight.
+			// Transport failure: the exchange died mid-flight. The next
+			// attempt re-issues the same request — same session, same seq
+			// for mutations — over a fresh connection.
 			r.dropLocked()
-			if !idempotent {
-				return 0, fmt.Errorf("client: %w (operation may have been applied; not retrying a non-idempotent op)", err)
-			}
 		}
 		if attempt == r.policy.MaxAttempts {
 			break
@@ -227,35 +245,75 @@ func (r *Reconnecting) op(idempotent bool, do func(*Client) (int64, error)) (int
 	return 0, fmt.Errorf("client: budget of %d attempts exhausted: %w", r.policy.MaxAttempts, lastErr)
 }
 
+// opResult runs one mutation under the retry budget, assigning its op
+// sequence number once — before the first attempt — and reusing it
+// verbatim on every re-issue, across retries and redials alike.
+func (r *Reconnecting) opResult(do func(c *Client, seq uint64) (OpResult, error)) (OpResult, error) {
+	r.mu.Lock()
+	r.opSeq++
+	seq := r.opSeq
+	r.mu.Unlock()
+	var res OpResult
+	_, err := r.op(func(c *Client) (int64, error) {
+		var ierr error
+		res, ierr = do(c, seq)
+		return res.Value, ierr
+	})
+	if err != nil {
+		return OpResult{}, err
+	}
+	if res.WasDuplicate {
+		r.dupeAcks.Add(1)
+	}
+	return res, nil
+}
+
 // Ping round-trips a no-op, retrying through transport loss.
 func (r *Reconnecting) Ping() error {
-	_, err := r.op(true, func(c *Client) (int64, error) { return 0, c.Ping() })
+	_, err := r.op(func(c *Client) (int64, error) { return 0, c.Ping() })
 	return err
 }
 
 // Get reads shard's value, retrying through transport loss (reads are
 // idempotent).
 func (r *Reconnecting) Get(shard uint32) (int64, error) {
-	return r.op(true, func(c *Client) (int64, error) { return c.Get(shard) })
+	return r.op(func(c *Client) (int64, error) { return c.Get(shard) })
 }
 
-// Add adds delta to shard. Retried only on typed not-applied refusals
-// (busy, timeout, draining) — never across a transport failure, which
-// could double-apply.
+// Add adds delta to shard and returns the resulting value. Safe to
+// retry across transport failure: the op ID assigned up front makes a
+// re-issued copy a recognized duplicate, not a second application.
 func (r *Reconnecting) Add(shard uint32, delta int64) (int64, error) {
-	return r.op(false, func(c *Client) (int64, error) { return c.Add(shard, delta) })
+	res, err := r.AddOp(shard, delta)
+	return res.Value, err
+}
+
+// AddOp is Add surfacing the full OpResult — WasDuplicate reports that
+// the ack came from the server's dedup window (i.e. a retry landed
+// after the original had been applied).
+func (r *Reconnecting) AddOp(shard uint32, delta int64) (OpResult, error) {
+	return r.opResult(func(c *Client, seq uint64) (OpResult, error) {
+		return c.AddOp(shard, delta, seq)
+	})
 }
 
 // Set overwrites shard with v, with Add's retry discipline.
 func (r *Reconnecting) Set(shard uint32, v int64) error {
-	_, err := r.op(false, func(c *Client) (int64, error) { return 0, c.Set(shard, v) })
+	_, err := r.SetOp(shard, v)
 	return err
+}
+
+// SetOp is Set surfacing the full OpResult (see AddOp).
+func (r *Reconnecting) SetOp(shard uint32, v int64) (OpResult, error) {
+	return r.opResult(func(c *Client, seq uint64) (OpResult, error) {
+		return c.SetOp(shard, v, seq)
+	})
 }
 
 // Stats fetches the server's metrics snapshot (idempotent).
 func (r *Reconnecting) Stats() (wire.Stats, error) {
 	var st wire.Stats
-	_, err := r.op(true, func(c *Client) (int64, error) {
+	_, err := r.op(func(c *Client) (int64, error) {
 		var err error
 		st, err = c.Stats()
 		return 0, err
@@ -263,12 +321,21 @@ func (r *Reconnecting) Stats() (wire.Stats, error) {
 	return st, err
 }
 
+// Session reports the stable op-ID session identity every connection
+// of this wrapper speaks under.
+func (r *Reconnecting) Session() uint64 { return r.session }
+
 // Reconnects reports how many dials have succeeded (1 = the original
 // admission, each later one a healed drop).
 func (r *Reconnecting) Reconnects() int64 { return r.reconnects.Load() }
 
 // Retries reports how many backoff sleeps the budget has paid for.
 func (r *Reconnecting) Retries() int64 { return r.retries.Load() }
+
+// DupeAcks reports how many mutations were acknowledged from the
+// server's dedup window — each one a retry whose first copy had been
+// applied with its response lost.
+func (r *Reconnecting) DupeAcks() int64 { return r.dupeAcks.Load() }
 
 // Close ends the session.
 func (r *Reconnecting) Close() error {

@@ -191,25 +191,100 @@ func TestReconnectingRidesOutBusyWithHint(t *testing.T) {
 	}
 }
 
-func TestReconnectingNeverBlindlyRetriesWrites(t *testing.T) {
+func TestReconnectingRetriesWritesWithStableOpID(t *testing.T) {
+	// Conn 1 swallows the Add (admits, reads the request, hangs up
+	// without answering); conn 2 must then see the SAME mutation —
+	// same nonzero session, same nonzero seq — re-issued, which is what
+	// lets the server deduplicate instead of double-applying.
+	seen := make(chan wire.Request, 2)
+	capture := func(req wire.Request) {
+		select {
+		case seen <- req:
+		default:
+		}
+	}
 	addr, reqs := scriptedEndpoint(t,
-		func(conn net.Conn, reqs *atomic.Int64) { serveDropAfterRequest(conn, reqs) },
-		serveOK(10), // available, but a lost Add must NOT reach it
+		func(conn net.Conn, reqs *atomic.Int64) {
+			wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+			if req, err := wire.ReadRequest(conn); err == nil {
+				reqs.Add(1)
+				capture(req)
+			}
+		},
+		func(conn net.Conn, reqs *atomic.Int64) {
+			wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+			for {
+				req, err := wire.ReadRequest(conn)
+				if err != nil {
+					return
+				}
+				reqs.Add(1)
+				capture(req)
+				wire.WriteResponse(conn, wire.Response{
+					ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: 7,
+				})
+			}
+		},
 	)
 	r, err := DialReconnecting(addr, RetryPolicy{Seed: 9, BaseDelay: time.Millisecond}, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	_, err = r.Add(0, 7)
-	if err == nil {
-		t.Fatal("Add over a dropped exchange reported success")
+	res, err := r.AddOp(0, 7)
+	if err != nil {
+		t.Fatalf("Add across a dropped exchange failed: %v", err)
 	}
-	if !strings.Contains(err.Error(), "may have been applied") {
-		t.Fatalf("ambiguous write loss not explained: %v", err)
+	if res.Value != 7 || !res.WasDuplicate {
+		t.Fatalf("OpResult = %+v, want Value 7 with WasDuplicate", res)
 	}
-	if got := reqs.Load(); got != 1 {
-		t.Fatalf("server saw %d requests, want exactly 1: the lost Add must not be re-issued", got)
+	if r.DupeAcks() != 1 {
+		t.Fatalf("DupeAcks = %d, want 1", r.DupeAcks())
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (original + re-issue)", got)
+	}
+	first, second := <-seen, <-seen
+	if first.Session == 0 || first.Seq == 0 {
+		t.Fatalf("mutation carried no op ID: session %#x seq %d", first.Session, first.Seq)
+	}
+	if first.Session != r.Session() {
+		t.Fatalf("request session %#x != wrapper session %#x", first.Session, r.Session())
+	}
+	if second.Session != first.Session || second.Seq != first.Seq {
+		t.Fatalf("re-issue changed the op ID: %#x/%d then %#x/%d",
+			first.Session, first.Seq, second.Session, second.Seq)
+	}
+	if second.Kind != wire.KindAdd || second.Arg != 7 {
+		t.Fatalf("re-issue mutated the request: %+v", second)
+	}
+}
+
+func TestReconnectingSessionDeterministicPerSeed(t *testing.T) {
+	addr, _ := scriptedEndpoint(t, serveOK(1), serveOK(1), serveOK(1))
+	a, err := DialReconnecting(addr, RetryPolicy{Seed: 21}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b, err := DialReconnecting(addr, RetryPolicy{Seed: 21}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	c, err := DialReconnecting(addr, RetryPolicy{Seed: 22}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if a.Session() == 0 || a.Session()%2 == 0 {
+		t.Fatalf("session %#x is zero or even (must be odd-forced nonzero)", a.Session())
+	}
+	if a.Session() != b.Session() {
+		t.Fatalf("same seed, different sessions: %#x vs %#x", a.Session(), b.Session())
+	}
+	if a.Session() == c.Session() {
+		t.Fatalf("different seeds collided on session %#x", a.Session())
 	}
 }
 

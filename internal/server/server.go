@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"kexclusion/internal/core"
+	"kexclusion/internal/durable"
 	"kexclusion/internal/wire"
 )
 
@@ -72,6 +73,27 @@ type Config struct {
 	// (stall a session here, then kill its socket); leave nil in
 	// production.
 	ApplyGate func(shard uint32, kind wire.Kind)
+	// DataDir, when non-empty, makes the object table durable: New
+	// recovers the table from the directory's snapshot+WAL, every
+	// mutation is written ahead and acknowledged only at the configured
+	// durability point, and op IDs are deduplicated across restarts.
+	// Empty runs the table in memory (op IDs still deduplicate within
+	// the process lifetime).
+	DataDir string
+	// Fsync selects when an acknowledgement implies the record has been
+	// fsynced (see durable.SyncPolicy); only meaningful with DataDir.
+	Fsync durable.SyncPolicy
+	// FsyncInterval is the group-commit period for
+	// durable.SyncInterval (default 50ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery writes a table snapshot (and prunes the log) after
+	// this many applied mutations. Default 1024; negative disables
+	// automatic snapshots.
+	SnapshotEvery int
+	// DedupWindow bounds each shard's op-ID dedup table to this many
+	// sessions (oldest evicted first). Default 1024; negative means
+	// unbounded.
+	DedupWindow int
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -91,6 +113,15 @@ type Server struct {
 
 	idleReclaims atomic.Int64
 	opDeadlines  atomic.Int64
+	appliedDupes atomic.Int64
+
+	log      *durable.Log // nil without DataDir
+	recovery durable.Recovery
+	logOnce  sync.Once
+
+	sinceSnap   atomic.Int64
+	snapRunning atomic.Bool
+	snapWg      sync.WaitGroup
 }
 
 // New validates cfg and builds the server (table and session manager
@@ -124,13 +155,84 @@ func New(cfg Config) (*Server, error) {
 	if impl.FixedK != 0 && cfg.K != impl.FixedK {
 		return nil, fmt.Errorf("server: %s supports only k=%d, got k=%d", impl.Name, impl.FixedK, cfg.K)
 	}
-	return &Server{
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 1024
+	}
+	if cfg.DedupWindow == 0 {
+		cfg.DedupWindow = 1024
+	}
+
+	s := &Server{
 		cfg:     cfg,
 		impl:    impl,
-		tab:     newTable(cfg.N, cfg.K, cfg.Shards, impl),
 		sm:      newSessionManager(cfg.N, cfg.AdmitTimeout),
 		drainCh: make(chan struct{}),
-	}, nil
+	}
+	tc := tableConfig{window: cfg.DedupWindow, dupes: &s.appliedDupes}
+	if cfg.DataDir != "" {
+		log, rec, err := durable.Open(durable.Options{
+			Dir:         cfg.DataDir,
+			Policy:      cfg.Fsync,
+			Interval:    cfg.FsyncInterval,
+			DedupWindow: cfg.DedupWindow,
+			Logf:        cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening data dir: %w", err)
+		}
+		for id := range rec.Shards {
+			if int(id) >= cfg.Shards {
+				log.Close()
+				return nil, fmt.Errorf("server: data dir %s holds shard %d but the server is configured with %d shards — restart with the original shard count", cfg.DataDir, id, cfg.Shards)
+			}
+		}
+		s.log, s.recovery = log, rec
+		tc.log, tc.recovered = log, rec.Shards
+		if cfg.SnapshotEvery > 0 {
+			tc.applied = s.maybeSnapshot
+		}
+	}
+	s.tab = newTable(cfg.N, cfg.K, cfg.Shards, impl, tc)
+	return s, nil
+}
+
+// Recovery reports what New reconstructed from the data directory (the
+// zero value without one).
+func (s *Server) Recovery() durable.Recovery { return s.recovery }
+
+// maybeSnapshot counts applied mutations and, every SnapshotEvery of
+// them, writes a table snapshot in the background (never two at once —
+// an overrun round just rolls its count into the next).
+func (s *Server) maybeSnapshot() {
+	if s.sinceSnap.Add(1) < int64(s.cfg.SnapshotEvery) {
+		return
+	}
+	if !s.snapRunning.CompareAndSwap(false, true) {
+		return
+	}
+	s.sinceSnap.Store(0)
+	s.snapWg.Add(1)
+	go func() {
+		defer s.snapWg.Done()
+		defer s.snapRunning.Store(false)
+		if err := s.log.WriteSnapshot(s.tab.peekAll); err != nil {
+			s.logf("snapshot failed: %v", err)
+		}
+	}()
+}
+
+// closeLog finishes the durability layer exactly once: waits out any
+// in-flight snapshot, then closes the WAL (final fsync included).
+func (s *Server) closeLog() {
+	s.logOnce.Do(func() {
+		if s.log == nil {
+			return
+		}
+		s.snapWg.Wait()
+		if err := s.log.Close(); err != nil {
+			s.logf("closing log: %v", err)
+		}
+	})
 }
 
 // Listen binds the TCP address (use port 0 for an ephemeral port) and
@@ -201,6 +303,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeLog()
 		return nil
 	case <-ctx.Done():
 		s.sm.forceClose()
@@ -208,6 +311,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-done:
 		case <-time.After(100 * time.Millisecond):
 		}
+		// Sessions abandoned inside the core may still try to append;
+		// they will get errors from the closed log, which is the honest
+		// outcome of a forced shutdown.
+		s.closeLog()
 		return ctx.Err()
 	}
 }
@@ -226,6 +333,9 @@ func (s *Server) Stats() wire.Stats {
 		Reclaimed:      s.sm.reclaimed.Load(),
 		IdleReclaims:   s.idleReclaims.Load(),
 		OpDeadlines:    s.opDeadlines.Load(),
+		AppliedDupes:   s.appliedDupes.Load(),
+		RecoveredOps:   int64(s.recovery.RecoveredOps),
+		RestartCount:   int64(s.recovery.RestartCount),
 		Draining:       s.draining.Load(),
 		PerShard:       s.tab.snapshots(),
 	}

@@ -3,8 +3,11 @@ package server
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"kexclusion/internal/core"
+	"kexclusion/internal/durable"
 	"kexclusion/internal/obs"
 	"kexclusion/internal/resilient"
 	"kexclusion/internal/wire"
@@ -12,35 +15,75 @@ import (
 
 // table is the server's sharded object store: each shard is one of the
 // paper's resilient shared objects — a wait-free k-process core inside
-// an (N, k)-assignment wrapper — holding an int64 register/counter. A
-// session applies an operation under its leased process identity, so at
-// most k sessions are inside any shard's wait-free core at a time, and a
-// session that dies holding a slot (a disconnected client) costs that
-// shard one of its k slots, never overall progress.
+// an (N, k)-assignment wrapper — holding a durable.ShardState (value,
+// mutation version, dedup window). A session applies an operation
+// under its leased process identity, so at most k sessions are inside
+// any shard's wait-free core at a time, and a session that dies
+// holding a slot (a disconnected client) costs that shard one of its k
+// slots, never overall progress.
 //
-// Each shard gets its own obs.Metrics sink shared by every layer of that
-// shard's stack (k-exclusion, renaming, universal construction), so the
-// stats endpoint can show per-shard contention rather than one blurred
-// aggregate.
+// The dedup window travels inside the shard state on purpose: the
+// universal construction's helpers may execute an op closure several
+// times against cloned states, and only the clone that wins the CAS
+// becomes real — so "is this op ID a retry, and if not, apply it" is a
+// single linearized step with no bookkeeping charged to speculative
+// executions. Durability hangs off the same mechanism: every applied
+// mutation gets the shard's next version number, and the WAL sequencer
+// admits appends strictly in version order, making WAL order equal
+// linearization order per shard. That gives prefix durability — a
+// durable record implies every earlier mutation of its shard is
+// durable — which is what lets a crash drop only un-acknowledged tail
+// writes.
+//
+// Each shard gets its own obs.Metrics sink shared by every layer of
+// that shard's stack (k-exclusion, renaming, universal construction),
+// so the stats endpoint can show per-shard contention rather than one
+// blurred aggregate.
 type table struct {
 	shards []tableShard
+	window int
+	log    *durable.Log // nil without -data-dir: dedup only, in memory
+	dupes  *atomic.Int64
+	// applied, when non-nil, is called once per applied (non-duplicate)
+	// mutation after it is durable — the snapshot trigger.
+	applied func()
 }
 
 type tableShard struct {
-	obj *resilient.Shared[int64]
+	obj *resilient.Shared[durable.ShardState]
 	m   *obs.Metrics
+	seq *appendSequencer
+}
+
+// tableConfig carries the durability wiring into newTable.
+type tableConfig struct {
+	window    int
+	log       *durable.Log
+	recovered map[uint32]durable.ShardState
+	dupes     *atomic.Int64
+	applied   func()
 }
 
 // newTable builds shards independent resilient objects, each with the
-// impl k-exclusion at its admission edge.
-func newTable(n, k, shards int, impl core.Constructor) *table {
-	t := &table{shards: make([]tableShard, shards)}
+// impl k-exclusion at its admission edge, seeded from recovered state
+// when the server restarted from a data directory.
+func newTable(n, k, shards int, impl core.Constructor, tc tableConfig) *table {
+	t := &table{
+		shards:  make([]tableShard, shards),
+		window:  tc.window,
+		log:     tc.log,
+		dupes:   tc.dupes,
+		applied: tc.applied,
+	}
 	for i := range t.shards {
 		m := obs.New()
 		excl := impl.New(n, k, core.WithMetrics(m))
+		initial := tc.recovered[uint32(i)]
 		t.shards[i] = tableShard{
-			obj: resilient.NewSharedConfig[int64](n, k, 0, nil, resilient.Config{Excl: excl, Metrics: m}),
+			obj: resilient.NewSharedConfig(n, k, initial, durable.ShardState.Clone,
+				resilient.Config{Excl: excl, Metrics: m}),
 			m:   m,
+			seq: newAppendSequencer(initial.Ver),
 		}
 	}
 	return t
@@ -55,43 +98,171 @@ func (t *table) snapshots() []obs.Snapshot {
 	return out
 }
 
+// peekAll images every shard for a snapshot. Peeked states are
+// immutable committed cells, so reading them (and their dedup maps)
+// races nothing.
+func (t *table) peekAll() map[uint32]durable.ShardState {
+	out := make(map[uint32]durable.ShardState, len(t.shards))
+	for i := range t.shards {
+		out[uint32(i)] = t.shards[i].obj.Peek()
+	}
+	return out
+}
+
 // apply runs one shard operation as process p under ctx. gate, when
-// non-nil, is invoked inside the object operation — i.e. while p holds a
-// k-assignment slot and a name inside the wait-free core — which is
-// exactly where crash-fault tests need to stall a session before killing
-// its socket. If ctx expires while p is still waiting for a slot, the
-// acquisition withdraws and the answer is StatusTimeout: the operation
-// was not applied and is safe to retry, even a non-idempotent one. Once
-// p holds its slot the operation always runs to completion — a deadline
-// can refuse work, never corrupt it.
+// non-nil, is invoked inside the object operation — i.e. while p holds
+// a k-assignment slot and a name inside the wait-free core — which is
+// exactly where crash-fault tests need to stall a session before
+// killing its socket. If ctx expires while p is still waiting for a
+// slot, the acquisition withdraws and the answer is StatusTimeout: the
+// operation was not applied and is safe to retry, even a
+// non-idempotent one. Once p holds its slot the operation always runs
+// to completion — a deadline can refuse work, never corrupt it.
+//
+// Mutations are acknowledged only after the WAL covers them (when one
+// is configured): an applied op waits for its own record's durability;
+// a deduplicated retry waits until the original application's record
+// is on disk — otherwise re-acking it could outlive a crash that loses
+// the original.
 func (t *table) apply(ctx context.Context, p int, req wire.Request, gate func(shard uint32, kind wire.Kind)) wire.Response {
 	if int(req.Shard) >= len(t.shards) || req.Shard >= 1<<31 {
 		return errResponse(req.ID, wire.StatusBadShard,
 			fmt.Sprintf("shard %d out of range [0,%d)", req.Shard, len(t.shards)))
 	}
 	sh := t.shards[req.Shard]
-	var op func(int64) (int64, any)
+
+	var kind durable.OpKind
 	switch req.Kind {
 	case wire.KindGet:
-		op = func(s int64) (int64, any) { return s, s }
+		v, err := sh.obj.ApplyCtx(ctx, p, func(s durable.ShardState) (durable.ShardState, any) {
+			if gate != nil {
+				gate(req.Shard, req.Kind)
+			}
+			return s, s.Val
+		})
+		if err != nil {
+			return timeoutResponse(req.ID)
+		}
+		// Reads are linearized but do not wait for the log: the value
+		// returned is some applied state, and reads move nothing that a
+		// crash could lose.
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: v.(int64)}
 	case wire.KindAdd:
-		op = func(s int64) (int64, any) { s += req.Arg; return s, s }
+		kind = durable.OpAdd
 	case wire.KindSet:
-		op = func(int64) (int64, any) { return req.Arg, req.Arg }
+		kind = durable.OpSet
 	default:
 		return errResponse(req.ID, wire.StatusBadRequest, fmt.Sprintf("unknown kind %s", req.Kind))
 	}
-	v, err := sh.obj.ApplyCtx(ctx, p, func(s int64) (int64, any) {
+
+	v, err := sh.obj.ApplyCtx(ctx, p, func(s durable.ShardState) (durable.ShardState, any) {
 		if gate != nil {
 			gate(req.Shard, req.Kind)
 		}
-		return op(s)
+		out := durable.Step(&s, t.window, req.Session, req.Seq, kind, req.Arg)
+		return s, out
 	})
 	if err != nil {
-		return errResponse(req.ID, wire.StatusTimeout,
-			"deadline expired waiting for a slot; operation not applied, safe to retry")
+		return timeoutResponse(req.ID)
 	}
-	return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: v.(int64)}
+	out := v.(durable.Outcome)
+	switch {
+	case out.Stale:
+		return errResponse(req.ID, wire.StatusBadRequest,
+			fmt.Sprintf("stale op: session %#x already moved past seq %d", req.Session, req.Seq))
+	case out.Duplicate:
+		sh.m.DupeHit()
+		if t.dupes != nil {
+			t.dupes.Add(1)
+		}
+		if t.log != nil {
+			// The original application is at shard version out.Ver. Wait
+			// for its record to reach the log, then for the log's current
+			// end to be durable — conservative, but it guarantees the
+			// re-acknowledged result cannot be lost to a crash that the
+			// original ack would have survived.
+			sh.seq.waitAppended(out.Ver)
+			if werr := t.log.WaitDurable(t.log.End()); werr != nil {
+				return errResponse(req.ID, wire.StatusInternal, werr.Error())
+			}
+		}
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: out.Val}
+	}
+
+	if t.log != nil {
+		sh.seq.waitTurn(out.Ver)
+		lsn, aerr := t.log.Append(durable.Record{
+			Session: req.Session, Seq: req.Seq, Shard: req.Shard,
+			Kind: kind, Arg: req.Arg, Val: out.Val, Ver: out.Ver,
+		})
+		sh.seq.advance()
+		if aerr != nil {
+			// The op IS applied in memory; only its durability failed. The
+			// client sees an internal error and may retry, landing on the
+			// dedup window.
+			return errResponse(req.ID, wire.StatusInternal, aerr.Error())
+		}
+		if werr := t.log.WaitDurable(lsn); werr != nil {
+			return errResponse(req.ID, wire.StatusInternal, werr.Error())
+		}
+	}
+	if t.applied != nil {
+		t.applied()
+	}
+	return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}
+}
+
+// appendSequencer admits WAL appends for one shard strictly in
+// mutation-version order. The universal construction linearizes
+// mutations and hands each a dense version number, but the sessions
+// carrying them race to the log; the sequencer restores the order, so
+// the WAL is a prefix-faithful transcript of each shard's history.
+type appendSequencer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next uint64 // version whose append is admitted next
+}
+
+func newAppendSequencer(recovered uint64) *appendSequencer {
+	g := &appendSequencer{next: recovered + 1}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// waitTurn blocks until ver is the next version to append. Every
+// version below ver was applied by some live session goroutine that
+// will append it (sessions survive their sockets), so the wait is
+// bounded by those appends.
+func (g *appendSequencer) waitTurn(ver uint64) {
+	g.mu.Lock()
+	for g.next != ver {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// advance admits the next version (called after the append, success or
+// not — an append failure must not wedge every later writer).
+func (g *appendSequencer) advance() {
+	g.mu.Lock()
+	g.next++
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// waitAppended blocks until version ver's record has been appended.
+func (g *appendSequencer) waitAppended(ver uint64) {
+	g.mu.Lock()
+	for g.next <= ver {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// timeoutResponse answers a withdrawn operation.
+func timeoutResponse(id uint64) wire.Response {
+	return errResponse(id, wire.StatusTimeout,
+		"deadline expired waiting for a slot; operation not applied, safe to retry")
 }
 
 // errResponse builds a non-OK response carrying human-readable detail.

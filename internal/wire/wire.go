@@ -38,9 +38,10 @@ import (
 var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
 
 // Magic opens every Hello frame; it doubles as the protocol version
-// ("kx02" — bump the digit on incompatible change; 02 added the
-// RetryAfterMillis field to Hello).
-const Magic uint32 = 0x6b783032
+// ("kx03" — bump the digit on incompatible change; 02 added the
+// RetryAfterMillis field to Hello, 03 added the client-assigned op ID
+// (Session, Seq) to Request and the Flags byte to Response).
+const Magic uint32 = 0x6b783033
 
 // MaxFrame bounds a frame payload; a peer announcing more is treated as
 // corrupt rather than trusted with an allocation.
@@ -150,7 +151,26 @@ type Request struct {
 	Shard uint32
 	// Arg is the operand of add/set.
 	Arg int64
+	// Session and Seq are the client-assigned op ID for mutations:
+	// Session is a client-chosen identity stable across reconnects,
+	// Seq a per-session sequence number assigned once per logical
+	// operation and reused verbatim on every retry. A server that
+	// keeps dedup state answers a retried (Session, Seq) with the
+	// original result (FlagDuplicate set) instead of re-applying.
+	// Either being zero opts the operation out of deduplication.
+	Session uint64
+	Seq     uint64
 }
+
+// Flags qualifies a successful Response.
+type Flags uint8
+
+const (
+	// FlagDuplicate: the request's op ID matched an already-applied
+	// operation; Value is the originally acknowledged result and the
+	// object was not touched again.
+	FlagDuplicate Flags = 1 << iota
+)
 
 // Response answers one Request.
 type Response struct {
@@ -158,6 +178,8 @@ type Response struct {
 	ID uint64
 	// Status classifies the outcome.
 	Status Status
+	// Flags qualifies an OK outcome (see FlagDuplicate).
+	Flags Flags
 	// Value is the operation result (new/current shard value).
 	Value int64
 	// Data is an optional opaque payload: error detail on non-OK
@@ -192,33 +214,46 @@ type Hello struct {
 }
 
 // Stats is the schema of the KindStats payload and the kexserved -json
-// dump: the server shape, session-manager counters, and one metrics
-// snapshot per shard (each shard's k-exclusion, renaming and universal
-// construction share that shard's sink). Field order is fixed, so the
-// marshalled schema is deterministic.
+// dump: the server shape, session-manager counters, recovery tallies,
+// and one metrics snapshot per shard (each shard's k-exclusion,
+// renaming and universal construction share that shard's sink). Fields
+// are declared in alphabetical order of their JSON keys, so the
+// marshalled schema is deterministic and sorted — pinned by a golden
+// test.
 type Stats struct {
-	N      int    `json:"n"`
-	K      int    `json:"k"`
-	Shards int    `json:"shards"`
-	Impl   string `json:"impl"`
 	// ActiveSessions counts currently leased identities; Admitted,
 	// Rejected and Reclaimed are lifetime totals, where Reclaimed counts
 	// identities returned by the session teardown path (every session
 	// end, including disconnect-as-crash reclaims).
 	ActiveSessions int64 `json:"active_sessions"`
 	Admitted       int64 `json:"admitted"`
-	Rejected       int64 `json:"rejected"`
-	Reclaimed      int64 `json:"reclaimed"`
-	// IdleReclaims counts sessions torn down by the idle watchdog (a
-	// silent connection exceeded the idle timeout); OpDeadlines counts
-	// operations withdrawn because their per-op deadline expired while
-	// waiting for a slot (answered with StatusTimeout).
-	IdleReclaims int64 `json:"idle_reclaims"`
-	OpDeadlines  int64 `json:"op_deadlines"`
+	// AppliedDupes counts mutations answered from the dedup window — a
+	// retried op whose first application was already acknowledged (or
+	// was in flight); the object was not touched again.
+	AppliedDupes int64 `json:"applied_dupes"`
 	// Draining reports whether graceful shutdown has begun.
 	Draining bool `json:"draining"`
+	// IdleReclaims counts sessions torn down by the idle watchdog (a
+	// silent connection exceeded the idle timeout).
+	IdleReclaims int64  `json:"idle_reclaims"`
+	Impl         string `json:"impl"`
+	K            int    `json:"k"`
+	N            int    `json:"n"`
+	// OpDeadlines counts operations withdrawn because their per-op
+	// deadline expired while waiting for a slot (StatusTimeout).
+	OpDeadlines int64 `json:"op_deadlines"`
 	// PerShard holds one acquisition-metrics snapshot per shard.
-	PerShard []obs.Snapshot `json:"per_shard"`
+	PerShard  []obs.Snapshot `json:"per_shard"`
+	Reclaimed int64          `json:"reclaimed"`
+	// RecoveredOps is the number of mutations reconstructed from the
+	// data directory at startup (snapshot plus WAL replay); zero when
+	// the server runs without durability or booted fresh.
+	RecoveredOps int64 `json:"recovered_ops"`
+	Rejected     int64 `json:"rejected"`
+	// RestartCount is how many prior incarnations opened this data
+	// directory: 0 on first boot, 1 after one crash or restart.
+	RestartCount int64 `json:"restart_count"`
+	Shards       int   `json:"shards"`
 }
 
 // JSON marshals the stats deterministically.
@@ -272,7 +307,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-const requestLen = 8 + 1 + 4 + 8
+const requestLen = 8 + 1 + 4 + 8 + 8 + 8
 
 // Encode serializes the request payload.
 func (r Request) Encode() []byte {
@@ -281,6 +316,8 @@ func (r Request) Encode() []byte {
 	b[8] = byte(r.Kind)
 	binary.BigEndian.PutUint32(b[9:], r.Shard)
 	binary.BigEndian.PutUint64(b[13:], uint64(r.Arg))
+	binary.BigEndian.PutUint64(b[21:], r.Session)
+	binary.BigEndian.PutUint64(b[29:], r.Seq)
 	return b
 }
 
@@ -290,40 +327,44 @@ func ParseRequest(b []byte) (Request, error) {
 		return Request{}, fmt.Errorf("wire: request payload is %d bytes, want %d", len(b), requestLen)
 	}
 	return Request{
-		ID:    binary.BigEndian.Uint64(b[0:]),
-		Kind:  Kind(b[8]),
-		Shard: binary.BigEndian.Uint32(b[9:]),
-		Arg:   int64(binary.BigEndian.Uint64(b[13:])),
+		ID:      binary.BigEndian.Uint64(b[0:]),
+		Kind:    Kind(b[8]),
+		Shard:   binary.BigEndian.Uint32(b[9:]),
+		Arg:     int64(binary.BigEndian.Uint64(b[13:])),
+		Session: binary.BigEndian.Uint64(b[21:]),
+		Seq:     binary.BigEndian.Uint64(b[29:]),
 	}, nil
 }
 
 // Encode serializes the response payload.
 func (r Response) Encode() []byte {
-	b := make([]byte, 8+1+8+4+len(r.Data))
+	b := make([]byte, 8+1+1+8+4+len(r.Data))
 	binary.BigEndian.PutUint64(b[0:], r.ID)
 	b[8] = byte(r.Status)
-	binary.BigEndian.PutUint64(b[9:], uint64(r.Value))
-	binary.BigEndian.PutUint32(b[17:], uint32(len(r.Data)))
-	copy(b[21:], r.Data)
+	b[9] = byte(r.Flags)
+	binary.BigEndian.PutUint64(b[10:], uint64(r.Value))
+	binary.BigEndian.PutUint32(b[18:], uint32(len(r.Data)))
+	copy(b[22:], r.Data)
 	return b
 }
 
 // ParseResponse decodes a response payload.
 func ParseResponse(b []byte) (Response, error) {
-	if len(b) < 21 {
-		return Response{}, fmt.Errorf("wire: response payload is %d bytes, want >= 21", len(b))
+	if len(b) < 22 {
+		return Response{}, fmt.Errorf("wire: response payload is %d bytes, want >= 22", len(b))
 	}
-	dlen := binary.BigEndian.Uint32(b[17:])
-	if int(dlen) != len(b)-21 {
-		return Response{}, fmt.Errorf("wire: response declares %d data bytes, has %d", dlen, len(b)-21)
+	dlen := binary.BigEndian.Uint32(b[18:])
+	if int(dlen) != len(b)-22 {
+		return Response{}, fmt.Errorf("wire: response declares %d data bytes, has %d", dlen, len(b)-22)
 	}
 	r := Response{
 		ID:     binary.BigEndian.Uint64(b[0:]),
 		Status: Status(b[8]),
-		Value:  int64(binary.BigEndian.Uint64(b[9:])),
+		Flags:  Flags(b[9]),
+		Value:  int64(binary.BigEndian.Uint64(b[10:])),
 	}
 	if dlen > 0 {
-		r.Data = append([]byte(nil), b[21:]...)
+		r.Data = append([]byte(nil), b[22:]...)
 	}
 	return r, nil
 }

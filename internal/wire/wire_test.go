@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"sort"
 	"strings"
 	"testing"
 
@@ -18,6 +19,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 42, Kind: KindAdd, Shard: 7, Arg: -5},
 		{ID: 1<<64 - 1, Kind: KindSet, Shard: 1<<32 - 1, Arg: -1 << 62},
 		{ID: 9, Kind: KindStats},
+		{ID: 10, Kind: KindAdd, Shard: 2, Arg: 1, Session: 0xfeedface, Seq: 17},
+		{ID: 11, Kind: KindSet, Arg: 5, Session: 1<<64 - 1, Seq: 1<<64 - 1},
 	}
 	var buf bytes.Buffer
 	for _, want := range cases {
@@ -41,6 +44,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{ID: 2, Status: StatusBadShard, Value: 0, Data: []byte("shard 9 out of range")},
 		{ID: 3, Status: StatusOK, Data: []byte(`{"n":4}`)},
 		{ID: 4, Status: StatusDraining, Value: -7},
+		{ID: 5, Status: StatusOK, Flags: FlagDuplicate, Value: 12},
 	}
 	var buf bytes.Buffer
 	for _, want := range cases {
@@ -52,7 +56,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("read: %v", err)
 		}
-		if got.ID != want.ID || got.Status != want.Status || got.Value != want.Value || !bytes.Equal(got.Data, want.Data) {
+		if got.ID != want.ID || got.Status != want.Status || got.Flags != want.Flags || got.Value != want.Value || !bytes.Equal(got.Data, want.Data) {
 			t.Errorf("round trip: got %+v, want %+v", got, want)
 		}
 	}
@@ -122,7 +126,7 @@ func TestParseErrors(t *testing.T) {
 	// Response with a data length that disagrees with the payload.
 	r := Response{ID: 1, Data: []byte("abc")}
 	b := r.Encode()
-	binary.BigEndian.PutUint32(b[17:], 99)
+	binary.BigEndian.PutUint32(b[18:], 99)
 	if _, err := ParseResponse(b); err == nil {
 		t.Error("inconsistent data length accepted")
 	}
@@ -162,6 +166,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		N: 8, K: 2, Shards: 4, Impl: "fastpath",
 		ActiveSessions: 3, Admitted: 10, Rejected: 2, Reclaimed: 7,
 		IdleReclaims: 4, OpDeadlines: 6,
+		AppliedDupes: 5, RecoveredOps: 11, RestartCount: 1,
 		Draining: true,
 		PerShard: []obs.Snapshot{m.Snapshot()},
 	}
@@ -175,7 +180,10 @@ func TestStatsRoundTrip(t *testing.T) {
 	if got.IdleReclaims != 4 || got.OpDeadlines != 6 {
 		t.Errorf("watchdog counters lost: %+v", got)
 	}
-	for _, key := range []string{"idle_reclaims", "op_deadlines"} {
+	if got.AppliedDupes != 5 || got.RecoveredOps != 11 || got.RestartCount != 1 {
+		t.Errorf("durability counters lost: %+v", got)
+	}
+	for _, key := range []string{"idle_reclaims", "op_deadlines", "applied_dupes", "recovered_ops", "restart_count"} {
 		if !bytes.Contains(s.JSON(), []byte(`"`+key+`"`)) {
 			t.Errorf("stats JSON missing %q", key)
 		}
@@ -185,5 +193,33 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseStats([]byte("{")); err == nil {
 		t.Error("bad stats payload accepted")
+	}
+}
+
+// TestStatsJSONGolden pins the stats schema byte-for-byte: keys are
+// alphabetically sorted (the struct declares fields in key order), so
+// tooling that diffs or greps dumps sees a stable layout. Adding a
+// field means updating this golden string — deliberately.
+func TestStatsJSONGolden(t *testing.T) {
+	s := Stats{
+		ActiveSessions: 1, Admitted: 2, AppliedDupes: 3, Draining: true,
+		IdleReclaims: 4, Impl: "fastpath", K: 2, N: 8, OpDeadlines: 5,
+		PerShard: nil, Reclaimed: 6, RecoveredOps: 7, Rejected: 8,
+		RestartCount: 9, Shards: 4,
+	}
+	const want = `{"active_sessions":1,"admitted":2,"applied_dupes":3,"draining":true,` +
+		`"idle_reclaims":4,"impl":"fastpath","k":2,"n":8,"op_deadlines":5,` +
+		`"per_shard":null,"reclaimed":6,"recovered_ops":7,"rejected":8,` +
+		`"restart_count":9,"shards":4}`
+	if got := string(s.JSON()); got != want {
+		t.Fatalf("stats JSON drifted from golden schema:\n got  %s\n want %s", got, want)
+	}
+	// Belt and braces: top-level keys must appear in sorted order.
+	var keys []string
+	for _, part := range strings.Split(want[1:len(want)-1], ",") {
+		keys = append(keys, strings.SplitN(part, ":", 2)[0])
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("golden keys are not sorted: %v", keys)
 	}
 }
