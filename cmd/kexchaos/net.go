@@ -91,7 +91,10 @@ func runNet(out io.Writer, cfg netConfig) error {
 	conns := make([]*client.Reconnecting, cfg.n)
 	for i := range conns {
 		c, err := client.DialReconnecting(px.Addr(), client.RetryPolicy{
-			Seed:        cfg.seed + int64(i) + 1,
+			Seed: cfg.seed + int64(i) + 1,
+			// Deterministic, per-client-distinct op-ID identities keep
+			// the run reproducible; |1 keeps them nonzero.
+			Session:     uint64(cfg.seed+int64(i))<<1 | 1,
 			MaxAttempts: 10,
 			BaseDelay:   5 * time.Millisecond,
 			MaxDelay:    cfg.idle,

@@ -132,7 +132,10 @@ func runRestart(out io.Writer, cfg restartConfig) error {
 	conns := make([]*client.Reconnecting, cfg.n)
 	for i := range conns {
 		c, err := client.DialReconnecting(px.Addr(), client.RetryPolicy{
-			Seed:        cfg.seed + int64(i) + 1,
+			Seed: cfg.seed + int64(i) + 1,
+			// Deterministic, per-client-distinct op-ID identities keep
+			// the run reproducible; |1 keeps them nonzero.
+			Session:     uint64(cfg.seed+int64(i))<<1 | 1,
 			MaxAttempts: 12,
 			BaseDelay:   5 * time.Millisecond,
 			MaxDelay:    250 * time.Millisecond,

@@ -69,6 +69,13 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 	markers = binary.BigEndian.Uint64(body[9:])
 	nShards := int(binary.BigEndian.Uint32(body[17:]))
 	off := 21
+	// Every shard needs at least a 24-byte header, so a declared count
+	// the remaining body cannot hold is corruption — checked BEFORE the
+	// count becomes a map allocation hint, or a CRC-valid but crafted
+	// frame could demand an allocation sized for 2^32 entries.
+	if nShards > (len(body)-off)/24 {
+		return fail("shard count exceeds body size")
+	}
 	shards = make(map[uint32]ShardState, nShards)
 	for i := 0; i < nShards; i++ {
 		if len(body)-off < 24 {

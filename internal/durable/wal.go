@@ -126,6 +126,7 @@ type Log struct {
 	markers  uint64     // restart markers ever appended (incl. pruned)
 	syncs    uint64     // fsyncs issued (observability for group commit)
 	closed   bool
+	fail     error // sticky: set by the first failed append/fsync, fatal
 
 	snapMu sync.Mutex // serializes WriteSnapshot
 
@@ -333,22 +334,46 @@ func (l *Log) truncateTail(sg segment, data []byte, off int, cause error, rec *R
 
 // Append writes one op record and returns its LSN. Under SyncAlways
 // the record is durable on return; otherwise pair with WaitDurable.
+//
+// A failed append or fsync poisons the log permanently: the record's
+// version number is consumed by the caller's sequencer even though no
+// record covers it, so letting later appends through would write a
+// transcript with a hole in it — acknowledged as durable now,
+// unrecoverable ("gap in shard history") at the next boot. Once
+// poisoned, every Append and WaitDurable returns the original failure;
+// the layer refuses to vouch for anything rather than lie.
 func (l *Log) Append(r Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, fmt.Errorf("durable: log is closed")
 	}
+	if l.fail != nil {
+		return 0, l.fail
+	}
 	if err := l.appendLocked(encodeOp(r)); err != nil {
-		return 0, err
+		l.poisonLocked(err)
+		return 0, l.fail
 	}
 	lsn := l.end
 	if l.opts.Policy == SyncAlways {
 		if err := l.syncLocked(); err != nil {
-			return 0, err
+			l.poisonLocked(err)
+			return 0, l.fail
 		}
 	}
 	return lsn, nil
+}
+
+// poisonLocked records the first fatal durability failure and wakes
+// every waiter so none blocks on a durable watermark that will never
+// advance. Caller holds l.mu.
+func (l *Log) poisonLocked(err error) {
+	if l.fail == nil {
+		l.fail = fmt.Errorf("durable: log poisoned by failed write: %w", err)
+		l.opts.Logf("%v", l.fail)
+		l.cond.Broadcast()
+	}
 }
 
 // appendLocked writes one framed record, rotating first if the active
@@ -428,13 +453,16 @@ func (l *Log) syncer() {
 			return
 		case <-t.C:
 			l.mu.Lock()
-			if l.closed {
+			if l.closed || l.fail != nil {
 				l.mu.Unlock()
 				return
 			}
 			if l.durable < l.end {
 				if err := l.syncLocked(); err != nil {
-					l.opts.Logf("durable: group-commit fsync: %v", err)
+					// A failed group commit is as fatal as a failed append:
+					// waiters parked on the durable watermark must get an
+					// error, not an ack built on an fsync that never landed.
+					l.poisonLocked(err)
 				}
 			}
 			l.mu.Unlock()
@@ -444,16 +472,26 @@ func (l *Log) syncer() {
 
 // WaitDurable blocks until lsn is covered by the sync policy. Under
 // SyncAlways and SyncNever it returns immediately.
+//
+// A poisoned log fails every wait, even for an LSN that reached disk
+// before the failure: after a poison, a caller may be asking about the
+// wrong record entirely (the one whose append failed never got an LSN
+// at all), so the only honest answer is the failure.
 func (l *Log) WaitDurable(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for l.durable < lsn {
+	for {
+		if l.fail != nil {
+			return l.fail
+		}
+		if l.durable >= lsn {
+			return nil
+		}
 		if l.closed {
 			return fmt.Errorf("durable: log closed before LSN %d became durable", lsn)
 		}
 		l.cond.Wait()
 	}
-	return nil
 }
 
 // End returns the last assigned LSN.
@@ -480,7 +518,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	var err error
-	if l.opts.Policy != SyncNever && l.durable < l.end {
+	if l.opts.Policy != SyncNever && l.fail == nil && l.durable < l.end {
 		err = l.syncLocked()
 	}
 	l.closed = true

@@ -1,8 +1,11 @@
 package durable
 
 import (
+	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -433,5 +436,63 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	}
 	if err := l.Close(); err != nil {
 		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestAppendFailurePoisonsLog guards the no-holes invariant: a failed
+// append consumes a version number in the caller's sequencer without a
+// record to back it, so if later appends were admitted the WAL would
+// carry acknowledged-as-durable records past a gap — poison for the
+// next recovery. The log must instead go fatal: every later Append and
+// every WaitDurable (even for an LSN that made it to disk earlier)
+// returns the failure, so nothing is acked as durable after the hole.
+func TestAppendFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes 1 forces a rotation before every op append, giving
+	// the test a deterministic failure point: segment creation in a
+	// directory that no longer exists.
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 1})
+	var s ShardState
+	appendOps(t, l, &s, 0, 11, 1, 1) // one durable record, LSN <= 2
+	defer l.Close()
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	out := Step(&s, 0, 11, 2, OpAdd, 1)
+	if _, err := l.Append(Record{Session: 11, Seq: 2, Shard: 0, Kind: OpAdd, Arg: 1, Val: out.Val, Ver: out.Ver}); err == nil {
+		t.Fatal("append into a deleted data directory succeeded")
+	}
+
+	// The version for seq 2 is now a hole. A later append must be
+	// refused outright, not written past the gap.
+	out = Step(&s, 0, 11, 3, OpAdd, 1)
+	_, err := l.Append(Record{Session: 11, Seq: 3, Shard: 0, Kind: OpAdd, Arg: 1, Val: out.Val, Ver: out.Ver})
+	if err == nil {
+		t.Fatal("append after a failed append succeeded: the WAL now has a hole")
+	}
+	if !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("post-failure append error does not surface the poison: %v", err)
+	}
+
+	// Fail-first: even LSN 1 — durable before the failure — must not be
+	// vouched for, or the server's duplicate path would re-ack an op
+	// whose own record never landed (End() points before the hole).
+	if err := l.WaitDurable(1); err == nil {
+		t.Fatal("WaitDurable on a poisoned log succeeded")
+	}
+}
+
+// TestDecodeSnapshotHugeShardCountRejected: a CRC-valid frame whose
+// declared shard count the body cannot possibly hold must be rejected
+// before the count is used as an allocation hint (a crafted count of
+// 2^32-1 would otherwise demand a multi-GiB map at recovery time).
+func TestDecodeSnapshotHugeShardCountRejected(t *testing.T) {
+	body := []byte{recTypeSnapshot}
+	body = binary.BigEndian.AppendUint64(body, 0) // cover
+	body = binary.BigEndian.AppendUint64(body, 0) // markers
+	body = binary.BigEndian.AppendUint32(body, ^uint32(0))
+	if _, _, _, err := decodeSnapshot(body); !errors.Is(err, errCorrupt) {
+		t.Fatalf("snapshot declaring 2^32-1 shards over an empty body: got %v, want errCorrupt", err)
 	}
 }

@@ -52,9 +52,19 @@ type RetryPolicy struct {
 	// MaxDelay caps it. Default 2s.
 	MaxDelay time.Duration
 	// Seed fixes the jitter stream; 0 picks a fixed default seed (the
-	// policy is deterministic either way — pass different seeds to
-	// decorrelate clients).
+	// backoff is deterministic either way — pass different seeds to
+	// decorrelate clients). The seed shapes ONLY the jitter, never the
+	// wrapper's session identity: two clients sharing a seed must not
+	// share an op-ID namespace, or the server's dedup window would
+	// cross their operations.
 	Seed int64
+	// Session pins the wrapper's op-ID session identity, for harnesses
+	// that need it deterministic. 0 (the default) draws a random
+	// nonzero identity, which is what almost every caller wants: the
+	// identity must be unique per wrapper, and anything derived from a
+	// shared default would collide. Callers setting this are
+	// responsible for uniqueness across concurrently live wrappers.
+	Session uint64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -132,10 +142,15 @@ func DialReconnecting(addr string, policy RetryPolicy, opTimeout time.Duration) 
 		dialTimeout: 10 * time.Second,
 		rng:         rand.New(rand.NewSource(seed)),
 	}
-	// One session identity for the wrapper's whole life, derived from
-	// the jitter stream so it is deterministic per seed and never zero
-	// (zero would opt out of deduplication).
-	r.session = uint64(r.rng.Int63())<<1 | 1
+	// One session identity for the wrapper's whole life. Random by
+	// default — identity must be unique per wrapper, so it is never
+	// derived from the (defaultable, shareable) jitter seed; a policy
+	// with an explicit Session opts into determinism and owns
+	// uniqueness.
+	r.session = policy.Session
+	if r.session == 0 {
+		r.session = randomSession()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.connectLocked(1); err != nil {

@@ -260,7 +260,12 @@ func TestReconnectingRetriesWritesWithStableOpID(t *testing.T) {
 	}
 }
 
-func TestReconnectingSessionDeterministicPerSeed(t *testing.T) {
+// TestReconnectingSessionsUniquePerWrapper guards against the lost-
+// update trap: session identity must never be derived from the jitter
+// seed, because the seed is defaultable and shareable — two clients
+// with the same (or default) seed sharing a session would collide in
+// the server's dedup window, each answering the other's mutations.
+func TestReconnectingSessionsUniquePerWrapper(t *testing.T) {
 	addr, _ := scriptedEndpoint(t, serveOK(1), serveOK(1), serveOK(1))
 	a, err := DialReconnecting(addr, RetryPolicy{Seed: 21}, time.Second)
 	if err != nil {
@@ -272,19 +277,35 @@ func TestReconnectingSessionDeterministicPerSeed(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.Close()
-	c, err := DialReconnecting(addr, RetryPolicy{Seed: 22}, time.Second)
+	c, err := DialReconnecting(addr, RetryPolicy{}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
-	if a.Session() == 0 || a.Session()%2 == 0 {
-		t.Fatalf("session %#x is zero or even (must be odd-forced nonzero)", a.Session())
+	for _, r := range []*Reconnecting{a, b, c} {
+		if r.Session() == 0 {
+			t.Fatal("session is zero (zero opts out of deduplication)")
+		}
 	}
-	if a.Session() != b.Session() {
-		t.Fatalf("same seed, different sessions: %#x vs %#x", a.Session(), b.Session())
+	if a.Session() == b.Session() {
+		t.Fatalf("two wrappers with the same seed share session %#x: their op IDs would collide", a.Session())
 	}
-	if a.Session() == c.Session() {
-		t.Fatalf("different seeds collided on session %#x", a.Session())
+	if a.Session() == c.Session() || b.Session() == c.Session() {
+		t.Fatalf("sessions collided: %#x %#x %#x", a.Session(), b.Session(), c.Session())
+	}
+}
+
+// TestReconnectingExplicitSessionHonored covers the deterministic
+// opt-in: a policy carrying an explicit Session pins the identity.
+func TestReconnectingExplicitSessionHonored(t *testing.T) {
+	addr, _ := scriptedEndpoint(t, serveOK(1))
+	r, err := DialReconnecting(addr, RetryPolicy{Session: 0xBEEF}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Session() != 0xBEEF {
+		t.Fatalf("Session() = %#x, want explicit %#x", r.Session(), uint64(0xBEEF))
 	}
 }
 

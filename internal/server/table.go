@@ -180,7 +180,10 @@ func (t *table) apply(ctx context.Context, p int, req wire.Request, gate func(sh
 			// for its record to reach the log, then for the log's current
 			// end to be durable — conservative, but it guarantees the
 			// re-acknowledged result cannot be lost to a crash that the
-			// original ack would have survived.
+			// original ack would have survived. If the original's append
+			// FAILED, the sequencer has still advanced past it, but the
+			// log is poisoned and WaitDurable refuses — a never-logged op
+			// is never re-acked as durable.
 			sh.seq.waitAppended(out.Ver)
 			if werr := t.log.WaitDurable(t.log.End()); werr != nil {
 				return errResponse(req.ID, wire.StatusInternal, werr.Error())
@@ -197,9 +200,14 @@ func (t *table) apply(ctx context.Context, p int, req wire.Request, gate func(sh
 		})
 		sh.seq.advance()
 		if aerr != nil {
-			// The op IS applied in memory; only its durability failed. The
-			// client sees an internal error and may retry, landing on the
-			// dedup window.
+			// The op IS applied in memory; only its durability failed.
+			// Advancing the sequencer keeps later writers from wedging in
+			// waitTurn, and is safe because the failed Append poisoned the
+			// log: every later append (which would otherwise persist a
+			// version past the hole) and every WaitDurable now fails, so
+			// no mutation is acked as durable after this point — the
+			// client sees internal errors, never a durable ack the next
+			// recovery would contradict.
 			return errResponse(req.ID, wire.StatusInternal, aerr.Error())
 		}
 		if werr := t.log.WaitDurable(lsn); werr != nil {
