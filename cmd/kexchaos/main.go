@@ -103,6 +103,7 @@ func run(args []string, out io.Writer) error {
 			impl: *implName, n: *n, k: *k, ops: *ops, seed: *seed,
 			deadline: *deadline, asJSON: *asJSON,
 			servedBin: *servedBin, dataDir: *dataDir, fsync: *fsyncMode,
+			restarts: 1,
 		})
 	}
 	if *netMode {

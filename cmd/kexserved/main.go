@@ -18,6 +18,14 @@
 //	kexserved -data-dir /var/lib/kex             durable: WAL + snapshots, recover on boot
 //	kexserved -data-dir d -fsync interval        group-commit fsync (see -fsync-interval)
 //	kexserved -data-dir d -snapshot-every 4096   snapshot cadence in applied ops
+//	kexserved -ops-addr 127.0.0.1:9750           /healthz, /readyz, /metrics (Prometheus)
+//	kexserved -shed-high 64 -shed-low 8          shed admissions past the queue watermark
+//	kexserved -max-inflight 256                  ceiling on concurrently executing ops
+//
+// With -ops-addr, the ops listener binds BEFORE recovery begins, so a
+// rolling-restart orchestrator watching /readyz sees an honest
+// not-ready ("recovering") for the whole replay window, then "running"
+// only once the server actually serves.
 //
 // With -data-dir, mutations are acknowledged only after they are
 // durable under the chosen -fsync policy, and a restart replays the
@@ -66,6 +74,11 @@ func run(args []string, out io.Writer) error {
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "bound on graceful drain after SIGTERM/SIGINT")
 		statsJSON    = fs.Bool("json", false, "print the final stats snapshot as JSON on exit")
 		quiet        = fs.Bool("quiet", false, "suppress per-session log lines")
+
+		opsAddr     = fs.String("ops-addr", "", "operational HTTP listen address for /healthz, /readyz and /metrics (empty = no ops listener)")
+		shedHigh    = fs.Int("shed-high", 0, "admission-queue depth that flips the server degraded and sheds new connections (0 = disabled; requires -admit-timeout)")
+		shedLow     = fs.Int("shed-low", 0, "admission-queue depth at which a degraded server recovers (must be < -shed-high)")
+		maxInflight = fs.Int("max-inflight", 0, "ceiling on concurrently executing object operations; ops past it answer busy with a Retry-After hint (0 = unlimited)")
 
 		dataDir       = fs.String("data-dir", "", "durability directory for the WAL and snapshots (empty = in-memory only)")
 		fsync         = fs.String("fsync", "always", "WAL sync policy: always (fsync per op), interval (group commit), never (OS decides)")
@@ -118,6 +131,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("need fsync-interval > 0, got %v", *fsyncInterval)
 	}
 
+	shed := server.ShedPolicy{QueueHigh: *shedHigh, QueueLow: *shedLow, MaxInFlight: *maxInflight}
+	if err := shed.Validate(*admitTimeout); err != nil {
+		return err
+	}
+
 	cfg := server.Config{
 		N: *n, K: *k, Shards: *shards,
 		Impl:          *implName,
@@ -129,15 +147,35 @@ func run(args []string, out io.Writer) error {
 		FsyncInterval: *fsyncInterval,
 		SnapshotEvery: *snapshotEvery,
 		DedupWindow:   *dedupWindow,
+		Shed:          shed,
+		Lifecycle:     server.NewLifecycle(),
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(out, "kexserved: "+format+"\n", args...)
 		}
 	}
+
+	// Bind the ops listener before server.New: recovery (snapshot + WAL
+	// replay) happens inside New, and that window is exactly when a
+	// readiness probe must be answerable with "recovering".
+	var ops *server.Ops
+	if *opsAddr != "" {
+		ops = server.NewOps(cfg.Lifecycle)
+		bound, err := ops.ListenAndServe(*opsAddr)
+		if err != nil {
+			return fmt.Errorf("binding ops listener: %w", err)
+		}
+		defer ops.Close()
+		fmt.Fprintf(out, "kexserved: ops listening on %s\n", bound)
+	}
+
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if ops != nil {
+		ops.Attach(srv)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -28,6 +30,9 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"-fsync", "interval"}, "need -data-dir"},
 		{[]string{"-snapshot-every", "16"}, "need -data-dir"},
 		{[]string{"-data-dir", "x", "-fsync-interval", "0s"}, "need fsync-interval > 0"},
+		{[]string{"-shed-high", "4", "-shed-low", "9", "-admit-timeout", "1s"}, "below the high watermark"},
+		{[]string{"-shed-high", "4"}, "AdmitTimeout"},
+		{[]string{"-max-inflight", "-1"}, "non-negative"},
 	}
 	for _, tc := range cases {
 		var b strings.Builder
@@ -70,6 +75,106 @@ func (s *syncBuffer) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+// awaitLine polls out until a line containing marker appears, returning
+// the first whitespace-delimited token after it.
+func awaitLine(t *testing.T, out *syncBuffer, marker string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.Contains(line, marker) {
+				return strings.Fields(strings.SplitAfter(line, marker)[1])[0]
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %q:\n%s", marker, out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOpsEndpoints boots kexserved with -ops-addr and the shed flags,
+// then exercises the operational surface over real HTTP: liveness,
+// phase-aware readiness, and the Prometheus rendering of live stats.
+func TestOpsEndpoints(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-ops-addr", "127.0.0.1:0",
+			"-n", "4", "-k", "2", "-shards", "2", "-quiet", "-drain-timeout", "5s",
+			"-admit-timeout", "100ms", "-shed-high", "8", "-shed-low", "2",
+			"-max-inflight", "64"}, &out)
+	}()
+	opsAddr := awaitLine(t, &out, "ops listening on ")
+	addr := awaitLine(t, &out, ": listening on ")
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + opsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code, body := get("/readyz"); code == 200 {
+			if body != "running\n" {
+				t.Fatalf("/readyz ready body = %q, want running", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Drive one op so the metrics show a live session's footprint.
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Add(0, 3); err != nil || v != 3 {
+		t.Fatalf("Add = %d, %v", v, err)
+	}
+	_, metrics := get("/metrics")
+	c.Close()
+	for _, want := range []string{
+		"kexserved_n 4\n", "kexserved_k 2\n", "kexserved_shards 2\n",
+		`kexserved_phase{phase="running"} 1`,
+		"kexserved_ready 1\n",
+		"kexserved_admitted_total 1\n",
+		"kexserved_shed_admissions_total 0\n",
+		`kexserved_shard_applied_ops_total{shard="0"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGTERM: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("drain never completed:\n%s", out.String())
+	}
 }
 
 // TestServeSIGTERMDrain runs the real lifecycle: serve on an ephemeral

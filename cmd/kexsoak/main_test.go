@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{nil, "needs -served-bin"},
+		{[]string{"-served-bin", "x", "-clients", "0"}, "need clients >= 1"},
+		{[]string{"-served-bin", "x", "-restarts", "0"}, "need restarts >= 1"},
+		{[]string{"-served-bin", "x", "-duration", "0s"}, "need duration > 0"},
+		{[]string{"-served-bin", "x", "-shards", "0"}, "need shards >= 1"},
+	}
+	for _, tc := range cases {
+		var b strings.Builder
+		err := run(tc.args, &b)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): got %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// buildServed compiles the real kexserved binary the soak will SIGKILL.
+func buildServed(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "kexserved")
+	cmd := exec.Command("go", "build", "-o", bin, "kexclusion/cmd/kexserved")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building kexserved: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSoakMiniRun drives a real (but compressed) soak: a kexserved
+// subprocess, two rolling SIGKILL restarts, and the full verdict
+// pipeline. The CI workflow runs the longer -short shape; this test
+// keeps the harness itself honest under `go test`.
+func TestSoakMiniRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and repeatedly SIGKILLs subprocesses; skipped in -short")
+	}
+	bin := buildServed(t)
+	var b strings.Builder
+	err := run([]string{"-served-bin", bin, "-duration", "6s", "-restarts", "2",
+		"-clients", "2", "-seed", "7"}, &b)
+	out := b.String()
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"restart 1/2: ready",
+		"restart 2/2: ready",
+		"restart_count=2",
+		"verdict: soaked",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "SOAK VIOLATION") {
+		t.Errorf("soak reported violations:\n%s", out)
+	}
+}
+
+// TestShortFlagShape pins the CI smoke contract: -short must shrink the
+// defaults to roughly a minute with two restarts, while explicit flags
+// still win over it.
+func TestShortFlagShape(t *testing.T) {
+	// Indirect check via validation: -short with an explicit bad flag
+	// still fails on the explicit value, proving Visit-based override.
+	var b strings.Builder
+	err := run([]string{"-served-bin", "x", "-short", "-restarts", "0"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "need restarts >= 1") {
+		t.Fatalf("explicit -restarts 0 under -short: got %v, want validation error", err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 // guarantees the operation was never applied:
 //
 //   - BusyError: admission was refused — the session never existed.
+//   - wire.StatusBusy: the server shed the operation under load (the
+//     in-flight ceiling); it was refused before touching the table.
 //   - wire.StatusTimeout: the per-op deadline expired while the
 //     operation was still waiting for a k-assignment slot; it withdrew
 //     from the entry section without touching the object.
@@ -34,7 +36,7 @@ func Retryable(err error) bool {
 	}
 	var we *wire.Error
 	if errors.As(err, &we) {
-		return we.Status == wire.StatusTimeout || we.Status == wire.StatusDraining
+		return we.Status == wire.StatusBusy || we.Status == wire.StatusTimeout || we.Status == wire.StatusDraining
 	}
 	return false
 }
@@ -238,8 +240,16 @@ func (r *Reconnecting) op(do func(*Client) (int64, error)) (int64, error) {
 				r.dropLocked() // busy arrives at admission; the conn is gone
 			}
 			var we *wire.Error
-			if errors.As(err, &we) && we.Status == wire.StatusDraining {
-				r.dropLocked() // the server hangs up after a draining answer
+			if errors.As(err, &we) {
+				switch we.Status {
+				case wire.StatusDraining:
+					r.dropLocked() // the server hangs up after a draining answer
+				case wire.StatusBusy:
+					// An op-level shed: the session survives — the server
+					// answered and keeps serving — so keep the connection
+					// and honor the hint as a backoff floor.
+					hint = time.Duration(we.RetryAfterMillis) * time.Millisecond
+				}
 			}
 		default:
 			var we *wire.Error

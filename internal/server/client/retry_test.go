@@ -101,6 +101,9 @@ func TestRetryableClassification(t *testing.T) {
 		want bool
 	}{
 		{&BusyError{Err: &wire.Error{Status: wire.StatusBusy}}, true},
+		// An op-level busy (load shed): refused before touching the
+		// table, so it is as safe to retry as an admission-level one.
+		{&wire.Error{Status: wire.StatusBusy}, true},
 		{&wire.Error{Status: wire.StatusTimeout}, true},
 		{&wire.Error{Status: wire.StatusDraining}, true},
 		{&wire.Error{Status: wire.StatusBadShard}, false},
@@ -136,6 +139,18 @@ func TestBackoffGrowsAndHonorsHint(t *testing.T) {
 	// A server hint floors the delay.
 	if d := p.backoff(rng, 1, 500*time.Millisecond); d != 500*time.Millisecond {
 		t.Errorf("hint not honored: %v", d)
+	}
+	// A hint BELOW the computed backoff is a floor, not a replacement:
+	// an eager server hint must never shrink the client's own backoff,
+	// or a shedding server would teach its clients to hammer it faster.
+	for attempt := 1; attempt <= 5; attempt++ {
+		ceil := p.BaseDelay << (attempt - 1)
+		if ceil > p.MaxDelay {
+			ceil = p.MaxDelay
+		}
+		if d := p.backoff(rng, attempt, time.Microsecond); d < ceil/2 {
+			t.Errorf("attempt %d: a %v hint shrank the backoff to %v (floor is %v)", attempt, time.Microsecond, d, ceil/2)
+		}
 	}
 	// Same seed, same sequence: the jitter is deterministic.
 	a := p.backoff(rand.New(rand.NewSource(42)), 3, 0)
@@ -188,6 +203,54 @@ func TestReconnectingRidesOutBusyWithHint(t *testing.T) {
 	}
 	if err := r.Ping(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReconnectingRetriesShedOpOnSameConnection: an op-level StatusBusy
+// (the server's in-flight ceiling shed the operation) is retried over
+// the SAME connection — the session survived; only the operation was
+// refused — and the Retry-After hint carried in the response floors the
+// backoff before the re-issue.
+func TestReconnectingRetriesShedOpOnSameConnection(t *testing.T) {
+	const hintMillis = 60
+	addr, reqs := scriptedEndpoint(t,
+		func(conn net.Conn, reqs *atomic.Int64) {
+			wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+			// First op: shed with a hint in Value. Second op: applied.
+			for i := 0; ; i++ {
+				req, err := wire.ReadRequest(conn)
+				if err != nil {
+					return
+				}
+				reqs.Add(1)
+				if i == 0 {
+					wire.WriteResponse(conn, wire.Response{
+						ID: req.ID, Status: wire.StatusBusy, Value: hintMillis,
+						Data: []byte("server shedding load"),
+					})
+					continue
+				}
+				wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusOK, Value: req.Arg})
+			}
+		},
+	)
+	r, err := DialReconnecting(addr, RetryPolicy{Seed: 13, BaseDelay: time.Millisecond}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	start := time.Now()
+	if v, err := r.Add(0, 5); err != nil || v != 5 {
+		t.Fatalf("Add through a shed = %d, %v", v, err)
+	}
+	if elapsed := time.Since(start); elapsed < hintMillis*time.Millisecond {
+		t.Fatalf("re-issued after %v, before the server's %dms hint", elapsed, hintMillis)
+	}
+	if r.Reconnects() != 1 {
+		t.Fatalf("Reconnects = %d, want 1 (a shed op must not cost the connection)", r.Reconnects())
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (shed + re-issue)", got)
 	}
 }
 

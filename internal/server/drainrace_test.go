@@ -1,0 +1,87 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"kexclusion/internal/server"
+	"kexclusion/internal/wire"
+)
+
+// TestDrainVsWatchdogReclaim races graceful drain against the idle
+// watchdog: sessions sit silent so their idle deadlines fire in the
+// same window Shutdown sweeps read deadlines and tears the server down.
+// Both paths end the same session loop, and both funnel into the one
+// deferred release — so every identity must be reclaimed exactly once,
+// however the race lands. Run under -race this also proves the two
+// teardown paths share no unsynchronized state.
+func TestDrainVsWatchdogReclaim(t *testing.T) {
+	const n = 4
+	for round := 0; round < 8; round++ {
+		srv, err := server.New(server.Config{
+			N: n, K: 2, Shards: 1,
+			IdleTimeout: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve() }()
+
+		// Admit n sessions, then leave them all silent: each one's idle
+		// deadline is now ticking.
+		conns := make([]net.Conn, n)
+		for i := range conns {
+			conn, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns[i] = conn
+			if h, err := wire.ReadHello(conn); err != nil || h.Status != wire.StatusOK {
+				t.Fatalf("round %d: hello = %+v, %v", round, h, err)
+			}
+		}
+
+		// Vary where the drain lands relative to the 20ms idle deadline —
+		// before it, around it, after it — so across rounds the watchdog
+		// and the drain sweep hit sessions in every interleaving.
+		time.Sleep(time.Duration(round) * 4 * time.Millisecond)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("round %d: drain failed: %v", round, err)
+		}
+		cancel()
+		if err := <-served; err != nil {
+			t.Fatalf("round %d: Serve returned %v", round, err)
+		}
+		for _, conn := range conns {
+			conn.Close()
+		}
+
+		st := srv.Stats()
+		if st.Admitted != n {
+			t.Fatalf("round %d: admitted %d, want %d", round, st.Admitted, n)
+		}
+		// Exactly once: every admitted identity returned to the pool one
+		// time, whether the watchdog or the drain sweep ended it. More
+		// would mean a double release (pool corruption); fewer, a leaked
+		// identity.
+		if st.Reclaimed != n {
+			t.Fatalf("round %d: reclaimed %d identities of %d admitted (idle_reclaims=%d)",
+				round, st.Reclaimed, n, st.IdleReclaims)
+		}
+		if st.ActiveSessions != 0 {
+			t.Fatalf("round %d: %d sessions still active after drain", round, st.ActiveSessions)
+		}
+		if got := srv.Phase(); got != server.PhaseStopped {
+			t.Fatalf("round %d: phase = %v after drain, want stopped", round, got)
+		}
+	}
+}

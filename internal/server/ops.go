@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"kexclusion/internal/wire"
+)
+
+// Ops is kexserved's operational HTTP surface: the endpoints an
+// orchestrator points probes and a Prometheus scraper at.
+//
+//   - GET /healthz — liveness: 200 "ok" whenever the process is up,
+//     whatever the phase. Restart-worthy failure is the process dying,
+//     not the server draining.
+//   - GET /readyz — readiness: 200 with the phase name while the phase
+//     is Ready (running or degraded), 503 with the phase name otherwise.
+//     Not-ready while recovering and while draining is the contract a
+//     rolling restart leans on: traffic only routes to a server that
+//     will actually serve it.
+//   - GET /metrics — the stats snapshot in Prometheus text format (see
+//     renderMetrics), plus process gauges (goroutines, open fds).
+//
+// Ops is created around a Lifecycle, not a Server, so it can be bound
+// and answering probes before server.New has finished recovering the
+// data directory — exactly the window when /readyz must report
+// recovering. Attach the server once New returns to light up the full
+// /metrics snapshot.
+type Ops struct {
+	lc  *Lifecycle
+	mux *http.ServeMux
+
+	mu  sync.Mutex
+	srv *Server
+
+	hs *http.Server
+}
+
+// NewOps builds the endpoint set around lc.
+func NewOps(lc *Lifecycle) *Ops {
+	o := &Ops{lc: lc, mux: http.NewServeMux()}
+	o.mux.HandleFunc("GET /healthz", o.healthz)
+	o.mux.HandleFunc("GET /readyz", o.readyz)
+	o.mux.HandleFunc("GET /metrics", o.metrics)
+	return o
+}
+
+// Attach connects the server whose stats /metrics renders. Before
+// Attach, /metrics reports only the phase and process gauges.
+func (o *Ops) Attach(s *Server) {
+	o.mu.Lock()
+	o.srv = s
+	o.mu.Unlock()
+}
+
+// Handler exposes the endpoint mux (for tests and embedding).
+func (o *Ops) Handler() http.Handler { return o.mux }
+
+// ListenAndServe binds addr (port 0 for ephemeral) and serves the
+// endpoints in a background goroutine, returning the bound address.
+func (o *Ops) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o.hs = &http.Server{Handler: o.mux, ReadHeaderTimeout: 5 * time.Second}
+	go o.hs.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close stops the ops listener (no-op before ListenAndServe).
+func (o *Ops) Close() error {
+	if o.hs == nil {
+		return nil
+	}
+	return o.hs.Close()
+}
+
+func (o *Ops) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (o *Ops) readyz(w http.ResponseWriter, _ *http.Request) {
+	p := o.lc.Phase()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !p.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintf(w, "%s\n", p)
+}
+
+func (o *Ops) metrics(w http.ResponseWriter, _ *http.Request) {
+	o.mu.Lock()
+	srv := o.srv
+	o.mu.Unlock()
+	var st wire.Stats
+	if srv != nil {
+		st = srv.Stats()
+	} else {
+		st.Phase = o.lc.Phase().String()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(renderMetrics(st, runtime.NumGoroutine(), countOpenFDs()))
+}
+
+// countOpenFDs reports the process's open file descriptor count via
+// /proc (-1 where /proc is unavailable). The soak harness watches this
+// gauge across rolling restarts to catch descriptor leaks.
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}

@@ -1,0 +1,125 @@
+package server
+
+import "sync/atomic"
+
+// Phase is the server lifecycle state. Every operational decision the
+// server makes — admit or shed a connection, start or refuse an
+// operation, arm or disarm the watchdog's drain interplay — is routed
+// through the current phase, so "what is the server doing right now"
+// has exactly one answer, and the ops endpoints (/readyz, /metrics)
+// report that answer instead of reconstructing it from scattered flags.
+//
+// The legal transitions form a line with one detour:
+//
+//	starting → recovering → running ⇄ degraded
+//	     \________\____________\________/
+//	                   ↓
+//	               draining → stopped
+//
+// starting and recovering may also step directly to running (a server
+// without a data directory never recovers) or to draining/stopped (a
+// shutdown or boot failure before serving began). degraded is the
+// load-shedding detour: still serving, but refusing new admissions
+// until the backlog clears. Once draining, nothing resurrects the
+// server — a racing degraded↔running flip loses to drain by
+// construction (the transition is only legal from the exact phase the
+// flipper observed).
+type Phase uint32
+
+const (
+	// PhaseStarting: constructed but not yet serving.
+	PhaseStarting Phase = iota
+	// PhaseRecovering: replaying the data directory (snapshot + WAL
+	// tail) before any connection is accepted.
+	PhaseRecovering
+	// PhaseRunning: serving and healthy.
+	PhaseRunning
+	// PhaseDegraded: serving, but shedding new admissions — the
+	// admission queue crossed the shed policy's high watermark and has
+	// not yet fallen back to the low one.
+	PhaseDegraded
+	// PhaseDraining: graceful shutdown has begun; no new admissions, no
+	// new operations, in-flight operations complete.
+	PhaseDraining
+	// PhaseStopped: every session torn down, durability closed.
+	PhaseStopped
+)
+
+// String names the phase (the /readyz body and the stats `phase` field).
+func (p Phase) String() string {
+	switch p {
+	case PhaseStarting:
+		return "starting"
+	case PhaseRecovering:
+		return "recovering"
+	case PhaseRunning:
+		return "running"
+	case PhaseDegraded:
+		return "degraded"
+	case PhaseDraining:
+		return "draining"
+	case PhaseStopped:
+		return "stopped"
+	}
+	return "unknown"
+}
+
+// Ready reports whether a readiness probe should pass: the server is
+// accepting work. Degraded counts as ready — it is still serving
+// admitted sessions and sheds only new admissions; flipping a load
+// balancer away from a degraded server would turn backpressure into an
+// outage.
+func (p Phase) Ready() bool { return p == PhaseRunning || p == PhaseDegraded }
+
+// legalTransition reports whether from → to is a lawful step of the
+// lifecycle machine.
+func legalTransition(from, to Phase) bool {
+	switch to {
+	case PhaseRecovering:
+		return from == PhaseStarting
+	case PhaseRunning:
+		return from == PhaseStarting || from == PhaseRecovering || from == PhaseDegraded
+	case PhaseDegraded:
+		return from == PhaseRunning
+	case PhaseDraining:
+		return from == PhaseStarting || from == PhaseRecovering || from == PhaseRunning || from == PhaseDegraded
+	case PhaseStopped:
+		// Draining is the normal road in; starting/recovering may stop
+		// directly when boot fails before serving began.
+		return from == PhaseDraining || from == PhaseStarting || from == PhaseRecovering
+	}
+	return false
+}
+
+// Lifecycle is the server's phase cell. It is created before the
+// Server itself (see Config.Lifecycle) so the ops endpoints can answer
+// readiness probes while the server is still recovering its data
+// directory — the recovery window is exactly when an orchestrator most
+// needs an honest not-ready.
+//
+// The zero value is invalid; use NewLifecycle.
+type Lifecycle struct {
+	cur atomic.Uint32
+}
+
+// NewLifecycle returns a lifecycle in PhaseStarting.
+func NewLifecycle() *Lifecycle { return &Lifecycle{} }
+
+// Phase reports the current phase.
+func (lc *Lifecycle) Phase() Phase { return Phase(lc.cur.Load()) }
+
+// advance moves to phase to if the transition is legal from the
+// current phase, reporting whether this call performed it. Illegal
+// transitions are silent no-ops: a shed-policy recovery racing a drain
+// must lose, not error.
+func (lc *Lifecycle) advance(to Phase) bool {
+	for {
+		cur := Phase(lc.cur.Load())
+		if cur == to || !legalTransition(cur, to) {
+			return false
+		}
+		if lc.cur.CompareAndSwap(uint32(cur), uint32(to)) {
+			return true
+		}
+	}
+}

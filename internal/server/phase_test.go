@@ -1,0 +1,122 @@
+package server
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		PhaseStarting:   "starting",
+		PhaseRecovering: "recovering",
+		PhaseRunning:    "running",
+		PhaseDegraded:   "degraded",
+		PhaseDraining:   "draining",
+		PhaseStopped:    "stopped",
+		Phase(99):       "unknown",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestPhaseReady(t *testing.T) {
+	for p, want := range map[Phase]bool{
+		PhaseStarting:   false,
+		PhaseRecovering: false,
+		PhaseRunning:    true,
+		PhaseDegraded:   true,
+		PhaseDraining:   false,
+		PhaseStopped:    false,
+	} {
+		if p.Ready() != want {
+			t.Errorf("%v.Ready() = %v, want %v", p, p.Ready(), want)
+		}
+	}
+}
+
+// TestLifecycleHappyPath walks the full line: boot with recovery, serve,
+// degrade under load, recover, drain, stop.
+func TestLifecycleHappyPath(t *testing.T) {
+	lc := NewLifecycle()
+	if lc.Phase() != PhaseStarting {
+		t.Fatalf("new lifecycle in %v, want starting", lc.Phase())
+	}
+	for _, to := range []Phase{PhaseRecovering, PhaseRunning, PhaseDegraded, PhaseRunning, PhaseDraining, PhaseStopped} {
+		if !lc.advance(to) {
+			t.Fatalf("legal transition %v refused (at %v)", to, lc.Phase())
+		}
+		if lc.Phase() != to {
+			t.Fatalf("after advance: %v, want %v", lc.Phase(), to)
+		}
+	}
+}
+
+// TestLifecycleIllegalTransitionsAreNoOps pins the refusals that the
+// server's correctness leans on: nothing resurrects a draining or
+// stopped server, and the degraded detour only exists off running.
+func TestLifecycleIllegalTransitionsAreNoOps(t *testing.T) {
+	cases := []struct {
+		name string
+		path []Phase // legal setup walk from starting
+		try  Phase   // must be refused
+	}{
+		{"degraded from starting", nil, PhaseDegraded},
+		{"degraded from recovering", []Phase{PhaseRecovering}, PhaseDegraded},
+		{"recovering from running", []Phase{PhaseRunning}, PhaseRecovering},
+		{"running from draining", []Phase{PhaseRunning, PhaseDraining}, PhaseRunning},
+		{"degraded from draining", []Phase{PhaseRunning, PhaseDraining}, PhaseDegraded},
+		{"stopped from running without drain", []Phase{PhaseRunning}, PhaseStopped},
+		{"draining from stopped", []Phase{PhaseRunning, PhaseDraining, PhaseStopped}, PhaseDraining},
+		{"running from stopped", []Phase{PhaseRunning, PhaseDraining, PhaseStopped}, PhaseRunning},
+	}
+	for _, tc := range cases {
+		lc := NewLifecycle()
+		for _, p := range tc.path {
+			if !lc.advance(p) {
+				t.Fatalf("%s: setup transition to %v refused", tc.name, p)
+			}
+		}
+		before := lc.Phase()
+		if lc.advance(tc.try) {
+			t.Errorf("%s: illegal transition %v → %v performed", tc.name, before, tc.try)
+		}
+		if lc.Phase() != before {
+			t.Errorf("%s: phase moved to %v on a refused transition", tc.name, lc.Phase())
+		}
+	}
+}
+
+// TestLifecycleSelfTransitionNotPerformed: advancing to the current
+// phase reports false — callers use the return value to claim
+// "I performed the flip" exactly once.
+func TestLifecycleSelfTransitionNotPerformed(t *testing.T) {
+	lc := NewLifecycle()
+	lc.advance(PhaseRunning)
+	if lc.advance(PhaseRunning) {
+		t.Fatal("self-transition reported as performed")
+	}
+}
+
+// TestPromPhaseNamesMatchLifecycle keeps the /metrics phase label set in
+// lock-step with the Phase enum: every phase appears, sorted.
+func TestPromPhaseNamesMatchLifecycle(t *testing.T) {
+	var fromEnum []string
+	for p := PhaseStarting; p <= PhaseStopped; p++ {
+		fromEnum = append(fromEnum, p.String())
+	}
+	sort.Strings(fromEnum)
+	if len(fromEnum) != len(promPhaseNames) {
+		t.Fatalf("promPhaseNames has %d entries, enum has %d", len(promPhaseNames), len(fromEnum))
+	}
+	for i, name := range promPhaseNames {
+		if name != fromEnum[i] {
+			t.Fatalf("promPhaseNames[%d] = %q, want %q (sorted enum)", i, name, fromEnum[i])
+		}
+	}
+	if !sort.StringsAreSorted(promPhaseNames) {
+		t.Fatalf("promPhaseNames not sorted: %v", promPhaseNames)
+	}
+}

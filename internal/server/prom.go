@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kexclusion/internal/wire"
+)
+
+// promPhaseNames is the label set of the kexserved_phase one-hot gauge:
+// every lifecycle phase, alphabetically sorted. A phase_test keeps it in
+// lock-step with the Phase enum.
+var promPhaseNames = []string{"degraded", "draining", "recovering", "running", "starting", "stopped"}
+
+// renderMetrics renders a stats snapshot in the Prometheus text
+// exposition format (version 0.0.4). It is a pure function of its
+// arguments — the process-level gauges (goroutines, open fds) are
+// parameters, not sampled here — so a golden test can pin the output
+// byte-for-byte.
+//
+// Metric families are emitted in strict alphabetical order and every
+// family carries HELP and TYPE lines, so scrapes diff cleanly and the
+// order never depends on map iteration. Counters end in _total;
+// instantaneous values are gauges. Per-shard families carry a shard
+// label and one sample per shard, in shard order.
+func renderMetrics(st wire.Stats, goroutines, openFDs int) []byte {
+	var b strings.Builder
+	scalar := func(name, typ, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP kexserved_%s %s\n# TYPE kexserved_%s %s\nkexserved_%s %d\n",
+			name, help, name, typ, name, v)
+	}
+	gauge := func(name, help string, v int64) { scalar(name, "gauge", help, v) }
+	counter := func(name, help string, v int64) { scalar(name, "counter", help, v) }
+	shardFamily := func(name, typ, help string, val func(s wire.Stats, i int) string) {
+		fmt.Fprintf(&b, "# HELP kexserved_shard_%s %s\n# TYPE kexserved_shard_%s %s\n",
+			name, help, name, typ)
+		for i := range st.PerShard {
+			fmt.Fprintf(&b, "kexserved_shard_%s{shard=%q} %s\n", name, strconv.Itoa(i), val(st, i))
+		}
+	}
+	shardCounter := func(name, help string, field func(wire.Stats, int) int64) {
+		shardFamily(name, "counter", help, func(s wire.Stats, i int) string {
+			return strconv.FormatInt(field(s, i), 10)
+		})
+	}
+	shardGauge := func(name, help string, field func(wire.Stats, int) int64) {
+		shardFamily(name, "gauge", help, func(s wire.Stats, i int) string {
+			return strconv.FormatInt(field(s, i), 10)
+		})
+	}
+	quantileGauge := func(name, help string, q float64) {
+		shardFamily(name, "gauge", help, func(s wire.Stats, i int) string {
+			return strconv.FormatFloat(s.PerShard[i].QuantileAcquire(q).Seconds(), 'g', -1, 64)
+		})
+	}
+	b01 := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+
+	gauge("active_sessions", "Currently leased process identities.", st.ActiveSessions)
+	gauge("admit_queue", "Connections parked waiting for an identity (the shed watermarks' input).", st.AdmitQueue)
+	counter("admitted_total", "Connections granted an identity lease.", st.Admitted)
+	counter("applied_dupes_total", "Mutations answered from the dedup window without re-applying.", st.AppliedDupes)
+	gauge("draining", "1 while graceful shutdown is in progress.", b01(st.Draining))
+	gauge("goroutines", "Goroutines in the server process.", int64(goroutines))
+	counter("idle_reclaims_total", "Sessions torn down by the idle watchdog.", st.IdleReclaims)
+	gauge("inflight_ops", "Object operations currently executing (the shed ceiling's input).", st.InflightOps)
+	gauge("k", "Resiliency level: concurrent holders per shard.", int64(st.K))
+	gauge("n", "Process identities (max concurrent sessions).", int64(st.N))
+	counter("op_deadlines_total", "Operations withdrawn on per-op deadline expiry (never applied).", st.OpDeadlines)
+	gauge("open_fds", "Open file descriptors in the server process (-1 if unreadable).", int64(openFDs))
+
+	fmt.Fprintf(&b, "# HELP kexserved_phase Server lifecycle phase as a one-hot gauge.\n# TYPE kexserved_phase gauge\n")
+	for _, name := range promPhaseNames {
+		fmt.Fprintf(&b, "kexserved_phase{phase=%q} %d\n", name, b01(st.Phase == name))
+	}
+
+	ready := st.Phase == PhaseRunning.String() || st.Phase == PhaseDegraded.String()
+	gauge("ready", "1 when the server passes its readiness probe (running or degraded).", b01(ready))
+	counter("reclaimed_total", "Identity leases returned to the pool.", st.Reclaimed)
+	gauge("recovered_ops", "Mutations reconstructed from the data directory at startup.", st.RecoveredOps)
+	counter("rejected_total", "Connections rejected by admission backpressure.", st.Rejected)
+	gauge("restart_count", "Prior incarnations that opened this data directory.", st.RestartCount)
+
+	shardCounter("aborts_total", "Bounded withdrawals from entry sections.", func(s wire.Stats, i int) int64 { return s.PerShard[i].Aborts })
+	quantileGauge("acquire_latency_p50_seconds", "Median slot-acquisition latency (upper bucket edge).", 0.5)
+	quantileGauge("acquire_latency_p99_seconds", "99th-percentile slot-acquisition latency (upper bucket edge).", 0.99)
+	shardCounter("acquires_total", "Completed slot acquisitions.", func(s wire.Stats, i int) int64 { return s.PerShard[i].Acquires })
+	shardCounter("applied_ops_total", "Operations applied through the universal construction.", func(s wire.Stats, i int) int64 { return s.PerShard[i].AppliedOps })
+	shardCounter("cas_retries_total", "Failed bounded-decrement CAS attempts.", func(s wire.Stats, i int) int64 { return s.PerShard[i].CASRetries })
+	shardCounter("crash_charges_total", "Injected slot-costing crashes.", func(s wire.Stats, i int) int64 { return s.PerShard[i].CrashCharges })
+	shardGauge("current_holders", "Slots currently held.", func(s wire.Stats, i int) int64 { return s.PerShard[i].CurrentHolders })
+	shardCounter("deadline_expirations_total", "Operations cut short by serving-edge deadlines.", func(s wire.Stats, i int) int64 { return s.PerShard[i].DeadlineExpirations })
+	shardCounter("dupe_hits_total", "Mutations answered from the dedup window.", func(s wire.Stats, i int) int64 { return s.PerShard[i].DupeHits })
+	shardCounter("fast_path_takes_total", "Acquisitions that took the bounded-decrement fast path.", func(s wire.Stats, i int) int64 { return s.PerShard[i].FastPathTakes })
+	shardCounter("helping_events_total", "Operations applied on behalf of other processes.", func(s wire.Stats, i int) int64 { return s.PerShard[i].HelpingEvents })
+	shardCounter("name_attempts_total", "Long-lived renaming acquisitions.", func(s wire.Stats, i int) int64 { return s.PerShard[i].NameAttempts })
+	shardGauge("peak_holders", "Peak concurrent slot holders.", func(s wire.Stats, i int) int64 { return s.PerShard[i].PeakHolders })
+	shardCounter("releases_total", "Slot returns.", func(s wire.Stats, i int) int64 { return s.PerShard[i].Releases })
+	shardCounter("slow_path_takes_total", "Acquisitions that paid the arbitration-tree slow path.", func(s wire.Stats, i int) int64 { return s.PerShard[i].SlowPathTakes })
+	shardCounter("spin_polls_total", "Busy-wait condition evaluations.", func(s wire.Stats, i int) int64 { return s.PerShard[i].SpinPolls })
+	shardCounter("tas_failures_total", "Failed test&set probes during renaming.", func(s wire.Stats, i int) int64 { return s.PerShard[i].TASFailures })
+	shardCounter("yields_total", "Scheduler yields during busy waits.", func(s wire.Stats, i int) int64 { return s.PerShard[i].Yields })
+
+	gauge("shards", "Independent objects in the table.", int64(st.Shards))
+	counter("shed_admissions_total", "Connections refused by the load-shedding watermark policy.", st.ShedAdmissions)
+	counter("shed_ops_total", "Operations refused by the in-flight ceiling (never applied).", st.ShedOps)
+
+	return []byte(b.String())
+}

@@ -94,6 +94,15 @@ type Config struct {
 	// sessions (oldest evicted first). Default 1024; negative means
 	// unbounded.
 	DedupWindow int
+	// Shed is the load-shedding policy: queue-depth watermarks that
+	// flip the server degraded and shed new admissions, plus an
+	// in-flight operation ceiling. The zero value disables shedding.
+	Shed ShedPolicy
+	// Lifecycle, when non-nil, is the externally created phase cell the
+	// server drives (see NewLifecycle). Pass one when an ops endpoint
+	// must answer readiness probes while New is still recovering the
+	// data directory; nil makes New create its own.
+	Lifecycle *Lifecycle
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -105,11 +114,12 @@ type Server struct {
 	impl core.Constructor
 	tab  *table
 	sm   *sessionManager
+	lc   *Lifecycle
+	shed *shedder
 
-	ln       net.Listener
-	draining atomic.Bool
-	drainCh  chan struct{}
-	wg       sync.WaitGroup
+	ln      net.Listener
+	drainCh chan struct{}
+	wg      sync.WaitGroup
 
 	idleReclaims atomic.Int64
 	opDeadlines  atomic.Int64
@@ -161,15 +171,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DedupWindow == 0 {
 		cfg.DedupWindow = 1024
 	}
+	if err := cfg.Shed.Validate(cfg.AdmitTimeout); err != nil {
+		return nil, err
+	}
+	lc := cfg.Lifecycle
+	if lc == nil {
+		lc = NewLifecycle()
+	}
 
 	s := &Server{
 		cfg:     cfg,
 		impl:    impl,
 		sm:      newSessionManager(cfg.N, cfg.AdmitTimeout),
+		lc:      lc,
+		shed:    newShedder(cfg.Shed, lc, cfg.AdmitTimeout),
 		drainCh: make(chan struct{}),
 	}
 	tc := tableConfig{window: cfg.DedupWindow, dupes: &s.appliedDupes}
 	if cfg.DataDir != "" {
+		// The recovery window gets its own phase so readiness probes
+		// report an honest not-ready while the snapshot + WAL tail
+		// replay (the window rolling restarts care about).
+		lc.advance(PhaseRecovering)
 		log, rec, err := durable.Open(durable.Options{
 			Dir:         cfg.DataDir,
 			Policy:      cfg.Fsync,
@@ -260,10 +283,11 @@ func (s *Server) Serve() error {
 	if s.ln == nil {
 		return errors.New("server: Serve before Listen")
 	}
+	s.lc.advance(PhaseRunning)
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			if s.draining.Load() {
+			if s.draining() {
 				return nil
 			}
 			return err
@@ -272,6 +296,14 @@ func (s *Server) Serve() error {
 		go s.handle(conn)
 	}
 }
+
+// Phase reports the server's current lifecycle phase.
+func (s *Server) Phase() Phase { return s.lc.Phase() }
+
+// draining reports whether graceful shutdown has begun (the phase is
+// draining or beyond). Every admission and watchdog decision consults
+// this, so "the server is going away" has one source of truth.
+func (s *Server) draining() bool { return s.lc.Phase() >= PhaseDraining }
 
 // ListenAndServe is Listen followed by Serve.
 func (s *Server) ListenAndServe(addr string) error {
@@ -289,7 +321,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // abandoned to finish on its own — the identity-reclaim path still runs
 // when it does.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.draining.CompareAndSwap(false, true) {
+	if s.lc.advance(PhaseDraining) {
 		close(s.drainCh)
 		if s.ln != nil {
 			s.ln.Close()
@@ -304,6 +336,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.closeLog()
+		s.lc.advance(PhaseStopped)
 		return nil
 	case <-ctx.Done():
 		s.sm.forceClose()
@@ -315,6 +348,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// they will get errors from the closed log, which is the honest
 		// outcome of a forced shutdown.
 		s.closeLog()
+		s.lc.advance(PhaseStopped)
 		return ctx.Err()
 	}
 }
@@ -328,6 +362,8 @@ func (s *Server) Stats() wire.Stats {
 		Shards:         s.cfg.Shards,
 		Impl:           s.impl.Name,
 		ActiveSessions: s.sm.activeCount(),
+		AdmitQueue:     s.sm.parkedCount(),
+		InflightOps:    s.shed.inflight.Load(),
 		Admitted:       s.sm.admitted.Load(),
 		Rejected:       s.sm.rejected.Load(),
 		Reclaimed:      s.sm.reclaimed.Load(),
@@ -336,7 +372,10 @@ func (s *Server) Stats() wire.Stats {
 		AppliedDupes:   s.appliedDupes.Load(),
 		RecoveredOps:   int64(s.recovery.RecoveredOps),
 		RestartCount:   int64(s.recovery.RestartCount),
-		Draining:       s.draining.Load(),
+		ShedAdmissions: s.shed.shedAdmissions.Load(),
+		ShedOps:        s.shed.shedOps.Load(),
+		Phase:          s.lc.Phase().String(),
+		Draining:       s.draining(),
 		PerShard:       s.tab.snapshots(),
 	}
 }
@@ -359,9 +398,22 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	bw := bufio.NewWriter(conn)
-	if s.draining.Load() {
+	if s.draining() {
 		wire.WriteHello(bw, wire.Hello{Status: wire.StatusBusy, Msg: "server draining"})
 		bw.Flush()
+		return
+	}
+	// Shed before parking: a connection refused here never joins the
+	// admission queue, which is what lets the queue drain back below the
+	// low watermark.
+	if hint, ok := s.shed.admit(s.sm.parkedCount()); !ok {
+		wire.WriteHello(bw, wire.Hello{
+			Status:           wire.StatusBusy,
+			RetryAfterMillis: hint,
+			Msg:              "server degraded: admission queue past the shed watermark",
+		})
+		bw.Flush()
+		s.logf("shed %s: admission queue past watermark", conn.RemoteAddr())
 		return
 	}
 	sess, ok := s.sm.admit(conn, s.drainCh)
@@ -389,10 +441,10 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.logf("session p=%d %s: closed", p, conn.RemoteAddr())
 	s.logf("session p=%d %s: admitted", p, conn.RemoteAddr())
 
-	// Re-check after registering: Shutdown stores the drain flag before
-	// sweeping read deadlines, so a session that misses the flag here was
+	// Re-check after registering: Shutdown advances the phase before
+	// sweeping read deadlines, so a session that misses the phase here was
 	// already registered when the sweep ran and will be woken by it.
-	if s.draining.Load() {
+	if s.draining() {
 		wire.WriteHello(bw, wire.Hello{Status: wire.StatusBusy, Msg: "server draining"})
 		bw.Flush()
 		return
@@ -421,7 +473,7 @@ func (s *Server) handle(conn net.Conn) {
 			// draining server never leaves a session armed with a fresh
 			// deadline.
 			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-			if s.draining.Load() {
+			if s.draining() {
 				conn.SetReadDeadline(time.Now())
 			}
 		}
@@ -437,7 +489,7 @@ func (s *Server) handle(conn net.Conn) {
 				wire.WriteResponse(bw, errResponse(0, wire.StatusBadRequest, err.Error()))
 				bw.Flush()
 				s.logf("session p=%d %s: %v", p, conn.RemoteAddr(), err)
-			case errors.Is(err, os.ErrDeadlineExceeded) && !s.draining.Load():
+			case errors.Is(err, os.ErrDeadlineExceeded) && !s.draining():
 				// Silence — no request, a frame stalled halfway, or a
 				// peer beyond a partition. The identity goes back to the
 				// pool via the deferred release.
@@ -450,7 +502,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		var resp wire.Response
 		switch {
-		case s.draining.Load():
+		case s.draining():
 			resp = errResponse(req.ID, wire.StatusDraining, "server draining")
 		case req.Kind == wire.KindPing:
 			resp = wire.Response{ID: req.ID, Status: wire.StatusOK}
@@ -490,6 +542,10 @@ func (s *Server) armWrite(conn net.Conn) {
 // applyOp runs one object operation under the configured per-op
 // deadline, counting withdrawals.
 func (s *Server) applyOp(p int, req wire.Request) wire.Response {
+	if hint, ok := s.shed.opBegin(); !ok {
+		return busyResponse(req.ID, hint)
+	}
+	defer s.shed.opEnd()
 	ctx := context.Background()
 	if s.cfg.OpTimeout > 0 {
 		var cancel context.CancelFunc

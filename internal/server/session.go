@@ -27,6 +27,11 @@ type sessionManager struct {
 	mu     sync.Mutex
 	active map[int]*session
 
+	// parked is the admission queue depth: connections currently inside
+	// admit's parking loop waiting for an identity. The shed policy's
+	// watermarks read it.
+	parked atomic.Int64
+
 	admitted  atomic.Int64
 	rejected  atomic.Int64
 	reclaimed atomic.Int64
@@ -53,16 +58,19 @@ func newSessionManager(n int, parkTimeout time.Duration) *sessionManager {
 func (sm *sessionManager) admit(conn net.Conn, stop <-chan struct{}) (*session, bool) {
 	lease, ok := sm.pool.TryLease()
 	if !ok && sm.parkT > 0 {
+		sm.parked.Add(1)
 		deadline := time.Now().Add(sm.parkT)
 		for !ok && time.Now().Before(deadline) {
 			select {
 			case <-stop:
+				sm.parked.Add(-1)
 				sm.rejected.Add(1)
 				return nil, false
 			case <-time.After(time.Millisecond):
 			}
 			lease, ok = sm.pool.TryLease()
 		}
+		sm.parked.Add(-1)
 	}
 	if !ok {
 		sm.rejected.Add(1)
@@ -90,6 +98,9 @@ func (sm *sessionManager) release(s *session) {
 		sm.reclaimed.Add(1)
 	}
 }
+
+// parkedCount reports the admission queue depth.
+func (sm *sessionManager) parkedCount() int64 { return sm.parked.Load() }
 
 // activeCount reports the number of admitted, not-yet-torn-down sessions.
 func (sm *sessionManager) activeCount() int64 {

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"kexclusion/internal/wire"
+)
+
+// ShedPolicy turns the server's park-then-busy backpressure into a
+// tunable load-shedding policy. Two independent controls:
+//
+//   - Queue-depth watermarks (QueueHigh/QueueLow) govern admission.
+//     The admission queue is the set of connections parked in
+//     sessionManager.admit waiting for one of the N identities to
+//     free. When its depth reaches QueueHigh the server flips to
+//     PhaseDegraded and sheds new connections immediately — a busy
+//     Hello with a computed Retry-After, no parking — instead of
+//     letting the queue grow without bound. When the depth falls back
+//     to QueueLow the next admission attempt flips the server back to
+//     PhaseRunning. The gap between the watermarks is hysteresis: a
+//     queue oscillating around one threshold would otherwise flap the
+//     phase (and every load balancer watching /readyz-adjacent
+//     signals) on every connection.
+//
+//   - MaxInFlight bounds concurrently executing object operations
+//     across all sessions. An operation beyond the ceiling is refused
+//     with wire.StatusBusy before it touches the table — never
+//     applied, safe to retry — with the Retry-After hint carried in
+//     Response.Value (milliseconds). The k-exclusion core already
+//     bounds per-shard concurrency at k; this ceiling bounds the
+//     server-wide total, which is what protects the WAL and the
+//     scheduler when every shard is hot at once.
+//
+// The zero policy disables both controls (the pre-policy behavior:
+// park for AdmitTimeout, then busy).
+type ShedPolicy struct {
+	// QueueHigh is the parked-admission depth at which the server
+	// flips to PhaseDegraded and starts shedding new connections.
+	// Zero disables watermark shedding.
+	QueueHigh int
+	// QueueLow is the depth at or below which a degraded server
+	// returns to PhaseRunning. Must be < QueueHigh when enabled; zero
+	// means "recover only when the queue is empty".
+	QueueLow int
+	// MaxInFlight is the ceiling on concurrently executing object
+	// operations. Zero means unlimited.
+	MaxInFlight int
+}
+
+// Validate rejects shapes that cannot mean anything, given the
+// admission parking window the policy will run against.
+func (p ShedPolicy) Validate(admitTimeout time.Duration) error {
+	if p.QueueHigh < 0 || p.QueueLow < 0 || p.MaxInFlight < 0 {
+		return fmt.Errorf("server: shed policy values must be non-negative, got %+v", p)
+	}
+	if p.QueueHigh > 0 {
+		if p.QueueLow >= p.QueueHigh {
+			return fmt.Errorf("server: shed low watermark %d must be below the high watermark %d", p.QueueLow, p.QueueHigh)
+		}
+		if admitTimeout <= 0 {
+			return fmt.Errorf("server: shed queue watermarks need an admission parking window (AdmitTimeout > 0) — without parking the admission queue is always empty")
+		}
+	}
+	return nil
+}
+
+// maxRetryAfter caps the computed Retry-After hint: a client told to
+// come back in a bounded interval keeps probing a recovering server;
+// one told "an hour" effectively never returns.
+const maxRetryAfter = 30 * time.Second
+
+// shedder is the runtime half of a ShedPolicy: the counters and the
+// phase flips. All methods are safe for concurrent use.
+type shedder struct {
+	pol ShedPolicy
+	lc  *Lifecycle
+	// base is the unit of the computed Retry-After: the admission
+	// parking window when one is configured, else a default probe
+	// interval.
+	base time.Duration
+
+	inflight       atomic.Int64
+	shedAdmissions atomic.Int64
+	shedOps        atomic.Int64
+}
+
+func newShedder(pol ShedPolicy, lc *Lifecycle, admitTimeout time.Duration) *shedder {
+	base := admitTimeout
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	return &shedder{pol: pol, lc: lc, base: base}
+}
+
+// retryAfterMillis computes the backoff hint for a shed decision:
+// one parking window per connection already queued ahead, clamped.
+// The shape is deliberate — the hint grows with the backlog, so a
+// thundering herd spreads itself out instead of re-arriving in step.
+func (sh *shedder) retryAfterMillis(queued int64) uint32 {
+	// Cap the multiplier before multiplying: a huge backlog must clamp
+	// to maxRetryAfter, not overflow into a sub-millisecond hint.
+	n := queued + 1
+	if lim := int64(maxRetryAfter / sh.base); n > lim || n < 1 {
+		n = lim
+		if n < 1 {
+			n = 1
+		}
+	}
+	d := sh.base * time.Duration(n)
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return uint32(d / time.Millisecond)
+}
+
+// admit decides whether a new connection may proceed to admission
+// (possibly parking), given the current parked-queue depth. A false
+// return means shed: answer busy with the returned Retry-After hint
+// and hang up. The watermark crossings are where the running ⇄
+// degraded flips happen — routed through the lifecycle so a
+// concurrent drain always wins.
+func (sh *shedder) admit(queued int64) (retryAfterMillis uint32, ok bool) {
+	if sh.pol.QueueHigh == 0 {
+		return 0, true
+	}
+	switch {
+	case queued >= int64(sh.pol.QueueHigh):
+		sh.lc.advance(PhaseDegraded)
+	case queued <= int64(sh.pol.QueueLow):
+		// Only meaningful from degraded; from anywhere else this is a
+		// refused (no-op) transition.
+		sh.lc.advance(PhaseRunning)
+	}
+	if sh.lc.Phase() == PhaseDegraded {
+		sh.shedAdmissions.Add(1)
+		return sh.retryAfterMillis(queued), false
+	}
+	return 0, true
+}
+
+// opBegin admits one object operation under the in-flight ceiling. A
+// false return means shed (answer busy, never apply); a true return
+// must be paired with opEnd.
+func (sh *shedder) opBegin() (retryAfterMillis uint32, ok bool) {
+	cur := sh.inflight.Add(1)
+	if sh.pol.MaxInFlight > 0 && cur > int64(sh.pol.MaxInFlight) {
+		sh.inflight.Add(-1)
+		sh.shedOps.Add(1)
+		// In-flight operations are short (bounded by the wait-free
+		// core); one base interval is the natural re-probe.
+		return sh.retryAfterMillis(0), false
+	}
+	return 0, true
+}
+
+// opEnd releases an opBegin admission.
+func (sh *shedder) opEnd() { sh.inflight.Add(-1) }
+
+// busyResponse answers a shed operation: StatusBusy, never applied,
+// with the Retry-After hint in Value (milliseconds) — the response
+// analogue of Hello.RetryAfterMillis.
+func busyResponse(id uint64, retryAfterMillis uint32) wire.Response {
+	return wire.Response{
+		ID:     id,
+		Status: wire.StatusBusy,
+		Value:  int64(retryAfterMillis),
+		Data:   []byte("server shedding load; operation not applied, retry after the hinted backoff"),
+	}
+}

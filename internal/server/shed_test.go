@@ -1,0 +1,244 @@
+package server
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"kexclusion/internal/wire"
+)
+
+func TestShedPolicyValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		pol     ShedPolicy
+		admit   time.Duration
+		wantErr string
+	}{
+		{"zero policy disabled", ShedPolicy{}, 0, ""},
+		{"ceiling only", ShedPolicy{MaxInFlight: 8}, 0, ""},
+		{"watermarks with parking", ShedPolicy{QueueHigh: 10, QueueLow: 2}, time.Second, ""},
+		{"zero low means empty-queue recovery", ShedPolicy{QueueHigh: 1}, time.Second, ""},
+		{"negative high", ShedPolicy{QueueHigh: -1}, time.Second, "non-negative"},
+		{"negative ceiling", ShedPolicy{MaxInFlight: -2}, 0, "non-negative"},
+		{"low at high", ShedPolicy{QueueHigh: 5, QueueLow: 5}, time.Second, "below the high watermark"},
+		{"low above high", ShedPolicy{QueueHigh: 5, QueueLow: 9}, time.Second, "below the high watermark"},
+		{"watermarks without parking", ShedPolicy{QueueHigh: 5, QueueLow: 1}, 0, "AdmitTimeout"},
+	}
+	for _, tc := range cases {
+		err := tc.pol.Validate(tc.admit)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestShedderWatermarkHysteresis: crossing the high watermark flips the
+// lifecycle to degraded and sheds; the queue must fall to the LOW
+// watermark — not merely below high — before admissions resume.
+func TestShedderWatermarkHysteresis(t *testing.T) {
+	lc := NewLifecycle()
+	lc.advance(PhaseRunning)
+	sh := newShedder(ShedPolicy{QueueHigh: 10, QueueLow: 2}, lc, 100*time.Millisecond)
+
+	if hint, ok := sh.admit(5); !ok || hint != 0 {
+		t.Fatalf("admit(5) below high = (%d, %v), want admitted", hint, ok)
+	}
+	hint, ok := sh.admit(10)
+	if ok {
+		t.Fatal("admit(10) at the high watermark admitted")
+	}
+	if hint == 0 {
+		t.Fatal("shed admission carried no Retry-After hint")
+	}
+	if lc.Phase() != PhaseDegraded {
+		t.Fatalf("phase = %v after crossing high watermark, want degraded", lc.Phase())
+	}
+	// In the hysteresis band (low < depth < high) a degraded server
+	// keeps shedding.
+	if _, ok := sh.admit(5); ok {
+		t.Fatal("admit(5) while degraded admitted: hysteresis band must keep shedding")
+	}
+	if lc.Phase() != PhaseDegraded {
+		t.Fatalf("phase flapped to %v inside the hysteresis band", lc.Phase())
+	}
+	// At the low watermark the server recovers and admits again.
+	if _, ok := sh.admit(2); !ok {
+		t.Fatal("admit(2) at the low watermark still shed")
+	}
+	if lc.Phase() != PhaseRunning {
+		t.Fatalf("phase = %v after falling to low watermark, want running", lc.Phase())
+	}
+	if got := sh.shedAdmissions.Load(); got != 2 {
+		t.Fatalf("shedAdmissions = %d, want 2", got)
+	}
+}
+
+// TestShedderDrainBeatsWatermarkFlips: once the lifecycle is draining,
+// neither watermark crossing moves the phase — the degraded↔running
+// flips are only legal from the exact phase the shedder observed, so a
+// racing drain always wins.
+func TestShedderDrainBeatsWatermarkFlips(t *testing.T) {
+	lc := NewLifecycle()
+	lc.advance(PhaseRunning)
+	lc.advance(PhaseDraining)
+	sh := newShedder(ShedPolicy{QueueHigh: 4, QueueLow: 1}, lc, 50*time.Millisecond)
+	sh.admit(10) // would flip degraded if legal
+	if lc.Phase() != PhaseDraining {
+		t.Fatalf("high-watermark crossing moved a draining server to %v", lc.Phase())
+	}
+	sh.admit(0) // would flip running if legal
+	if lc.Phase() != PhaseDraining {
+		t.Fatalf("low-watermark crossing moved a draining server to %v", lc.Phase())
+	}
+}
+
+func TestShedderInflightCeiling(t *testing.T) {
+	lc := NewLifecycle()
+	lc.advance(PhaseRunning)
+	sh := newShedder(ShedPolicy{MaxInFlight: 2}, lc, 0)
+	if _, ok := sh.opBegin(); !ok {
+		t.Fatal("op 1 refused under ceiling 2")
+	}
+	if _, ok := sh.opBegin(); !ok {
+		t.Fatal("op 2 refused under ceiling 2")
+	}
+	hint, ok := sh.opBegin()
+	if ok {
+		t.Fatal("op 3 admitted past ceiling 2")
+	}
+	if hint == 0 {
+		t.Fatal("shed op carried no Retry-After hint")
+	}
+	if got := sh.inflight.Load(); got != 2 {
+		t.Fatalf("inflight = %d after refused op, want 2 (refusal must not leak a slot)", got)
+	}
+	sh.opEnd()
+	if _, ok := sh.opBegin(); !ok {
+		t.Fatal("op refused after a slot freed")
+	}
+	if got := sh.shedOps.Load(); got != 1 {
+		t.Fatalf("shedOps = %d, want 1", got)
+	}
+	// The ceiling sheds operations, never the phase: in-flight pressure
+	// is momentary, admission-queue pressure is sustained.
+	if lc.Phase() != PhaseRunning {
+		t.Fatalf("phase = %v, want running", lc.Phase())
+	}
+}
+
+func TestShedderRetryAfterShape(t *testing.T) {
+	lc := NewLifecycle()
+	sh := newShedder(ShedPolicy{}, lc, 100*time.Millisecond)
+	if got := sh.retryAfterMillis(0); got != 100 {
+		t.Errorf("retryAfterMillis(0) = %d, want one parking window (100)", got)
+	}
+	if got := sh.retryAfterMillis(4); got != 500 {
+		t.Errorf("retryAfterMillis(4) = %d, want 500 (grows with backlog)", got)
+	}
+	if got := sh.retryAfterMillis(1 << 40); got != uint32(maxRetryAfter/time.Millisecond) {
+		t.Errorf("retryAfterMillis(huge) = %d, want clamp %d", got, maxRetryAfter/time.Millisecond)
+	}
+	// Without a parking window the default probe interval applies.
+	sh0 := newShedder(ShedPolicy{}, lc, 0)
+	if got := sh0.retryAfterMillis(0); got != 100 {
+		t.Errorf("default-base retryAfterMillis(0) = %d, want 100", got)
+	}
+}
+
+// TestServerShedsAdmissionsPastWatermark drives the policy end to end:
+// a full identity pool, a parked admission queue past the high
+// watermark, and then a connection that must be shed with a busy Hello
+// and a hint — while /readyz-visible phase reads degraded. When the
+// parked queue drains, the next arrival flips the server back to
+// running.
+func TestServerShedsAdmissionsPastWatermark(t *testing.T) {
+	s, err := New(Config{
+		N: 1, K: 1, Shards: 1,
+		AdmitTimeout: 400 * time.Millisecond,
+		Shed:         ShedPolicy{QueueHigh: 2, QueueLow: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	dial := func() net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		return conn
+	}
+
+	// Take the only identity.
+	holder := dial()
+	if h, err := wire.ReadHello(holder); err != nil || h.Status != wire.StatusOK {
+		t.Fatalf("holder hello = %+v, %v", h, err)
+	}
+	// Two more connections park in the admission queue.
+	parked := []net.Conn{dial(), dial()}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.sm.parkedCount() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission queue never reached 2 (at %d)", s.sm.parkedCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The next arrival crosses the high watermark: shed, degraded.
+	shedConn := dial()
+	h, err := wire.ReadHello(shedConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != wire.StatusBusy {
+		t.Fatalf("shed hello status = %v, want busy", h.Status)
+	}
+	if h.RetryAfterMillis == 0 {
+		t.Fatal("shed hello carried no Retry-After hint")
+	}
+	if !strings.Contains(h.Msg, "degraded") {
+		t.Fatalf("shed hello msg = %q, want a degraded diagnosis", h.Msg)
+	}
+	if got := s.Phase(); got != PhaseDegraded {
+		t.Fatalf("phase = %v, want degraded", got)
+	}
+	if st := s.Stats(); st.Phase != "degraded" || st.ShedAdmissions == 0 {
+		t.Fatalf("stats = phase %q shed %d, want degraded with sheds", st.Phase, st.ShedAdmissions)
+	}
+
+	// Let the parked windows expire (both get busy hellos) so the queue
+	// empties; the next arrival observes depth 0 and flips running.
+	for _, conn := range parked {
+		if h, err := wire.ReadHello(conn); err != nil || h.Status != wire.StatusBusy {
+			t.Fatalf("parked hello after window = %+v, %v, want busy", h, err)
+		}
+	}
+	probe := dial()
+	if _, err := wire.ReadHello(probe); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Phase(); got != PhaseRunning {
+		t.Fatalf("phase = %v after the queue drained, want running", got)
+	}
+}

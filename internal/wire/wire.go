@@ -131,6 +131,9 @@ func (s Status) String() string {
 type Error struct {
 	Status Status
 	Msg    string
+	// RetryAfterMillis is the server's backoff hint on StatusBusy (0 = no
+	// hint). Carried in Response.Value, lifted here by Response.Err.
+	RetryAfterMillis uint32
 }
 
 // Error formats the status and detail.
@@ -187,12 +190,20 @@ type Response struct {
 	Data []byte
 }
 
-// Err converts a non-OK response into an *Error (nil when OK).
+// Err converts a non-OK response into an *Error (nil when OK). On
+// StatusBusy the response's Value field carries the server's
+// Retry-After hint in milliseconds (the response analogue of
+// Hello.RetryAfterMillis — Value is otherwise unused on errors, so the
+// frame layout is unchanged); Err lifts it into the Error.
 func (r Response) Err() error {
+	e := &Error{Status: r.Status, Msg: string(r.Data)}
 	if r.Status == StatusOK {
 		return nil
 	}
-	return &Error{Status: r.Status, Msg: string(r.Data)}
+	if r.Status == StatusBusy && r.Value > 0 {
+		e.RetryAfterMillis = uint32(r.Value)
+	}
+	return e
 }
 
 // Hello is the server's first frame on a connection.
@@ -226,7 +237,10 @@ type Stats struct {
 	// identities returned by the session teardown path (every session
 	// end, including disconnect-as-crash reclaims).
 	ActiveSessions int64 `json:"active_sessions"`
-	Admitted       int64 `json:"admitted"`
+	// AdmitQueue is the instantaneous admission queue depth: connections
+	// parked waiting for an identity (the shed watermarks' input).
+	AdmitQueue int64 `json:"admit_queue"`
+	Admitted   int64 `json:"admitted"`
 	// AppliedDupes counts mutations answered from the dedup window — a
 	// retried op whose first application was already acknowledged (or
 	// was in flight); the object was not touched again.
@@ -237,14 +251,20 @@ type Stats struct {
 	// silent connection exceeded the idle timeout).
 	IdleReclaims int64  `json:"idle_reclaims"`
 	Impl         string `json:"impl"`
-	K            int    `json:"k"`
-	N            int    `json:"n"`
+	// InflightOps is the instantaneous count of object operations
+	// executing (the shed ceiling's input).
+	InflightOps int64 `json:"inflight_ops"`
+	K           int   `json:"k"`
+	N           int   `json:"n"`
 	// OpDeadlines counts operations withdrawn because their per-op
 	// deadline expired while waiting for a slot (StatusTimeout).
 	OpDeadlines int64 `json:"op_deadlines"`
 	// PerShard holds one acquisition-metrics snapshot per shard.
-	PerShard  []obs.Snapshot `json:"per_shard"`
-	Reclaimed int64          `json:"reclaimed"`
+	PerShard []obs.Snapshot `json:"per_shard"`
+	// Phase is the server's lifecycle phase (starting, recovering,
+	// running, degraded, draining, stopped).
+	Phase     string `json:"phase"`
+	Reclaimed int64  `json:"reclaimed"`
 	// RecoveredOps is the number of mutations reconstructed from the
 	// data directory at startup (snapshot plus WAL replay); zero when
 	// the server runs without durability or booted fresh.
@@ -254,6 +274,11 @@ type Stats struct {
 	// directory: 0 on first boot, 1 after one crash or restart.
 	RestartCount int64 `json:"restart_count"`
 	Shards       int   `json:"shards"`
+	// ShedAdmissions counts connections refused by the load-shedding
+	// watermark policy (before parking); ShedOps counts operations
+	// refused by the in-flight ceiling (never applied).
+	ShedAdmissions int64 `json:"shed_admissions"`
+	ShedOps        int64 `json:"shed_ops"`
 }
 
 // JSON marshals the stats deterministically.

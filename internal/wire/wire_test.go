@@ -144,6 +144,16 @@ func TestErrorModel(t *testing.T) {
 	if we.Status != StatusBusy || !strings.Contains(we.Error(), "busy") || !strings.Contains(we.Error(), "park elsewhere") {
 		t.Errorf("bad error: %v", we)
 	}
+	// A busy response's Value carries the Retry-After hint; Err lifts it.
+	err = (Response{Status: StatusBusy, Value: 250, Data: []byte("shed")}).Err()
+	if !errors.As(err, &we) || we.RetryAfterMillis != 250 {
+		t.Errorf("busy hint not lifted: %v", err)
+	}
+	// Non-busy statuses never grow a hint, whatever Value holds.
+	err = (Response{Status: StatusDraining, Value: 99}).Err()
+	if !errors.As(err, &we) || we.RetryAfterMillis != 0 {
+		t.Errorf("non-busy error grew a hint: %v", err)
+	}
 	// Every named status has a stable string (no fallthrough to the
 	// numeric form).
 	for _, s := range []Status{StatusOK, StatusBusy, StatusBadRequest, StatusBadShard, StatusDraining, StatusInternal, StatusTimeout} {
@@ -167,6 +177,8 @@ func TestStatsRoundTrip(t *testing.T) {
 		ActiveSessions: 3, Admitted: 10, Rejected: 2, Reclaimed: 7,
 		IdleReclaims: 4, OpDeadlines: 6,
 		AppliedDupes: 5, RecoveredOps: 11, RestartCount: 1,
+		AdmitQueue: 12, InflightOps: 13, ShedAdmissions: 14, ShedOps: 15,
+		Phase:    "degraded",
 		Draining: true,
 		PerShard: []obs.Snapshot{m.Snapshot()},
 	}
@@ -183,7 +195,10 @@ func TestStatsRoundTrip(t *testing.T) {
 	if got.AppliedDupes != 5 || got.RecoveredOps != 11 || got.RestartCount != 1 {
 		t.Errorf("durability counters lost: %+v", got)
 	}
-	for _, key := range []string{"idle_reclaims", "op_deadlines", "applied_dupes", "recovered_ops", "restart_count"} {
+	if got.AdmitQueue != 12 || got.InflightOps != 13 || got.ShedAdmissions != 14 || got.ShedOps != 15 || got.Phase != "degraded" {
+		t.Errorf("lifecycle/shed fields lost: %+v", got)
+	}
+	for _, key := range []string{"idle_reclaims", "op_deadlines", "applied_dupes", "recovered_ops", "restart_count", "admit_queue", "inflight_ops", "phase", "shed_admissions", "shed_ops"} {
 		if !bytes.Contains(s.JSON(), []byte(`"`+key+`"`)) {
 			t.Errorf("stats JSON missing %q", key)
 		}
@@ -202,15 +217,17 @@ func TestStatsRoundTrip(t *testing.T) {
 // field means updating this golden string — deliberately.
 func TestStatsJSONGolden(t *testing.T) {
 	s := Stats{
-		ActiveSessions: 1, Admitted: 2, AppliedDupes: 3, Draining: true,
-		IdleReclaims: 4, Impl: "fastpath", K: 2, N: 8, OpDeadlines: 5,
-		PerShard: nil, Reclaimed: 6, RecoveredOps: 7, Rejected: 8,
-		RestartCount: 9, Shards: 4,
+		ActiveSessions: 1, AdmitQueue: 10, Admitted: 2, AppliedDupes: 3,
+		Draining: true, IdleReclaims: 4, Impl: "fastpath", InflightOps: 11,
+		K: 2, N: 8, OpDeadlines: 5, PerShard: nil, Phase: "running",
+		Reclaimed: 6, RecoveredOps: 7, Rejected: 8, RestartCount: 9,
+		Shards: 4, ShedAdmissions: 12, ShedOps: 13,
 	}
-	const want = `{"active_sessions":1,"admitted":2,"applied_dupes":3,"draining":true,` +
-		`"idle_reclaims":4,"impl":"fastpath","k":2,"n":8,"op_deadlines":5,` +
-		`"per_shard":null,"reclaimed":6,"recovered_ops":7,"rejected":8,` +
-		`"restart_count":9,"shards":4}`
+	const want = `{"active_sessions":1,"admit_queue":10,"admitted":2,"applied_dupes":3,` +
+		`"draining":true,"idle_reclaims":4,"impl":"fastpath","inflight_ops":11,` +
+		`"k":2,"n":8,"op_deadlines":5,"per_shard":null,"phase":"running",` +
+		`"reclaimed":6,"recovered_ops":7,"rejected":8,` +
+		`"restart_count":9,"shards":4,"shed_admissions":12,"shed_ops":13}`
 	if got := string(s.JSON()); got != want {
 		t.Fatalf("stats JSON drifted from golden schema:\n got  %s\n want %s", got, want)
 	}
