@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"kexclusion/internal/bench"
 )
@@ -46,6 +47,12 @@ func run(args []string, out io.Writer) error {
 		acqs     = fs.Int("acqs", 4, "acquisitions per process per run")
 		seed     = fs.Int64("seed", 1, "workload seed for -native")
 		model    = fs.String("model", "cc", "machine model for -fig3b (cc or dsm)")
+		netMode  = fs.Bool("net", false, "sweep the network hot path (connections × pipeline depth × fsync) over a loopback server")
+		conns    = fs.String("conns", "1,4", "with -net: comma-separated connection counts")
+		depths   = fs.String("depths", "1,8", "with -net: comma-separated pipeline depths")
+		fsyncs   = fs.String("fsync", "always,interval", "with -net: comma-separated fsync policies to sweep")
+		netOps   = fs.Int("net-ops", 512, "with -net: mutations per connection per cell")
+		short    = fs.Bool("short", false, "with -net: minimal smoke sweep (1 conn, depths 1 and 8, fsync always, fewer ops)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,12 +60,38 @@ func run(args []string, out io.Writer) error {
 	if *all {
 		*table1, *theorems, *fig3b, *k1 = true, true, true, true
 	}
-	if !*table1 && !*theorems && !*fig3b && !*k1 && !*native {
+	if !*table1 && !*theorems && !*fig3b && !*k1 && !*native && !*netMode {
 		fs.Usage()
-		return fmt.Errorf("pick at least one of -table1, -theorems, -fig3b, -k1, -native, -all")
+		return fmt.Errorf("pick at least one of -table1, -theorems, -fig3b, -k1, -native, -net, -all")
 	}
-	if *asJSON && !*native {
-		return fmt.Errorf("-json applies only to -native")
+	if *asJSON && !*native && !*netMode {
+		return fmt.Errorf("-json applies only to -native and -net")
+	}
+	if *netMode {
+		nc := netConfig{OpsPerConn: *netOps, Shards: 4, K: 4}
+		var err error
+		if nc.Conns, err = parseIntList("conns", *conns); err != nil {
+			return err
+		}
+		if nc.Depths, err = parseIntList("depths", *depths); err != nil {
+			return err
+		}
+		nc.Fsyncs = nil
+		for _, f := range strings.Split(*fsyncs, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				nc.Fsyncs = append(nc.Fsyncs, f)
+			}
+		}
+		if len(nc.Fsyncs) == 0 {
+			return fmt.Errorf("-fsync: empty list")
+		}
+		if *short {
+			nc.Conns, nc.Depths, nc.Fsyncs = []int{1}, []int{1, 8}, []string{"always"}
+			if nc.OpsPerConn > 128 {
+				nc.OpsPerConn = 128
+			}
+		}
+		return runNet(nc, out, *asJSON)
 	}
 	if *k < 1 {
 		return fmt.Errorf("need k >= 1, got k=%d", *k)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -113,5 +114,74 @@ func TestBenchFlagShapeValidation(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-table1", "-n", "2", "-k", "2", "-seeds", "1", "-acqs", "1"}, &b); err != nil {
 		t.Errorf("n == k rejected: %v", err)
+	}
+}
+
+func TestBenchNetShortSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a real loopback server with per-op fsync")
+	}
+	var b strings.Builder
+	// Tiny cell sizes: this asserts plumbing and schema, not the
+	// headline speedup (CI's smoke job greps the full -short verdict).
+	err := run([]string{"-net", "-conns", "1", "-depths", "1,8", "-fsync", "always", "-net-ops", "48"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"network hot path sweep", "speedup:", "verdict:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchNetJSONSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a real loopback server")
+	}
+	var b strings.Builder
+	err := run([]string{"-net", "-json", "-conns", "1", "-depths", "1,4", "-fsync", "interval", "-net-ops", "16"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+		Rows   []struct {
+			Fsync     string  `json:"fsync"`
+			Conns     int     `json:"conns"`
+			Depth     int     `json:"depth"`
+			Ops       int     `json:"ops"`
+			OpsPerSec float64 `json:"ops_per_sec"`
+		} `json:"rows"`
+		Verdict string `json:"verdict"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("BENCH_net output is not JSON: %v", err)
+	}
+	if rep.Schema != "kexbench/net/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Rows) != 2 || rep.Rows[0].Ops != 16 {
+		t.Errorf("rows = %+v", rep.Rows)
+	}
+	if rep.Verdict == "" {
+		t.Error("verdict missing")
+	}
+}
+
+func TestBenchNetFlagValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-net", "-conns", "0"}, &b); err == nil {
+		t.Error("expected error for -conns 0")
+	}
+	if err := run([]string{"-net", "-depths", "x"}, &b); err == nil {
+		t.Error("expected error for malformed -depths")
+	}
+	if err := run([]string{"-net", "-fsync", "sometimes"}, &b); err == nil {
+		t.Error("expected error for unknown fsync policy")
+	}
+	if err := run([]string{"-json", "-table1"}, &b); err == nil {
+		t.Error("expected error for -json without -native or -net")
 	}
 }

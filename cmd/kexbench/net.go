@@ -1,0 +1,270 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"kexclusion/internal/durable"
+	"kexclusion/internal/server"
+	"kexclusion/internal/server/client"
+	"kexclusion/internal/wire"
+)
+
+// netConfig shapes one -net sweep: the cross product of connection
+// counts, pipeline depths, and fsync policies, each cell driven
+// against a fresh loopback server with a fresh data directory.
+type netConfig struct {
+	Conns      []int
+	Depths     []int
+	Fsyncs     []string
+	OpsPerConn int
+	Shards     int
+	K          int
+}
+
+// netRow is one measured cell. The JSON field set is the BENCH_net
+// schema — append fields if needed, never rename or remove.
+type netRow struct {
+	Fsync     string  `json:"fsync"`
+	Conns     int     `json:"conns"`
+	Depth     int     `json:"depth"`
+	Ops       int     `json:"ops"`
+	Errors    int     `json:"errors"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// netSpeedup compares the deepest pipeline against depth 1 at the same
+// fsync policy and connection count.
+type netSpeedup struct {
+	Fsync   string  `json:"fsync"`
+	Conns   int     `json:"conns"`
+	Depth   int     `json:"depth"`
+	Speedup float64 `json:"speedup"`
+}
+
+type netReport struct {
+	Schema     string       `json:"schema"`
+	OpsPerConn int          `json:"ops_per_conn"`
+	Shards     int          `json:"shards"`
+	K          int          `json:"k"`
+	Rows       []netRow     `json:"rows"`
+	Speedups   []netSpeedup `json:"speedups"`
+	// Verdict is "pipelined" when every measured (fsync, conns) pair
+	// ran faster at its deepest depth than at depth 1, else "flat".
+	Verdict string `json:"verdict"`
+}
+
+const netSchema = "kexbench/net/v1"
+
+func shutdownCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}
+
+// parseIntList parses "1,4,16" into sorted unique positive ints.
+func parseIntList(flag, s string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-%s: want positive integers, got %q", flag, part)
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flag)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// runNet drives the sweep and emits the report (text or JSON).
+func runNet(cfg netConfig, out io.Writer, asJSON bool) error {
+	rep := netReport{Schema: netSchema, OpsPerConn: cfg.OpsPerConn, Shards: cfg.Shards, K: cfg.K}
+	for _, fsync := range cfg.Fsyncs {
+		policy, err := durable.ParseSyncPolicy(fsync)
+		if err != nil {
+			return err
+		}
+		for _, conns := range cfg.Conns {
+			for _, depth := range cfg.Depths {
+				row, err := netCell(cfg, policy, fsync, conns, depth)
+				if err != nil {
+					return fmt.Errorf("cell fsync=%s conns=%d depth=%d: %w", fsync, conns, depth, err)
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+		}
+	}
+	rep.Speedups, rep.Verdict = netVerdict(rep.Rows)
+
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(out, "network hot path sweep (%d ops/conn, %d shards, k=%d)\n", cfg.OpsPerConn, cfg.Shards, cfg.K)
+	fmt.Fprintf(out, "%-10s %6s %6s %10s %8s %12s\n", "fsync", "conns", "depth", "ops", "errs", "ops/sec")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(out, "%-10s %6d %6d %10d %8d %12.0f\n", r.Fsync, r.Conns, r.Depth, r.Ops, r.Errors, r.OpsPerSec)
+	}
+	for _, s := range rep.Speedups {
+		fmt.Fprintf(out, "speedup: fsync=%s conns=%d depth %d vs 1: %.2fx\n", s.Fsync, s.Conns, s.Depth, s.Speedup)
+	}
+	fmt.Fprintf(out, "verdict: %s\n", rep.Verdict)
+	return nil
+}
+
+// netCell measures one (fsync, conns, depth) cell against a fresh
+// server on a loopback ephemeral port with a throwaway data directory.
+func netCell(cfg netConfig, policy durable.SyncPolicy, fsync string, conns, depth int) (netRow, error) {
+	dir, err := os.MkdirTemp("", "kexbench-net-")
+	if err != nil {
+		return netRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	n := conns + 2 // headroom so admission never sheds the drivers
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	srv, err := server.New(server.Config{
+		N: n, K: k, Shards: cfg.Shards,
+		AdmitTimeout: 5 * time.Second,
+		DataDir:      dir,
+		Fsync:        policy,
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		return netRow{}, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return netRow{}, err
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := shutdownCtx()
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		c, err := client.DialTimeout(addr.String(), 5*time.Second)
+		if err != nil {
+			return netRow{}, err
+		}
+		defer c.Close()
+		c.SetOpTimeout(30 * time.Second)
+		clients[i] = c
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]int, conns)
+	start := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			shard := uint32(i % cfg.Shards)
+			pend := make([]*client.Pending, 0, depth)
+			drain := func() {
+				for _, p := range pend {
+					if _, err := p.Wait(); err != nil {
+						errs[i]++
+					}
+				}
+				pend = pend[:0]
+			}
+			for op := 0; op < cfg.OpsPerConn; op++ {
+				p, err := c.Go(wire.KindAdd, shard, 1, uint64(op+1))
+				if err != nil {
+					errs[i] += cfg.OpsPerConn - op
+					break
+				}
+				pend = append(pend, p)
+				if len(pend) >= depth {
+					drain()
+				}
+			}
+			drain()
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := conns * cfg.OpsPerConn
+	nerr := 0
+	for _, e := range errs {
+		nerr += e
+	}
+	row := netRow{
+		Fsync: fsync, Conns: conns, Depth: depth,
+		Ops: total, Errors: nerr,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	if elapsed > 0 {
+		row.OpsPerSec = float64(total-nerr) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// netVerdict derives the depth-vs-1 speedups and the overall verdict.
+func netVerdict(rows []netRow) ([]netSpeedup, string) {
+	type key struct {
+		fsync string
+		conns int
+	}
+	base := map[key]netRow{}
+	deepest := map[key]netRow{}
+	for _, r := range rows {
+		k := key{r.Fsync, r.Conns}
+		if r.Depth == 1 {
+			base[k] = r
+		}
+		if r.Depth > deepest[k].Depth {
+			deepest[k] = r
+		}
+	}
+	var speedups []netSpeedup
+	verdict := "pipelined"
+	for k, d := range deepest {
+		b, ok := base[k]
+		if !ok || d.Depth == 1 || b.OpsPerSec <= 0 {
+			continue
+		}
+		s := netSpeedup{Fsync: k.fsync, Conns: k.conns, Depth: d.Depth, Speedup: d.OpsPerSec / b.OpsPerSec}
+		speedups = append(speedups, s)
+		if s.Speedup <= 1 {
+			verdict = "flat"
+		}
+	}
+	sort.Slice(speedups, func(i, j int) bool {
+		if speedups[i].Fsync != speedups[j].Fsync {
+			return speedups[i].Fsync < speedups[j].Fsync
+		}
+		return speedups[i].Conns < speedups[j].Conns
+	})
+	if len(speedups) == 0 {
+		verdict = "flat"
+	}
+	return speedups, verdict
+}

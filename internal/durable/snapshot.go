@@ -10,11 +10,17 @@ import (
 
 // Snapshot body layout (one CRC frame, like a WAL record):
 //
-//	[1 type=3][8 coverLSN][8 markers][4 shardCount]
+//	[1 type=4][8 coverLSN][8 markers][4 shardCount]
 //	  per shard, ascending id:
 //	    [4 id][8 ver][8 val][4 dedupCount]
 //	      per dedup entry, ascending session:
-//	        [8 session][8 seq][8 val][8 ver]
+//	        [8 session][4 opCount][opCount × [8 seq][8 val][8 ver]]
+//
+// Each dedup entry carries the session's recent-op history, newest
+// first (opCount ≥ 1; op 0 is the entry's inline newest). Type 3 is
+// the legacy pre-pipelining layout — one fixed 32-byte op per session
+// — still decoded so a server upgraded in place recovers its old
+// snapshot (the histories start empty and refill as sessions mutate).
 //
 // coverLSN is the log end captured BEFORE the shard images are read:
 // every record at or below it is reflected in the images; records
@@ -22,7 +28,10 @@ import (
 // version. markers is the cumulative restart-marker tally, which must
 // live here because the markers themselves get pruned with their
 // segments.
-const recTypeSnapshot = 3
+const (
+	recTypeSnapshotV1 = 3
+	recTypeSnapshot   = 4
+)
 
 func encodeSnapshot(cover, markers uint64, shards map[uint32]ShardState) []byte {
 	ids := make([]uint32, 0, len(shards))
@@ -50,9 +59,15 @@ func encodeSnapshot(cover, markers uint64, shards map[uint32]ShardState) []byte 
 		for _, sess := range sessions {
 			e := s.Dedup[sess]
 			body = binary.BigEndian.AppendUint64(body, sess)
+			body = binary.BigEndian.AppendUint32(body, uint32(1+len(e.Recent)))
 			body = binary.BigEndian.AppendUint64(body, e.Seq)
 			body = binary.BigEndian.AppendUint64(body, uint64(e.Val))
 			body = binary.BigEndian.AppendUint64(body, e.Ver)
+			for _, op := range e.Recent {
+				body = binary.BigEndian.AppendUint64(body, op.Seq)
+				body = binary.BigEndian.AppendUint64(body, uint64(op.Val))
+				body = binary.BigEndian.AppendUint64(body, op.Ver)
+			}
 		}
 	}
 	return body
@@ -62,9 +77,10 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 	fail := func(what string) (uint64, uint64, map[uint32]ShardState, error) {
 		return 0, 0, nil, fmt.Errorf("%w: snapshot %s", errCorrupt, what)
 	}
-	if len(body) < 21 || body[0] != recTypeSnapshot {
+	if len(body) < 21 || (body[0] != recTypeSnapshot && body[0] != recTypeSnapshotV1) {
 		return fail("header malformed")
 	}
+	legacy := body[0] == recTypeSnapshotV1
 	cover = binary.BigEndian.Uint64(body[1:])
 	markers = binary.BigEndian.Uint64(body[9:])
 	nShards := int(binary.BigEndian.Uint32(body[17:]))
@@ -89,18 +105,59 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 		nDedup := int(binary.BigEndian.Uint32(body[off+20:]))
 		off += 24
 		if nDedup > 0 {
-			if len(body)-off < nDedup*32 {
+			// A session entry is at least 12 bytes (v2) / exactly 32 (v1);
+			// bound the allocation hint before trusting the count.
+			minEntry := 12
+			if legacy {
+				minEntry = 32
+			}
+			if nDedup > (len(body)-off)/minEntry {
 				return fail("dedup entries truncated")
 			}
 			s.Dedup = make(map[uint64]DedupEntry, nDedup)
 			for j := 0; j < nDedup; j++ {
-				sess := binary.BigEndian.Uint64(body[off:])
-				s.Dedup[sess] = DedupEntry{
-					Seq: binary.BigEndian.Uint64(body[off+8:]),
-					Val: int64(binary.BigEndian.Uint64(body[off+16:])),
-					Ver: binary.BigEndian.Uint64(body[off+24:]),
+				var e DedupEntry
+				var sess uint64
+				if legacy {
+					if len(body)-off < 32 {
+						return fail("dedup entries truncated")
+					}
+					sess = binary.BigEndian.Uint64(body[off:])
+					e = DedupEntry{
+						Seq: binary.BigEndian.Uint64(body[off+8:]),
+						Val: int64(binary.BigEndian.Uint64(body[off+16:])),
+						Ver: binary.BigEndian.Uint64(body[off+24:]),
+					}
+					off += 32
+				} else {
+					if len(body)-off < 12 {
+						return fail("dedup entries truncated")
+					}
+					sess = binary.BigEndian.Uint64(body[off:])
+					nOps := int(binary.BigEndian.Uint32(body[off+8:]))
+					off += 12
+					if nOps < 1 || nOps > (len(body)-off)/24 {
+						return fail("dedup history truncated")
+					}
+					e = DedupEntry{
+						Seq: binary.BigEndian.Uint64(body[off:]),
+						Val: int64(binary.BigEndian.Uint64(body[off+8:])),
+						Ver: binary.BigEndian.Uint64(body[off+16:]),
+					}
+					off += 24
+					if nOps > 1 {
+						e.Recent = make([]DedupOp, nOps-1)
+						for k := range e.Recent {
+							e.Recent[k] = DedupOp{
+								Seq: binary.BigEndian.Uint64(body[off:]),
+								Val: int64(binary.BigEndian.Uint64(body[off+8:])),
+								Ver: binary.BigEndian.Uint64(body[off+16:]),
+							}
+							off += 24
+						}
+					}
 				}
-				off += 32
+				s.Dedup[sess] = e
 			}
 			if len(s.Dedup) != nDedup {
 				return fail("has repeated dedup sessions")

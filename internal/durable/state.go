@@ -18,22 +18,45 @@ type ShardState struct {
 	Ver uint64
 	// Val is the shard's visible value.
 	Val int64
-	// Dedup maps a client session identity to its most recent op. One
-	// entry per session: the wire protocol serializes each session's
-	// ops, so a lower sequence number can only be a stale duplicate.
+	// Dedup maps a client session identity to its recent ops. One
+	// entry per session, holding the newest op inline plus a short
+	// history (see DedupDepth): a pipelined client can have several
+	// un-acked ops in flight at once, and after a mid-burst connection
+	// loss it re-issues all of them — each must be recognized, not just
+	// the newest.
 	Dedup map[uint64]DedupEntry
 }
 
-// DedupEntry records the last op a session applied to this shard.
+// DedupDepth is how many recent ops per (session, shard) the dedup
+// window recognizes: the newest plus DedupDepth-1 older ones. A
+// re-issued op older than that answers Stale — so a client pipelining
+// deeper than DedupDepth onto one shard loses exactly-once coverage
+// for the burst's oldest ops; bound pipeline depth accordingly.
+const DedupDepth = 32
+
+// DedupEntry records a session's recent ops on this shard: the newest
+// inline (Seq/Val/Ver), older ones in Recent, newest first.
 type DedupEntry struct {
-	// Seq is the op's client-assigned sequence number.
+	// Seq is the newest op's client-assigned sequence number.
 	Seq uint64
 	// Val is the result that was (or will be) acknowledged; a retry of
 	// the same op is answered with it.
 	Val int64
-	// Ver is the shard version the op produced — the eviction key (the
-	// window drops the longest-idle session first) and the WAL position
-	// a duplicate must wait on before it can be re-acknowledged.
+	// Ver is the shard version the newest op produced — the eviction
+	// key (the window drops the longest-idle session first) and the WAL
+	// position a duplicate must wait on before it can be
+	// re-acknowledged.
+	Ver uint64
+	// Recent holds up to DedupDepth-1 older ops in descending seq
+	// order. Never mutated in place: Step builds a fresh slice on every
+	// update, so clones sharing the backing array stay consistent.
+	Recent []DedupOp
+}
+
+// DedupOp is one historical op in a DedupEntry.
+type DedupOp struct {
+	Seq uint64
+	Val int64
 	Ver uint64
 }
 
@@ -59,6 +82,9 @@ type Outcome struct {
 
 // Clone deep-copies the state. resilient.Shared calls it before every
 // speculative op execution, so Step may mutate its receiver freely.
+// Entries are copied by value; the Recent slices they point at are
+// shared, which is safe because Step treats them as immutable
+// (copy-on-write).
 func (s ShardState) Clone() ShardState {
 	c := s
 	if s.Dedup != nil {
@@ -84,6 +110,15 @@ func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64
 				return Outcome{Val: e.Val, Duplicate: true, Ver: e.Ver}
 			}
 			if seq < e.Seq {
+				// An older seq: answer from the history if the window
+				// still holds it (a pipelined burst healing after a
+				// connection loss re-issues every un-acked op, oldest
+				// included), stale only once it has aged out.
+				for _, old := range e.Recent {
+					if old.Seq == seq {
+						return Outcome{Val: old.Val, Duplicate: true, Ver: old.Ver}
+					}
+				}
 				return Outcome{Stale: true}
 			}
 		}
@@ -99,7 +134,21 @@ func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64
 		if s.Dedup == nil {
 			s.Dedup = make(map[uint64]DedupEntry)
 		}
-		s.Dedup[session] = DedupEntry{Seq: seq, Val: s.Val, Ver: s.Ver}
+		prev, had := s.Dedup[session]
+		entry := DedupEntry{Seq: seq, Val: s.Val, Ver: s.Ver}
+		if had {
+			// Push the superseded newest op into the history: a fresh
+			// slice every time (never append to prev.Recent in place —
+			// speculative clones share its backing array).
+			keep := len(prev.Recent)
+			if keep > DedupDepth-2 {
+				keep = DedupDepth - 2
+			}
+			entry.Recent = make([]DedupOp, 0, keep+1)
+			entry.Recent = append(entry.Recent, DedupOp{Seq: prev.Seq, Val: prev.Val, Ver: prev.Ver})
+			entry.Recent = append(entry.Recent, prev.Recent[:keep]...)
+		}
+		s.Dedup[session] = entry
 		if window > 0 && len(s.Dedup) > window {
 			evictOldest(s.Dedup)
 		}

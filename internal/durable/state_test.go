@@ -39,15 +39,50 @@ func TestStepDeduplicatesRetries(t *testing.T) {
 	if s.Val != 10 || s.Ver != 1 {
 		t.Fatalf("state moved on duplicate: %+v", s)
 	}
-	// Only the most recent op per session is remembered: after seq 2
-	// applies, a re-retry of seq 1 is stale, not a duplicate.
+	// The session's recent history answers older seqs too — a pipelined
+	// burst healing after a connection loss re-issues every un-acked op,
+	// and each must get its ORIGINAL value back.
 	Step(&s, 0, 7, 2, OpAdd, 1)
+	old := Step(&s, 0, 7, 1, OpAdd, 10)
+	if !old.Duplicate || old.Applied || old.Val != 10 || old.Ver != first.Ver {
+		t.Fatalf("windowed retry of seq 1: %+v", old)
+	}
+	if s.Val != 11 {
+		t.Fatalf("windowed retry moved state: %+v", s)
+	}
+	// A seq that has aged past DedupDepth is stale, not a duplicate.
+	for i := 0; i < DedupDepth; i++ {
+		Step(&s, 0, 7, uint64(3+i), OpAdd, 1)
+	}
 	stale := Step(&s, 0, 7, 1, OpAdd, 10)
 	if !stale.Stale || stale.Applied || stale.Duplicate {
 		t.Fatalf("stale: %+v", stale)
 	}
-	if s.Val != 11 {
+	if s.Val != 11+DedupDepth {
 		t.Fatalf("stale op moved state: %+v", s)
+	}
+}
+
+func TestStepHistoryDepthBound(t *testing.T) {
+	var s ShardState
+	const n = DedupDepth * 2
+	for i := 1; i <= n; i++ {
+		Step(&s, 0, 9, uint64(i), OpAdd, 1)
+	}
+	e := s.Dedup[9]
+	if got := 1 + len(e.Recent); got != DedupDepth {
+		t.Fatalf("history holds %d ops, want %d", got, DedupDepth)
+	}
+	// The newest DedupDepth seqs answer as duplicates with their
+	// original running totals; anything older is stale.
+	for i := n - DedupDepth + 1; i <= n; i++ {
+		out := Step(&s, 0, 9, uint64(i), OpAdd, 1)
+		if !out.Duplicate || out.Val != int64(i) {
+			t.Fatalf("seq %d: %+v, want duplicate with val %d", i, out, i)
+		}
+	}
+	if out := Step(&s, 0, 9, uint64(n-DedupDepth), OpAdd, 1); !out.Stale {
+		t.Fatalf("aged-out seq: %+v, want stale", out)
 	}
 }
 

@@ -13,8 +13,11 @@ import (
 type SyncPolicy int
 
 const (
-	// SyncAlways fsyncs every append before it is acknowledged: an
-	// acked op survives both process and host crashes.
+	// SyncAlways fsyncs before every acknowledgement: an acked op
+	// survives both process and host crashes. The fsync happens at the
+	// durability wait, not the append, so concurrent appenders — and a
+	// pipelined batch waiting once for its last record — group-commit
+	// under a single disk write.
 	SyncAlways SyncPolicy = iota
 	// SyncInterval group-commits: a background ticker fsyncs the log
 	// and acknowledgements wait for the covering sync. An acked op
@@ -332,8 +335,11 @@ func (l *Log) truncateTail(sg segment, data []byte, off int, cause error, rec *R
 	return nil
 }
 
-// Append writes one op record and returns its LSN. Under SyncAlways
-// the record is durable on return; otherwise pair with WaitDurable.
+// Append writes one op record and returns its LSN. Pair with
+// WaitDurable before acknowledging: that is where every policy's
+// durability point lives (SyncAlways fsyncs there, group-committing
+// whatever has been appended; SyncInterval waits for the ticker's
+// covering sync; SyncNever returns immediately).
 //
 // A failed append or fsync poisons the log permanently: the record's
 // version number is consumed by the caller's sequencer even though no
@@ -355,14 +361,12 @@ func (l *Log) Append(r Record) (uint64, error) {
 		l.poisonLocked(err)
 		return 0, l.fail
 	}
-	lsn := l.end
-	if l.opts.Policy == SyncAlways {
-		if err := l.syncLocked(); err != nil {
-			l.poisonLocked(err)
-			return 0, l.fail
-		}
-	}
-	return lsn, nil
+	// Under SyncAlways the fsync happens in WaitDurable, not here:
+	// deferring it to the acknowledgement point is what lets a pipeline
+	// of appends — from one session or many — share a single group
+	// commit. The contract is unchanged (an ack still implies the
+	// record is on disk) because every ack waits.
+	return l.end, nil
 }
 
 // poisonLocked records the first fatal durability failure and wakes
@@ -471,7 +475,8 @@ func (l *Log) syncer() {
 }
 
 // WaitDurable blocks until lsn is covered by the sync policy. Under
-// SyncAlways and SyncNever it returns immediately.
+// SyncAlways the first waiter fsyncs on the spot (group commit — see
+// below); under SyncNever it returns immediately.
 //
 // A poisoned log fails every wait, even for an LSN that reached disk
 // before the failure: after a poison, a caller may be asking about the
@@ -489,6 +494,20 @@ func (l *Log) WaitDurable(lsn uint64) error {
 		}
 		if l.closed {
 			return fmt.Errorf("durable: log closed before LSN %d became durable", lsn)
+		}
+		if l.opts.Policy == SyncAlways {
+			// Group commit at the wait point: the first waiter in
+			// becomes the leader and fsyncs everything appended so far,
+			// covering its own LSN and every concurrent appender's in
+			// one disk write; followers arriving under the same lock
+			// find the watermark already past them. This is what turns
+			// a pipelined batch into one fsync per flush instead of one
+			// per op.
+			if err := l.syncLocked(); err != nil {
+				l.poisonLocked(err)
+				return l.fail
+			}
+			continue
 		}
 		l.cond.Wait()
 	}

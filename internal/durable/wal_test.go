@@ -496,3 +496,47 @@ func TestDecodeSnapshotHugeShardCountRejected(t *testing.T) {
 		t.Fatalf("snapshot declaring 2^32-1 shards over an empty body: got %v, want errCorrupt", err)
 	}
 }
+
+// TestSyncAlwaysGroupCommits: under SyncAlways the fsync lives at the
+// durability wait, so a pipeline of appends followed by one wait costs
+// one disk write, not one per record — and the wait still implies every
+// appended record is on disk.
+func TestSyncAlwaysGroupCommits(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Policy: SyncAlways})
+	defer l.Close()
+	var last uint64
+	for i := 0; i < 16; i++ {
+		lsn, err := l.Append(Record{Shard: 0, Kind: OpAdd, Arg: 1, Val: int64(i + 1), Ver: uint64(i + 1)})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		last = lsn
+	}
+	if err := l.WaitDurable(last); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	// One sync for Open's restart marker, one group commit for the
+	// whole 16-record pipeline.
+	if s := l.Syncs(); s != 2 {
+		t.Fatalf("fsyncs: %d, want 2 (open marker + one group commit for 16 appends)", s)
+	}
+	// A second wait for an already-covered LSN adds nothing.
+	if err := l.WaitDurable(last); err != nil {
+		t.Fatalf("re-wait: %v", err)
+	}
+	if s := l.Syncs(); s != 2 {
+		t.Fatalf("fsyncs after covered re-wait: %d, want 2", s)
+	}
+	// A fresh append re-arms the wait: one more sync, exactly.
+	lsn, err := l.Append(Record{Shard: 0, Kind: OpAdd, Arg: 1, Val: 17, Ver: 17})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if s := l.Syncs(); s != 3 {
+		t.Fatalf("fsyncs after depth-1 op: %d, want 3", s)
+	}
+}

@@ -5,6 +5,14 @@
 // identity on the server. Methods are safe for concurrent use; requests
 // on one client are serialized, matching the paper's model of a process
 // as a sequential thread of operations.
+//
+// Operations may be pipelined: Go issues an operation and returns a
+// Pending promise, Flush writes the queued burst (as kx04 batch frames
+// when the server negotiated them, plain kx03 frames otherwise), and
+// Pending.Wait resolves responses in issue order. A pipeline is still
+// one sequential thread of operations — the server applies them in
+// issue order under the session's single identity — it just keeps the
+// network and the WAL's group commit full while doing so.
 package client
 
 import (
@@ -58,6 +66,36 @@ type Client struct {
 	hello     wire.Hello
 	opTimeout time.Duration
 	broken    bool
+	brokenBy  error
+
+	// Pipelining state. batch records whether the server's hello
+	// advertised kx04 batch frames; queued holds operations issued with
+	// Go but not yet written; frames is the FIFO of response framings
+	// still owed by the server (one entry per request frame written);
+	// pending is the FIFO of unresolved operations, oldest first.
+	batch   bool
+	queued  []wire.Request
+	frames  []outFrame
+	pending []*Pending
+}
+
+// outFrame records the framing of one written request frame, which is
+// the framing the server's answer will arrive in: a plain Request
+// frame is answered by one Response frame, a BatchRequest frame by
+// BatchResponse frames carrying its n responses in order.
+type outFrame struct {
+	batched bool
+	n       int
+}
+
+// Pending is one in-flight pipelined operation: a promise for its
+// response. Obtain from Go, resolve with Wait.
+type Pending struct {
+	c    *Client
+	id   uint64
+	resp wire.Response
+	err  error
+	done bool
 }
 
 // OpResult is a mutation's outcome.
@@ -120,8 +158,21 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	if tcp, ok := conn.(*net.TCPConn); ok {
 		tcp.SetNoDelay(true)
 	}
-	return &Client{conn: conn, br: br, bw: bufio.NewWriter(conn), hello: hello, session: randomSession()}, nil
+	return &Client{
+		conn:    conn,
+		br:      br,
+		bw:      bufio.NewWriter(conn),
+		hello:   hello,
+		session: randomSession(),
+		batch:   hello.SupportsBatch(),
+	}, nil
 }
+
+// Batched reports whether the server negotiated kx04 batch frames.
+// When false (a kx03 server) pipelining still works — each queued
+// operation goes out as its own plain frame — but a flush is several
+// frames instead of one.
+func (c *Client) Batched() bool { return c.batch }
 
 // Session reports the client's op-ID session identity.
 func (c *Client) Session() uint64 {
@@ -160,40 +211,239 @@ func (c *Client) SetOpTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// do runs one serialized request/response exchange. seq is the op-ID
-// sequence number for mutations (zero for idempotent kinds, which are
-// never deduplicated or logged).
-func (c *Client) do(kind wire.Kind, shard uint32, arg int64, seq uint64) (wire.Response, error) {
+// Go issues one operation without waiting for its response: the
+// request is queued (written on the next Flush — Wait flushes
+// implicitly) and a Pending promise is returned. Issuing several
+// operations before waiting is how a caller pipelines: the server
+// reads the whole burst, applies it under ONE durability wait, and
+// answers in one flush. seq is the op-ID sequence number for
+// mutations (zero for idempotent kinds, which are never deduplicated
+// or logged). Responses resolve strictly in issue order.
+func (c *Client) Go(kind wire.Kind, shard uint32, arg int64, seq uint64) (*Pending, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.goLocked(kind, shard, arg, seq)
+}
+
+func (c *Client) goLocked(kind wire.Kind, shard uint32, arg int64, seq uint64) (*Pending, error) {
 	if c.broken {
-		return wire.Response{}, ErrBroken
+		return nil, c.brokenErrLocked()
+	}
+	c.nextID++
+	req := wire.Request{ID: c.nextID, Kind: kind, Shard: shard, Arg: arg, Session: c.session, Seq: seq}
+	c.queued = append(c.queued, req)
+	p := &Pending{c: c, id: req.ID}
+	c.pending = append(c.pending, p)
+	return p, nil
+}
+
+// Flush writes every queued operation to the connection. On a kx04
+// server a multi-op flush goes out as batch frames; a single-op flush
+// (and every flush to a kx03 server) is a plain frame, byte-identical
+// to the serialized client's stream.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Client) flushLocked() error {
+	if c.broken {
+		return c.brokenErrLocked()
+	}
+	if len(c.queued) == 0 {
+		return nil
 	}
 	if c.opTimeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
 	} else {
 		c.conn.SetDeadline(time.Time{})
 	}
-	c.nextID++
-	req := wire.Request{ID: c.nextID, Kind: kind, Shard: shard, Arg: arg, Session: c.session, Seq: seq}
-	if err := wire.WriteRequest(c.bw, req); err != nil {
-		c.broken = true
-		return wire.Response{}, err
+	if !c.batch || len(c.queued) == 1 {
+		for _, req := range c.queued {
+			if err := wire.WriteRequest(c.bw, req); err != nil {
+				c.poisonLocked(err)
+				return err
+			}
+			c.frames = append(c.frames, outFrame{batched: false, n: 1})
+		}
+	} else {
+		for off := 0; off < len(c.queued); off += wire.MaxBatchOps {
+			end := off + wire.MaxBatchOps
+			if end > len(c.queued) {
+				end = len(c.queued)
+			}
+			if err := wire.WriteBatchRequest(c.bw, wire.BatchRequest{Reqs: c.queued[off:end]}); err != nil {
+				c.poisonLocked(err)
+				return err
+			}
+			c.frames = append(c.frames, outFrame{batched: true, n: end - off})
+		}
 	}
+	c.queued = c.queued[:0]
 	if err := c.bw.Flush(); err != nil {
-		c.broken = true
+		c.poisonLocked(err)
+		return err
+	}
+	return nil
+}
+
+// Wait flushes any queued operations and blocks until this operation's
+// response arrives, reading (and resolving) every earlier pipelined
+// response on the way — responses arrive in issue order, so waiting on
+// the newest operation drains the whole pipeline. The returned error
+// is the operation's own wire-level error (e.g. wire.StatusBusy) or
+// the transport failure that poisoned the connection.
+func (p *Pending) Wait() (wire.Response, error) {
+	p.c.mu.Lock()
+	defer p.c.mu.Unlock()
+	return p.c.waitLocked(p)
+}
+
+// Result is Wait shaped as a mutation outcome.
+func (p *Pending) Result() (OpResult, error) {
+	resp, err := p.Wait()
+	return OpResult{Value: resp.Value, WasDuplicate: resp.Flags&wire.FlagDuplicate != 0}, err
+}
+
+func (c *Client) waitLocked(p *Pending) (wire.Response, error) {
+	if p.done {
+		return p.resp, p.err
+	}
+	if err := c.flushLocked(); err != nil {
+		if p.done { // a failed flush poisons, which resolves p
+			return p.resp, p.err
+		}
 		return wire.Response{}, err
 	}
-	resp, err := wire.ReadResponse(c.br)
+	for !p.done {
+		if err := c.readFrameLocked(); err != nil {
+			if p.done {
+				// p resolved inside the failing frame, before the stream
+				// died: its answer is real even though the pipeline broke.
+				return p.resp, p.err
+			}
+			return wire.Response{}, err
+		}
+	}
+	return p.resp, p.err
+}
+
+// readFrameLocked consumes the server's answer to the oldest
+// outstanding request frame and resolves the pendings it carries.
+func (c *Client) readFrameLocked() error {
+	if c.broken {
+		return c.brokenErrLocked()
+	}
+	if len(c.frames) == 0 {
+		err := errors.New("client: waiting for a response with no request frame outstanding")
+		c.poisonLocked(err)
+		return err
+	}
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	f := c.frames[0]
+	if !f.batched {
+		resp, err := wire.ReadResponse(c.br)
+		if err != nil {
+			c.poisonLocked(err)
+			return err
+		}
+		c.frames = c.frames[1:]
+		return c.resolveLocked(resp)
+	}
+	// A batch request frame is answered by one or more BatchResponse
+	// frames totalling f.n responses (the server splits frames that
+	// would exceed wire.MaxFrame).
+	got := 0
+	for got < f.n {
+		batch, err := wire.ReadBatchResponse(c.br)
+		if err != nil {
+			c.poisonLocked(err)
+			return err
+		}
+		if len(batch.Resps) > f.n-got {
+			err := fmt.Errorf("client: server answered %d responses to a batch of %d", got+len(batch.Resps), f.n)
+			c.poisonLocked(err)
+			return err
+		}
+		for _, resp := range batch.Resps {
+			if err := c.resolveLocked(resp); err != nil {
+				return err
+			}
+		}
+		got += len(batch.Resps)
+	}
+	c.frames = c.frames[1:]
+	return nil
+}
+
+// resolveLocked matches one response to the oldest unresolved
+// operation — the wire guarantees issue order, so anything else is a
+// protocol violation that poisons the connection.
+func (c *Client) resolveLocked(resp wire.Response) error {
+	if len(c.pending) == 0 {
+		err := fmt.Errorf("client: response id %d with no operation outstanding", resp.ID)
+		c.poisonLocked(err)
+		return err
+	}
+	p := c.pending[0]
+	if resp.ID != p.id {
+		err := fmt.Errorf("client: response id %d for request %d", resp.ID, p.id)
+		c.poisonLocked(err)
+		return err
+	}
+	c.pending = c.pending[1:]
+	p.resp = resp
+	p.err = resp.Err()
+	p.done = true
+	return nil
+}
+
+// poisonLocked marks the connection unknowable and fails every
+// unresolved operation: once a write, read, or deadline fails
+// mid-pipeline there is no telling which of the outstanding ops the
+// server applied, so all of them answer ErrBroken (wrapping the
+// cause) and the caller's exactly-once retry machinery — stable
+// session, reused seq — decides what is safe to re-issue.
+func (c *Client) poisonLocked(cause error) {
+	if c.broken {
+		return
+	}
+	c.broken = true
+	c.brokenBy = cause
+	for _, p := range c.pending {
+		if !p.done {
+			p.resp = wire.Response{}
+			p.err = fmt.Errorf("%w (cause: %v)", ErrBroken, cause)
+			p.done = true
+		}
+	}
+	c.pending = nil
+	c.queued = nil
+	c.frames = nil
+}
+
+func (c *Client) brokenErrLocked() error {
+	if c.brokenBy != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrBroken, c.brokenBy)
+	}
+	return ErrBroken
+}
+
+// do runs one serialized request/response exchange on the pipelined
+// machinery: issue, flush, wait.
+func (c *Client) do(kind wire.Kind, shard uint32, arg int64, seq uint64) (wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, err := c.goLocked(kind, shard, arg, seq)
 	if err != nil {
-		c.broken = true
 		return wire.Response{}, err
 	}
-	if resp.ID != req.ID {
-		c.broken = true
-		return wire.Response{}, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
-	}
-	return resp, resp.Err()
+	return c.waitLocked(p)
 }
 
 // Ping round-trips a no-op.

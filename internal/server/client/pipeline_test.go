@@ -1,0 +1,298 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kexclusion/internal/wire"
+)
+
+// kx04Hello is the admission a batch-capable server sends.
+func kx04Hello() wire.Hello {
+	return wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1, Msg: wire.FeatureBatch}
+}
+
+// serveBatchEcho admits with kx04 and answers every request frame
+// (plain or batch) with echo semantics (Value = Arg), mirroring the
+// framing. It records how many request frames it read.
+func serveBatchEcho(frames *atomic.Int64) func(net.Conn) {
+	return func(conn net.Conn) {
+		wire.WriteHello(conn, kx04Hello())
+		for {
+			reqs, batched, err := wire.ReadRequests(conn)
+			if err != nil {
+				return
+			}
+			frames.Add(1)
+			resps := make([]wire.Response, len(reqs))
+			for i, req := range reqs {
+				resps[i] = wire.Response{ID: req.ID, Status: wire.StatusOK, Value: req.Arg}
+			}
+			if batched {
+				wire.WriteBatchResponses(conn, resps)
+			} else {
+				wire.WriteResponse(conn, resps[0])
+			}
+		}
+	}
+}
+
+func TestPipelineBatchFraming(t *testing.T) {
+	var frames atomic.Int64
+	addr := fakeEndpoint(t, serveBatchEcho(&frames))
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Batched() {
+		t.Fatal("kx04 hello not negotiated")
+	}
+	var ps []*Pending
+	for i := 1; i <= 4; i++ {
+		p, err := c.Go(wire.KindAdd, 0, int64(i*10), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		resp, err := p.Wait()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if resp.Value != int64((i+1)*10) {
+			t.Fatalf("op %d: got %d, want %d (responses out of order?)", i, resp.Value, (i+1)*10)
+		}
+	}
+	if got := frames.Load(); got != 1 {
+		t.Fatalf("4-op flush used %d request frames, want 1 batch frame", got)
+	}
+}
+
+func TestPipelineSingleOpStaysPlainFrame(t *testing.T) {
+	// A single-op flush must be byte-identical to the kx03 serialized
+	// client even when the server negotiated batching — the server sees
+	// a plain Request frame, not a 1-op batch.
+	var sawBatch atomic.Bool
+	addr := fakeEndpoint(t, func(conn net.Conn) {
+		wire.WriteHello(conn, kx04Hello())
+		for {
+			reqs, batched, err := wire.ReadRequests(conn)
+			if err != nil {
+				return
+			}
+			if batched {
+				sawBatch.Store(true)
+			}
+			for _, req := range reqs {
+				wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusOK, Value: req.Arg})
+			}
+		}
+	})
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if v, err := c.Add(0, 7); err != nil || v != 7 {
+		t.Fatalf("Add = %d, %v", v, err)
+	}
+	if sawBatch.Load() {
+		t.Fatal("single-op exchange used a batch frame")
+	}
+}
+
+func TestPipelineKx03Fallback(t *testing.T) {
+	// Against a server that never advertised kx04, a pipelined burst
+	// degrades to one plain frame per op — still pipelined (written
+	// back-to-back before any read), never batch-framed.
+	var plainFrames atomic.Int64
+	addr := fakeEndpoint(t, func(conn net.Conn) {
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+		for {
+			req, err := wire.ReadRequest(conn)
+			if err != nil {
+				return
+			}
+			plainFrames.Add(1)
+			wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusOK, Value: req.Arg})
+		}
+	})
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Batched() {
+		t.Fatal("batching negotiated against a kx03 hello")
+	}
+	var ps []*Pending
+	for i := 1; i <= 3; i++ {
+		p, err := c.Go(wire.KindAdd, 0, int64(i), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	for i, p := range ps {
+		resp, err := p.Wait()
+		if err != nil || resp.Value != int64(i+1) {
+			t.Fatalf("op %d: got %d, %v", i, resp.Value, err)
+		}
+	}
+	if got := plainFrames.Load(); got != 3 {
+		t.Fatalf("server saw %d plain frames, want 3", got)
+	}
+}
+
+func TestPipelinePoisonFailsAllPendings(t *testing.T) {
+	// Server answers the first op of the burst, then hangs up: the
+	// waited-on op succeeds, every later pending fails with ErrBroken,
+	// and new issues are refused.
+	addr := fakeEndpoint(t, func(conn net.Conn) {
+		wire.WriteHello(conn, kx04Hello())
+		reqs, _, err := wire.ReadRequests(conn)
+		if err != nil || len(reqs) == 0 {
+			return
+		}
+		wire.WriteBatchResponses(conn, []wire.Response{
+			{ID: reqs[0].ID, Status: wire.StatusOK, Value: 1},
+		})
+		conn.Close()
+	})
+	c, err := DialTimeout(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p1, _ := c.Go(wire.KindAdd, 0, 1, 1)
+	p2, _ := c.Go(wire.KindAdd, 0, 2, 2)
+	p3, _ := c.Go(wire.KindAdd, 0, 3, 3)
+	if resp, err := p1.Wait(); err != nil || resp.Value != 1 {
+		t.Fatalf("p1: got %v, %v", resp.Value, err)
+	}
+	if _, err := p2.Wait(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("p2 after hangup: got %v, want ErrBroken", err)
+	}
+	if _, err := p3.Wait(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("p3 after hangup: got %v, want ErrBroken", err)
+	}
+	if _, err := c.Go(wire.KindPing, 0, 0, 0); !errors.Is(err, ErrBroken) {
+		t.Fatalf("Go on poisoned client: got %v, want ErrBroken", err)
+	}
+}
+
+func TestReconnectingPipelineHealsMidBurst(t *testing.T) {
+	// First connection dies after reading one request of the burst; the
+	// whole burst re-issues (same op IDs) on the healed connection.
+	addr, reqs := scriptedEndpoint(t,
+		serveDropAfterRequest,
+		serveOK(3),
+	)
+	r, err := DialReconnecting(addr, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p := r.Pipeline(0)
+	ops := []*PipelineOp{p.Add(0, 10), p.Add(0, 20), p.Add(0, 30)}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		res, err := op.Wait()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if want := int64((i + 1) * 10); res.Value != want {
+			t.Fatalf("op %d: got %d, want %d", i, res.Value, want)
+		}
+	}
+	if r.Reconnects() < 2 {
+		t.Fatalf("reconnects = %d, want ≥ 2 (burst healed a drop)", r.Reconnects())
+	}
+	if reqs.Load() < 4 {
+		t.Fatalf("server saw %d requests, want ≥ 4 (1 dropped + 3 healed)", reqs.Load())
+	}
+}
+
+func TestReconnectingPipelineTerminalPerOp(t *testing.T) {
+	// A typed refusal fails only its own op; the rest of the burst
+	// succeeds, and Flush surfaces the failed op's error.
+	addr := fakeEndpoint(t, func(conn net.Conn) {
+		wire.WriteHello(conn, kx04Hello())
+		for {
+			reqs, batched, err := wire.ReadRequests(conn)
+			if err != nil {
+				return
+			}
+			resps := make([]wire.Response, len(reqs))
+			for i, req := range reqs {
+				if req.Arg == 666 {
+					resps[i] = wire.Response{ID: req.ID, Status: wire.StatusBadShard, Data: []byte("no such shard")}
+				} else {
+					resps[i] = wire.Response{ID: req.ID, Status: wire.StatusOK, Value: req.Arg}
+				}
+			}
+			if batched {
+				wire.WriteBatchResponses(conn, resps)
+			} else {
+				for _, resp := range resps {
+					wire.WriteResponse(conn, resp)
+				}
+			}
+		}
+	})
+	r, err := DialReconnecting(addr, RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p := r.Pipeline(0)
+	good := p.Add(0, 5)
+	bad := p.Add(0, 666)
+	good2 := p.Add(0, 7)
+	flushErr := p.Flush()
+	if flushErr == nil || !strings.Contains(flushErr.Error(), "no such shard") {
+		t.Fatalf("Flush: got %v, want the refused op's error", flushErr)
+	}
+	if res, err := good.Wait(); err != nil || res.Value != 5 {
+		t.Fatalf("good: got %d, %v", res.Value, err)
+	}
+	if _, err := bad.Wait(); err == nil || !strings.Contains(err.Error(), "no such shard") {
+		t.Fatalf("bad: got %v, want typed refusal", err)
+	}
+	if res, err := good2.Wait(); err != nil || res.Value != 7 {
+		t.Fatalf("good2: got %d, %v", res.Value, err)
+	}
+}
+
+func TestPipelineAutoFlushAtDepth(t *testing.T) {
+	var frames atomic.Int64
+	addr := fakeEndpoint(t, serveBatchEcho(&frames))
+	r, err := DialReconnecting(addr, RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p := r.Pipeline(2)
+	a := p.Add(0, 1)
+	b := p.Add(0, 2) // depth reached: the burst flushes here
+	if !a.done || !b.done {
+		t.Fatal("depth-2 pipeline did not auto-flush on the second enqueue")
+	}
+	if res, err := a.Wait(); err != nil || res.Value != 1 {
+		t.Fatalf("a: got %d, %v", res.Value, err)
+	}
+	if res, err := b.Wait(); err != nil || res.Value != 2 {
+		t.Fatalf("b: got %d, %v", res.Value, err)
+	}
+}

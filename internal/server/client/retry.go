@@ -346,6 +346,203 @@ func (r *Reconnecting) Stats() (wire.Stats, error) {
 	return st, err
 }
 
+// Pipeline returns a pipelined view of the session: enqueued
+// operations accumulate and go to the server as one burst (kx04 batch
+// frames when negotiated), each with the same per-op retry state a
+// serialized operation gets — a mutation's op ID is assigned at
+// enqueue and re-issued verbatim across retries and redials, so a
+// burst that dies mid-flight heals exactly-once. depth is the
+// auto-flush threshold: enqueueing the depth'th unflushed operation
+// flushes the burst (≤ 0 means flush only on explicit Flush/Wait).
+//
+// A Pipeline is NOT safe for concurrent use — it models the paper's
+// sequential process issuing operations ahead of their responses.
+// Concurrent goroutines should each own a Pipeline; the underlying
+// Reconnecting wrapper stays safe to share.
+func (r *Reconnecting) Pipeline(depth int) *Pipeline {
+	return &Pipeline{r: r, depth: depth}
+}
+
+// Pipeline batches operations over a Reconnecting session. See
+// Reconnecting.Pipeline.
+type Pipeline struct {
+	r      *Reconnecting
+	depth  int
+	queued []*PipelineOp
+}
+
+// PipelineOp is one logical operation enqueued on a Pipeline: its wire
+// shape (op ID included, fixed at enqueue) and, once its burst has
+// been flushed, its outcome.
+type PipelineOp struct {
+	p     *Pipeline
+	kind  wire.Kind
+	shard uint32
+	arg   int64
+	seq   uint64
+
+	done bool
+	res  OpResult
+	err  error
+}
+
+// Wait resolves the operation, flushing its pipeline first if needed.
+func (op *PipelineOp) Wait() (OpResult, error) {
+	if !op.done {
+		op.p.Flush()
+	}
+	return op.res, op.err
+}
+
+func (p *Pipeline) enqueue(kind wire.Kind, shard uint32, arg int64, mutation bool) *PipelineOp {
+	op := &PipelineOp{p: p, kind: kind, shard: shard, arg: arg}
+	if mutation {
+		p.r.mu.Lock()
+		p.r.opSeq++
+		op.seq = p.r.opSeq
+		p.r.mu.Unlock()
+	}
+	p.queued = append(p.queued, op)
+	if p.depth > 0 && len(p.queued) >= p.depth {
+		// Auto-flush errors are not lost: they resolve onto the flushed
+		// ops themselves, surfaced by each op's Wait.
+		p.Flush()
+	}
+	return op
+}
+
+// Get enqueues a linearized read of shard.
+func (p *Pipeline) Get(shard uint32) *PipelineOp {
+	return p.enqueue(wire.KindGet, shard, 0, false)
+}
+
+// Add enqueues an exactly-once add of delta to shard.
+func (p *Pipeline) Add(shard uint32, delta int64) *PipelineOp {
+	return p.enqueue(wire.KindAdd, shard, delta, true)
+}
+
+// Set enqueues an exactly-once overwrite of shard with v.
+func (p *Pipeline) Set(shard uint32, v int64) *PipelineOp {
+	return p.enqueue(wire.KindSet, shard, v, true)
+}
+
+// Flush sends every enqueued operation and blocks until each has an
+// outcome — a result, a typed terminal refusal, or a retry budget
+// exhausted. The returned error is the first failed operation's (nil
+// when all succeeded); per-op outcomes are on the ops themselves.
+func (p *Pipeline) Flush() error {
+	ops := p.queued
+	p.queued = nil
+	if len(ops) == 0 {
+		return nil
+	}
+	p.r.flushOps(ops)
+	for _, op := range ops {
+		if op.err != nil {
+			return op.err
+		}
+	}
+	return nil
+}
+
+// flushOps runs one burst of operations under the retry budget. Each
+// attempt re-issues only the still-unresolved ops (same op IDs, so the
+// server's dedup window absorbs ambiguity), classifies each outcome
+// with the same rules as the serialized path, and every op is
+// guaranteed resolved — res or err — on return.
+func (r *Reconnecting) flushOps(ops []*PipelineOp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
+		if err := r.connectLocked(attempt); err != nil {
+			failUnresolved(ops, err)
+			return
+		}
+		// Issue every unresolved op, then flush the burst as one write.
+		pend := make([]*Pending, len(ops))
+		for i, op := range ops {
+			if op.done {
+				continue
+			}
+			pnd, err := r.c.Go(op.kind, op.shard, op.arg, op.seq)
+			if err != nil {
+				break // poisoned mid-issue; unissued ops retry next attempt
+			}
+			pend[i] = pnd
+		}
+		r.c.Flush() // a failure poisons the pendings; Wait surfaces it
+		var hint time.Duration
+		drop, unresolved := false, 0
+		for i, op := range ops {
+			if op.done {
+				continue
+			}
+			if pend[i] == nil {
+				unresolved++
+				drop = true
+				continue
+			}
+			res, err := pend[i].Result()
+			if err == nil {
+				op.res, op.done = res, true
+				if res.WasDuplicate {
+					r.dupeAcks.Add(1)
+				}
+				continue
+			}
+			lastErr = err
+			var we *wire.Error
+			switch {
+			case errors.As(err, &we):
+				switch we.Status {
+				case wire.StatusBusy:
+					// Op-level shed: the session survives; honor the hint
+					// as a backoff floor and keep the connection.
+					if h := time.Duration(we.RetryAfterMillis) * time.Millisecond; h > hint {
+						hint = h
+					}
+					unresolved++
+				case wire.StatusTimeout:
+					unresolved++ // withdrew before applying; safe to re-issue
+				case wire.StatusDraining:
+					unresolved++
+					drop = true // the server hangs up after a draining answer
+				default:
+					op.err, op.done = err, true // typed refusal: terminal
+				}
+			default:
+				// Transport failure mid-burst: which ops landed is
+				// unknowable, but every one carries its op ID — re-issue
+				// and let the dedup window sort it out.
+				unresolved++
+				drop = true
+			}
+		}
+		if drop {
+			r.dropLocked()
+		}
+		if unresolved == 0 {
+			return
+		}
+		if attempt == r.policy.MaxAttempts {
+			break
+		}
+		r.retries.Add(1)
+		time.Sleep(r.policy.backoff(r.rng, attempt, hint))
+	}
+	failUnresolved(ops, fmt.Errorf("client: budget of %d attempts exhausted: %w", r.policy.MaxAttempts, lastErr))
+}
+
+// failUnresolved resolves every still-open op with err.
+func failUnresolved(ops []*PipelineOp, err error) {
+	for _, op := range ops {
+		if !op.done {
+			op.err, op.done = err, true
+		}
+	}
+}
+
 // Session reports the stable op-ID session identity every connection
 // of this wrapper speaks under.
 func (r *Reconnecting) Session() uint64 { return r.session }

@@ -119,8 +119,26 @@ func TestDuplicateOpAcknowledgedFromWindow(t *testing.T) {
 	if err != nil || res.Value != 8 {
 		t.Fatalf("next AddOp = %+v, %v; want 8", res, err)
 	}
-	// A seq the session has already moved past is a protocol error, not
-	// a silent re-ack of the wrong op.
+	// A re-issued older seq still inside the dedup history answers the
+	// ORIGINAL result — the arg is ignored, nothing re-applies. (This is
+	// what lets a pipelined burst heal after a mid-flight disconnect.)
+	res, err = c.AddOp(0, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 5 || !res.WasDuplicate {
+		t.Fatalf("windowed re-issue of seq 1 = %+v, want original Value 5 with WasDuplicate", res)
+	}
+	// A seq that has aged past durable.DedupDepth is a protocol error,
+	// not a silent re-ack of the wrong op.
+	lastSeq := uint64(2)
+	for i := 0; i < durable.DedupDepth; i++ {
+		lastSeq++
+		if _, err := c.AddOp(0, 1, lastSeq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := int64(8 + durable.DedupDepth)
 	if _, err := c.AddOp(0, 99, 1); err == nil {
 		t.Fatal("stale seq accepted")
 	} else {
@@ -133,29 +151,29 @@ func TestDuplicateOpAcknowledgedFromWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.AppliedDupes != 1 {
-		t.Fatalf("applied_dupes = %d, want 1", st.AppliedDupes)
+	if st.AppliedDupes != 2 {
+		t.Fatalf("applied_dupes = %d, want 2", st.AppliedDupes)
 	}
 	c.Close()
 	stop()
 
-	// The dedup window is part of the durable state: a retry of the
+	// The dedup window is part of the durable state: a retry of a
 	// session's in-flight op arriving AFTER a crash-restart must still
-	// be recognized. (The window keeps each session's latest seq — the
-	// only one that can legally be in flight.)
+	// be recognized — the history travels through WAL replay and
+	// snapshots like the values do.
 	_, addr2, _ := startStoppable(t, cfg)
 	c2 := dial(t, addr2)
 	defer c2.Close()
 	c2.SetSession(0xfeed)
-	res, err = c2.AddOp(0, 3, 2)
+	res, err = c2.AddOp(0, 1, lastSeq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Value != 8 || !res.WasDuplicate {
-		t.Fatalf("post-restart retry = %+v, want original Value 8 as duplicate", res)
+	if res.Value != want || !res.WasDuplicate {
+		t.Fatalf("post-restart retry = %+v, want original Value %d as duplicate", res, want)
 	}
-	if v, err := c2.Get(0); err != nil || v != 8 {
-		t.Fatalf("value after post-restart retry = %d, %v; want 8 (no double apply)", v, err)
+	if v, err := c2.Get(0); err != nil || v != want {
+		t.Fatalf("value after post-restart retry = %d, %v; want %d (no double apply)", v, err, want)
 	}
 }
 

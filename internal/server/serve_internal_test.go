@@ -1,0 +1,173 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMaybeSnapshotCadenceInvariant hammers the applied-op counter from
+// many goroutines and checks the conservation law the subtract-based
+// cadence provides: every counted mutation is either still pending in
+// sinceSnap or accounted to a snapshot round. The old Store(0) reset
+// dropped the ops that raced in between the Add and the reset, so the
+// invariant is exactly the bug's regression test.
+func TestMaybeSnapshotCadenceInvariant(t *testing.T) {
+	const every = 8
+	s, err := New(Config{
+		N: 4, K: 2, Shards: 2,
+		DataDir:       t.TempDir(),
+		SnapshotEvery: every,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.closeLog()
+
+	const goroutines, perG = 16, 250
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.maybeSnapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s.snapWg.Wait()
+
+	total := int64(goroutines * perG)
+	pending, snaps := s.sinceSnap.Load(), s.snaps.Load()
+	if pending+every*snaps != total {
+		t.Fatalf("cadence leaked ops: sinceSnap=%d + %d×snaps=%d ≠ %d counted",
+			pending, every, snaps, total)
+	}
+	if snaps == 0 {
+		t.Fatalf("no snapshot rounds ran for %d ops with SnapshotEvery=%d", total, every)
+	}
+}
+
+// tempError satisfies the Temporary() probe Serve uses to classify
+// accept failures, the same shape net.ErrClosed-era syscall errors had.
+type tempError struct{}
+
+func (tempError) Error() string   { return "accept: too many open files" }
+func (tempError) Temporary() bool { return true }
+
+// flakyListener fails Accept with temporary errors a fixed number of
+// times, then a permanent one.
+type flakyListener struct {
+	mu    sync.Mutex
+	temps int
+	calls int
+	perm  error
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.calls++
+	if l.calls <= l.temps {
+		return nil, tempError{}
+	}
+	return nil, l.perm
+}
+func (l *flakyListener) Close() error   { return nil }
+func (l *flakyListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zero} }
+
+// TestServeRetriesTemporaryAcceptErrors plants a listener that fails
+// with EMFILE-shaped temporary errors before a permanent one: Serve
+// must back off and retry through the temps (never killing the accept
+// loop on a transient) and surface only the permanent error.
+func TestServeRetriesTemporaryAcceptErrors(t *testing.T) {
+	s, err := New(Config{N: 2, K: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := errors.New("listener torn down")
+	ln := &flakyListener{temps: 3, perm: perm}
+	s.ln = ln
+
+	start := time.Now()
+	if err := s.Serve(); !errors.Is(err, perm) {
+		t.Fatalf("Serve returned %v, want the permanent error", err)
+	}
+	if ln.calls != ln.temps+1 {
+		t.Fatalf("Accept called %d times, want %d (each temp retried once)", ln.calls, ln.temps+1)
+	}
+	// Backoff 5ms, 10ms, 20ms between the four attempts.
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Fatalf("Serve retried in %v, want ≥35ms of backoff", elapsed)
+	}
+}
+
+// deadlineRecorderConn records the order of deadline arming vs writes,
+// to pin the pre-admission hello contract: the write deadline is set
+// BEFORE the refusal hello hits the socket.
+type deadlineRecorderConn struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (c *deadlineRecorderConn) note(ev string) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+func (c *deadlineRecorderConn) Read([]byte) (int, error) { return 0, io.EOF }
+func (c *deadlineRecorderConn) Write(p []byte) (int, error) {
+	c.note("write")
+	return len(p), nil
+}
+func (c *deadlineRecorderConn) Close() error         { return nil }
+func (c *deadlineRecorderConn) LocalAddr() net.Addr  { return &net.TCPAddr{} }
+func (c *deadlineRecorderConn) RemoteAddr() net.Addr { return &net.TCPAddr{} }
+func (c *deadlineRecorderConn) SetDeadline(time.Time) error {
+	c.note("deadline")
+	return nil
+}
+func (c *deadlineRecorderConn) SetReadDeadline(time.Time) error { return nil }
+func (c *deadlineRecorderConn) SetWriteDeadline(t time.Time) error {
+	if t.IsZero() {
+		return nil
+	}
+	c.note("deadline")
+	return nil
+}
+
+// TestDrainHelloArmsWriteDeadlineFirst drives handle against a draining
+// server with an idle watchdog configured: the busy hello's write must
+// be preceded by a write deadline, so a peer that never reads cannot
+// pin the goroutine (and Shutdown) through a full TCP buffer.
+func TestDrainHelloArmsWriteDeadlineFirst(t *testing.T) {
+	s, err := New(Config{N: 2, K: 1, Shards: 1, IdleTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.lc.advance(PhaseRunning)
+	s.lc.advance(PhaseDraining)
+
+	conn := &deadlineRecorderConn{}
+	s.wg.Add(1)
+	s.handle(conn)
+
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if len(conn.events) < 2 || conn.events[0] != "deadline" {
+		t.Fatalf("events %v: want a write deadline armed before the hello write", conn.events)
+	}
+	wrote := false
+	for _, ev := range conn.events {
+		if ev == "write" {
+			wrote = true
+		}
+	}
+	if !wrote {
+		t.Fatalf("events %v: draining hello never reached the socket", conn.events)
+	}
+}

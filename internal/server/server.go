@@ -22,6 +22,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -131,6 +132,7 @@ type Server struct {
 
 	sinceSnap   atomic.Int64
 	snapRunning atomic.Bool
+	snaps       atomic.Int64
 	snapWg      sync.WaitGroup
 }
 
@@ -233,7 +235,12 @@ func (s *Server) maybeSnapshot() {
 	if !s.snapRunning.CompareAndSwap(false, true) {
 		return
 	}
-	s.sinceSnap.Store(0)
+	// Subtract the round's quota rather than zeroing: mutations counted
+	// between the Add above and this line belong to the NEXT round, and
+	// a Store(0) would silently discard them — under load the cadence
+	// would drift late by however many ops raced in.
+	s.sinceSnap.Add(-int64(s.cfg.SnapshotEvery))
+	s.snaps.Add(1)
 	s.snapWg.Add(1)
 	go func() {
 		defer s.snapWg.Done()
@@ -278,20 +285,41 @@ func (s *Server) Addr() net.Addr {
 }
 
 // Serve accepts connections until the listener closes. It returns nil
-// after a graceful Shutdown and the accept error otherwise.
+// after a graceful Shutdown and the accept error otherwise. Transient
+// accept failures — EMFILE when the fd table fills under load,
+// ECONNABORTED when a peer resets mid-handshake — are retried with
+// capped exponential backoff (the net/http pattern) instead of killing
+// the listener: a loaded server must shed the connection, not the
+// accept loop.
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		return errors.New("server: Serve before Listen")
 	}
 	s.lc.advance(PhaseRunning)
+	var delay time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			if s.draining() {
 				return nil
 			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				s.logf("accept error (retrying in %v): %v", delay, err)
+				select {
+				case <-time.After(delay):
+				case <-s.drainCh:
+					return nil
+				}
+				continue
+			}
 			return err
 		}
+		delay = 0
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -397,8 +425,13 @@ func (s *Server) handle(conn net.Conn) {
 		tcp.SetNoDelay(true)
 	}
 
+	// Every pre-admission Hello write arms the write deadline first: a
+	// peer that connects and then reads nothing must not be able to pin
+	// this goroutine through a full TCP buffer — during drain, that
+	// would hold Shutdown hostage to a stranger's socket.
 	bw := bufio.NewWriter(conn)
 	if s.draining() {
+		s.armWrite(conn)
 		wire.WriteHello(bw, wire.Hello{Status: wire.StatusBusy, Msg: "server draining"})
 		bw.Flush()
 		return
@@ -407,6 +440,7 @@ func (s *Server) handle(conn net.Conn) {
 	// admission queue, which is what lets the queue drain back below the
 	// low watermark.
 	if hint, ok := s.shed.admit(s.sm.parkedCount()); !ok {
+		s.armWrite(conn)
 		wire.WriteHello(bw, wire.Hello{
 			Status:           wire.StatusBusy,
 			RetryAfterMillis: hint,
@@ -423,6 +457,7 @@ func (s *Server) handle(conn net.Conn) {
 		// free, so one more window is the natural next probe — combined
 		// with the idle watchdog, which bounds how long a dead session
 		// can sit on an identity, a freed slot is plausible by then.
+		s.armWrite(conn)
 		wire.WriteHello(bw, wire.Hello{
 			Status:           wire.StatusBusy,
 			RetryAfterMillis: uint32(s.cfg.AdmitTimeout / time.Millisecond),
@@ -445,6 +480,7 @@ func (s *Server) handle(conn net.Conn) {
 	// sweeping read deadlines, so a session that misses the phase here was
 	// already registered when the sweep ran and will be woken by it.
 	if s.draining() {
+		s.armWrite(conn)
 		wire.WriteHello(bw, wire.Hello{Status: wire.StatusBusy, Msg: "server draining"})
 		bw.Flush()
 		return
@@ -456,7 +492,11 @@ func (s *Server) handle(conn net.Conn) {
 		N:        uint32(s.cfg.N),
 		K:        uint32(s.cfg.K),
 		Shards:   uint32(s.cfg.Shards),
+		// Advertise the kx04 batch extension; kx03 clients ignore Msg
+		// on an OK hello, kx04 clients switch to batch framing.
+		Msg: wire.FeatureBatch,
 	}
+	s.armWrite(conn)
 	if err := wire.WriteHello(bw, hello); err != nil {
 		return
 	}
@@ -464,7 +504,12 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
-	br := bufio.NewReader(conn)
+	// The session loop is a read-many/apply/flush-once cycle: block for
+	// the first frame (the idle watchdog spans exactly this wait), then
+	// drain every complete frame the client pipelined behind it, apply
+	// the whole pipeline — one shed admission, one durability wait, one
+	// group-commit fsync — and coalesce all responses into one flush.
+	br := bufio.NewReaderSize(conn, readBufSize)
 	for {
 		if s.cfg.IdleTimeout > 0 {
 			// Arm the idle watchdog for this wait. Shutdown's deadline
@@ -477,7 +522,7 @@ func (s *Server) handle(conn net.Conn) {
 				conn.SetReadDeadline(time.Now())
 			}
 		}
-		req, err := wire.ReadRequest(br)
+		reqs, batched, err := wire.ReadRequests(br)
 		if err != nil {
 			switch {
 			case errors.Is(err, wire.ErrFrameTooLarge):
@@ -500,20 +545,39 @@ func (s *Server) handle(conn net.Conn) {
 			// deadline: either way the session is over.
 			return
 		}
-		var resp wire.Response
-		switch {
-		case s.draining():
-			resp = errResponse(req.ID, wire.StatusDraining, "server draining")
-		case req.Kind == wire.KindPing:
-			resp = wire.Response{ID: req.ID, Status: wire.StatusOK}
-		case req.Kind == wire.KindStats:
-			resp = wire.Response{ID: req.ID, Status: wire.StatusOK, Data: s.Stats().JSON()}
-		default:
-			resp = s.applyOp(p, req)
+		frames := []inFrame{{reqs: reqs, batched: batched}}
+		total := len(reqs)
+		// Drain the pipeline: only frames already complete in the read
+		// buffer — never a blocking read, so the watchdog semantics stay
+		// per-batch (armed around the one socket wait above). A frame
+		// that is half-arrived, or an oversized announcement, is left
+		// for the next cycle's blocking path to handle.
+		for total < maxPipelineOps && completeFrameBuffered(br) {
+			more, mb, err := wire.ReadRequests(br)
+			if err != nil {
+				return
+			}
+			frames = append(frames, inFrame{reqs: more, batched: mb})
+			total += len(more)
 		}
+
+		resps, closing := s.serveCycle(p, frames, total)
 		s.armWrite(conn)
-		if err := wire.WriteResponse(bw, resp); err != nil {
-			return
+		i, werr := 0, error(nil)
+		for _, f := range frames {
+			if f.batched {
+				werr = wire.WriteBatchResponses(bw, resps[i:i+len(f.reqs)])
+			} else {
+				for j := range f.reqs {
+					if werr == nil {
+						werr = wire.WriteResponse(bw, resps[i+j])
+					}
+				}
+			}
+			i += len(f.reqs)
+			if werr != nil {
+				return
+			}
 		}
 		if err := bw.Flush(); err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
@@ -524,10 +588,150 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		if resp.Status == wire.StatusDraining {
+		if closing {
 			return
 		}
 	}
+}
+
+// maxPipelineOps caps how many operations one read/apply/flush cycle
+// drains; a client pipelining deeper simply spans two cycles. Bounds
+// both the response buffering and how long a cycle can defer the next
+// watchdog arming.
+const maxPipelineOps = 1024
+
+// readBufSize sizes each session's read buffer: large enough to hold a
+// healthy pipeline of batch frames, small enough to not matter per
+// connection.
+const readBufSize = 64 << 10
+
+// inFrame is one inbound request frame: its operations, and whether
+// they arrived as a kx04 batch (responses mirror the framing).
+type inFrame struct {
+	reqs    []wire.Request
+	batched bool
+}
+
+// completeFrameBuffered reports whether the reader already holds one
+// entire frame, so reading it cannot block. Oversized announcements
+// report false: the blocking path owns the typed refusal.
+func completeFrameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > wire.MaxFrame {
+		return false
+	}
+	return br.Buffered() >= 4+int(n)
+}
+
+// serveCycle answers one drained pipeline: control operations inline,
+// object operations batch-applied — admitted under the shed ceiling as
+// one unit, their WAL appends funneled into a single group-commit wait
+// so one fsync acknowledges the whole pipeline. Responses come back in
+// request order, one per request. closing reports that the connection
+// should end after the responses are flushed (drain answered).
+func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Response, closing bool) {
+	resps = make([]wire.Response, 0, total)
+	if s.draining() {
+		for _, f := range frames {
+			for _, req := range f.reqs {
+				resps = append(resps, errResponse(req.ID, wire.StatusDraining, "server draining"))
+			}
+		}
+		return resps, true
+	}
+
+	objOps := 0
+	for _, f := range frames {
+		for _, req := range f.reqs {
+			if req.Kind != wire.KindPing && req.Kind != wire.KindStats {
+				objOps++
+			}
+		}
+	}
+	shedHint, admitted := uint32(0), true
+	if objOps > 0 {
+		shedHint, admitted = s.shed.opBeginN(objOps)
+	}
+
+	// The durability frontier: every wait-marked response is contingent
+	// on maxLsn being covered, checked once after the whole pipeline has
+	// applied and appended.
+	type pendingAck struct {
+		idx int
+		id  uint64
+	}
+	var (
+		waiting []pendingAck
+		maxLsn  uint64
+		applied int
+	)
+	for _, f := range frames {
+		for _, req := range f.reqs {
+			var resp wire.Response
+			switch {
+			case req.Kind == wire.KindPing:
+				resp = wire.Response{ID: req.ID, Status: wire.StatusOK}
+			case req.Kind == wire.KindStats:
+				resp = wire.Response{ID: req.ID, Status: wire.StatusOK, Data: s.Stats().JSON()}
+			case !admitted:
+				resp = busyResponse(req.ID, shedHint)
+			default:
+				var lsn uint64
+				var wait, fresh bool
+				resp, lsn, wait, fresh = s.applyObjOp(p, req)
+				if wait {
+					waiting = append(waiting, pendingAck{idx: len(resps), id: req.ID})
+					if lsn > maxLsn {
+						maxLsn = lsn
+					}
+				}
+				if fresh {
+					applied++
+				}
+			}
+			resps = append(resps, resp)
+		}
+	}
+	if len(waiting) > 0 {
+		if err := s.tab.finishWait(maxLsn); err != nil {
+			// No response whose ack presumed durability may be sent:
+			// the log is poisoned, so the honest answer is an internal
+			// error for each — and no snapshot cadence is charged.
+			for _, w := range waiting {
+				resps[w.idx] = errResponse(w.id, wire.StatusInternal, err.Error())
+			}
+			applied = 0
+		}
+	}
+	s.tab.noteApplied(applied)
+	if objOps > 0 && admitted {
+		s.shed.opEndN(objOps)
+	}
+	return resps, false
+}
+
+// applyObjOp runs one object operation under the configured per-op
+// deadline, counting withdrawals. The durability wait is the caller's
+// (see table.applyStart).
+func (s *Server) applyObjOp(p int, req wire.Request) (resp wire.Response, lsn uint64, wait, fresh bool) {
+	ctx := context.Background()
+	if s.cfg.OpTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.OpTimeout)
+		defer cancel()
+	}
+	resp, lsn, wait, fresh = s.tab.applyStart(ctx, p, req, s.cfg.ApplyGate)
+	if resp.Status == wire.StatusTimeout {
+		s.opDeadlines.Add(1)
+	}
+	return resp, lsn, wait, fresh
 }
 
 // armWrite bounds the next response write by the idle watchdog, so a
@@ -539,22 +743,3 @@ func (s *Server) armWrite(conn net.Conn) {
 	}
 }
 
-// applyOp runs one object operation under the configured per-op
-// deadline, counting withdrawals.
-func (s *Server) applyOp(p int, req wire.Request) wire.Response {
-	if hint, ok := s.shed.opBegin(); !ok {
-		return busyResponse(req.ID, hint)
-	}
-	defer s.shed.opEnd()
-	ctx := context.Background()
-	if s.cfg.OpTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.OpTimeout)
-		defer cancel()
-	}
-	resp := s.tab.apply(ctx, p, req, s.cfg.ApplyGate)
-	if resp.Status == wire.StatusTimeout {
-		s.opDeadlines.Add(1)
-	}
-	return resp
-}

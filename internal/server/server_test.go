@@ -136,7 +136,10 @@ func TestConcurrentClients(t *testing.T) {
 		clients      = 8
 		opsPer       = 50
 	)
-	_, addr := startServer(t, server.Config{N: n, K: k, Shards: shards})
+	// AdmitTimeout lets the verification dial below park briefly: it
+	// races the server noticing the eight workers' EOFs, and with
+	// immediate-reject admission that race occasionally loses.
+	_, addr := startServer(t, server.Config{N: n, K: k, Shards: shards, AdmitTimeout: 5 * time.Second})
 
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {

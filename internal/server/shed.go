@@ -146,11 +146,18 @@ func (sh *shedder) admit(queued int64) (retryAfterMillis uint32, ok bool) {
 // opBegin admits one object operation under the in-flight ceiling. A
 // false return means shed (answer busy, never apply); a true return
 // must be paired with opEnd.
-func (sh *shedder) opBegin() (retryAfterMillis uint32, ok bool) {
-	cur := sh.inflight.Add(1)
+func (sh *shedder) opBegin() (retryAfterMillis uint32, ok bool) { return sh.opBeginN(1) }
+
+// opBeginN admits a whole pipeline of n object operations as one unit:
+// either all n fit under the ceiling (pair with opEndN(n)) or the whole
+// pipeline is shed — never applied half-way — with every shed op
+// counted. A pipeline deeper than MaxInFlight can therefore never be
+// admitted; clients bound their depth accordingly.
+func (sh *shedder) opBeginN(n int) (retryAfterMillis uint32, ok bool) {
+	cur := sh.inflight.Add(int64(n))
 	if sh.pol.MaxInFlight > 0 && cur > int64(sh.pol.MaxInFlight) {
-		sh.inflight.Add(-1)
-		sh.shedOps.Add(1)
+		sh.inflight.Add(int64(-n))
+		sh.shedOps.Add(int64(n))
 		// In-flight operations are short (bounded by the wait-free
 		// core); one base interval is the natural re-probe.
 		return sh.retryAfterMillis(0), false
@@ -159,7 +166,10 @@ func (sh *shedder) opBegin() (retryAfterMillis uint32, ok bool) {
 }
 
 // opEnd releases an opBegin admission.
-func (sh *shedder) opEnd() { sh.inflight.Add(-1) }
+func (sh *shedder) opEnd() { sh.opEndN(1) }
+
+// opEndN releases an opBeginN admission.
+func (sh *shedder) opEndN(n int) { sh.inflight.Add(int64(-n)) }
 
 // busyResponse answers a shed operation: StatusBusy, never applied,
 // with the Retry-After hint in Value (milliseconds) — the response

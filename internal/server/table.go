@@ -109,9 +109,10 @@ func (t *table) peekAll() map[uint32]durable.ShardState {
 	return out
 }
 
-// apply runs one shard operation as process p under ctx. gate, when
-// non-nil, is invoked inside the object operation — i.e. while p holds
-// a k-assignment slot and a name inside the wait-free core — which is
+// applyStart runs one shard operation as process p under ctx, up to —
+// but not including — its durability wait. gate, when non-nil, is
+// invoked inside the object operation — i.e. while p holds a
+// k-assignment slot and a name inside the wait-free core — which is
 // exactly where crash-fault tests need to stall a session before
 // killing its socket. If ctx expires while p is still waiting for a
 // slot, the acquisition withdraws and the answer is StatusTimeout: the
@@ -120,14 +121,25 @@ func (t *table) peekAll() map[uint32]durable.ShardState {
 // to completion — a deadline can refuse work, never corrupt it.
 //
 // Mutations are acknowledged only after the WAL covers them (when one
-// is configured): an applied op waits for its own record's durability;
-// a deduplicated retry waits until the original application's record
-// is on disk — otherwise re-acking it could outlive a crash that loses
-// the original.
-func (t *table) apply(ctx context.Context, p int, req wire.Request, gate func(shard uint32, kind wire.Kind)) wire.Response {
+// is configured), but the wait itself is the caller's: applyStart
+// returns the durability frontier the returned response is contingent
+// on (lsn, with wait true), and the session loop funnels a whole
+// pipeline's frontiers into ONE finishWait — one group-commit, one
+// fsync, a batch of acks. An applied op's frontier is its own record's
+// LSN; a deduplicated retry's is the log end after the original's
+// append — conservative, but it guarantees the re-acknowledged result
+// cannot be lost to a crash that the original ack would have survived.
+// If the original's append FAILED, the sequencer has still advanced
+// past it, but the log is poisoned and the wait refuses — a
+// never-logged op is never re-acked as durable.
+//
+// applied reports a fresh (non-duplicate) mutation that reached the
+// log: the caller charges the snapshot cadence for each, after the
+// pipeline's wait succeeds.
+func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate func(shard uint32, kind wire.Kind)) (resp wire.Response, lsn uint64, wait, applied bool) {
 	if int(req.Shard) >= len(t.shards) || req.Shard >= 1<<31 {
 		return errResponse(req.ID, wire.StatusBadShard,
-			fmt.Sprintf("shard %d out of range [0,%d)", req.Shard, len(t.shards)))
+			fmt.Sprintf("shard %d out of range [0,%d)", req.Shard, len(t.shards))), 0, false, false
 	}
 	sh := t.shards[req.Shard]
 
@@ -141,18 +153,18 @@ func (t *table) apply(ctx context.Context, p int, req wire.Request, gate func(sh
 			return s, s.Val
 		})
 		if err != nil {
-			return timeoutResponse(req.ID)
+			return timeoutResponse(req.ID), 0, false, false
 		}
 		// Reads are linearized but do not wait for the log: the value
 		// returned is some applied state, and reads move nothing that a
 		// crash could lose.
-		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: v.(int64)}
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: v.(int64)}, 0, false, false
 	case wire.KindAdd:
 		kind = durable.OpAdd
 	case wire.KindSet:
 		kind = durable.OpSet
 	default:
-		return errResponse(req.ID, wire.StatusBadRequest, fmt.Sprintf("unknown kind %s", req.Kind))
+		return errResponse(req.ID, wire.StatusBadRequest, fmt.Sprintf("unknown kind %s", req.Kind)), 0, false, false
 	}
 
 	v, err := sh.obj.ApplyCtx(ctx, p, func(s durable.ShardState) (durable.ShardState, any) {
@@ -163,38 +175,31 @@ func (t *table) apply(ctx context.Context, p int, req wire.Request, gate func(sh
 		return s, out
 	})
 	if err != nil {
-		return timeoutResponse(req.ID)
+		return timeoutResponse(req.ID), 0, false, false
 	}
 	out := v.(durable.Outcome)
 	switch {
 	case out.Stale:
 		return errResponse(req.ID, wire.StatusBadRequest,
-			fmt.Sprintf("stale op: session %#x already moved past seq %d", req.Session, req.Seq))
+			fmt.Sprintf("stale op: session %#x already moved past seq %d", req.Session, req.Seq)), 0, false, false
 	case out.Duplicate:
 		sh.m.DupeHit()
 		if t.dupes != nil {
 			t.dupes.Add(1)
 		}
 		if t.log != nil {
-			// The original application is at shard version out.Ver. Wait
-			// for its record to reach the log, then for the log's current
-			// end to be durable — conservative, but it guarantees the
-			// re-acknowledged result cannot be lost to a crash that the
-			// original ack would have survived. If the original's append
-			// FAILED, the sequencer has still advanced past it, but the
-			// log is poisoned and WaitDurable refuses — a never-logged op
-			// is never re-acked as durable.
+			// The original application is at shard version out.Ver; once
+			// its record is in the log, the log's current end bounds it.
 			sh.seq.waitAppended(out.Ver)
-			if werr := t.log.WaitDurable(t.log.End()); werr != nil {
-				return errResponse(req.ID, wire.StatusInternal, werr.Error())
-			}
+			return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: out.Val},
+				t.log.End(), true, false
 		}
-		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: out.Val}
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: out.Val}, 0, false, false
 	}
 
 	if t.log != nil {
 		sh.seq.waitTurn(out.Ver)
-		lsn, aerr := t.log.Append(durable.Record{
+		alsn, aerr := t.log.Append(durable.Record{
 			Session: req.Session, Seq: req.Seq, Shard: req.Shard,
 			Kind: kind, Arg: req.Arg, Val: out.Val, Ver: out.Ver,
 		})
@@ -204,20 +209,38 @@ func (t *table) apply(ctx context.Context, p int, req wire.Request, gate func(sh
 			// Advancing the sequencer keeps later writers from wedging in
 			// waitTurn, and is safe because the failed Append poisoned the
 			// log: every later append (which would otherwise persist a
-			// version past the hole) and every WaitDurable now fails, so
-			// no mutation is acked as durable after this point — the
+			// version past the hole) and every durability wait now fails,
+			// so no mutation is acked as durable after this point — the
 			// client sees internal errors, never a durable ack the next
 			// recovery would contradict.
-			return errResponse(req.ID, wire.StatusInternal, aerr.Error())
+			return errResponse(req.ID, wire.StatusInternal, aerr.Error()), 0, false, false
 		}
-		if werr := t.log.WaitDurable(lsn); werr != nil {
-			return errResponse(req.ID, wire.StatusInternal, werr.Error())
-		}
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}, alsn, true, true
 	}
-	if t.applied != nil {
+	return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}, 0, false, true
+}
+
+// finishWait blocks until the pipeline's durability frontier — the max
+// LSN any of its responses is contingent on — is covered. A nil return
+// means every wait-marked response in the pipeline may be sent as is;
+// an error means none of them may (the caller downgrades them to
+// StatusInternal).
+func (t *table) finishWait(lsn uint64) error {
+	if t.log == nil {
+		return nil
+	}
+	return t.log.WaitDurable(lsn)
+}
+
+// noteApplied charges n freshly applied (non-duplicate, durable)
+// mutations to the snapshot cadence.
+func (t *table) noteApplied(n int) {
+	if t.applied == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
 		t.applied()
 	}
-	return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}
 }
 
 // appendSequencer admits WAL appends for one shard strictly in

@@ -1,0 +1,244 @@
+// Batch frames are the kx04 extension of the protocol: request
+// pipelining with multi-op framing.
+//
+// kx04 is a strict superset of kx03 negotiated in the Hello. The Hello
+// frame layout (magic included) is unchanged — a kx03 client parses a
+// kx04 server's Hello bit-for-bit — and the server advertises the
+// extension by carrying the FeatureBatch token in the Hello's Msg
+// field, which kx03 clients ignore on an OK hello. A client that saw
+// the token may then pack up to MaxBatchOps operations into a single
+// BatchRequest frame; one that didn't (or a stock kx03 client) keeps
+// sending plain Request frames, which the server still accepts.
+//
+// Framing is mirrored: the server answers a plain Request frame with a
+// plain Response frame and a BatchRequest frame with BatchResponse
+// frames carrying exactly that batch's responses in order (split
+// across several BatchResponse frames only when the encoded responses
+// would exceed MaxFrame). A client therefore always knows the shape of
+// the next response frame from the shape of what it sent, and the two
+// shapes can never be confused on the wire anyway: a Request payload
+// is exactly requestLen bytes while a BatchRequest payload is
+// 5+requestLen·n bytes, and both batch payloads open with a marker
+// byte checked on decode.
+//
+// Ordering and acknowledgement guarantees are per-operation and
+// unchanged from kx03: operations apply in the order sent on the
+// connection, every response carries its request's ID, and a mutation
+// is acknowledged only at the configured durability point. What
+// batching changes is the cost: the server drains a whole pipeline,
+// funnels its WAL appends into one group-commit wait (one fsync can
+// acknowledge the entire batch under -fsync always), and flushes all
+// responses in one write.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FeatureBatch is the capability token a kx04 server puts in the Msg
+// field of an admission (StatusOK) Hello. Msg is a space-separated
+// token list on OK hellos; kx03 clients ignore it, kx04 clients switch
+// to batch framing when the token is present.
+const FeatureBatch = "kx04"
+
+// MaxBatchOps bounds the operations in one BatchRequest frame (and the
+// responses in one BatchResponse frame). A peer announcing more is
+// treated as corrupt, like an oversized frame.
+const MaxBatchOps = 1024
+
+// Batch payload markers. A marker byte opens every batch payload so a
+// decoder never mistakes one for a single-op payload (defense in depth
+// on top of the length discrimination above).
+const (
+	batchReqMarker  = 0xB4
+	batchRespMarker = 0xB5
+)
+
+// SupportsBatch reports whether an admission hello advertises the kx04
+// batch extension.
+func (h Hello) SupportsBatch() bool {
+	if h.Status != StatusOK {
+		return false
+	}
+	for _, tok := range strings.Fields(h.Msg) {
+		if tok == FeatureBatch {
+			return true
+		}
+	}
+	return false
+}
+
+// BatchRequest is a pipeline of operations in one frame.
+type BatchRequest struct {
+	Reqs []Request
+}
+
+// Encode serializes the batch payload: marker, count, then the fixed-
+// width request encodings back to back.
+func (b BatchRequest) Encode() []byte {
+	out := make([]byte, 5, 5+len(b.Reqs)*requestLen)
+	out[0] = batchReqMarker
+	binary.BigEndian.PutUint32(out[1:], uint32(len(b.Reqs)))
+	for _, r := range b.Reqs {
+		out = append(out, r.Encode()...)
+	}
+	return out
+}
+
+// ParseBatchRequest decodes a batch request payload.
+func ParseBatchRequest(b []byte) (BatchRequest, error) {
+	if len(b) < 5 || b[0] != batchReqMarker {
+		return BatchRequest{}, fmt.Errorf("wire: not a batch request payload")
+	}
+	n := binary.BigEndian.Uint32(b[1:])
+	if n == 0 || n > MaxBatchOps {
+		return BatchRequest{}, fmt.Errorf("wire: batch of %d ops outside [1,%d]", n, MaxBatchOps)
+	}
+	if int(n)*requestLen != len(b)-5 {
+		return BatchRequest{}, fmt.Errorf("wire: batch declares %d ops (%d bytes), has %d bytes", n, int(n)*requestLen, len(b)-5)
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		r, err := ParseRequest(b[5+i*requestLen : 5+(i+1)*requestLen])
+		if err != nil {
+			return BatchRequest{}, err
+		}
+		reqs[i] = r
+	}
+	return BatchRequest{Reqs: reqs}, nil
+}
+
+// BatchResponse answers (part of) a BatchRequest: responses in request
+// order, each length-prefixed because Data makes them variable-width.
+type BatchResponse struct {
+	Resps []Response
+}
+
+// Encode serializes the batch response payload.
+func (b BatchResponse) Encode() []byte {
+	out := []byte{batchRespMarker, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(out[1:], uint32(len(b.Resps)))
+	for _, r := range b.Resps {
+		enc := r.Encode()
+		var ln [4]byte
+		binary.BigEndian.PutUint32(ln[:], uint32(len(enc)))
+		out = append(out, ln[:]...)
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// ParseBatchResponse decodes a batch response payload.
+func ParseBatchResponse(b []byte) (BatchResponse, error) {
+	if len(b) < 5 || b[0] != batchRespMarker {
+		return BatchResponse{}, fmt.Errorf("wire: not a batch response payload")
+	}
+	n := binary.BigEndian.Uint32(b[1:])
+	if n == 0 || n > MaxBatchOps {
+		return BatchResponse{}, fmt.Errorf("wire: batch of %d responses outside [1,%d]", n, MaxBatchOps)
+	}
+	resps := make([]Response, 0, n)
+	off := 5
+	for i := uint32(0); i < n; i++ {
+		if len(b)-off < 4 {
+			return BatchResponse{}, fmt.Errorf("wire: batch response truncated at op %d", i)
+		}
+		ln := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if ln < 0 || len(b)-off < ln {
+			return BatchResponse{}, fmt.Errorf("wire: batch response op %d declares %d bytes, has %d", i, ln, len(b)-off)
+		}
+		r, err := ParseResponse(b[off : off+ln])
+		if err != nil {
+			return BatchResponse{}, err
+		}
+		resps = append(resps, r)
+		off += ln
+	}
+	if off != len(b) {
+		return BatchResponse{}, fmt.Errorf("wire: batch response has %d trailing bytes", len(b)-off)
+	}
+	return BatchResponse{Resps: resps}, nil
+}
+
+// ParseAnyRequest decodes a request payload of either shape: a plain
+// kx03 Request (batched false) or a kx04 BatchRequest (batched true).
+// The shapes cannot collide — a plain request is exactly requestLen
+// bytes, a batch is 5+requestLen·n — and the marker byte is checked
+// besides.
+func ParseAnyRequest(b []byte) (reqs []Request, batched bool, err error) {
+	if len(b) == requestLen {
+		r, err := ParseRequest(b)
+		if err != nil {
+			return nil, false, err
+		}
+		return []Request{r}, false, nil
+	}
+	br, err := ParseBatchRequest(b)
+	if err != nil {
+		return nil, false, err
+	}
+	return br.Reqs, true, nil
+}
+
+// ReadRequests reads one frame and decodes it as a plain Request or a
+// BatchRequest, returning the operations in order.
+func ReadRequests(r io.Reader) (reqs []Request, batched bool, err error) {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return nil, false, err
+	}
+	return ParseAnyRequest(b)
+}
+
+// WriteBatchRequest frames and writes one batch request.
+func WriteBatchRequest(w io.Writer, b BatchRequest) error { return WriteFrame(w, b.Encode()) }
+
+// ReadBatchResponse reads and decodes one batch response frame.
+func ReadBatchResponse(r io.Reader) (BatchResponse, error) {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return BatchResponse{}, err
+	}
+	return ParseBatchResponse(b)
+}
+
+// WriteBatchResponses frames and writes responses for one inbound
+// batch, splitting into several BatchResponse frames only when the
+// encoded responses would overflow MaxFrame (stats payloads can be
+// large). Responses stay in order across the split; the client
+// consumes them by count, not by frame.
+func WriteBatchResponses(w io.Writer, resps []Response) error {
+	enc := make([][]byte, len(resps))
+	for i, r := range resps {
+		enc[i] = r.Encode()
+	}
+	for len(enc) > 0 {
+		n, size := 0, 5
+		for n < len(enc) && n < MaxBatchOps {
+			step := 4 + len(enc[n])
+			if n > 0 && size+step > MaxFrame {
+				break
+			}
+			size += step
+			n++
+		}
+		out := make([]byte, 5, size)
+		out[0] = batchRespMarker
+		binary.BigEndian.PutUint32(out[1:], uint32(n))
+		for _, e := range enc[:n] {
+			var ln [4]byte
+			binary.BigEndian.PutUint32(ln[:], uint32(len(e)))
+			out = append(out, ln[:]...)
+			out = append(out, e...)
+		}
+		if err := WriteFrame(w, out); err != nil {
+			return err
+		}
+		enc = enc[n:]
+	}
+	return nil
+}

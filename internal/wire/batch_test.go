@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	in := BatchRequest{Reqs: []Request{
+		{ID: 1, Kind: KindAdd, Shard: 3, Arg: -7, Session: 0xfeed, Seq: 9},
+		{ID: 2, Kind: KindGet, Shard: 0},
+		{ID: 3, Kind: KindSet, Shard: 1, Arg: 42, Session: 0xfeed, Seq: 10},
+	}}
+	out, err := ParseBatchRequest(in.Encode())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(out.Reqs) != 3 {
+		t.Fatalf("got %d ops, want 3", len(out.Reqs))
+	}
+	for i := range in.Reqs {
+		if out.Reqs[i] != in.Reqs[i] {
+			t.Errorf("op %d: got %+v, want %+v", i, out.Reqs[i], in.Reqs[i])
+		}
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	in := BatchResponse{Resps: []Response{
+		{ID: 1, Status: StatusOK, Value: 5},
+		{ID: 2, Status: StatusOK, Flags: FlagDuplicate, Value: 5},
+		{ID: 3, Status: StatusBadShard, Data: []byte("shard 9 out of range")},
+	}}
+	out, err := ParseBatchResponse(in.Encode())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(out.Resps) != 3 {
+		t.Fatalf("got %d responses, want 3", len(out.Resps))
+	}
+	if out.Resps[1].Flags != FlagDuplicate || out.Resps[1].Value != 5 {
+		t.Errorf("dupe response mangled: %+v", out.Resps[1])
+	}
+	if string(out.Resps[2].Data) != "shard 9 out of range" {
+		t.Errorf("data mangled: %q", out.Resps[2].Data)
+	}
+}
+
+// TestParseAnyRequest: the two request shapes are discriminated without
+// ambiguity — a plain request is exactly requestLen bytes, a batch
+// never is.
+func TestParseAnyRequest(t *testing.T) {
+	single := Request{ID: 7, Kind: KindAdd, Shard: 1, Arg: 2}
+	reqs, batched, err := ParseAnyRequest(single.Encode())
+	if err != nil || batched || len(reqs) != 1 || reqs[0] != single {
+		t.Fatalf("single: reqs=%v batched=%v err=%v", reqs, batched, err)
+	}
+	b := BatchRequest{Reqs: []Request{single}}
+	reqs, batched, err = ParseAnyRequest(b.Encode())
+	if err != nil || !batched || len(reqs) != 1 || reqs[0] != single {
+		t.Fatalf("batch-of-1: reqs=%v batched=%v err=%v", reqs, batched, err)
+	}
+	if _, _, err := ParseAnyRequest([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBatchBounds(t *testing.T) {
+	// Zero ops is corrupt, not an empty pipeline.
+	empty := []byte{batchReqMarker, 0, 0, 0, 0}
+	if _, err := ParseBatchRequest(empty); err == nil {
+		t.Error("empty batch accepted")
+	}
+	// A count beyond MaxBatchOps is refused before any allocation.
+	huge := []byte{batchReqMarker, 0xff, 0xff, 0xff, 0xff}
+	if _, err := ParseBatchRequest(huge); err == nil {
+		t.Error("oversized batch count accepted")
+	}
+	// A count that disagrees with the body length is refused.
+	lying := make([]byte, 5+requestLen)
+	lying[0] = batchReqMarker
+	binary.BigEndian.PutUint32(lying[1:], 2)
+	if _, err := ParseBatchRequest(lying); err == nil {
+		t.Error("count/body mismatch accepted")
+	}
+	// Same discipline on the response side.
+	if _, err := ParseBatchResponse(empty); err == nil {
+		t.Error("empty batch response accepted (and wrong marker besides)")
+	}
+	trailing := append(BatchResponse{Resps: []Response{{ID: 1}}}.Encode(), 0x00)
+	if _, err := ParseBatchResponse(trailing); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestWriteBatchResponsesSplits: a response set too large for one frame
+// is split across several, preserving order and count.
+func TestWriteBatchResponsesSplits(t *testing.T) {
+	big := make([]byte, MaxFrame/3)
+	resps := []Response{
+		{ID: 1, Status: StatusOK, Data: big},
+		{ID: 2, Status: StatusOK, Data: big},
+		{ID: 3, Status: StatusOK, Data: big},
+		{ID: 4, Status: StatusOK},
+	}
+	var buf bytes.Buffer
+	if err := WriteBatchResponses(&buf, resps); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var got []Response
+	frames := 0
+	for buf.Len() > 0 {
+		br, err := ReadBatchResponse(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", frames, err)
+		}
+		got = append(got, br.Resps...)
+		frames++
+	}
+	if frames < 2 {
+		t.Errorf("expected a split, got %d frame(s)", frames)
+	}
+	if len(got) != len(resps) {
+		t.Fatalf("got %d responses, want %d", len(got), len(resps))
+	}
+	for i := range resps {
+		if got[i].ID != resps[i].ID {
+			t.Errorf("response %d: id %d, want %d", i, got[i].ID, resps[i].ID)
+		}
+	}
+}
+
+func TestHelloSupportsBatch(t *testing.T) {
+	for _, tc := range []struct {
+		h    Hello
+		want bool
+	}{
+		{Hello{Status: StatusOK, Msg: FeatureBatch}, true},
+		{Hello{Status: StatusOK, Msg: "kx04 future-token"}, true},
+		{Hello{Status: StatusOK, Msg: ""}, false},
+		{Hello{Status: StatusOK, Msg: "kx04x"}, false},
+		{Hello{Status: StatusBusy, Msg: FeatureBatch}, false},
+	} {
+		if got := tc.h.SupportsBatch(); got != tc.want {
+			t.Errorf("SupportsBatch(%+v) = %v, want %v", tc.h, got, tc.want)
+		}
+	}
+	// The advertisement survives an encode/decode round trip a kx03
+	// parser also accepts.
+	b := Hello{Status: StatusOK, Identity: 2, N: 8, K: 2, Shards: 4, Msg: FeatureBatch}.Encode()
+	h, err := ParseHello(b)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !h.SupportsBatch() {
+		t.Error("advertisement lost in round trip")
+	}
+}
+
+// FuzzBatchDecode: the kx04 decoders must never panic or over-allocate
+// on adversarial payloads, and everything they accept must re-encode
+// to an equivalent batch.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add(BatchRequest{Reqs: []Request{{ID: 1, Kind: KindAdd, Shard: 0, Arg: 1, Session: 2, Seq: 3}}}.Encode())
+	f.Add(BatchRequest{Reqs: []Request{{ID: 1, Kind: KindGet}, {ID: 2, Kind: KindSet, Arg: -1}}}.Encode())
+	f.Add(BatchResponse{Resps: []Response{{ID: 1, Status: StatusOK, Value: 9}}}.Encode())
+	f.Add(BatchResponse{Resps: []Response{{ID: 2, Status: StatusBusy, Data: []byte("shed")}}}.Encode())
+	f.Add([]byte{batchReqMarker, 0, 0, 0, 1})
+	f.Add([]byte{batchRespMarker, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if br, err := ParseBatchRequest(b); err == nil {
+			again, err := ParseBatchRequest(br.Encode())
+			if err != nil {
+				t.Fatalf("re-parse of accepted batch request failed: %v", err)
+			}
+			if len(again.Reqs) != len(br.Reqs) {
+				t.Fatalf("op count changed across round trip: %d != %d", len(again.Reqs), len(br.Reqs))
+			}
+		}
+		if br, err := ParseBatchResponse(b); err == nil {
+			again, err := ParseBatchResponse(br.Encode())
+			if err != nil {
+				t.Fatalf("re-parse of accepted batch response failed: %v", err)
+			}
+			if len(again.Resps) != len(br.Resps) {
+				t.Fatalf("response count changed across round trip: %d != %d", len(again.Resps), len(br.Resps))
+			}
+		}
+		// Either shape, via the server's entry point: must not panic.
+		ParseAnyRequest(b)
+	})
+}

@@ -40,7 +40,11 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
 // Magic opens every Hello frame; it doubles as the protocol version
 // ("kx03" — bump the digit on incompatible change; 02 added the
 // RetryAfterMillis field to Hello, 03 added the client-assigned op ID
-// (Session, Seq) to Request and the Flags byte to Response).
+// (Session, Seq) to Request and the Flags byte to Response). The kx04
+// batch extension (see batch.go) is a compatible superset — its frames
+// are opt-in, negotiated via the FeatureBatch token in Hello.Msg — so
+// the magic deliberately stays at kx03: a stock kx03 client must keep
+// parsing a kx04 server's Hello unchanged.
 const Magic uint32 = 0x6b783033
 
 // MaxFrame bounds a frame payload; a peer announcing more is treated as
@@ -220,7 +224,10 @@ type Hello struct {
 	// from the configured admission parking window so rejected clients
 	// come back when an identity is plausibly free.
 	RetryAfterMillis uint32
-	// Msg carries rejection detail.
+	// Msg carries rejection detail on non-OK hellos. On an admission
+	// (StatusOK) hello it is a space-separated capability token list
+	// (see FeatureBatch); kx03 clients ignore it, which is what makes
+	// the kx04 extension negotiable without a layout change.
 	Msg string
 }
 
