@@ -11,6 +11,8 @@
 //	kexbench -native            drive the real goroutine implementations
 //	kexbench -native -json      ... emitting the metrics report as JSON
 //	                            (redirect to BENCH_native.json)
+//	kexbench -cluster -json     price the replication ack quorum, 1 vs
+//	                            majority vs all (redirect to BENCH_cluster.json)
 //	kexbench -n 64 -k 8 ...     change the configuration
 package main
 
@@ -51,8 +53,9 @@ func run(args []string, out io.Writer) error {
 		conns    = fs.String("conns", "1,4", "with -net: comma-separated connection counts")
 		depths   = fs.String("depths", "1,8", "with -net: comma-separated pipeline depths")
 		fsyncs   = fs.String("fsync", "always,interval", "with -net: comma-separated fsync policies to sweep")
-		netOps   = fs.Int("net-ops", 512, "with -net: mutations per connection per cell")
-		short    = fs.Bool("short", false, "with -net: minimal smoke sweep (1 conn, depths 1 and 8, fsync always, fewer ops)")
+		netOps   = fs.Int("net-ops", 512, "with -net or -cluster: mutations per connection per cell")
+		clMode   = fs.Bool("cluster", false, "sweep the replication ack quorum (1 vs majority vs all) over an in-process 3-node cluster")
+		short    = fs.Bool("short", false, "with -net or -cluster: minimal smoke sweep (fewer drivers and ops)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,12 +63,22 @@ func run(args []string, out io.Writer) error {
 	if *all {
 		*table1, *theorems, *fig3b, *k1 = true, true, true, true
 	}
-	if !*table1 && !*theorems && !*fig3b && !*k1 && !*native && !*netMode {
+	if !*table1 && !*theorems && !*fig3b && !*k1 && !*native && !*netMode && !*clMode {
 		fs.Usage()
-		return fmt.Errorf("pick at least one of -table1, -theorems, -fig3b, -k1, -native, -net, -all")
+		return fmt.Errorf("pick at least one of -table1, -theorems, -fig3b, -k1, -native, -net, -cluster, -all")
 	}
-	if *asJSON && !*native && !*netMode {
-		return fmt.Errorf("-json applies only to -native and -net")
+	if *asJSON && !*native && !*netMode && !*clMode {
+		return fmt.Errorf("-json applies only to -native, -net, and -cluster")
+	}
+	if *clMode {
+		cc := clusterBenchConfig{Nodes: 3, Conns: 4, Depth: 8, OpsPerConn: *netOps, Shards: 4, K: 4}
+		if *short {
+			cc.Conns = 2
+			if cc.OpsPerConn > 64 {
+				cc.OpsPerConn = 64
+			}
+		}
+		return runClusterBench(cc, out, *asJSON)
 	}
 	if *netMode {
 		nc := netConfig{OpsPerConn: *netOps, Shards: 4, K: 4}

@@ -170,6 +170,52 @@ func TestBenchNetJSONSchema(t *testing.T) {
 	}
 }
 
+func TestBenchClusterJSONSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots three in-process cluster members per cell")
+	}
+	var b strings.Builder
+	err := run([]string{"-cluster", "-json", "-short", "-net-ops", "16"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+		Nodes  int    `json:"nodes"`
+		Rows   []struct {
+			Quorum    string  `json:"quorum"`
+			Acks      int     `json:"acks"`
+			Ops       int     `json:"ops"`
+			Errors    int     `json:"errors"`
+			OpsPerSec float64 `json:"ops_per_sec"`
+		} `json:"rows"`
+		Verdict string `json:"verdict"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("BENCH_cluster output is not JSON: %v", err)
+	}
+	if rep.Schema != "kexbench/cluster/v1" || rep.Nodes != 3 {
+		t.Errorf("schema = %q nodes = %d", rep.Schema, rep.Nodes)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %+v, want the 1/majority/all sweep", rep.Rows)
+	}
+	for i, want := range []struct {
+		quorum string
+		acks   int
+	}{{"1", 1}, {"majority", 2}, {"all", 3}} {
+		if rep.Rows[i].Quorum != want.quorum || rep.Rows[i].Acks != want.acks {
+			t.Errorf("row %d = %+v, want quorum %s acks %d", i, rep.Rows[i], want.quorum, want.acks)
+		}
+		if rep.Rows[i].Ops != 32 || rep.Rows[i].Errors != 0 {
+			t.Errorf("row %d = %+v: load incomplete", i, rep.Rows[i])
+		}
+	}
+	if rep.Verdict != "replicated" {
+		t.Errorf("verdict = %q", rep.Verdict)
+	}
+}
+
 func TestBenchNetFlagValidation(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-net", "-conns", "0"}, &b); err == nil {

@@ -1,0 +1,380 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"kexclusion/internal/netfault"
+	"kexclusion/internal/server/client"
+	"kexclusion/internal/wire"
+)
+
+// clusterConfig is the -cluster mode's shape, pre-validated by run.
+type clusterConfig struct {
+	impl      string
+	n, k      int
+	ops       int
+	seed      int64
+	deadline  time.Duration
+	asJSON    bool
+	servedBin string
+	dataDir   string
+	fsync     string
+	failAfter time.Duration
+}
+
+// clusterNodes is the membership size: three is the smallest cluster
+// where a majority quorum (2) survives one crash.
+const clusterNodes = 3
+
+// clusterShards spreads placement across the ring; the exactly-once
+// contract is checked on shard 0's counter.
+const clusterShards = 4
+
+// reserveAddr grabs an ephemeral localhost port and releases it for the
+// spawned server to rebind: every member's address must appear in every
+// member's -peers before any member exists.
+func reserveAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// probeOwner asks all three members who owns shard 0, through their
+// proxies, and returns the owner's index only when the view has
+// converged: exactly one member serves the shard and both others
+// redirect to that member's advertised address. A transient boot-time
+// view (a member briefly self-promoted over peers it has not met yet)
+// fails the round and is retried.
+func probeOwner(proxies []*netfault.Proxy) (int, error) {
+	owner := -1
+	hints := make([]string, len(proxies))
+	for i, px := range proxies {
+		c, err := client.DialTimeout(px.Addr(), time.Second)
+		if err != nil {
+			return -1, fmt.Errorf("member %d unreachable: %w", i, err)
+		}
+		_, gerr := c.Get(0)
+		c.Close()
+		if gerr == nil {
+			if owner >= 0 {
+				return -1, fmt.Errorf("members %d and %d both claim shard 0", owner, i)
+			}
+			owner = i
+			continue
+		}
+		if np := isNotPrimaryErr(gerr); np != nil {
+			hints[i] = np.Msg
+			continue
+		}
+		return -1, fmt.Errorf("member %d: %w", i, gerr)
+	}
+	if owner < 0 {
+		return -1, fmt.Errorf("no member claims shard 0")
+	}
+	for i, h := range hints {
+		if i != owner && h != proxies[owner].Addr() {
+			return -1, fmt.Errorf("member %d redirects to %q, not the claimed owner", i, h)
+		}
+	}
+	return owner, nil
+}
+
+// isNotPrimaryErr extracts a cluster redirect from err (nil otherwise).
+func isNotPrimaryErr(err error) *wire.Error {
+	var we *wire.Error
+	if errors.As(err, &we) && we.Status == wire.StatusNotPrimary {
+		return we
+	}
+	return nil
+}
+
+// runCluster drives the failover contract end to end against real
+// processes: a three-node replicated cluster boots behind per-member
+// chaos proxies (the advertised peer addresses ARE the proxies, so
+// every redirect a client follows routes through one), n reconnecting
+// clients write shard 0 through its primary, the primary is SIGKILLed
+// at half-load and never restarted, and the clients heal onto the
+// promoted ring successor — redirect rotation forward, fallback to
+// their home member when the rotated address dies.
+//
+// The contract checked: the final counter equals EXACTLY n×ops. Every
+// acknowledged write waited for the majority quorum (two disks), the
+// successor catches up from the surviving quorum member before serving,
+// and re-issued in-flight writes carry their original op IDs into the
+// replicated dedup window — so the crash neither loses an acked write
+// nor doubles a retried one.
+func runCluster(out io.Writer, cfg clusterConfig) error {
+	dir := cfg.dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "kexchaos-cluster-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	realAddrs := make([]string, clusterNodes)
+	replAddrs := make([]string, clusterNodes)
+	proxies := make([]*netfault.Proxy, clusterNodes)
+	var err error
+	for i := range realAddrs {
+		if realAddrs[i], err = reserveAddr(); err != nil {
+			return err
+		}
+		if replAddrs[i], err = reserveAddr(); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, px := range proxies {
+			if px != nil {
+				px.Close()
+			}
+		}
+	}()
+	for i := range proxies {
+		// Clean relays (empty fault plans): the injected fault in this
+		// mode is the SIGKILL; the proxies put the network hop every
+		// redirect crosses under the harness's control.
+		if proxies[i], err = netfault.New(realAddrs[i], netfault.Plan{Seed: cfg.seed + int64(i)}); err != nil {
+			return err
+		}
+	}
+
+	entries := make([]string, clusterNodes)
+	for i := range entries {
+		entries[i] = fmt.Sprintf("node-%d=%s/%s", i, proxies[i].Addr(), replAddrs[i])
+	}
+	peerSpec := strings.Join(entries, ",")
+
+	members := make([]*served, clusterNodes)
+	defer func() {
+		for _, s := range members {
+			if s != nil {
+				s.kill() // idempotent; survivors are drained below first
+			}
+		}
+	}()
+	for i := range members {
+		s, err := startServedArgs(cfg.servedBin,
+			"-addr", realAddrs[i], "-n", fmt.Sprint(cfg.n), "-k", fmt.Sprint(cfg.k),
+			"-shards", fmt.Sprint(clusterShards), "-impl", cfg.impl, "-quiet",
+			"-data-dir", filepath.Join(dir, fmt.Sprintf("node-%d", i)),
+			"-fsync", cfg.fsync,
+			"-node-id", fmt.Sprintf("node-%d", i), "-peers", peerSpec,
+			"-quorum", "majority", "-fail-after", cfg.failAfter.String())
+		if err != nil {
+			return fmt.Errorf("member %d: %w", i, err)
+		}
+		members[i] = s
+	}
+
+	// Wait for a converged ownership view before choosing the victim:
+	// killing a member that was about to demote would test nothing.
+	primary := -1
+	probeDeadline := time.Now().Add(15 * time.Second)
+	var probeErr error
+	for primary < 0 {
+		if time.Now().After(probeDeadline) {
+			return fmt.Errorf("cluster never converged on a shard 0 owner: %v", probeErr)
+		}
+		if primary, probeErr = probeOwner(proxies); probeErr != nil {
+			primary = -1
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Every client homes at a follower: its first shard 0 op redirects
+	// to the primary (exercising rotation), and after the kill its
+	// fallback address is a member that stays alive.
+	var followers []int
+	for i := range members {
+		if i != primary {
+			followers = append(followers, i)
+		}
+	}
+	conns := make([]*client.Reconnecting, cfg.n)
+	for i := range conns {
+		home := proxies[followers[i%len(followers)]].Addr()
+		c, err := client.DialReconnecting(home, client.RetryPolicy{
+			Seed: cfg.seed + int64(i) + 1,
+			// Deterministic, per-client-distinct op-ID identities keep
+			// the run reproducible; |1 keeps them nonzero.
+			Session:     uint64(cfg.seed+int64(i))<<1 | 1,
+			MaxAttempts: 20,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    500 * time.Millisecond,
+		}, 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("client %d admission: %w", i, err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	// Workers count acknowledged writes; the coordinator SIGKILLs the
+	// primary once half the total load is acked, so the crash lands on
+	// a quorum-replicated prefix with live traffic on top of it.
+	var acked atomic.Int64
+	killAt := int64(cfg.n*cfg.ops) / 2
+	errs := make([]error, cfg.n)
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c *client.Reconnecting) {
+			defer wg.Done()
+			for op := 0; op < cfg.ops; op++ {
+				if _, err := c.AddOp(0, 1); err != nil {
+					errs[i] = fmt.Errorf("op %d: %w", op, err)
+					return
+				}
+				acked.Add(1)
+			}
+		}(i, c)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	killed := make(chan error, 1)
+	go func() {
+		for acked.Load() < killAt {
+			select {
+			case <-done:
+				killed <- fmt.Errorf("workers stopped at %d/%d acked writes before the kill threshold", acked.Load(), killAt)
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		// The crash fault: the primary dies and STAYS dead. Progress from
+		// here on is the failover's alone.
+		members[primary].kill()
+		killed <- nil
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(cfg.deadline):
+		return fmt.Errorf("loss of progress: clients still running after the %v deadline", cfg.deadline)
+	}
+	if err := <-killed; err != nil {
+		return fmt.Errorf("kill coordinator: %w", err)
+	}
+
+	counter, err := conns[0].Get(0)
+	if err != nil {
+		return fmt.Errorf("verdict read: %w", err)
+	}
+	// Release the workers' identity leases before the verdict dials:
+	// the survivors' n identities may be fully leased to them.
+	var dupeAcks, redirects int64
+	for _, c := range conns {
+		dupeAcks += c.DupeAcks()
+		redirects += c.Redirects()
+		c.Close()
+	}
+	survivorStats := make(map[string]wire.Stats, len(followers))
+	for _, i := range followers {
+		c, err := client.DialTimeout(realAddrs[i], 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("verdict stats from member %d: %w", i, err)
+		}
+		st, serr := c.Stats()
+		c.Close()
+		if serr != nil {
+			return fmt.Errorf("verdict stats from member %d: %w", i, serr)
+		}
+		survivorStats[fmt.Sprintf("node-%d", i)] = st
+	}
+
+	completed, failures := 0, 0
+	for i, e := range errs {
+		if e == nil {
+			completed++
+		} else {
+			failures++
+			fmt.Fprintf(out, "client %d failed: %v\n", i, e)
+		}
+	}
+	var quorumAcks int64
+	for _, st := range survivorStats {
+		quorumAcks += st.QuorumAcks
+	}
+	want := int64(cfg.n * cfg.ops)
+	if counter != want {
+		failures++
+		fmt.Fprintf(out, "CONTRACT VIOLATION: counter=%d, want exactly %d (lost or doubled acknowledged writes across the failover)\n",
+			counter, want)
+	}
+	if quorumAcks == 0 {
+		failures++
+		fmt.Fprintf(out, "CONTRACT VIOLATION: quorum_acks=0 on both survivors: no ack waited for the replication quorum\n")
+	}
+	if redirects == 0 {
+		failures++
+		fmt.Fprintf(out, "CONTRACT VIOLATION: redirects=0: follower-homed clients never saw a not_primary redirect\n")
+	}
+
+	// Drain the survivors cleanly so their WAL closes are orderly.
+	for _, i := range followers {
+		members[i].cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for _, i := range followers {
+		select {
+		case <-members[i].exited:
+		case <-time.After(10 * time.Second):
+			members[i].kill()
+		}
+	}
+
+	if cfg.asJSON {
+		b, err := json.MarshalIndent(struct {
+			Completed int                   `json:"completed_clients"`
+			Clients   int                   `json:"clients"`
+			Counter   int64                 `json:"counter"`
+			Want      int64                 `json:"want_counter"`
+			DupeAcks  int64                 `json:"dupe_acks"`
+			Redirects int64                 `json:"redirects"`
+			Failures  int                   `json:"violations"`
+			Survivors map[string]wire.Stats `json:"survivors"`
+		}{completed, cfg.n, counter, want, dupeAcks, redirects, failures, survivorStats}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", b)
+	} else {
+		fmt.Fprintf(out, "cluster chaos: impl=%s n=%d k=%d ops=%d fsync=%s seed=%d members=%d quorum=majority\n",
+			cfg.impl, cfg.n, cfg.k, cfg.ops, cfg.fsync, cfg.seed, clusterNodes)
+		fmt.Fprintf(out, "clients: %d/%d completed; counter=%d (want %d) dupe_acks=%d redirects=%d\n",
+			completed, cfg.n, counter, want, dupeAcks, redirects)
+		for _, i := range followers {
+			st := survivorStats[fmt.Sprintf("node-%d", i)]
+			fmt.Fprintf(out, "survivor node-%d: quorum_acks=%d notprimary_redirects=%d replica_lag_lsn=%d\n",
+				i, st.QuorumAcks, st.NotPrimaryRedirects, st.ReplicaLagLSN)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d contract violation(s)", failures)
+	}
+	if !cfg.asJSON {
+		fmt.Fprintf(out, "verdict: failover (%d acknowledged writes survived a primary SIGKILL exactly once; node-%d never restarted)\n",
+			want, primary)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@
 //	kexchaos -all -seed 42 -json
 //	kexchaos -net -n 6 -k 2 -ops 10 -seed 7       # link faults through a chaos proxy
 //	kexchaos -restart -served-bin ./kexserved -n 4 -k 2 -ops 25 -seed 7   # SIGKILL + recovery
+//	kexchaos -cluster -served-bin ./kexserved -n 4 -k 2 -ops 25 -seed 7   # SIGKILL the primary, fail over
 package main
 
 import (
@@ -41,26 +42,28 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kexchaos", flag.ContinueOnError)
 	var (
-		implName   = fs.String("impl", "fastpath", "implementation name (see -list)")
-		list       = fs.Bool("list", false, "list implementations and exit")
-		all        = fs.Bool("all", false, "run every resilient implementation")
-		n          = fs.Int("n", 16, "number of process identities")
-		k          = fs.Int("k", 4, "slots (resiliency level)")
-		ops        = fs.Int("ops", 32, "operations each survivor must complete")
-		crashes    = fs.Int("crashes", 0, "number of crashes to inject (k-1 probes the contract, k the boundary)")
-		kindsCSV   = fs.String("kinds", "entry,holding,exit", "crash points to draw from (entry, holding, exit, renaming)")
-		seed       = fs.Int64("seed", 1, "plan seed (same seed, same plan, same report)")
-		deadline   = fs.Duration("deadline", 30*time.Second, "watchdog before a run is reported as loss of progress")
-		assignment = fs.Bool("assignment", false, "wrap the implementation in Figure 7 k-assignment")
-		shared     = fs.Bool("shared", false, "drive the full §1 shared-object stack (counter under k-assignment)")
-		asJSON     = fs.Bool("json", false, "emit JSON: the deterministic report plus the metrics snapshot")
-		netMode    = fs.Bool("net", false, "inject link faults through a chaos proxy at a live server instead of in-process crashes")
-		netKinds   = fs.String("net-kinds", "delay,partition,reset,truncate", "-net mode: link faults to draw from (delay, partition, reset, truncate)")
-		idle       = fs.Duration("idle-timeout", 250*time.Millisecond, "-net mode: the server's session watchdog bound")
-		restart    = fs.Bool("restart", false, "SIGKILL a live kexserved subprocess mid-load and restart it from its data directory, asserting no acknowledged write is lost or doubled")
-		servedBin  = fs.String("served-bin", "", "-restart mode: path to the kexserved binary to spawn")
-		dataDir    = fs.String("data-dir", "", "-restart mode: durability directory (empty = fresh temp dir, removed on exit)")
-		fsyncMode  = fs.String("fsync", "always", "-restart mode: WAL sync policy for the spawned server (always or interval; never would forfeit the contract)")
+		implName    = fs.String("impl", "fastpath", "implementation name (see -list)")
+		list        = fs.Bool("list", false, "list implementations and exit")
+		all         = fs.Bool("all", false, "run every resilient implementation")
+		n           = fs.Int("n", 16, "number of process identities")
+		k           = fs.Int("k", 4, "slots (resiliency level)")
+		ops         = fs.Int("ops", 32, "operations each survivor must complete")
+		crashes     = fs.Int("crashes", 0, "number of crashes to inject (k-1 probes the contract, k the boundary)")
+		kindsCSV    = fs.String("kinds", "entry,holding,exit", "crash points to draw from (entry, holding, exit, renaming)")
+		seed        = fs.Int64("seed", 1, "plan seed (same seed, same plan, same report)")
+		deadline    = fs.Duration("deadline", 30*time.Second, "watchdog before a run is reported as loss of progress")
+		assignment  = fs.Bool("assignment", false, "wrap the implementation in Figure 7 k-assignment")
+		shared      = fs.Bool("shared", false, "drive the full §1 shared-object stack (counter under k-assignment)")
+		asJSON      = fs.Bool("json", false, "emit JSON: the deterministic report plus the metrics snapshot")
+		netMode     = fs.Bool("net", false, "inject link faults through a chaos proxy at a live server instead of in-process crashes")
+		netKinds    = fs.String("net-kinds", "delay,partition,reset,truncate", "-net mode: link faults to draw from (delay, partition, reset, truncate)")
+		idle        = fs.Duration("idle-timeout", 250*time.Millisecond, "-net mode: the server's session watchdog bound")
+		restart     = fs.Bool("restart", false, "SIGKILL a live kexserved subprocess mid-load and restart it from its data directory, asserting no acknowledged write is lost or doubled")
+		clusterMode = fs.Bool("cluster", false, "boot a 3-member replicated kexserved cluster, SIGKILL the shard 0 primary mid-load (never restarting it), and assert every acknowledged write survives the failover exactly once")
+		failAfter   = fs.Duration("fail-after", time.Second, "-cluster mode: the spawned cluster's failure detector bound (how long the survivors take to suspect the killed primary)")
+		servedBin   = fs.String("served-bin", "", "-restart/-cluster mode: path to the kexserved binary to spawn")
+		dataDir     = fs.String("data-dir", "", "-restart/-cluster mode: durability directory (empty = fresh temp dir, removed on exit)")
+		fsyncMode   = fs.String("fsync", "always", "-restart/-cluster mode: WAL sync policy for the spawned servers (always or interval; never would forfeit the contract)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +88,29 @@ func run(args []string, out io.Writer) error {
 	}
 	if *n < *k {
 		return fmt.Errorf("need n >= k, got n=%d k=%d", *n, *k)
+	}
+	if *clusterMode {
+		if *all || *assignment || *shared || *crashes != 0 || *netMode || *restart {
+			return fmt.Errorf("-cluster kills a real cluster primary and fails over; it excludes -all, -assignment, -shared, -crashes, -net, and -restart")
+		}
+		if *servedBin == "" {
+			return fmt.Errorf("-cluster needs -served-bin (path to a kexserved binary)")
+		}
+		if *fsyncMode != "always" && *fsyncMode != "interval" {
+			return fmt.Errorf("-cluster needs -fsync always or interval: under %q an acknowledged write may legally die with the process", *fsyncMode)
+		}
+		if *ops < 2 {
+			return fmt.Errorf("need ops >= 2, got ops=%d: the kill must land mid-load", *ops)
+		}
+		if *failAfter <= 0 {
+			return fmt.Errorf("need fail-after > 0, got %v", *failAfter)
+		}
+		return runCluster(out, clusterConfig{
+			impl: *implName, n: *n, k: *k, ops: *ops, seed: *seed,
+			deadline: *deadline, asJSON: *asJSON,
+			servedBin: *servedBin, dataDir: *dataDir, fsync: *fsyncMode,
+			failAfter: *failAfter,
+		})
 	}
 	if *restart {
 		if *all || *assignment || *shared || *crashes != 0 || *netMode {

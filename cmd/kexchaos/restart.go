@@ -47,13 +47,20 @@ type served struct {
 	exitErr error         // valid after exited is closed
 }
 
-// startServed spawns the binary, waits for its "listening on" line, and
-// keeps draining stdout so the child never blocks on a full pipe.
+// startServed spawns a standalone single-shard kexserved and waits for
+// it to bind.
 func startServed(bin, addr, dataDir, fsync, impl string, n, k int) (*served, error) {
-	cmd := exec.Command(bin,
+	return startServedArgs(bin,
 		"-addr", addr, "-n", fmt.Sprint(n), "-k", fmt.Sprint(k),
 		"-shards", "1", "-impl", impl, "-quiet",
 		"-data-dir", dataDir, "-fsync", fsync)
+}
+
+// startServedArgs spawns the binary with the given argument list, waits
+// for its "listening on" line, and keeps draining stdout so the child
+// never blocks on a full pipe.
+func startServedArgs(bin string, args ...string) (*served, error) {
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		return nil, err

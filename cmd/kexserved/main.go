@@ -21,6 +21,19 @@
 //	kexserved -ops-addr 127.0.0.1:9750           /healthz, /readyz, /metrics (Prometheus)
 //	kexserved -shed-high 64 -shed-low 8          shed admissions past the queue watermark
 //	kexserved -max-inflight 256                  ceiling on concurrently executing ops
+//	kexserved -node-id a -peers a=HOST:4750/HOST:4850,b=...   join a replicated cluster
+//	kexserved -quorum majority                   acks wait for this many nodes' fsyncs
+//
+// With -peers (requires -data-dir and -node-id), the server is one
+// member of a statically configured cluster: the consistent-hash ring
+// over the peer list decides which shards it serves (ops for other
+// shards answer not_primary with the owner's address), its WAL batches
+// replicate to every peer, mutations are acknowledged only after
+// -quorum members (itself included, "majority" by default, "all" or an
+// integer accepted) have fsynced them, and when a peer stops answering
+// its shards fail over to live ring successors. Each peer is
+// id=client-addr/repl-addr; the repl address is a second listener for
+// peer replication traffic.
 //
 // With -ops-addr, the ops listener binds BEFORE recovery begins, so a
 // rolling-restart orchestrator watching /readyz sees an honest
@@ -44,13 +57,60 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"kexclusion/internal/cluster"
 	"kexclusion/internal/core"
 	"kexclusion/internal/durable"
 	"kexclusion/internal/server"
 )
+
+// parsePeers decodes the -peers membership list: comma-separated
+// id=client-addr/repl-addr entries.
+func parsePeers(spec string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		id, addrs, ok := strings.Cut(item, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("-peers entry %q: want id=client-addr/repl-addr", item)
+		}
+		clientAddr, replAddr, ok := strings.Cut(addrs, "/")
+		if !ok || clientAddr == "" || replAddr == "" {
+			return nil, fmt.Errorf("-peers entry %q: want id=client-addr/repl-addr", item)
+		}
+		peers = append(peers, cluster.Peer{ID: id, ClientAddr: clientAddr, ReplAddr: replAddr})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return peers, nil
+}
+
+// parseQuorum maps the -quorum spelling to a node count (0 = majority,
+// resolved by the server).
+func parseQuorum(spec string, n int) (int, error) {
+	switch spec {
+	case "", "majority":
+		return 0, nil
+	case "all":
+		return n, nil
+	}
+	v, err := strconv.Atoi(spec)
+	if err != nil {
+		return 0, fmt.Errorf("-quorum %q: want majority, all, or an integer", spec)
+	}
+	if v < 1 || v > n {
+		return 0, fmt.Errorf("-quorum %d out of range [1, %d peers]", v, n)
+	}
+	return v, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -79,6 +139,11 @@ func run(args []string, out io.Writer) error {
 		shedHigh    = fs.Int("shed-high", 0, "admission-queue depth that flips the server degraded and sheds new connections (0 = disabled; requires -admit-timeout)")
 		shedLow     = fs.Int("shed-low", 0, "admission-queue depth at which a degraded server recovers (must be < -shed-high)")
 		maxInflight = fs.Int("max-inflight", 0, "ceiling on concurrently executing object operations; ops past it answer busy with a Retry-After hint (0 = unlimited)")
+
+		nodeID     = fs.String("node-id", "", "this member's ID in -peers (cluster mode)")
+		peersSpec  = fs.String("peers", "", "full cluster membership as id=client-addr/repl-addr,... (empty = standalone)")
+		quorumSpec = fs.String("quorum", "majority", "ack quorum in cluster mode: majority, all, or an integer count of nodes (this one included)")
+		failAfter  = fs.Duration("fail-after", 2*time.Second, "cluster failure detector: a peer silent this long is suspected dead and its shards fail over")
 
 		dataDir       = fs.String("data-dir", "", "durability directory for the WAL and snapshots (empty = in-memory only)")
 		fsync         = fs.String("fsync", "always", "WAL sync policy: always (fsync per op), interval (group commit), never (OS decides)")
@@ -136,6 +201,33 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var clusterCfg *server.ClusterConfig
+	if *peersSpec != "" || *nodeID != "" {
+		if *peersSpec == "" || *nodeID == "" {
+			return fmt.Errorf("cluster mode needs both -node-id and -peers")
+		}
+		if *dataDir == "" {
+			return fmt.Errorf("cluster mode needs -data-dir (the WAL is the replication stream)")
+		}
+		peers, err := parsePeers(*peersSpec)
+		if err != nil {
+			return err
+		}
+		quorum, err := parseQuorum(*quorumSpec, len(peers))
+		if err != nil {
+			return err
+		}
+		if *failAfter <= 0 {
+			return fmt.Errorf("need fail-after > 0, got %v", *failAfter)
+		}
+		clusterCfg = &server.ClusterConfig{
+			NodeID:    *nodeID,
+			Peers:     peers,
+			Quorum:    quorum,
+			FailAfter: *failAfter,
+		}
+	}
+
 	cfg := server.Config{
 		N: *n, K: *k, Shards: *shards,
 		Impl:          *implName,
@@ -148,6 +240,7 @@ func run(args []string, out io.Writer) error {
 		SnapshotEvery: *snapshotEvery,
 		DedupWindow:   *dedupWindow,
 		Shed:          shed,
+		Cluster:       clusterCfg,
 		Lifecycle:     server.NewLifecycle(),
 	}
 	if !*quiet {
@@ -187,6 +280,10 @@ func run(args []string, out io.Writer) error {
 		rec := srv.Recovery()
 		fmt.Fprintf(out, "kexserved: durable in %s (fsync=%s): recovered %d ops, restart %d, dropped %d torn bytes\n",
 			*dataDir, policy, rec.RecoveredOps, rec.RestartCount, rec.DroppedBytes)
+	}
+	if clusterCfg != nil {
+		fmt.Fprintf(out, "kexserved: cluster node %s of %d peers, quorum %d, replication on %s\n",
+			*nodeID, len(clusterCfg.Peers), srv.Node().Quorum(), srv.Node().ReplAddr())
 	}
 
 	served := make(chan error, 1)

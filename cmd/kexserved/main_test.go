@@ -33,6 +33,14 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"-shed-high", "4", "-shed-low", "9", "-admit-timeout", "1s"}, "below the high watermark"},
 		{[]string{"-shed-high", "4"}, "AdmitTimeout"},
 		{[]string{"-max-inflight", "-1"}, "non-negative"},
+		{[]string{"-node-id", "a"}, "both -node-id and -peers"},
+		{[]string{"-peers", "a=h:1/h:2"}, "both -node-id and -peers"},
+		{[]string{"-node-id", "a", "-peers", "a=h:1/h:2"}, "needs -data-dir"},
+		{[]string{"-node-id", "a", "-peers", "bogus", "-data-dir", "x"}, "id=client-addr/repl-addr"},
+		{[]string{"-node-id", "a", "-peers", "a=h:1", "-data-dir", "x"}, "id=client-addr/repl-addr"},
+		{[]string{"-node-id", "a", "-peers", "a=h:1/h:2", "-data-dir", "x", "-quorum", "7"}, "out of range"},
+		{[]string{"-node-id", "a", "-peers", "a=h:1/h:2", "-data-dir", "x", "-quorum", "most"}, "majority, all, or an integer"},
+		{[]string{"-node-id", "a", "-peers", "a=h:1/h:2", "-data-dir", "x", "-fail-after", "0s"}, "need fail-after > 0"},
 	}
 	for _, tc := range cases {
 		var b strings.Builder
@@ -236,6 +244,22 @@ func TestServeSIGTERMDrain(t *testing.T) {
 	for _, field := range []string{`"idle_reclaims":0`, `"op_deadlines":0`} {
 		if !strings.Contains(got, field) {
 			t.Errorf("stats dump missing %s:\n%s", field, got)
+		}
+	}
+}
+
+func TestParsePeersAndQuorum(t *testing.T) {
+	peers, err := parsePeers("a=10.0.0.1:4750/10.0.0.1:4850, b=10.0.0.2:4750/10.0.0.2:4850")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "a" || peers[1].ReplAddr != "10.0.0.2:4850" {
+		t.Fatalf("parsed %+v", peers)
+	}
+	for spec, want := range map[string]int{"majority": 0, "": 0, "all": 2, "1": 1, "2": 2} {
+		got, err := parseQuorum(spec, 2)
+		if err != nil || got != want {
+			t.Errorf("parseQuorum(%q, 2) = %d, %v; want %d", spec, got, err, want)
 		}
 	}
 }

@@ -1,0 +1,543 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"kexclusion/internal/durable"
+	"kexclusion/internal/wire"
+)
+
+// Peer is one cluster member from the static -peers list.
+type Peer struct {
+	// ID is the member's -node-id.
+	ID string
+	// ClientAddr is where clients dial it (the redirect hint).
+	ClientAddr string
+	// ReplAddr is where followers dial its replication listener.
+	ReplAddr string
+}
+
+// Backend is what the cluster node needs from the server it serves:
+// the apply side of replication and the state images promotion and
+// catch-up ship around. Defined here (and implemented by
+// internal/server) so cluster never imports server.
+type Backend interface {
+	// ApplyReplicated folds replicated op records into the local table
+	// and WAL, idempotently by (shard, version): records at or below
+	// the local frontier are skipped, the next expected version is
+	// applied and locally logged. A record beyond the next version is
+	// a gap error — the caller must fall back to a state image. It
+	// returns the highest local WAL LSN the batch produced (0 when
+	// everything was skipped).
+	ApplyReplicated(recs []durable.Record) (uint64, error)
+	// WaitLocalDurable blocks until the local WAL has fsynced lsn —
+	// the precondition for acknowledging replicated records upstream.
+	WaitLocalDurable(lsn uint64) error
+	// InstallState folds a full per-shard image into the local table,
+	// keeping only shards strictly newer than local state, and
+	// persists a local snapshot so the catch-up survives a restart.
+	InstallState(shards map[uint32]durable.ShardState) error
+	// Frontier returns every shard's current mutation version.
+	Frontier() []uint64
+	// StateImage returns a consistent per-shard image (dedup windows
+	// included) for shipping to a catching-up or promoting peer.
+	StateImage() map[uint32]durable.ShardState
+}
+
+// Config assembles a Node.
+type Config struct {
+	// NodeID is this node's member ID; it must appear in Peers.
+	NodeID string
+	// Peers is the full static membership, this node included.
+	Peers []Peer
+	// Shards is the table width (identical on every member).
+	Shards int
+	// Quorum is how many nodes (this one included) must have fsynced a
+	// batch before the client ack; clamped to [1, len(Peers)].
+	Quorum int
+	// Log is the local WAL; the serving side reads batches straight
+	// from it.
+	Log *durable.Log
+	// Backend is the local server's apply side.
+	Backend Backend
+	// FailAfter is how long a peer may stay unreachable before it is
+	// suspected dead and its shards fall to ring successors (default
+	// 2s).
+	FailAfter time.Duration
+	// PullWait is the long-poll budget a caught-up pull parks for
+	// (default 500ms).
+	PullWait time.Duration
+	// QuorumTimeout bounds the ack-path quorum wait (default 5s).
+	QuorumTimeout time.Duration
+	// Logf receives membership and promotion notices.
+	Logf func(format string, args ...any)
+	// OnPromoteStart and OnPromoteDone bracket a promotion: the node
+	// is taking over the listed shards and is replaying peer state
+	// (recovering), then serving them (running). Wired to the server's
+	// lifecycle phases.
+	OnPromoteStart func(shards []uint32)
+	OnPromoteDone  func(shards []uint32)
+}
+
+func (c *Config) fill() error {
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2 * time.Second
+	}
+	if c.PullWait <= 0 {
+		c.PullWait = 500 * time.Millisecond
+	}
+	if c.QuorumTimeout <= 0 {
+		c.QuorumTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Shards <= 0 {
+		return fmt.Errorf("cluster: shards must be positive")
+	}
+	if c.Log == nil || c.Backend == nil {
+		return fmt.Errorf("cluster: Log and Backend are required")
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p.ID == c.NodeID {
+			found = true
+		}
+		if p.ID == "" || p.ClientAddr == "" || p.ReplAddr == "" {
+			return fmt.Errorf("cluster: peer %+v needs id, client addr and repl addr", p)
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster: node id %q not in peer list", c.NodeID)
+	}
+	if c.Quorum < 1 {
+		c.Quorum = 1
+	}
+	if c.Quorum > len(c.Peers) {
+		c.Quorum = len(c.Peers)
+	}
+	return nil
+}
+
+// Node runs one kexserved's share of the cluster: a replication
+// listener serving pulls from its WAL, one pull loop per peer feeding
+// the local table, a failure detector over pull outcomes, and the
+// shard-ownership map the server consults per request.
+type Node struct {
+	cfg    Config
+	ring   *Ring
+	peers  map[string]Peer
+	others []Peer // every peer but this node
+	quorum *quorumTracker
+
+	ln net.Listener
+
+	mu        sync.Mutex
+	serving   map[uint32]bool // shards this node currently serves
+	lastSeen  map[string]time.Time
+	pins      map[string]int    // follower node ID -> WAL pin handle
+	lag       map[string]uint64 // follower node ID -> end - acked at last ack
+	resume    map[string]uint64 // peer node ID -> pull resume position
+	promoting bool
+	stopped   bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New validates the config, builds the ring, and binds the replication
+// listener (so a misconfigured address fails at startup, not at first
+// failover). Start launches the loops.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(cfg.Peers))
+	peers := make(map[string]Peer, len(cfg.Peers))
+	var others []Peer
+	for i, p := range cfg.Peers {
+		ids[i] = p.ID
+		peers[p.ID] = p
+		if p.ID != cfg.NodeID {
+			others = append(others, p)
+		}
+	}
+	ring, err := NewRing(ids)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", peers[cfg.NodeID].ReplAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: replication listener: %w", err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		ring:     ring,
+		peers:    peers,
+		others:   others,
+		quorum:   newQuorumTracker(cfg.Quorum),
+		ln:       ln,
+		serving:  make(map[uint32]bool),
+		lastSeen: make(map[string]time.Time),
+		pins:     make(map[string]int),
+		lag:      make(map[string]uint64),
+		resume:   make(map[string]uint64),
+		stopCh:   make(chan struct{}),
+	}
+	now := time.Now()
+	for _, p := range others {
+		n.lastSeen[p.ID] = now // grace: nobody is suspect before FailAfter
+	}
+	return n, nil
+}
+
+// ReplAddr is the bound replication listener address (useful when the
+// configured address had port 0).
+func (n *Node) ReplAddr() string { return n.ln.Addr().String() }
+
+// Quorum is the effective ack quorum.
+func (n *Node) Quorum() int { return n.cfg.Quorum }
+
+// Start brings the node to service: it catches up from any reachable
+// peer ahead of local state (a restarted node rejoining must not serve
+// stale shards), marks its ring-owned shards serving, and launches the
+// accept loop, the per-peer pull loops, and the failure detector.
+func (n *Node) Start() {
+	owned := n.ownedShards(func(string) bool { return true })
+	if len(n.others) > 0 {
+		n.catchUpFromPeers(owned)
+	}
+	n.mu.Lock()
+	for _, s := range owned {
+		n.serving[s] = true
+	}
+	n.mu.Unlock()
+	n.cfg.Logf("cluster: node %s serving %d/%d shards at quorum %d", n.cfg.NodeID, len(owned), n.cfg.Shards, n.cfg.Quorum)
+
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.membershipLoop()
+	for _, p := range n.others {
+		n.wg.Add(1)
+		go n.pullLoop(p)
+	}
+}
+
+// Stop tears the node down: listener closed, loops drained, quorum
+// waiters failed.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.stopCh)
+	n.ln.Close()
+	n.quorum.close(errors.New("cluster: node stopped"))
+	n.wg.Wait()
+}
+
+// Owns reports whether this node currently serves shard.
+func (n *Node) Owns(shard uint32) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.serving[shard]
+}
+
+// PrimaryAddr returns the client address of the node currently
+// believed to own shard ("" when unknown), for the NotPrimary redirect
+// hint.
+func (n *Node) PrimaryAddr(shard uint32) string {
+	owner := n.ring.OwnerAmong(shard, n.aliveFn())
+	if p, ok := n.peers[owner]; ok {
+		return p.ClientAddr
+	}
+	return ""
+}
+
+// WaitQuorum blocks until the configured quorum has fsynced lsn (the
+// local node counts once; the caller waits only after local
+// durability).
+func (n *Node) WaitQuorum(lsn uint64) error {
+	if n.cfg.Quorum <= 1 {
+		return nil
+	}
+	return n.quorum.wait(lsn, n.cfg.QuorumTimeout)
+}
+
+// ReplicaLag returns the worst-case replication lag in LSNs across
+// followers not currently suspected dead (0 with no live followers).
+func (n *Node) ReplicaLag() uint64 {
+	alive := n.aliveFn()
+	end := n.cfg.Log.End()
+	var worst uint64
+	for _, p := range n.others {
+		if !alive(p.ID) {
+			continue
+		}
+		if a := n.quorum.ackOf(p.ID); end > a && end-a > worst {
+			worst = end - a
+		}
+	}
+	return worst
+}
+
+// aliveFn snapshots the failure detector: this node is always alive, a
+// peer is alive while its last successful contact is within FailAfter.
+func (n *Node) aliveFn() func(string) bool {
+	n.mu.Lock()
+	seen := make(map[string]time.Time, len(n.lastSeen))
+	for id, t := range n.lastSeen {
+		seen[id] = t
+	}
+	n.mu.Unlock()
+	cutoff := time.Now().Add(-n.cfg.FailAfter)
+	return func(id string) bool {
+		if id == n.cfg.NodeID {
+			return true
+		}
+		return seen[id].After(cutoff)
+	}
+}
+
+// ownedShards lists the shards the ring assigns to this node under the
+// given aliveness.
+func (n *Node) ownedShards(alive func(string) bool) []uint32 {
+	var out []uint32
+	for s := uint32(0); s < uint32(n.cfg.Shards); s++ {
+		if n.ring.OwnerAmong(s, alive) == n.cfg.NodeID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// touch marks a peer as contacted now.
+func (n *Node) touch(id string) {
+	n.mu.Lock()
+	n.lastSeen[id] = time.Now()
+	n.mu.Unlock()
+}
+
+// membershipLoop is the failure detector and promotion driver: it
+// periodically recomputes shard ownership from pull-contact times and
+// flips this node's serving set — promotion (with peer catch-up) for
+// gained shards, immediate demotion for lost ones (the returning owner
+// is ahead only of shards it just caught up; serving them here again
+// would fork the history).
+func (n *Node) membershipLoop() {
+	defer n.wg.Done()
+	tick := n.cfg.FailAfter / 4
+	if tick < 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+		}
+		alive := n.aliveFn()
+		want := make(map[uint32]bool, n.cfg.Shards)
+		for _, s := range n.ownedShards(alive) {
+			want[s] = true
+		}
+
+		n.mu.Lock()
+		var gained, lost []uint32
+		for s := range want {
+			if !n.serving[s] {
+				gained = append(gained, s)
+			}
+		}
+		for s := range n.serving {
+			if n.serving[s] && !want[s] {
+				lost = append(lost, s)
+			}
+		}
+		for _, s := range lost {
+			delete(n.serving, s)
+		}
+		busy := n.promoting
+		if len(gained) > 0 && !busy {
+			n.promoting = true
+		}
+		// Release pins held for suspects: a dead follower must not
+		// hold WAL retention forever. It re-pins at its ack when it
+		// comes back.
+		for id, pin := range n.pins {
+			if !alive(id) {
+				n.cfg.Log.Unpin(pin)
+				delete(n.pins, id)
+			}
+		}
+		n.mu.Unlock()
+
+		if len(lost) > 0 {
+			n.cfg.Logf("cluster: node %s demoted from shards %v (owner returned)", n.cfg.NodeID, lost)
+		}
+		if len(gained) > 0 && !busy {
+			n.promote(gained)
+		}
+	}
+}
+
+// promote takes over shards whose owner is suspected dead: it declares
+// the recovering phase, closes the quorum-exactness gap by catching up
+// from every reachable peer (an acked record lives on a quorum, and at
+// least one reachable member of any quorum survives the owner), then
+// serves. The warm replica state makes this a frontier check plus at
+// most one state fetch, not a cold replay.
+func (n *Node) promote(shards []uint32) {
+	if n.cfg.OnPromoteStart != nil {
+		n.cfg.OnPromoteStart(shards)
+	}
+	n.cfg.Logf("cluster: node %s promoting for shards %v", n.cfg.NodeID, shards)
+	n.catchUpFromPeers(shards)
+	n.mu.Lock()
+	for _, s := range shards {
+		n.serving[s] = true
+	}
+	n.promoting = false
+	n.mu.Unlock()
+	if n.cfg.OnPromoteDone != nil {
+		n.cfg.OnPromoteDone(shards)
+	}
+	n.cfg.Logf("cluster: node %s now primary for shards %v", n.cfg.NodeID, shards)
+}
+
+// catchUpFromPeers queries every reachable peer's version frontier and
+// installs a state image from each peer ahead of local state on any of
+// the listed shards. Unreachable peers are skipped: they are the dead
+// node itself, or nodes whose acked history another reachable quorum
+// member also holds.
+func (n *Node) catchUpFromPeers(shards []uint32) {
+	local := n.cfg.Backend.Frontier()
+	for _, p := range n.others {
+		front, err := n.queryFrontier(p)
+		if err != nil {
+			n.cfg.Logf("cluster: node %s: frontier from %s unavailable: %v", n.cfg.NodeID, p.ID, err)
+			continue
+		}
+		ahead := false
+		for _, s := range shards {
+			if int(s) < len(front) && front[s] > local[s] {
+				ahead = true
+				break
+			}
+		}
+		if !ahead {
+			continue
+		}
+		img, _, err := n.fetchState(p)
+		if err != nil {
+			n.cfg.Logf("cluster: node %s: state from %s unavailable: %v", n.cfg.NodeID, p.ID, err)
+			continue
+		}
+		if err := n.cfg.Backend.InstallState(img); err != nil {
+			n.cfg.Logf("cluster: node %s: installing state from %s: %v", n.cfg.NodeID, p.ID, err)
+			continue
+		}
+		local = n.cfg.Backend.Frontier()
+		n.cfg.Logf("cluster: node %s caught up from %s", n.cfg.NodeID, p.ID)
+	}
+}
+
+// dialTimeout bounds synchronous peer RPCs (frontier, state fetch).
+const dialTimeout = 2 * time.Second
+
+// dialRepl opens a replication connection and completes the handshake.
+func (n *Node) dialRepl(p Peer) (net.Conn, wire.ReplWelcome, error) {
+	conn, err := net.DialTimeout("tcp", p.ReplAddr, dialTimeout)
+	if err != nil {
+		return nil, wire.ReplWelcome{}, err
+	}
+	if err := wire.WriteReplFrame(conn, wire.ReplHello{NodeID: n.cfg.NodeID}.Encode()); err != nil {
+		conn.Close()
+		return nil, wire.ReplWelcome{}, err
+	}
+	conn.SetReadDeadline(time.Now().Add(dialTimeout))
+	b, err := wire.ReadReplFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, wire.ReplWelcome{}, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	w, err := wire.ParseReplWelcome(b)
+	if err != nil {
+		conn.Close()
+		return nil, wire.ReplWelcome{}, err
+	}
+	if w.Status != wire.StatusOK {
+		conn.Close()
+		return nil, wire.ReplWelcome{}, fmt.Errorf("cluster: peer %s refused replication: %s", p.ID, w.Status)
+	}
+	if int(w.Shards) != n.cfg.Shards {
+		conn.Close()
+		return nil, wire.ReplWelcome{}, fmt.Errorf("cluster: peer %s has %d shards, this node %d — mismatched cluster config", p.ID, w.Shards, n.cfg.Shards)
+	}
+	return conn, w, nil
+}
+
+// queryFrontier fetches a peer's per-shard version frontier.
+func (n *Node) queryFrontier(p Peer) ([]uint64, error) {
+	conn, _, err := n.dialRepl(p)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := wire.WriteReplFrame(conn, wire.EncodeFrontierRequest()); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(dialTimeout))
+	b, err := wire.ReadReplFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	f, err := wire.ParseFrontierResponse(b)
+	if err != nil {
+		return nil, err
+	}
+	if f.Status != wire.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s frontier: %s", p.ID, f.Status)
+	}
+	return f.Vers, nil
+}
+
+// fetchState fetches a peer's full state image and the log position it
+// covers.
+func (n *Node) fetchState(p Peer) (map[uint32]durable.ShardState, uint64, error) {
+	conn, _, err := n.dialRepl(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer conn.Close()
+	if err := wire.WriteReplFrame(conn, wire.EncodeStateRequest()); err != nil {
+		return nil, 0, err
+	}
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second)) // images can be large
+	b, err := wire.ReadReplFrame(conn)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := wire.ParseStateResponse(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if st.Status != wire.StatusOK {
+		return nil, 0, fmt.Errorf("cluster: peer %s state: %s", p.ID, st.Status)
+	}
+	img, err := durable.DecodeState(st.Image)
+	if err != nil {
+		return nil, 0, err
+	}
+	return img, st.ResumeLSN, nil
+}

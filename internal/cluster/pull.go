@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"kexclusion/internal/durable"
+	"kexclusion/internal/wire"
+)
+
+// pullBackoff is how long a pull loop sleeps after a failed dial or a
+// broken stream before retrying. Short relative to FailAfter so one
+// transient error does not mark a healthy peer suspect.
+const pullBackoff = 200 * time.Millisecond
+
+// pullLoop is the follower side of replication against one peer: dial,
+// handshake, state catch-up when needed, then pull batches forever —
+// applying each batch to the local table, fsyncing it locally, and
+// acking by piggybacking the durable position on the next pull. The
+// loop outlives any single connection; resume positions persist across
+// reconnects in memory and restart from a state image after a process
+// restart.
+func (n *Node) pullLoop(p Peer) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		default:
+		}
+		if err := n.pullSession(p); err != nil {
+			select {
+			case <-n.stopCh:
+				return
+			case <-time.After(pullBackoff):
+			}
+		}
+	}
+}
+
+// pullSession runs one replication connection until it breaks.
+func (n *Node) pullSession(p Peer) error {
+	conn, _, err := n.dialRepl(p)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// A successful handshake is peer contact: the failure detector
+	// cares that the peer answers, not that records flow.
+	n.touch(p.ID)
+
+	// Stop unblocks reads by closing the connection.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-n.stopCh:
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	n.mu.Lock()
+	pos := n.resume[p.ID]
+	n.mu.Unlock()
+	if pos == 0 {
+		// First contact this incarnation: a fresh process does not know
+		// its position in the peer's LSN space, and replaying the
+		// peer's whole log would race its pruning. Install a state
+		// image (idempotent: only strictly-newer shards land) and pull
+		// from the position it covers.
+		img, resumeAt, err := n.stateCatchUp(conn)
+		if err != nil {
+			return err
+		}
+		if err := n.cfg.Backend.InstallState(img); err != nil {
+			return err
+		}
+		pos = resumeAt
+		n.setResume(p.ID, pos)
+	}
+
+	for {
+		req := wire.PullRequest{
+			FromLSN:    pos,
+			AckLSN:     pos, // everything consumed so far is locally durable (see below)
+			WaitMillis: uint32(n.cfg.PullWait / time.Millisecond),
+		}
+		if err := wire.WriteReplFrame(conn, req.Encode()); err != nil {
+			return err
+		}
+		// The peer parks a caught-up pull for WaitMillis; allow that
+		// plus generous slack before declaring the stream dead.
+		conn.SetReadDeadline(time.Now().Add(n.cfg.PullWait + dialTimeout))
+		b, err := wire.ReadReplFrame(conn)
+		if err != nil {
+			return err
+		}
+		resp, err := wire.ParsePullResponse(b)
+		if err != nil {
+			return err
+		}
+		if resp.Status != wire.StatusOK {
+			return errors.New("cluster: peer ended replication: " + resp.Status.String())
+		}
+		n.touch(p.ID)
+
+		if resp.Pruned {
+			// Our tail was pruned out from under us (the peer was not
+			// pinned while we were away). Re-enter via a state image.
+			img, resumeAt, err := n.stateCatchUp(conn)
+			if err != nil {
+				return err
+			}
+			if err := n.cfg.Backend.InstallState(img); err != nil {
+				return err
+			}
+			pos = resumeAt
+			n.setResume(p.ID, pos)
+			continue
+		}
+
+		if len(resp.Records) > 0 {
+			localLSN, err := n.cfg.Backend.ApplyReplicated(resp.Records)
+			if err != nil {
+				// A version gap mid-stream means local state moved in a
+				// way the record stream cannot bridge; resync via state
+				// image on the next session.
+				n.cfg.Logf("cluster: node %s: applying batch from %s: %v", n.cfg.NodeID, p.ID, err)
+				n.setResume(p.ID, 0)
+				return err
+			}
+			if localLSN > 0 {
+				// Local fsync BEFORE the ack moves: the next pull's
+				// AckLSN vouches for this batch, so it must be on local
+				// disk first — the prefix-durability invariant.
+				if err := n.cfg.Backend.WaitLocalDurable(localLSN); err != nil {
+					return err
+				}
+			}
+		}
+		pos = resp.ResumeLSN
+		n.setResume(p.ID, pos)
+		n.observeLag(p.ID, resp.End, pos)
+	}
+}
+
+// stateCatchUp requests a state image on an established replication
+// connection.
+func (n *Node) stateCatchUp(conn net.Conn) (map[uint32]durable.ShardState, uint64, error) {
+	if err := wire.WriteReplFrame(conn, wire.EncodeStateRequest()); err != nil {
+		return nil, 0, err
+	}
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	b, err := wire.ReadReplFrame(conn)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := wire.ParseStateResponse(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if st.Status != wire.StatusOK {
+		return nil, 0, errors.New("cluster: peer refused state image: " + st.Status.String())
+	}
+	img, err := durable.DecodeState(st.Image)
+	if err != nil {
+		return nil, 0, err
+	}
+	return img, st.ResumeLSN, nil
+}
+
+func (n *Node) setResume(peer string, pos uint64) {
+	n.mu.Lock()
+	n.resume[peer] = pos
+	n.mu.Unlock()
+}
+
+// observeLag records how far behind this node is on a peer's log, for
+// the local follower-side view (the peer's own stats expose the
+// authoritative per-follower lag).
+func (n *Node) observeLag(peer string, end, pos uint64) {
+	n.mu.Lock()
+	if end > pos {
+		n.lag[peer] = end - pos
+	} else {
+		n.lag[peer] = 0
+	}
+	n.mu.Unlock()
+}
+
+// acceptLoop is the primary side: it serves replication connections
+// from followers until the listener closes.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stopCh:
+				return
+			default:
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveRepl(conn)
+		}()
+	}
+}
+
+// serveRepl handles one inbound replication connection: handshake,
+// then pulls, state requests and frontier queries until the peer hangs
+// up.
+func (n *Node) serveRepl(conn net.Conn) {
+	defer conn.Close()
+
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-n.stopCh:
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	conn.SetReadDeadline(time.Now().Add(dialTimeout))
+	b, err := wire.ReadReplFrame(conn)
+	if err != nil {
+		return
+	}
+	hello, err := wire.ParseReplHello(b)
+	if err != nil {
+		n.cfg.Logf("cluster: node %s: bad replication handshake from %s: %v", n.cfg.NodeID, conn.RemoteAddr(), err)
+		return
+	}
+	welcome := wire.ReplWelcome{
+		Status: wire.StatusOK,
+		NodeID: n.cfg.NodeID,
+		Shards: uint32(n.cfg.Shards),
+		End:    n.cfg.Log.End(),
+	}
+	if err := wire.WriteReplFrame(conn, welcome.Encode()); err != nil {
+		return
+	}
+	n.touch(hello.NodeID)
+
+	for {
+		conn.SetReadDeadline(time.Time{})
+		b, err := wire.ReadReplFrame(conn)
+		if err != nil {
+			return
+		}
+		kind, pull, err := wire.ParseReplRequest(b)
+		if err != nil {
+			n.cfg.Logf("cluster: node %s: bad replication request from %s: %v", n.cfg.NodeID, hello.NodeID, err)
+			return
+		}
+		n.touch(hello.NodeID)
+		var payload []byte
+		switch kind {
+		case wire.ReplPull:
+			payload = n.servePull(hello.NodeID, pull).Encode()
+		case wire.ReplState:
+			// Cover BEFORE peek, exactly like WriteSnapshot: every
+			// record at or below the captured end was applied before
+			// the peek, so the image reflects it; records above it may
+			// or may not be in the image and re-deliver on the next
+			// pull, where version-skipping absorbs them. Peeking first
+			// would invert that into a silent gap.
+			cover := n.cfg.Log.End()
+			img := n.cfg.Backend.StateImage()
+			payload = wire.StateResponse{
+				Status:    wire.StatusOK,
+				ResumeLSN: cover,
+				Image:     durable.EncodeState(img),
+			}.Encode()
+		case wire.ReplFrontier:
+			payload = wire.FrontierResponse{Status: wire.StatusOK, Vers: n.cfg.Backend.Frontier()}.Encode()
+		}
+		if err := wire.WriteReplFrame(conn, payload); err != nil {
+			return
+		}
+	}
+}
+
+// servePull answers one pull: register the piggybacked ack (quorum
+// progress + retention pin + liveness), then read a batch from the
+// local WAL, long-polling when the follower is caught up.
+func (n *Node) servePull(from string, req wire.PullRequest) wire.PullResponse {
+	n.registerAck(from, req.AckLSN)
+
+	max := int(req.MaxRecords)
+	if max <= 0 || max > wire.MaxPullRecords {
+		max = wire.MaxPullRecords
+	}
+	recs, pos, err := n.cfg.Log.ReadRecords(req.FromLSN, max)
+	if err == nil && len(recs) == 0 && pos == req.FromLSN && req.WaitMillis > 0 {
+		// Caught up: park until the log grows or the poll budget ends.
+		n.cfg.Log.WaitEnd(req.FromLSN+1, time.Duration(req.WaitMillis)*time.Millisecond)
+		recs, pos, err = n.cfg.Log.ReadRecords(req.FromLSN, max)
+	}
+	if errors.Is(err, durable.ErrPruned) {
+		return wire.PullResponse{Status: wire.StatusOK, Pruned: true, ResumeLSN: req.FromLSN, End: n.cfg.Log.End()}
+	}
+	if err != nil {
+		n.cfg.Logf("cluster: node %s: reading log for %s: %v", n.cfg.NodeID, from, err)
+		return wire.PullResponse{Status: wire.StatusInternal, ResumeLSN: req.FromLSN, End: n.cfg.Log.End()}
+	}
+	return wire.PullResponse{Status: wire.StatusOK, Records: recs, ResumeLSN: pos, End: n.cfg.Log.End()}
+}
+
+// registerAck folds a follower's durable-LSN ack into quorum progress
+// and moves (or creates) its retention pin.
+func (n *Node) registerAck(from string, ack uint64) {
+	n.quorum.recordAck(from, ack)
+	n.mu.Lock()
+	pin, ok := n.pins[from]
+	if !ok {
+		n.pins[from] = n.cfg.Log.Pin(ack)
+	}
+	n.mu.Unlock()
+	if ok {
+		n.cfg.Log.UpdatePin(pin, ack)
+	}
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// quorumTracker counts follower durability acknowledgements in the
+// local node's LSN space and parks ack-path waiters until enough have
+// arrived.
+//
+// Prefix-durability invariant: each follower's ack is monotone (a
+// follower acks LSN a only after every record at or below a is locally
+// fsynced, and recordAck refuses to move backward), so "quorum reached
+// at lsn" implies quorum reached at every lsn' <= lsn. A client ack
+// therefore never vouches for a record whose prefix is still
+// under-replicated — the wire-level analogue of the WAL's own ordered
+// group commit.
+type quorumTracker struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	acked map[string]uint64 // follower node ID -> highest acked LSN
+	need  int               // acks required including the local node
+	fail  error             // sticky: set on close, wakes all waiters
+}
+
+func newQuorumTracker(need int) *quorumTracker {
+	q := &quorumTracker{acked: make(map[string]uint64), need: need}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// recordAck registers that node has locally fsynced everything at or
+// below lsn. Backward movement is ignored: a reordered or replayed
+// pull cannot retract an acknowledgement.
+func (q *quorumTracker) recordAck(node string, lsn uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if lsn > q.acked[node] {
+		q.acked[node] = lsn
+		q.cond.Broadcast()
+	}
+}
+
+// ackOf returns node's current acknowledged LSN.
+func (q *quorumTracker) ackOf(node string) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.acked[node]
+}
+
+// countLocked counts nodes at or past lsn, plus the local node (the
+// caller only waits after local durability).
+func (q *quorumTracker) countLocked(lsn uint64) int {
+	n := 1
+	for _, a := range q.acked {
+		if a >= lsn {
+			n++
+		}
+	}
+	return n
+}
+
+// wait blocks until need nodes (the local one included) have acked
+// lsn, the timeout lapses, or the tracker closes.
+func (q *quorumTracker) wait(lsn uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer timer.Stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.countLocked(lsn) >= q.need {
+			return nil
+		}
+		if q.fail != nil {
+			return q.fail
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("cluster: quorum %d not reached for LSN %d within %v (%d/%d acks)",
+				q.need, lsn, timeout, q.countLocked(lsn), q.need)
+		}
+		q.cond.Wait()
+	}
+}
+
+// close fails every current and future waiter.
+func (q *quorumTracker) close(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.fail == nil {
+		q.fail = err
+		q.cond.Broadcast()
+	}
+}

@@ -1,0 +1,133 @@
+// Package cluster is kexserved's node-level resilience layer: WAL
+// replication with quorum acknowledgement, consistent-hash shard
+// placement, and failure-detection-driven promotion, layered on
+// internal/durable the way the k-exclusion wrapper is layered on a
+// single object.
+//
+// The paper's construction makes one node's shared object resilient to
+// up to k-1 *process* failures; this package extends the story to the
+// node itself. The framing follows the related replication literature
+// (PAPERS.md): replication is agreement on a log prefix, so the unit
+// shipped between nodes is the same linearized WAL batch the durable
+// layer group-commits, and a follower's continuously-replayed state is
+// recoverable lock-object state — promotion resumes a warm object, it
+// does not boot a cold one.
+//
+// Topology: every node is primary for the shards the ring places on it
+// and follower for every other node. Followers PULL (they dial the
+// peer's replication listener and long-poll for batches) rather than
+// being pushed to: the ack-with-durable-LSN piggybacks on the next
+// pull, pull cadence doubles as the liveness heartbeat, and the
+// failure detector lands exactly where promotion must happen — in the
+// follower that lost its primary.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerNode is how many virtual points each node contributes to
+// the ring: enough that a 3-node cluster splits shards near-evenly,
+// few enough that Owner stays a binary search over a tiny array.
+const vnodesPerNode = 64
+
+// Ring is a consistent-hash placement of shards onto node IDs. It is
+// immutable after New: membership is static (-peers), and what moves
+// on failure is *service* of a dead node's shards (promotion), not
+// their placement — so every node computes the identical ring from the
+// identical peer list, with no agreement protocol.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds the placement from the full peer ID list (order
+// insignificant; duplicates rejected).
+func NewRing(nodes []string) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", sorted[i])
+		}
+	}
+	r := &Ring{nodes: sorted}
+	for _, n := range sorted {
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by node ID so every
+		// node still computes the identical ring.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the member IDs, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the node that serves shard when every node is alive.
+func (r *Ring) Owner(shard uint32) string {
+	return r.points[r.search(shard)].node
+}
+
+// OwnerAmong returns the node that serves shard given the set of nodes
+// currently believed alive: the first live node at or after the
+// shard's ring position. This is the promotion rule — with alive =
+// all, it equals Owner; when an owner dies, its shards fall to the
+// next live successor, and every node applying the same alive-set
+// reaches the same verdict. Returns "" when alive is empty.
+func (r *Ring) OwnerAmong(shard uint32, alive func(node string) bool) string {
+	start := r.search(shard)
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if alive(p.node) {
+			return p.node
+		}
+	}
+	return ""
+}
+
+// search finds the index of the first ring point at or after the
+// shard's hash (wrapping).
+func (r *Ring) search(shard uint32) int {
+	h := hash64(fmt.Sprintf("shard/%d", shard))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a mixes the low bits well but leaves the high bits of short,
+	// similar keys ("a#1", "a#2"...) clustered — and ring placement
+	// compares full 64-bit values, so clustered points collapse the
+	// ring into bands and one node ends up owning everything. A
+	// splitmix64-style finalizer avalanches every input bit across the
+	// word.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

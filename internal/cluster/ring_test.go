@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	a, err := NewRing([]string{"c", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"b", "c", "a"}) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for s := uint32(0); s < 64; s++ {
+		oa, ob := a.Owner(s), b.Owner(s)
+		if oa != ob {
+			t.Fatalf("shard %d: ring differs by construction order: %q vs %q", s, oa, ob)
+		}
+		seen[oa]++
+	}
+	// 64 vnodes per node should spread 64 shards across all 3 members.
+	for _, n := range []string{"a", "b", "c"} {
+		if seen[n] == 0 {
+			t.Errorf("node %s owns no shards: %v", n, seen)
+		}
+	}
+	if _, err := NewRing([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
+func TestRingFailoverSuccession(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := func(string) bool { return true }
+	for s := uint32(0); s < 32; s++ {
+		owner := r.Owner(s)
+		if got := r.OwnerAmong(s, all); got != owner {
+			t.Fatalf("shard %d: full-alive OwnerAmong %q != Owner %q", s, got, owner)
+		}
+		// Kill the owner: the shard must move to a different live node,
+		// and every other shard with a live owner must not move.
+		without := func(id string) bool { return id != owner }
+		next := r.OwnerAmong(s, without)
+		if next == owner || next == "" {
+			t.Fatalf("shard %d: no successor after %q died (got %q)", s, owner, next)
+		}
+		for o := uint32(0); o < 32; o++ {
+			if r.Owner(o) != owner {
+				if moved := r.OwnerAmong(o, without); moved != r.Owner(o) {
+					t.Fatalf("shard %d moved (%q -> %q) although its owner %q is alive",
+						o, r.Owner(o), moved, owner)
+				}
+			}
+		}
+	}
+	// Nobody alive: no owner.
+	if got := r.OwnerAmong(0, func(string) bool { return false }); got != "" {
+		t.Fatalf("owner %q among no live nodes", got)
+	}
+}
+
+func TestQuorumPrefixDurabilityInvariant(t *testing.T) {
+	q := newQuorumTracker(2) // self + 1 follower
+
+	// Not reached yet: times out.
+	if err := q.wait(5, 20*time.Millisecond); err == nil {
+		t.Fatal("quorum reported before any follower ack")
+	}
+
+	// A concurrent waiter at 5 is released by an ack at 7 — and the
+	// prefix invariant holds: once 7 is quorum-acked, every LSN <= 7
+	// must be too, immediately.
+	done := make(chan error, 1)
+	go func() { done <- q.wait(5, 5*time.Second) }()
+	q.recordAck("b", 7)
+	if err := <-done; err != nil {
+		t.Fatalf("wait(5) after ack(7): %v", err)
+	}
+	for lsn := uint64(1); lsn <= 7; lsn++ {
+		if err := q.wait(lsn, 0); err != nil {
+			t.Fatalf("prefix hole: LSN 7 quorum-acked but LSN %d is not: %v", lsn, err)
+		}
+	}
+	if err := q.wait(8, 10*time.Millisecond); err == nil {
+		t.Fatal("LSN above every ack reported quorum-durable")
+	}
+
+	// Acks never retreat: a reordered older ack cannot reopen LSN 7.
+	q.recordAck("b", 3)
+	if err := q.wait(7, 0); err != nil {
+		t.Fatalf("stale ack retracted quorum: %v", err)
+	}
+
+	// Two distinct followers at quorum 3.
+	q3 := newQuorumTracker(3)
+	q3.recordAck("b", 9)
+	q3.recordAck("b", 9) // same follower twice counts once
+	if err := q3.wait(9, 10*time.Millisecond); err == nil {
+		t.Fatal("one follower satisfied a 3-quorum")
+	}
+	q3.recordAck("c", 12)
+	if err := q3.wait(9, time.Second); err != nil {
+		t.Fatalf("two followers + self missed a 3-quorum: %v", err)
+	}
+
+	// close fails waiters.
+	qc := newQuorumTracker(2)
+	failed := make(chan error, 1)
+	go func() { failed <- qc.wait(1, 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	qc.close(errTest)
+	if err := <-failed; err == nil {
+		t.Fatal("closed tracker released a waiter without error")
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "test error" }

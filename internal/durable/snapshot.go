@@ -174,6 +174,21 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 	return cover, markers, shards, nil
 }
 
+// EncodeState serializes a per-shard state map (versions, values, and
+// dedup windows) in the snapshot body layout, for shipping a state
+// image to a replication peer. The cover/marker header fields are
+// zero — they are meaningful only for a local snapshot file, where the
+// receiver owns the log the cover refers to.
+func EncodeState(shards map[uint32]ShardState) []byte {
+	return encodeSnapshot(0, 0, shards)
+}
+
+// DecodeState parses a state image produced by EncodeState.
+func DecodeState(data []byte) (map[uint32]ShardState, error) {
+	_, _, shards, err := decodeSnapshot(data)
+	return shards, err
+}
+
 // WriteSnapshot captures a point-in-time image of the table and writes
 // it atomically (temp file, fsync, rename, directory fsync), then
 // prunes segments and snapshots the new image makes redundant. peek is
@@ -247,9 +262,12 @@ func (l *Log) prune(cover uint64, keepSnap string) error {
 	l.mu.Lock()
 	var drop []segment
 	// Segment i's records span [segs[i].start, segs[i+1].start-1]; it
-	// is redundant when that whole range is covered. len(l.segs)-1 is
-	// the active segment and always stays.
-	for len(l.segs) > 1 && l.segs[1].start-1 <= cover {
+	// is redundant when that whole range is covered AND fully consumed
+	// by every retention pin (a lagging log reader keeps its tail
+	// alive). len(l.segs)-1 is the active segment and always stays.
+	minPin, pinned := l.minPinLocked()
+	for len(l.segs) > 1 && l.segs[1].start-1 <= cover &&
+		(!pinned || l.segs[1].start-1 <= minPin) {
 		drop = append(drop, l.segs[0])
 		l.segs = l.segs[1:]
 	}

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -121,6 +122,7 @@ type Log struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast when durable advances or the log closes
+	endCond  *sync.Cond // broadcast when end advances (WaitEnd long-polls)
 	f        *os.File   // active segment
 	segs     []segment  // all live segments, ascending; last is active
 	segBytes int64      // bytes written to the active segment
@@ -130,6 +132,13 @@ type Log struct {
 	syncs    uint64     // fsyncs issued (observability for group commit)
 	closed   bool
 	fail     error // sticky: set by the first failed append/fsync, fatal
+
+	// pins maps a pin handle to the LSN its holder has consumed up to:
+	// segments holding records above any pin survive pruning, so a
+	// lagging log reader (a replication follower mid-catch-up) cannot
+	// have its tail pruned out from under it.
+	pins    map[int]uint64
+	nextPin int
 
 	snapMu sync.Mutex // serializes WriteSnapshot
 
@@ -153,8 +162,9 @@ func Open(opts Options) (*Log, Recovery, error) {
 		return nil, Recovery{}, err
 	}
 
-	l := &Log{opts: opts, dirF: dirF}
+	l := &Log{opts: opts, dirF: dirF, pins: make(map[int]uint64)}
 	l.cond = sync.NewCond(&l.mu)
+	l.endCond = sync.NewCond(&l.mu)
 
 	rec, err := l.recover()
 	if err != nil {
@@ -377,6 +387,7 @@ func (l *Log) poisonLocked(err error) {
 		l.fail = fmt.Errorf("durable: log poisoned by failed write: %w", err)
 		l.opts.Logf("%v", l.fail)
 		l.cond.Broadcast()
+		l.endCond.Broadcast()
 	}
 }
 
@@ -393,6 +404,7 @@ func (l *Log) appendLocked(frame []byte) error {
 	}
 	l.segBytes += int64(len(frame))
 	l.end++
+	l.endCond.Broadcast()
 	if l.opts.Policy == SyncNever {
 		// Nothing ever waits under SyncNever; mark durable so End/
 		// WaitDurable stay coherent for observers.
@@ -542,6 +554,7 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	l.cond.Broadcast()
+	l.endCond.Broadcast()
 	l.mu.Unlock()
 
 	if l.tickerStop != nil {
@@ -569,4 +582,163 @@ func (l *Log) closeFiles() error {
 // entries are durable.
 func (l *Log) syncDir() error {
 	return l.dirF.Sync()
+}
+
+// ErrPruned reports a ReadRecords position that predates the oldest
+// live segment: the records there were pruned behind a snapshot, so a
+// reader wanting them must take a state image instead of a log tail.
+var ErrPruned = errors.New("durable: requested records have been pruned")
+
+// Pin registers a retention pin at lsn and returns its handle: no
+// segment holding records above lsn is pruned while the pin lives, so a
+// reader consuming the log incrementally (a replication follower) can
+// always continue from where it stopped. Advance it with UpdatePin as
+// the reader progresses; Unpin releases the retention.
+func (l *Log) Pin(lsn uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextPin++
+	l.pins[l.nextPin] = lsn
+	return l.nextPin
+}
+
+// UpdatePin moves pin id forward to lsn (a pin never retreats: moving
+// it backward is a no-op, so a reordered ack cannot resurrect released
+// retention).
+func (l *Log) UpdatePin(id int, lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cur, ok := l.pins[id]; ok && lsn > cur {
+		l.pins[id] = lsn
+	}
+}
+
+// Unpin releases pin id. Unknown handles are no-ops (Unpin is a
+// teardown path; it must be safe to call twice).
+func (l *Log) Unpin(id int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.pins, id)
+}
+
+// minPinLocked returns the lowest live pin and whether any pin exists.
+// Caller holds l.mu.
+func (l *Log) minPinLocked() (uint64, bool) {
+	var min uint64
+	found := false
+	for _, lsn := range l.pins {
+		if !found || lsn < min {
+			min, found = lsn, true
+		}
+	}
+	return min, found
+}
+
+// WaitEnd blocks until the log end reaches at least min, the timeout
+// lapses, or the log closes/poisons, returning the current end. It is
+// the long-poll primitive replication pulls park on: a caught-up
+// follower's pull waits here instead of spinning.
+func (l *Log) WaitEnd(min uint64, timeout time.Duration) uint64 {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		l.mu.Lock()
+		l.endCond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer timer.Stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.end < min && !l.closed && l.fail == nil && time.Now().Before(deadline) {
+		l.endCond.Wait()
+	}
+	return l.end
+}
+
+// ReadRecords reads up to maxRecords op records with LSNs strictly
+// above from, returning them in LSN order together with the last LSN
+// consumed (restart markers are skipped but counted into end, so a
+// caller resuming at end never re-reads them). A from below the oldest
+// live segment returns ErrPruned — the tail was pruned behind a
+// snapshot and the reader needs a state image instead. Safe against
+// concurrent appends: only frames at or below the end captured at entry
+// are decoded, and appends never mutate written bytes.
+func (l *Log) ReadRecords(from uint64, maxRecords int) ([]Record, uint64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, from, fmt.Errorf("durable: log is closed")
+	}
+	end := l.end
+	segs := make([]segment, len(l.segs))
+	copy(segs, l.segs)
+	l.mu.Unlock()
+
+	if from >= end {
+		return nil, from, nil
+	}
+	if len(segs) == 0 || segs[0].start > from+1 {
+		return nil, from, fmt.Errorf("%w: want LSN %d, oldest live segment starts at %d", ErrPruned, from+1, oldestStart(segs))
+	}
+
+	var out []Record
+	pos := from
+	for _, sg := range segs {
+		last := sg.start - 1 // LSN of the last record decoded so far in this segment
+		if nextSegStart(segs, sg) <= from+1 {
+			continue // segment entirely at or below from
+		}
+		data, err := os.ReadFile(sg.path)
+		if err != nil {
+			return nil, from, err
+		}
+		off := 0
+		for off < len(data) && last < end {
+			body, sz, err := decodeFrame(data[off:], maxBody)
+			if err != nil {
+				return nil, from, fmt.Errorf("durable: reading %s at offset %d: %w", filepath.Base(sg.path), off, err)
+			}
+			last++
+			off += sz
+			if last <= from {
+				continue
+			}
+			rec, isRestart, err := parseBody(body)
+			if err != nil {
+				return nil, from, fmt.Errorf("durable: reading %s at offset %d: %w", filepath.Base(sg.path), off-sz, err)
+			}
+			pos = last
+			if !isRestart {
+				out = append(out, rec)
+				if len(out) >= maxRecords {
+					return out, pos, nil
+				}
+			}
+		}
+		if last >= end {
+			break
+		}
+	}
+	return out, pos, nil
+}
+
+// oldestStart names the first live LSN for the ErrPruned diagnostic.
+func oldestStart(segs []segment) uint64 {
+	if len(segs) == 0 {
+		return 0
+	}
+	return segs[0].start
+}
+
+// nextSegStart returns the first LSN after sg: the next segment's
+// start, or infinity for the active (last) segment.
+func nextSegStart(segs []segment, sg segment) uint64 {
+	for i := range segs {
+		if segs[i].start == sg.start {
+			if i+1 < len(segs) {
+				return segs[i+1].start
+			}
+			return ^uint64(0)
+		}
+	}
+	return ^uint64(0)
 }

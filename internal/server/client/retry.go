@@ -22,6 +22,9 @@ import (
 //     operation was still waiting for a k-assignment slot; it withdrew
 //     from the entry section without touching the object.
 //   - wire.StatusDraining: the server refused the operation up front.
+//   - wire.StatusNotPrimary: a cluster member refused an op for a shard
+//     it does not serve, before touching the object; the hinted owner
+//     (Error.Msg) will apply it.
 //
 // Transport failures (ErrBroken, resets, EOF) are deliberately NOT
 // here: the request may have been applied with its response lost, so
@@ -36,10 +39,21 @@ func Retryable(err error) bool {
 	}
 	var we *wire.Error
 	if errors.As(err, &we) {
-		return we.Status == wire.StatusBusy || we.Status == wire.StatusTimeout || we.Status == wire.StatusDraining
+		switch we.Status {
+		case wire.StatusBusy, wire.StatusTimeout, wire.StatusDraining, wire.StatusNotPrimary:
+			return true
+		}
 	}
 	return false
 }
+
+// maxRedirects caps how many NotPrimary hops one operation will chase
+// for free: enough for any real failover chain, small enough that two
+// nodes disputing ownership mid-failover cannot bounce a client
+// between them without cost forever. Past the cap a redirect still
+// rotates — the hint is the freshest routing available — but pays the
+// ordinary backoff budget, so the dispute terminates with the budget.
+const maxRedirects = 8
 
 // RetryPolicy shapes Reconnecting's backoff: exponential from BaseDelay
 // to MaxDelay with full jitter, at most MaxAttempts tries per
@@ -112,7 +126,8 @@ func (p RetryPolicy) backoff(rng *rand.Rand, attempt int, hint time.Duration) ti
 //
 // Methods are safe for concurrent use but serialize, like Client's.
 type Reconnecting struct {
-	addr        string
+	addr        string // current dial target (rotated by cluster redirects)
+	home        string // the configured address, the fallback when addr dies
 	policy      RetryPolicy
 	opTimeout   time.Duration
 	dialTimeout time.Duration
@@ -126,6 +141,7 @@ type Reconnecting struct {
 	reconnects atomic.Int64
 	retries    atomic.Int64
 	dupeAcks   atomic.Int64
+	redirects  atomic.Int64
 }
 
 // DialReconnecting dials addr with the policy's budget (so a busy
@@ -139,6 +155,7 @@ func DialReconnecting(addr string, policy RetryPolicy, opTimeout time.Duration) 
 	}
 	r := &Reconnecting{
 		addr:        addr,
+		home:        addr,
 		policy:      policy,
 		opTimeout:   opTimeout,
 		dialTimeout: 10 * time.Second,
@@ -194,6 +211,14 @@ func (r *Reconnecting) connectLocked(attempt int) error {
 				return err
 			}
 		}
+		if r.addr != r.home {
+			// The address a redirect rotated to has stopped answering —
+			// a killed primary, typically. The hint is stale routing, not
+			// weather: fall back to the configured address, whose answer
+			// (apply, or a fresh redirect to the failover successor) is
+			// current.
+			r.addr = r.home
+		}
 		if attempt == r.policy.MaxAttempts {
 			break
 		}
@@ -201,6 +226,16 @@ func (r *Reconnecting) connectLocked(attempt int) error {
 		time.Sleep(r.policy.backoff(r.rng, attempt, hint))
 	}
 	return fmt.Errorf("client: budget of %d attempts exhausted: %w", r.policy.MaxAttempts, lastErr)
+}
+
+// isNotPrimary extracts a cluster redirect from err (nil otherwise);
+// the returned error's Msg carries the owning primary's client address.
+func isNotPrimary(err error) *wire.Error {
+	var we *wire.Error
+	if errors.As(err, &we) && we.Status == wire.StatusNotPrimary {
+		return we
+	}
+	return nil
 }
 
 // dropLocked discards a connection whose stream is no longer
@@ -222,6 +257,7 @@ func (r *Reconnecting) op(do func(*Client) (int64, error)) (int64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var lastErr error
+	hops := 0
 	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
 		if err := r.connectLocked(attempt); err != nil {
 			return 0, err
@@ -233,6 +269,26 @@ func (r *Reconnecting) op(do func(*Client) (int64, error)) (int64, error) {
 		lastErr = err
 		hint := time.Duration(0)
 		switch {
+		case isNotPrimary(err) != nil:
+			// A cluster redirect: the shard lives on the hinted primary.
+			// The op was refused before touching the object, so rotating
+			// there and re-issuing is routing, not failure — within the
+			// hop cap it burns no retry budget and sleeps no backoff.
+			// Past the cap the rotation still happens (the hint is the
+			// freshest routing there is) but pays the ordinary backoff
+			// budget; without a hint (owner unknown mid-failover), back
+			// off on the current address.
+			we := isNotPrimary(err)
+			r.redirects.Add(1)
+			if we.Msg != "" {
+				r.addr = we.Msg
+				r.dropLocked()
+				hops++
+				if hops <= maxRedirects {
+					attempt--
+					continue
+				}
+			}
 		case Retryable(err):
 			var be *BusyError
 			if errors.As(err, &be) {
@@ -454,6 +510,7 @@ func (r *Reconnecting) flushOps(ops []*PipelineOp) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var lastErr error
+	hops := 0
 	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
 		if err := r.connectLocked(attempt); err != nil {
 			failUnresolved(ops, err)
@@ -473,6 +530,7 @@ func (r *Reconnecting) flushOps(ops []*PipelineOp) {
 		}
 		r.c.Flush() // a failure poisons the pendings; Wait surfaces it
 		var hint time.Duration
+		var rotate string
 		drop, unresolved := false, 0
 		for i, op := range ops {
 			if op.done {
@@ -508,6 +566,14 @@ func (r *Reconnecting) flushOps(ops []*PipelineOp) {
 				case wire.StatusDraining:
 					unresolved++
 					drop = true // the server hangs up after a draining answer
+				case wire.StatusNotPrimary:
+					// Cluster redirect: refused before touching the object;
+					// re-issue the burst at the hinted primary.
+					unresolved++
+					r.redirects.Add(1)
+					if we.Msg != "" {
+						rotate = we.Msg
+					}
 				default:
 					op.err, op.done = err, true // typed refusal: terminal
 				}
@@ -524,6 +590,20 @@ func (r *Reconnecting) flushOps(ops []*PipelineOp) {
 		}
 		if unresolved == 0 {
 			return
+		}
+		if rotate != "" {
+			// Rotating to the redirect hint is routing, not failure:
+			// within the hop cap no budget is burned and no backoff
+			// slept; past it the rotation still happens but pays the
+			// budget (the cap prices mid-failover ownership disputes
+			// without pinning the burst to a stale address).
+			r.addr = rotate
+			r.dropLocked()
+			hops++
+			if hops <= maxRedirects {
+				attempt--
+				continue
+			}
 		}
 		if attempt == r.policy.MaxAttempts {
 			break
@@ -558,6 +638,18 @@ func (r *Reconnecting) Retries() int64 { return r.retries.Load() }
 // server's dedup window — each one a retry whose first copy had been
 // applied with its response lost.
 func (r *Reconnecting) DupeAcks() int64 { return r.dupeAcks.Load() }
+
+// Redirects reports how many NotPrimary answers this wrapper has
+// followed (or, hint-less, backed off on).
+func (r *Reconnecting) Redirects() int64 { return r.redirects.Load() }
+
+// Addr reports the address the wrapper currently dials — the original
+// one until a cluster redirect rotates it to a shard's primary.
+func (r *Reconnecting) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addr
+}
 
 // Close ends the session.
 func (r *Reconnecting) Close() error {

@@ -389,3 +389,159 @@ func TestReconnectingBudgetExhausts(t *testing.T) {
 		t.Fatalf("exhausted error does not unwrap to the last cause: %v", err)
 	}
 }
+
+// serveNotPrimary admits the peer and answers n requests with a
+// cluster redirect carrying hint as the owning primary's address.
+func serveNotPrimary(n int, hint string) func(net.Conn, *atomic.Int64) {
+	return func(conn net.Conn, reqs *atomic.Int64) {
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+		for i := 0; i < n; i++ {
+			req, err := wire.ReadRequest(conn)
+			if err != nil {
+				return
+			}
+			reqs.Add(1)
+			wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusNotPrimary, Data: []byte(hint)})
+		}
+	}
+}
+
+func TestReconnectingFollowsNotPrimaryRedirect(t *testing.T) {
+	owner, ownerReqs := scriptedEndpoint(t, serveOK(2))
+	wrong, _ := scriptedEndpoint(t, serveNotPrimary(1, owner))
+
+	r, err := DialReconnecting(wrong, RetryPolicy{Seed: 3, MaxAttempts: 2, BaseDelay: time.Millisecond}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// The redirected mutation lands on the owner with its original op ID.
+	if v, err := r.Add(0, 5); err != nil || v != 5 {
+		t.Fatalf("redirected Add = %d, %v", v, err)
+	}
+	if got := r.Redirects(); got != 1 {
+		t.Fatalf("Redirects = %d, want 1", got)
+	}
+	// A redirect is routing, not failure: no backoff was slept and no
+	// retry budget burned (MaxAttempts 2 would leave none to burn).
+	if got := r.Retries(); got != 0 {
+		t.Fatalf("redirect burned %d retries from the budget", got)
+	}
+	// The wrapper rotated: later operations dial the owner directly.
+	if got := r.Addr(); got != owner {
+		t.Fatalf("Addr = %q, want rotated owner %q", got, owner)
+	}
+	if v, err := r.Add(0, 7); err != nil || v != 7 {
+		t.Fatalf("post-rotation Add = %d, %v", v, err)
+	}
+	if got := ownerReqs.Load(); got != 2 {
+		t.Fatalf("owner saw %d requests, want 2", got)
+	}
+}
+
+func TestReconnectingNotPrimaryWithoutHintBacksOff(t *testing.T) {
+	// A node mid-failover knows it is not the owner but not who is: it
+	// answers NotPrimary with no hint. The client keeps the connection
+	// (the node still serves) and retries on the ordinary budget.
+	addr, reqs := scriptedEndpoint(t, serveNotPrimary(2, ""))
+	r, err := DialReconnecting(addr, RetryPolicy{Seed: 5, MaxAttempts: 2, BaseDelay: time.Millisecond}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	_, err = r.Get(0)
+	if err == nil || !strings.Contains(err.Error(), "not_primary") {
+		t.Fatalf("hint-less redirect storm resolved to %v", err)
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want both budget attempts on one connection", got)
+	}
+	if got := r.Redirects(); got != 2 {
+		t.Fatalf("Redirects = %d, want 2", got)
+	}
+	if got := r.Retries(); got != 1 {
+		t.Fatalf("Retries = %d, want 1 backoff between the two attempts", got)
+	}
+}
+
+func TestPipelineFollowsNotPrimaryRedirect(t *testing.T) {
+	owner, _ := scriptedEndpoint(t, serveOK(3))
+	wrong, _ := scriptedEndpoint(t, serveNotPrimary(3, owner))
+
+	r, err := DialReconnecting(wrong, RetryPolicy{Seed: 7, MaxAttempts: 2, BaseDelay: time.Millisecond}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	p := r.Pipeline(0)
+	a := p.Add(0, 1)
+	b := p.Add(0, 2)
+	g := p.Get(0)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("redirected burst: %v", err)
+	}
+	if res, err := a.Wait(); err != nil || res.Value != 1 {
+		t.Fatalf("a = %+v, %v", res, err)
+	}
+	if res, err := b.Wait(); err != nil || res.Value != 2 {
+		t.Fatalf("b = %+v, %v", res, err)
+	}
+	if res, err := g.Wait(); err != nil || res.Value != 0 {
+		t.Fatalf("g = %+v, %v", res, err)
+	}
+	if got := r.Retries(); got != 0 {
+		t.Fatalf("pipelined redirect burned %d retries from the budget", got)
+	}
+	if r.Redirects() == 0 {
+		t.Fatal("pipelined redirect not counted")
+	}
+	if got := r.Addr(); got != owner {
+		t.Fatalf("Addr = %q, want rotated owner %q", got, owner)
+	}
+}
+
+// TestReconnectingFallsBackToHomeWhenRedirectTargetDies is the failover
+// healing path: a redirect rotates the client onto a primary that then
+// dies. Redialing the dead address must fall back to the configured
+// address — whose answer is current routing — instead of pinning the
+// session to the corpse until the budget dies with it.
+func TestReconnectingFallsBackToHomeWhenRedirectTargetDies(t *testing.T) {
+	// A listener bound and immediately closed: dials are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	// Home: one connection that redirects to the dead address, then a
+	// fresh connection that serves (the failover has resolved by the
+	// time the client comes back).
+	home, reqs := scriptedEndpoint(t, serveNotPrimary(1, dead), serveOK(1))
+	r, err := DialReconnecting(home, RetryPolicy{Seed: 9, MaxAttempts: 6, BaseDelay: time.Millisecond}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if v, err := r.Add(0, 5); err != nil || v != 5 {
+		t.Fatalf("Add through a dead redirect = %d, %v", v, err)
+	}
+	if got := r.Addr(); got != home {
+		t.Fatalf("Addr = %q, want fallback to home %q", got, home)
+	}
+	if got := r.Redirects(); got != 1 {
+		t.Fatalf("Redirects = %d, want 1", got)
+	}
+	// The failed dial of the dead primary paid the ordinary budget.
+	if got := r.Retries(); got < 1 {
+		t.Fatalf("Retries = %d, want at least the dead-dial backoff", got)
+	}
+	// Same op ID on both issues: home saw the original and the re-issue.
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("home saw %d requests, want 2", got)
+	}
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"kexclusion/internal/cluster"
+	"kexclusion/internal/durable"
+)
+
+// ClusterConfig makes the server a member of a replicated cluster: its
+// WAL batches ship to peers, client acks wait for the configured
+// quorum, and the ring decides which shards this node serves.
+// Requires DataDir — the WAL is the replication stream.
+type ClusterConfig struct {
+	// NodeID is this member's identity in the peer list.
+	NodeID string
+	// Peers is the full static membership, this node included.
+	Peers []cluster.Peer
+	// Quorum is how many nodes (this one included) must fsync a batch
+	// before its client ack; 0 means a majority of the peer list.
+	Quorum int
+	// FailAfter, PullWait and QuorumTimeout tune the failure detector,
+	// the replication long-poll, and the ack-path quorum wait (see
+	// cluster.Config).
+	FailAfter     time.Duration
+	PullWait      time.Duration
+	QuorumTimeout time.Duration
+}
+
+// MajorityQuorum returns the smallest majority of n members.
+func MajorityQuorum(n int) int { return n/2 + 1 }
+
+// replIdentity returns the process identity reserved for the
+// replication apply loop: one slot past the client identities (the
+// table is built with N+1 process slots in cluster mode).
+func (s *Server) replIdentity() int { return s.cfg.N }
+
+// newClusterNode wires the cluster membership into a freshly built
+// server (called at the end of New, after table and log exist).
+func (s *Server) newClusterNode(cc *ClusterConfig) error {
+	if s.log == nil {
+		return fmt.Errorf("server: cluster mode requires a data directory (the WAL is the replication stream)")
+	}
+	quorum := cc.Quorum
+	if quorum == 0 {
+		quorum = MajorityQuorum(len(cc.Peers))
+	}
+	node, err := cluster.New(cluster.Config{
+		NodeID:        cc.NodeID,
+		Peers:         cc.Peers,
+		Shards:        s.cfg.Shards,
+		Quorum:        quorum,
+		Log:           s.log,
+		Backend:       &replBackend{s: s},
+		FailAfter:     cc.FailAfter,
+		PullWait:      cc.PullWait,
+		QuorumTimeout: cc.QuorumTimeout,
+		Logf:          s.logf,
+		// Promotion rides the PR 6 phase machine: each takeover gets its
+		// own lifecycle cell stepping recovering → running, so ops
+		// tooling watches a failover with the same vocabulary as a boot.
+		OnPromoteStart: func(shards []uint32) {
+			lc := NewLifecycle()
+			lc.advance(PhaseRecovering)
+			s.promoteMu.Lock()
+			s.promoteLC = lc
+			s.promoteMu.Unlock()
+		},
+		OnPromoteDone: func(shards []uint32) {
+			s.promoteMu.Lock()
+			lc := s.promoteLC
+			s.promoteMu.Unlock()
+			if lc != nil {
+				lc.advance(PhaseRunning)
+			}
+			s.promotions.Add(1)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	s.node = node
+	return nil
+}
+
+// Node exposes the cluster membership (nil off-cluster).
+func (s *Server) Node() *cluster.Node { return s.node }
+
+// PromotionPhase reports the lifecycle phase of the most recent
+// promotion (PhaseStarting when none has happened).
+func (s *Server) PromotionPhase() Phase {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.promoteLC == nil {
+		return PhaseStarting
+	}
+	return s.promoteLC.Phase()
+}
+
+// Promotions reports how many shard takeovers this node has completed.
+func (s *Server) Promotions() int64 { return s.promotions.Load() }
+
+// replBackend adapts the server's table and WAL to cluster.Backend.
+// Replicated applies run under the reserved replication identity and
+// are serialized by replMu: one more sequential process in the paper's
+// model, so the wait-free core needs no new reasoning.
+type replBackend struct {
+	s *Server
+}
+
+// replOutcome classifies one replicated record against local state.
+type replOutcome int
+
+const (
+	replApplied replOutcome = iota
+	replSkipped             // at or below the local frontier: idempotent re-delivery
+	replGap                 // beyond the next version: needs a state image
+	replDiverged
+)
+
+// ApplyReplicated folds a replicated batch into the local table and
+// WAL in record order. Re-delivered records (version at or below the
+// local frontier) are skipped — this is what makes mid-batch follower
+// crashes safe: the batch replays from its start and already-applied
+// records fall through. A version gap aborts the batch so the caller
+// can fall back to a state image.
+func (b *replBackend) ApplyReplicated(recs []durable.Record) (uint64, error) {
+	s := b.s
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	var maxLsn uint64
+	for _, rec := range recs {
+		if int(rec.Shard) >= s.cfg.Shards {
+			return maxLsn, fmt.Errorf("server: replicated record for shard %d, table has %d", rec.Shard, s.cfg.Shards)
+		}
+		sh := s.tab.shards[rec.Shard]
+		r := rec
+		v := sh.obj.Apply(s.replIdentity(), func(st durable.ShardState) (durable.ShardState, any) {
+			if r.Ver <= st.Ver {
+				return st, replSkipped
+			}
+			if r.Ver != st.Ver+1 {
+				return st, replGap
+			}
+			// Step a clone: a record that fails the cross-check below must
+			// leave the state untouched, and Step has already mutated its
+			// argument by the time the divergence is visible.
+			stepped := st.Clone()
+			out := durable.Step(&stepped, s.cfg.DedupWindow, r.Session, r.Seq, r.Kind, r.Arg)
+			if !out.Applied || out.Val != r.Val || out.Ver != r.Ver {
+				return st, replDiverged
+			}
+			return stepped, replApplied
+		})
+		switch v.(replOutcome) {
+		case replSkipped:
+			continue
+		case replGap:
+			return maxLsn, fmt.Errorf("server: replicated record for shard %d jumps to version %d (gap)", rec.Shard, rec.Ver)
+		case replDiverged:
+			return maxLsn, fmt.Errorf("server: replicated record for shard %d version %d diverged from local application", rec.Shard, rec.Ver)
+		}
+		// Append the origin record verbatim to the local WAL, through
+		// the same per-shard sequencer as primary appends, so the local
+		// log stays a prefix-faithful transcript of every shard it
+		// holds — a restart recovers replicated history exactly like
+		// native history.
+		sh.seq.waitTurn(rec.Ver)
+		lsn, aerr := s.log.Append(rec)
+		sh.seq.advance()
+		if aerr != nil {
+			return maxLsn, aerr
+		}
+		if lsn > maxLsn {
+			maxLsn = lsn
+		}
+	}
+	return maxLsn, nil
+}
+
+// WaitLocalDurable blocks until the local WAL has fsynced lsn —
+// sharing the group commit with any concurrent primary appends.
+func (b *replBackend) WaitLocalDurable(lsn uint64) error {
+	return b.s.tab.finishWait(lsn)
+}
+
+// InstallState folds a state image into the table, shard by shard,
+// keeping only images strictly newer than local state, then persists a
+// local snapshot so the catch-up itself is durable (the next pull's
+// ack vouches for it).
+func (b *replBackend) InstallState(shards map[uint32]durable.ShardState) error {
+	s := b.s
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	changed := false
+	for id, img := range shards {
+		if int(id) >= s.cfg.Shards {
+			return fmt.Errorf("server: state image holds shard %d, table has %d", id, s.cfg.Shards)
+		}
+		sh := s.tab.shards[id]
+		im := img
+		v := sh.obj.Apply(s.replIdentity(), func(st durable.ShardState) (durable.ShardState, any) {
+			if im.Ver <= st.Ver {
+				return st, false
+			}
+			return im.Clone(), true
+		})
+		if v.(bool) {
+			// Versions up to im.Ver are covered by the image, not by
+			// local appends: jump the WAL sequencer past them.
+			sh.seq.reset(im.Ver)
+			changed = true
+		}
+	}
+	if changed {
+		return s.log.WriteSnapshot(s.tab.peekAll)
+	}
+	return nil
+}
+
+// Frontier returns every shard's current mutation version.
+func (b *replBackend) Frontier() []uint64 {
+	t := b.s.tab
+	out := make([]uint64, len(t.shards))
+	for i := range t.shards {
+		out[i] = t.shards[i].obj.Peek().Ver
+	}
+	return out
+}
+
+// StateImage returns a consistent per-shard image for a peer.
+func (b *replBackend) StateImage() map[uint32]durable.ShardState {
+	return b.s.tab.peekAll()
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kexclusion/internal/cluster"
+	"kexclusion/internal/durable"
+)
+
+// soloClusterServer builds a cluster-enabled server whose membership is
+// just itself (quorum 1, loops never started) — the minimal harness for
+// exercising the replication backend directly.
+func soloClusterServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{
+		N:       2,
+		K:       1,
+		Shards:  2,
+		DataDir: filepath.Join(t.TempDir(), "solo"),
+		Cluster: &ClusterConfig{
+			NodeID: "solo",
+			Peers: []cluster.Peer{
+				{ID: "solo", ClientAddr: "127.0.0.1:1", ReplAddr: "127.0.0.1:0"},
+			},
+			Quorum: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.node.Stop()
+		s.closeLog()
+	})
+	return s
+}
+
+// originRecords fabricates a primary's history for one shard: the same
+// Step the origin would run, so Val/Ver cross-check on the follower.
+func originRecords(shard uint32, session uint64, seqs []uint64, args []int64) []durable.Record {
+	var st durable.ShardState
+	recs := make([]durable.Record, 0, len(seqs))
+	for i, seq := range seqs {
+		out := durable.Step(&st, 1024, session, seq, durable.OpAdd, args[i])
+		recs = append(recs, durable.Record{
+			Session: session, Seq: seq, Shard: shard,
+			Kind: durable.OpAdd, Arg: args[i], Val: out.Val, Ver: out.Ver,
+		})
+	}
+	return recs
+}
+
+// TestReplayIdempotentAcrossBatchRestart is the follower-crash-mid-batch
+// scenario: a batch is partially applied, the follower dies before
+// acking, and on reconnect the whole batch is delivered again. The
+// replay must skip the already-applied prefix and land the rest exactly
+// once.
+func TestReplayIdempotentAcrossBatchRestart(t *testing.T) {
+	s := soloClusterServer(t)
+	b := &replBackend{s: s}
+
+	const session = 77
+	recs := originRecords(0, session, []uint64{1, 2, 3, 4, 5, 6}, []int64{1, 2, 3, 4, 5, 6})
+
+	// First delivery: only a prefix lands before the "crash".
+	if _, err := b.ApplyReplicated(recs[:4]); err != nil {
+		t.Fatalf("applying prefix: %v", err)
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Ver != 4 || st.Val != 1+2+3+4 {
+		t.Fatalf("after prefix: Ver=%d Val=%d", st.Ver, st.Val)
+	}
+
+	// Redelivery of the full batch (what the pull loop does after a
+	// restart resumes below its previous position): the first four must
+	// be recognized, the last two applied.
+	lsn, err := b.ApplyReplicated(recs)
+	if err != nil {
+		t.Fatalf("replaying full batch: %v", err)
+	}
+	if lsn == 0 {
+		t.Fatal("replay with fresh records produced no local LSN")
+	}
+	st := s.tab.shards[0].obj.Peek()
+	if st.Ver != 6 || st.Val != 1+2+3+4+5+6 {
+		t.Fatalf("after replay: Ver=%d Val=%d (double-applied records?)", st.Ver, st.Val)
+	}
+
+	// A third, fully redundant delivery moves nothing and appends nothing.
+	lsn, err = b.ApplyReplicated(recs)
+	if err != nil {
+		t.Fatalf("redundant replay: %v", err)
+	}
+	if lsn != 0 {
+		t.Fatalf("fully redundant batch claimed new LSN %d", lsn)
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Ver != 6 || st.Val != 21 {
+		t.Fatalf("after redundant replay: Ver=%d Val=%d", st.Ver, st.Val)
+	}
+
+	// The dedup window replicated too: the origin's client retrying
+	// against this node (post-promotion) is answered from history.
+	out := durable.Step(ptr(s.tab.shards[0].obj.Peek()), 1024, session, 6, durable.OpAdd, 6)
+	if !out.Duplicate || out.Val != 21 {
+		t.Fatalf("replicated dedup window missed the origin's op: %+v", out)
+	}
+}
+
+func ptr(s durable.ShardState) *durable.ShardState { return &s }
+
+func TestReplayRejectsGapsAndDivergence(t *testing.T) {
+	s := soloClusterServer(t)
+	b := &replBackend{s: s}
+
+	recs := originRecords(1, 9, []uint64{1, 2, 3}, []int64{10, 10, 10})
+	if _, err := b.ApplyReplicated(recs[:1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// A record beyond the next version is a gap: the stream cannot
+	// bridge it and the caller must fall back to a state image.
+	if _, err := b.ApplyReplicated(recs[2:]); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("version gap accepted: %v", err)
+	}
+
+	// A record whose claimed result disagrees with local re-execution
+	// is divergence, not data.
+	bad := recs[1]
+	bad.Val = 999
+	if _, err := b.ApplyReplicated([]durable.Record{bad}); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("diverged record accepted: %v", err)
+	}
+
+	// Shard out of table range.
+	oob := recs[1]
+	oob.Shard = 99
+	if _, err := b.ApplyReplicated([]durable.Record{oob}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+
+	// The failures above must not have corrupted the good prefix.
+	if st := s.tab.shards[1].obj.Peek(); st.Ver != 1 || st.Val != 10 {
+		t.Fatalf("state moved on rejected records: Ver=%d Val=%d", st.Ver, st.Val)
+	}
+}
+
+// TestInstallStateOnlyMovesForward pins the catch-up rule: a state
+// image replaces a shard only when strictly newer, and the WAL
+// sequencer jumps past the image so the next replicated record appends
+// without waiting for versions the image already covers.
+func TestInstallStateOnlyMovesForward(t *testing.T) {
+	s := soloClusterServer(t)
+	b := &replBackend{s: s}
+
+	recs := originRecords(0, 5, []uint64{1, 2, 3, 4, 5}, []int64{1, 1, 1, 1, 1})
+	if _, err := b.ApplyReplicated(recs[:3]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale image (older than local): must not regress.
+	if err := b.InstallState(map[uint32]durable.ShardState{0: {Ver: 2, Val: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Ver != 3 || st.Val != 3 {
+		t.Fatalf("stale image regressed state: Ver=%d Val=%d", st.Ver, st.Val)
+	}
+
+	// Fresh image from a peer at version 4: installs, and record 5 then
+	// applies on top — proving the sequencer reset to 4 (without it the
+	// append of version 5 would wait forever for version 4's local
+	// append, which the image made moot).
+	img := map[uint32]durable.ShardState{0: {Ver: 4, Val: 4}}
+	if err := b.InstallState(img); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Ver != 4 || st.Val != 4 {
+		t.Fatalf("fresh image not installed: Ver=%d Val=%d", st.Ver, st.Val)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.ApplyReplicated(recs[4:])
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("applying past an installed image: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append after InstallState wedged: sequencer did not reset past the image")
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Ver != 5 || st.Val != 5 {
+		t.Fatalf("record after image: Ver=%d Val=%d", st.Ver, st.Val)
+	}
+
+	// Out-of-range shard in an image is rejected whole.
+	if err := b.InstallState(map[uint32]durable.ShardState{9: {Ver: 1}}); err == nil {
+		t.Fatal("image with out-of-range shard accepted")
+	}
+}

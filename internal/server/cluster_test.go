@@ -1,0 +1,311 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kexclusion/internal/cluster"
+	"kexclusion/internal/durable"
+	"kexclusion/internal/server"
+	"kexclusion/internal/server/client"
+	"kexclusion/internal/wire"
+)
+
+// cnode is one member of an in-process test cluster.
+type cnode struct {
+	id   string
+	addr string // client address
+	srv  *server.Server
+	stop func() error
+	dead bool
+}
+
+// reservePort grabs an ephemeral localhost port and releases it for
+// immediate reuse. The tiny window before the server rebinds it is the
+// standard test trade-off for needing every address in every node's
+// config before any node exists.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startTestCluster boots a size-node cluster on ephemeral ports with a
+// tight failure detector, and registers cleanup for whatever the test
+// has not already killed.
+func startTestCluster(t *testing.T, size, shards, quorum int) []*cnode {
+	t.Helper()
+	peers := make([]cluster.Peer, size)
+	for i := range peers {
+		peers[i] = cluster.Peer{
+			ID:         fmt.Sprintf("node-%d", i),
+			ClientAddr: reservePort(t),
+			ReplAddr:   reservePort(t),
+		}
+	}
+	dir := t.TempDir()
+	nodes := make([]*cnode, size)
+	for i, p := range peers {
+		srv, err := server.New(server.Config{
+			N:       4,
+			K:       2,
+			Shards:  shards,
+			DataDir: filepath.Join(dir, p.ID),
+			Fsync:   durable.SyncAlways,
+			Cluster: &server.ClusterConfig{
+				NodeID:        p.ID,
+				Peers:         peers,
+				Quorum:        quorum,
+				FailAfter:     400 * time.Millisecond,
+				PullWait:      50 * time.Millisecond,
+				QuorumTimeout: 5 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Listen(p.ClientAddr); err != nil {
+			t.Fatal(err)
+		}
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve() }()
+		n := &cnode{id: p.ID, addr: p.ClientAddr, srv: srv}
+		n.stop = func() error {
+			if n.dead {
+				return nil
+			}
+			n.dead = true
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			err := srv.Shutdown(ctx)
+			if serr := <-served; serr != nil && err == nil {
+				err = serr
+			}
+			return err
+		}
+		nodes[i] = n
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			if err := n.stop(); err != nil {
+				t.Errorf("stopping %s: %v", n.id, err)
+			}
+		}
+	})
+	return nodes
+}
+
+// ownerOf finds the live node currently serving shard.
+func ownerOf(t *testing.T, nodes []*cnode, shard uint32) *cnode {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range nodes {
+			if !n.dead && n.srv.Node().Owns(shard) {
+				return n
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("no live node serves shard %d", shard)
+	return nil
+}
+
+// waitReplicated polls until every live node's followers have acked its
+// whole WAL (worst-case replica lag zero everywhere).
+func waitReplicated(t *testing.T, nodes []*cnode) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		lag := int64(0)
+		for _, n := range nodes {
+			if n.dead {
+				continue
+			}
+			if l := n.srv.Stats().ReplicaLagLSN; l > lag {
+				lag = l
+			}
+		}
+		if lag == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("replicas never caught up")
+}
+
+// TestClusterReplicationRedirectAndFailover is the end-to-end story:
+// ops land on ring owners under a 2-of-3 quorum, misrouted ops bounce
+// with the owner's address, and killing a primary moves its shards —
+// with exact state — to a successor.
+func TestClusterReplicationRedirectAndFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node cluster test")
+	}
+	const shards = 4
+	nodes := startTestCluster(t, 3, shards, 2)
+
+	// A misrouted op is refused with the owner's client address, before
+	// it touches the object.
+	owner0 := ownerOf(t, nodes, 0)
+	var wrong *cnode
+	for _, n := range nodes {
+		if n != owner0 {
+			wrong = n
+			break
+		}
+	}
+	cw := dial(t, wrong.addr)
+	var we *wire.Error
+	if _, err := cw.Add(0, 1); !errors.As(err, &we) || we.Status != wire.StatusNotPrimary {
+		t.Fatalf("Add on non-owner = %v, want not_primary", err)
+	}
+	if we.Msg != owner0.addr {
+		t.Fatalf("redirect hint %q, want owner %q", we.Msg, owner0.addr)
+	}
+	if got := wrong.srv.Stats().NotPrimaryRedirects; got < 1 {
+		t.Fatalf("NotPrimaryRedirects = %d after a redirect", got)
+	}
+	cw.Close()
+
+	// Write through each shard's owner; every ack waited for the 2-of-3
+	// quorum, so by the time Add returns the record is on two disks.
+	want := make(map[uint32]int64)
+	conns := make(map[*cnode]*client.Client)
+	for s := uint32(0); s < shards; s++ {
+		o := ownerOf(t, nodes, s)
+		c, ok := conns[o]
+		if !ok {
+			c = dial(t, o.addr)
+			conns[o] = c
+		}
+		for i := int64(1); i <= 5; i++ {
+			v, err := c.Add(s, i)
+			if err != nil {
+				t.Fatalf("Add(%d, %d) on %s: %v", s, i, o.id, err)
+			}
+			want[s] += i
+			if v != want[s] {
+				t.Fatalf("Add(%d) = %d, want %d", s, v, want[s])
+			}
+		}
+		if acks := o.srv.Stats().QuorumAcks; acks < 5 {
+			t.Fatalf("%s QuorumAcks = %d after 5 quorum-gated ops", o.id, acks)
+		}
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	waitReplicated(t, nodes)
+
+	// Kill shard 0's primary. Its shards must fall to live successors
+	// carrying the exact acked state.
+	victim := ownerOf(t, nodes, 0)
+	if err := victim.stop(); err != nil {
+		t.Fatalf("stopping %s: %v", victim.id, err)
+	}
+	heir := ownerOf(t, nodes, 0)
+	if heir == victim {
+		t.Fatal("dead node still listed as owner")
+	}
+	ch := dial(t, heir.addr)
+	defer ch.Close()
+	if v, err := ch.Get(0); err != nil || v != want[0] {
+		t.Fatalf("Get(0) on successor %s = %d, %v; want %d", heir.id, v, err, want[0])
+	}
+	// The survivor pair still clears the 2-of-3 quorum, so writes keep
+	// flowing after the failover.
+	if v, err := ch.Add(0, 7); err != nil || v != want[0]+7 {
+		t.Fatalf("post-failover Add = %d, %v; want %d", v, err, want[0]+7)
+	}
+	if heir.srv.Promotions() < 1 {
+		t.Fatalf("successor %s reports no promotions", heir.id)
+	}
+	if ph := heir.srv.PromotionPhase(); ph != server.PhaseRunning {
+		t.Fatalf("promotion phase %v, want running", ph)
+	}
+
+	// The remaining non-owner redirects to the new primary once its
+	// failure detector has caught up.
+	var other *cnode
+	for _, n := range nodes {
+		if n != heir && !n.dead {
+			other = n
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if hint := other.srv.Node().PrimaryAddr(0); hint == heir.addr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s never redirected shard 0 to %s", other.id, heir.id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterQuorumOneDoesNotWaitForFollowers pins the -quorum 1 mode:
+// acks release on local durability alone, so a cluster of one live
+// primary (followers never started) still serves.
+func TestClusterQuorumOneDoesNotWaitForFollowers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node cluster test")
+	}
+	peers := []cluster.Peer{
+		{ID: "a", ClientAddr: reservePort(t), ReplAddr: reservePort(t)},
+		{ID: "b", ClientAddr: reservePort(t), ReplAddr: reservePort(t)},
+		{ID: "c", ClientAddr: reservePort(t), ReplAddr: reservePort(t)},
+	}
+	srv, err := server.New(server.Config{
+		N: 4, K: 2, Shards: 1,
+		DataDir: filepath.Join(t.TempDir(), "a"),
+		Fsync:   durable.SyncAlways,
+		Cluster: &server.ClusterConfig{
+			NodeID: "a", Peers: peers, Quorum: 1,
+			FailAfter: 400 * time.Millisecond, PullWait: 50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen(peers[0].ClientAddr); err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-served; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	// Shard 0 may be placed on an absent peer; once the failure detector
+	// marks both peers suspect, the lone member promotes itself for
+	// every shard.
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.Node().Owns(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("lone member never took over shard 0 from its absent peers")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c := dial(t, peers[0].ClientAddr)
+	defer c.Close()
+	if v, err := c.Add(0, 1); err != nil || v != 1 {
+		t.Fatalf("Add on lone primary at quorum 1 = %d, %v", v, err)
+	}
+}

@@ -71,6 +71,7 @@ func renderMetrics(st wire.Stats, goroutines, openFDs int) []byte {
 	gauge("inflight_ops", "Object operations currently executing (the shed ceiling's input).", st.InflightOps)
 	gauge("k", "Resiliency level: concurrent holders per shard.", int64(st.K))
 	gauge("n", "Process identities (max concurrent sessions).", int64(st.N))
+	counter("notprimary_redirects_total", "Operations refused with the owning primary's address (never applied here).", st.NotPrimaryRedirects)
 	counter("op_deadlines_total", "Operations withdrawn on per-op deadline expiry (never applied).", st.OpDeadlines)
 	gauge("open_fds", "Open file descriptors in the server process (-1 if unreadable).", int64(openFDs))
 
@@ -79,11 +80,14 @@ func renderMetrics(st wire.Stats, goroutines, openFDs int) []byte {
 		fmt.Fprintf(&b, "kexserved_phase{phase=%q} %d\n", name, b01(st.Phase == name))
 	}
 
+	counter("quorum_acks_total", "Client acks released by the replication quorum gate.", st.QuorumAcks)
+
 	ready := st.Phase == PhaseRunning.String() || st.Phase == PhaseDegraded.String()
 	gauge("ready", "1 when the server passes its readiness probe (running or degraded).", b01(ready))
 	counter("reclaimed_total", "Identity leases returned to the pool.", st.Reclaimed)
 	gauge("recovered_ops", "Mutations reconstructed from the data directory at startup.", st.RecoveredOps)
 	counter("rejected_total", "Connections rejected by admission backpressure.", st.Rejected)
+	gauge("replica_lag_lsn", "Worst follower lag behind this node's WAL end, in records (0 off-cluster).", st.ReplicaLagLSN)
 	gauge("restart_count", "Prior incarnations that opened this data directory.", st.RestartCount)
 
 	shardCounter("aborts_total", "Bounded withdrawals from entry sections.", func(s wire.Stats, i int) int64 { return s.PerShard[i].Aborts })

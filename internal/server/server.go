@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kexclusion/internal/cluster"
 	"kexclusion/internal/core"
 	"kexclusion/internal/durable"
 	"kexclusion/internal/wire"
@@ -104,6 +105,12 @@ type Config struct {
 	// must answer readiness probes while New is still recovering the
 	// data directory; nil makes New create its own.
 	Lifecycle *Lifecycle
+	// Cluster, when non-nil, runs this server as a member of a
+	// replicated cluster: WAL batches ship to peers, client acks wait
+	// for the configured quorum, and the placement ring decides which
+	// shards this node serves (others answer StatusNotPrimary with a
+	// redirect hint). Requires DataDir.
+	Cluster *ClusterConfig
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -129,6 +136,14 @@ type Server struct {
 	log      *durable.Log // nil without DataDir
 	recovery durable.Recovery
 	logOnce  sync.Once
+
+	node       *cluster.Node // nil off-cluster
+	replMu     sync.Mutex    // serializes replicated applies and state installs
+	notPrimary atomic.Int64
+	quorumAcks atomic.Int64
+	promotions atomic.Int64
+	promoteMu  sync.Mutex
+	promoteLC  *Lifecycle
 
 	sinceSnap   atomic.Int64
 	snapRunning atomic.Bool
@@ -217,7 +232,20 @@ func New(cfg Config) (*Server, error) {
 			tc.applied = s.maybeSnapshot
 		}
 	}
-	s.tab = newTable(cfg.N, cfg.K, cfg.Shards, impl, tc)
+	// In cluster mode the table gets one extra process slot: identity N
+	// is the replication apply loop, one more sequential process in the
+	// paper's model (its applies are serialized by replMu).
+	procs := cfg.N
+	if cfg.Cluster != nil {
+		procs++
+	}
+	s.tab = newTable(procs, cfg.K, cfg.Shards, impl, tc)
+	if cfg.Cluster != nil {
+		if err := s.newClusterNode(cfg.Cluster); err != nil {
+			s.closeLog()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -295,6 +323,12 @@ func (s *Server) Serve() error {
 	if s.ln == nil {
 		return errors.New("server: Serve before Listen")
 	}
+	if s.node != nil {
+		// Bring replication up before serving clients: the start-time
+		// catch-up (a rejoining node must not serve stale shards) and
+		// the pull loops both precede the first client ack.
+		s.node.Start()
+	}
 	s.lc.advance(PhaseRunning)
 	var delay time.Duration
 	for {
@@ -354,6 +388,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if s.ln != nil {
 			s.ln.Close()
 		}
+		if s.node != nil {
+			// Stop replication first: quorum waiters fail fast (their
+			// sessions answer StatusInternal and clients retry
+			// elsewhere) instead of holding the drain for a timeout.
+			s.node.Stop()
+		}
 		s.sm.abortReads()
 	}
 	done := make(chan struct{})
@@ -384,28 +424,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Stats snapshots the server: shape, session-manager counters, and one
 // metrics snapshot per shard.
 func (s *Server) Stats() wire.Stats {
-	return wire.Stats{
-		N:              s.cfg.N,
-		K:              s.cfg.K,
-		Shards:         s.cfg.Shards,
-		Impl:           s.impl.Name,
-		ActiveSessions: s.sm.activeCount(),
-		AdmitQueue:     s.sm.parkedCount(),
-		InflightOps:    s.shed.inflight.Load(),
-		Admitted:       s.sm.admitted.Load(),
-		Rejected:       s.sm.rejected.Load(),
-		Reclaimed:      s.sm.reclaimed.Load(),
-		IdleReclaims:   s.idleReclaims.Load(),
-		OpDeadlines:    s.opDeadlines.Load(),
-		AppliedDupes:   s.appliedDupes.Load(),
-		RecoveredOps:   int64(s.recovery.RecoveredOps),
-		RestartCount:   int64(s.recovery.RestartCount),
-		ShedAdmissions: s.shed.shedAdmissions.Load(),
-		ShedOps:        s.shed.shedOps.Load(),
-		Phase:          s.lc.Phase().String(),
-		Draining:       s.draining(),
-		PerShard:       s.tab.snapshots(),
+	st := wire.Stats{
+		N:                   s.cfg.N,
+		K:                   s.cfg.K,
+		Shards:              s.cfg.Shards,
+		Impl:                s.impl.Name,
+		ActiveSessions:      s.sm.activeCount(),
+		AdmitQueue:          s.sm.parkedCount(),
+		InflightOps:         s.shed.inflight.Load(),
+		Admitted:            s.sm.admitted.Load(),
+		Rejected:            s.sm.rejected.Load(),
+		Reclaimed:           s.sm.reclaimed.Load(),
+		IdleReclaims:        s.idleReclaims.Load(),
+		OpDeadlines:         s.opDeadlines.Load(),
+		AppliedDupes:        s.appliedDupes.Load(),
+		NotPrimaryRedirects: s.notPrimary.Load(),
+		QuorumAcks:          s.quorumAcks.Load(),
+		RecoveredOps:        int64(s.recovery.RecoveredOps),
+		RestartCount:        int64(s.recovery.RestartCount),
+		ShedAdmissions:      s.shed.shedAdmissions.Load(),
+		ShedOps:             s.shed.shedOps.Load(),
+		Phase:               s.lc.Phase().String(),
+		Draining:            s.draining(),
+		PerShard:            s.tab.snapshots(),
 	}
+	if s.node != nil {
+		st.ReplicaLagLSN = int64(s.node.ReplicaLag())
+	}
+	return st
 }
 
 // logf emits a lifecycle line when a logger is configured.
@@ -682,6 +728,18 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 				resp = wire.Response{ID: req.ID, Status: wire.StatusOK, Data: s.Stats().JSON()}
 			case !admitted:
 				resp = busyResponse(req.ID, shedHint)
+			case s.node != nil && int(req.Shard) < s.cfg.Shards && !s.node.Owns(req.Shard):
+				// Misrouted shard: refuse before touching the object and
+				// hint the owning primary's client address in Data. The
+				// op was not applied, so the client retries the same op
+				// ID at the hinted address and dedup keeps it exactly
+				// once.
+				s.notPrimary.Add(1)
+				resp = wire.Response{
+					ID:     req.ID,
+					Status: wire.StatusNotPrimary,
+					Data:   []byte(s.node.PrimaryAddr(req.Shard)),
+				}
 			default:
 				var lsn uint64
 				var wait, fresh bool
@@ -708,6 +766,20 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 				resps[w.idx] = errResponse(w.id, wire.StatusInternal, err.Error())
 			}
 			applied = 0
+		} else if s.node != nil {
+			// The quorum gate: local durability covered maxLsn, now the
+			// configured quorum must too — one wait for the whole
+			// pipeline, the replication analogue of the group commit.
+			// On timeout the ops ARE applied and locally durable, but
+			// under-replicated; StatusInternal makes the client retry,
+			// and dedup re-serves the original results exactly once.
+			if err := s.node.WaitQuorum(maxLsn); err != nil {
+				for _, w := range waiting {
+					resps[w.idx] = errResponse(w.id, wire.StatusInternal, err.Error())
+				}
+			} else {
+				s.quorumAcks.Add(int64(len(waiting)))
+			}
 		}
 	}
 	s.tab.noteApplied(applied)
@@ -742,4 +814,3 @@ func (s *Server) armWrite(conn net.Conn) {
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
 	}
 }
-

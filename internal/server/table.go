@@ -281,6 +281,19 @@ func (g *appendSequencer) advance() {
 	g.mu.Unlock()
 }
 
+// reset jumps the sequencer past an installed state image: versions at
+// or below ver were made durable by the image's snapshot, not by local
+// appends, so the next admitted append is ver+1. A backward reset is a
+// no-op — the sequencer never retreats.
+func (g *appendSequencer) reset(ver uint64) {
+	g.mu.Lock()
+	if g.next <= ver {
+		g.next = ver + 1
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
 // waitAppended blocks until version ver's record has been appended.
 func (g *appendSequencer) waitAppended(ver uint64) {
 	g.mu.Lock()

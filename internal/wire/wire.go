@@ -108,6 +108,12 @@ const (
 	// operation was NOT applied and the object is untouched, so even
 	// non-idempotent operations are safe to retry on this status.
 	StatusTimeout
+	// StatusNotPrimary: this node does not own the request's shard in
+	// the cluster placement; the operation was NOT applied. Data
+	// carries the owning primary's client address (empty when the owner
+	// is unknown, e.g. mid-failover) — clients should redial there and
+	// retry with the same op ID.
+	StatusNotPrimary
 )
 
 // String names the status.
@@ -127,6 +133,8 @@ func (s Status) String() string {
 		return "internal"
 	case StatusTimeout:
 		return "timeout"
+	case StatusNotPrimary:
+		return "not_primary"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -263,6 +271,10 @@ type Stats struct {
 	InflightOps int64 `json:"inflight_ops"`
 	K           int   `json:"k"`
 	N           int   `json:"n"`
+	// NotPrimaryRedirects counts operations refused with
+	// StatusNotPrimary because the addressed shard is owned by another
+	// node in the cluster placement (never applied; zero off-cluster).
+	NotPrimaryRedirects int64 `json:"notprimary_redirects"`
 	// OpDeadlines counts operations withdrawn because their per-op
 	// deadline expired while waiting for a slot (StatusTimeout).
 	OpDeadlines int64 `json:"op_deadlines"`
@@ -270,13 +282,20 @@ type Stats struct {
 	PerShard []obs.Snapshot `json:"per_shard"`
 	// Phase is the server's lifecycle phase (starting, recovering,
 	// running, degraded, draining, stopped).
-	Phase     string `json:"phase"`
-	Reclaimed int64  `json:"reclaimed"`
+	Phase string `json:"phase"`
+	// QuorumAcks counts mutations acknowledged after the replication
+	// quorum confirmed durability (zero off-cluster or at quorum 1).
+	QuorumAcks int64 `json:"quorum_acks"`
+	Reclaimed  int64 `json:"reclaimed"`
 	// RecoveredOps is the number of mutations reconstructed from the
 	// data directory at startup (snapshot plus WAL replay); zero when
 	// the server runs without durability or booted fresh.
 	RecoveredOps int64 `json:"recovered_ops"`
 	Rejected     int64 `json:"rejected"`
+	// ReplicaLagLSN is the instantaneous worst-case replication lag:
+	// this node's log end minus the lowest follower-acknowledged LSN
+	// (zero off-cluster, when fully caught up, or with no followers).
+	ReplicaLagLSN int64 `json:"replica_lag_lsn"`
 	// RestartCount is how many prior incarnations opened this data
 	// directory: 0 on first boot, 1 after one crash or restart.
 	RestartCount int64 `json:"restart_count"`
@@ -307,10 +326,18 @@ func ParseStats(b []byte) (Stats, error) {
 	return s, nil
 }
 
-// WriteFrame writes one length-prefixed frame.
+// WriteFrame writes one length-prefixed frame under the client-dialect
+// limit.
 func WriteFrame(w io.Writer, payload []byte) error {
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	return WriteFrameLimit(w, payload, MaxFrame)
+}
+
+// WriteFrameLimit writes one length-prefixed frame under an explicit
+// size limit (the replication dialect carries state images larger than
+// MaxFrame).
+func WriteFrameLimit(w io.Writer, payload []byte, limit int) error {
+	if len(payload) > limit {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), limit)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -321,16 +348,22 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame, rejecting oversized
-// announcements before allocating.
+// ReadFrame reads one length-prefixed frame under the client-dialect
+// limit, rejecting oversized announcements before allocating.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameLimit(r, MaxFrame)
+}
+
+// ReadFrameLimit reads one length-prefixed frame under an explicit
+// size limit.
+func ReadFrameLimit(r io.Reader, limit int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("%w: peer announced %d bytes, limit %d", ErrFrameTooLarge, n, MaxFrame)
+	if int64(n) > int64(limit) {
+		return nil, fmt.Errorf("%w: peer announced %d bytes, limit %d", ErrFrameTooLarge, n, limit)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
