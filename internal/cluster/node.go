@@ -21,31 +21,71 @@ type Peer struct {
 	ReplAddr string
 }
 
+// Replication apply failures, classified for the pull loop. The
+// backend wraps these so the follower can pick the right recovery:
+// a gap resyncs via state image; stale and diverged additionally
+// freeze the follower's acks (acking would lend this node's durability
+// vote to a history it rejected) and quarantine the stream.
+var (
+	// ErrReplGap marks a record beyond the next expected version: the
+	// record stream cannot bridge local state, fetch a state image.
+	ErrReplGap = errors.New("cluster: replicated record stream has a gap")
+	// ErrReplStale marks records from an epoch the local shard has
+	// moved past: the sender is a deposed primary streaming a fenced
+	// fork. Its records must not be applied or acked.
+	ErrReplStale = errors.New("cluster: replicated records from a deposed epoch")
+	// ErrReplDiverged marks a same-epoch content fork: the record's
+	// version is inside local history but re-execution or the dedup
+	// window disagrees with it. Within one epoch there is one writer,
+	// so this is data loss or corruption — it needs an operator, not a
+	// retry.
+	ErrReplDiverged = errors.New("cluster: replicated history diverged from local state")
+)
+
 // Backend is what the cluster node needs from the server it serves:
 // the apply side of replication and the state images promotion and
 // catch-up ship around. Defined here (and implemented by
 // internal/server) so cluster never imports server.
+//
+// All reconciliation is ordered by (epoch, version), lexicographically:
+// a shard's epoch advances on every primary takeover, and a deposed
+// primary's version counter keeps inflating with writes that were
+// never quorum-acked — so a higher epoch at a LOWER version still
+// supersedes. Comparing bare versions is exactly the bug this ordering
+// exists to prevent.
 type Backend interface {
 	// ApplyReplicated folds replicated op records into the local table
-	// and WAL, idempotently by (shard, version): records at or below
-	// the local frontier are skipped, the next expected version is
-	// applied and locally logged. A record beyond the next version is
-	// a gap error — the caller must fall back to a state image. It
-	// returns the highest local WAL LSN the batch produced (0 when
-	// everything was skipped).
+	// and WAL, idempotently by (shard, epoch, version): records at or
+	// below the local frontier in the local epoch are skipped, the
+	// next expected version is applied and locally logged (adopting
+	// the record's epoch when it is newer), and records from an older
+	// epoch are refused. It returns the highest local WAL LSN the
+	// batch produced (0 when everything was skipped) and classifies
+	// failures with ErrReplGap, ErrReplStale or ErrReplDiverged.
 	ApplyReplicated(recs []durable.Record) (uint64, error)
 	// WaitLocalDurable blocks until the local WAL has fsynced lsn —
 	// the precondition for acknowledging replicated records upstream.
 	WaitLocalDurable(lsn uint64) error
 	// InstallState folds a full per-shard image into the local table,
-	// keeping only shards strictly newer than local state, and
+	// keeping only shards (epoch, version)-ahead of local state, and
 	// persists a local snapshot so the catch-up survives a restart.
-	InstallState(shards map[uint32]durable.ShardState) error
-	// Frontier returns every shard's current mutation version.
-	Frontier() []uint64
+	// covered reports whether, afterwards, local state is at or beyond
+	// the image on every shard it holds — the condition for acking the
+	// log position the image came with. A stale image (the sender is
+	// behind, or streaming a fenced fork) reports false: installing
+	// nothing is fine, but vouching for the sender's log is not.
+	InstallState(shards map[uint32]durable.ShardState) (covered bool, err error)
+	// Frontier returns every shard's current mutation version and
+	// failover epoch (same index, same length).
+	Frontier() (vers, epochs []uint64)
 	// StateImage returns a consistent per-shard image (dedup windows
 	// included) for shipping to a catching-up or promoting peer.
 	StateImage() map[uint32]durable.ShardState
+	// BumpEpochs advances the failover epoch of each listed shard and
+	// persists a snapshot fencing the bump, called by a promotion
+	// after catch-up and before serving: every write the new primary
+	// applies outranks any straggler from the deposed one.
+	BumpEpochs(shards []uint32) error
 }
 
 // Config assembles a Node.
@@ -139,10 +179,13 @@ type Node struct {
 	mu        sync.Mutex
 	serving   map[uint32]bool // shards this node currently serves
 	lastSeen  map[string]time.Time
+	contacted map[string]bool   // peers actually heard from this incarnation
 	pins      map[string]int    // follower node ID -> WAL pin handle
 	lag       map[string]uint64 // follower node ID -> end - acked at last ack
 	resume    map[string]uint64 // peer node ID -> pull resume position
+	acked     map[string]uint64 // peer node ID -> last LSN this node vouched for
 	promoting bool
+	gateHeld  bool // last promotion attempt was quorum-gated (log once)
 	stopped   bool
 
 	stopCh chan struct{}
@@ -181,12 +224,14 @@ func New(cfg Config) (*Node, error) {
 		others:   others,
 		quorum:   newQuorumTracker(cfg.Quorum),
 		ln:       ln,
-		serving:  make(map[uint32]bool),
-		lastSeen: make(map[string]time.Time),
-		pins:     make(map[string]int),
-		lag:      make(map[string]uint64),
-		resume:   make(map[string]uint64),
-		stopCh:   make(chan struct{}),
+		serving:   make(map[uint32]bool),
+		lastSeen:  make(map[string]time.Time),
+		contacted: make(map[string]bool),
+		pins:      make(map[string]int),
+		lag:       make(map[string]uint64),
+		resume:    make(map[string]uint64),
+		acked:     make(map[string]uint64),
+		stopCh:    make(chan struct{}),
 	}
 	now := time.Now()
 	for _, p := range others {
@@ -204,19 +249,21 @@ func (n *Node) Quorum() int { return n.cfg.Quorum }
 
 // Start brings the node to service: it catches up from any reachable
 // peer ahead of local state (a restarted node rejoining must not serve
-// stale shards), marks its ring-owned shards serving, and launches the
-// accept loop, the per-peer pull loops, and the failure detector.
+// stale shards), then launches the accept loop, the per-peer pull
+// loops, and the failure detector. It does NOT serve anything yet —
+// every serving transition, the boot-time claim of ring-owned shards
+// included, goes through the membership loop's promote path, which is
+// quorum-gated and bumps the shard epochs. One path means one set of
+// rules: a node that cannot see a quorum serves nothing, so a
+// partitioned minority cannot inflate a history it would later try to
+// impose on the majority.
 func (n *Node) Start() {
 	owned := n.ownedShards(func(string) bool { return true })
 	if len(n.others) > 0 {
 		n.catchUpFromPeers(owned)
 	}
-	n.mu.Lock()
-	for _, s := range owned {
-		n.serving[s] = true
-	}
-	n.mu.Unlock()
-	n.cfg.Logf("cluster: node %s serving %d/%d shards at quorum %d", n.cfg.NodeID, len(owned), n.cfg.Shards, n.cfg.Quorum)
+	n.cfg.Logf("cluster: node %s started; claiming %d/%d ring-owned shards via promotion at quorum %d",
+		n.cfg.NodeID, len(owned), n.cfg.Shards, n.cfg.Quorum)
 
 	n.wg.Add(2)
 	go n.acceptLoop()
@@ -318,10 +365,15 @@ func (n *Node) ownedShards(alive func(string) bool) []uint32 {
 	return out
 }
 
-// touch marks a peer as contacted now.
+// touch marks a peer as contacted now. Unlike the boot-time grace
+// stamp, a touch records REAL contact — the promotion quorum gate
+// counts only touched peers, so a freshly booted (or freshly
+// partitioned-off) minority cannot vote absent peers "alive" into its
+// quorum.
 func (n *Node) touch(id string) {
 	n.mu.Lock()
 	n.lastSeen[id] = time.Now()
+	n.contacted[id] = true
 	n.mu.Unlock()
 }
 
@@ -366,10 +418,26 @@ func (n *Node) membershipLoop() {
 		for _, s := range lost {
 			delete(n.serving, s)
 		}
+		// Promotion quorum gate: taking over shards mints a new epoch,
+		// and a new epoch outranks everything — so minting is allowed
+		// only when this node can actually reach a write quorum (itself
+		// plus contacted-and-alive peers). A partitioned minority stays
+		// a follower; its stale serving set already drained via `lost`
+		// or never formed. Quorum 1 passes vacuously, preserving
+		// lone-member operation.
+		reach := 1
+		for id := range n.contacted {
+			if alive(id) {
+				reach++
+			}
+		}
+		gated := reach < n.cfg.Quorum
 		busy := n.promoting
-		if len(gained) > 0 && !busy {
+		if len(gained) > 0 && !busy && !gated {
 			n.promoting = true
 		}
+		logGate := len(gained) > 0 && gated && !n.gateHeld
+		n.gateHeld = len(gained) > 0 && gated
 		// Release pins held for suspects: a dead follower must not
 		// hold WAL retention forever. It re-pins at its ack when it
 		// comes back.
@@ -384,16 +452,22 @@ func (n *Node) membershipLoop() {
 		if len(lost) > 0 {
 			n.cfg.Logf("cluster: node %s demoted from shards %v (owner returned)", n.cfg.NodeID, lost)
 		}
-		if len(gained) > 0 && !busy {
+		if logGate {
+			n.cfg.Logf("cluster: node %s sees %d/%d quorum members; holding promotion of shards %v",
+				n.cfg.NodeID, reach, n.cfg.Quorum, gained)
+		}
+		if len(gained) > 0 && !busy && !gated {
 			n.promote(gained)
 		}
 	}
 }
 
-// promote takes over shards whose owner is suspected dead: it declares
-// the recovering phase, closes the quorum-exactness gap by catching up
-// from every reachable peer (an acked record lives on a quorum, and at
-// least one reachable member of any quorum survives the owner), then
+// promote takes over shards — a dead owner's, or this node's own at
+// boot: it declares the recovering phase, closes the quorum-exactness
+// gap by catching up from every reachable peer (an acked record lives
+// on a quorum, and at least one reachable member of any quorum
+// survives the owner), mints the shards' next epoch so every write it
+// will apply outranks any straggler from the previous primary, then
 // serves. The warm replica state makes this a frontier check plus at
 // most one state fetch, not a cold replay.
 func (n *Node) promote(shards []uint32) {
@@ -402,6 +476,15 @@ func (n *Node) promote(shards []uint32) {
 	}
 	n.cfg.Logf("cluster: node %s promoting for shards %v", n.cfg.NodeID, shards)
 	n.catchUpFromPeers(shards)
+	if err := n.cfg.Backend.BumpEpochs(shards); err != nil {
+		// Without the fencing epoch the takeover is not safe to serve;
+		// stand down and let the next membership tick retry.
+		n.cfg.Logf("cluster: node %s: epoch bump for shards %v failed, not serving: %v", n.cfg.NodeID, shards, err)
+		n.mu.Lock()
+		n.promoting = false
+		n.mu.Unlock()
+		return
+	}
 	n.mu.Lock()
 	for _, s := range shards {
 		n.serving[s] = true
@@ -414,22 +497,29 @@ func (n *Node) promote(shards []uint32) {
 	n.cfg.Logf("cluster: node %s now primary for shards %v", n.cfg.NodeID, shards)
 }
 
-// catchUpFromPeers queries every reachable peer's version frontier and
-// installs a state image from each peer ahead of local state on any of
-// the listed shards. Unreachable peers are skipped: they are the dead
-// node itself, or nodes whose acked history another reachable quorum
-// member also holds.
+// catchUpFromPeers queries every reachable peer's frontier and
+// installs a state image from each peer (epoch, version)-ahead of
+// local state on any of the listed shards. The lexicographic order is
+// the point: after a fork, the acknowledged history lives at a higher
+// epoch but possibly a LOWER version than a deposed primary's
+// never-acked tail — a bare version comparison would skip exactly the
+// peer that holds the data. Unreachable peers are skipped: they are
+// the dead node itself, or nodes whose acked history another reachable
+// quorum member also holds.
 func (n *Node) catchUpFromPeers(shards []uint32) {
-	local := n.cfg.Backend.Frontier()
+	localV, localE := n.cfg.Backend.Frontier()
 	for _, p := range n.others {
-		front, err := n.queryFrontier(p)
+		frontV, frontE, err := n.queryFrontier(p)
 		if err != nil {
 			n.cfg.Logf("cluster: node %s: frontier from %s unavailable: %v", n.cfg.NodeID, p.ID, err)
 			continue
 		}
 		ahead := false
 		for _, s := range shards {
-			if int(s) < len(front) && front[s] > local[s] {
+			if int(s) >= len(frontV) {
+				continue
+			}
+			if frontE[s] > localE[s] || (frontE[s] == localE[s] && frontV[s] > localV[s]) {
 				ahead = true
 				break
 			}
@@ -442,11 +532,11 @@ func (n *Node) catchUpFromPeers(shards []uint32) {
 			n.cfg.Logf("cluster: node %s: state from %s unavailable: %v", n.cfg.NodeID, p.ID, err)
 			continue
 		}
-		if err := n.cfg.Backend.InstallState(img); err != nil {
+		if _, err := n.cfg.Backend.InstallState(img); err != nil {
 			n.cfg.Logf("cluster: node %s: installing state from %s: %v", n.cfg.NodeID, p.ID, err)
 			continue
 		}
-		local = n.cfg.Backend.Frontier()
+		localV, localE = n.cfg.Backend.Frontier()
 		n.cfg.Logf("cluster: node %s caught up from %s", n.cfg.NodeID, p.ID)
 	}
 }
@@ -487,29 +577,29 @@ func (n *Node) dialRepl(p Peer) (net.Conn, wire.ReplWelcome, error) {
 	return conn, w, nil
 }
 
-// queryFrontier fetches a peer's per-shard version frontier.
-func (n *Node) queryFrontier(p Peer) ([]uint64, error) {
+// queryFrontier fetches a peer's per-shard (version, epoch) frontier.
+func (n *Node) queryFrontier(p Peer) (vers, epochs []uint64, err error) {
 	conn, _, err := n.dialRepl(p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer conn.Close()
 	if err := wire.WriteReplFrame(conn, wire.EncodeFrontierRequest()); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	conn.SetReadDeadline(time.Now().Add(dialTimeout))
 	b, err := wire.ReadReplFrame(conn)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	f, err := wire.ParseFrontierResponse(b)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if f.Status != wire.StatusOK {
-		return nil, fmt.Errorf("cluster: peer %s frontier: %s", p.ID, f.Status)
+		return nil, nil, fmt.Errorf("cluster: peer %s frontier: %s", p.ID, f.Status)
 	}
-	return f.Vers, nil
+	return f.Vers, f.Epochs, nil
 }
 
 // fetchState fetches a peer's full state image and the log position it

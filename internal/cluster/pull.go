@@ -14,6 +14,13 @@ import (
 // transient error does not mark a healthy peer suspect.
 const pullBackoff = 200 * time.Millisecond
 
+// quarantineBackoff is the sleep after a stale-epoch or diverged
+// stream. Those are not transient: the peer is a deposed primary
+// replaying a fenced fork (it heals by catching up itself) or a
+// same-epoch content fork (it does not heal at all). Hammering it at
+// pullBackoff would only spam both logs.
+const quarantineBackoff = 3 * time.Second
+
 // pullLoop is the follower side of replication against one peer: dial,
 // handshake, state catch-up when needed, then pull batches forever —
 // applying each batch to the local table, fsyncing it locally, and
@@ -30,10 +37,14 @@ func (n *Node) pullLoop(p Peer) {
 		default:
 		}
 		if err := n.pullSession(p); err != nil {
+			backoff := pullBackoff
+			if errors.Is(err, ErrReplStale) || errors.Is(err, ErrReplDiverged) {
+				backoff = quarantineBackoff
+			}
 			select {
 			case <-n.stopCh:
 				return
-			case <-time.After(pullBackoff):
+			case <-time.After(backoff):
 			}
 		}
 	}
@@ -61,30 +72,43 @@ func (n *Node) pullSession(p Peer) error {
 		}
 	}()
 
+	// pos is where reading resumes; ack is the position this node
+	// VOUCHES for — everything at or below it applied here and is
+	// locally durable. The two separate exactly when the stream goes
+	// bad: a follower that rejected records (a deposed primary's
+	// fenced fork) must keep its ack frozen even while probing ahead,
+	// because the peer counts acks toward its write quorum — acking a
+	// rejected suffix would help a fork get acknowledged to a client
+	// and then discarded.
 	n.mu.Lock()
 	pos := n.resume[p.ID]
+	ack := n.acked[p.ID]
 	n.mu.Unlock()
 	if pos == 0 {
 		// First contact this incarnation: a fresh process does not know
 		// its position in the peer's LSN space, and replaying the
 		// peer's whole log would race its pruning. Install a state
-		// image (idempotent: only strictly-newer shards land) and pull
-		// from the position it covers.
+		// image (idempotent: only (epoch, version)-newer shards land)
+		// and pull from the position it covers.
 		img, resumeAt, err := n.stateCatchUp(conn)
 		if err != nil {
 			return err
 		}
-		if err := n.cfg.Backend.InstallState(img); err != nil {
+		covered, err := n.cfg.Backend.InstallState(img)
+		if err != nil {
 			return err
 		}
 		pos = resumeAt
-		n.setResume(p.ID, pos)
+		if covered {
+			ack = resumeAt
+		}
+		n.setResume(p.ID, pos, ack)
 	}
 
 	for {
 		req := wire.PullRequest{
 			FromLSN:    pos,
-			AckLSN:     pos, // everything consumed so far is locally durable (see below)
+			AckLSN:     ack,
 			WaitMillis: uint32(n.cfg.PullWait / time.Millisecond),
 		}
 		if err := wire.WriteReplFrame(conn, req.Encode()); err != nil {
@@ -113,22 +137,33 @@ func (n *Node) pullSession(p Peer) error {
 			if err != nil {
 				return err
 			}
-			if err := n.cfg.Backend.InstallState(img); err != nil {
+			covered, err := n.cfg.Backend.InstallState(img)
+			if err != nil {
 				return err
 			}
 			pos = resumeAt
-			n.setResume(p.ID, pos)
+			if covered {
+				ack = resumeAt
+			}
+			n.setResume(p.ID, pos, ack)
 			continue
 		}
 
 		if len(resp.Records) > 0 {
 			localLSN, err := n.cfg.Backend.ApplyReplicated(resp.Records)
 			if err != nil {
-				// A version gap mid-stream means local state moved in a
-				// way the record stream cannot bridge; resync via state
-				// image on the next session.
-				n.cfg.Logf("cluster: node %s: applying batch from %s: %v", n.cfg.NodeID, p.ID, err)
-				n.setResume(p.ID, 0)
+				// The ack stays where it was — nothing past it is vouched
+				// for. A gap resyncs via state image on the next session; a
+				// stale or diverged stream does too, but its image will not
+				// cover local state either, so the ack keeps holding until
+				// the peer heals (stale) or an operator steps in (diverged).
+				if errors.Is(err, ErrReplDiverged) {
+					n.cfg.Logf("cluster: node %s: OPERATOR INTERVENTION NEEDED: history from %s diverged from local state within one epoch: %v",
+						n.cfg.NodeID, p.ID, err)
+				} else {
+					n.cfg.Logf("cluster: node %s: applying batch from %s: %v", n.cfg.NodeID, p.ID, err)
+				}
+				n.setResume(p.ID, 0, ack)
 				return err
 			}
 			if localLSN > 0 {
@@ -141,7 +176,8 @@ func (n *Node) pullSession(p Peer) error {
 			}
 		}
 		pos = resp.ResumeLSN
-		n.setResume(p.ID, pos)
+		ack = pos
+		n.setResume(p.ID, pos, ack)
 		n.observeLag(p.ID, resp.End, pos)
 	}
 }
@@ -171,9 +207,12 @@ func (n *Node) stateCatchUp(conn net.Conn) (map[uint32]durable.ShardState, uint6
 	return img, st.ResumeLSN, nil
 }
 
-func (n *Node) setResume(peer string, pos uint64) {
+func (n *Node) setResume(peer string, pos, ack uint64) {
 	n.mu.Lock()
 	n.resume[peer] = pos
+	if ack > n.acked[peer] {
+		n.acked[peer] = ack
+	}
 	n.mu.Unlock()
 }
 
@@ -283,7 +322,8 @@ func (n *Node) serveRepl(conn net.Conn) {
 				Image:     durable.EncodeState(img),
 			}.Encode()
 		case wire.ReplFrontier:
-			payload = wire.FrontierResponse{Status: wire.StatusOK, Vers: n.cfg.Backend.Frontier()}.Encode()
+			vers, epochs := n.cfg.Backend.Frontier()
+			payload = wire.FrontierResponse{Status: wire.StatusOK, Vers: vers, Epochs: epochs}.Encode()
 		}
 		if err := wire.WriteReplFrame(conn, payload); err != nil {
 			return

@@ -1,0 +1,227 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// encodeOpV1 builds a legacy pre-epoch op body (recTypeOpV1), as written
+// by servers from before records carried epochs.
+func encodeOpV1(r Record) []byte {
+	body := make([]byte, opBodyLenV1)
+	body[0] = recTypeOpV1
+	binary.BigEndian.PutUint64(body[1:], r.Session)
+	binary.BigEndian.PutUint64(body[9:], r.Seq)
+	binary.BigEndian.PutUint32(body[17:], r.Shard)
+	body[21] = byte(r.Kind)
+	binary.BigEndian.PutUint64(body[22:], uint64(r.Arg))
+	binary.BigEndian.PutUint64(body[30:], uint64(r.Val))
+	binary.BigEndian.PutUint64(body[38:], r.Ver)
+	return appendFrame(nil, body)
+}
+
+func TestOpRecordEpochRoundTrip(t *testing.T) {
+	want := Record{
+		Session: 7, Seq: 9, Shard: 3, Kind: OpSet, Arg: -4, Val: -4,
+		Ver: 12, Epoch: 5,
+	}
+	body, n, err := decodeFrame(encodeOp(want), maxBody)
+	if err != nil {
+		t.Fatalf("decode frame: %v", err)
+	}
+	if n != recHeaderLen+opBodyLen {
+		t.Fatalf("frame consumed %d bytes, want %d", n, recHeaderLen+opBodyLen)
+	}
+	got, isRestart, err := parseBody(body)
+	if err != nil || isRestart {
+		t.Fatalf("parse: restart=%v err=%v", isRestart, err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestOpRecordLegacyDecodesEpochZero(t *testing.T) {
+	legacy := Record{
+		Session: 7, Seq: 9, Shard: 3, Kind: OpAdd, Arg: 2, Val: 6, Ver: 12,
+	}
+	body, _, err := decodeFrame(encodeOpV1(legacy), maxBody)
+	if err != nil {
+		t.Fatalf("decode frame: %v", err)
+	}
+	got, isRestart, err := parseBody(body)
+	if err != nil || isRestart {
+		t.Fatalf("parse: restart=%v err=%v", isRestart, err)
+	}
+	if got.Epoch != 0 {
+		t.Fatalf("legacy record decoded with epoch %d, want 0", got.Epoch)
+	}
+	if got != legacy {
+		t.Fatalf("round trip: got %+v, want %+v", got, legacy)
+	}
+}
+
+func TestStateImageEpochRoundTrip(t *testing.T) {
+	want := map[uint32]ShardState{
+		0: {Epoch: 2, Ver: 9, Val: 42, Dedup: map[uint64]DedupEntry{
+			11: {Seq: 3, Val: 42, Ver: 9},
+		}},
+		5: {Epoch: 0, Ver: 1, Val: -1},
+	}
+	got, err := DecodeState(EncodeState(want))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for id, w := range want {
+		g := got[id]
+		if g.Epoch != w.Epoch || g.Ver != w.Ver || g.Val != w.Val {
+			t.Fatalf("shard %d: got %+v, want %+v", id, g, w)
+		}
+	}
+	if e := got[0].Dedup[11]; e.Seq != 3 || e.Val != 42 || e.Ver != 9 {
+		t.Fatalf("shard 0 dedup entry: %+v", e)
+	}
+}
+
+// encodeSnapshotV2 builds a legacy pre-epoch snapshot body (type 4):
+// same layout as the current one minus the per-shard epoch field.
+func encodeSnapshotV2(cover, markers uint64, shards map[uint32]ShardState) []byte {
+	ids := make([]uint32, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	body := []byte{recTypeSnapshotV2}
+	body = binary.BigEndian.AppendUint64(body, cover)
+	body = binary.BigEndian.AppendUint64(body, markers)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(ids)))
+	for _, id := range ids {
+		s := shards[id]
+		body = binary.BigEndian.AppendUint32(body, id)
+		body = binary.BigEndian.AppendUint64(body, s.Ver)
+		body = binary.BigEndian.AppendUint64(body, uint64(s.Val))
+		body = binary.BigEndian.AppendUint32(body, 0) // no dedup entries
+	}
+	return body
+}
+
+func TestSnapshotLegacyDecodesEpochZero(t *testing.T) {
+	legacy := map[uint32]ShardState{2: {Ver: 8, Val: 80}}
+	cover, markers, got, err := decodeSnapshot(encodeSnapshotV2(17, 4, legacy))
+	if err != nil {
+		t.Fatalf("decode legacy snapshot: %v", err)
+	}
+	if cover != 17 || markers != 4 {
+		t.Fatalf("header: cover=%d markers=%d", cover, markers)
+	}
+	if g := got[2]; g.Epoch != 0 || g.Ver != 8 || g.Val != 80 {
+		t.Fatalf("shard 2: %+v", g)
+	}
+}
+
+// TestReplayEpochFencing is the recovery half of the forked-history fix:
+// after a state install fences a shard at a higher epoch, a straggler
+// record from the deposed epoch sitting later in the WAL must be
+// skipped, same-epoch continuations must apply, and a contiguous
+// higher-epoch record (a promotion observed before any new-epoch
+// snapshot) must be adopted.
+func TestReplayEpochFencing(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir})
+
+	// A replicated install left shard 0 at (epoch 1, ver 2), fenced by
+	// this snapshot — exactly what InstallState persists.
+	if err := l.WriteSnapshot(func() map[uint32]ShardState {
+		return map[uint32]ShardState{0: {Epoch: 1, Ver: 2, Val: 50}}
+	}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	appendRec := func(r Record) {
+		t.Helper()
+		lsn, err := l.Append(r)
+		if err != nil {
+			t.Fatalf("append %+v: %v", r, err)
+		}
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatalf("wait durable: %v", err)
+		}
+	}
+	// Fenced fork straggler: epoch 0 lost to the install above.
+	appendRec(Record{Shard: 0, Kind: OpSet, Arg: 99, Val: 99, Ver: 4, Epoch: 0})
+	// Same-epoch continuation of the installed line.
+	appendRec(Record{Shard: 0, Kind: OpSet, Arg: 60, Val: 60, Ver: 3, Epoch: 1})
+	// Cross-epoch continuation: a promoted primary's first post-bump
+	// record, pulled before any epoch-2 snapshot exists locally.
+	appendRec(Record{Shard: 0, Kind: OpSet, Arg: 70, Val: 70, Ver: 4, Epoch: 2})
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l, rec := mustOpen(t, Options{Dir: dir})
+	defer l.Close()
+	got := rec.Shards[0]
+	if got.Epoch != 2 || got.Ver != 4 || got.Val != 70 {
+		t.Fatalf("recovered shard 0: %+v, want epoch 2 ver 4 val 70", got)
+	}
+}
+
+// TestReplayHigherEpochRewriteIsCorruption: a higher-epoch record at or
+// below the recovering state's version would rewrite acknowledged
+// history without the install snapshot required to fence it. Recovery
+// must refuse rather than guess.
+func TestReplayHigherEpochRewriteIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir})
+	if err := l.WriteSnapshot(func() map[uint32]ShardState {
+		return map[uint32]ShardState{0: {Epoch: 1, Ver: 5, Val: 5}}
+	}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	lsn, err := l.Append(Record{Shard: 0, Kind: OpSet, Arg: 9, Val: 9, Ver: 4, Epoch: 2})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatalf("wait durable: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	if _, _, err := Open(Options{Dir: dir, Logf: func(string, ...any) {}}); err == nil ||
+		!strings.Contains(err.Error(), "missing epoch-fencing snapshot") {
+		t.Fatalf("reopen: err %v, want epoch-fencing corruption", err)
+	}
+}
+
+// TestReadRecordsDeletedSegmentIsPruned: a segment file unlinked by a
+// concurrent snapshot prune after the reader captured the segment list
+// must read as ErrPruned (resync via state image), not a hard internal
+// error that kills the replication stream.
+func TestReadRecordsDeletedSegmentIsPruned(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	defer l.Close()
+	var s ShardState
+	appendOps(t, l, &s, 0, 5, 1, 40)
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want >=2 segments, got %d (err %v)", len(segs), err)
+	}
+	sort.Strings(segs)
+	// Unlink the oldest segment while the log still lists it, exactly
+	// the window a concurrent prune leaves open.
+	if err := os.Remove(segs[0]); err != nil {
+		t.Fatalf("remove %s: %v", segs[0], err)
+	}
+	if _, _, err := l.ReadRecords(0, 10); !errors.Is(err, ErrPruned) {
+		t.Fatalf("read into deleted segment: err %v, want ErrPruned", err)
+	}
+}

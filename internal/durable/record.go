@@ -85,17 +85,29 @@ type Record struct {
 	// linearization order. Replay uses it to skip records already
 	// covered by a snapshot and to detect gaps.
 	Ver uint64
+	// Epoch is the shard's failover epoch when the mutation applied
+	// (see ShardState.Epoch). Replay and replication order records by
+	// (Epoch, Ver): a record from a lower epoch than the state it
+	// meets is a discarded fork, never data. Records written before
+	// epochs existed decode as epoch 0.
+	Epoch uint64
 }
 
 // Record framing: [4-byte big-endian body length][4-byte CRC-32C of
 // body][body]. The body opens with a type byte.
 const (
 	recHeaderLen   = 8
-	recTypeOp      = 1 // an applied mutation (opBodyLen bytes)
+	recTypeOpV1    = 1 // an applied mutation, pre-epoch layout (opBodyLenV1 bytes)
 	recTypeRestart = 2 // a process (re)start marker (1 byte)
+	// 3 and 4 are snapshot body types (see snapshot.go); WAL and
+	// snapshot frames share one type-byte space so a snapshot body can
+	// never be mistaken for a log record.
+	recTypeOp = 5 // an applied mutation with its epoch (opBodyLen bytes)
 
-	// opBodyLen: type + session + seq + shard + kind + arg + val + ver.
-	opBodyLen = 1 + 8 + 8 + 4 + 1 + 8 + 8 + 8
+	// opBodyLenV1: type + session + seq + shard + kind + arg + val + ver.
+	opBodyLenV1 = 1 + 8 + 8 + 4 + 1 + 8 + 8 + 8
+	// opBodyLen appends the 8-byte epoch.
+	opBodyLen = opBodyLenV1 + 8
 
 	// maxBody bounds a WAL record body; a longer announcement in a
 	// header is corruption, not a record worth allocating for.
@@ -147,7 +159,8 @@ func decodeFrame(b []byte, maxLen int) ([]byte, int, error) {
 	return body, recHeaderLen + n, nil
 }
 
-// encodeOp frames an op record.
+// encodeOp frames an op record (always the current, epoch-bearing
+// layout; the legacy layout is decode-only).
 func encodeOp(r Record) []byte {
 	body := make([]byte, opBodyLen)
 	body[0] = recTypeOp
@@ -158,6 +171,7 @@ func encodeOp(r Record) []byte {
 	binary.BigEndian.PutUint64(body[22:], uint64(r.Arg))
 	binary.BigEndian.PutUint64(body[30:], uint64(r.Val))
 	binary.BigEndian.PutUint64(body[38:], r.Ver)
+	binary.BigEndian.PutUint64(body[46:], r.Epoch)
 	return appendFrame(nil, body)
 }
 
@@ -170,9 +184,13 @@ func encodeRestart() []byte {
 // restart marker (restart reports ok with isRestart true).
 func parseBody(body []byte) (rec Record, isRestart bool, err error) {
 	switch body[0] {
-	case recTypeOp:
-		if len(body) != opBodyLen {
-			return Record{}, false, fmt.Errorf("%w: op body is %d bytes, want %d", errCorrupt, len(body), opBodyLen)
+	case recTypeOp, recTypeOpV1:
+		want := opBodyLen
+		if body[0] == recTypeOpV1 {
+			want = opBodyLenV1 // pre-epoch record: epoch decodes as 0
+		}
+		if len(body) != want {
+			return Record{}, false, fmt.Errorf("%w: op body is %d bytes, want %d", errCorrupt, len(body), want)
 		}
 		rec = Record{
 			Session: binary.BigEndian.Uint64(body[1:]),
@@ -182,6 +200,9 @@ func parseBody(body []byte) (rec Record, isRestart bool, err error) {
 			Arg:     int64(binary.BigEndian.Uint64(body[22:])),
 			Val:     int64(binary.BigEndian.Uint64(body[30:])),
 			Ver:     binary.BigEndian.Uint64(body[38:]),
+		}
+		if body[0] == recTypeOp {
+			rec.Epoch = binary.BigEndian.Uint64(body[46:])
 		}
 		if rec.Kind != OpAdd && rec.Kind != OpSet {
 			return Record{}, false, fmt.Errorf("%w: unknown op kind %d", errCorrupt, body[21])

@@ -10,17 +10,19 @@ import (
 
 // Snapshot body layout (one CRC frame, like a WAL record):
 //
-//	[1 type=4][8 coverLSN][8 markers][4 shardCount]
+//	[1 type=6][8 coverLSN][8 markers][4 shardCount]
 //	  per shard, ascending id:
-//	    [4 id][8 ver][8 val][4 dedupCount]
+//	    [4 id][8 epoch][8 ver][8 val][4 dedupCount]
 //	      per dedup entry, ascending session:
 //	        [8 session][4 opCount][opCount × [8 seq][8 val][8 ver]]
 //
 // Each dedup entry carries the session's recent-op history, newest
-// first (opCount ≥ 1; op 0 is the entry's inline newest). Type 3 is
-// the legacy pre-pipelining layout — one fixed 32-byte op per session
-// — still decoded so a server upgraded in place recovers its old
-// snapshot (the histories start empty and refill as sessions mutate).
+// first (opCount ≥ 1; op 0 is the entry's inline newest). Two legacy
+// layouts still decode so a server upgraded in place recovers its old
+// snapshot: type 4 is the pre-epoch layout (no [8 epoch] field —
+// epochs start at 0) and type 3 the pre-pipelining one (additionally
+// one fixed 32-byte op per session; histories refill as sessions
+// mutate).
 //
 // coverLSN is the log end captured BEFORE the shard images are read:
 // every record at or below it is reflected in the images; records
@@ -30,7 +32,8 @@ import (
 // segments.
 const (
 	recTypeSnapshotV1 = 3
-	recTypeSnapshot   = 4
+	recTypeSnapshotV2 = 4
+	recTypeSnapshot   = 6 // 5 is recTypeOp (WAL); one type-byte space
 )
 
 func encodeSnapshot(cover, markers uint64, shards map[uint32]ShardState) []byte {
@@ -48,6 +51,7 @@ func encodeSnapshot(cover, markers uint64, shards map[uint32]ShardState) []byte 
 	for _, id := range ids {
 		s := shards[id]
 		body = binary.BigEndian.AppendUint32(body, id)
+		body = binary.BigEndian.AppendUint64(body, s.Epoch)
 		body = binary.BigEndian.AppendUint64(body, s.Ver)
 		body = binary.BigEndian.AppendUint64(body, uint64(s.Val))
 		sessions := make([]uint64, 0, len(s.Dedup))
@@ -77,35 +81,45 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 	fail := func(what string) (uint64, uint64, map[uint32]ShardState, error) {
 		return 0, 0, nil, fmt.Errorf("%w: snapshot %s", errCorrupt, what)
 	}
-	if len(body) < 21 || (body[0] != recTypeSnapshot && body[0] != recTypeSnapshotV1) {
+	if len(body) < 21 ||
+		(body[0] != recTypeSnapshot && body[0] != recTypeSnapshotV2 && body[0] != recTypeSnapshotV1) {
 		return fail("header malformed")
 	}
 	legacy := body[0] == recTypeSnapshotV1
+	hasEpoch := body[0] == recTypeSnapshot
+	shardHdr := 24 // [4 id][8 ver][8 val][4 dedupCount]
+	if hasEpoch {
+		shardHdr = 32 // + [8 epoch] after the id
+	}
 	cover = binary.BigEndian.Uint64(body[1:])
 	markers = binary.BigEndian.Uint64(body[9:])
 	nShards := int(binary.BigEndian.Uint32(body[17:]))
 	off := 21
-	// Every shard needs at least a 24-byte header, so a declared count
+	// Every shard needs at least a shard header, so a declared count
 	// the remaining body cannot hold is corruption — checked BEFORE the
 	// count becomes a map allocation hint, or a CRC-valid but crafted
 	// frame could demand an allocation sized for 2^32 entries.
-	if nShards > (len(body)-off)/24 {
+	if nShards > (len(body)-off)/shardHdr {
 		return fail("shard count exceeds body size")
 	}
 	shards = make(map[uint32]ShardState, nShards)
 	for i := 0; i < nShards; i++ {
-		if len(body)-off < 24 {
+		if len(body)-off < shardHdr {
 			return fail("shard header truncated")
 		}
 		id := binary.BigEndian.Uint32(body[off:])
-		s := ShardState{
-			Ver: binary.BigEndian.Uint64(body[off+4:]),
-			Val: int64(binary.BigEndian.Uint64(body[off+12:])),
+		off += 4
+		var s ShardState
+		if hasEpoch {
+			s.Epoch = binary.BigEndian.Uint64(body[off:])
+			off += 8
 		}
-		nDedup := int(binary.BigEndian.Uint32(body[off+20:]))
-		off += 24
+		s.Ver = binary.BigEndian.Uint64(body[off:])
+		s.Val = int64(binary.BigEndian.Uint64(body[off+8:]))
+		nDedup := int(binary.BigEndian.Uint32(body[off+16:]))
+		off += 20
 		if nDedup > 0 {
-			// A session entry is at least 12 bytes (v2) / exactly 32 (v1);
+			// A session entry is at least 12 bytes (v2+) / exactly 32 (v1);
 			// bound the allocation hint before trusting the count.
 			minEntry := 12
 			if legacy {

@@ -16,6 +16,15 @@ type ShardState struct {
 	// sequencer appends records in Ver order, so Ver is also the
 	// record's position in the shard's durable history.
 	Ver uint64
+	// Epoch fences forked histories across failovers: a promoted
+	// primary mints Epoch+1 for the shards it takes over, and every
+	// reconciliation (replicated applies, state-image installs,
+	// promotion catch-up, replay) orders histories by (Epoch, Ver)
+	// lexicographically — a higher epoch wins even at a lower version,
+	// because version numbers on a deposed primary keep inflating with
+	// writes that never reached quorum. Step never changes it; only
+	// promotion and state installs do.
+	Epoch uint64
 	// Val is the shard's visible value.
 	Val int64
 	// Dedup maps a client session identity to its recent ops. One
@@ -78,6 +87,12 @@ type Outcome struct {
 	// Ver: shard version of the (original) application. Zero when
 	// Stale.
 	Ver uint64
+	// Epoch is the shard's epoch at the op's linearization point — the
+	// epoch its WAL record must carry, and the fencing token the
+	// append sequencer and the quorum gate compare against to detect
+	// that a state install superseded the op before it was
+	// acknowledged. Zero when Stale.
+	Epoch uint64
 }
 
 // Clone deep-copies the state. resilient.Shared calls it before every
@@ -107,7 +122,7 @@ func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64
 	if session != 0 && seq != 0 {
 		if e, ok := s.Dedup[session]; ok {
 			if seq == e.Seq {
-				return Outcome{Val: e.Val, Duplicate: true, Ver: e.Ver}
+				return Outcome{Val: e.Val, Duplicate: true, Ver: e.Ver, Epoch: s.Epoch}
 			}
 			if seq < e.Seq {
 				// An older seq: answer from the history if the window
@@ -116,7 +131,7 @@ func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64
 				// included), stale only once it has aged out.
 				for _, old := range e.Recent {
 					if old.Seq == seq {
-						return Outcome{Val: old.Val, Duplicate: true, Ver: old.Ver}
+						return Outcome{Val: old.Val, Duplicate: true, Ver: old.Ver, Epoch: s.Epoch}
 					}
 				}
 				return Outcome{Stale: true}
@@ -153,7 +168,7 @@ func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64
 			evictOldest(s.Dedup)
 		}
 	}
-	return Outcome{Val: s.Val, Applied: true, Ver: s.Ver}
+	return Outcome{Val: s.Val, Applied: true, Ver: s.Ver, Epoch: s.Epoch}
 }
 
 // evictOldest drops the entry with the smallest shard version — the

@@ -311,9 +311,29 @@ func (l *Log) replaySegment(sg segment, last bool, snapCover uint64, rec *Recove
 // replayOp folds one op record into the recovering table. The snapshot
 // image may already include records appended after the snapshot's
 // cover LSN (the image is read after the cover is captured), so
-// coverage is judged per shard by version, not by LSN.
+// coverage is judged per shard by (epoch, version), not by LSN.
+//
+// Epoch ordering: a record from a lower epoch than the recovering
+// state is the tail of a fork a replicated state install already
+// superseded — the install's snapshot fenced it, so the record is
+// skipped, never replayed over the acknowledged history. A record
+// from a HIGHER epoch that continues the version line is adopted,
+// epoch included: a follower that pulls a promoted primary's first
+// post-bump record appends it before any local snapshot at the new
+// epoch exists, so replay must cross epoch boundaries exactly the way
+// the live apply path does (contiguous version, higher epoch). A
+// higher-epoch record at or below the state's version would rewrite
+// history without the install snapshot that is required to fence it,
+// and is reported as corruption.
 func replayOp(r Record, lsn uint64, window int, rec *Recovery) error {
 	s := rec.Shards[r.Shard]
+	if r.Epoch < s.Epoch {
+		return nil // tail of a fork superseded by a state install
+	}
+	if r.Epoch > s.Epoch && r.Ver <= s.Ver {
+		return fmt.Errorf("durable: shard %d: record LSN %d at epoch %d rewrites version %d inside epoch-%d state (missing epoch-fencing snapshot)",
+			r.Shard, lsn, r.Epoch, r.Ver, s.Epoch)
+	}
 	if r.Ver <= s.Ver {
 		return nil // already inside the snapshot image
 	}
@@ -321,6 +341,7 @@ func replayOp(r Record, lsn uint64, window int, rec *Recovery) error {
 		return fmt.Errorf("durable: shard %d: record LSN %d has version %d, want %d (gap in shard history)",
 			r.Shard, lsn, r.Ver, s.Ver+1)
 	}
+	s.Epoch = r.Epoch // adopt an epoch bump that continues the line
 	out := Step(&s, window, r.Session, r.Seq, r.Kind, r.Arg)
 	if !out.Applied || out.Val != r.Val || out.Ver != r.Ver {
 		return fmt.Errorf("durable: shard %d: replay of LSN %d diverged (applied=%v val=%d ver=%d, recorded val=%d ver=%d)",
@@ -689,6 +710,13 @@ func (l *Log) ReadRecords(from uint64, maxRecords int) ([]Record, uint64, error)
 		}
 		data, err := os.ReadFile(sg.path)
 		if err != nil {
+			if os.IsNotExist(err) {
+				// The segment list was snapshotted under the mutex, but a
+				// concurrent snapshot prune unlinked the file before the
+				// read: same answer as arriving after the prune — the
+				// reader needs a state image, not a broken stream.
+				return nil, from, fmt.Errorf("%w: segment %s pruned mid-read", ErrPruned, filepath.Base(sg.path))
+			}
 			return nil, from, err
 		}
 		off := 0

@@ -114,17 +114,23 @@ type replOutcome int
 
 const (
 	replApplied replOutcome = iota
-	replSkipped             // at or below the local frontier: idempotent re-delivery
+	replAdopted             // applied AND crossed into a higher epoch: snapshot-fenced, not appended
+	replSkipped             // at or below the local frontier in the local epoch: idempotent re-delivery
+	replStale               // from an epoch the shard moved past: a deposed primary's fenced fork
 	replGap                 // beyond the next version: needs a state image
 	replDiverged
 )
 
 // ApplyReplicated folds a replicated batch into the local table and
-// WAL in record order. Re-delivered records (version at or below the
-// local frontier) are skipped — this is what makes mid-batch follower
-// crashes safe: the batch replays from its start and already-applied
-// records fall through. A version gap aborts the batch so the caller
-// can fall back to a state image.
+// WAL in record order. Re-delivered records (same epoch, version at or
+// below the local frontier) are skipped after a dedup cross-check —
+// this is what makes mid-batch follower crashes safe: the batch
+// replays from its start and already-applied records fall through. A
+// record continuing the version line at a HIGHER epoch is adopted,
+// epoch included — that is how a follower tracks a promotion without
+// refetching state. A record from a LOWER epoch is a deposed primary's
+// fork and is refused (ErrReplStale); a version gap aborts the batch
+// so the caller can fall back to a state image (ErrReplGap).
 func (b *replBackend) ApplyReplicated(recs []durable.Record) (uint64, error) {
 	s := b.s
 	s.replMu.Lock()
@@ -137,7 +143,19 @@ func (b *replBackend) ApplyReplicated(recs []durable.Record) (uint64, error) {
 		sh := s.tab.shards[rec.Shard]
 		r := rec
 		v := sh.obj.Apply(s.replIdentity(), func(st durable.ShardState) (durable.ShardState, any) {
-			if r.Ver <= st.Ver {
+			if r.Epoch < st.Epoch {
+				return st, replStale
+			}
+			if r.Epoch == st.Epoch && r.Ver <= st.Ver {
+				// Already inside local history — but verify it really is
+				// THIS record's history while the dedup window still
+				// remembers the op. Within one epoch there is a single
+				// writer, so a mismatch is a genuine same-epoch fork (e.g.
+				// a primary whose unsynced tail a host crash rewrote), not
+				// a race.
+				if !replSkipConsistent(st, r) {
+					return st, replDiverged
+				}
 				return st, replSkipped
 			}
 			if r.Ver != st.Ver+1 {
@@ -151,24 +169,49 @@ func (b *replBackend) ApplyReplicated(recs []durable.Record) (uint64, error) {
 			if !out.Applied || out.Val != r.Val || out.Ver != r.Ver {
 				return st, replDiverged
 			}
+			if r.Epoch > st.Epoch {
+				stepped.Epoch = r.Epoch // adopt a promotion's epoch bump
+				return stepped, replAdopted
+			}
 			return stepped, replApplied
 		})
 		switch v.(replOutcome) {
 		case replSkipped:
 			continue
+		case replAdopted:
+			// The record that carries a promotion's epoch bump is fenced
+			// like a state install, not appended: move the sequencer onto
+			// the new (epoch, version) line — aborting any old-epoch
+			// waiter, whose un-appended record would otherwise leave a
+			// hole — and persist a snapshot that both covers this record's
+			// effect and fences whatever the deposed line managed to log.
+			sh.seq.install(rec.Ver, rec.Epoch)
+			if err := s.log.WriteSnapshot(s.tab.peekAll); err != nil {
+				return maxLsn, err
+			}
+			continue
+		case replStale:
+			return maxLsn, fmt.Errorf("server: shard %d record at epoch %d, local state at epoch %d: %w",
+				rec.Shard, rec.Epoch, sh.obj.Peek().Epoch, cluster.ErrReplStale)
 		case replGap:
-			return maxLsn, fmt.Errorf("server: replicated record for shard %d jumps to version %d (gap)", rec.Shard, rec.Ver)
+			return maxLsn, fmt.Errorf("server: shard %d record jumps to version %d: %w", rec.Shard, rec.Ver, cluster.ErrReplGap)
 		case replDiverged:
-			return maxLsn, fmt.Errorf("server: replicated record for shard %d version %d diverged from local application", rec.Shard, rec.Ver)
+			return maxLsn, fmt.Errorf("server: shard %d version %d (epoch %d): %w",
+				rec.Shard, rec.Ver, rec.Epoch, cluster.ErrReplDiverged)
 		}
 		// Append the origin record verbatim to the local WAL, through
 		// the same per-shard sequencer as primary appends, so the local
 		// log stays a prefix-faithful transcript of every shard it
 		// holds — a restart recovers replicated history exactly like
 		// native history.
-		sh.seq.waitTurn(rec.Ver)
+		if !sh.seq.waitTurn(rec.Ver, rec.Epoch) {
+			// A concurrent state install moved the shard past this record
+			// between the apply above and the append; the install's
+			// snapshot covers it.
+			continue
+		}
 		lsn, aerr := s.log.Append(rec)
-		sh.seq.advance()
+		sh.seq.advance(rec.Ver, rec.Epoch)
 		if aerr != nil {
 			return maxLsn, aerr
 		}
@@ -179,6 +222,36 @@ func (b *replBackend) ApplyReplicated(recs []durable.Record) (uint64, error) {
 	return maxLsn, nil
 }
 
+// replSkipConsistent cross-checks a record at-or-below the local
+// frontier against the shard's dedup window: if the window still
+// remembers the record's op ID, its recorded version and value must
+// match; if the window remembers the session but has never seen an op
+// this new, local history cannot contain the record at all — despite
+// claiming its version range — which is a fork. Ops that aged out of
+// the window (or carried no ID) pass: the check is best-effort
+// defense in depth behind epoch fencing, not a proof.
+func replSkipConsistent(st durable.ShardState, r durable.Record) bool {
+	if r.Session == 0 || r.Seq == 0 {
+		return true
+	}
+	e, ok := st.Dedup[r.Session]
+	if !ok {
+		return true // session evicted: cannot check
+	}
+	if r.Seq > e.Seq {
+		return false // local history claims r.Ver yet never saw this op
+	}
+	if r.Seq == e.Seq {
+		return e.Ver == r.Ver && e.Val == r.Val
+	}
+	for _, old := range e.Recent {
+		if old.Seq == r.Seq {
+			return old.Ver == r.Ver && old.Val == r.Val
+		}
+	}
+	return true // aged out of the per-session history window
+}
+
 // WaitLocalDurable blocks until the local WAL has fsynced lsn —
 // sharing the group commit with any concurrent primary appends.
 func (b *replBackend) WaitLocalDurable(lsn uint64) error {
@@ -186,47 +259,89 @@ func (b *replBackend) WaitLocalDurable(lsn uint64) error {
 }
 
 // InstallState folds a state image into the table, shard by shard,
-// keeping only images strictly newer than local state, then persists a
-// local snapshot so the catch-up itself is durable (the next pull's
-// ack vouches for it).
-func (b *replBackend) InstallState(shards map[uint32]durable.ShardState) error {
+// keeping only images (epoch, version)-ahead of local state —
+// lexicographically, so a higher-epoch image at a LOWER version still
+// replaces a deposed primary's inflated fork — then persists a local
+// snapshot so the catch-up itself is durable AND the fork records in
+// the local WAL are fenced beneath it. covered reports whether local
+// state ended at or beyond the image on every shard it holds: false
+// means the image's sender is the one who is behind (or forked), and
+// the caller must not ack its log positions.
+func (b *replBackend) InstallState(shards map[uint32]durable.ShardState) (bool, error) {
 	s := b.s
 	s.replMu.Lock()
 	defer s.replMu.Unlock()
 	changed := false
+	covered := true
 	for id, img := range shards {
 		if int(id) >= s.cfg.Shards {
-			return fmt.Errorf("server: state image holds shard %d, table has %d", id, s.cfg.Shards)
+			return false, fmt.Errorf("server: state image holds shard %d, table has %d", id, s.cfg.Shards)
 		}
 		sh := s.tab.shards[id]
 		im := img
 		v := sh.obj.Apply(s.replIdentity(), func(st durable.ShardState) (durable.ShardState, any) {
-			if im.Ver <= st.Ver {
+			if im.Epoch < st.Epoch || (im.Epoch == st.Epoch && im.Ver <= st.Ver) {
 				return st, false
 			}
 			return im.Clone(), true
 		})
 		if v.(bool) {
 			// Versions up to im.Ver are covered by the image, not by
-			// local appends: jump the WAL sequencer past them.
-			sh.seq.reset(im.Ver)
+			// local appends: move the WAL sequencer onto the image's
+			// (epoch, version) line — retreating if the image supersedes
+			// an inflated fork, which aborts the fork's stranded waiters.
+			sh.seq.install(im.Ver, im.Epoch)
 			changed = true
+		}
+		if st := sh.obj.Peek(); st.Epoch != im.Epoch {
+			// The image lost to a strictly higher local epoch: its sender
+			// is deposed or lagging a promotion; nothing of its log may
+			// be acked on the strength of this install.
+			covered = false
 		}
 	}
 	if changed {
-		return s.log.WriteSnapshot(s.tab.peekAll)
+		return covered, s.log.WriteSnapshot(s.tab.peekAll)
 	}
-	return nil
+	return covered, nil
 }
 
-// Frontier returns every shard's current mutation version.
-func (b *replBackend) Frontier() []uint64 {
+// Frontier returns every shard's current mutation version and epoch.
+func (b *replBackend) Frontier() (vers, epochs []uint64) {
 	t := b.s.tab
-	out := make([]uint64, len(t.shards))
+	vers = make([]uint64, len(t.shards))
+	epochs = make([]uint64, len(t.shards))
 	for i := range t.shards {
-		out[i] = t.shards[i].obj.Peek().Ver
+		st := t.shards[i].obj.Peek()
+		vers[i] = st.Ver
+		epochs[i] = st.Epoch
 	}
-	return out
+	return vers, epochs
+}
+
+// BumpEpochs mints the next failover epoch for each listed shard (a
+// promotion fencing off the deposed primary's future writes) and
+// persists a snapshot before returning, so the claim survives a
+// restart and the replay invariant holds: by the time any record at
+// the new epoch exists, the epoch is already on disk.
+func (b *replBackend) BumpEpochs(shards []uint32) error {
+	s := b.s
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	for _, id := range shards {
+		if int(id) >= s.cfg.Shards {
+			return fmt.Errorf("server: epoch bump for shard %d, table has %d", id, s.cfg.Shards)
+		}
+		sh := s.tab.shards[id]
+		v := sh.obj.Apply(s.replIdentity(), func(st durable.ShardState) (durable.ShardState, any) {
+			ns := st.Clone()
+			ns.Epoch++
+			return ns, ns
+		})
+		ns := v.(durable.ShardState)
+		sh.seq.install(ns.Ver, ns.Epoch)
+	}
+	return s.log.WriteSnapshot(s.tab.peekAll)
 }
 
 // StateImage returns a consistent per-shard image for a peer.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -160,7 +161,7 @@ func TestInstallStateOnlyMovesForward(t *testing.T) {
 	}
 
 	// Stale image (older than local): must not regress.
-	if err := b.InstallState(map[uint32]durable.ShardState{0: {Ver: 2, Val: 2}}); err != nil {
+	if _, err := b.InstallState(map[uint32]durable.ShardState{0: {Ver: 2, Val: 2}}); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.tab.shards[0].obj.Peek(); st.Ver != 3 || st.Val != 3 {
@@ -172,8 +173,8 @@ func TestInstallStateOnlyMovesForward(t *testing.T) {
 	// append of version 5 would wait forever for version 4's local
 	// append, which the image made moot).
 	img := map[uint32]durable.ShardState{0: {Ver: 4, Val: 4}}
-	if err := b.InstallState(img); err != nil {
-		t.Fatal(err)
+	if covered, err := b.InstallState(img); err != nil || !covered {
+		t.Fatalf("installing fresh image: covered=%v err=%v", covered, err)
 	}
 	if st := s.tab.shards[0].obj.Peek(); st.Ver != 4 || st.Val != 4 {
 		t.Fatalf("fresh image not installed: Ver=%d Val=%d", st.Ver, st.Val)
@@ -196,7 +197,231 @@ func TestInstallStateOnlyMovesForward(t *testing.T) {
 	}
 
 	// Out-of-range shard in an image is rejected whole.
-	if err := b.InstallState(map[uint32]durable.ShardState{9: {Ver: 1}}); err == nil {
+	if _, err := b.InstallState(map[uint32]durable.ShardState{9: {Ver: 1}}); err == nil {
 		t.Fatal("image with out-of-range shard accepted")
+	}
+}
+
+// TestForkReconcileEpochDominance is the forked-history fix head on: a
+// deposed primary inflated its version counter with never-acked writes,
+// and the promoted peer's image — higher epoch, LOWER version — must
+// still replace the fork, retreat the WAL sequencer onto the new line,
+// and accept the new epoch's next record. Version-only comparison (the
+// reviewed bug) would keep the fork on both counts.
+func TestForkReconcileEpochDominance(t *testing.T) {
+	s := soloClusterServer(t)
+	b := &replBackend{s: s}
+
+	// The fork: ten epoch-0 writes that were never quorum-acked.
+	fork := originRecords(0, 31, []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		[]int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	if _, err := b.ApplyReplicated(fork); err != nil {
+		t.Fatal(err)
+	}
+
+	// The acknowledged history: epoch 1 at version 5 only.
+	img := map[uint32]durable.ShardState{0: {Epoch: 1, Ver: 5, Val: 500}}
+	covered, err := b.InstallState(img)
+	if err != nil || !covered {
+		t.Fatalf("installing higher-epoch image: covered=%v err=%v", covered, err)
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Epoch != 1 || st.Ver != 5 || st.Val != 500 {
+		t.Fatalf("inflated fork survived a higher-epoch image: %+v", st)
+	}
+
+	// The sequencer retreated with the install: version 6 of epoch 1
+	// appends without waiting for the fork's versions 6..10.
+	next := durable.Record{Session: 32, Seq: 1, Shard: 0,
+		Kind: durable.OpAdd, Arg: 1, Val: 501, Ver: 6, Epoch: 1}
+	done := make(chan error, 1)
+	go func() {
+		lsn, err := b.ApplyReplicated([]durable.Record{next})
+		if err == nil && lsn == 0 {
+			err = errors.New("record on the installed line appended nothing")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("applying on the installed line: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append wedged: sequencer did not retreat past the fenced fork")
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Epoch != 1 || st.Ver != 6 || st.Val != 501 {
+		t.Fatalf("after post-install record: %+v", st)
+	}
+
+	// Equal versions, different epochs: the epoch decides, not arrival
+	// order or version arithmetic.
+	covered, err = b.InstallState(map[uint32]durable.ShardState{0: {Epoch: 2, Ver: 6, Val: 999}})
+	if err != nil || !covered {
+		t.Fatalf("equal-version higher-epoch image: covered=%v err=%v", covered, err)
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Epoch != 2 || st.Ver != 6 || st.Val != 999 {
+		t.Fatalf("equal-version fork kept over higher epoch: %+v", st)
+	}
+}
+
+// TestStaleEpochRefused pins the fence itself: once a shard's epoch
+// moves (a local promotion), a deposed primary's records and state
+// images from the old epoch are refused — records with ErrReplStale
+// (quarantining the stream), images by installing nothing and reporting
+// covered=false (freezing the follower's acks).
+func TestStaleEpochRefused(t *testing.T) {
+	s := soloClusterServer(t)
+	b := &replBackend{s: s}
+
+	recs := originRecords(0, 41, []uint64{1}, []int64{5})
+	if _, err := b.ApplyReplicated(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BumpEpochs([]uint32{0}); err != nil {
+		t.Fatalf("bump: %v", err)
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Epoch != 1 || st.Ver != 1 || st.Val != 5 {
+		t.Fatalf("after bump: %+v", st)
+	}
+
+	fork := durable.Record{Session: 41, Seq: 2, Shard: 0,
+		Kind: durable.OpAdd, Arg: 9, Val: 14, Ver: 2, Epoch: 0}
+	if _, err := b.ApplyReplicated([]durable.Record{fork}); !errors.Is(err, cluster.ErrReplStale) {
+		t.Fatalf("stale-epoch record: err %v, want ErrReplStale", err)
+	}
+	covered, err := b.InstallState(map[uint32]durable.ShardState{0: {Epoch: 0, Ver: 50, Val: 999}})
+	if err != nil {
+		t.Fatalf("stale image: %v", err)
+	}
+	if covered {
+		t.Fatal("stale-epoch image reported covered: its sender's acks would count toward quorum")
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Epoch != 1 || st.Ver != 1 || st.Val != 5 {
+		t.Fatalf("stale delivery moved state: %+v", st)
+	}
+}
+
+// TestApplyReplicatedAdoptsPromotionEpoch: a record that continues the
+// version line at a higher epoch is a promotion observed through the
+// stream. It must apply, carry its epoch into local state, and be
+// fenced by a snapshot rather than appended (LSN 0); the epoch's next
+// record then appends normally.
+func TestApplyReplicatedAdoptsPromotionEpoch(t *testing.T) {
+	s := soloClusterServer(t)
+	b := &replBackend{s: s}
+
+	recs := originRecords(1, 51, []uint64{1, 2}, []int64{3, 4})
+	if _, err := b.ApplyReplicated(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	adopt := durable.Record{Session: 51, Seq: 3, Shard: 1,
+		Kind: durable.OpAdd, Arg: 5, Val: 12, Ver: 3, Epoch: 1}
+	lsn, err := b.ApplyReplicated([]durable.Record{adopt})
+	if err != nil {
+		t.Fatalf("epoch-crossing record: %v", err)
+	}
+	if lsn != 0 {
+		t.Fatalf("epoch-crossing record appended (LSN %d); must be snapshot-fenced", lsn)
+	}
+	if st := s.tab.shards[1].obj.Peek(); st.Epoch != 1 || st.Ver != 3 || st.Val != 12 {
+		t.Fatalf("after adopt: %+v", st)
+	}
+
+	next := durable.Record{Session: 51, Seq: 4, Shard: 1,
+		Kind: durable.OpAdd, Arg: 1, Val: 13, Ver: 4, Epoch: 1}
+	lsn, err = b.ApplyReplicated([]durable.Record{next})
+	if err != nil || lsn == 0 {
+		t.Fatalf("record after adopt: lsn=%d err=%v (sequencer not on the new epoch?)", lsn, err)
+	}
+	if st := s.tab.shards[1].obj.Peek(); st.Epoch != 1 || st.Ver != 4 || st.Val != 13 {
+		t.Fatalf("after post-adopt record: %+v", st)
+	}
+}
+
+// TestReplSkipCrossChecksDedup: within one epoch, a redelivered record
+// the dedup window still remembers must match local history exactly; a
+// value mismatch or a never-seen op ID inside claimed versions is a
+// same-epoch fork (ErrReplDiverged), while honest redelivery skips.
+func TestReplSkipCrossChecksDedup(t *testing.T) {
+	s := soloClusterServer(t)
+	b := &replBackend{s: s}
+
+	recs := originRecords(0, 61, []uint64{1, 2}, []int64{1, 2})
+	if _, err := b.ApplyReplicated(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := recs[1]
+	bad.Val = 777
+	if _, err := b.ApplyReplicated([]durable.Record{bad}); !errors.Is(err, cluster.ErrReplDiverged) {
+		t.Fatalf("altered redelivery: err %v, want ErrReplDiverged", err)
+	}
+	// An op the window has never seen, claiming an already-covered
+	// version: local history cannot contain it.
+	phantom := durable.Record{Session: 61, Seq: 9, Shard: 0,
+		Kind: durable.OpAdd, Arg: 1, Val: 2, Ver: 2, Epoch: 0}
+	if _, err := b.ApplyReplicated([]durable.Record{phantom}); !errors.Is(err, cluster.ErrReplDiverged) {
+		t.Fatalf("phantom op in covered versions: err %v, want ErrReplDiverged", err)
+	}
+	lsn, err := b.ApplyReplicated(recs)
+	if err != nil || lsn != 0 {
+		t.Fatalf("honest redelivery: lsn=%d err=%v", lsn, err)
+	}
+	if st := s.tab.shards[0].obj.Peek(); st.Ver != 2 || st.Val != 3 {
+		t.Fatalf("state moved on rejected redelivery: %+v", st)
+	}
+}
+
+// TestAppendSequencerInstallAbortsWaiters is the sequencer-wedge fix in
+// isolation: a waiter parked on a version that an install retreats past
+// (or whose epoch an install supersedes) must return false promptly,
+// not block forever.
+func TestAppendSequencerInstallAbortsWaiters(t *testing.T) {
+	g := newAppendSequencer(durable.ShardState{Ver: 2}) // next append: (3, epoch 0)
+
+	await := func(what string, ch <-chan bool, want bool) {
+		t.Helper()
+		select {
+		case got := <-ch:
+			if got != want {
+				t.Fatalf("%s returned %v, want %v", what, got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s wedged after install", what)
+		}
+	}
+
+	// The reviewed wedge: waitTurn(5) parked, install supersedes the
+	// epoch at a LOWER version. Pre-fix this waiter never woke.
+	turn := make(chan bool, 1)
+	go func() { turn <- g.waitTurn(5, 0) }()
+	g.install(4, 1)
+	await("old-epoch waitTurn", turn, false)
+
+	// The installed line is immediately appendable where it resumed.
+	if !g.waitTurn(5, 1) {
+		t.Fatal("next version of the installed line refused")
+	}
+	g.advance(5, 1)
+
+	// Same-epoch supersede: an install covering the waiter's version.
+	go func() { turn <- g.waitTurn(7, 1) }()
+	g.install(8, 1)
+	await("covered-version waitTurn", turn, false)
+
+	// waitAppended must abort too: the record it vouches for may have
+	// been fenced off with its epoch.
+	appended := make(chan bool, 1)
+	go func() { appended <- g.waitAppended(20, 1) }()
+	g.install(1, 2)
+	await("superseded waitAppended", appended, false)
+
+	// Late arrivals from a dead epoch fail synchronously.
+	if g.waitTurn(2, 1) {
+		t.Fatal("waitTurn admitted an append from a superseded epoch")
+	}
+	if g.waitAppended(1, 1) {
+		t.Fatal("waitAppended vouched for a superseded epoch")
 	}
 }

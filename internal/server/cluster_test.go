@@ -255,6 +255,65 @@ func TestClusterReplicationRedirectAndFailover(t *testing.T) {
 	}
 }
 
+// TestClusterPromotionGatedBelowQuorum is the minority-takeover guard:
+// a member that has never reached a quorum of the cluster (here: one
+// node of three at quorum 2, peers never started) must not promote
+// itself for ANY shard, no matter how long its failure detector has
+// considered the absent peers dead. Pre-fix, such a node declared its
+// peers suspect after FailAfter and took over every shard — the exact
+// split-brain seed the review flagged.
+func TestClusterPromotionGatedBelowQuorum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node cluster test")
+	}
+	peers := []cluster.Peer{
+		{ID: "a", ClientAddr: reservePort(t), ReplAddr: reservePort(t)},
+		{ID: "b", ClientAddr: reservePort(t), ReplAddr: reservePort(t)},
+		{ID: "c", ClientAddr: reservePort(t), ReplAddr: reservePort(t)},
+	}
+	const shards = 4
+	srv, err := server.New(server.Config{
+		N: 4, K: 2, Shards: shards,
+		DataDir: filepath.Join(t.TempDir(), "a"),
+		Fsync:   durable.SyncAlways,
+		Cluster: &server.ClusterConfig{
+			NodeID: "a", Peers: peers, Quorum: 2,
+			FailAfter: 400 * time.Millisecond, PullWait: 50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen(peers[0].ClientAddr); err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-served; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	// Watch for several failure-detector periods: plenty of time for the
+	// pre-fix behavior (suspect peers, promote) to manifest.
+	deadline := time.Now().Add(4 * 400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for s := uint32(0); s < shards; s++ {
+			if srv.Node().Owns(s) {
+				t.Fatalf("isolated minority promoted itself for shard %d", s)
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if p := srv.Promotions(); p != 0 {
+		t.Fatalf("isolated minority completed %d promotions", p)
+	}
+}
+
 // TestClusterQuorumOneDoesNotWaitForFollowers pins the -quorum 1 mode:
 // acks release on local durability alone, so a cluster of one live
 // primary (followers never started) still serves.

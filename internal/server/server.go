@@ -708,10 +708,13 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 
 	// The durability frontier: every wait-marked response is contingent
 	// on maxLsn being covered, checked once after the whole pipeline has
-	// applied and appended.
+	// applied and appended. shard and epoch feed the post-quorum fencing
+	// recheck in cluster mode.
 	type pendingAck struct {
-		idx int
-		id  uint64
+		idx   int
+		id    uint64
+		shard uint32
+		epoch uint64
 	}
 	var (
 		waiting []pendingAck
@@ -741,11 +744,11 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 					Data:   []byte(s.node.PrimaryAddr(req.Shard)),
 				}
 			default:
-				var lsn uint64
+				var lsn, epoch uint64
 				var wait, fresh bool
-				resp, lsn, wait, fresh = s.applyObjOp(p, req)
+				resp, lsn, epoch, wait, fresh = s.applyObjOp(p, req)
 				if wait {
-					waiting = append(waiting, pendingAck{idx: len(resps), id: req.ID})
+					waiting = append(waiting, pendingAck{idx: len(resps), id: req.ID, shard: req.Shard, epoch: epoch})
 					if lsn > maxLsn {
 						maxLsn = lsn
 					}
@@ -778,7 +781,22 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 					resps[w.idx] = errResponse(w.id, wire.StatusInternal, err.Error())
 				}
 			} else {
-				s.quorumAcks.Add(int64(len(waiting)))
+				// Fencing recheck: quorum acks vouch for LSN prefixes, not
+				// histories. If a shard's epoch moved while this pipeline
+				// waited (a state install superseded a fork this node was
+				// serving), an op applied at the old epoch may be fenced
+				// data — withhold its ack and let the retry settle against
+				// the installed history.
+				acked := 0
+				for _, w := range waiting {
+					if st := s.tab.shards[w.shard].obj.Peek(); st.Epoch != w.epoch {
+						resps[w.idx] = errResponse(w.id, wire.StatusInternal,
+							"shard re-installed at a new epoch during the quorum wait; retry")
+						continue
+					}
+					acked++
+				}
+				s.quorumAcks.Add(int64(acked))
 			}
 		}
 	}
@@ -792,18 +810,18 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 // applyObjOp runs one object operation under the configured per-op
 // deadline, counting withdrawals. The durability wait is the caller's
 // (see table.applyStart).
-func (s *Server) applyObjOp(p int, req wire.Request) (resp wire.Response, lsn uint64, wait, fresh bool) {
+func (s *Server) applyObjOp(p int, req wire.Request) (resp wire.Response, lsn, epoch uint64, wait, fresh bool) {
 	ctx := context.Background()
 	if s.cfg.OpTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.OpTimeout)
 		defer cancel()
 	}
-	resp, lsn, wait, fresh = s.tab.applyStart(ctx, p, req, s.cfg.ApplyGate)
+	resp, lsn, epoch, wait, fresh = s.tab.applyStart(ctx, p, req, s.cfg.ApplyGate)
 	if resp.Status == wire.StatusTimeout {
 		s.opDeadlines.Add(1)
 	}
-	return resp, lsn, wait, fresh
+	return resp, lsn, epoch, wait, fresh
 }
 
 // armWrite bounds the next response write by the idle watchdog, so a

@@ -83,7 +83,7 @@ func newTable(n, k, shards int, impl core.Constructor, tc tableConfig) *table {
 			obj: resilient.NewSharedConfig(n, k, initial, durable.ShardState.Clone,
 				resilient.Config{Excl: excl, Metrics: m}),
 			m:   m,
-			seq: newAppendSequencer(initial.Ver),
+			seq: newAppendSequencer(initial),
 		}
 	}
 	return t
@@ -136,10 +136,15 @@ func (t *table) peekAll() map[uint32]durable.ShardState {
 // applied reports a fresh (non-duplicate) mutation that reached the
 // log: the caller charges the snapshot cadence for each, after the
 // pipeline's wait succeeds.
-func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate func(shard uint32, kind wire.Kind)) (resp wire.Response, lsn uint64, wait, applied bool) {
+//
+// epoch is the shard's failover epoch at the op's linearization point.
+// A clustered caller re-checks it after the quorum wait: if the shard
+// was re-installed at a different epoch in between, the op's record
+// may be a fenced fork and its ack must be withheld.
+func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate func(shard uint32, kind wire.Kind)) (resp wire.Response, lsn, epoch uint64, wait, applied bool) {
 	if int(req.Shard) >= len(t.shards) || req.Shard >= 1<<31 {
 		return errResponse(req.ID, wire.StatusBadShard,
-			fmt.Sprintf("shard %d out of range [0,%d)", req.Shard, len(t.shards))), 0, false, false
+			fmt.Sprintf("shard %d out of range [0,%d)", req.Shard, len(t.shards))), 0, 0, false, false
 	}
 	sh := t.shards[req.Shard]
 
@@ -153,18 +158,18 @@ func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate fu
 			return s, s.Val
 		})
 		if err != nil {
-			return timeoutResponse(req.ID), 0, false, false
+			return timeoutResponse(req.ID), 0, 0, false, false
 		}
 		// Reads are linearized but do not wait for the log: the value
 		// returned is some applied state, and reads move nothing that a
 		// crash could lose.
-		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: v.(int64)}, 0, false, false
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: v.(int64)}, 0, 0, false, false
 	case wire.KindAdd:
 		kind = durable.OpAdd
 	case wire.KindSet:
 		kind = durable.OpSet
 	default:
-		return errResponse(req.ID, wire.StatusBadRequest, fmt.Sprintf("unknown kind %s", req.Kind)), 0, false, false
+		return errResponse(req.ID, wire.StatusBadRequest, fmt.Sprintf("unknown kind %s", req.Kind)), 0, 0, false, false
 	}
 
 	v, err := sh.obj.ApplyCtx(ctx, p, func(s durable.ShardState) (durable.ShardState, any) {
@@ -175,13 +180,13 @@ func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate fu
 		return s, out
 	})
 	if err != nil {
-		return timeoutResponse(req.ID), 0, false, false
+		return timeoutResponse(req.ID), 0, 0, false, false
 	}
 	out := v.(durable.Outcome)
 	switch {
 	case out.Stale:
 		return errResponse(req.ID, wire.StatusBadRequest,
-			fmt.Sprintf("stale op: session %#x already moved past seq %d", req.Session, req.Seq)), 0, false, false
+			fmt.Sprintf("stale op: session %#x already moved past seq %d", req.Session, req.Seq)), 0, 0, false, false
 	case out.Duplicate:
 		sh.m.DupeHit()
 		if t.dupes != nil {
@@ -190,20 +195,30 @@ func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate fu
 		if t.log != nil {
 			// The original application is at shard version out.Ver; once
 			// its record is in the log, the log's current end bounds it.
-			sh.seq.waitAppended(out.Ver)
+			if !sh.seq.waitAppended(out.Ver, out.Epoch) {
+				return errResponse(req.ID, wire.StatusInternal,
+					"original write superseded by a replication state install; retry"), 0, 0, false, false
+			}
 			return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: out.Val},
-				t.log.End(), true, false
+				t.log.End(), out.Epoch, true, false
 		}
-		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: out.Val}, 0, false, false
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: out.Val}, 0, 0, false, false
 	}
 
 	if t.log != nil {
-		sh.seq.waitTurn(out.Ver)
+		if !sh.seq.waitTurn(out.Ver, out.Epoch) {
+			// A replication state install superseded the history this op
+			// applied on before its record reached the log. The in-memory
+			// application was discarded with the fork; the client retries
+			// and either dedups against the installed state or re-applies.
+			return errResponse(req.ID, wire.StatusInternal,
+				"write superseded by a replication state install before it was logged; retry"), 0, 0, false, false
+		}
 		alsn, aerr := t.log.Append(durable.Record{
 			Session: req.Session, Seq: req.Seq, Shard: req.Shard,
-			Kind: kind, Arg: req.Arg, Val: out.Val, Ver: out.Ver,
+			Kind: kind, Arg: req.Arg, Val: out.Val, Ver: out.Ver, Epoch: out.Epoch,
 		})
-		sh.seq.advance()
+		sh.seq.advance(out.Ver, out.Epoch)
 		if aerr != nil {
 			// The op IS applied in memory; only its durability failed.
 			// Advancing the sequencer keeps later writers from wedging in
@@ -213,11 +228,11 @@ func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate fu
 			// so no mutation is acked as durable after this point — the
 			// client sees internal errors, never a durable ack the next
 			// recovery would contradict.
-			return errResponse(req.ID, wire.StatusInternal, aerr.Error()), 0, false, false
+			return errResponse(req.ID, wire.StatusInternal, aerr.Error()), 0, 0, false, false
 		}
-		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}, alsn, true, true
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}, alsn, out.Epoch, true, true
 	}
-	return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}, 0, false, true
+	return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}, 0, 0, false, true
 }
 
 // finishWait blocks until the pipeline's durability frontier — the max
@@ -244,63 +259,106 @@ func (t *table) noteApplied(n int) {
 }
 
 // appendSequencer admits WAL appends for one shard strictly in
-// mutation-version order. The universal construction linearizes
-// mutations and hands each a dense version number, but the sessions
-// carrying them race to the log; the sequencer restores the order, so
-// the WAL is a prefix-faithful transcript of each shard's history.
+// mutation-version order within a failover epoch. The universal
+// construction linearizes mutations and hands each a dense version
+// number, but the sessions carrying them race to the log; the
+// sequencer restores the order, so the WAL is a prefix-faithful
+// transcript of each shard's history.
+//
+// Versions only mean anything inside an epoch: a replication state
+// install can supersede the local history with a higher-epoch image
+// whose version is BELOW versions already applied here (a deposed
+// primary inflates its counter with never-acked writes). The sequencer
+// therefore tracks the epoch its version line belongs to, and both
+// waits abort — returning false — when an install moves the line out
+// from under a waiter. A pre-install wait API would instead wedge such
+// a waiter forever: install used to be forward-only, so a waiter at a
+// version the install retreated past could never match `next` again.
 type appendSequencer struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	next uint64 // version whose append is admitted next
+	mu    sync.Mutex
+	cond  *sync.Cond
+	next  uint64 // version whose append is admitted next
+	epoch uint64 // epoch the version line belongs to
 }
 
-func newAppendSequencer(recovered uint64) *appendSequencer {
-	g := &appendSequencer{next: recovered + 1}
+func newAppendSequencer(recovered durable.ShardState) *appendSequencer {
+	g := &appendSequencer{next: recovered.Ver + 1, epoch: recovered.Epoch}
 	g.cond = sync.NewCond(&g.mu)
 	return g
 }
 
-// waitTurn blocks until ver is the next version to append. Every
-// version below ver was applied by some live session goroutine that
-// will append it (sessions survive their sockets), so the wait is
-// bounded by those appends.
-func (g *appendSequencer) waitTurn(ver uint64) {
+// waitTurn blocks until (epoch, ver) is the next append to admit and
+// reports whether the caller may append. Every version below ver in
+// the same epoch was applied by some live session goroutine that will
+// append it (sessions survive their sockets), so the wait is bounded
+// by those appends. A false return means the op was superseded: a
+// state install replaced the history it applied on (epoch moved past
+// the op's) or already covered its version — the record must not be
+// written, and the op cannot be acked as durable.
+func (g *appendSequencer) waitTurn(ver, epoch uint64) bool {
 	g.mu.Lock()
-	for g.next != ver {
+	defer g.mu.Unlock()
+	for {
+		switch {
+		case g.epoch > epoch || (g.epoch == epoch && g.next > ver):
+			return false
+		case g.epoch == epoch && g.next == ver:
+			return true
+		}
+		// g.epoch < epoch: the op linearized after an epoch bump whose
+		// sequencer install is still in flight; wait for it.
 		g.cond.Wait()
 	}
-	g.mu.Unlock()
 }
 
-// advance admits the next version (called after the append, success or
-// not — an append failure must not wedge every later writer).
-func (g *appendSequencer) advance() {
+// advance admits the version after (ver, epoch) (called after the
+// append, success or not — an append failure must not wedge every
+// later writer). It is a no-op when an install moved the sequencer
+// while the append was in flight: the appended record belongs to a
+// superseded line (replay fences it by epoch), and blindly bumping
+// `next` would instead punch a version gap into the installed line.
+func (g *appendSequencer) advance(ver, epoch uint64) {
 	g.mu.Lock()
-	g.next++
-	g.cond.Broadcast()
-	g.mu.Unlock()
-}
-
-// reset jumps the sequencer past an installed state image: versions at
-// or below ver were made durable by the image's snapshot, not by local
-// appends, so the next admitted append is ver+1. A backward reset is a
-// no-op — the sequencer never retreats.
-func (g *appendSequencer) reset(ver uint64) {
-	g.mu.Lock()
-	if g.next <= ver {
+	if g.epoch == epoch && g.next == ver {
 		g.next = ver + 1
 		g.cond.Broadcast()
 	}
 	g.mu.Unlock()
 }
 
-// waitAppended blocks until version ver's record has been appended.
-func (g *appendSequencer) waitAppended(ver uint64) {
+// install moves the sequencer to an installed state image or epoch
+// bump: versions at or below ver in that epoch were made durable by
+// the image's snapshot, not by local appends, so the next admitted
+// append is ver+1. Within an epoch the sequencer never retreats; a
+// higher epoch always wins, even when its version is lower — that is
+// precisely the discarded-fork case, and the retreat is what aborts
+// the fork's stranded waiters.
+func (g *appendSequencer) install(ver, epoch uint64) {
 	g.mu.Lock()
-	for g.next <= ver {
-		g.cond.Wait()
+	if epoch > g.epoch || (epoch == g.epoch && g.next <= ver) {
+		g.epoch = epoch
+		g.next = ver + 1
+		g.cond.Broadcast()
 	}
 	g.mu.Unlock()
+}
+
+// waitAppended blocks until version ver's record in epoch has been
+// appended, reporting false when an install superseded that epoch —
+// the original record may have been fenced off, so the caller must
+// not vouch for its durability.
+func (g *appendSequencer) waitAppended(ver, epoch uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.epoch > epoch {
+			return false
+		}
+		if g.epoch == epoch && g.next > ver {
+			return true
+		}
+		g.cond.Wait()
+	}
 }
 
 // timeoutResponse answers a withdrawn operation.

@@ -16,9 +16,10 @@
 //   - ReplState: snapshot catch-up for a follower whose resume point
 //     was pruned — the full per-shard state image (durable.EncodeState)
 //     at the peer's log end.
-//   - ReplFrontier: the per-shard version frontier, queried during
-//     promotion so a new primary can prove it is at least as new as
-//     every reachable peer before serving.
+//   - ReplFrontier: the per-shard (epoch, version) frontier, queried
+//     during promotion so a new primary can prove it is at least as
+//     new as every reachable peer — epoch first, then version —
+//     before serving.
 //
 // Replication frames use the same length-prefix framing as the client
 // dialect but under MaxReplFrame, because a state image legitimately
@@ -33,10 +34,11 @@ import (
 	"kexclusion/internal/durable"
 )
 
-// ReplMagic opens a ReplHello ("kxr1"); bump the digit on incompatible
-// change. Distinct from Magic so a client dialing the repl port (or a
-// follower dialing the client port) fails loudly at the handshake.
-const ReplMagic uint32 = 0x6b787231
+// ReplMagic opens a ReplHello ("kxr2"); bump the digit on incompatible
+// change — kxr1→kxr2 added per-shard epochs to records and frontiers.
+// Distinct from Magic so a client dialing the repl port (or a follower
+// dialing the client port) fails loudly at the handshake.
+const ReplMagic uint32 = 0x6b787232
 
 // MaxReplFrame bounds a replication frame. Sized for a full state
 // image (durable caps snapshot bodies at 64 MiB) plus headroom.
@@ -138,18 +140,23 @@ type StateResponse struct {
 	Image []byte
 }
 
-// FrontierResponse carries the per-shard version frontier.
+// FrontierResponse carries the per-shard (epoch, version) frontier.
+// Promotion compares the pairs lexicographically: a higher epoch is
+// ahead regardless of version, because a deposed primary's version
+// counter keeps inflating with writes that never reached quorum.
 type FrontierResponse struct {
 	// Status is StatusOK or StatusDraining.
 	Status Status
 	// Vers holds each shard's current mutation version, indexed by
 	// shard.
 	Vers []uint64
+	// Epochs holds each shard's failover epoch, parallel to Vers.
+	Epochs []uint64
 }
 
 // replRecordLen is one op record on the wire: session + seq + shard +
-// kind + arg + val + ver.
-const replRecordLen = 8 + 8 + 4 + 1 + 8 + 8 + 8
+// kind + arg + val + ver + epoch.
+const replRecordLen = 8 + 8 + 4 + 1 + 8 + 8 + 8 + 8
 
 func appendReplRecord(b []byte, r durable.Record) []byte {
 	b = binary.BigEndian.AppendUint64(b, r.Session)
@@ -159,6 +166,7 @@ func appendReplRecord(b []byte, r durable.Record) []byte {
 	b = binary.BigEndian.AppendUint64(b, uint64(r.Arg))
 	b = binary.BigEndian.AppendUint64(b, uint64(r.Val))
 	b = binary.BigEndian.AppendUint64(b, r.Ver)
+	b = binary.BigEndian.AppendUint64(b, r.Epoch)
 	return b
 }
 
@@ -171,6 +179,7 @@ func parseReplRecord(b []byte) durable.Record {
 		Arg:     int64(binary.BigEndian.Uint64(b[21:])),
 		Val:     int64(binary.BigEndian.Uint64(b[29:])),
 		Ver:     binary.BigEndian.Uint64(b[37:]),
+		Epoch:   binary.BigEndian.Uint64(b[45:]),
 	}
 }
 
@@ -343,12 +352,19 @@ func ParseStateResponse(b []byte) (StateResponse, error) {
 	return s, nil
 }
 
-// Encode serializes a frontier response.
+// Encode serializes a frontier response as [epoch][ver] pairs per
+// shard. Vers and Epochs must be the same length (a short Epochs
+// encodes missing entries as 0, for hand-built test values).
 func (f FrontierResponse) Encode() []byte {
-	b := make([]byte, 0, 5+len(f.Vers)*8)
+	b := make([]byte, 0, 5+len(f.Vers)*16)
 	b = append(b, byte(f.Status))
 	b = binary.BigEndian.AppendUint32(b, uint32(len(f.Vers)))
-	for _, v := range f.Vers {
+	for i, v := range f.Vers {
+		var e uint64
+		if i < len(f.Epochs) {
+			e = f.Epochs[i]
+		}
+		b = binary.BigEndian.AppendUint64(b, e)
 		b = binary.BigEndian.AppendUint64(b, v)
 	}
 	return b
@@ -360,14 +376,16 @@ func ParseFrontierResponse(b []byte) (FrontierResponse, error) {
 		return FrontierResponse{}, fmt.Errorf("wire: frontier response payload is %d bytes, want >= 5", len(b))
 	}
 	n := int(binary.BigEndian.Uint32(b[1:]))
-	if n*8 != len(b)-5 {
+	if n*16 != len(b)-5 {
 		return FrontierResponse{}, fmt.Errorf("wire: frontier response declares %d shards, has %d bytes for them", n, len(b)-5)
 	}
 	f := FrontierResponse{Status: Status(b[0])}
 	if n > 0 {
 		f.Vers = make([]uint64, n)
+		f.Epochs = make([]uint64, n)
 		for i := range f.Vers {
-			f.Vers[i] = binary.BigEndian.Uint64(b[5+i*8:])
+			f.Epochs[i] = binary.BigEndian.Uint64(b[5+i*16:])
+			f.Vers[i] = binary.BigEndian.Uint64(b[13+i*16:])
 		}
 	}
 	return f, nil

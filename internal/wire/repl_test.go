@@ -56,7 +56,7 @@ func TestReplResponseRoundTrips(t *testing.T) {
 	pr := PullResponse{
 		Status: StatusOK, ResumeLSN: 12, End: 20,
 		Records: []durable.Record{
-			{Session: 1, Seq: 2, Shard: 3, Kind: durable.OpAdd, Arg: -4, Val: 5, Ver: 6},
+			{Session: 1, Seq: 2, Shard: 3, Kind: durable.OpAdd, Arg: -4, Val: 5, Ver: 6, Epoch: 2},
 			{Session: 7, Seq: 8, Shard: 0, Kind: durable.OpSet, Arg: 9, Val: 9, Ver: 10},
 		},
 	}
@@ -77,7 +77,7 @@ func TestReplResponseRoundTrips(t *testing.T) {
 		t.Fatalf("state response round trip: %+v, err %v", got, err)
 	}
 
-	fr := FrontierResponse{Status: StatusOK, Vers: []uint64{0, 9, 4}}
+	fr := FrontierResponse{Status: StatusOK, Vers: []uint64{0, 9, 4}, Epochs: []uint64{0, 2, 1}}
 	if got, err := ParseFrontierResponse(fr.Encode()); err != nil || !reflect.DeepEqual(got, fr) {
 		t.Fatalf("frontier response round trip: %+v, err %v", got, err)
 	}
