@@ -31,6 +31,16 @@ type clusterConfig struct {
 	dataDir   string
 	fsync     string
 	failAfter time.Duration
+	lease     time.Duration // 0 = the spawned servers' default (fail-after/2)
+}
+
+// effLease is the lease interval the spawned members actually run
+// with: the -lease flag, or the kexserved default of fail-after/2.
+func (c clusterConfig) effLease() time.Duration {
+	if c.lease > 0 {
+		return c.lease
+	}
+	return c.failAfter / 2
 }
 
 // clusterNodes is the membership size: three is the smallest cluster
@@ -108,9 +118,11 @@ func isNotPrimaryErr(err error) *wire.Error {
 // chaos proxies (the advertised peer addresses ARE the proxies, so
 // every redirect a client follows routes through one), n reconnecting
 // clients write shard 0 through its primary, the primary is SIGKILLed
-// at half-load and never restarted, and the clients heal onto the
-// promoted ring successor — redirect rotation forward, fallback to
-// their home member when the rotated address dies.
+// at half-load, and the clients heal onto the promoted ring successor —
+// redirect rotation forward, fallback to their home member when the
+// rotated address dies. After the failover verdict the victim is
+// restarted from its own data directory and must re-converge without
+// moving the counter.
 //
 // The contract checked: the final counter equals EXACTLY n×ops. Every
 // acknowledged write waited for the majority quorum (two disks), the
@@ -171,14 +183,19 @@ func runCluster(out io.Writer, cfg clusterConfig) error {
 			}
 		}
 	}()
+	// Per-member arg lists are kept so the rejoin phase can restart the
+	// killed primary with its exact original identity and data.
+	memberArgs := make([][]string, clusterNodes)
 	for i := range members {
-		s, err := startServedArgs(cfg.servedBin,
+		memberArgs[i] = []string{
 			"-addr", realAddrs[i], "-n", fmt.Sprint(cfg.n), "-k", fmt.Sprint(cfg.k),
 			"-shards", fmt.Sprint(clusterShards), "-impl", cfg.impl, "-quiet",
 			"-data-dir", filepath.Join(dir, fmt.Sprintf("node-%d", i)),
 			"-fsync", cfg.fsync,
 			"-node-id", fmt.Sprintf("node-%d", i), "-peers", peerSpec,
-			"-quorum", "majority", "-fail-after", cfg.failAfter.String())
+			"-quorum", "majority", "-fail-after", cfg.failAfter.String(),
+			"-lease", cfg.effLease().String()}
+		s, err := startServedArgs(cfg.servedBin, memberArgs[i]...)
 		if err != nil {
 			return fmt.Errorf("member %d: %w", i, err)
 		}
@@ -331,11 +348,52 @@ func runCluster(out io.Writer, cfg clusterConfig) error {
 		fmt.Fprintf(out, "CONTRACT VIOLATION: redirects=0: follower-homed clients never saw a not_primary redirect\n")
 	}
 
-	// Drain the survivors cleanly so their WAL closes are orderly.
-	for _, i := range followers {
+	// Rejoin: the failover verdict above is half the contract — the
+	// killed primary must also come back cleanly. Restart it from its
+	// own data directory with its exact original identity: it catches
+	// up from the survivors (any unreplicated fork tail in its WAL is
+	// fenced beneath the heir's higher epoch), re-claims its ring-owned
+	// shards through the one gated promotion path, and the counter must
+	// not move — the fork neither leaks back in nor eats an acked write.
+	rejoined, rerr := startServedArgs(cfg.servedBin, memberArgs[primary]...)
+	if rerr != nil {
+		return fmt.Errorf("rejoin: restarting node-%d: %w", primary, rerr)
+	}
+	members[primary] = rejoined
+	reconvergeDeadline := time.Now().Add(20 * time.Second)
+	converged := -1
+	var convErr error
+	for converged < 0 && !time.Now().After(reconvergeDeadline) {
+		if converged, convErr = probeOwner(proxies); convErr != nil {
+			converged = -1
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if converged < 0 {
+		failures++
+		fmt.Fprintf(out, "CONTRACT VIOLATION: cluster never re-converged after node-%d rejoined: %v\n", primary, convErr)
+	} else {
+		c, cerr := client.DialTimeout(proxies[converged].Addr(), 2*time.Second)
+		if cerr != nil {
+			return fmt.Errorf("rejoin verdict read: %w", cerr)
+		}
+		after, gerr := c.Get(0)
+		c.Close()
+		if gerr != nil {
+			return fmt.Errorf("rejoin verdict read: %w", gerr)
+		}
+		if after != want {
+			failures++
+			fmt.Fprintf(out, "CONTRACT VIOLATION: counter=%d after node-%d rejoined, want %d (a fenced fork leaked back in or an acked write vanished)\n",
+				after, primary, want)
+		}
+	}
+
+	// Drain every member cleanly so their WAL closes are orderly.
+	for i := range members {
 		members[i].cmd.Process.Signal(syscall.SIGTERM)
 	}
-	for _, i := range followers {
+	for i := range members {
 		select {
 		case <-members[i].exited:
 		case <-time.After(10 * time.Second):
@@ -373,7 +431,7 @@ func runCluster(out io.Writer, cfg clusterConfig) error {
 		return fmt.Errorf("%d contract violation(s)", failures)
 	}
 	if !cfg.asJSON {
-		fmt.Fprintf(out, "verdict: failover (%d acknowledged writes survived a primary SIGKILL exactly once; node-%d never restarted)\n",
+		fmt.Fprintf(out, "verdict: failover (%d acknowledged writes survived a primary SIGKILL exactly once; node-%d rejoined fenced and re-converged)\n",
 			want, primary)
 	}
 	return nil

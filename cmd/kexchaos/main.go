@@ -15,7 +15,8 @@
 //	kexchaos -all -seed 42 -json
 //	kexchaos -net -n 6 -k 2 -ops 10 -seed 7       # link faults through a chaos proxy
 //	kexchaos -restart -served-bin ./kexserved -n 4 -k 2 -ops 25 -seed 7   # SIGKILL + recovery
-//	kexchaos -cluster -served-bin ./kexserved -n 4 -k 2 -ops 25 -seed 7   # SIGKILL the primary, fail over
+//	kexchaos -cluster -served-bin ./kexserved -n 4 -k 2 -ops 25 -seed 7   # SIGKILL the primary, fail over, rejoin
+//	kexchaos -cluster -partition -served-bin ./kexserved -ops 25 -seed 7  # isolate the primary, lease must fence it
 package main
 
 import (
@@ -59,8 +60,10 @@ func run(args []string, out io.Writer) error {
 		netKinds    = fs.String("net-kinds", "delay,partition,reset,truncate", "-net mode: link faults to draw from (delay, partition, reset, truncate)")
 		idle        = fs.Duration("idle-timeout", 250*time.Millisecond, "-net mode: the server's session watchdog bound")
 		restart     = fs.Bool("restart", false, "SIGKILL a live kexserved subprocess mid-load and restart it from its data directory, asserting no acknowledged write is lost or doubled")
-		clusterMode = fs.Bool("cluster", false, "boot a 3-member replicated kexserved cluster, SIGKILL the shard 0 primary mid-load (never restarting it), and assert every acknowledged write survives the failover exactly once")
+		clusterMode = fs.Bool("cluster", false, "boot a 3-member replicated kexserved cluster, SIGKILL the shard 0 primary mid-load, assert every acknowledged write survives the failover exactly once, then restart the victim and assert it re-converges")
+		partition   = fs.Bool("partition", false, "-cluster mode: isolate the shard 0 primary behind heal-able network partitions instead of SIGKILL, asserting its leader lease closes the split-brain serving window before healing and checking convergence")
 		failAfter   = fs.Duration("fail-after", time.Second, "-cluster mode: the spawned cluster's failure detector bound (how long the survivors take to suspect the killed primary)")
+		leaseFlag   = fs.Duration("lease", 0, "-cluster mode: the spawned members' leader lease (0 = fail-after/2; must be < fail-after)")
 		servedBin   = fs.String("served-bin", "", "-restart/-cluster mode: path to the kexserved binary to spawn")
 		dataDir     = fs.String("data-dir", "", "-restart/-cluster mode: durability directory (empty = fresh temp dir, removed on exit)")
 		fsyncMode   = fs.String("fsync", "always", "-restart/-cluster mode: WAL sync policy for the spawned servers (always or interval; never would forfeit the contract)")
@@ -105,12 +108,22 @@ func run(args []string, out io.Writer) error {
 		if *failAfter <= 0 {
 			return fmt.Errorf("need fail-after > 0, got %v", *failAfter)
 		}
-		return runCluster(out, clusterConfig{
+		if *leaseFlag < 0 || *leaseFlag >= *failAfter {
+			return fmt.Errorf("need 0 <= lease < fail-after (%v), got %v", *failAfter, *leaseFlag)
+		}
+		ccfg := clusterConfig{
 			impl: *implName, n: *n, k: *k, ops: *ops, seed: *seed,
 			deadline: *deadline, asJSON: *asJSON,
 			servedBin: *servedBin, dataDir: *dataDir, fsync: *fsyncMode,
-			failAfter: *failAfter,
-		})
+			failAfter: *failAfter, lease: *leaseFlag,
+		}
+		if *partition {
+			return runPartition(out, ccfg)
+		}
+		return runCluster(out, ccfg)
+	}
+	if *partition {
+		return fmt.Errorf("-partition needs -cluster")
 	}
 	if *restart {
 		if *all || *assignment || *shared || *crashes != 0 || *netMode {

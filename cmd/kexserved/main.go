@@ -23,6 +23,7 @@
 //	kexserved -max-inflight 256                  ceiling on concurrently executing ops
 //	kexserved -node-id a -peers a=HOST:4750/HOST:4850,b=...   join a replicated cluster
 //	kexserved -quorum majority                   acks wait for this many nodes' fsyncs
+//	kexserved -lease 500ms                       leader lease window (< -fail-after)
 //
 // With -peers (requires -data-dir and -node-id), the server is one
 // member of a statically configured cluster: the consistent-hash ring
@@ -33,7 +34,10 @@
 // integer accepted) have fsynced them, and when a peer stops answering
 // its shards fail over to live ring successors. Each peer is
 // id=client-addr/repl-addr; the repl address is a second listener for
-// peer replication traffic.
+// peer replication traffic. A primary serves its shards only while it
+// holds a leader lease — quorum-many peers (itself included) heard
+// from within -lease — so a partitioned primary stops admitting before
+// its successor can promote (-lease must be shorter than -fail-after).
 //
 // With -ops-addr, the ops listener binds BEFORE recovery begins, so a
 // rolling-restart orchestrator watching /readyz sees an honest
@@ -144,6 +148,7 @@ func run(args []string, out io.Writer) error {
 		peersSpec  = fs.String("peers", "", "full cluster membership as id=client-addr/repl-addr,... (empty = standalone)")
 		quorumSpec = fs.String("quorum", "majority", "ack quorum in cluster mode: majority, all, or an integer count of nodes (this one included)")
 		failAfter  = fs.Duration("fail-after", 2*time.Second, "cluster failure detector: a peer silent this long is suspected dead and its shards fail over")
+		lease      = fs.Duration("lease", 0, "leader lease: a primary admits ops only while a quorum of peers witnessed it this recently; must be < -fail-after (0 = fail-after/2)")
 
 		dataDir       = fs.String("data-dir", "", "durability directory for the WAL and snapshots (empty = in-memory only)")
 		fsync         = fs.String("fsync", "always", "WAL sync policy: always (fsync per op), interval (group commit), never (OS decides)")
@@ -220,11 +225,15 @@ func run(args []string, out io.Writer) error {
 		if *failAfter <= 0 {
 			return fmt.Errorf("need fail-after > 0, got %v", *failAfter)
 		}
+		if *lease < 0 || *lease >= *failAfter {
+			return fmt.Errorf("need 0 <= lease < fail-after (%v), got %v: a deposed primary's lease must expire before any successor can promote", *failAfter, *lease)
+		}
 		clusterCfg = &server.ClusterConfig{
 			NodeID:    *nodeID,
 			Peers:     peers,
 			Quorum:    quorum,
 			FailAfter: *failAfter,
+			Lease:     *lease,
 		}
 	}
 
@@ -282,8 +291,8 @@ func run(args []string, out io.Writer) error {
 			*dataDir, policy, rec.RecoveredOps, rec.RestartCount, rec.DroppedBytes)
 	}
 	if clusterCfg != nil {
-		fmt.Fprintf(out, "kexserved: cluster node %s of %d peers, quorum %d, replication on %s\n",
-			*nodeID, len(clusterCfg.Peers), srv.Node().Quorum(), srv.Node().ReplAddr())
+		fmt.Fprintf(out, "kexserved: cluster node %s of %d peers, quorum %d, lease %v, replication on %s\n",
+			*nodeID, len(clusterCfg.Peers), srv.Node().Quorum(), srv.Node().LeaseDuration(), srv.Node().ReplAddr())
 	}
 
 	served := make(chan error, 1)

@@ -5,11 +5,18 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kexclusion/internal/durable"
 	"kexclusion/internal/wire"
 )
+
+// ErrLeaseLost fails an ack-path quorum wait when the primary's lease
+// lapsed mid-wait: the write is durable locally but this node can no
+// longer vouch that a usurper hasn't taken over the shard, so the op
+// must refuse rather than ack.
+var ErrLeaseLost = errors.New("cluster: leader lease lost")
 
 // Peer is one cluster member from the static -peers list.
 type Peer struct {
@@ -108,6 +115,12 @@ type Config struct {
 	// suspected dead and its shards fall to ring successors (default
 	// 2s).
 	FailAfter time.Duration
+	// LeaseDuration is how long quorum witness (pull/ack contact from
+	// enough peers) keeps this node's leader lease alive. It must be
+	// strictly shorter than FailAfter: a deposed primary's lease then
+	// expires — and it stops admitting — before any usurper can clear
+	// the failure detector and promote. Default FailAfter/2.
+	LeaseDuration time.Duration
 	// PullWait is the long-poll budget a caught-up pull parks for
 	// (default 500ms).
 	PullWait time.Duration
@@ -121,14 +134,35 @@ type Config struct {
 	// lifecycle phases.
 	OnPromoteStart func(shards []uint32)
 	OnPromoteDone  func(shards []uint32)
+	// OnDemote fires when the node stops serving shards outside a
+	// graceful handover — today, on lease expiry. Wired to the server's
+	// lifecycle (running -> degraded).
+	OnDemote func(shards []uint32)
 }
 
 func (c *Config) fill() error {
 	if c.FailAfter <= 0 {
 		c.FailAfter = 2 * time.Second
 	}
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = c.FailAfter / 2
+	}
+	if c.LeaseDuration >= c.FailAfter {
+		return fmt.Errorf("cluster: lease %v must be strictly shorter than fail-after %v (a deposed primary must stop serving before any successor can promote)",
+			c.LeaseDuration, c.FailAfter)
+	}
 	if c.PullWait <= 0 {
 		c.PullWait = 500 * time.Millisecond
+	}
+	// The pull long-poll is the lease's heartbeat carrier: an idle
+	// caught-up follower touches this node once per PullWait. Clamp it
+	// under half the lease so a healthy-but-idle cluster never lets the
+	// lease flap between polls.
+	if limit := c.LeaseDuration / 2; c.PullWait > limit {
+		c.PullWait = limit
+		if c.PullWait < 10*time.Millisecond {
+			c.PullWait = 10 * time.Millisecond
+		}
 	}
 	if c.QuorumTimeout <= 0 {
 		c.QuorumTimeout = 5 * time.Second
@@ -186,7 +220,11 @@ type Node struct {
 	acked     map[string]uint64 // peer node ID -> last LSN this node vouched for
 	promoting bool
 	gateHeld  bool // last promotion attempt was quorum-gated (log once)
+	leaseWas  bool // lease state at the last membership tick (edge detect)
 	stopped   bool
+
+	leaseExpirations atomic.Int64 // held -> expired transitions
+	leaseDemotions   atomic.Int64 // shards self-demoted on lease expiry
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -290,18 +328,74 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 }
 
-// Owns reports whether this node currently serves shard.
+// Owns reports whether this node currently serves shard. Serving is
+// lease-gated: a primary whose quorum witness has gone quiet for a
+// full LeaseDuration answers false here immediately, before the
+// membership sweep formally demotes it — the read path and the admit
+// path both consult Owns, so an isolated primary stops admitting
+// writes and serving unleased reads within one lease interval.
 func (n *Node) Owns(shard uint32) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.serving[shard]
+	return n.serving[shard] && n.leaseHeldLocked(time.Now())
 }
+
+// leaseWitnessesLocked counts the nodes currently witnessing this
+// node's lease: itself, plus every peer actually contacted this
+// incarnation whose last contact is within LeaseDuration. Boot grace
+// stamps don't count — an unwitnessed node holds no lease it didn't
+// earn.
+func (n *Node) leaseWitnessesLocked(now time.Time) int {
+	cutoff := now.Add(-n.cfg.LeaseDuration)
+	w := 1
+	for id := range n.contacted {
+		if n.lastSeen[id].After(cutoff) {
+			w++
+		}
+	}
+	return w
+}
+
+// leaseHeldLocked reports whether a quorum currently witnesses this
+// node. At quorum 1 the lease is vacuously held: a lone member (or an
+// explicitly unreplicated deployment) depends on no peers, exactly as
+// its ack path does.
+func (n *Node) leaseHeldLocked(now time.Time) bool {
+	if n.cfg.Quorum <= 1 {
+		return true
+	}
+	return n.leaseWitnessesLocked(now) >= n.cfg.Quorum
+}
+
+// LeaseHeld reports whether this node's leader lease is currently
+// witnessed by a quorum.
+func (n *Node) LeaseHeld() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaseHeldLocked(time.Now())
+}
+
+// LeaseDuration is the effective lease interval.
+func (n *Node) LeaseDuration() time.Duration { return n.cfg.LeaseDuration }
+
+// LeaseExpirations counts held->expired lease transitions.
+func (n *Node) LeaseExpirations() int64 { return n.leaseExpirations.Load() }
+
+// LeaseDemotions counts shards self-demoted on lease expiry.
+func (n *Node) LeaseDemotions() int64 { return n.leaseDemotions.Load() }
 
 // PrimaryAddr returns the client address of the node currently
 // believed to own shard ("" when unknown), for the NotPrimary redirect
-// hint.
+// hint. An isolated node's ring collapses to itself — hinting its own
+// address would bounce clients right back — so when the computed owner
+// is this node but it is not actually serving (lease expired, or
+// promotion gated), the hint is empty and the refusal carries a
+// Retry-After instead.
 func (n *Node) PrimaryAddr(shard uint32) string {
 	owner := n.ring.OwnerAmong(shard, n.aliveFn())
+	if owner == n.cfg.NodeID && !n.Owns(shard) {
+		return ""
+	}
 	if p, ok := n.peers[owner]; ok {
 		return p.ClientAddr
 	}
@@ -310,12 +404,46 @@ func (n *Node) PrimaryAddr(shard uint32) string {
 
 // WaitQuorum blocks until the configured quorum has fsynced lsn (the
 // local node counts once; the caller waits only after local
-// durability).
+// durability). The wait re-checks the lease the same way the server's
+// ack path re-checks epochs: it proceeds in short slices and fails
+// fast with ErrLeaseLost the moment the lease lapses — an isolated
+// primary's in-flight writes refuse within ~LeaseDuration instead of
+// stalling the full QuorumTimeout for acks that can never arrive. The
+// lease is re-checked once more after the tracker is satisfied, so a
+// late ack raced by an expiry cannot sneak out as a client ack.
 func (n *Node) WaitQuorum(lsn uint64) error {
 	if n.cfg.Quorum <= 1 {
 		return nil
 	}
-	return n.quorum.wait(lsn, n.cfg.QuorumTimeout)
+	slice := n.cfg.LeaseDuration / 4
+	if slice < 10*time.Millisecond {
+		slice = 10 * time.Millisecond
+	}
+	deadline := time.Now().Add(n.cfg.QuorumTimeout)
+	for {
+		if !n.LeaseHeld() {
+			return fmt.Errorf("%w: cannot vouch for LSN %d", ErrLeaseLost, lsn)
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("cluster: quorum %d not reached for LSN %d within %v",
+				n.cfg.Quorum, lsn, n.cfg.QuorumTimeout)
+		}
+		w := slice
+		if w > remain {
+			w = remain
+		}
+		err := n.quorum.wait(lsn, w)
+		if err == nil {
+			if !n.LeaseHeld() {
+				return fmt.Errorf("%w: cannot vouch for LSN %d", ErrLeaseLost, lsn)
+			}
+			return nil
+		}
+		if !errors.Is(err, errQuorumTimeout) {
+			return err
+		}
+	}
 }
 
 // ReplicaLag returns the worst-case replication lag in LSNs across
@@ -366,11 +494,19 @@ func (n *Node) ownedShards(alive func(string) bool) []uint32 {
 }
 
 // touch marks a peer as contacted now. Unlike the boot-time grace
-// stamp, a touch records REAL contact — the promotion quorum gate
-// counts only touched peers, so a freshly booted (or freshly
-// partitioned-off) minority cannot vote absent peers "alive" into its
-// quorum.
+// stamp, a touch records REAL contact — the promotion quorum gate and
+// the lease witness count only touched peers, so a freshly booted (or
+// freshly partitioned-off) minority cannot vote absent peers "alive"
+// into its quorum. IDs outside the membership (diagnostic probes, a
+// misconfigured stranger) and this node's own ID are ignored: only a
+// configured peer can witness a lease.
 func (n *Node) touch(id string) {
+	if id == n.cfg.NodeID {
+		return
+	}
+	if _, ok := n.peers[id]; !ok {
+		return
+	}
 	n.mu.Lock()
 	n.lastSeen[id] = time.Now()
 	n.contacted[id] = true
@@ -404,6 +540,28 @@ func (n *Node) membershipLoop() {
 		}
 
 		n.mu.Lock()
+		now := time.Now()
+		held := n.leaseHeldLocked(now)
+		witnesses := n.leaseWitnessesLocked(now)
+		if n.leaseWas && !held {
+			n.leaseExpirations.Add(1)
+		}
+		// Lease sweep: an expired-lease primary self-demotes every shard
+		// it serves. Owns already answers false the instant the lease
+		// lapses; this makes it formal (lifecycle callback, counters,
+		// one log line) so the shards re-promote through the one gated
+		// path when the quorum witness returns.
+		var demoted []uint32
+		if !held {
+			for s := range n.serving {
+				demoted = append(demoted, s)
+				delete(n.serving, s)
+			}
+			if len(demoted) > 0 {
+				n.leaseDemotions.Add(int64(len(demoted)))
+			}
+		}
+		n.leaseWas = held
 		var gained, lost []uint32
 		for s := range want {
 			if !n.serving[s] {
@@ -421,17 +579,21 @@ func (n *Node) membershipLoop() {
 		// Promotion quorum gate: taking over shards mints a new epoch,
 		// and a new epoch outranks everything — so minting is allowed
 		// only when this node can actually reach a write quorum (itself
-		// plus contacted-and-alive peers). A partitioned minority stays
-		// a follower; its stale serving set already drained via `lost`
-		// or never formed. Quorum 1 passes vacuously, preserving
-		// lone-member operation.
+		// plus contacted-and-alive peers) AND holds a live lease. The
+		// lease half closes the window between lease expiry and
+		// FailAfter where an isolated node's peers still look alive: it
+		// must not demote on expiry only to re-promote a tick later.
+		// A partitioned minority stays a follower; its stale serving set
+		// already drained via the lease sweep or `lost`, or never
+		// formed. Quorum 1 passes vacuously, preserving lone-member
+		// operation.
 		reach := 1
 		for id := range n.contacted {
 			if alive(id) {
 				reach++
 			}
 		}
-		gated := reach < n.cfg.Quorum
+		gated := reach < n.cfg.Quorum || !held
 		busy := n.promoting
 		if len(gained) > 0 && !busy && !gated {
 			n.promoting = true
@@ -449,12 +611,19 @@ func (n *Node) membershipLoop() {
 		}
 		n.mu.Unlock()
 
+		if len(demoted) > 0 {
+			n.cfg.Logf("cluster: node %s lease expired (%d/%d witnesses); self-demoted from shards %v",
+				n.cfg.NodeID, witnesses, n.cfg.Quorum, demoted)
+			if n.cfg.OnDemote != nil {
+				n.cfg.OnDemote(demoted)
+			}
+		}
 		if len(lost) > 0 {
 			n.cfg.Logf("cluster: node %s demoted from shards %v (owner returned)", n.cfg.NodeID, lost)
 		}
 		if logGate {
-			n.cfg.Logf("cluster: node %s sees %d/%d quorum members; holding promotion of shards %v",
-				n.cfg.NodeID, reach, n.cfg.Quorum, gained)
+			n.cfg.Logf("cluster: node %s sees %d/%d quorum members (lease held: %v); holding promotion of shards %v",
+				n.cfg.NodeID, reach, n.cfg.Quorum, held, gained)
 		}
 		if len(gained) > 0 && !busy && !gated {
 			n.promote(gained)

@@ -1,10 +1,17 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// errQuorumTimeout marks a wait that lapsed without the quorum filling
+// in — as opposed to the tracker closing. The lease-aware ack path
+// waits in slices and needs to tell "slice expired, re-check the
+// lease and keep waiting" apart from "the node is gone".
+var errQuorumTimeout = errors.New("cluster: quorum wait timed out")
 
 // quorumTracker counts follower durability acknowledgements in the
 // local node's LSN space and parks ack-path waiters until enough have
@@ -82,8 +89,8 @@ func (q *quorumTracker) wait(lsn uint64, timeout time.Duration) error {
 			return q.fail
 		}
 		if !time.Now().Before(deadline) {
-			return fmt.Errorf("cluster: quorum %d not reached for LSN %d within %v (%d/%d acks)",
-				q.need, lsn, timeout, q.countLocked(lsn), q.need)
+			return fmt.Errorf("%w: quorum %d not reached for LSN %d within %v (%d/%d acks)",
+				errQuorumTimeout, q.need, lsn, timeout, q.countLocked(lsn), q.need)
 		}
 		q.cond.Wait()
 	}

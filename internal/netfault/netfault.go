@@ -89,6 +89,26 @@ func ParseActions(csv string) ([]Action, error) {
 	return kinds, nil
 }
 
+// Direction selects which way(s) of a proxy's links a runtime
+// partition blocks. Unlike the planned per-connection Partition rule
+// (permanent, one connection), a runtime partition covers every
+// connection of the proxy, can block a single direction (the
+// asymmetric-partition case real IP networks produce), and heals:
+// bytes read while blocked are held, not dropped, and delivered on
+// heal — modeling TCP retransmission carrying traffic across a healed
+// IP partition with zero loss.
+type Direction int
+
+const (
+	// Up blocks client-to-server bytes.
+	Up Direction = 1 << iota
+	// Down blocks server-to-client bytes.
+	Down
+)
+
+// Both blocks both directions — the symmetric partition.
+const Both = Up | Down
+
 // Rule breaks one proxied connection.
 type Rule struct {
 	// Conn is the connection this rule arms, by accept order (0-based).
@@ -199,6 +219,11 @@ type Proxy struct {
 	conns  []net.Conn
 	closed bool
 	wg     sync.WaitGroup
+
+	partMu   sync.Mutex
+	part     Direction     // directions currently blocked, all links
+	partWake chan struct{} // closed+replaced on every partition change
+	done     chan struct{} // closed on proxy Close; unblocks gated pumps
 }
 
 // New binds a proxy on an ephemeral localhost port, relaying every
@@ -208,10 +233,63 @@ func New(target string, plan Plan) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Proxy{target: target, plan: plan, ln: ln}
+	p := &Proxy{
+		target:   target,
+		plan:     plan,
+		ln:       ln,
+		partWake: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
+}
+
+// SetPartition blocks the given direction(s) on every link of this
+// proxy, at the next chunk boundary. Bytes already read from a socket
+// are held by the gated pump and delivered on heal; bytes not yet read
+// stay in kernel buffers under TCP flow control — so a heal loses
+// nothing, exactly like a routed IP partition. SetPartition(0) heals.
+func (p *Proxy) SetPartition(d Direction) {
+	p.partMu.Lock()
+	p.part = d
+	close(p.partWake) // wake gated pumps to re-check
+	p.partWake = make(chan struct{})
+	p.partMu.Unlock()
+}
+
+// Heal lifts any runtime partition; held and buffered bytes flow again.
+func (p *Proxy) Heal() { p.SetPartition(0) }
+
+// Partitioned reports the directions currently blocked.
+func (p *Proxy) Partitioned() Direction {
+	p.partMu.Lock()
+	defer p.partMu.Unlock()
+	return p.part
+}
+
+// gate blocks while dir is partitioned; it returns false when the
+// proxy closed while waiting (the pump should exit, its held bytes
+// are moot).
+func (p *Proxy) gate(up bool) bool {
+	dir := Down
+	if up {
+		dir = Up
+	}
+	for {
+		p.partMu.Lock()
+		blocked := p.part&dir != 0
+		wake := p.partWake
+		p.partMu.Unlock()
+		if !blocked {
+			return true
+		}
+		select {
+		case <-wake:
+		case <-p.done:
+			return false
+		}
+	}
 }
 
 // Addr is the address clients dial instead of the target.
@@ -241,6 +319,7 @@ func (p *Proxy) Close() error {
 	p.closed = true
 	conns := append([]net.Conn(nil), p.conns...)
 	p.mu.Unlock()
+	close(p.done) // unblock pumps gated behind a runtime partition
 	err := p.ln.Close()
 	for _, c := range conns {
 		c.Close()
@@ -352,6 +431,11 @@ func (l *link) pump(src, dst net.Conn, up bool) {
 		}
 		n, err := src.Read(buf)
 		if n > 0 {
+			// Runtime partition gate: hold the chunk (blocking, not
+			// dropping) until the direction heals or the proxy closes.
+			if !l.proxy.gate(up) {
+				return
+			}
 			chunk := buf[:n]
 			// The byte-offset trigger: relay the prefix before the
 			// offset, then fire. Only upstream bytes arm triggers.

@@ -267,6 +267,134 @@ func TestTruncateMidFrame(t *testing.T) {
 	}
 }
 
+// TestRuntimePartitionHealZeroLoss: a symmetric runtime partition
+// blocks an in-flight op without failing it, and the heal delivers the
+// held bytes — the op completes with nothing lost or doubled, exactly
+// like TCP retransmission across a healed IP partition.
+func TestRuntimePartitionHealZeroLoss(t *testing.T) {
+	_, addr := startServer(t, server.Config{N: 2, K: 1, Shards: 1})
+	px := startProxy(t, addr, netfault.Plan{Seed: 6})
+
+	c, err := client.Dial(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetOpTimeout(10 * time.Second)
+	if v, err := c.Add(0, 1); err != nil || v != 1 {
+		t.Fatalf("pre-partition Add = %d, %v", v, err)
+	}
+
+	px.SetPartition(netfault.Both)
+	if got := px.Partitioned(); got != netfault.Both {
+		t.Fatalf("Partitioned() = %v, want Both", got)
+	}
+	type res struct {
+		v   int64
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		v, err := c.Add(0, 2)
+		done <- res{v, err}
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("op completed across a partition: %d, %v", r.v, r.err)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	px.Heal()
+	select {
+	case r := <-done:
+		if r.err != nil || r.v != 3 {
+			t.Fatalf("healed op = %d, %v; want 3 (held bytes delivered exactly once)", r.v, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("op never completed after the heal")
+	}
+	if got := px.Partitioned(); got != 0 {
+		t.Fatalf("Partitioned() after heal = %v, want 0", got)
+	}
+}
+
+// TestRuntimePartitionDirectional pins the asymmetric cases real IP
+// networks produce. Down-only: the request crosses, the server
+// applies, only the response is held — the client times out but the op
+// happened. Up-only: the request itself is held — nothing applies
+// until the heal delivers it.
+func TestRuntimePartitionDirectional(t *testing.T) {
+	_, addr := startServer(t, server.Config{N: 3, K: 1, Shards: 1})
+	px := startProxy(t, addr, netfault.Plan{Seed: 7})
+
+	observer, err := client.Dial(addr) // direct, unproxied
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer observer.Close()
+
+	// Down-only partition: the write lands, the ack is held.
+	victim, err := client.Dial(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	victim.SetOpTimeout(200 * time.Millisecond)
+	px.SetPartition(netfault.Down)
+	if _, err := victim.Add(0, 5); err == nil {
+		t.Fatal("op acked across a down-partitioned link")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := observer.Get(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counter = %d, want 5: down-only partition must not block the request direction", v)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	px.Heal()
+
+	// Up-only partition: the request is held, so nothing applies while
+	// the partition stands.
+	victim2, err := client.Dial(px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim2.Close()
+	victim2.SetOpTimeout(200 * time.Millisecond)
+	px.SetPartition(netfault.Up)
+	if _, err := victim2.Add(0, 7); err == nil {
+		t.Fatal("op acked across an up-partitioned link")
+	}
+	if v, err := observer.Get(0); err != nil || v != 5 {
+		t.Fatalf("counter = %d, %v during up partition; want 5 (request held, not applied)", v, err)
+	}
+	// The heal delivers the held request: the write applies (exactly
+	// once), even though its client long gave up — TCP semantics, not
+	// message-drop semantics.
+	px.Heal()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		v, err := observer.Get(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 12 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counter = %d, want 12: healed up-partition must deliver the held request", v)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestDelaySlowsButCompletes: a slow link is degradation, not failure —
 // every operation still completes, and the proxy accounts the latency.
 func TestDelaySlowsButCompletes(t *testing.T) {

@@ -238,6 +238,21 @@ func isNotPrimary(err error) *wire.Error {
 	return nil
 }
 
+// isInternal reports a StatusInternal answer. Deliberately NOT part of
+// the public Retryable: internal does not promise the op was never
+// applied (an under-replicated write IS applied locally), so blind
+// retry of an ID-less mutation could double-apply. Reconnecting alone
+// may retry it, because its mutations carry op IDs the server's dedup
+// window resolves to the original result and its reads are idempotent.
+// The payoff is the deposed-primary storm: a partitioned primary
+// answers internal (quorum wait failed) for up to a lease interval
+// before it self-demotes to NotPrimary redirects — clients that ride
+// it out with the budget land on the successor instead of failing.
+func isInternal(err error) bool {
+	var we *wire.Error
+	return errors.As(err, &we) && we.Status == wire.StatusInternal
+}
+
 // dropLocked discards a connection whose stream is no longer
 // trustworthy. Caller holds r.mu.
 func (r *Reconnecting) dropLocked() {
@@ -252,7 +267,8 @@ func (r *Reconnecting) dropLocked() {
 // failure: the closure is re-run against the healed connection, and
 // the server's dedup window makes a re-issued mutation return its
 // original result rather than double-apply. Typed terminal refusals
-// (bad shard, internal) are surfaced immediately.
+// (bad shard) are surfaced immediately; internal answers retry within
+// the budget (see isInternal).
 func (r *Reconnecting) op(do func(*Client) (int64, error)) (int64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -276,15 +292,28 @@ func (r *Reconnecting) op(do func(*Client) (int64, error)) (int64, error) {
 			// hop cap it burns no retry budget and sleeps no backoff.
 			// Past the cap the rotation still happens (the hint is the
 			// freshest routing there is) but pays the ordinary backoff
-			// budget; without a hint (owner unknown mid-failover), back
-			// off on the current address.
+			// budget. A hint pointing back at the refusing node (its ring
+			// collapsed to itself mid-partition) is no hint at all; a
+			// hintless refusal while rotated off the configured address
+			// falls back home, where routing may be fresher. Either way
+			// the server's Retry-After (one lease interval — the earliest
+			// a successor can exist) floors the backoff, so the rotation
+			// cannot spin faster than ownership can actually move.
 			we := isNotPrimary(err)
 			r.redirects.Add(1)
-			if we.Msg != "" {
-				r.addr = we.Msg
+			hint = time.Duration(we.RetryAfterMillis) * time.Millisecond
+			target := we.Msg
+			if target == r.addr {
+				target = ""
+			}
+			if target == "" && r.addr != r.home {
+				target = r.home
+			}
+			if target != "" {
+				r.addr = target
 				r.dropLocked()
 				hops++
-				if hops <= maxRedirects {
+				if hops <= maxRedirects && hint == 0 {
 					attempt--
 					continue
 				}
@@ -307,6 +336,11 @@ func (r *Reconnecting) op(do func(*Client) (int64, error)) (int64, error) {
 					hint = time.Duration(we.RetryAfterMillis) * time.Millisecond
 				}
 			}
+		case isInternal(err):
+			// Retryable only HERE (see isInternal): this wrapper's op IDs
+			// make the ambiguous re-issue exactly-once. The session
+			// survives — the server answered — so keep the connection and
+			// pay the ordinary backoff budget.
 		default:
 			var we *wire.Error
 			if errors.As(err, &we) {
@@ -568,12 +602,32 @@ func (r *Reconnecting) flushOps(ops []*PipelineOp) {
 					drop = true // the server hangs up after a draining answer
 				case wire.StatusNotPrimary:
 					// Cluster redirect: refused before touching the object;
-					// re-issue the burst at the hinted primary.
+					// re-issue the burst at the hinted primary. A self-hint
+					// (the refuser's ring collapsed to itself) counts as
+					// hintless; hintless while off-home rotates home. The
+					// Retry-After floor keeps a mid-partition burst from
+					// spinning against nodes that cannot serve it yet.
 					unresolved++
 					r.redirects.Add(1)
-					if we.Msg != "" {
-						rotate = we.Msg
+					if h := time.Duration(we.RetryAfterMillis) * time.Millisecond; h > hint {
+						hint = h
 					}
+					target := we.Msg
+					if target == r.addr {
+						target = ""
+					}
+					if target == "" && r.addr != r.home {
+						target = r.home
+					}
+					if target != "" {
+						rotate = target
+					}
+				case wire.StatusInternal:
+					// Retryable only inside this wrapper (see isInternal):
+					// every op in the burst carries its op ID, so re-issue
+					// is exactly-once. Typically a quorum wait that failed
+					// on a deposed primary; the budget rides it out.
+					unresolved++
 				default:
 					op.err, op.done = err, true // typed refusal: terminal
 				}
@@ -593,14 +647,15 @@ func (r *Reconnecting) flushOps(ops []*PipelineOp) {
 		}
 		if rotate != "" {
 			// Rotating to the redirect hint is routing, not failure:
-			// within the hop cap no budget is burned and no backoff
-			// slept; past it the rotation still happens but pays the
+			// within the hop cap, and with no Retry-After floor pending,
+			// no budget is burned and no backoff slept; past the cap (or
+			// under a floor) the rotation still happens but pays the
 			// budget (the cap prices mid-failover ownership disputes
 			// without pinning the burst to a stale address).
 			r.addr = rotate
 			r.dropLocked()
 			hops++
-			if hops <= maxRedirects {
+			if hops <= maxRedirects && hint == 0 {
 				attempt--
 				continue
 			}

@@ -503,6 +503,152 @@ func TestPipelineFollowsNotPrimaryRedirect(t *testing.T) {
 	}
 }
 
+// TestReconnectingRetriesInternalOnSameConnection: StatusInternal is
+// retryable ONLY inside the wrapper (its op IDs make the ambiguous
+// re-issue exactly-once — a bare client must not retry it, see
+// TestRetryableClassification). The session survived — the server
+// answered — so the retry stays on the same connection and pays the
+// ordinary budget. This is the deposed-primary storm: quorum waits
+// answer internal for up to a lease interval before the node demotes.
+func TestReconnectingRetriesInternalOnSameConnection(t *testing.T) {
+	addr, reqs := scriptedEndpoint(t, func(conn net.Conn, reqs *atomic.Int64) {
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+		req, err := wire.ReadRequest(conn)
+		if err != nil {
+			return
+		}
+		reqs.Add(1)
+		wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusInternal, Data: []byte("leader lease lost")})
+		req, err = wire.ReadRequest(conn)
+		if err != nil {
+			return
+		}
+		reqs.Add(1)
+		wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusOK, Value: req.Arg})
+	})
+	r, err := DialReconnecting(addr, RetryPolicy{Seed: 11, MaxAttempts: 3, BaseDelay: time.Millisecond}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if v, err := r.Add(0, 9); err != nil || v != 9 {
+		t.Fatalf("Add through an internal answer = %d, %v", v, err)
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (same op ID re-issued)", got)
+	}
+	if got := r.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects = %d, want 1: internal must not cost the connection", got)
+	}
+	if got := r.Retries(); got != 1 {
+		t.Fatalf("Retries = %d, want 1: internal pays the ordinary budget", got)
+	}
+}
+
+// serveNotPrimaryRetryAfter answers n requests with a hint-less
+// NotPrimary carrying a Retry-After (the deposed-primary refusal: the
+// ring collapsed to the refuser, so there is no redirect target, only
+// "try again in a lease interval"), then serves.
+func serveNotPrimaryRetryAfter(n int, millis int64) func(net.Conn, *atomic.Int64) {
+	return func(conn net.Conn, reqs *atomic.Int64) {
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+		for i := 0; i < n; i++ {
+			req, err := wire.ReadRequest(conn)
+			if err != nil {
+				return
+			}
+			reqs.Add(1)
+			wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusNotPrimary, Value: millis})
+		}
+		req, err := wire.ReadRequest(conn)
+		if err != nil {
+			return
+		}
+		reqs.Add(1)
+		wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusOK, Value: req.Arg})
+	}
+}
+
+// TestReconnectingNotPrimaryRetryAfterFloorsBackoff: a hint-less
+// NotPrimary with a Retry-After must floor the backoff like a busy
+// hint does — the hint is "the earliest a successor can exist", and
+// spinning faster than that just burns the budget against a node that
+// cannot serve yet.
+func TestReconnectingNotPrimaryRetryAfterFloorsBackoff(t *testing.T) {
+	const floor = 120 * time.Millisecond
+	addr, reqs := scriptedEndpoint(t, serveNotPrimaryRetryAfter(1, floor.Milliseconds()))
+	r, err := DialReconnecting(addr, RetryPolicy{Seed: 13, MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	start := time.Now()
+	if v, err := r.Add(0, 4); err != nil || v != 4 {
+		t.Fatalf("Add through a Retry-After refusal = %d, %v", v, err)
+	}
+	if elapsed := time.Since(start); elapsed < floor {
+		t.Fatalf("retry came back in %v, under the server's %v Retry-After floor", elapsed, floor)
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 on the kept connection", got)
+	}
+	if got := r.Retries(); got != 1 {
+		t.Fatalf("Retries = %d, want 1: a floored refusal pays the budget, it is not a free hop", got)
+	}
+}
+
+// TestReconnectingIgnoresSelfHint: a refusal whose redirect hint is the
+// very address the client dialed (an isolated node's ring collapses to
+// itself) must be treated as hintless — backing off on the same
+// connection — never as a rotation, which would redial the same node
+// in a tight loop forever.
+func TestReconnectingIgnoresSelfHint(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	self := ln.Addr().String()
+	reqs := &atomic.Int64{}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		wire.WriteHello(conn, wire.Hello{Status: wire.StatusOK, Identity: 0, N: 1, K: 1, Shards: 1})
+		req, err := wire.ReadRequest(conn)
+		if err != nil {
+			return
+		}
+		reqs.Add(1)
+		wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusNotPrimary, Data: []byte(self)})
+		req, err = wire.ReadRequest(conn)
+		if err != nil {
+			return
+		}
+		reqs.Add(1)
+		wire.WriteResponse(conn, wire.Response{ID: req.ID, Status: wire.StatusOK, Value: req.Arg})
+	}()
+
+	r, err := DialReconnecting(self, RetryPolicy{Seed: 17, MaxAttempts: 3, BaseDelay: time.Millisecond}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, err := r.Add(0, 6); err != nil || v != 6 {
+		t.Fatalf("Add through a self-hint = %d, %v", v, err)
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want both on the one kept connection", got)
+	}
+	if got := r.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects = %d, want 1: a self-hint must not trigger a rotation redial", got)
+	}
+}
+
 // TestReconnectingFallsBackToHomeWhenRedirectTargetDies is the failover
 // healing path: a redirect rotates the client onto a primary that then
 // dies. Redialing the dead address must fall back to the configured

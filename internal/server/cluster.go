@@ -26,6 +26,10 @@ type ClusterConfig struct {
 	FailAfter     time.Duration
 	PullWait      time.Duration
 	QuorumTimeout time.Duration
+	// Lease is the leader lease interval; 0 defaults to FailAfter/2,
+	// and it must be strictly shorter than FailAfter (see
+	// cluster.Config.LeaseDuration).
+	Lease time.Duration
 }
 
 // MajorityQuorum returns the smallest majority of n members.
@@ -54,6 +58,7 @@ func (s *Server) newClusterNode(cc *ClusterConfig) error {
 		Log:           s.log,
 		Backend:       &replBackend{s: s},
 		FailAfter:     cc.FailAfter,
+		LeaseDuration: cc.Lease,
 		PullWait:      cc.PullWait,
 		QuorumTimeout: cc.QuorumTimeout,
 		Logf:          s.logf,
@@ -75,6 +80,18 @@ func (s *Server) newClusterNode(cc *ClusterConfig) error {
 				lc.advance(PhaseRunning)
 			}
 			s.promotions.Add(1)
+		},
+		// Lease expiry steps the promotion cell running → degraded: the
+		// node is alive but refuses its shards, which is exactly what
+		// degraded means everywhere else in the phase machine. The next
+		// successful promotion replaces the cell.
+		OnDemote: func(shards []uint32) {
+			s.promoteMu.Lock()
+			lc := s.promoteLC
+			s.promoteMu.Unlock()
+			if lc != nil {
+				lc.advance(PhaseDegraded)
+			}
 		},
 	})
 	if err != nil {

@@ -48,7 +48,8 @@ func goldenStats() wire.Stats {
 	return wire.Stats{
 		ActiveSessions: 3, AdmitQueue: 1, Admitted: 42, AppliedDupes: 5,
 		Draining: false, IdleReclaims: 2, Impl: "fastpath", InflightOps: 4,
-		K: 2, N: 8, OpDeadlines: 1, PerShard: []obs.Snapshot{snap, idle},
+		K: 2, LeaseDemotions: 2, LeaseExpirations: 1, LeaseHeld: true,
+		N: 8, OpDeadlines: 1, PerShard: []obs.Snapshot{snap, idle},
 		Phase: "degraded", Reclaimed: 39, RecoveredOps: 17, Rejected: 6,
 		RestartCount: 3, Shards: 2, ShedAdmissions: 11, ShedOps: 9,
 	}

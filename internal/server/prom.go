@@ -70,6 +70,9 @@ func renderMetrics(st wire.Stats, goroutines, openFDs int) []byte {
 	counter("idle_reclaims_total", "Sessions torn down by the idle watchdog.", st.IdleReclaims)
 	gauge("inflight_ops", "Object operations currently executing (the shed ceiling's input).", st.InflightOps)
 	gauge("k", "Resiliency level: concurrent holders per shard.", int64(st.K))
+	counter("lease_demotions_total", "Shards self-demoted on leader lease expiry (0 off-cluster).", st.LeaseDemotions)
+	counter("lease_expirations_total", "Leader lease held-to-expired transitions (0 off-cluster).", st.LeaseExpirations)
+	gauge("lease_held", "1 while a quorum of peers witnesses this node's leader lease (vacuously 1 off-cluster and at quorum 1).", b01(st.LeaseHeld))
 	gauge("n", "Process identities (max concurrent sessions).", int64(st.N))
 	counter("notprimary_redirects_total", "Operations refused with the owning primary's address (never applied here).", st.NotPrimaryRedirects)
 	counter("op_deadlines_total", "Operations withdrawn on per-op deadline expiry (never applied).", st.OpDeadlines)

@@ -450,6 +450,11 @@ func (s *Server) Stats() wire.Stats {
 	}
 	if s.node != nil {
 		st.ReplicaLagLSN = int64(s.node.ReplicaLag())
+		st.LeaseHeld = s.node.LeaseHeld()
+		st.LeaseExpirations = s.node.LeaseExpirations()
+		st.LeaseDemotions = s.node.LeaseDemotions()
+	} else {
+		st.LeaseHeld = true // vacuous off-cluster: nobody can depose us
 	}
 	return st
 }
@@ -736,12 +741,18 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 				// hint the owning primary's client address in Data. The
 				// op was not applied, so the client retries the same op
 				// ID at the hinted address and dedup keeps it exactly
-				// once.
+				// once. When this node knows no better primary (its own
+				// lease expired, typically mid-partition), the hint is
+				// empty and Value carries a Retry-After of one lease
+				// interval — the earliest a usurper can exist.
 				s.notPrimary.Add(1)
 				resp = wire.Response{
 					ID:     req.ID,
 					Status: wire.StatusNotPrimary,
 					Data:   []byte(s.node.PrimaryAddr(req.Shard)),
+				}
+				if len(resp.Data) == 0 {
+					resp.Value = int64(s.node.LeaseDuration() / time.Millisecond)
 				}
 			default:
 				var lsn, epoch uint64

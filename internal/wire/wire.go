@@ -203,16 +203,19 @@ type Response struct {
 }
 
 // Err converts a non-OK response into an *Error (nil when OK). On
-// StatusBusy the response's Value field carries the server's
-// Retry-After hint in milliseconds (the response analogue of
-// Hello.RetryAfterMillis — Value is otherwise unused on errors, so the
-// frame layout is unchanged); Err lifts it into the Error.
+// StatusBusy and StatusNotPrimary the response's Value field carries
+// the server's Retry-After hint in milliseconds (the response analogue
+// of Hello.RetryAfterMillis — Value is otherwise unused on errors, so
+// the frame layout is unchanged); Err lifts it into the Error. A
+// hintless NotPrimary carries the primary's address in Msg; a hinted
+// one means the refusing node knows no better primary (its own lease
+// expired), so the client should back off rather than rotate.
 func (r Response) Err() error {
 	e := &Error{Status: r.Status, Msg: string(r.Data)}
 	if r.Status == StatusOK {
 		return nil
 	}
-	if r.Status == StatusBusy && r.Value > 0 {
+	if (r.Status == StatusBusy || r.Status == StatusNotPrimary) && r.Value > 0 {
 		e.RetryAfterMillis = uint32(r.Value)
 	}
 	return e
@@ -270,7 +273,15 @@ type Stats struct {
 	// executing (the shed ceiling's input).
 	InflightOps int64 `json:"inflight_ops"`
 	K           int   `json:"k"`
-	N           int   `json:"n"`
+	// LeaseDemotions counts shards this node self-demoted because its
+	// leader lease expired; LeaseExpirations counts held->expired lease
+	// transitions; LeaseHeld reports whether a quorum of peers
+	// currently witnesses this node's lease (true off-cluster and at
+	// quorum 1, where the lease is vacuous).
+	LeaseDemotions   int64 `json:"lease_demotions"`
+	LeaseExpirations int64 `json:"lease_expirations"`
+	LeaseHeld        bool  `json:"lease_held"`
+	N                int   `json:"n"`
 	// NotPrimaryRedirects counts operations refused with
 	// StatusNotPrimary because the addressed shard is owned by another
 	// node in the cluster placement (never applied; zero off-cluster).

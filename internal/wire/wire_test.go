@@ -179,6 +179,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		AppliedDupes: 5, RecoveredOps: 11, RestartCount: 1,
 		AdmitQueue: 12, InflightOps: 13, ShedAdmissions: 14, ShedOps: 15,
 		NotPrimaryRedirects: 16, QuorumAcks: 17, ReplicaLagLSN: 18,
+		LeaseHeld: true, LeaseExpirations: 19, LeaseDemotions: 20,
 		Phase:    "degraded",
 		Draining: true,
 		PerShard: []obs.Snapshot{m.Snapshot()},
@@ -202,7 +203,10 @@ func TestStatsRoundTrip(t *testing.T) {
 	if got.NotPrimaryRedirects != 16 || got.QuorumAcks != 17 || got.ReplicaLagLSN != 18 {
 		t.Errorf("cluster counters lost: %+v", got)
 	}
-	for _, key := range []string{"idle_reclaims", "op_deadlines", "applied_dupes", "recovered_ops", "restart_count", "admit_queue", "inflight_ops", "phase", "shed_admissions", "shed_ops", "notprimary_redirects", "quorum_acks", "replica_lag_lsn"} {
+	if !got.LeaseHeld || got.LeaseExpirations != 19 || got.LeaseDemotions != 20 {
+		t.Errorf("lease fields lost: %+v", got)
+	}
+	for _, key := range []string{"idle_reclaims", "op_deadlines", "applied_dupes", "recovered_ops", "restart_count", "admit_queue", "inflight_ops", "phase", "shed_admissions", "shed_ops", "notprimary_redirects", "quorum_acks", "replica_lag_lsn", "lease_held", "lease_expirations", "lease_demotions"} {
 		if !bytes.Contains(s.JSON(), []byte(`"`+key+`"`)) {
 			t.Errorf("stats JSON missing %q", key)
 		}
@@ -223,14 +227,16 @@ func TestStatsJSONGolden(t *testing.T) {
 	s := Stats{
 		ActiveSessions: 1, AdmitQueue: 10, Admitted: 2, AppliedDupes: 3,
 		Draining: true, IdleReclaims: 4, Impl: "fastpath", InflightOps: 11,
-		K: 2, N: 8, NotPrimaryRedirects: 14, OpDeadlines: 5, PerShard: nil,
+		K: 2, LeaseDemotions: 18, LeaseExpirations: 17, LeaseHeld: true,
+		N: 8, NotPrimaryRedirects: 14, OpDeadlines: 5, PerShard: nil,
 		Phase: "running", QuorumAcks: 15, Reclaimed: 6, RecoveredOps: 7,
 		Rejected: 8, ReplicaLagLSN: 16, RestartCount: 9,
 		Shards: 4, ShedAdmissions: 12, ShedOps: 13,
 	}
 	const want = `{"active_sessions":1,"admit_queue":10,"admitted":2,"applied_dupes":3,` +
 		`"draining":true,"idle_reclaims":4,"impl":"fastpath","inflight_ops":11,` +
-		`"k":2,"n":8,"notprimary_redirects":14,"op_deadlines":5,"per_shard":null,` +
+		`"k":2,"lease_demotions":18,"lease_expirations":17,"lease_held":true,` +
+		`"n":8,"notprimary_redirects":14,"op_deadlines":5,"per_shard":null,` +
 		`"phase":"running","quorum_acks":15,"reclaimed":6,"recovered_ops":7,` +
 		`"rejected":8,"replica_lag_lsn":16,` +
 		`"restart_count":9,"shards":4,"shed_admissions":12,"shed_ops":13}`
