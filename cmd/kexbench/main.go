@@ -13,6 +13,9 @@
 //	                            (redirect to BENCH_native.json)
 //	kexbench -cluster -json     price the replication ack quorum, 1 vs
 //	                            majority vs all (redirect to BENCH_cluster.json)
+//	kexbench -objects -json     YCSB-style typed-object matrix: A/B/C mixes
+//	                            plus atomic transfers × uniform/zipfian/
+//	                            hot-shard (redirect to BENCH_objects.json)
 //	kexbench -n 64 -k 8 ...     change the configuration
 package main
 
@@ -53,9 +56,12 @@ func run(args []string, out io.Writer) error {
 		conns    = fs.String("conns", "1,4", "with -net: comma-separated connection counts")
 		depths   = fs.String("depths", "1,8", "with -net: comma-separated pipeline depths")
 		fsyncs   = fs.String("fsync", "always,interval", "with -net: comma-separated fsync policies to sweep")
-		netOps   = fs.Int("net-ops", 512, "with -net or -cluster: mutations per connection per cell")
+		netOps   = fs.Int("net-ops", 512, "with -net, -cluster, or -objects: operations per connection per cell")
 		clMode   = fs.Bool("cluster", false, "sweep the replication ack quorum (1 vs majority vs all) over an in-process 3-node cluster")
-		short    = fs.Bool("short", false, "with -net or -cluster: minimal smoke sweep (fewer drivers and ops)")
+		objMode  = fs.Bool("objects", false, "YCSB-style workload matrix over the kx05 typed-object store (mixes × key distributions)")
+		objDists = fs.String("obj-dists", "uniform,zipfian,hotshard", "with -objects: comma-separated key distributions")
+		objKeys  = fs.Int("obj-keys", 256, "with -objects: size of the key space")
+		short    = fs.Bool("short", false, "with -net, -cluster, or -objects: minimal smoke sweep (fewer drivers and ops)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,12 +69,31 @@ func run(args []string, out io.Writer) error {
 	if *all {
 		*table1, *theorems, *fig3b, *k1 = true, true, true, true
 	}
-	if !*table1 && !*theorems && !*fig3b && !*k1 && !*native && !*netMode && !*clMode {
+	if !*table1 && !*theorems && !*fig3b && !*k1 && !*native && !*netMode && !*clMode && !*objMode {
 		fs.Usage()
-		return fmt.Errorf("pick at least one of -table1, -theorems, -fig3b, -k1, -native, -net, -cluster, -all")
+		return fmt.Errorf("pick at least one of -table1, -theorems, -fig3b, -k1, -native, -net, -cluster, -objects, -all")
 	}
-	if *asJSON && !*native && !*netMode && !*clMode {
-		return fmt.Errorf("-json applies only to -native, -net, and -cluster")
+	if *asJSON && !*native && !*netMode && !*clMode && !*objMode {
+		return fmt.Errorf("-json applies only to -native, -net, -cluster, and -objects")
+	}
+	if *objMode {
+		oc := objConfig{Mixes: objMixes, Conns: 4, OpsPerConn: *netOps,
+			Keys: *objKeys, Shards: 4, K: 4, Depth: 8, Seed: *seed}
+		for _, d := range strings.Split(*objDists, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				oc.Dists = append(oc.Dists, d)
+			}
+		}
+		if len(oc.Dists) == 0 {
+			return fmt.Errorf("-obj-dists: empty list")
+		}
+		if *short {
+			oc.Conns, oc.Dists, oc.Keys = 2, []string{"zipfian"}, 64
+			if oc.OpsPerConn > 64 {
+				oc.OpsPerConn = 64
+			}
+		}
+		return runObjects(oc, out, *asJSON)
 	}
 	if *clMode {
 		cc := clusterBenchConfig{Nodes: 3, Conns: 4, Depth: 8, OpsPerConn: *netOps, Shards: 4, K: 4}

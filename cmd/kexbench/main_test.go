@@ -231,3 +231,60 @@ func TestBenchNetFlagValidation(t *testing.T) {
 		t.Error("expected error for -json without -native or -net")
 	}
 }
+
+func TestBenchObjectsJSONSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a real loopback server per matrix cell")
+	}
+	var b strings.Builder
+	err := run([]string{"-objects", "-json", "-obj-dists", "zipfian", "-obj-keys", "32", "-net-ops", "12"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+		Rows   []struct {
+			Mix          string  `json:"mix"`
+			Dist         string  `json:"dist"`
+			Ops          int     `json:"ops"`
+			Errors       int     `json:"errors"`
+			OpsPerSec    float64 `json:"ops_per_sec"`
+			ReadFastpath int64   `json:"read_fastpath"`
+			BatchAtomic  int64   `json:"batch_atomic"`
+		} `json:"rows"`
+		Verdict string `json:"verdict"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("BENCH_objects output is not JSON: %v", err)
+	}
+	if rep.Schema != "kexbench/objects/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Rows) != 4 { // mixes A, B, C, X over one distribution
+		t.Fatalf("rows = %d, want 4: %+v", len(rep.Rows), rep.Rows)
+	}
+	for _, r := range rep.Rows {
+		if r.Errors != 0 || r.Ops == 0 {
+			t.Errorf("cell %s/%s: ops=%d errors=%d", r.Mix, r.Dist, r.Ops, r.Errors)
+		}
+		if r.Mix == "X" && r.BatchAtomic != int64(r.Ops) {
+			t.Errorf("X mix committed %d atomic groups, want %d", r.BatchAtomic, r.Ops)
+		}
+		if r.Mix == "C" && r.ReadFastpath < int64(r.Ops) {
+			t.Errorf("C mix took the fast path %d times, want >= %d", r.ReadFastpath, r.Ops)
+		}
+	}
+	if rep.Verdict != "objects" {
+		t.Errorf("verdict = %q, want objects", rep.Verdict)
+	}
+}
+
+func TestBenchObjectsFlagValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-objects", "-obj-dists", "bogus"}, &b); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if err := run([]string{"-objects", "-obj-dists", " , "}, &b); err == nil {
+		t.Error("empty distribution list accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"kexclusion/internal/netfault"
+	"kexclusion/internal/object"
 	"kexclusion/internal/server/client"
 	"kexclusion/internal/wire"
 )
@@ -132,6 +133,43 @@ func runRestart(out io.Writer, cfg restartConfig) error {
 		return err
 	}
 	defer first.kill() // idempotent; the happy path has already killed it
+
+	// Queue exactly-once setup, against the FIRST incarnation: enqueue
+	// three values and pop one under a pinned session/seq. Dequeue is
+	// the non-idempotent op the dedup window exists for — after the
+	// SIGKILL the same pop is re-issued verbatim and must be answered
+	// from the recovered window with the original value, not pop again.
+	const qName = "chaos:q"
+	qSession := uint64(cfg.seed)<<8 | 0x51
+	const qDeqSeq = 1_000_000
+	var qFirst int64
+	{
+		qc, err := client.DialTimeout(first.addr, 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("queue setup dial: %w", err)
+		}
+		qc.SetSession(qSession)
+		if !qc.SupportsObjects() {
+			qc.Close()
+			return fmt.Errorf("queue setup: server did not negotiate kx05 objects")
+		}
+		if res, err := qc.CreateOn(0, qName, object.TypeQueue, 0, 1); err != nil || !res.Found {
+			qc.Close()
+			return fmt.Errorf("queue setup create: %+v %v", res, err)
+		}
+		for i, v := range []int64{11, 22, 33} {
+			if _, err := qc.QEnqOp(0, qName, v, uint64(2+i)); err != nil {
+				qc.Close()
+				return fmt.Errorf("queue setup enqueue %d: %w", v, err)
+			}
+		}
+		popped, err := qc.QDeqOp(0, qName, qDeqSeq)
+		qc.Close()
+		if err != nil || !popped.Found {
+			return fmt.Errorf("queue setup dequeue: %+v %v", popped, err)
+		}
+		qFirst = popped.Value
+	}
 
 	// The proxy pins the dial address across the restart: clients keep
 	// dialing it while the server behind it dies and comes back. An
@@ -255,6 +293,60 @@ func runRestart(out io.Writer, cfg restartConfig) error {
 		fmt.Fprintf(out, "CONTRACT VIOLATION: recovered_ops=0: the restarted server recovered nothing\n")
 	}
 
+	// Queue exactly-once verdict, against the RESTARTED incarnation:
+	// re-issue the pre-crash dequeue verbatim (same session, same seq).
+	// The recovered dedup window must answer it with the original value
+	// and WasDuplicate set; the queue must still hold exactly two
+	// elements (a double pop would leave one); and a fresh dequeue must
+	// yield the NEXT element in FIFO order.
+	queueExactlyOnce := false
+	{
+		// The server leases exactly n identities and every worker still
+		// holds one; give one back (Close is idempotent, the deferred
+		// close is a no-op) and ride out the lease release.
+		conns[cfg.n-1].Close()
+		var qc *client.Client
+		for attempt := 0; ; attempt++ {
+			qc, err = client.DialTimeout(first.addr, 2*time.Second)
+			if err == nil {
+				break
+			}
+			if attempt >= 40 {
+				return fmt.Errorf("queue verdict dial: %w", err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		qc.SetSession(qSession)
+		redo, err := qc.QDeqOp(0, qName, qDeqSeq)
+		if err != nil {
+			qc.Close()
+			return fmt.Errorf("queue verdict retry dequeue: %w", err)
+		}
+		qlen, qfound, err := qc.QLen(qName)
+		if err != nil {
+			qc.Close()
+			return fmt.Errorf("queue verdict length: %w", err)
+		}
+		next, err := qc.QDeqOp(0, qName, qDeqSeq+1)
+		qc.Close()
+		if err != nil {
+			return fmt.Errorf("queue verdict fresh dequeue: %w", err)
+		}
+		switch {
+		case !redo.WasDuplicate || !redo.Found || redo.Value != qFirst:
+			failures++
+			fmt.Fprintf(out, "CONTRACT VIOLATION: retried dequeue got %+v, want duplicate ack of value %d\n", redo, qFirst)
+		case !qfound || qlen != 2:
+			failures++
+			fmt.Fprintf(out, "CONTRACT VIOLATION: queue length %d after one dequeue of three (found=%v), want 2 — the retry popped again\n", qlen, qfound)
+		case !next.Found || next.Value != 22 || next.WasDuplicate:
+			failures++
+			fmt.Fprintf(out, "CONTRACT VIOLATION: fresh dequeue got %+v, want value 22 in FIFO order\n", next)
+		default:
+			queueExactlyOnce = true
+		}
+	}
+
 	// Drain the survivor cleanly so its own WAL close is orderly.
 	srv.cmd.Process.Signal(syscall.SIGTERM)
 	select {
@@ -270,9 +362,10 @@ func runRestart(out io.Writer, cfg restartConfig) error {
 			Counter   int64      `json:"counter"`
 			Want      int64      `json:"want_counter"`
 			DupeAcks  int64      `json:"dupe_acks"`
+			QueueOnce bool       `json:"queue_exactly_once"`
 			Failures  int        `json:"violations"`
 			Server    wire.Stats `json:"server"`
-		}{completed, cfg.n, counter, want, dupeAcks, failures, sstats}, "", "  ")
+		}{completed, cfg.n, counter, want, dupeAcks, queueExactlyOnce, failures, sstats}, "", "  ")
 		if err != nil {
 			return err
 		}
@@ -284,6 +377,8 @@ func runRestart(out io.Writer, cfg restartConfig) error {
 			completed, cfg.n, counter, want, dupeAcks)
 		fmt.Fprintf(out, "server: restart_count=%d recovered_ops=%d applied_dupes=%d admitted=%d\n",
 			sstats.RestartCount, sstats.RecoveredOps, sstats.AppliedDupes, sstats.Admitted)
+		fmt.Fprintf(out, "queue: exactly_once=%v (dequeue retried across SIGKILL answered from the dedup window)\n",
+			queueExactlyOnce)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d contract violation(s)", failures)

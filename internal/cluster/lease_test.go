@@ -17,9 +17,9 @@ func (stubBackend) WaitLocalDurable(uint64) error                    { return ni
 func (stubBackend) InstallState(map[uint32]durable.ShardState) (bool, error) {
 	return true, nil
 }
-func (stubBackend) Frontier() (vers, epochs []uint64)      { return []uint64{0}, []uint64{0} }
+func (stubBackend) Frontier() (vers, epochs []uint64)         { return []uint64{0}, []uint64{0} }
 func (stubBackend) StateImage() map[uint32]durable.ShardState { return nil }
-func (stubBackend) BumpEpochs([]uint32) error              { return nil }
+func (stubBackend) BumpEpochs([]uint32) error                 { return nil }
 
 func leaseTestConfig() Config {
 	return Config{

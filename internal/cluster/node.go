@@ -256,12 +256,12 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("cluster: replication listener: %w", err)
 	}
 	n := &Node{
-		cfg:      cfg,
-		ring:     ring,
-		peers:    peers,
-		others:   others,
-		quorum:   newQuorumTracker(cfg.Quorum),
-		ln:       ln,
+		cfg:       cfg,
+		ring:      ring,
+		peers:     peers,
+		others:    others,
+		quorum:    newQuorumTracker(cfg.Quorum),
+		ln:        ln,
 		serving:   make(map[uint32]bool),
 		lastSeen:  make(map[string]time.Time),
 		contacted: make(map[string]bool),

@@ -40,6 +40,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"kexclusion/internal/object"
 )
 
 // OpKind identifies a logged mutation. Reads are never logged — they
@@ -51,6 +53,29 @@ const (
 	OpAdd OpKind = 1
 	// OpSet overwrites the shard value with Arg.
 	OpSet OpKind = 2
+	// OpCreate creates named object Obj of type Arg (kx05). For
+	// snapshot objects Arg2 is the slot count. Idempotent per type.
+	OpCreate OpKind = 3
+	// OpMapPut stores Arg under Key in map Obj.
+	OpMapPut OpKind = 4
+	// OpMapCAS stores Arg under Key if the current value equals Arg2
+	// (a missing key compares as 0); rejected otherwise.
+	OpMapCAS OpKind = 5
+	// OpMapDel removes Key from map Obj; rejected if absent.
+	OpMapDel OpKind = 6
+	// OpQEnq appends Arg to queue Obj.
+	OpQEnq OpKind = 7
+	// OpQDeq pops the head of queue Obj; rejected if empty. The
+	// canonical non-idempotent op: its retry safety IS the dedup window.
+	OpQDeq OpKind = 8
+	// OpRegAdd adds Arg to register Obj.
+	OpRegAdd OpKind = 9
+	// OpRegSet overwrites register Obj with Arg.
+	OpRegSet OpKind = 10
+	// OpSnapUpdate writes Arg into slot Arg2 of snapshot object Obj.
+	OpSnapUpdate OpKind = 11
+
+	opKindMax = OpSnapUpdate
 )
 
 // String names the kind for logs and errors.
@@ -60,6 +85,24 @@ func (k OpKind) String() string {
 		return "add"
 	case OpSet:
 		return "set"
+	case OpCreate:
+		return "create"
+	case OpMapPut:
+		return "map.put"
+	case OpMapCAS:
+		return "map.cas"
+	case OpMapDel:
+		return "map.del"
+	case OpQEnq:
+		return "queue.enq"
+	case OpQDeq:
+		return "queue.deq"
+	case OpRegAdd:
+		return "reg.add"
+	case OpRegSet:
+		return "reg.set"
+	case OpSnapUpdate:
+		return "snap.update"
 	}
 	return fmt.Sprintf("opkind(%d)", uint8(k))
 }
@@ -91,6 +134,21 @@ type Record struct {
 	// meets is a discarded fork, never data. Records written before
 	// epochs existed decode as epoch 0.
 	Epoch uint64
+	// Obj and Key address a named object and map key (kx05 kinds;
+	// empty for the legacy root-register kinds, which keep their
+	// byte-identical legacy record layout).
+	Obj string
+	Key string
+	// Arg2 is the secondary argument (cas expected value, snapshot
+	// slot, create slot count).
+	Arg2 int64
+	// OK is the op-level verdict that was acknowledged (see
+	// Outcome.OK); replay cross-checks it like Val.
+	OK bool
+	// Atomic, when non-nil, makes this an atomic-group record: the sub
+	// records applied all-or-nothing across shards under one LSN. The
+	// top-level mutation fields are unused.
+	Atomic []Record
 }
 
 // Record framing: [4-byte big-endian body length][4-byte CRC-32C of
@@ -103,11 +161,19 @@ const (
 	// snapshot frames share one type-byte space so a snapshot body can
 	// never be mistaken for a log record.
 	recTypeOp = 5 // an applied mutation with its epoch (opBodyLen bytes)
+	// 6 is the current snapshot body type and 7 its object-table
+	// successor (see snapshot.go).
+	recTypeObjOp  = 8 // a typed-object mutation (opObjBodyLen fixed bytes + name + key)
+	recTypeAtomic = 9 // an atomic group: [type][u16 count] then count × [u16 len][op body]
 
 	// opBodyLenV1: type + session + seq + shard + kind + arg + val + ver.
 	opBodyLenV1 = 1 + 8 + 8 + 4 + 1 + 8 + 8 + 8
 	// opBodyLen appends the 8-byte epoch.
 	opBodyLen = opBodyLenV1 + 8
+	// opObjBodyLen is the fixed prefix of a typed-object record: type +
+	// session + seq + shard + kind + arg + arg2 + val + ver + epoch +
+	// ok + nameLen(u8) + keyLen(u16); name and key bytes follow.
+	opObjBodyLen = 1 + 8 + 8 + 4 + 1 + 8 + 8 + 8 + 8 + 8 + 1 + 1 + 2
 
 	// maxBody bounds a WAL record body; a longer announcement in a
 	// header is corruption, not a record worth allocating for.
@@ -159,20 +225,82 @@ func decodeFrame(b []byte, maxLen int) ([]byte, int, error) {
 	return body, recHeaderLen + n, nil
 }
 
-// encodeOp frames an op record (always the current, epoch-bearing
-// layout; the legacy layout is decode-only).
+// encodeOp frames an op record.
 func encodeOp(r Record) []byte {
-	body := make([]byte, opBodyLen)
-	body[0] = recTypeOp
+	return appendFrame(nil, EncodeRecordBody(r))
+}
+
+// EncodeRecordBody serializes an op record body without the CRC frame
+// — the shared codec for WAL appends and replication shipping. Legacy
+// root-register kinds keep the pre-kx05 layout byte-for-byte; typed
+// kinds use the object layout; a record with Atomic set becomes one
+// atomic-group body.
+func EncodeRecordBody(r Record) []byte {
+	if len(r.Atomic) > 0 {
+		body := []byte{recTypeAtomic}
+		body = binary.BigEndian.AppendUint16(body, uint16(len(r.Atomic)))
+		for _, sub := range r.Atomic {
+			sb := EncodeRecordBody(sub)
+			body = binary.BigEndian.AppendUint16(body, uint16(len(sb)))
+			body = append(body, sb...)
+		}
+		return body
+	}
+	// Legacy register kinds always succeed (applyOp has no rejecting
+	// path for add/set), so the OK-less legacy layout loses nothing:
+	// decode normalizes their OK to true.
+	if (r.Kind == OpAdd || r.Kind == OpSet) && r.Obj == "" && r.Key == "" && r.Arg2 == 0 {
+		// Legacy layout, unchanged: pre-kx05 WALs and this one stay
+		// interchangeable for register-only traffic.
+		body := make([]byte, opBodyLen)
+		body[0] = recTypeOp
+		binary.BigEndian.PutUint64(body[1:], r.Session)
+		binary.BigEndian.PutUint64(body[9:], r.Seq)
+		binary.BigEndian.PutUint32(body[17:], r.Shard)
+		body[21] = byte(r.Kind)
+		binary.BigEndian.PutUint64(body[22:], uint64(r.Arg))
+		binary.BigEndian.PutUint64(body[30:], uint64(r.Val))
+		binary.BigEndian.PutUint64(body[38:], r.Ver)
+		binary.BigEndian.PutUint64(body[46:], r.Epoch)
+		return body
+	}
+	body := make([]byte, opObjBodyLen, opObjBodyLen+len(r.Obj)+len(r.Key))
+	body[0] = recTypeObjOp
 	binary.BigEndian.PutUint64(body[1:], r.Session)
 	binary.BigEndian.PutUint64(body[9:], r.Seq)
 	binary.BigEndian.PutUint32(body[17:], r.Shard)
 	body[21] = byte(r.Kind)
 	binary.BigEndian.PutUint64(body[22:], uint64(r.Arg))
-	binary.BigEndian.PutUint64(body[30:], uint64(r.Val))
-	binary.BigEndian.PutUint64(body[38:], r.Ver)
-	binary.BigEndian.PutUint64(body[46:], r.Epoch)
-	return appendFrame(nil, body)
+	binary.BigEndian.PutUint64(body[30:], uint64(r.Arg2))
+	binary.BigEndian.PutUint64(body[38:], uint64(r.Val))
+	binary.BigEndian.PutUint64(body[46:], r.Ver)
+	binary.BigEndian.PutUint64(body[54:], r.Epoch)
+	if r.OK {
+		body[62] = 1
+	}
+	body[63] = byte(len(r.Obj))
+	binary.BigEndian.PutUint16(body[64:], uint16(len(r.Key)))
+	body = append(body, r.Obj...)
+	body = append(body, r.Key...)
+	return body
+}
+
+// ParseRecordBody decodes an op or atomic-group record body produced
+// by EncodeRecordBody. Restart markers and snapshot bodies are
+// rejected — this is the replication-facing codec, and a peer has no
+// business shipping those as ops.
+func ParseRecordBody(body []byte) (Record, error) {
+	if len(body) == 0 {
+		return Record{}, fmt.Errorf("%w: empty record body", errCorrupt)
+	}
+	rec, isRestart, err := parseBody(body)
+	if err != nil {
+		return Record{}, err
+	}
+	if isRestart {
+		return Record{}, fmt.Errorf("%w: restart marker where an op record was expected", errCorrupt)
+	}
+	return rec, nil
 }
 
 // encodeRestart frames a restart marker.
@@ -204,11 +332,82 @@ func parseBody(body []byte) (rec Record, isRestart bool, err error) {
 		if body[0] == recTypeOp {
 			rec.Epoch = binary.BigEndian.Uint64(body[46:])
 		}
+		rec.OK = true // legacy kinds always applied with an OK verdict
 		if rec.Kind != OpAdd && rec.Kind != OpSet {
 			return Record{}, false, fmt.Errorf("%w: unknown op kind %d", errCorrupt, body[21])
 		}
 		if rec.Ver == 0 {
 			return Record{}, false, fmt.Errorf("%w: op record with version 0", errCorrupt)
+		}
+		return rec, false, nil
+	case recTypeObjOp:
+		if len(body) < opObjBodyLen {
+			return Record{}, false, fmt.Errorf("%w: object op body is %d bytes, want >= %d", errCorrupt, len(body), opObjBodyLen)
+		}
+		nameLen := int(body[63])
+		keyLen := int(binary.BigEndian.Uint16(body[64:]))
+		if len(body) != opObjBodyLen+nameLen+keyLen {
+			return Record{}, false, fmt.Errorf("%w: object op body is %d bytes, want %d", errCorrupt, len(body), opObjBodyLen+nameLen+keyLen)
+		}
+		if nameLen > object.MaxNameLen || keyLen > object.MaxKeyLen {
+			return Record{}, false, fmt.Errorf("%w: object op name/key lengths %d/%d exceed caps", errCorrupt, nameLen, keyLen)
+		}
+		rec = Record{
+			Session: binary.BigEndian.Uint64(body[1:]),
+			Seq:     binary.BigEndian.Uint64(body[9:]),
+			Shard:   binary.BigEndian.Uint32(body[17:]),
+			Kind:    OpKind(body[21]),
+			Arg:     int64(binary.BigEndian.Uint64(body[22:])),
+			Arg2:    int64(binary.BigEndian.Uint64(body[30:])),
+			Val:     int64(binary.BigEndian.Uint64(body[38:])),
+			Ver:     binary.BigEndian.Uint64(body[46:]),
+			Epoch:   binary.BigEndian.Uint64(body[54:]),
+			OK:      body[62] == 1,
+			Obj:     string(body[opObjBodyLen : opObjBodyLen+nameLen]),
+			Key:     string(body[opObjBodyLen+nameLen:]),
+		}
+		if body[62] > 1 {
+			return Record{}, false, fmt.Errorf("%w: object op ok byte %d", errCorrupt, body[62])
+		}
+		if rec.Kind == 0 || rec.Kind > opKindMax {
+			return Record{}, false, fmt.Errorf("%w: unknown op kind %d", errCorrupt, body[21])
+		}
+		if rec.Ver == 0 {
+			return Record{}, false, fmt.Errorf("%w: op record with version 0", errCorrupt)
+		}
+		return rec, false, nil
+	case recTypeAtomic:
+		if len(body) < 3 {
+			return Record{}, false, fmt.Errorf("%w: atomic body is %d bytes", errCorrupt, len(body))
+		}
+		count := int(binary.BigEndian.Uint16(body[1:]))
+		if count == 0 || count > object.MaxAtomicOps {
+			return Record{}, false, fmt.Errorf("%w: atomic group of %d ops outside (0,%d]", errCorrupt, count, object.MaxAtomicOps)
+		}
+		rec = Record{Atomic: make([]Record, 0, count)}
+		off := 3
+		for i := 0; i < count; i++ {
+			if len(body)-off < 2 {
+				return Record{}, false, fmt.Errorf("%w: atomic sub %d truncated", errCorrupt, i)
+			}
+			n := int(binary.BigEndian.Uint16(body[off:]))
+			off += 2
+			if n == 0 || len(body)-off < n {
+				return Record{}, false, fmt.Errorf("%w: atomic sub %d length %d exceeds body", errCorrupt, i, n)
+			}
+			sb := body[off : off+n]
+			off += n
+			if sb[0] != recTypeOp && sb[0] != recTypeObjOp {
+				return Record{}, false, fmt.Errorf("%w: atomic sub %d has record type %d", errCorrupt, i, sb[0])
+			}
+			sub, _, err := parseBody(sb)
+			if err != nil {
+				return Record{}, false, err
+			}
+			rec.Atomic = append(rec.Atomic, sub)
+		}
+		if off != len(body) {
+			return Record{}, false, fmt.Errorf("%w: atomic body has trailing bytes", errCorrupt)
 		}
 		return rec, false, nil
 	case recTypeRestart:

@@ -6,23 +6,28 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"kexclusion/internal/object"
 )
 
 // Snapshot body layout (one CRC frame, like a WAL record):
 //
-//	[1 type=6][8 coverLSN][8 markers][4 shardCount]
+//	[1 type=7][8 coverLSN][8 markers][4 shardCount]
 //	  per shard, ascending id:
 //	    [4 id][8 epoch][8 ver][8 val][4 dedupCount]
 //	      per dedup entry, ascending session:
-//	        [8 session][4 opCount][opCount × [8 seq][8 val][8 ver]]
+//	        [8 session][4 opCount][opCount × [8 seq][8 val][8 ver][1 ok]]
+//	    [named-object table — object.AppendTable bytes]
 //
 // Each dedup entry carries the session's recent-op history, newest
-// first (opCount ≥ 1; op 0 is the entry's inline newest). Two legacy
+// first (opCount ≥ 1; op 0 is the entry's inline newest). Three legacy
 // layouts still decode so a server upgraded in place recovers its old
-// snapshot: type 4 is the pre-epoch layout (no [8 epoch] field —
-// epochs start at 0) and type 3 the pre-pipelining one (additionally
-// one fixed 32-byte op per session; histories refill as sessions
-// mutate).
+// snapshot: type 6 is the pre-kx05 layout (24-byte dedup ops with no
+// verdict byte — every recorded op decodes as OK — and no object
+// table), type 4 the pre-epoch layout (additionally no [8 epoch]
+// field — epochs start at 0) and type 3 the pre-pipelining one
+// (additionally one fixed 32-byte op per session; histories refill as
+// sessions mutate).
 //
 // coverLSN is the log end captured BEFORE the shard images are read:
 // every record at or below it is reflected in the images; records
@@ -34,6 +39,11 @@ const (
 	recTypeSnapshotV1 = 3
 	recTypeSnapshotV2 = 4
 	recTypeSnapshot   = 6 // 5 is recTypeOp (WAL); one type-byte space
+	// recTypeSnapObj extends the type-6 layout for kx05: every dedup op
+	// gains a trailing [1 ok] verdict byte (25-byte ops) and every shard
+	// is followed by its named-object table (object.AppendTable bytes).
+	// 8 and 9 are WAL record types (record.go).
+	recTypeSnapObj = 7
 )
 
 func encodeSnapshot(cover, markers uint64, shards map[uint32]ShardState) []byte {
@@ -43,8 +53,14 @@ func encodeSnapshot(cover, markers uint64, shards map[uint32]ShardState) []byte 
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
-	body := make([]byte, 0, 21+len(shards)*24)
-	body = append(body, recTypeSnapshot)
+	b01 := func(v bool) byte {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	body := make([]byte, 0, 21+len(shards)*28)
+	body = append(body, recTypeSnapObj)
 	body = binary.BigEndian.AppendUint64(body, cover)
 	body = binary.BigEndian.AppendUint64(body, markers)
 	body = binary.BigEndian.AppendUint32(body, uint32(len(ids)))
@@ -67,12 +83,15 @@ func encodeSnapshot(cover, markers uint64, shards map[uint32]ShardState) []byte 
 			body = binary.BigEndian.AppendUint64(body, e.Seq)
 			body = binary.BigEndian.AppendUint64(body, uint64(e.Val))
 			body = binary.BigEndian.AppendUint64(body, e.Ver)
+			body = append(body, b01(e.OK))
 			for _, op := range e.Recent {
 				body = binary.BigEndian.AppendUint64(body, op.Seq)
 				body = binary.BigEndian.AppendUint64(body, uint64(op.Val))
 				body = binary.BigEndian.AppendUint64(body, op.Ver)
+				body = append(body, b01(op.OK))
 			}
 		}
+		body = object.AppendTable(body, s.Objs)
 	}
 	return body
 }
@@ -82,11 +101,17 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 		return 0, 0, nil, fmt.Errorf("%w: snapshot %s", errCorrupt, what)
 	}
 	if len(body) < 21 ||
-		(body[0] != recTypeSnapshot && body[0] != recTypeSnapshotV2 && body[0] != recTypeSnapshotV1) {
+		(body[0] != recTypeSnapObj && body[0] != recTypeSnapshot &&
+			body[0] != recTypeSnapshotV2 && body[0] != recTypeSnapshotV1) {
 		return fail("header malformed")
 	}
 	legacy := body[0] == recTypeSnapshotV1
-	hasEpoch := body[0] == recTypeSnapshot
+	hasEpoch := body[0] == recTypeSnapshot || body[0] == recTypeSnapObj
+	hasObjs := body[0] == recTypeSnapObj
+	opSize := 24 // [8 seq][8 val][8 ver]
+	if hasObjs {
+		opSize = 25 // + [1 ok]
+	}
 	shardHdr := 24 // [4 id][8 ver][8 val][4 dedupCount]
 	if hasEpoch {
 		shardHdr = 32 // + [8 epoch] after the id
@@ -141,6 +166,7 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 						Seq: binary.BigEndian.Uint64(body[off+8:]),
 						Val: int64(binary.BigEndian.Uint64(body[off+16:])),
 						Ver: binary.BigEndian.Uint64(body[off+24:]),
+						OK:  true,
 					}
 					off += 32
 				} else {
@@ -150,15 +176,19 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 					sess = binary.BigEndian.Uint64(body[off:])
 					nOps := int(binary.BigEndian.Uint32(body[off+8:]))
 					off += 12
-					if nOps < 1 || nOps > (len(body)-off)/24 {
+					if nOps < 1 || nOps > (len(body)-off)/opSize {
 						return fail("dedup history truncated")
 					}
 					e = DedupEntry{
 						Seq: binary.BigEndian.Uint64(body[off:]),
 						Val: int64(binary.BigEndian.Uint64(body[off+8:])),
 						Ver: binary.BigEndian.Uint64(body[off+16:]),
+						OK:  true, // pre-kx05 entries all carried OK verdicts
 					}
-					off += 24
+					if hasObjs {
+						e.OK = body[off+24] == 1
+					}
+					off += opSize
 					if nOps > 1 {
 						e.Recent = make([]DedupOp, nOps-1)
 						for k := range e.Recent {
@@ -166,8 +196,12 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 								Seq: binary.BigEndian.Uint64(body[off:]),
 								Val: int64(binary.BigEndian.Uint64(body[off+8:])),
 								Ver: binary.BigEndian.Uint64(body[off+16:]),
+								OK:  true,
 							}
-							off += 24
+							if hasObjs {
+								e.Recent[k].OK = body[off+24] == 1
+							}
+							off += opSize
 						}
 					}
 				}
@@ -176,6 +210,14 @@ func decodeSnapshot(body []byte) (cover, markers uint64, shards map[uint32]Shard
 			if len(s.Dedup) != nDedup {
 				return fail("has repeated dedup sessions")
 			}
+		}
+		if hasObjs {
+			objs, n, derr := object.DecodeTable(body[off:])
+			if derr != nil {
+				return 0, 0, nil, fmt.Errorf("%w: snapshot shard %d: %v", errCorrupt, id, derr)
+			}
+			s.Objs = objs
+			off += n
 		}
 		if _, dup := shards[id]; dup {
 			return fail("has repeated shard ids")

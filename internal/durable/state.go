@@ -1,5 +1,7 @@
 package durable
 
+import "kexclusion/internal/object"
+
 // ShardState is the value type the server's resilient.Shared table
 // holds per shard: the visible counter value plus the durability
 // bookkeeping that must travel with it through the universal
@@ -27,6 +29,13 @@ type ShardState struct {
 	Epoch uint64
 	// Val is the shard's visible value.
 	Val int64
+	// Objs is the shard's named-object table (kx05): registers, maps,
+	// queues, and snapshot objects keyed by name. Nil until the first
+	// create. Clone copies the map but shares the object states; a
+	// mutation clones the one object it touches and swaps the pointer,
+	// so per-op cost is O(objects in shard) for the map copy plus the
+	// object's own COW cost, never O(total data).
+	Objs map[string]*object.State
 	// Dedup maps a client session identity to its recent ops. One
 	// entry per session, holding the newest op inline plus a short
 	// history (see DedupDepth): a pipelined client can have several
@@ -51,6 +60,11 @@ type DedupEntry struct {
 	// Val is the result that was (or will be) acknowledged; a retry of
 	// the same op is answered with it.
 	Val int64
+	// OK is the op-level verdict that accompanied Val: false for a
+	// logically rejected mutation (failed cas, dequeue on empty, type
+	// conflict). A retry must be answered with the original verdict —
+	// re-evaluating it against moved state would break exactly-once.
+	OK bool
 	// Ver is the shard version the newest op produced — the eviction
 	// key (the window drops the longest-idle session first) and the WAL
 	// position a duplicate must wait on before it can be
@@ -66,7 +80,26 @@ type DedupEntry struct {
 type DedupOp struct {
 	Seq uint64
 	Val int64
+	OK  bool
 	Ver uint64
+}
+
+// Op is one typed mutation against a shard: the legacy root-register
+// kinds (OpAdd/OpSet, empty Obj) or a kx05 named-object kind. It is
+// the in-memory twin of a WAL op record's mutation fields.
+type Op struct {
+	// Kind selects the mutation.
+	Kind OpKind
+	// Obj names the target object; empty for the legacy root register.
+	Obj string
+	// Key is the map key (map kinds only).
+	Key string
+	// Arg is the primary argument: delta, value, enqueue payload,
+	// object type for creates.
+	Arg int64
+	// Arg2 is the secondary argument: cas expected value, snapshot
+	// slot index, snapshot slot count for creates.
+	Arg2 int64
 }
 
 // Outcome reports what Step did with an op.
@@ -74,6 +107,10 @@ type Outcome struct {
 	// Val is the value to acknowledge: the new shard value when
 	// Applied, the originally recorded value when Duplicate.
 	Val int64
+	// OK is the op-level verdict (true for every legacy kind that
+	// applies; false when a typed op was logged as logically rejected —
+	// cas mismatch, empty dequeue, missing object, type conflict).
+	OK bool
 	// Applied: the op executed and moved the state (Ver is its new
 	// shard version, to be logged).
 	Applied bool
@@ -108,6 +145,15 @@ func (s ShardState) Clone() ShardState {
 			c.Dedup[k] = v
 		}
 	}
+	if s.Objs != nil {
+		// The object states themselves are shared copy-on-write:
+		// applyOp clones the one object it mutates and swaps the
+		// pointer, so entries here are immutable once published.
+		c.Objs = make(map[string]*object.State, len(s.Objs))
+		for k, v := range s.Objs {
+			c.Objs[k] = v
+		}
+	}
 	return c
 }
 
@@ -119,10 +165,24 @@ func (s ShardState) Clone() ShardState {
 // session==0 or seq==0 disables dedup for the op (anonymous clients,
 // idempotent kinds). window bounds the dedup map; <=0 means unbounded.
 func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64) Outcome {
+	return StepOp(s, window, session, seq, Op{Kind: kind, Arg: arg})
+}
+
+// StepOp is the typed-object generalization of Step: every mutation —
+// legacy and kx05 alike — funnels through it, live and in replay.
+//
+// A mutation with an op ID ALWAYS applies (Ver advances and a record
+// is logged) even when it is logically rejected (OK false: cas
+// mismatch, dequeue on empty, missing object, type conflict). The
+// rejection is part of the linearized history: a retry of the same op
+// ID is answered with the original verdict from the dedup window, not
+// re-evaluated against state that has since moved — exactly-once for
+// failures, not just successes.
+func StepOp(s *ShardState, window int, session, seq uint64, op Op) Outcome {
 	if session != 0 && seq != 0 {
 		if e, ok := s.Dedup[session]; ok {
 			if seq == e.Seq {
-				return Outcome{Val: e.Val, Duplicate: true, Ver: e.Ver, Epoch: s.Epoch}
+				return Outcome{Val: e.Val, OK: e.OK, Duplicate: true, Ver: e.Ver, Epoch: s.Epoch}
 			}
 			if seq < e.Seq {
 				// An older seq: answer from the history if the window
@@ -131,26 +191,21 @@ func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64
 				// included), stale only once it has aged out.
 				for _, old := range e.Recent {
 					if old.Seq == seq {
-						return Outcome{Val: old.Val, Duplicate: true, Ver: old.Ver, Epoch: s.Epoch}
+						return Outcome{Val: old.Val, OK: old.OK, Duplicate: true, Ver: old.Ver, Epoch: s.Epoch}
 					}
 				}
 				return Outcome{Stale: true}
 			}
 		}
 	}
-	switch kind {
-	case OpAdd:
-		s.Val += arg
-	case OpSet:
-		s.Val = arg
-	}
+	val, ok := applyOp(s, op)
 	s.Ver++
 	if session != 0 && seq != 0 {
 		if s.Dedup == nil {
 			s.Dedup = make(map[uint64]DedupEntry)
 		}
 		prev, had := s.Dedup[session]
-		entry := DedupEntry{Seq: seq, Val: s.Val, Ver: s.Ver}
+		entry := DedupEntry{Seq: seq, Val: val, OK: ok, Ver: s.Ver}
 		if had {
 			// Push the superseded newest op into the history: a fresh
 			// slice every time (never append to prev.Recent in place —
@@ -160,7 +215,7 @@ func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64
 				keep = DedupDepth - 2
 			}
 			entry.Recent = make([]DedupOp, 0, keep+1)
-			entry.Recent = append(entry.Recent, DedupOp{Seq: prev.Seq, Val: prev.Val, Ver: prev.Ver})
+			entry.Recent = append(entry.Recent, DedupOp{Seq: prev.Seq, Val: prev.Val, OK: prev.OK, Ver: prev.Ver})
 			entry.Recent = append(entry.Recent, prev.Recent[:keep]...)
 		}
 		s.Dedup[session] = entry
@@ -168,7 +223,119 @@ func Step(s *ShardState, window int, session, seq uint64, kind OpKind, arg int64
 			evictOldest(s.Dedup)
 		}
 	}
-	return Outcome{Val: s.Val, Applied: true, Ver: s.Ver, Epoch: s.Epoch}
+	return Outcome{Val: val, OK: ok, Applied: true, Ver: s.Ver, Epoch: s.Epoch}
+}
+
+// applyOp executes op's state change on s, returning the result value
+// and the op-level verdict. It must be fully deterministic: replay
+// re-executes it and cross-checks the recorded (Val, OK, Ver).
+func applyOp(s *ShardState, op Op) (int64, bool) {
+	switch op.Kind {
+	case OpAdd:
+		s.Val += op.Arg
+		return s.Val, true
+	case OpSet:
+		s.Val = op.Arg
+		return s.Val, true
+	case OpCreate:
+		t := object.Type(op.Arg)
+		if cur, ok := s.Objs[op.Obj]; ok {
+			// Idempotent: re-creating with the same type succeeds and
+			// reports the type; a different type is a conflict.
+			return int64(cur.Type), cur.Type == t
+		}
+		if !t.Valid() || op.Obj == "" {
+			return 0, false
+		}
+		slots := int(op.Arg2)
+		if t == object.TypeSnapshot && (slots < 1 || slots > object.MaxSnapSlots) {
+			return 0, false
+		}
+		if s.Objs == nil {
+			s.Objs = make(map[string]*object.State)
+		}
+		s.Objs[op.Obj] = object.New(t, slots)
+		return int64(t), true
+	}
+	cur, ok := s.Objs[op.Obj]
+	if !ok {
+		return 0, false
+	}
+	// mutate clones the target object and republishes it, keeping the
+	// previously published *State immutable for clones that share it.
+	mutate := func() *object.State {
+		c := cur.Clone()
+		s.Objs[op.Obj] = c
+		return c
+	}
+	switch op.Kind {
+	case OpRegAdd:
+		if cur.Type != object.TypeRegister {
+			return 0, false
+		}
+		c := mutate()
+		c.Reg += op.Arg
+		return c.Reg, true
+	case OpRegSet:
+		if cur.Type != object.TypeRegister {
+			return 0, false
+		}
+		mutate().Reg = op.Arg
+		return op.Arg, true
+	case OpMapPut:
+		if cur.Type != object.TypeMap {
+			return 0, false
+		}
+		mutate().M.Put(op.Key, op.Arg)
+		return op.Arg, true
+	case OpMapCAS:
+		if cur.Type != object.TypeMap {
+			return 0, false
+		}
+		// A missing key compares as 0, so cas(key, 0→v) initializes.
+		cv, _ := cur.M.Get(op.Key)
+		if cv != op.Arg2 {
+			return cv, false // rejected: report the observed value
+		}
+		mutate().M.Put(op.Key, op.Arg)
+		return op.Arg, true
+	case OpMapDel:
+		if cur.Type != object.TypeMap {
+			return 0, false
+		}
+		if _, present := cur.M.Get(op.Key); !present {
+			return 0, false
+		}
+		old, _ := mutate().M.Delete(op.Key)
+		return old, true
+	case OpQEnq:
+		if cur.Type != object.TypeQueue {
+			return 0, false
+		}
+		c := mutate()
+		c.Q.PushBack(op.Arg)
+		return int64(c.Q.Len()), true
+	case OpQDeq:
+		if cur.Type != object.TypeQueue {
+			return 0, false
+		}
+		if cur.Q.Len() == 0 {
+			return 0, false
+		}
+		v, _ := mutate().Q.PopFront()
+		return v, true
+	case OpSnapUpdate:
+		if cur.Type != object.TypeSnapshot {
+			return 0, false
+		}
+		slot := op.Arg2
+		if slot < 0 || slot >= int64(len(cur.Slots)) {
+			return 0, false
+		}
+		mutate().Slots[slot] = op.Arg
+		return op.Arg, true
+	}
+	return 0, false
 }
 
 // evictOldest drops the entry with the smallest shard version — the

@@ -326,6 +326,18 @@ func (l *Log) replaySegment(sg segment, last bool, snapCover uint64, rec *Recove
 // history without the install snapshot that is required to fence it,
 // and is reported as corruption.
 func replayOp(r Record, lsn uint64, window int, rec *Recovery) error {
+	if len(r.Atomic) > 0 {
+		// An atomic group replays sub by sub: each sub carries its own
+		// shard's (epoch, version) coordinates, so the per-shard skip/
+		// gap/fork logic below applies unchanged — a snapshot that
+		// already covers some subs skips exactly those.
+		for _, sub := range r.Atomic {
+			if err := replayOp(sub, lsn, window, rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	s := rec.Shards[r.Shard]
 	if r.Epoch < s.Epoch {
 		return nil // tail of a fork superseded by a state install
@@ -342,10 +354,10 @@ func replayOp(r Record, lsn uint64, window int, rec *Recovery) error {
 			r.Shard, lsn, r.Ver, s.Ver+1)
 	}
 	s.Epoch = r.Epoch // adopt an epoch bump that continues the line
-	out := Step(&s, window, r.Session, r.Seq, r.Kind, r.Arg)
-	if !out.Applied || out.Val != r.Val || out.Ver != r.Ver {
-		return fmt.Errorf("durable: shard %d: replay of LSN %d diverged (applied=%v val=%d ver=%d, recorded val=%d ver=%d)",
-			r.Shard, lsn, out.Applied, out.Val, out.Ver, r.Val, r.Ver)
+	out := StepOp(&s, window, r.Session, r.Seq, Op{Kind: r.Kind, Obj: r.Obj, Key: r.Key, Arg: r.Arg, Arg2: r.Arg2})
+	if !out.Applied || out.Val != r.Val || out.Ver != r.Ver || out.OK != r.OK {
+		return fmt.Errorf("durable: shard %d: replay of LSN %d diverged (applied=%v val=%d ok=%v ver=%d, recorded val=%d ok=%v ver=%d)",
+			r.Shard, lsn, out.Applied, out.Val, out.OK, out.Ver, r.Val, r.OK, r.Ver)
 	}
 	rec.Shards[r.Shard] = s
 	return nil

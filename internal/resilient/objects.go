@@ -1,5 +1,7 @@
 package resilient
 
+import "kexclusion/internal/object"
+
 // Concrete resilient objects built on Shared, demonstrating the paper's
 // methodology on the object types its introduction motivates.
 
@@ -28,32 +30,37 @@ func (c *Counter) Value(p int) int64 {
 	return v.(int64)
 }
 
-// Queue is a (k-1)-resilient FIFO queue for n processes.
+// Queue is a (k-1)-resilient FIFO queue for n processes. Its state is
+// a copy-on-write chunked deque (object.Deque), so the clone the
+// universal construction takes before every speculative execution
+// copies a fixed-size chunk spine — O(len/chunk) pointers — instead of
+// every element the queue holds. The earlier []T representation cloned
+// all of it, which made each operation on a queue of m elements cost
+// O(m) copying; BenchmarkQueueDeepVsSliceClone pins the difference.
 type Queue[T any] struct {
-	s *Shared[[]T]
+	s *Shared[object.Deque[T]]
 }
 
 // NewQueue creates a resilient FIFO queue.
 func NewQueue[T any](n, k int) *Queue[T] {
-	clone := func(s []T) []T { return append([]T(nil), s...) }
-	return &Queue[T]{s: NewShared(n, k, []T(nil), clone)}
+	clone := func(d object.Deque[T]) object.Deque[T] { return d.Clone() }
+	return &Queue[T]{s: NewShared(n, k, object.Deque[T]{}, clone)}
 }
 
 // Enqueue appends v as process p.
 func (q *Queue[T]) Enqueue(p int, v T) {
-	q.s.Apply(p, func(s []T) ([]T, any) {
-		return append(s, v), nil
+	q.s.Apply(p, func(d object.Deque[T]) (object.Deque[T], any) {
+		d.PushBack(v)
+		return d, nil
 	})
 }
 
 // Dequeue removes and returns the head as process p; ok is false if the
 // queue was empty.
 func (q *Queue[T]) Dequeue(p int) (v T, ok bool) {
-	r := q.s.Apply(p, func(s []T) ([]T, any) {
-		if len(s) == 0 {
-			return s, dequeued[T]{}
-		}
-		return s[1:], dequeued[T]{v: s[0], ok: true}
+	r := q.s.Apply(p, func(d object.Deque[T]) (object.Deque[T], any) {
+		v, ok := d.PopFront()
+		return d, dequeued[T]{v: v, ok: ok}
 	})
 	d := r.(dequeued[T])
 	return d.v, d.ok
@@ -61,7 +68,7 @@ func (q *Queue[T]) Dequeue(p int) (v T, ok bool) {
 
 // Len reports the queue length as process p.
 func (q *Queue[T]) Len(p int) int {
-	r := q.s.Apply(p, func(s []T) ([]T, any) { return s, len(s) })
+	r := q.s.Apply(p, func(d object.Deque[T]) (object.Deque[T], any) { return d, d.Len() })
 	return r.(int)
 }
 

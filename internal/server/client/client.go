@@ -69,11 +69,13 @@ type Client struct {
 	brokenBy  error
 
 	// Pipelining state. batch records whether the server's hello
-	// advertised kx04 batch frames; queued holds operations issued with
-	// Go but not yet written; frames is the FIFO of response framings
-	// still owed by the server (one entry per request frame written);
-	// pending is the FIFO of unresolved operations, oldest first.
+	// advertised kx04 batch frames, objects whether it advertised kx05
+	// object frames; queued holds operations issued with Go but not yet
+	// written; frames is the FIFO of response framings still owed by
+	// the server (one entry per request frame written); pending is the
+	// FIFO of unresolved operations, oldest first.
 	batch   bool
+	objects bool
 	queued  []wire.Request
 	frames  []outFrame
 	pending []*Pending
@@ -165,6 +167,7 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 		hello:   hello,
 		session: randomSession(),
 		batch:   hello.SupportsBatch(),
+		objects: hello.SupportsObjects(),
 	}, nil
 }
 
@@ -259,7 +262,22 @@ func (c *Client) flushLocked() error {
 	} else {
 		c.conn.SetDeadline(time.Time{})
 	}
-	if !c.batch || len(c.queued) == 1 {
+	needObj := false
+	for _, req := range c.queued {
+		if req.Kind.IsObject() {
+			needObj = true
+			break
+		}
+	}
+	switch {
+	case needObj:
+		// At least one queued op speaks kx05: the whole flush goes out
+		// in object frames (legacy kinds ride along unchanged). goObj
+		// refuses object ops on a non-kx05 server, so c.objects holds.
+		if err := c.flushObjLocked(); err != nil {
+			return err
+		}
+	case !c.batch || len(c.queued) == 1:
 		for _, req := range c.queued {
 			if err := wire.WriteRequest(c.bw, req); err != nil {
 				c.poisonLocked(err)
@@ -267,7 +285,7 @@ func (c *Client) flushLocked() error {
 			}
 			c.frames = append(c.frames, outFrame{batched: false, n: 1})
 		}
-	} else {
+	default:
 		for off := 0; off < len(c.queued); off += wire.MaxBatchOps {
 			end := off + wire.MaxBatchOps
 			if end > len(c.queued) {
@@ -284,6 +302,42 @@ func (c *Client) flushLocked() error {
 	if err := c.bw.Flush(); err != nil {
 		c.poisonLocked(err)
 		return err
+	}
+	return nil
+}
+
+// flushObjLocked writes the queued operations in kx05 object frames: a
+// single op as a 0xC0 frame (answered by a plain Response), several as
+// 0xC1 pipeline frames (answered by BatchResponse frames).
+func (c *Client) flushObjLocked() error {
+	if len(c.queued) == 1 {
+		payload, err := wire.EncodeObjRequest(c.queued[0])
+		if err != nil {
+			c.poisonLocked(err)
+			return err
+		}
+		if err := wire.WriteFrame(c.bw, payload); err != nil {
+			c.poisonLocked(err)
+			return err
+		}
+		c.frames = append(c.frames, outFrame{batched: false, n: 1})
+		return nil
+	}
+	for off := 0; off < len(c.queued); off += wire.MaxBatchOps {
+		end := off + wire.MaxBatchOps
+		if end > len(c.queued) {
+			end = len(c.queued)
+		}
+		payload, err := (wire.ObjBatch{Reqs: c.queued[off:end]}).Encode()
+		if err != nil {
+			c.poisonLocked(err)
+			return err
+		}
+		if err := wire.WriteFrame(c.bw, payload); err != nil {
+			c.poisonLocked(err)
+			return err
+		}
+		c.frames = append(c.frames, outFrame{batched: true, n: end - off})
 	}
 	return nil
 }

@@ -138,6 +138,48 @@ const (
 	replDiverged
 )
 
+// applyOneReplicated classifies record r against the local state of
+// its shard and, when it is the shard's next step, applies it. The
+// caller has validated r.Shard and holds replMu.
+func (b *replBackend) applyOneReplicated(r durable.Record) replOutcome {
+	s := b.s
+	v := s.tab.shards[r.Shard].obj.Apply(s.replIdentity(), func(st durable.ShardState) (durable.ShardState, any) {
+		if r.Epoch < st.Epoch {
+			return st, replStale
+		}
+		if r.Epoch == st.Epoch && r.Ver <= st.Ver {
+			// Already inside local history — but verify it really is
+			// THIS record's history while the dedup window still
+			// remembers the op. Within one epoch there is a single
+			// writer, so a mismatch is a genuine same-epoch fork (e.g.
+			// a primary whose unsynced tail a host crash rewrote), not
+			// a race.
+			if !replSkipConsistent(st, r) {
+				return st, replDiverged
+			}
+			return st, replSkipped
+		}
+		if r.Ver != st.Ver+1 {
+			return st, replGap
+		}
+		// Step a clone: a record that fails the cross-check below must
+		// leave the state untouched, and StepOp has already mutated its
+		// argument by the time the divergence is visible.
+		stepped := st.Clone()
+		out := durable.StepOp(&stepped, s.cfg.DedupWindow, r.Session, r.Seq,
+			durable.Op{Kind: r.Kind, Obj: r.Obj, Key: r.Key, Arg: r.Arg, Arg2: r.Arg2})
+		if !out.Applied || out.Val != r.Val || out.Ver != r.Ver || out.OK != r.OK {
+			return st, replDiverged
+		}
+		if r.Epoch > st.Epoch {
+			stepped.Epoch = r.Epoch // adopt a promotion's epoch bump
+			return stepped, replAdopted
+		}
+		return stepped, replApplied
+	})
+	return v.(replOutcome)
+}
+
 // ApplyReplicated folds a replicated batch into the local table and
 // WAL in record order. Re-delivered records (same epoch, version at or
 // below the local frontier) are skipped after a dedup cross-check —
@@ -148,51 +190,32 @@ const (
 // refetching state. A record from a LOWER epoch is a deposed primary's
 // fork and is refused (ErrReplStale); a version gap aborts the batch
 // so the caller can fall back to a state image (ErrReplGap).
+//
+// A type-9 atomic container replays member by member through the same
+// classification, then lands in the local WAL as the one verbatim
+// container record — so a follower's log stays append-for-append
+// identical to the origin's and recovery replays the group as a unit.
 func (b *replBackend) ApplyReplicated(recs []durable.Record) (uint64, error) {
 	s := b.s
 	s.replMu.Lock()
 	defer s.replMu.Unlock()
 	var maxLsn uint64
 	for _, rec := range recs {
+		if len(rec.Atomic) > 0 {
+			lsn, err := b.applyReplicatedAtomic(rec)
+			if err != nil {
+				return maxLsn, err
+			}
+			if lsn > maxLsn {
+				maxLsn = lsn
+			}
+			continue
+		}
 		if int(rec.Shard) >= s.cfg.Shards {
 			return maxLsn, fmt.Errorf("server: replicated record for shard %d, table has %d", rec.Shard, s.cfg.Shards)
 		}
 		sh := s.tab.shards[rec.Shard]
-		r := rec
-		v := sh.obj.Apply(s.replIdentity(), func(st durable.ShardState) (durable.ShardState, any) {
-			if r.Epoch < st.Epoch {
-				return st, replStale
-			}
-			if r.Epoch == st.Epoch && r.Ver <= st.Ver {
-				// Already inside local history — but verify it really is
-				// THIS record's history while the dedup window still
-				// remembers the op. Within one epoch there is a single
-				// writer, so a mismatch is a genuine same-epoch fork (e.g.
-				// a primary whose unsynced tail a host crash rewrote), not
-				// a race.
-				if !replSkipConsistent(st, r) {
-					return st, replDiverged
-				}
-				return st, replSkipped
-			}
-			if r.Ver != st.Ver+1 {
-				return st, replGap
-			}
-			// Step a clone: a record that fails the cross-check below must
-			// leave the state untouched, and Step has already mutated its
-			// argument by the time the divergence is visible.
-			stepped := st.Clone()
-			out := durable.Step(&stepped, s.cfg.DedupWindow, r.Session, r.Seq, r.Kind, r.Arg)
-			if !out.Applied || out.Val != r.Val || out.Ver != r.Ver {
-				return st, replDiverged
-			}
-			if r.Epoch > st.Epoch {
-				stepped.Epoch = r.Epoch // adopt a promotion's epoch bump
-				return stepped, replAdopted
-			}
-			return stepped, replApplied
-		})
-		switch v.(replOutcome) {
+		switch b.applyOneReplicated(rec) {
 		case replSkipped:
 			continue
 		case replAdopted:
@@ -239,6 +262,94 @@ func (b *replBackend) ApplyReplicated(recs []durable.Record) (uint64, error) {
 	return maxLsn, nil
 }
 
+// applyReplicatedAtomic folds one replicated atomic container into the
+// local table and WAL. Members replay in order through the same
+// classification as single records; per touched shard the group covers
+// a contiguous version span, so after the members apply, ONE verbatim
+// append of the container covers the whole span (the sequencer is
+// advanced by install, exactly as on the origin). A partially
+// re-delivered group — a previous delivery applied a prefix, then
+// failed before the append — self-heals the same way batches do: the
+// already-applied members classify as skipped and the container is
+// still appended once, after the remaining members land.
+//
+// The caller holds replMu.
+func (b *replBackend) applyReplicatedAtomic(rec durable.Record) (uint64, error) {
+	s := b.s
+	type span struct {
+		firstVer, lastVer, epoch uint64
+	}
+	spans := make(map[uint32]*span)
+	var order []uint32
+	adopted := false
+	for _, sub := range rec.Atomic {
+		if int(sub.Shard) >= s.cfg.Shards {
+			return 0, fmt.Errorf("server: replicated atomic member for shard %d, table has %d", sub.Shard, s.cfg.Shards)
+		}
+		switch b.applyOneReplicated(sub) {
+		case replSkipped:
+			continue
+		case replAdopted:
+			adopted = true
+		case replStale:
+			return 0, fmt.Errorf("server: shard %d atomic member at epoch %d, local state at epoch %d: %w",
+				sub.Shard, sub.Epoch, s.tab.shards[sub.Shard].obj.Peek().Epoch, cluster.ErrReplStale)
+		case replGap:
+			return 0, fmt.Errorf("server: shard %d atomic member jumps to version %d: %w", sub.Shard, sub.Ver, cluster.ErrReplGap)
+		case replDiverged:
+			return 0, fmt.Errorf("server: shard %d atomic member at version %d (epoch %d): %w",
+				sub.Shard, sub.Ver, sub.Epoch, cluster.ErrReplDiverged)
+		}
+		sp := spans[sub.Shard]
+		if sp == nil {
+			sp = &span{firstVer: sub.Ver}
+			spans[sub.Shard] = sp
+			order = append(order, sub.Shard)
+		}
+		sp.lastVer = sub.Ver
+		sp.epoch = sub.Epoch
+	}
+	if len(spans) == 0 {
+		// Fully re-delivered: every member was already in local history,
+		// so the container itself was already appended.
+		return 0, nil
+	}
+	if adopted {
+		// The group carries a promotion's epoch bump: fence it with a
+		// snapshot instead of an append, like a single adopted record.
+		// The snapshot is a full-table image, so it covers every member.
+		for _, sid := range order {
+			sp := spans[sid]
+			s.tab.shards[sid].seq.install(sp.lastVer, sp.epoch)
+		}
+		return 0, s.log.WriteSnapshot(s.tab.peekAll)
+	}
+	for i, sid := range order {
+		sp := spans[sid]
+		if !s.tab.shards[sid].seq.waitTurn(sp.firstVer, sp.epoch) {
+			// A state install moved some shard past the group — unreachable
+			// under replMu (installs serialize behind it), but answered
+			// honestly: release the turns already taken and fence the whole
+			// group beneath a snapshot, which covers every member.
+			for _, held := range order[:i] {
+				hp := spans[held]
+				s.tab.shards[held].seq.install(hp.lastVer, hp.epoch)
+			}
+			s.tab.shards[sid].seq.install(sp.lastVer, sp.epoch)
+			return 0, s.log.WriteSnapshot(s.tab.peekAll)
+		}
+	}
+	lsn, aerr := s.log.Append(rec)
+	for _, sid := range order {
+		sp := spans[sid]
+		s.tab.shards[sid].seq.install(sp.lastVer, sp.epoch)
+	}
+	if aerr != nil {
+		return 0, aerr
+	}
+	return lsn, nil
+}
+
 // replSkipConsistent cross-checks a record at-or-below the local
 // frontier against the shard's dedup window: if the window still
 // remembers the record's op ID, its recorded version and value must
@@ -259,11 +370,11 @@ func replSkipConsistent(st durable.ShardState, r durable.Record) bool {
 		return false // local history claims r.Ver yet never saw this op
 	}
 	if r.Seq == e.Seq {
-		return e.Ver == r.Ver && e.Val == r.Val
+		return e.Ver == r.Ver && e.Val == r.Val && e.OK == r.OK
 	}
 	for _, old := range e.Recent {
 		if old.Seq == r.Seq {
-			return old.Ver == r.Ver && old.Val == r.Val
+			return old.Ver == r.Ver && old.Val == r.Val && old.OK == r.OK
 		}
 	}
 	return true // aged out of the per-session history window

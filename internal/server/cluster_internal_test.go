@@ -49,6 +49,7 @@ func originRecords(shard uint32, session uint64, seqs []uint64, args []int64) []
 		recs = append(recs, durable.Record{
 			Session: session, Seq: seq, Shard: shard,
 			Kind: durable.OpAdd, Arg: args[i], Val: out.Val, Ver: out.Ver,
+			OK: out.OK,
 		})
 	}
 	return recs
@@ -232,7 +233,7 @@ func TestForkReconcileEpochDominance(t *testing.T) {
 	// The sequencer retreated with the install: version 6 of epoch 1
 	// appends without waiting for the fork's versions 6..10.
 	next := durable.Record{Session: 32, Seq: 1, Shard: 0,
-		Kind: durable.OpAdd, Arg: 1, Val: 501, Ver: 6, Epoch: 1}
+		Kind: durable.OpAdd, Arg: 1, Val: 501, Ver: 6, Epoch: 1, OK: true}
 	done := make(chan error, 1)
 	go func() {
 		lsn, err := b.ApplyReplicated([]durable.Record{next})
@@ -316,7 +317,7 @@ func TestApplyReplicatedAdoptsPromotionEpoch(t *testing.T) {
 	}
 
 	adopt := durable.Record{Session: 51, Seq: 3, Shard: 1,
-		Kind: durable.OpAdd, Arg: 5, Val: 12, Ver: 3, Epoch: 1}
+		Kind: durable.OpAdd, Arg: 5, Val: 12, Ver: 3, Epoch: 1, OK: true}
 	lsn, err := b.ApplyReplicated([]durable.Record{adopt})
 	if err != nil {
 		t.Fatalf("epoch-crossing record: %v", err)
@@ -329,7 +330,7 @@ func TestApplyReplicatedAdoptsPromotionEpoch(t *testing.T) {
 	}
 
 	next := durable.Record{Session: 51, Seq: 4, Shard: 1,
-		Kind: durable.OpAdd, Arg: 1, Val: 13, Ver: 4, Epoch: 1}
+		Kind: durable.OpAdd, Arg: 1, Val: 13, Ver: 4, Epoch: 1, OK: true}
 	lsn, err = b.ApplyReplicated([]durable.Record{next})
 	if err != nil || lsn == 0 {
 		t.Fatalf("record after adopt: lsn=%d err=%v (sequencer not on the new epoch?)", lsn, err)

@@ -47,11 +47,14 @@ func goldenStats() wire.Stats {
 	var idle obs.Snapshot // second shard: untouched
 	return wire.Stats{
 		ActiveSessions: 3, AdmitQueue: 1, Admitted: 42, AppliedDupes: 5,
-		Draining: false, IdleReclaims: 2, Impl: "fastpath", InflightOps: 4,
-		K: 2, LeaseDemotions: 2, LeaseExpirations: 1, LeaseHeld: true,
-		N: 8, OpDeadlines: 1, PerShard: []obs.Snapshot{snap, idle},
-		Phase: "degraded", Reclaimed: 39, RecoveredOps: 17, Rejected: 6,
-		RestartCount: 3, Shards: 2, ShedAdmissions: 11, ShedOps: 9,
+		BatchAtomic: 6, Draining: false, IdleReclaims: 2, Impl: "fastpath",
+		InflightOps: 4, K: 2, LeaseDemotions: 2, LeaseExpirations: 1,
+		LeaseHeld: true, N: 8, ObjMapOps: 21, ObjQueueOps: 13,
+		ObjRegisterOps: 8, ObjSnapshotOps: 2, OpDeadlines: 1,
+		PerShard: []obs.Snapshot{snap, idle},
+		Phase:    "degraded", ReadFastpath: 33, Reclaimed: 39,
+		RecoveredOps: 17, Rejected: 6, RestartCount: 3, Shards: 2,
+		ShedAdmissions: 11, ShedOps: 9,
 	}
 }
 

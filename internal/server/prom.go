@@ -65,6 +65,7 @@ func renderMetrics(st wire.Stats, goroutines, openFDs int) []byte {
 	gauge("admit_queue", "Connections parked waiting for an identity (the shed watermarks' input).", st.AdmitQueue)
 	counter("admitted_total", "Connections granted an identity lease.", st.Admitted)
 	counter("applied_dupes_total", "Mutations answered from the dedup window without re-applying.", st.AppliedDupes)
+	counter("batch_atomic_total", "Atomic groups committed all-or-nothing under one WAL record.", st.BatchAtomic)
 	gauge("draining", "1 while graceful shutdown is in progress.", b01(st.Draining))
 	gauge("goroutines", "Goroutines in the server process.", int64(goroutines))
 	counter("idle_reclaims_total", "Sessions torn down by the idle watchdog.", st.IdleReclaims)
@@ -75,6 +76,10 @@ func renderMetrics(st wire.Stats, goroutines, openFDs int) []byte {
 	gauge("lease_held", "1 while a quorum of peers witnesses this node's leader lease (vacuously 1 off-cluster and at quorum 1).", b01(st.LeaseHeld))
 	gauge("n", "Process identities (max concurrent sessions).", int64(st.N))
 	counter("notprimary_redirects_total", "Operations refused with the owning primary's address (never applied here).", st.NotPrimaryRedirects)
+	counter("obj_map_ops_total", "Completed kx05 operations on map objects.", st.ObjMapOps)
+	counter("obj_queue_ops_total", "Completed kx05 operations on queue objects.", st.ObjQueueOps)
+	counter("obj_register_ops_total", "Completed kx05 operations on named register objects.", st.ObjRegisterOps)
+	counter("obj_snapshot_ops_total", "Completed kx05 operations on k-slot snapshot objects.", st.ObjSnapshotOps)
 	counter("op_deadlines_total", "Operations withdrawn on per-op deadline expiry (never applied).", st.OpDeadlines)
 	gauge("open_fds", "Open file descriptors in the server process (-1 if unreadable).", int64(openFDs))
 
@@ -84,6 +89,7 @@ func renderMetrics(st wire.Stats, goroutines, openFDs int) []byte {
 	}
 
 	counter("quorum_acks_total", "Client acks released by the replication quorum gate.", st.QuorumAcks)
+	counter("read_fastpath_total", "Object reads served from committed state without touching slot, WAL, or quorum.", st.ReadFastpath)
 
 	ready := st.Phase == PhaseRunning.String() || st.Phase == PhaseDegraded.String()
 	gauge("ready", "1 when the server passes its readiness probe (running or degraded).", b01(ready))

@@ -34,6 +34,7 @@ import (
 	"kexclusion/internal/cluster"
 	"kexclusion/internal/core"
 	"kexclusion/internal/durable"
+	"kexclusion/internal/object"
 	"kexclusion/internal/wire"
 )
 
@@ -132,6 +133,13 @@ type Server struct {
 	idleReclaims atomic.Int64
 	opDeadlines  atomic.Int64
 	appliedDupes atomic.Int64
+
+	readFastpath atomic.Int64
+	batchAtomic  atomic.Int64
+	objRegOps    atomic.Int64
+	objMapOps    atomic.Int64
+	objQueueOps  atomic.Int64
+	objSnapOps   atomic.Int64
 
 	log      *durable.Log // nil without DataDir
 	recovery durable.Recovery
@@ -438,6 +446,12 @@ func (s *Server) Stats() wire.Stats {
 		IdleReclaims:        s.idleReclaims.Load(),
 		OpDeadlines:         s.opDeadlines.Load(),
 		AppliedDupes:        s.appliedDupes.Load(),
+		BatchAtomic:         s.batchAtomic.Load(),
+		ReadFastpath:        s.readFastpath.Load(),
+		ObjRegisterOps:      s.objRegOps.Load(),
+		ObjMapOps:           s.objMapOps.Load(),
+		ObjQueueOps:         s.objQueueOps.Load(),
+		ObjSnapshotOps:      s.objSnapOps.Load(),
 		NotPrimaryRedirects: s.notPrimary.Load(),
 		QuorumAcks:          s.quorumAcks.Load(),
 		RecoveredOps:        int64(s.recovery.RecoveredOps),
@@ -543,9 +557,10 @@ func (s *Server) handle(conn net.Conn) {
 		N:        uint32(s.cfg.N),
 		K:        uint32(s.cfg.K),
 		Shards:   uint32(s.cfg.Shards),
-		// Advertise the kx04 batch extension; kx03 clients ignore Msg
-		// on an OK hello, kx04 clients switch to batch framing.
-		Msg: wire.FeatureBatch,
+		// Advertise the kx04 batch and kx05 object extensions; kx03
+		// clients ignore Msg on an OK hello, kx04 clients switch to
+		// batch framing, kx05 clients additionally speak object frames.
+		Msg: wire.FeatureBatch + " " + wire.FeatureObjects,
 	}
 	s.armWrite(conn)
 	if err := wire.WriteHello(bw, hello); err != nil {
@@ -573,7 +588,7 @@ func (s *Server) handle(conn net.Conn) {
 				conn.SetReadDeadline(time.Now())
 			}
 		}
-		reqs, batched, err := wire.ReadRequests(br)
+		frame, err := wire.ReadRequestFrame(br)
 		if err != nil {
 			switch {
 			case errors.Is(err, wire.ErrFrameTooLarge):
@@ -596,20 +611,20 @@ func (s *Server) handle(conn net.Conn) {
 			// deadline: either way the session is over.
 			return
 		}
-		frames := []inFrame{{reqs: reqs, batched: batched}}
-		total := len(reqs)
+		frames := []inFrame{{reqs: frame.Reqs, batched: frame.Batched, atomic: frame.Atomic}}
+		total := len(frame.Reqs)
 		// Drain the pipeline: only frames already complete in the read
 		// buffer — never a blocking read, so the watchdog semantics stay
 		// per-batch (armed around the one socket wait above). A frame
 		// that is half-arrived, or an oversized announcement, is left
 		// for the next cycle's blocking path to handle.
 		for total < maxPipelineOps && completeFrameBuffered(br) {
-			more, mb, err := wire.ReadRequests(br)
+			more, err := wire.ReadRequestFrame(br)
 			if err != nil {
 				return
 			}
-			frames = append(frames, inFrame{reqs: more, batched: mb})
-			total += len(more)
+			frames = append(frames, inFrame{reqs: more.Reqs, batched: more.Batched, atomic: more.Atomic})
+			total += len(more.Reqs)
 		}
 
 		resps, closing := s.serveCycle(p, frames, total)
@@ -656,11 +671,13 @@ const maxPipelineOps = 1024
 // connection.
 const readBufSize = 64 << 10
 
-// inFrame is one inbound request frame: its operations, and whether
-// they arrived as a kx04 batch (responses mirror the framing).
+// inFrame is one inbound request frame: its operations, whether they
+// arrived batched (responses mirror the framing), and whether they
+// form a kx05 atomic group.
 type inFrame struct {
 	reqs    []wire.Request
 	batched bool
+	atomic  bool
 }
 
 // completeFrameBuffered reports whether the reader already holds one
@@ -727,6 +744,35 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 		applied int
 	)
 	for _, f := range frames {
+		if f.atomic {
+			// An atomic group is one unit: validated, committed and logged
+			// under one record by applyAtomicGroup; its durability wait
+			// joins the pipeline's single finishWait below.
+			base := len(resps)
+			var aresps []wire.Response
+			if !admitted {
+				for _, req := range f.reqs {
+					aresps = append(aresps, busyResponse(req.ID, shedHint))
+				}
+			} else {
+				var aacks []atomicAck
+				var alsn uint64
+				var afresh int
+				aresps, aacks, alsn, afresh = s.applyAtomicGroup(p, f.reqs)
+				for _, a := range aacks {
+					waiting = append(waiting, pendingAck{idx: base + a.idx, id: a.id, shard: a.shard, epoch: a.epoch})
+				}
+				if len(aacks) > 0 && alsn > maxLsn {
+					maxLsn = alsn
+				}
+				applied += afresh
+				for i, req := range f.reqs {
+					s.countObjOp(req, aresps[i])
+				}
+			}
+			resps = append(resps, aresps...)
+			continue
+		}
 		for _, req := range f.reqs {
 			var resp wire.Response
 			switch {
@@ -754,6 +800,15 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 				if len(resp.Data) == 0 {
 					resp.Value = int64(s.node.LeaseDuration() / time.Millisecond)
 				}
+			case req.Kind.IsObject() && req.Kind.IsRead():
+				// The read-only fast path: answered from the shard's
+				// committed state, no slot, no WAL, no quorum. The Owns
+				// gate above already ran, so in cluster mode only the
+				// shard's primary serves it (staleness bounded by one
+				// lease interval, the §12 argument).
+				s.readFastpath.Add(1)
+				resp = s.tab.readFast(req)
+				s.countObjOp(req, resp)
 			default:
 				var lsn, epoch uint64
 				var wait, fresh bool
@@ -767,6 +822,7 @@ func (s *Server) serveCycle(p int, frames []inFrame, total int) (resps []wire.Re
 				if fresh {
 					applied++
 				}
+				s.countObjOp(req, resp)
 			}
 			resps = append(resps, resp)
 		}
@@ -833,6 +889,36 @@ func (s *Server) applyObjOp(p int, req wire.Request) (resp wire.Response, lsn, e
 		s.opDeadlines.Add(1)
 	}
 	return resp, lsn, epoch, wait, fresh
+}
+
+// countObjOp charges a completed (StatusOK) kx05 object operation to
+// its object class's counter; creates count toward the class being
+// created.
+func (s *Server) countObjOp(req wire.Request, resp wire.Response) {
+	if !req.Kind.IsObject() || resp.Status != wire.StatusOK {
+		return
+	}
+	switch req.Kind {
+	case wire.KindCreate:
+		switch object.Type(req.Arg) {
+		case object.TypeRegister:
+			s.objRegOps.Add(1)
+		case object.TypeMap:
+			s.objMapOps.Add(1)
+		case object.TypeQueue:
+			s.objQueueOps.Add(1)
+		case object.TypeSnapshot:
+			s.objSnapOps.Add(1)
+		}
+	case wire.KindRegGet, wire.KindRegAdd, wire.KindRegSet:
+		s.objRegOps.Add(1)
+	case wire.KindMapGet, wire.KindMapPut, wire.KindMapCAS, wire.KindMapDel:
+		s.objMapOps.Add(1)
+	case wire.KindQEnq, wire.KindQDeq, wire.KindQLen:
+		s.objQueueOps.Add(1)
+	case wire.KindSnapUpdate, wire.KindSnapScan:
+		s.objSnapOps.Add(1)
+	}
 }
 
 // armWrite bounds the next response write by the idle watchdog, so a

@@ -8,6 +8,7 @@ import (
 
 	"kexclusion/internal/core"
 	"kexclusion/internal/durable"
+	"kexclusion/internal/object"
 	"kexclusion/internal/obs"
 	"kexclusion/internal/resilient"
 	"kexclusion/internal/wire"
@@ -47,6 +48,13 @@ type table struct {
 	// applied, when non-nil, is called once per applied (non-duplicate)
 	// mutation after it is durable — the snapshot trigger.
 	applied func()
+	// batchMu is the atomic-group gate: single-op mutations hold it
+	// shared across their Apply, an atomic group holds it exclusively
+	// from validation through commit — so the states a group validated
+	// against cannot move before it installs the stepped ones. Reads
+	// skip it entirely (they only Peek committed cells), and the lock
+	// order with the server's replMu is replMu → batchMu.
+	batchMu sync.RWMutex
 }
 
 type tableShard struct {
@@ -148,9 +156,7 @@ func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate fu
 	}
 	sh := t.shards[req.Shard]
 
-	var kind durable.OpKind
-	switch req.Kind {
-	case wire.KindGet:
+	if req.Kind == wire.KindGet {
 		v, err := sh.obj.ApplyCtx(ctx, p, func(s durable.ShardState) (durable.ShardState, any) {
 			if gate != nil {
 				gate(req.Shard, req.Kind)
@@ -164,25 +170,28 @@ func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate fu
 		// returned is some applied state, and reads move nothing that a
 		// crash could lose.
 		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: v.(int64)}, 0, 0, false, false
-	case wire.KindAdd:
-		kind = durable.OpAdd
-	case wire.KindSet:
-		kind = durable.OpSet
-	default:
+	}
+	op, ok := durableOp(req)
+	if !ok {
 		return errResponse(req.ID, wire.StatusBadRequest, fmt.Sprintf("unknown kind %s", req.Kind)), 0, 0, false, false
 	}
 
+	// Shared hold on the atomic-group gate: a group validating its
+	// scratch states cannot interleave with this mutation's commit.
+	t.batchMu.RLock()
 	v, err := sh.obj.ApplyCtx(ctx, p, func(s durable.ShardState) (durable.ShardState, any) {
 		if gate != nil {
 			gate(req.Shard, req.Kind)
 		}
-		out := durable.Step(&s, t.window, req.Session, req.Seq, kind, req.Arg)
+		out := durable.StepOp(&s, t.window, req.Session, req.Seq, op)
 		return s, out
 	})
+	t.batchMu.RUnlock()
 	if err != nil {
 		return timeoutResponse(req.ID), 0, 0, false, false
 	}
 	out := v.(durable.Outcome)
+	flags := foundFlag(req.Kind, out.OK)
 	switch {
 	case out.Stale:
 		return errResponse(req.ID, wire.StatusBadRequest,
@@ -199,10 +208,10 @@ func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate fu
 				return errResponse(req.ID, wire.StatusInternal,
 					"original write superseded by a replication state install; retry"), 0, 0, false, false
 			}
-			return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: out.Val},
+			return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate | flags, Value: out.Val},
 				t.log.End(), out.Epoch, true, false
 		}
-		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate, Value: out.Val}, 0, 0, false, false
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagDuplicate | flags, Value: out.Val}, 0, 0, false, false
 	}
 
 	if t.log != nil {
@@ -216,7 +225,8 @@ func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate fu
 		}
 		alsn, aerr := t.log.Append(durable.Record{
 			Session: req.Session, Seq: req.Seq, Shard: req.Shard,
-			Kind: kind, Arg: req.Arg, Val: out.Val, Ver: out.Ver, Epoch: out.Epoch,
+			Kind: op.Kind, Obj: op.Obj, Key: op.Key, Arg: op.Arg, Arg2: op.Arg2,
+			Val: out.Val, Ver: out.Ver, Epoch: out.Epoch, OK: out.OK,
 		})
 		sh.seq.advance(out.Ver, out.Epoch)
 		if aerr != nil {
@@ -230,9 +240,99 @@ func (t *table) applyStart(ctx context.Context, p int, req wire.Request, gate fu
 			// recovery would contradict.
 			return errResponse(req.ID, wire.StatusInternal, aerr.Error()), 0, 0, false, false
 		}
-		return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}, alsn, out.Epoch, true, true
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: flags, Value: out.Val}, alsn, out.Epoch, true, true
 	}
-	return wire.Response{ID: req.ID, Status: wire.StatusOK, Value: out.Val}, 0, 0, false, true
+	return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: flags, Value: out.Val}, 0, 0, false, true
+}
+
+// durableOp maps a mutation request onto the durable op vocabulary.
+// Reads and control kinds report false — they never reach StepOp.
+func durableOp(req wire.Request) (durable.Op, bool) {
+	var kind durable.OpKind
+	switch req.Kind {
+	case wire.KindAdd:
+		kind = durable.OpAdd
+	case wire.KindSet:
+		kind = durable.OpSet
+	case wire.KindCreate:
+		kind = durable.OpCreate
+	case wire.KindRegAdd:
+		kind = durable.OpRegAdd
+	case wire.KindRegSet:
+		kind = durable.OpRegSet
+	case wire.KindMapPut:
+		kind = durable.OpMapPut
+	case wire.KindMapCAS:
+		kind = durable.OpMapCAS
+	case wire.KindMapDel:
+		kind = durable.OpMapDel
+	case wire.KindQEnq:
+		kind = durable.OpQEnq
+	case wire.KindQDeq:
+		kind = durable.OpQDeq
+	case wire.KindSnapUpdate:
+		kind = durable.OpSnapUpdate
+	default:
+		return durable.Op{}, false
+	}
+	return durable.Op{Kind: kind, Obj: req.Obj, Key: req.Key, Arg: req.Arg, Arg2: req.Arg2}, true
+}
+
+// foundFlag lifts an outcome's logical verdict into the response flags
+// for object kinds; legacy kinds never carry it (their responses stay
+// byte-identical to kx04).
+func foundFlag(k wire.Kind, ok bool) wire.Flags {
+	if k.IsObject() && ok {
+		return wire.FlagFound
+	}
+	return 0
+}
+
+// readFast answers a pure object read from the shard's committed state
+// — no slot acquisition, no WAL, no quorum. Peek returns the cell the
+// universal construction last committed, so the read linearizes at
+// that commit: valid single-copy semantics for a single node. In
+// cluster mode the caller has already checked shard ownership, which
+// bounds the staleness a fenced ex-primary could serve to one lease
+// interval (the DESIGN §12 argument, unchanged). Missing objects and
+// class mismatches answer StatusOK with FlagFound clear, mirroring
+// the mutation-side always-applies contract.
+func (t *table) readFast(req wire.Request) wire.Response {
+	if int(req.Shard) >= len(t.shards) || req.Shard >= 1<<31 {
+		return errResponse(req.ID, wire.StatusBadShard,
+			fmt.Sprintf("shard %d out of range [0,%d)", req.Shard, len(t.shards)))
+	}
+	st := t.shards[req.Shard].obj.Peek()
+	o := st.Objs[req.Obj]
+	miss := wire.Response{ID: req.ID, Status: wire.StatusOK}
+	switch req.Kind {
+	case wire.KindRegGet:
+		if o == nil || o.Type != object.TypeRegister {
+			return miss
+		}
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagFound, Value: o.Reg}
+	case wire.KindMapGet:
+		if o == nil || o.Type != object.TypeMap {
+			return miss
+		}
+		v, ok := o.M.Get(req.Key)
+		if !ok {
+			return miss
+		}
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagFound, Value: v}
+	case wire.KindQLen:
+		if o == nil || o.Type != object.TypeQueue {
+			return miss
+		}
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagFound, Value: int64(o.Q.Len())}
+	case wire.KindSnapScan:
+		if o == nil || o.Type != object.TypeSnapshot {
+			return miss
+		}
+		return wire.Response{ID: req.ID, Status: wire.StatusOK, Flags: wire.FlagFound,
+			Value: int64(len(o.Slots)), Data: wire.EncodeSlots(o.Slots)}
+	}
+	return errResponse(req.ID, wire.StatusBadRequest, fmt.Sprintf("%s is not a fast-path read", req.Kind))
 }
 
 // finishWait blocks until the pipeline's durability frontier — the max

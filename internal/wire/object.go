@@ -1,0 +1,301 @@
+// Object frames are the kx05 extension of the protocol: operations on
+// named, typed objects (registers, maps, queues, snapshot objects) plus
+// multi-shard atomic groups.
+//
+// kx05 follows the kx04 playbook exactly: the Hello layout is untouched
+// and the extension is advertised by the FeatureObjects token in the
+// Hello's Msg field, so kx03 and kx04 clients keep working bit-for-bit
+// — a kx04 client against a kx05 server exchanges byte-identical
+// frames, pinned by a golden test. A client that saw the token may send
+// three new payload shapes, each opened by a marker byte that collides
+// with neither the plain 37-byte request nor the kx04 batch marker:
+//
+//   - 0xC0 ObjRequest: one operation carrying the kx05 fields (Obj,
+//     Key, Arg2) the legacy layout has no room for. Answered with a
+//     plain Response frame, mirroring the kx03 request/response shape.
+//   - 0xC1 ObjBatch: a pipeline of up to MaxBatchOps operations, the
+//     kx04 batch with the wider op encoding. Legacy kinds may ride
+//     along (name and key empty), so a mixed pipeline needs one frame.
+//     Answered with BatchResponse frames, exactly like kx04.
+//   - 0xC2 atomic ObjBatch: up to MaxAtomicOps mutations applied
+//     all-or-nothing across shards — either every member commits under
+//     one WAL record or every member answers StatusAtomicAbort and no
+//     object is touched. Answered with BatchResponse frames.
+//
+// The op encoding is self-describing: a fixed header carrying every
+// numeric field plus name/key lengths, then the name and key bytes.
+// A single ObjRequest payload is 49+len(name)+len(key) bytes; since
+// name is mandatory (≥ 1 byte) it can never be 37 bytes long, so the
+// length discrimination that separates plain requests from batches
+// keeps working unchanged.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"kexclusion/internal/object"
+)
+
+// FeatureObjects is the capability token a kx05 server adds to the Msg
+// field of an admission Hello, alongside FeatureBatch.
+const FeatureObjects = "kx05"
+
+// MaxAtomicOps bounds the operations in one atomic group — small by
+// design, because the server holds every touched shard exclusively for
+// the group's duration.
+const MaxAtomicOps = object.MaxAtomicOps
+
+// Object payload markers (the 0xB4/0xB5 pattern continued).
+const (
+	objReqMarker    = 0xC0
+	objBatchMarker  = 0xC1
+	objAtomicMarker = 0xC2
+)
+
+// objOpFixedLen is the fixed header of one op inside an object frame:
+// id + kind + shard + arg + session + seq + arg2 + nameLen + keyLen.
+const objOpFixedLen = 8 + 1 + 4 + 8 + 8 + 8 + 8 + 1 + 2
+
+// SupportsObjects reports whether an admission hello advertises the
+// kx05 object extension.
+func (h Hello) SupportsObjects() bool {
+	if h.Status != StatusOK {
+		return false
+	}
+	for _, tok := range strings.Fields(h.Msg) {
+		if tok == FeatureObjects {
+			return true
+		}
+	}
+	return false
+}
+
+// validateObjFields checks the kx05 fields against the object caps.
+// Object kinds require a name; legacy kinds (which may ride inside
+// object frames) must leave name, key and arg2 zero so their encoding
+// stays canonical.
+func validateObjFields(r Request) error {
+	if r.Kind.IsObject() {
+		if len(r.Obj) == 0 || len(r.Obj) > object.MaxNameLen {
+			return fmt.Errorf("wire: object name of %d bytes outside [1,%d]", len(r.Obj), object.MaxNameLen)
+		}
+	} else if r.Obj != "" || r.Key != "" || r.Arg2 != 0 {
+		return fmt.Errorf("wire: %s op carries object fields", r.Kind)
+	}
+	if len(r.Key) > object.MaxKeyLen {
+		return fmt.Errorf("wire: object key of %d bytes exceeds %d", len(r.Key), object.MaxKeyLen)
+	}
+	return nil
+}
+
+// appendObjOp serializes one op in the object encoding.
+func appendObjOp(b []byte, r Request) []byte {
+	b = binary.BigEndian.AppendUint64(b, r.ID)
+	b = append(b, byte(r.Kind))
+	b = binary.BigEndian.AppendUint32(b, r.Shard)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Arg))
+	b = binary.BigEndian.AppendUint64(b, r.Session)
+	b = binary.BigEndian.AppendUint64(b, r.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Arg2))
+	b = append(b, byte(len(r.Obj)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Key)))
+	b = append(b, r.Obj...)
+	return append(b, r.Key...)
+}
+
+// parseObjOp decodes one op in the object encoding, returning the
+// bytes consumed.
+func parseObjOp(b []byte) (Request, int, error) {
+	if len(b) < objOpFixedLen {
+		return Request{}, 0, fmt.Errorf("wire: object op truncated (%d bytes)", len(b))
+	}
+	r := Request{
+		ID:      binary.BigEndian.Uint64(b[0:]),
+		Kind:    Kind(b[8]),
+		Shard:   binary.BigEndian.Uint32(b[9:]),
+		Arg:     int64(binary.BigEndian.Uint64(b[13:])),
+		Session: binary.BigEndian.Uint64(b[21:]),
+		Seq:     binary.BigEndian.Uint64(b[29:]),
+		Arg2:    int64(binary.BigEndian.Uint64(b[37:])),
+	}
+	nameLen, keyLen := int(b[45]), int(binary.BigEndian.Uint16(b[46:]))
+	n := objOpFixedLen + nameLen + keyLen
+	if len(b) < n {
+		return Request{}, 0, fmt.Errorf("wire: object op declares %d name+key bytes, has %d", nameLen+keyLen, len(b)-objOpFixedLen)
+	}
+	r.Obj = string(b[objOpFixedLen : objOpFixedLen+nameLen])
+	r.Key = string(b[objOpFixedLen+nameLen : n])
+	if err := validateObjFields(r); err != nil {
+		return Request{}, 0, err
+	}
+	return r, n, nil
+}
+
+// EncodeObjRequest serializes one operation as a single kx05 object
+// payload (marker 0xC0).
+func EncodeObjRequest(r Request) ([]byte, error) {
+	if err := validateObjFields(r); err != nil {
+		return nil, err
+	}
+	return appendObjOp([]byte{objReqMarker}, r), nil
+}
+
+// ParseObjRequest decodes a single object request payload.
+func ParseObjRequest(b []byte) (Request, error) {
+	if len(b) < 1 || b[0] != objReqMarker {
+		return Request{}, fmt.Errorf("wire: not an object request payload")
+	}
+	r, n, err := parseObjOp(b[1:])
+	if err != nil {
+		return Request{}, err
+	}
+	if n != len(b)-1 {
+		return Request{}, fmt.Errorf("wire: object request has %d trailing bytes", len(b)-1-n)
+	}
+	return r, nil
+}
+
+// ObjBatch is a pipeline (or, when Atomic, an all-or-nothing group) of
+// operations in one kx05 frame.
+type ObjBatch struct {
+	Reqs []Request
+	// Atomic selects the 0xC2 all-or-nothing group encoding: every
+	// member must be a dedup-eligible mutation and the count is capped
+	// at MaxAtomicOps instead of MaxBatchOps.
+	Atomic bool
+}
+
+// Encode serializes the batch payload: marker, count, then the
+// self-describing op encodings back to back.
+func (ob ObjBatch) Encode() ([]byte, error) {
+	marker, cap := byte(objBatchMarker), MaxBatchOps
+	if ob.Atomic {
+		marker, cap = objAtomicMarker, MaxAtomicOps
+	}
+	if len(ob.Reqs) == 0 || len(ob.Reqs) > cap {
+		return nil, fmt.Errorf("wire: object batch of %d ops outside [1,%d]", len(ob.Reqs), cap)
+	}
+	out := make([]byte, 3, 3+len(ob.Reqs)*(objOpFixedLen+16))
+	out[0] = marker
+	binary.BigEndian.PutUint16(out[1:], uint16(len(ob.Reqs)))
+	for _, r := range ob.Reqs {
+		if err := validateObjFields(r); err != nil {
+			return nil, err
+		}
+		out = appendObjOp(out, r)
+	}
+	return out, nil
+}
+
+// ParseObjBatch decodes an object batch payload of either flavor.
+func ParseObjBatch(b []byte) (ObjBatch, error) {
+	if len(b) < 3 || (b[0] != objBatchMarker && b[0] != objAtomicMarker) {
+		return ObjBatch{}, fmt.Errorf("wire: not an object batch payload")
+	}
+	ob := ObjBatch{Atomic: b[0] == objAtomicMarker}
+	cap := MaxBatchOps
+	if ob.Atomic {
+		cap = MaxAtomicOps
+	}
+	n := int(binary.BigEndian.Uint16(b[1:]))
+	if n == 0 || n > cap {
+		return ObjBatch{}, fmt.Errorf("wire: object batch of %d ops outside [1,%d]", n, cap)
+	}
+	ob.Reqs = make([]Request, 0, n)
+	off := 3
+	for i := 0; i < n; i++ {
+		r, used, err := parseObjOp(b[off:])
+		if err != nil {
+			return ObjBatch{}, fmt.Errorf("wire: object batch op %d: %w", i, err)
+		}
+		ob.Reqs = append(ob.Reqs, r)
+		off += used
+	}
+	if off != len(b) {
+		return ObjBatch{}, fmt.Errorf("wire: object batch has %d trailing bytes", len(b)-off)
+	}
+	return ob, nil
+}
+
+// ReqFrame is one decoded inbound request frame of any dialect. The
+// response framing mirrors the request shape: plain frames (Batched
+// false) are answered with one plain Response frame, batched frames
+// with BatchResponse frames carrying that frame's responses in order.
+type ReqFrame struct {
+	Reqs []Request
+	// Batched reports batch framing (kx04 batch or kx05 object batch).
+	Batched bool
+	// Atomic reports an all-or-nothing group (implies Batched).
+	Atomic bool
+}
+
+// ParseRequestFrame decodes a request payload of any dialect: plain
+// kx03, kx04 batch, or the three kx05 object shapes.
+func ParseRequestFrame(b []byte) (ReqFrame, error) {
+	if len(b) == requestLen {
+		r, err := ParseRequest(b)
+		if err != nil {
+			return ReqFrame{}, err
+		}
+		return ReqFrame{Reqs: []Request{r}}, nil
+	}
+	if len(b) == 0 {
+		return ReqFrame{}, fmt.Errorf("wire: empty request payload")
+	}
+	switch b[0] {
+	case batchReqMarker:
+		br, err := ParseBatchRequest(b)
+		if err != nil {
+			return ReqFrame{}, err
+		}
+		return ReqFrame{Reqs: br.Reqs, Batched: true}, nil
+	case objReqMarker:
+		r, err := ParseObjRequest(b)
+		if err != nil {
+			return ReqFrame{}, err
+		}
+		return ReqFrame{Reqs: []Request{r}}, nil
+	case objBatchMarker, objAtomicMarker:
+		ob, err := ParseObjBatch(b)
+		if err != nil {
+			return ReqFrame{}, err
+		}
+		return ReqFrame{Reqs: ob.Reqs, Batched: true, Atomic: ob.Atomic}, nil
+	}
+	return ReqFrame{}, fmt.Errorf("wire: unknown request payload shape (%d bytes, marker %#x)", len(b), b[0])
+}
+
+// ReadRequestFrame reads one frame and decodes it as any request
+// dialect.
+func ReadRequestFrame(r io.Reader) (ReqFrame, error) {
+	b, err := ReadFrame(r)
+	if err != nil {
+		return ReqFrame{}, err
+	}
+	return ParseRequestFrame(b)
+}
+
+// EncodeSlots serializes a snapshot scan result (8 bytes per slot),
+// the Data payload of a KindSnapScan response.
+func EncodeSlots(slots []int64) []byte {
+	b := make([]byte, 0, len(slots)*8)
+	for _, v := range slots {
+		b = binary.BigEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+// DecodeSlots deserializes a snapshot scan Data payload.
+func DecodeSlots(b []byte) ([]int64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("wire: snapshot scan payload of %d bytes is not a multiple of 8", len(b))
+	}
+	slots := make([]int64, len(b)/8)
+	for i := range slots {
+		slots[i] = int64(binary.BigEndian.Uint64(b[i*8:]))
+	}
+	return slots, nil
+}

@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func objKinds() []Kind {
+	return []Kind{
+		KindCreate, KindRegGet, KindRegAdd, KindRegSet,
+		KindMapGet, KindMapPut, KindMapCAS, KindMapDel,
+		KindQEnq, KindQDeq, KindQLen, KindSnapUpdate, KindSnapScan,
+	}
+}
+
+func TestObjRequestRoundTrip(t *testing.T) {
+	for _, k := range objKinds() {
+		r := Request{
+			ID: 7, Kind: k, Shard: 3, Arg: -42, Session: 9, Seq: 11,
+			Arg2: 1 << 40, Obj: "orders",
+		}
+		if k == KindMapGet || k == KindMapPut || k == KindMapCAS || k == KindMapDel {
+			r.Key = "user:1234"
+		}
+		b, err := EncodeObjRequest(r)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", k, err)
+		}
+		got, err := ParseObjRequest(b)
+		if err != nil || !reflect.DeepEqual(got, r) {
+			t.Fatalf("%v: round trip got %+v want %+v err %v", k, got, r, err)
+		}
+		// And through the frame dispatcher.
+		f, err := ParseRequestFrame(b)
+		if err != nil || f.Batched || f.Atomic || len(f.Reqs) != 1 || !reflect.DeepEqual(f.Reqs[0], r) {
+			t.Fatalf("%v: frame dispatch: %+v err %v", k, f, err)
+		}
+	}
+}
+
+func TestObjBatchRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Kind: KindCreate, Shard: 0, Arg: 2, Session: 5, Seq: 1, Obj: "m"},
+		{ID: 2, Kind: KindMapPut, Shard: 0, Arg: 10, Session: 5, Seq: 2, Obj: "m", Key: "k"},
+		// Legacy kinds ride along in object frames with empty kx05 fields.
+		{ID: 3, Kind: KindAdd, Shard: 1, Arg: 4, Session: 5, Seq: 3},
+		{ID: 4, Kind: KindMapGet, Shard: 0, Obj: "m", Key: "k"},
+	}
+	for _, atomic := range []bool{false, true} {
+		ob := ObjBatch{Reqs: reqs, Atomic: atomic}
+		b, err := ob.Encode()
+		if err != nil {
+			t.Fatalf("atomic=%v: encode: %v", atomic, err)
+		}
+		got, err := ParseObjBatch(b)
+		if err != nil || !reflect.DeepEqual(got, ob) {
+			t.Fatalf("atomic=%v: round trip got %+v want %+v err %v", atomic, got, ob, err)
+		}
+		f, err := ParseRequestFrame(b)
+		if err != nil || !f.Batched || f.Atomic != atomic || !reflect.DeepEqual(f.Reqs, reqs) {
+			t.Fatalf("atomic=%v: frame dispatch: %+v err %v", atomic, f, err)
+		}
+	}
+}
+
+func TestObjEncodingRejectsBadFields(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Request
+	}{
+		{"object kind without name", Request{Kind: KindRegGet}},
+		{"name over cap", Request{Kind: KindRegGet, Obj: strings.Repeat("n", 65)}},
+		{"key over cap", Request{Kind: KindMapGet, Obj: "m", Key: strings.Repeat("k", 513)}},
+		{"legacy kind with name", Request{Kind: KindAdd, Obj: "x"}},
+		{"legacy kind with key", Request{Kind: KindSet, Key: "x"}},
+		{"legacy kind with arg2", Request{Kind: KindGet, Arg2: 1}},
+	}
+	for _, c := range cases {
+		if _, err := EncodeObjRequest(c.r); err == nil {
+			t.Errorf("%s: encode accepted", c.name)
+		}
+		if _, err := (ObjBatch{Reqs: []Request{c.r}}).Encode(); err == nil {
+			t.Errorf("%s: batch encode accepted", c.name)
+		}
+	}
+	if _, err := (ObjBatch{}).Encode(); err == nil {
+		t.Error("empty batch encode accepted")
+	}
+	big := make([]Request, MaxAtomicOps+1)
+	for i := range big {
+		big[i] = Request{Kind: KindRegAdd, Obj: "r", Arg: 1}
+	}
+	if _, err := (ObjBatch{Reqs: big, Atomic: true}).Encode(); err == nil {
+		t.Error("oversized atomic group accepted")
+	}
+	if _, err := (ObjBatch{Reqs: big}).Encode(); err != nil {
+		t.Errorf("pipeline of %d ops rejected: %v", len(big), err)
+	}
+}
+
+func TestObjParseRejectsGarbage(t *testing.T) {
+	good, err := EncodeObjRequest(Request{Kind: KindRegSet, Obj: "r", Arg: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseObjRequest(append(good, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := ParseObjRequest(good[:len(good)-1]); err == nil {
+		t.Error("truncated name accepted")
+	}
+	// Batch declaring more ops than it carries.
+	ob, err := (ObjBatch{Reqs: []Request{{Kind: KindRegSet, Obj: "r"}}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob[2] = 2 // count 1 -> 2
+	if _, err := ParseObjBatch(ob); err == nil {
+		t.Error("overdeclared batch accepted")
+	}
+	if _, err := ParseRequestFrame([]byte{0xEE, 1, 2, 3}); err == nil {
+		t.Error("unknown marker accepted")
+	}
+	if _, err := ParseRequestFrame(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestSupportsObjects(t *testing.T) {
+	h := Hello{Status: StatusOK, Msg: FeatureBatch + " " + FeatureObjects}
+	if !h.SupportsBatch() || !h.SupportsObjects() {
+		t.Fatalf("capability tokens not detected in %q", h.Msg)
+	}
+	if (Hello{Status: StatusOK, Msg: FeatureBatch}).SupportsObjects() {
+		t.Error("kx04-only hello claims objects")
+	}
+	if (Hello{Status: StatusBusy, Msg: FeatureObjects}).SupportsObjects() {
+		t.Error("non-OK hello claims objects")
+	}
+}
+
+func TestSlotsRoundTrip(t *testing.T) {
+	slots := []int64{0, -1, 1 << 50, 42}
+	got, err := DecodeSlots(EncodeSlots(slots))
+	if err != nil || !reflect.DeepEqual(got, slots) {
+		t.Fatalf("slots round trip: %v err %v", got, err)
+	}
+	if _, err := DecodeSlots(make([]byte, 7)); err == nil {
+		t.Error("ragged slots payload accepted")
+	}
+}
+
+// TestLegacyEncodingGolden pins the kx03/kx04 register exchange byte
+// for byte: a kx04 client talking to a kx05 server must produce and
+// consume frames identical to what a kx04 server exchanged. If this
+// test breaks, the object extension leaked into the legacy layout.
+func TestLegacyEncodingGolden(t *testing.T) {
+	req := Request{ID: 0x0102030405060708, Kind: KindAdd, Shard: 7, Arg: -2,
+		Session: 0xAABB, Seq: 9}
+	const wantReq = "0102030405060708" + "03" + "00000007" +
+		"fffffffffffffffe" + "000000000000aabb" + "0000000000000009"
+	if got := hex.EncodeToString(req.Encode()); got != wantReq {
+		t.Fatalf("plain request drifted:\n got  %s\n want %s", got, wantReq)
+	}
+	// The kx05 fields must not leak into the legacy layout.
+	leaky := req
+	leaky.Obj, leaky.Key, leaky.Arg2 = "x", "y", 3
+	if !bytes.Equal(leaky.Encode(), req.Encode()) {
+		t.Fatal("kx05 fields leaked into the plain request encoding")
+	}
+
+	resp := Response{ID: 0x0102030405060708, Status: StatusOK,
+		Flags: FlagDuplicate, Value: 40}
+	const wantResp = "0102030405060708" + "00" + "01" +
+		"0000000000000028" + "00000000"
+	if got := hex.EncodeToString(resp.Encode()); got != wantResp {
+		t.Fatalf("response drifted:\n got  %s\n want %s", got, wantResp)
+	}
+
+	batch := BatchRequest{Reqs: []Request{req, req}}
+	const wantBatch = "b4" + "00000002" + wantReq + wantReq
+	if got := hex.EncodeToString(batch.Encode()); got != wantBatch {
+		t.Fatalf("batch request drifted:\n got  %s\n want %s", got, wantBatch)
+	}
+
+	// A kx05 server's admission hello parses identically for a kx03
+	// client (which ignores Msg) and advertises both extensions.
+	h := Hello{Status: StatusOK, Identity: 2, N: 8, K: 2, Shards: 4,
+		Msg: FeatureBatch + " " + FeatureObjects}
+	got, err := ParseHello(h.Encode())
+	if err != nil || got != h {
+		t.Fatalf("hello round trip: %+v err %v", got, err)
+	}
+	if !got.SupportsBatch() || !got.SupportsObjects() {
+		t.Fatal("hello lost capability tokens")
+	}
+}
+
+// FuzzObjectDecode hammers the kx05 frame dispatcher: no input may
+// panic, and anything that parses must re-encode to an equivalent
+// frame (encode/decode form a closed loop).
+func FuzzObjectDecode(f *testing.F) {
+	for _, k := range objKinds() {
+		r := Request{ID: 1, Kind: k, Shard: 2, Arg: 3, Session: 4, Seq: 5,
+			Arg2: 6, Obj: "obj"}
+		if k == KindMapGet || k == KindMapPut || k == KindMapCAS || k == KindMapDel {
+			r.Key = "key"
+		}
+		b, err := EncodeObjRequest(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		if ob, err := (ObjBatch{Reqs: []Request{r}}).Encode(); err == nil {
+			f.Add(ob)
+		}
+		if ob, err := (ObjBatch{Reqs: []Request{r}, Atomic: true}).Encode(); err == nil {
+			f.Add(ob)
+		}
+	}
+	f.Add(Request{ID: 1, Kind: KindAdd, Arg: 1}.Encode())
+	f.Add(BatchRequest{Reqs: []Request{{ID: 1, Kind: KindGet}}}.Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		frame, err := ParseRequestFrame(b)
+		if err != nil {
+			return
+		}
+		var reenc []byte
+		switch {
+		case frame.Batched && len(b) > 0 && b[0] == batchReqMarker:
+			reenc = BatchRequest{Reqs: frame.Reqs}.Encode()
+		case frame.Batched:
+			reenc, err = ObjBatch{Reqs: frame.Reqs, Atomic: frame.Atomic}.Encode()
+		case len(b) == requestLen:
+			reenc = frame.Reqs[0].Encode()
+		default:
+			reenc, err = EncodeObjRequest(frame.Reqs[0])
+		}
+		if err != nil {
+			t.Fatalf("parsed frame failed to re-encode: %v", err)
+		}
+		got, err := ParseRequestFrame(reenc)
+		if err != nil || !reflect.DeepEqual(got, frame) {
+			t.Fatalf("re-encode not closed: %+v vs %+v (err %v)", got, frame, err)
+		}
+	})
+}

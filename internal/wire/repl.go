@@ -34,11 +34,13 @@ import (
 	"kexclusion/internal/durable"
 )
 
-// ReplMagic opens a ReplHello ("kxr2"); bump the digit on incompatible
-// change — kxr1→kxr2 added per-shard epochs to records and frontiers.
+// ReplMagic opens a ReplHello ("kxr3"); bump the digit on incompatible
+// change — kxr1→kxr2 added per-shard epochs to records and frontiers,
+// kxr2→kxr3 switched pull batches from fixed-width register records to
+// the durable record codec so object and atomic records replicate.
 // Distinct from Magic so a client dialing the repl port (or a follower
 // dialing the client port) fails loudly at the handshake.
-const ReplMagic uint32 = 0x6b787232
+const ReplMagic uint32 = 0x6b787233
 
 // MaxReplFrame bounds a replication frame. Sized for a full state
 // image (durable caps snapshot bodies at 64 MiB) plus headroom.
@@ -154,34 +156,12 @@ type FrontierResponse struct {
 	Epochs []uint64
 }
 
-// replRecordLen is one op record on the wire: session + seq + shard +
-// kind + arg + val + ver + epoch.
-const replRecordLen = 8 + 8 + 4 + 1 + 8 + 8 + 8 + 8
-
-func appendReplRecord(b []byte, r durable.Record) []byte {
-	b = binary.BigEndian.AppendUint64(b, r.Session)
-	b = binary.BigEndian.AppendUint64(b, r.Seq)
-	b = binary.BigEndian.AppendUint32(b, r.Shard)
-	b = append(b, byte(r.Kind))
-	b = binary.BigEndian.AppendUint64(b, uint64(r.Arg))
-	b = binary.BigEndian.AppendUint64(b, uint64(r.Val))
-	b = binary.BigEndian.AppendUint64(b, r.Ver)
-	b = binary.BigEndian.AppendUint64(b, r.Epoch)
-	return b
-}
-
-func parseReplRecord(b []byte) durable.Record {
-	return durable.Record{
-		Session: binary.BigEndian.Uint64(b[0:]),
-		Seq:     binary.BigEndian.Uint64(b[8:]),
-		Shard:   binary.BigEndian.Uint32(b[16:]),
-		Kind:    durable.OpKind(b[20]),
-		Arg:     int64(binary.BigEndian.Uint64(b[21:])),
-		Val:     int64(binary.BigEndian.Uint64(b[29:])),
-		Ver:     binary.BigEndian.Uint64(b[37:]),
-		Epoch:   binary.BigEndian.Uint64(b[45:]),
-	}
-}
+// replRecordOverhead is the per-record length prefix in a pull batch.
+// Since kxr3, records travel as [u32 len][durable record body] using
+// the same body codec as the WAL (durable.EncodeRecordBody), so
+// variable-width object and atomic records replicate verbatim and a
+// follower appends exactly the bytes the primary logged.
+const replRecordOverhead = 4
 
 // Encode serializes the repl hello payload.
 func (h ReplHello) Encode() []byte {
@@ -287,7 +267,7 @@ func ParseReplRequest(b []byte) (ReplKind, PullRequest, error) {
 
 // Encode serializes a pull response.
 func (p PullResponse) Encode() []byte {
-	b := make([]byte, 0, 23+len(p.Records)*replRecordLen)
+	b := make([]byte, 0, 23+len(p.Records)*(replRecordOverhead+64))
 	b = append(b, byte(p.Status))
 	var pruned byte
 	if p.Pruned {
@@ -298,7 +278,9 @@ func (p PullResponse) Encode() []byte {
 	b = binary.BigEndian.AppendUint64(b, p.End)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(p.Records)))
 	for _, r := range p.Records {
-		b = appendReplRecord(b, r)
+		body := durable.EncodeRecordBody(r)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(body)))
+		b = append(b, body...)
 	}
 	return b
 }
@@ -309,8 +291,8 @@ func ParsePullResponse(b []byte) (PullResponse, error) {
 		return PullResponse{}, fmt.Errorf("wire: pull response payload is %d bytes, want >= 22", len(b))
 	}
 	n := int(binary.BigEndian.Uint32(b[18:]))
-	if n*replRecordLen != len(b)-22 {
-		return PullResponse{}, fmt.Errorf("wire: pull response declares %d records, has %d bytes for them", n, len(b)-22)
+	if n < 0 || n > MaxPullRecords {
+		return PullResponse{}, fmt.Errorf("wire: pull response declares %d records, cap %d", n, MaxPullRecords)
 	}
 	p := PullResponse{
 		Status:    Status(b[0]),
@@ -318,11 +300,28 @@ func ParsePullResponse(b []byte) (PullResponse, error) {
 		ResumeLSN: binary.BigEndian.Uint64(b[2:]),
 		End:       binary.BigEndian.Uint64(b[10:]),
 	}
+	off := 22
 	if n > 0 {
-		p.Records = make([]durable.Record, n)
-		for i := range p.Records {
-			p.Records[i] = parseReplRecord(b[22+i*replRecordLen:])
+		p.Records = make([]durable.Record, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(b)-off < replRecordOverhead {
+			return PullResponse{}, fmt.Errorf("wire: pull response truncated at record %d", i)
 		}
+		ln := int(binary.BigEndian.Uint32(b[off:]))
+		off += replRecordOverhead
+		if ln < 0 || len(b)-off < ln {
+			return PullResponse{}, fmt.Errorf("wire: pull response record %d declares %d bytes, has %d", i, ln, len(b)-off)
+		}
+		rec, err := durable.ParseRecordBody(b[off : off+ln])
+		if err != nil {
+			return PullResponse{}, fmt.Errorf("wire: pull response record %d: %w", i, err)
+		}
+		p.Records = append(p.Records, rec)
+		off += ln
+	}
+	if off != len(b) {
+		return PullResponse{}, fmt.Errorf("wire: pull response has %d trailing bytes", len(b)-off)
 	}
 	return p, nil
 }

@@ -56,8 +56,14 @@ func TestReplResponseRoundTrips(t *testing.T) {
 	pr := PullResponse{
 		Status: StatusOK, ResumeLSN: 12, End: 20,
 		Records: []durable.Record{
-			{Session: 1, Seq: 2, Shard: 3, Kind: durable.OpAdd, Arg: -4, Val: 5, Ver: 6, Epoch: 2},
-			{Session: 7, Seq: 8, Shard: 0, Kind: durable.OpSet, Arg: 9, Val: 9, Ver: 10},
+			{Session: 1, Seq: 2, Shard: 3, Kind: durable.OpAdd, Arg: -4, Val: 5, Ver: 6, Epoch: 2, OK: true},
+			{Session: 7, Seq: 8, Shard: 0, Kind: durable.OpSet, Arg: 9, Val: 9, Ver: 10, OK: true},
+			{Session: 9, Seq: 1, Shard: 2, Kind: durable.OpMapCAS, Obj: "m", Key: "k",
+				Arg: 7, Arg2: 3, Val: 4, Ver: 11, Epoch: 1},
+			{Atomic: []durable.Record{
+				{Session: 3, Seq: 4, Shard: 0, Kind: durable.OpQEnq, Obj: "q", Arg: 8, Val: 1, Ver: 12, OK: true},
+				{Session: 3, Seq: 5, Shard: 1, Kind: durable.OpRegSet, Obj: "r", Arg: 5, Val: 5, Ver: 2, OK: true},
+			}},
 		},
 	}
 	got, err := ParsePullResponse(pr.Encode())

@@ -65,7 +65,50 @@ const (
 	KindSet
 	// KindStats returns the server's metrics snapshot as JSON in Data.
 	KindStats
+
+	// kx05 object kinds (see object.go): operations on named, typed
+	// objects. They never travel in plain kx03 request frames — the
+	// object frames carry the Obj/Key/Arg2 fields the legacy layout has
+	// no room for.
+
+	// KindCreate creates object Obj of type Arg (object.Type); Arg2 is
+	// the slot count for snapshot objects. Idempotent per type.
+	KindCreate
+	// KindRegGet/KindRegAdd/KindRegSet operate on a named register.
+	KindRegGet
+	KindRegAdd
+	KindRegSet
+	// KindMapGet/Put/CAS/Del operate on map Obj at Key. CAS stores Arg
+	// if the current value equals Arg2 (missing key compares as 0);
+	// a mismatch answers OK-status with FlagFound clear and the
+	// observed value.
+	KindMapGet
+	KindMapPut
+	KindMapCAS
+	KindMapDel
+	// KindQEnq/QDeq/QLen operate on queue Obj. QDeq on an empty queue
+	// answers with FlagFound clear.
+	KindQEnq
+	KindQDeq
+	KindQLen
+	// KindSnapUpdate writes Arg into slot Arg2 of snapshot Obj;
+	// KindSnapScan reads all slots atomically (8 bytes each in Data).
+	KindSnapUpdate
+	KindSnapScan
 )
+
+// IsObject reports whether the kind is a kx05 named-object operation.
+func (k Kind) IsObject() bool { return k >= KindCreate && k <= KindSnapScan }
+
+// IsRead reports whether the kind is a pure read: no state movement,
+// eligible for the server's read-only fast path (no WAL, no quorum).
+func (k Kind) IsRead() bool {
+	switch k {
+	case KindGet, KindRegGet, KindMapGet, KindQLen, KindSnapScan:
+		return true
+	}
+	return false
+}
 
 // String names the kind for logs and errors.
 func (k Kind) String() string {
@@ -80,6 +123,32 @@ func (k Kind) String() string {
 		return "set"
 	case KindStats:
 		return "stats"
+	case KindCreate:
+		return "create"
+	case KindRegGet:
+		return "reg.get"
+	case KindRegAdd:
+		return "reg.add"
+	case KindRegSet:
+		return "reg.set"
+	case KindMapGet:
+		return "map.get"
+	case KindMapPut:
+		return "map.put"
+	case KindMapCAS:
+		return "map.cas"
+	case KindMapDel:
+		return "map.del"
+	case KindQEnq:
+		return "queue.enq"
+	case KindQDeq:
+		return "queue.deq"
+	case KindQLen:
+		return "queue.len"
+	case KindSnapUpdate:
+		return "snap.update"
+	case KindSnapScan:
+		return "snap.scan"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -114,6 +183,12 @@ const (
 	// is unknown, e.g. mid-failover) — clients should redial there and
 	// retry with the same op ID.
 	StatusNotPrimary
+	// StatusAtomicAbort: the operation belonged to an atomic group that
+	// aborted — some member would have been logically rejected, so no
+	// member was applied. Every response in the group carries this
+	// status; the failing member's Data explains why. The group is safe
+	// to retry with the same op IDs.
+	StatusAtomicAbort
 )
 
 // String names the status.
@@ -135,6 +210,8 @@ func (s Status) String() string {
 		return "timeout"
 	case StatusNotPrimary:
 		return "not_primary"
+	case StatusAtomicAbort:
+		return "atomic_abort"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -175,6 +252,15 @@ type Request struct {
 	// Either being zero opts the operation out of deduplication.
 	Session uint64
 	Seq     uint64
+	// Obj names the target object for kx05 object kinds (see object.go);
+	// Key addresses a map entry; Arg2 is the second operand (CAS expected
+	// value, snapshot slot index, snapshot slot count on create). These
+	// travel only in object frames — the plain kx03 request layout has no
+	// room for them and Encode/ParseRequest deliberately ignore them, so
+	// legacy exchanges stay byte-identical.
+	Obj  string
+	Key  string
+	Arg2 int64
 }
 
 // Flags qualifies a successful Response.
@@ -185,6 +271,13 @@ const (
 	// operation; Value is the originally acknowledged result and the
 	// object was not touched again.
 	FlagDuplicate Flags = 1 << iota
+	// FlagFound: the operation's logical verdict. Set on a map.get whose
+	// key exists, a successful CAS, a delete that removed a key, a
+	// dequeue that yielded an element, and every unconditional success.
+	// Clear means the op completed but observed "miss" (Value then
+	// carries the observed/zero value). Only meaningful on kx05 object
+	// responses; legacy responses never set it.
+	FlagFound
 )
 
 // Response answers one Request.
@@ -263,6 +356,9 @@ type Stats struct {
 	// retried op whose first application was already acknowledged (or
 	// was in flight); the object was not touched again.
 	AppliedDupes int64 `json:"applied_dupes"`
+	// BatchAtomic counts atomic groups committed all-or-nothing (one WAL
+	// record each; aborted groups are not counted).
+	BatchAtomic int64 `json:"batch_atomic"`
 	// Draining reports whether graceful shutdown has begun.
 	Draining bool `json:"draining"`
 	// IdleReclaims counts sessions torn down by the idle watchdog (a
@@ -286,6 +382,13 @@ type Stats struct {
 	// StatusNotPrimary because the addressed shard is owned by another
 	// node in the cluster placement (never applied; zero off-cluster).
 	NotPrimaryRedirects int64 `json:"notprimary_redirects"`
+	// ObjMapOps, ObjQueueOps, ObjRegisterOps and ObjSnapshotOps count
+	// completed kx05 object operations by object class (reads and
+	// mutations both; creates count toward the class being created).
+	ObjMapOps      int64 `json:"obj_map_ops"`
+	ObjQueueOps    int64 `json:"obj_queue_ops"`
+	ObjRegisterOps int64 `json:"obj_register_ops"`
+	ObjSnapshotOps int64 `json:"obj_snapshot_ops"`
 	// OpDeadlines counts operations withdrawn because their per-op
 	// deadline expired while waiting for a slot (StatusTimeout).
 	OpDeadlines int64 `json:"op_deadlines"`
@@ -297,7 +400,10 @@ type Stats struct {
 	// QuorumAcks counts mutations acknowledged after the replication
 	// quorum confirmed durability (zero off-cluster or at quorum 1).
 	QuorumAcks int64 `json:"quorum_acks"`
-	Reclaimed  int64 `json:"reclaimed"`
+	// ReadFastpath counts pure reads served from committed shard state
+	// without touching the WAL or the replication quorum.
+	ReadFastpath int64 `json:"read_fastpath"`
+	Reclaimed    int64 `json:"reclaimed"`
 	// RecoveredOps is the number of mutations reconstructed from the
 	// data directory at startup (snapshot plus WAL replay); zero when
 	// the server runs without durability or booted fresh.

@@ -226,18 +226,24 @@ func TestStatsRoundTrip(t *testing.T) {
 func TestStatsJSONGolden(t *testing.T) {
 	s := Stats{
 		ActiveSessions: 1, AdmitQueue: 10, Admitted: 2, AppliedDupes: 3,
-		Draining: true, IdleReclaims: 4, Impl: "fastpath", InflightOps: 11,
-		K: 2, LeaseDemotions: 18, LeaseExpirations: 17, LeaseHeld: true,
-		N: 8, NotPrimaryRedirects: 14, OpDeadlines: 5, PerShard: nil,
-		Phase: "running", QuorumAcks: 15, Reclaimed: 6, RecoveredOps: 7,
-		Rejected: 8, ReplicaLagLSN: 16, RestartCount: 9,
+		BatchAtomic: 19, Draining: true, IdleReclaims: 4, Impl: "fastpath",
+		InflightOps: 11, K: 2, LeaseDemotions: 18, LeaseExpirations: 17,
+		LeaseHeld: true, N: 8, NotPrimaryRedirects: 14,
+		ObjMapOps: 20, ObjQueueOps: 21, ObjRegisterOps: 22, ObjSnapshotOps: 23,
+		OpDeadlines: 5, PerShard: nil,
+		Phase: "running", QuorumAcks: 15, ReadFastpath: 24, Reclaimed: 6,
+		RecoveredOps: 7, Rejected: 8, ReplicaLagLSN: 16, RestartCount: 9,
 		Shards: 4, ShedAdmissions: 12, ShedOps: 13,
 	}
 	const want = `{"active_sessions":1,"admit_queue":10,"admitted":2,"applied_dupes":3,` +
+		`"batch_atomic":19,` +
 		`"draining":true,"idle_reclaims":4,"impl":"fastpath","inflight_ops":11,` +
 		`"k":2,"lease_demotions":18,"lease_expirations":17,"lease_held":true,` +
-		`"n":8,"notprimary_redirects":14,"op_deadlines":5,"per_shard":null,` +
-		`"phase":"running","quorum_acks":15,"reclaimed":6,"recovered_ops":7,` +
+		`"n":8,"notprimary_redirects":14,` +
+		`"obj_map_ops":20,"obj_queue_ops":21,"obj_register_ops":22,"obj_snapshot_ops":23,` +
+		`"op_deadlines":5,"per_shard":null,` +
+		`"phase":"running","quorum_acks":15,"read_fastpath":24,"reclaimed":6,` +
+		`"recovered_ops":7,` +
 		`"rejected":8,"replica_lag_lsn":16,` +
 		`"restart_count":9,"shards":4,"shed_admissions":12,"shed_ops":13}`
 	if got := string(s.JSON()); got != want {
